@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Ablation study of the compiler's design choices (DESIGN.md §4):
+ *  1. two-qubit block consolidation on/off,
+ *  2. approximate (Eq. 2) vs exact decomposition selection,
+ *  3. noise adaptivity across gate types (multi-type set on the real
+ *     device vs on the uniform-fidelity ablated device).
+ * Workload: 6-qubit QAOA on synthetic Sycamore with G3.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "apps/qaoa.h"
+#include "compiler/crosstalk.h"
+#include "bench_common.h"
+#include "common/table.h"
+#include "metrics/metrics.h"
+
+using namespace qiset;
+
+int
+main(int argc, char** argv)
+{
+    bench::Scale scale = bench::parseArgs(argc, argv);
+    const int num_circuits = scale.circuits(6, 50);
+
+    Rng rng(14);
+    Device sycamore = makeSycamore(rng);
+    Device uniform = sycamore.withUniformGateTypes("S1");
+    GateSet g3 = isa::googleSet(3);
+
+    std::vector<Circuit> circuits;
+    for (int i = 0; i < num_circuits; ++i)
+        circuits.push_back(makeRandomQaoaCircuit(6, rng));
+
+    ProfileCache cache;
+    std::cout << "=== Compiler-pass ablations (QAOA-6, Sycamore, G3) "
+                 "===\n\n";
+    Table table({"configuration", "QAOA XED", "avg 2Q#"});
+
+    auto run = [&](const char* name, const Device& device,
+                   bool consolidate, bool approximate) {
+        CompileOptions options = bench::benchCompileOptions();
+        options.consolidate = consolidate;
+        options.approximate = approximate;
+        auto score =
+            bench::scoreGateSet(device, g3, circuits, cache, options,
+                                crossEntropyDifference);
+        table.addRow({name, fmtDouble(score.metric, 3),
+                      fmtDouble(score.avg_two_qubit, 1)});
+    };
+
+    run("full pipeline", sycamore, true, true);
+    run("no consolidation", sycamore, false, true);
+    run("exact decomposition", sycamore, true, false);
+    run("no consolidation + exact", sycamore, false, false);
+    run("no cross-type noise variation", uniform, true, true);
+
+    // Crosstalk sensitivity: inflate simultaneous adjacent 2Q gates
+    // (ref. [30]) after compilation and re-simulate.
+    {
+        CompileOptions options = bench::benchCompileOptions();
+        double total = 0.0, twoq = 0.0;
+        for (const auto& app : circuits) {
+            CompileResult result =
+                compileCircuit(app, sycamore, g3, cache, options);
+            applyCrosstalkInflation(result.circuit, result.physical,
+                                    sycamore.topology(), 3.0);
+            total += crossEntropyDifference(idealProbabilities(app),
+                                            simulateCompiled(result));
+            twoq += result.two_qubit_count;
+        }
+        table.addRow({"with 3x crosstalk inflation",
+                      fmtDouble(total / circuits.size(), 3),
+                      fmtDouble(twoq / circuits.size(), 1)});
+    }
+    table.print(std::cout);
+
+    std::cout
+        << "\nReading: consolidation cuts instruction counts (SWAP "
+           "fusion); approximation\ntrades decomposition accuracy for "
+           "fewer noisy gates; removing cross-type noise\nvariation "
+           "removes the adaptivity benefit that multi-type sets "
+           "exploit.\n";
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Extension study: calibration drift (Section IX motivates periodic
+ * recalibration with gate-error fluctuations of up to 10x).
+ *
+ * We drift every (edge, gate type) error rate by a random log-uniform
+ * factor, then compare compiling against *fresh* (drifted == true)
+ * calibration data vs compiling against the *stale* pre-drift data
+ * while the hardware has moved on. Multi-type sets lean on calibration
+ * data for noise-adaptive selection, so stale data costs them more —
+ * quantifying why the paper's recurring-calibration budget matters.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "apps/qaoa.h"
+#include "bench_common.h"
+#include "common/table.h"
+#include "metrics/metrics.h"
+
+using namespace qiset;
+
+int
+main(int argc, char** argv)
+{
+    bench::Scale scale = bench::parseArgs(argc, argv);
+    const int num_circuits = scale.circuits(8, 50);
+
+    Rng rng(16);
+    Device stale = makeSycamore(rng); // calibration snapshot
+    Device truth = stale.withDriftedCalibration(rng, 3.0);
+
+    std::vector<Circuit> circuits;
+    for (int i = 0; i < num_circuits; ++i)
+        circuits.push_back(makeRandomQaoaCircuit(6, rng));
+
+    CompileOptions options = bench::benchCompileOptions();
+    ProfileCache cache;
+
+    std::cout << "=== Extension: compiling on drifted calibration "
+                 "(QAOA-6, Sycamore, 3x drift) ===\n\n";
+    Table table({"gate set", "XED (recalibrated)", "XED (stale data)",
+                 "penalty"});
+    for (const GateSet& set : {isa::singleTypeSet(2), isa::googleSet(3),
+                               isa::googleSet(7)}) {
+        double fresh_total = 0.0, stale_total = 0.0;
+        for (const auto& app : circuits) {
+            auto ideal = idealProbabilities(app);
+
+            // Recalibrated: the compiler sees the true error rates.
+            CompileResult recal =
+                compileCircuit(app, truth, set, cache, options);
+            fresh_total +=
+                crossEntropyDifference(ideal, simulateCompiled(recal));
+
+            // Stale: compiled against the old snapshot, executed on
+            // the drifted hardware.
+            CompileResult old =
+                compileCircuit(app, stale, set, cache, options);
+            reannotateErrorRates(old, truth);
+            stale_total +=
+                crossEntropyDifference(ideal, simulateCompiled(old));
+        }
+        double fresh_avg = fresh_total / circuits.size();
+        double stale_avg = stale_total / circuits.size();
+        table.addRow({set.name, fmtDouble(fresh_avg, 3),
+                      fmtDouble(stale_avg, 3),
+                      fmtDouble(100.0 * (fresh_avg - stale_avg) /
+                                    std::max(fresh_avg, 1e-9),
+                                1) +
+                          "%"});
+    }
+    table.print(std::cout);
+
+    std::cout
+        << "\nReading: recalibrated compilation beats stale-data "
+           "compilation; the gap is the\nvalue of the recurring "
+           "calibration the paper budgets for — and it is what makes\n"
+           "the 4-8-type sweet spot (cheap to recalibrate often) "
+           "practical.\n";
+    return 0;
+}

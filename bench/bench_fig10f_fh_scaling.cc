@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Fig. 10f reproduction: Fermi-Hubbard fidelity for 10- and 20-qubit
+ * chains as the mean two-qubit error rate improves from 0.36% to
+ * 0.0225%, comparing the single-type set S2 against the multi-type
+ * set G7. The 20-qubit runs use the trajectory simulator.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "apps/fermi_hubbard.h"
+#include "bench_common.h"
+#include "common/table.h"
+#include "metrics/metrics.h"
+#include "sim/trajectory.h"
+
+using namespace qiset;
+
+namespace {
+
+double
+fhFidelity(const Circuit& fh, const Device& device, const GateSet& set,
+           ProfileCache& cache, const CompileOptions& options,
+           int trajectories, Rng& rng, int* two_q_out)
+{
+    CompileResult result =
+        compileCircuit(fh, device, set, cache, options);
+    *two_q_out = result.two_qubit_count;
+
+    // Ideal distribution of the logical circuit.
+    auto ideal = idealProbabilities(fh);
+
+    if (fh.numQubits() <= 10) {
+        auto noisy = simulateCompiled(result);
+        return linearXebFidelity(ideal, noisy);
+    }
+
+    // Trajectory path for wide registers: estimate
+    // sum_x p_ideal(x) p_noisy(x) from per-trajectory overlaps.
+    TrajectorySimulator sim(result.noise);
+    const auto& map = result.final_positions;
+    int n = fh.numQubits();
+    double dot = sim.averageObservable(
+        result.circuit, trajectories, rng,
+        [&](const StateVector& state) {
+            const auto& amps = state.amplitudes();
+            double sum = 0.0;
+            for (size_t phys = 0; phys < amps.size(); ++phys) {
+                double p = std::norm(amps[phys]);
+                if (p == 0.0)
+                    continue;
+                size_t logical = 0;
+                for (int l = 0; l < n; ++l) {
+                    if (phys & (size_t{1} << (n - 1 - map[l])))
+                        logical |= size_t{1} << (n - 1 - l);
+                }
+                sum += p * ideal[logical];
+            }
+            return sum;
+        });
+    double dim = static_cast<double>(size_t{1} << n);
+    double dot_ii = 0.0;
+    for (double p : ideal)
+        dot_ii += p * p;
+    return (dim * dot - 1.0) / (dim * dot_ii - 1.0);
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    bench::Scale scale = bench::parseArgs(argc, argv);
+    const int trajectories = scale.full ? 50 : 4;
+    const std::vector<double> error_targets =
+        scale.full ? std::vector<double>{0.0036, 0.0018, 0.0009,
+                                         0.00045, 0.000225}
+                   : std::vector<double>{0.0036, 0.0009, 0.000225};
+
+    Rng rng(11);
+    Device base = makeSycamore(rng);
+    double base_error = 1.0 - base.meanEdgeFidelity("S1");
+
+    Circuit fh10 = makeFermiHubbardCircuit(10, 0.5, 0.25);
+    Circuit fh20 = makeFermiHubbardCircuit(20, 0.5, 0.25);
+
+    CompileOptions options = bench::benchCompileOptions();
+    ProfileCache cache;
+
+    std::cout << "=== Fig. 10f: FH fidelity vs mean 2Q error rate ===\n"
+              << "(" << trajectories
+              << " trajectories per 20-qubit point)\n\n";
+
+    Table table({"mean 2Q error %", "S2 10Q", "G7 10Q", "S2 20Q",
+                 "G7 20Q"});
+    for (double target : error_targets) {
+        // Scale every noise source together (2Q/1Q errors, T1/T2,
+        // readout) so the x-axis genuinely tracks hardware quality.
+        double factor = target / base_error;
+        Device device = base.withScaledNoise(factor);
+
+        int twoq = 0;
+        double s2_10 = fhFidelity(fh10, device, isa::singleTypeSet(2),
+                                  cache, options, trajectories, rng,
+                                  &twoq);
+        double g7_10 = fhFidelity(fh10, device, isa::googleSet(7),
+                                  cache, options, trajectories, rng,
+                                  &twoq);
+        double s2_20 = fhFidelity(fh20, device, isa::singleTypeSet(2),
+                                  cache, options, trajectories, rng,
+                                  &twoq);
+        double g7_20 = fhFidelity(fh20, device, isa::googleSet(7),
+                                  cache, options, trajectories, rng,
+                                  &twoq);
+
+        table.addRow({fmtDouble(100.0 * target, 4), fmtDouble(s2_10, 3),
+                      fmtDouble(g7_10, 3), fmtDouble(s2_20, 3),
+                      fmtDouble(g7_20, 3)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nExpected shape: G7 >= S2 at every size and noise "
+                 "level; the multi-type\nadvantage is largest at "
+                 "current (high) error rates and shrinks as hardware\n"
+                 "improves.\n";
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Fig. 2 reproduction: decompose a two-qubit QV (SU(4)) unitary and a
+ * QAOA ZZ unitary into CZ (Rigetti) and sqrt(iSWAP) (Google) gates and
+ * report the exact gate counts and decomposition errors.
+ */
+
+#include <iostream>
+
+#include "apps/qv.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "nuop/decomposer.h"
+#include "qc/gates.h"
+
+using namespace qiset;
+
+int
+main()
+{
+    Rng rng(2);
+    Matrix qv_unitary = randomSu4(rng);
+    Matrix qaoa_unitary = gates::zz(0.0303);
+
+    std::cout << "=== Fig. 2: decomposition examples ===\n\n";
+    std::cout << "(a) Two-qubit QV unitary (random SU(4)):\n"
+              << qv_unitary.toString(3) << "\n";
+    std::cout << "(b) Two-qubit QAOA unitary exp(-0.0303 i ZZ):\n"
+              << qaoa_unitary.toString(3) << "\n";
+
+    NuOpOptions options;
+    options.max_layers = 6;
+    NuOpDecomposer nuop(options);
+
+    struct Case
+    {
+        const char* target_name;
+        const Matrix* target;
+        const char* gate_name;
+        Matrix gate;
+    };
+    const Case cases[] = {
+        {"QV", &qv_unitary, "CZ", gates::cz()},
+        {"QAOA", &qaoa_unitary, "CZ", gates::cz()},
+        {"QV", &qv_unitary, "sqrt(iSWAP)", gates::sqrtIswap()},
+        {"QAOA", &qaoa_unitary, "sqrt(iSWAP)", gates::sqrtIswap()},
+    };
+
+    Table table({"panel", "target", "hardware gate", "2Q gates",
+                 "decomposition error"});
+    const char* panels[] = {"(c)", "(d)", "(e)", "(f)"};
+    int panel = 0;
+    for (const auto& c : cases) {
+        Decomposition d = nuop.decomposeExact(
+            *c.target, makeFixedGate(c.gate_name, c.gate));
+        table.addRow({panels[panel++], c.target_name, c.gate_name,
+                      std::to_string(d.layers),
+                      fmtSci(1.0 - d.decomposition_fidelity, 1)});
+    }
+    table.print(std::cout);
+
+    std::cout
+        << "\nPaper's observation: the best gate type depends on the "
+           "application unitary --\nCZ implements the QAOA ZZ "
+           "interaction with fewer gates than sqrt(iSWAP).\n";
+    return 0;
+}

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Fig. 6 reproduction: average hardware gate counts of the Cirq
+ * (KAK-rule) baseline vs NuOp exact (100%) and approximate
+ * (99.9% / 99% / 95% hardware-fidelity) decompositions, per target
+ * gate type, averaged over QV, QAOA and QFT unitaries.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "apps/qv.h"
+#include "bench_common.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "nuop/decomposer.h"
+#include "nuop/kak.h"
+#include "qc/gates.h"
+
+using namespace qiset;
+
+int
+main(int argc, char** argv)
+{
+    bench::Scale scale = bench::parseArgs(argc, argv);
+    const int samples = scale.circuits(12, 100);
+
+    Rng rng(6);
+    // Unitary pools per application class (Section VII used 100 each).
+    std::vector<Matrix> qv_pool, qaoa_pool, qft_pool;
+    for (int i = 0; i < samples; ++i) {
+        qv_pool.push_back(randomSu4(rng));
+        qaoa_pool.push_back(gates::zz(rng.uniform(0.02, 1.5)));
+        qft_pool.push_back(
+            gates::cphase(-gates::kPi / (1 << (i % 5 + 1))));
+    }
+
+    struct Target
+    {
+        const char* name;
+        const char* cirq_name;
+        Matrix unitary;
+    };
+    const Target targets[] = {
+        {"CZ", "CZ", gates::cz()},
+        {"SYC", "SYC", gates::sycamore()},
+        {"iSWAP", "iSWAP", gates::iswap()},
+        {"sqiSWAP", "sqrt_iSWAP", gates::sqrtIswap()},
+    };
+
+    NuOpOptions options;
+    options.max_layers = 6;
+    options.multistarts = 3;
+    NuOpDecomposer nuop(options);
+
+    const double fidelity_grades[] = {1.0, 0.999, 0.99, 0.95};
+    const char* grade_names[] = {"NuOp-100%", "NuOp-99.9%", "NuOp-99%",
+                                 "NuOp-95%"};
+
+    std::cout << "=== Fig. 6: Cirq vs NuOp hardware gate counts "
+                 "(lower is better) ===\n\n";
+
+    for (const char* app : {"QV", "QAOA", "QFT"}) {
+        const std::vector<Matrix>& pool =
+            app == std::string("QV")
+                ? qv_pool
+                : (app == std::string("QAOA") ? qaoa_pool : qft_pool);
+
+        Table table({"method", "CZ", "SYC", "iSWAP", "sqiSWAP"});
+
+        // Cirq baseline row.
+        std::vector<std::string> row = {"Cirq"};
+        for (const auto& target : targets) {
+            double total = 0.0;
+            bool supported = true;
+            for (const auto& u : pool) {
+                int count = cirqBaselineGateCount(u, target.cirq_name);
+                if (count < 0) {
+                    supported = false;
+                    break;
+                }
+                total += count;
+            }
+            row.push_back(supported ? fmtDouble(total / pool.size(), 2)
+                                    : "n/a");
+        }
+        table.addRow(row);
+
+        // NuOp rows.
+        for (int g = 0; g < 4; ++g) {
+            row = {grade_names[g]};
+            for (const auto& target : targets) {
+                double total = 0.0;
+                double err_total = 0.0;
+                for (const auto& u : pool) {
+                    HardwareGate gate = makeFixedGate(
+                        target.name, target.unitary, fidelity_grades[g]);
+                    Decomposition d =
+                        fidelity_grades[g] == 1.0
+                            ? nuop.decomposeExact(u, gate)
+                            : nuop.decomposeApproximate(u, gate);
+                    total += d.layers;
+                    err_total += 1.0 - d.decomposition_fidelity;
+                }
+                row.push_back(fmtDouble(total / pool.size(), 2));
+                (void)err_total;
+            }
+            table.addRow(row);
+        }
+
+        std::cout << "-- " << app << " unitaries (" << pool.size()
+                  << " samples) --\n";
+        table.print(std::cout);
+        std::cout << "\n";
+    }
+
+    std::cout << "Expected shape: NuOp-100% <= Cirq everywhere "
+                 "(Cirq lacks a generic sqrt(iSWAP)\npath for QV); "
+                 "approximate grades reduce counts further as the "
+                 "assumed hardware\nfidelity drops.\n";
+    return 0;
+}

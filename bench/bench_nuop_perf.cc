@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Micro-benchmarks (google-benchmark): NuOp decomposition latency per
+ * layer count and gate family, plus simulator gate-application
+ * throughput. Mirrors the paper's Section VI compile-time discussion.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "apps/qv.h"
+#include "common/rng.h"
+#include "nuop/decomposer.h"
+#include "qc/gates.h"
+#include "sim/density_matrix.h"
+#include "sim/statevector.h"
+
+using namespace qiset;
+
+namespace {
+
+void
+BM_NuOpExactSu4IntoCz(benchmark::State& state)
+{
+    Rng rng(1);
+    Matrix target = randomSu4(rng);
+    NuOpOptions options;
+    options.max_layers = 4;
+    options.multistarts = static_cast<int>(state.range(0));
+    NuOpDecomposer nuop(options);
+    HardwareGate gate = makeFixedGate("CZ", gates::cz());
+    for (auto _ : state) {
+        Decomposition d = nuop.decomposeExact(target, gate);
+        benchmark::DoNotOptimize(d.decomposition_fidelity);
+    }
+}
+BENCHMARK(BM_NuOpExactSu4IntoCz)->Arg(1)->Arg(2)->Arg(4);
+
+void
+BM_NuOpZzIntoCz(benchmark::State& state)
+{
+    NuOpOptions options;
+    options.max_layers = 4;
+    NuOpDecomposer nuop(options);
+    HardwareGate gate = makeFixedGate("CZ", gates::cz());
+    Matrix target = gates::zz(0.4);
+    for (auto _ : state) {
+        Decomposition d = nuop.decomposeExact(target, gate);
+        benchmark::DoNotOptimize(d.layers);
+    }
+}
+BENCHMARK(BM_NuOpZzIntoCz);
+
+void
+BM_NuOpFullFsimFamily(benchmark::State& state)
+{
+    Rng rng(2);
+    Matrix target = randomSu4(rng);
+    NuOpOptions options;
+    options.max_layers = 3;
+    options.multistarts = 2;
+    NuOpDecomposer nuop(options);
+    HardwareGate family;
+    family.name = "fSim";
+    family.family = TemplateFamily::FullFsim;
+    for (auto _ : state) {
+        Decomposition d = nuop.decomposeExact(target, family);
+        benchmark::DoNotOptimize(d.layers);
+    }
+}
+BENCHMARK(BM_NuOpFullFsimFamily);
+
+void
+BM_StateVector2qGate(benchmark::State& state)
+{
+    int n = static_cast<int>(state.range(0));
+    StateVector sv(n);
+    Matrix gate = gates::fsim(0.3, 0.9);
+    for (auto _ : state)
+        sv.apply2q(gate, 0, n / 2);
+    state.SetItemsProcessed(state.iterations() * (1 << n));
+}
+BENCHMARK(BM_StateVector2qGate)->Arg(10)->Arg(16)->Arg(20);
+
+void
+BM_DensityMatrixNoisy2qGate(benchmark::State& state)
+{
+    int n = static_cast<int>(state.range(0));
+    DensityMatrix rho(n);
+    Matrix gate = gates::fsim(0.3, 0.9);
+    for (auto _ : state) {
+        rho.applyUnitary(gate, {0, 1});
+        rho.applyDepolarizing(0.006, {0, 1});
+    }
+    state.SetItemsProcessed(state.iterations() * (1 << (2 * n)));
+}
+BENCHMARK(BM_DensityMatrixNoisy2qGate)->Arg(6)->Arg(8)->Arg(10);
+
+} // namespace
+
+BENCHMARK_MAIN();

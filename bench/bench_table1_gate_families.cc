@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Table I reproduction: the current and anticipated two-qubit gate
+ * types of Rigetti and Google, their unitaries and the fidelity
+ * assumptions the simulation study uses.
+ */
+
+#include <iostream>
+
+#include "common/table.h"
+#include "device/device.h"
+#include "qc/gates.h"
+
+using namespace qiset;
+
+int
+main()
+{
+    std::cout << "=== Table I: two-qubit gate families ===\n\n";
+
+    std::cout << "Rigetti CZ (current):\n"
+              << gates::cz().toString(2) << "\n";
+    std::cout << "Rigetti XY(pi) == iSWAP-like (current):\n"
+              << gates::xy(gates::kPi).toString(2) << "\n";
+    std::cout << "Rigetti XY(theta) family example, XY(pi/2):\n"
+              << gates::xy(gates::kPi / 2).toString(2) << "\n";
+    std::cout << "Google SYC = fSim(pi/2, pi/6) (current):\n"
+              << gates::sycamore().toString(2) << "\n";
+    std::cout << "Google sqrt(iSWAP) = fSim(pi/4, 0) (current):\n"
+              << gates::sqrtIswap().toString(2) << "\n";
+    std::cout << "Google fSim(theta, phi) family example, "
+                 "fSim(pi/6, pi/8):\n"
+              << gates::fsim(gates::kPi / 6, gates::kPi / 8).toString(2)
+              << "\n";
+
+    std::cout << "Fidelity assumptions (synthetic calibration, seeded):\n";
+    Rng rng(1);
+    Device aspen = makeAspen8(rng);
+    Device sycamore = makeSycamore(rng);
+
+    Table table({"vendor", "gate family", "mean fidelity (measured)",
+                 "paper's band"});
+    table.addRow({"Rigetti", "CZ",
+                  fmtDouble(aspen.meanEdgeFidelity("S3"), 3), "~95%"});
+    table.addRow({"Rigetti", "XY(pi)",
+                  fmtDouble(aspen.meanEdgeFidelity("S4"), 3), "~95%"});
+    table.addRow({"Rigetti", "XY(theta) family",
+                  fmtDouble(aspen.meanEdgeFidelity("XY"), 3), "95-99%"});
+    table.addRow({"Google", "SYC",
+                  fmtDouble(sycamore.meanEdgeFidelity("S1"), 4),
+                  "~99.6%"});
+    table.addRow({"Google", "fSim(theta, phi) family",
+                  fmtDouble(sycamore.meanEdgeFidelity("fSim"), 4),
+                  "~99.6%"});
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Table II reproduction: every instruction set studied (S1-S7, G1-G7,
+ * R1-R5, Full XY, Full fSim) with its gate types and calibration
+ * footprint.
+ */
+
+#include <iostream>
+
+#include "calibration/calibration_model.h"
+#include "common/table.h"
+#include "isa/gate_set.h"
+#include "qc/gates.h"
+
+using namespace qiset;
+
+namespace {
+
+std::string
+describeType(const GateType& type)
+{
+    if (type.is_swap)
+        return "SWAP";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "fSim(%.3f,%.3f)", type.theta,
+                  type.phi);
+    return std::string(type.name) + "=" + buf;
+}
+
+void
+addRow(Table& table, const GateSet& set, const CalibrationCostModel& model,
+       int pairs)
+{
+    std::string types;
+    if (set.isContinuous()) {
+        types = set.continuous == ContinuousFamily::FullXy
+                    ? "XY(theta), theta in [0,pi] (+CZ)"
+                    : "fSim(theta,phi), theta,phi in [0,pi]";
+    } else {
+        for (const auto& type : set.types)
+            types += describeType(type) + " ";
+    }
+    table.addRow({set.name, std::to_string(set.calibrationTypeCount()),
+                  types,
+                  fmtSci(static_cast<double>(model.totalCircuits(
+                             pairs, set.calibrationTypeCount())),
+                         1)});
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "=== Table II: instruction sets studied ===\n"
+              << "(calibration circuits computed for a 54-qubit grid "
+                 "device)\n\n";
+
+    CalibrationCostModel model;
+    int pairs = gridPairCount(54);
+
+    Table table(
+        {"set", "#types", "gate types", "calibration circuits"});
+    for (int i = 1; i <= 7; ++i)
+        addRow(table, isa::singleTypeSet(i), model, pairs);
+    for (int i = 1; i <= 7; ++i)
+        addRow(table, isa::googleSet(i), model, pairs);
+    for (int i = 1; i <= 5; ++i)
+        addRow(table, isa::rigettiSet(i), model, pairs);
+    addRow(table, isa::fullXy(), model, pairs);
+    addRow(table, isa::fullFsim(), model, pairs);
+    table.print(std::cout);
+
+    std::cout << "\nIdentities: XY(theta) = fSim(theta/2, 0) up to 1Q "
+                 "rotations; CZ(phi) = fSim(0, phi);\n"
+                 "SWAP is locally equivalent to fSim(pi/2, pi).\n";
+    return 0;
+}

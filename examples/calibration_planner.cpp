@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Calibration planner: given a device size and candidate instruction
+ * sets, print the calibration budget (circuits and wall-clock hours)
+ * of Section IX's cost model.
+ *
+ * Usage: calibration_planner [num_qubits]   (default 54)
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "calibration/calibration_model.h"
+#include "common/table.h"
+#include "isa/gate_set.h"
+
+using namespace qiset;
+
+int
+main(int argc, char** argv)
+{
+    int num_qubits = argc > 1 ? std::atoi(argv[1]) : 54;
+    int pairs = gridPairCount(num_qubits);
+    CalibrationCostModel model;
+
+    std::cout << "Device: " << num_qubits << " qubits, ~" << pairs
+              << " coupled pairs\n"
+              << "Per (pair, gate type): "
+              << model.circuitsPerPairPerType() << " circuits\n\n";
+
+    Table table({"instruction set", "gate types", "total circuits",
+                 "wall clock (h)"});
+    auto add = [&](const GateSet& set) {
+        int types = set.calibrationTypeCount();
+        table.addRow({set.name, std::to_string(types),
+                      fmtSci(static_cast<double>(
+                                 model.totalCircuits(pairs, types)),
+                             2),
+                      fmtDouble(model.wallClockHours(types), 1)});
+    };
+    add(isa::singleTypeSet(1));
+    add(isa::googleSet(1));
+    add(isa::googleSet(4));
+    add(isa::googleSet(7));
+    add(isa::fullFsim());
+    table.print(std::cout);
+
+    std::cout << "\nThe paper's recommendation: 4-8 expressive types "
+                 "(G4-G7) cost two orders\nof magnitude less "
+                 "calibration than the 361-point continuous family\n"
+                 "while matching its application fidelity.\n";
+    return 0;
+}

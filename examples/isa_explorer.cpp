@@ -1,0 +1,87 @@
+/**
+ * @file
+ * ISA explorer: for a user-chosen fSim(theta, phi) gate type, report
+ * how many applications of it NuOp needs for each workload's
+ * characteristic unitaries — a one-point slice of the paper's Fig. 8
+ * heatmaps.
+ *
+ * Usage: isa_explorer [theta_over_pi] [phi_over_pi]
+ *        (defaults: 0.25 0 -> sqrt(iSWAP))
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "apps/qaoa.h"
+#include "apps/qv.h"
+#include "common/table.h"
+#include "nuop/decomposer.h"
+#include "qc/gates.h"
+
+using namespace qiset;
+
+int
+main(int argc, char** argv)
+{
+    double theta = gates::kPi * (argc > 1 ? std::atof(argv[1]) : 0.25);
+    double phi = gates::kPi * (argc > 2 ? std::atof(argv[2]) : 0.0);
+
+    Matrix gate_unitary = gates::fsim(theta, phi);
+    HardwareGate gate = makeFixedGate("fSim", gate_unitary);
+    std::cout << "Hardware gate: fSim(" << theta << ", " << phi
+              << ")\n\n";
+
+    NuOpOptions options;
+    options.max_layers = 6;
+    NuOpDecomposer nuop(options);
+    Rng rng(99);
+
+    auto average_layers = [&](auto make_unitary, int samples) {
+        double total = 0.0;
+        for (int s = 0; s < samples; ++s) {
+            Decomposition d =
+                nuop.decomposeExact(make_unitary(), gate);
+            total += d.layers;
+        }
+        return total / samples;
+    };
+
+    Table table({"workload unitary", "avg gates needed"});
+    table.addRow({"QV (random SU(4))", fmtDouble(average_layers(
+                                           [&] { return randomSu4(rng); },
+                                           5), 2)});
+    table.addRow(
+        {"QAOA (ZZ interaction)",
+         fmtDouble(average_layers(
+                       [&] {
+                           return gates::zz(rng.uniform(0.1, 1.5));
+                       },
+                       5),
+                   2)});
+    table.addRow(
+        {"QFT (CPhase)",
+         fmtDouble(average_layers(
+                       [&] {
+                           return gates::cphase(rng.uniform(0.1, 3.0));
+                       },
+                       5),
+                   2)});
+    table.addRow(
+        {"FH (hopping XX+YY)",
+         fmtDouble(average_layers(
+                       [&] {
+                           return gates::xxPlusYy(
+                               rng.uniform(0.1, 1.5));
+                       },
+                       5),
+                   2)});
+    table.addRow({"SWAP", fmtDouble(average_layers(
+                              [&] { return gates::swap(); }, 1), 2)});
+    table.print(std::cout);
+
+    std::cout << "\nTry other family points, e.g.:\n"
+                 "  isa_explorer 0.5 0.1667   # SYC\n"
+                 "  isa_explorer 0 1          # CZ\n"
+                 "  isa_explorer 0.5 1        # SWAP-equivalent\n";
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Noise-adaptive compilation demo (the Fig. 5 scenario): compile a
+ * QAOA circuit onto synthetic Rigetti Aspen-8 with a multi-gate
+ * instruction set and show how NuOp picks different gate types on
+ * different qubit pairs based on calibration data.
+ */
+
+#include <iostream>
+
+#include "apps/qaoa.h"
+#include "common/table.h"
+#include "compiler/pipeline.h"
+#include "metrics/metrics.h"
+
+using namespace qiset;
+
+int
+main()
+{
+    Rng rng(7);
+    Device aspen = makeAspen8(rng);
+    std::cout << "Device: " << aspen.name() << " ("
+              << aspen.numQubits() << " qubits, "
+              << aspen.topology().numEdges() << " couplers)\n\n";
+
+    Circuit app = makeRandomQaoaCircuit(4, rng);
+    std::cout << "Application: 4-qubit QAOA MaxCut, "
+              << app.twoQubitGateCount() << " ZZ interactions\n\n";
+
+    ProfileCache cache;
+    CompileOptions options;
+    options.nuop.max_layers = 5;
+
+    Table table({"gate set", "2Q count", "SWAPs", "type usage",
+                 "est. fidelity", "XED"});
+    auto ideal = idealProbabilities(app);
+
+    for (int r = 1; r <= 5; ++r) {
+        GateSet set = isa::rigettiSet(r);
+        CompileResult result =
+            compileCircuit(app, aspen, set, cache, options);
+        auto noisy = simulateCompiled(result);
+
+        std::string usage;
+        for (const auto& [type, count] : result.type_usage)
+            usage += type + ":" + std::to_string(count) + " ";
+
+        table.addRow({set.name,
+                      std::to_string(result.two_qubit_count),
+                      std::to_string(result.swaps_inserted), usage,
+                      fmtDouble(result.estimated_fidelity, 3),
+                      fmtDouble(crossEntropyDifference(ideal, noisy),
+                                3)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nRicher instruction sets let the compiler route "
+                 "around badly-calibrated\ngate types per edge "
+                 "(XY(pi) is absent on several Aspen-8 pairs).\n";
+    return 0;
+}

@@ -1,0 +1,51 @@
+#include "apps/fermi_hubbard.h"
+
+#include "common/error.h"
+#include "qc/gates.h"
+
+namespace qiset {
+
+Circuit
+makeFermiHubbardCircuit(int num_qubits, double hopping_theta,
+                        double interaction_beta)
+{
+    QISET_REQUIRE(num_qubits >= 2, "FH circuits need >= 2 qubits");
+    Circuit circuit(num_qubits);
+
+    // Initial product state: alternate X to half-fill the chain.
+    for (int q = 0; q < num_qubits; q += 2)
+        circuit.add1q(q, gates::pauliX(), "X");
+
+    // Two half-steps of hopping (even bonds then odd bonds) per
+    // Trotter round, two rounds: ~4n hopping terms total, interleaved
+    // with two rounds of ZZ interactions: ~2n ZZ terms (Section VI).
+    for (int round = 0; round < 2; ++round) {
+        for (int parity = 0; parity < 2; ++parity) {
+            for (int q = parity; q + 1 < num_qubits; q += 2) {
+                circuit.add2q(q, q + 1,
+                              gates::xxPlusYy(hopping_theta), "XXYY");
+            }
+        }
+        for (int q = 0; q + 1 < num_qubits; ++q)
+            circuit.add2q(q, q + 1, gates::zz(interaction_beta), "ZZ");
+        // Second pass of hopping inside the round to reach ~4n/round
+        // pacing (matches the 2:1 hopping-to-ZZ ratio of the paper).
+        for (int parity = 0; parity < 2; ++parity) {
+            for (int q = parity; q + 1 < num_qubits; q += 2) {
+                circuit.add2q(q, q + 1,
+                              gates::xxPlusYy(hopping_theta), "XXYY");
+            }
+        }
+    }
+    return circuit;
+}
+
+Circuit
+makeRandomFermiHubbardCircuit(int num_qubits, Rng& rng)
+{
+    double theta = rng.uniform(0.1, gates::kPi / 2.0);
+    double beta = rng.uniform(0.05, gates::kPi / 4.0);
+    return makeFermiHubbardCircuit(num_qubits, theta, beta);
+}
+
+} // namespace qiset

@@ -1,0 +1,32 @@
+#ifndef QISET_APPS_FERMI_HUBBARD_H
+#define QISET_APPS_FERMI_HUBBARD_H
+
+/**
+ * @file
+ * One-dimensional Fermi-Hubbard Trotter-step circuits (Section VI):
+ * each n-qubit circuit carries 2n ZZ interactions (on-site/density
+ * terms after Jordan-Wigner) and ~4n hopping interactions
+ * exp(-i theta (XX + YY)/2) on nearest-neighbour bonds.
+ */
+
+#include "circuit/circuit.h"
+#include "common/rng.h"
+
+namespace qiset {
+
+/**
+ * One Trotter step of the 1D Fermi-Hubbard model on a chain of
+ * num_qubits sites (2Q ops labeled "ZZ" and "XXYY").
+ *
+ * @param hopping_theta Hopping angle (t * dt).
+ * @param interaction_beta Interaction angle (U * dt / 4).
+ */
+Circuit makeFermiHubbardCircuit(int num_qubits, double hopping_theta,
+                                double interaction_beta);
+
+/** Trotter step with randomized angles (used for unitary sampling). */
+Circuit makeRandomFermiHubbardCircuit(int num_qubits, Rng& rng);
+
+} // namespace qiset
+
+#endif // QISET_APPS_FERMI_HUBBARD_H

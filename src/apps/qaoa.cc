@@ -1,0 +1,56 @@
+#include "apps/qaoa.h"
+
+#include <set>
+
+#include "common/error.h"
+#include "qc/gates.h"
+
+namespace qiset {
+
+std::vector<std::pair<int, int>>
+randomMaxcutGraph(int num_qubits, Rng& rng)
+{
+    QISET_REQUIRE(num_qubits >= 2, "QAOA needs >= 2 qubits");
+    int target_edges = (3 * num_qubits + 3) / 4; // ceil(3n/4)
+    int max_edges = num_qubits * (num_qubits - 1) / 2;
+    target_edges = std::min(target_edges, max_edges);
+
+    std::set<std::pair<int, int>> edges;
+    while (static_cast<int>(edges.size()) < target_edges) {
+        int a = rng.uniformInt(0, num_qubits - 1);
+        int b = rng.uniformInt(0, num_qubits - 1);
+        if (a == b)
+            continue;
+        if (a > b)
+            std::swap(a, b);
+        edges.insert({a, b});
+    }
+    return {edges.begin(), edges.end()};
+}
+
+Circuit
+makeQaoaCircuit(int num_qubits,
+                const std::vector<std::pair<int, int>>& edges, Rng& rng)
+{
+    Circuit circuit(num_qubits);
+    for (int q = 0; q < num_qubits; ++q)
+        circuit.add1q(q, gates::hadamard(), "H");
+
+    double gamma = rng.uniform(0.0, gates::kPi);
+    for (const auto& [a, b] : edges)
+        circuit.add2q(a, b, gates::zz(gamma), "ZZ");
+
+    double beta = rng.uniform(0.0, gates::kPi);
+    for (int q = 0; q < num_qubits; ++q)
+        circuit.add1q(q, gates::rx(2.0 * beta), "RX");
+    return circuit;
+}
+
+Circuit
+makeRandomQaoaCircuit(int num_qubits, Rng& rng)
+{
+    auto edges = randomMaxcutGraph(num_qubits, rng);
+    return makeQaoaCircuit(num_qubits, edges, rng);
+}
+
+} // namespace qiset

@@ -1,0 +1,37 @@
+#ifndef QISET_APPS_QAOA_H
+#define QISET_APPS_QAOA_H
+
+/**
+ * @file
+ * QAOA MaxCut ansatz circuits (Farhi et al.). One layer: Hadamards,
+ * ZZ(gamma) cost interactions on the problem-graph edges, then RX(beta)
+ * mixers. Following Section VI, each n-qubit instance carries ~3n/4
+ * random two-qubit ZZ interactions.
+ */
+
+#include <utility>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "common/rng.h"
+
+namespace qiset {
+
+/** Random MaxCut problem graph with ceil(3n/4) distinct edges. */
+std::vector<std::pair<int, int>> randomMaxcutGraph(int num_qubits,
+                                                   Rng& rng);
+
+/**
+ * One-layer QAOA MaxCut circuit on the given graph with random
+ * (gamma, beta) angles (2Q ops labeled "ZZ").
+ */
+Circuit makeQaoaCircuit(int num_qubits,
+                        const std::vector<std::pair<int, int>>& edges,
+                        Rng& rng);
+
+/** Convenience: random graph + random angles. */
+Circuit makeRandomQaoaCircuit(int num_qubits, Rng& rng);
+
+} // namespace qiset
+
+#endif // QISET_APPS_QAOA_H

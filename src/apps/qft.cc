@@ -1,0 +1,41 @@
+#include "apps/qft.h"
+
+#include "common/error.h"
+#include "qc/gates.h"
+
+namespace qiset {
+
+Circuit
+makeQftCircuit(int num_qubits)
+{
+    QISET_REQUIRE(num_qubits >= 1, "QFT needs >= 1 qubit");
+    Circuit circuit(num_qubits);
+    for (int i = 0; i < num_qubits; ++i) {
+        circuit.add1q(i, gates::hadamard(), "H");
+        for (int j = i + 1; j < num_qubits; ++j) {
+            // gates::cphase(phi) carries e^{-i phi} on |11> (fSim
+            // convention); the QFT needs +pi/2^t, hence the sign.
+            double angle = gates::kPi / (1 << (j - i));
+            circuit.add2q(j, i, gates::cphase(-angle), "CPhase");
+        }
+    }
+    return circuit;
+}
+
+Circuit
+makeQftCircuitOnInput(int num_qubits, size_t input)
+{
+    QISET_REQUIRE(input < (size_t{1} << num_qubits),
+                  "input state out of range");
+    Circuit circuit(num_qubits);
+    // Prepare |input> with X gates, then run the QFT.
+    for (int q = 0; q < num_qubits; ++q) {
+        size_t mask = size_t{1} << (num_qubits - 1 - q);
+        if (input & mask)
+            circuit.add1q(q, gates::pauliX(), "X");
+    }
+    circuit.append(makeQftCircuit(num_qubits));
+    return circuit;
+}
+
+} // namespace qiset

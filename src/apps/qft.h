@@ -1,0 +1,30 @@
+#ifndef QISET_APPS_QFT_H
+#define QISET_APPS_QFT_H
+
+/**
+ * @file
+ * Quantum Fourier Transform circuits: n Hadamards and n(n-1)/2
+ * controlled-phase gates CZ(pi/2^t) (Section VI; Nielsen & Chuang).
+ */
+
+#include "circuit/circuit.h"
+
+namespace qiset {
+
+/**
+ * The n-qubit QFT (without the final bit-reversal SWAPs; the
+ * compiler's router handles qubit placement). 2Q ops are labeled
+ * "CPhase".
+ */
+Circuit makeQftCircuit(int num_qubits);
+
+/**
+ * QFT applied to the computational basis state |input>; the paper's
+ * success-rate metric compares the noisy output against the ideal
+ * Fourier state of this input.
+ */
+Circuit makeQftCircuitOnInput(int num_qubits, size_t input);
+
+} // namespace qiset
+
+#endif // QISET_APPS_QFT_H

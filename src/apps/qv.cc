@@ -1,0 +1,34 @@
+#include "apps/qv.h"
+
+#include "common/error.h"
+#include "qc/linalg.h"
+
+namespace qiset {
+
+Matrix
+randomSu4(Rng& rng)
+{
+    Matrix u = haarRandomUnitary(4, rng);
+    // Remove the global phase so det == 1 (cosmetic; all consumers are
+    // phase-invariant).
+    cplx det = determinant(u);
+    u *= std::pow(det, -0.25);
+    return u;
+}
+
+Circuit
+makeQuantumVolumeCircuit(int num_qubits, Rng& rng)
+{
+    QISET_REQUIRE(num_qubits >= 2, "QV circuits need >= 2 qubits");
+    Circuit circuit(num_qubits);
+    for (int layer = 0; layer < num_qubits; ++layer) {
+        std::vector<int> perm = rng.permutation(num_qubits);
+        for (int pair = 0; pair + 1 < num_qubits; pair += 2) {
+            circuit.add2q(perm[pair], perm[pair + 1], randomSu4(rng),
+                          "SU4");
+        }
+    }
+    return circuit;
+}
+
+} // namespace qiset

@@ -1,0 +1,24 @@
+#ifndef QISET_APPS_QV_H
+#define QISET_APPS_QV_H
+
+/**
+ * @file
+ * Quantum Volume benchmark circuits (Cross et al., Phys. Rev. A 100,
+ * 032328). Each n-qubit QV circuit has n layers; every layer applies
+ * Haar-random SU(4) unitaries to a random pairing of the qubits.
+ */
+
+#include "circuit/circuit.h"
+#include "common/rng.h"
+
+namespace qiset {
+
+/** One random n-qubit QV model circuit (2Q ops labeled "SU4"). */
+Circuit makeQuantumVolumeCircuit(int num_qubits, Rng& rng);
+
+/** A single Haar-random SU(4) two-qubit unitary (QV building block). */
+Matrix randomSu4(Rng& rng);
+
+} // namespace qiset
+
+#endif // QISET_APPS_QV_H

@@ -1,0 +1,49 @@
+#include "calibration/calibration_model.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace qiset {
+
+long long
+CalibrationCostModel::circuitsPerPairPerType() const
+{
+    return static_cast<long long>(cphase_step_circuits) +
+           iswap_step_circuits + tomography_circuits +
+           static_cast<long long>(xeb_rounds) * xeb_circuits_per_round;
+}
+
+long long
+CalibrationCostModel::totalCircuits(int num_pairs,
+                                    int num_gate_types) const
+{
+    QISET_REQUIRE(num_pairs >= 1 && num_gate_types >= 1,
+                  "need at least one pair and one gate type");
+    return static_cast<long long>(num_pairs) *
+               (static_cast<long long>(num_gate_types) *
+                circuitsPerPairPerType()) +
+           static_cast<long long>(num_pairs) * per_pair_base_circuits;
+}
+
+double
+CalibrationCostModel::wallClockHours(int num_gate_types) const
+{
+    QISET_REQUIRE(num_gate_types >= 1, "need at least one gate type");
+    return base_hours + hours_per_gate_type * num_gate_types;
+}
+
+int
+gridPairCount(int num_qubits)
+{
+    QISET_REQUIRE(num_qubits >= 2, "need at least two qubits");
+    if (num_qubits == 2)
+        return 1;
+    // Nearest-square grid: rows x cols with rows = floor(sqrt(n)).
+    int rows = static_cast<int>(std::sqrt(static_cast<double>(num_qubits)));
+    int cols = (num_qubits + rows - 1) / rows;
+    // Horizontal edges + vertical edges of an (approximately full) grid.
+    return rows * (cols - 1) + (rows - 1) * cols;
+}
+
+} // namespace qiset

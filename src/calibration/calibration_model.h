@@ -1,0 +1,54 @@
+#ifndef QISET_CALIBRATION_CALIBRATION_MODEL_H
+#define QISET_CALIBRATION_CALIBRATION_MODEL_H
+
+/**
+ * @file
+ * Calibration-overhead model (Section IX), following Foxen et al.'s
+ * fSim tune-up procedure: per (qubit pair, gate type) one calibrates
+ * the CPHASE axis, the iSWAP-like axis, constructs and tomographs the
+ * target pulse, and characterizes fidelity with ~1000 rounds of
+ * cross-entropy benchmarking.
+ */
+
+namespace qiset {
+
+/** Tunable constants of the calibration cost model. */
+struct CalibrationCostModel
+{
+    /** Circuits to calibrate the CPHASE angle of one pair. */
+    int cphase_step_circuits = 200;
+    /** Circuits to calibrate the iSWAP-like angle of one pair. */
+    int iswap_step_circuits = 200;
+    /** Unitary-tomography circuits for the composed fSim pulse. */
+    int tomography_circuits = 1000;
+    /** XEB characterization: rounds x circuit instances. */
+    int xeb_rounds = 1000;
+    int xeb_circuits_per_round = 10;
+
+    /** Per-pair one-time overhead (electronics, 1Q tune-up). */
+    int per_pair_base_circuits = 2000;
+
+    /** Wall-clock anchors (Sycamore: ~4 h/day for one gate type). */
+    double base_hours = 1.5;
+    double hours_per_gate_type = 2.2;
+
+    /** Circuits needed for one gate type on one qubit pair. */
+    long long circuitsPerPairPerType() const;
+
+    /** Total calibration circuits for a device. */
+    long long totalCircuits(int num_pairs, int num_gate_types) const;
+
+    /**
+     * Wall-clock calibration time in hours for a device where pairs
+     * are calibrated in parallel (gate types are sequential, as pulse
+     * bleed-through forbids concurrent tune-up of distinct types).
+     */
+    double wallClockHours(int num_gate_types) const;
+};
+
+/** Coupled-pair count of an n-qubit square-grid device (~2n edges). */
+int gridPairCount(int num_qubits);
+
+} // namespace qiset
+
+#endif // QISET_CALIBRATION_CALIBRATION_MODEL_H

@@ -1,0 +1,203 @@
+#include "circuit/circuit.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace qiset {
+
+Circuit::Circuit(int num_qubits)
+    : num_qubits_(num_qubits)
+{
+    QISET_REQUIRE(num_qubits >= 1, "circuit needs at least one qubit");
+}
+
+void
+Circuit::validateQubit(int qubit) const
+{
+    QISET_REQUIRE(qubit >= 0 && qubit < num_qubits_, "qubit ", qubit,
+                  " out of range for ", num_qubits_, "-qubit circuit");
+}
+
+void
+Circuit::add1q(int qubit, const Matrix& unitary, const std::string& label)
+{
+    validateQubit(qubit);
+    QISET_REQUIRE(unitary.rows() == 2 && unitary.cols() == 2,
+                  "1Q op needs a 2x2 unitary");
+    Operation op;
+    op.qubits = {qubit};
+    op.unitary = unitary;
+    op.label = label;
+    ops_.push_back(std::move(op));
+}
+
+void
+Circuit::add2q(int qubit_a, int qubit_b, const Matrix& unitary,
+               const std::string& label)
+{
+    validateQubit(qubit_a);
+    validateQubit(qubit_b);
+    QISET_REQUIRE(qubit_a != qubit_b, "2Q op on identical qubits");
+    QISET_REQUIRE(unitary.rows() == 4 && unitary.cols() == 4,
+                  "2Q op needs a 4x4 unitary");
+    Operation op;
+    op.qubits = {qubit_a, qubit_b};
+    op.unitary = unitary;
+    op.label = label;
+    ops_.push_back(std::move(op));
+}
+
+void
+Circuit::add(Operation op)
+{
+    QISET_REQUIRE(op.qubits.size() == 1 || op.qubits.size() == 2,
+                  "operation must touch 1 or 2 qubits");
+    for (int q : op.qubits)
+        validateQubit(q);
+    size_t dim = op.qubits.size() == 1 ? 2 : 4;
+    QISET_REQUIRE(op.unitary.rows() == dim && op.unitary.cols() == dim,
+                  "operation unitary has wrong shape");
+    ops_.push_back(std::move(op));
+}
+
+void
+Circuit::append(const Circuit& other)
+{
+    QISET_REQUIRE(other.num_qubits_ <= num_qubits_,
+                  "appended circuit is wider than target");
+    for (const auto& op : other.ops_)
+        ops_.push_back(op);
+}
+
+int
+Circuit::twoQubitGateCount() const
+{
+    return static_cast<int>(std::count_if(
+        ops_.begin(), ops_.end(),
+        [](const Operation& op) { return op.isTwoQubit(); }));
+}
+
+int
+Circuit::oneQubitGateCount() const
+{
+    return static_cast<int>(ops_.size()) - twoQubitGateCount();
+}
+
+int
+Circuit::countLabel(const std::string& label) const
+{
+    return static_cast<int>(std::count_if(
+        ops_.begin(), ops_.end(),
+        [&](const Operation& op) { return op.label == label; }));
+}
+
+int
+Circuit::depth() const
+{
+    std::vector<int> level(num_qubits_, 0);
+    int max_level = 0;
+    for (const auto& op : ops_) {
+        int start = 0;
+        for (int q : op.qubits)
+            start = std::max(start, level[q]);
+        for (int q : op.qubits)
+            level[q] = start + 1;
+        max_level = std::max(max_level, start + 1);
+    }
+    return max_level;
+}
+
+double
+Circuit::scheduledDurationNs() const
+{
+    std::vector<double> busy_until(num_qubits_, 0.0);
+    double total = 0.0;
+    for (const auto& op : ops_) {
+        double start = 0.0;
+        for (int q : op.qubits)
+            start = std::max(start, busy_until[q]);
+        double end = start + op.duration_ns;
+        for (int q : op.qubits)
+            busy_until[q] = end;
+        total = std::max(total, end);
+    }
+    return total;
+}
+
+Matrix
+embedUnitary(const Matrix& gate, const std::vector<int>& qubits,
+             int num_qubits)
+{
+    size_t dim = size_t{1} << num_qubits;
+    Matrix full(dim, dim);
+
+    if (qubits.size() == 1) {
+        int shift = num_qubits - 1 - qubits[0];
+        size_t mask = size_t{1} << shift;
+        for (size_t col = 0; col < dim; ++col) {
+            size_t base = col & ~mask;
+            size_t in_bit = (col & mask) ? 1 : 0;
+            for (size_t out_bit = 0; out_bit < 2; ++out_bit) {
+                cplx amp = gate(out_bit, in_bit);
+                if (amp == cplx(0.0, 0.0))
+                    continue;
+                size_t row = base | (out_bit ? mask : 0);
+                full(row, col) += amp;
+            }
+        }
+        return full;
+    }
+
+    QISET_REQUIRE(qubits.size() == 2, "embedUnitary handles 1 or 2 qubits");
+    int shift_a = num_qubits - 1 - qubits[0];
+    int shift_b = num_qubits - 1 - qubits[1];
+    size_t mask_a = size_t{1} << shift_a;
+    size_t mask_b = size_t{1} << shift_b;
+    for (size_t col = 0; col < dim; ++col) {
+        size_t base = col & ~(mask_a | mask_b);
+        size_t in_idx =
+            (((col & mask_a) ? 1 : 0) << 1) | ((col & mask_b) ? 1 : 0);
+        for (size_t out_idx = 0; out_idx < 4; ++out_idx) {
+            cplx amp = gate(out_idx, in_idx);
+            if (amp == cplx(0.0, 0.0))
+                continue;
+            size_t row = base | ((out_idx & 2) ? mask_a : 0) |
+                         ((out_idx & 1) ? mask_b : 0);
+            full(row, col) += amp;
+        }
+    }
+    return full;
+}
+
+Matrix
+Circuit::unitary() const
+{
+    QISET_REQUIRE(num_qubits_ <= 12,
+                  "full unitary limited to 12 qubits (",
+                  num_qubits_, " requested)");
+    size_t dim = size_t{1} << num_qubits_;
+    Matrix result = Matrix::identity(dim);
+    for (const auto& op : ops_)
+        result = embedUnitary(op.unitary, op.qubits, num_qubits_) * result;
+    return result;
+}
+
+std::string
+Circuit::toString() const
+{
+    std::string out;
+    for (const auto& op : ops_) {
+        out += op.label;
+        out += " q";
+        out += std::to_string(op.qubits[0]);
+        if (op.isTwoQubit()) {
+            out += ", q";
+            out += std::to_string(op.qubits[1]);
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace qiset

@@ -1,0 +1,117 @@
+#ifndef QISET_CIRCUIT_CIRCUIT_H
+#define QISET_CIRCUIT_CIRCUIT_H
+
+/**
+ * @file
+ * Quantum circuit intermediate representation.
+ *
+ * A Circuit is an ordered list of 1Q/2Q unitary operations on a fixed
+ * register. Application generators emit circuits of abstract unitaries
+ * (SU(4) blocks, ZZ interactions, ...); the compiler rewrites them into
+ * circuits of native hardware gates annotated with error rates and
+ * durations that the noisy simulators consume.
+ *
+ * Basis convention: for an n-qubit register, qubit 0 is the most
+ * significant bit of the computational basis index.
+ */
+
+#include <string>
+#include <vector>
+
+#include "qc/matrix.h"
+
+namespace qiset {
+
+/** A single gate application within a circuit. */
+struct Operation
+{
+    /** Qubits acted on; size 1 or 2. For 2Q ops order matters. */
+    std::vector<int> qubits;
+
+    /** The gate unitary: 2x2 for 1Q ops, 4x4 for 2Q ops. */
+    Matrix unitary;
+
+    /** Human-readable tag, e.g. "U3", "fSim(1.571,0.524)", "ZZ". */
+    std::string label;
+
+    /**
+     * Hardware error rate of this gate instance (depolarizing strength
+     * used by the noise model). Zero for abstract/ideal operations.
+     */
+    double error_rate = 0.0;
+
+    /** Gate duration in nanoseconds (drives T1/T2 decoherence). */
+    double duration_ns = 0.0;
+
+    bool isTwoQubit() const { return qubits.size() == 2; }
+};
+
+/** An ordered sequence of operations on a fixed-size qubit register. */
+class Circuit
+{
+  public:
+    /** Create an empty circuit on num_qubits qubits. */
+    explicit Circuit(int num_qubits);
+
+    int numQubits() const { return num_qubits_; }
+
+    /** Append a single-qubit unitary. */
+    void add1q(int qubit, const Matrix& unitary,
+               const std::string& label = "U1q");
+
+    /** Append a two-qubit unitary on (qubit_a, qubit_b). */
+    void add2q(int qubit_a, int qubit_b, const Matrix& unitary,
+               const std::string& label = "U2q");
+
+    /** Append a pre-built operation (validated). */
+    void add(Operation op);
+
+    /** Append every operation of another circuit (same register size). */
+    void append(const Circuit& other);
+
+    const std::vector<Operation>& ops() const { return ops_; }
+    std::vector<Operation>& mutableOps() { return ops_; }
+
+    size_t size() const { return ops_.size(); }
+
+    /** Number of two-qubit operations (the paper's instruction count). */
+    int twoQubitGateCount() const;
+
+    /** Number of single-qubit operations. */
+    int oneQubitGateCount() const;
+
+    /** Count of 2Q operations whose label matches exactly. */
+    int countLabel(const std::string& label) const;
+
+    /** ASAP-schedule depth (number of moments). */
+    int depth() const;
+
+    /** Total ASAP-scheduled wall-clock duration in ns. */
+    double scheduledDurationNs() const;
+
+    /**
+     * Full 2^n x 2^n unitary of the circuit (intended for small n;
+     * guards against n > 12).
+     */
+    Matrix unitary() const;
+
+    /** Multi-line textual listing of the circuit. */
+    std::string toString() const;
+
+  private:
+    void validateQubit(int qubit) const;
+
+    int num_qubits_;
+    std::vector<Operation> ops_;
+};
+
+/**
+ * Embed a 1Q or 2Q gate into the full 2^n register unitary.
+ * Exposed for tests and for the ideal-simulation path.
+ */
+Matrix embedUnitary(const Matrix& gate, const std::vector<int>& qubits,
+                    int num_qubits);
+
+} // namespace qiset
+
+#endif // QISET_CIRCUIT_CIRCUIT_H

@@ -1,0 +1,96 @@
+#include "circuit/draw.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace qiset {
+
+namespace {
+
+/** Assign each operation to an ASAP moment. */
+std::vector<std::vector<const Operation*>>
+buildMoments(const Circuit& circuit)
+{
+    std::vector<int> level(circuit.numQubits(), 0);
+    std::vector<std::vector<const Operation*>> moments;
+    for (const auto& op : circuit.ops()) {
+        int start = 0;
+        for (int q : op.qubits)
+            start = std::max(start, level[q]);
+        if (static_cast<size_t>(start) >= moments.size())
+            moments.resize(start + 1);
+        moments[start].push_back(&op);
+        for (int q : op.qubits)
+            level[q] = start + 1;
+    }
+    return moments;
+}
+
+} // namespace
+
+std::string
+drawCircuit(const Circuit& circuit, int max_columns)
+{
+    auto moments = buildMoments(circuit);
+    size_t shown = moments.size();
+    bool truncated = false;
+    if (max_columns > 0 &&
+        moments.size() > static_cast<size_t>(max_columns)) {
+        shown = max_columns;
+        truncated = true;
+    }
+
+    int n = circuit.numQubits();
+    // Two text rows per qubit: the wire row and a connector row.
+    std::vector<std::string> wire(n), link(n);
+
+    for (size_t m = 0; m < shown; ++m) {
+        // Column width: widest label in this moment (min 1).
+        size_t width = 1;
+        for (const Operation* op : moments[m])
+            width = std::max(width, op->label.size());
+
+        std::vector<std::string> cell(n, std::string(width, '-'));
+        std::vector<bool> connect(n, false);
+        for (const Operation* op : moments[m]) {
+            if (op->isTwoQubit()) {
+                int hi = std::min(op->qubits[0], op->qubits[1]);
+                int lo = std::max(op->qubits[0], op->qubits[1]);
+                std::string label = op->label;
+                label.resize(width, '-');
+                cell[hi] = label;
+                std::string bullet(width, '-');
+                bullet[0] = '*';
+                cell[lo] = bullet;
+                for (int q = hi; q < lo; ++q)
+                    connect[q] = true;
+            } else {
+                std::string label = op->label;
+                label.resize(width, '-');
+                cell[op->qubits[0]] = label;
+            }
+        }
+        for (int q = 0; q < n; ++q) {
+            wire[q] += "-" + cell[q] + "-";
+            std::string below(width + 2, ' ');
+            if (connect[q])
+                below[1] = '|';
+            link[q] += below;
+        }
+    }
+
+    std::string out;
+    for (int q = 0; q < n; ++q) {
+        out += "q" + std::to_string(q) + ": " + wire[q];
+        if (truncated)
+            out += "...";
+        out += '\n';
+        if (q + 1 < n) {
+            out += std::string(4 + std::to_string(q).size() - 1, ' ') +
+                   link[q] + '\n';
+        }
+    }
+    return out;
+}
+
+} // namespace qiset

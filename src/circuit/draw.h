@@ -1,0 +1,32 @@
+#ifndef QISET_CIRCUIT_DRAW_H
+#define QISET_CIRCUIT_DRAW_H
+
+/**
+ * @file
+ * ASCII circuit rendering for examples, debugging and documentation.
+ *
+ * Operations are packed into ASAP moments; each moment becomes one
+ * column. Two-qubit gates draw a vertical connector between their
+ * endpoints:
+ *
+ *     q0: ─H────●──────
+ *               │
+ *     q1: ──────CZ──X──
+ */
+
+#include <string>
+
+#include "circuit/circuit.h"
+
+namespace qiset {
+
+/**
+ * Render the circuit as a multi-line ASCII diagram.
+ * @param max_columns Truncate (with an ellipsis) after this many
+ *        moments; 0 means no limit.
+ */
+std::string drawCircuit(const Circuit& circuit, int max_columns = 0);
+
+} // namespace qiset
+
+#endif // QISET_CIRCUIT_DRAW_H

@@ -1,0 +1,88 @@
+#ifndef QISET_COMMON_ERROR_H
+#define QISET_COMMON_ERROR_H
+
+/**
+ * @file
+ * Error-reporting helpers, following the gem5 fatal/panic split:
+ * fatal() is for user errors (bad arguments, impossible configuration),
+ * panic() is for internal invariant violations (library bugs).
+ */
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace qiset {
+
+/** Thrown when a caller-supplied argument or configuration is invalid. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string& msg)
+        : std::runtime_error("fatal: " + msg) {}
+};
+
+/** Thrown when an internal invariant is violated (a library bug). */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string& msg)
+        : std::logic_error("panic: " + msg) {}
+};
+
+namespace detail {
+
+inline void
+streamInto(std::ostringstream&)
+{
+}
+
+template <typename T, typename... Rest>
+void
+streamInto(std::ostringstream& os, const T& value, const Rest&... rest)
+{
+    os << value;
+    streamInto(os, rest...);
+}
+
+} // namespace detail
+
+/** Raise a FatalError built from the streamed arguments. */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args&... args)
+{
+    std::ostringstream os;
+    detail::streamInto(os, args...);
+    throw FatalError(os.str());
+}
+
+/** Raise a PanicError built from the streamed arguments. */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args&... args)
+{
+    std::ostringstream os;
+    detail::streamInto(os, args...);
+    throw PanicError(os.str());
+}
+
+} // namespace qiset
+
+/** Check a user-facing precondition; raises FatalError on failure. */
+#define QISET_REQUIRE(cond, ...)                                            \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            ::qiset::fatal("requirement failed (" #cond "): ",             \
+                           __VA_ARGS__);                                    \
+    } while (0)
+
+/** Check an internal invariant; raises PanicError on failure. */
+#define QISET_ASSERT(cond, ...)                                             \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            ::qiset::panic("assertion failed (" #cond "): ",               \
+                           __VA_ARGS__);                                    \
+    } while (0)
+
+#endif // QISET_COMMON_ERROR_H

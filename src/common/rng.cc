@@ -1,0 +1,91 @@
+#include "common/rng.h"
+
+#include <numeric>
+
+#include "common/error.h"
+
+namespace qiset {
+
+Rng::Rng(uint64_t seed)
+    : engine_(seed)
+{
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    std::uniform_real_distribution<double> dist(lo, hi);
+    return dist(engine_);
+}
+
+int
+Rng::uniformInt(int lo, int hi)
+{
+    QISET_REQUIRE(lo <= hi, "empty integer range [", lo, ", ", hi, "]");
+    std::uniform_int_distribution<int> dist(lo, hi);
+    return dist(engine_);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    std::normal_distribution<double> dist(mean, stddev);
+    return dist(engine_);
+}
+
+double
+Rng::truncatedNormal(double mean, double stddev, double lo, double hi)
+{
+    QISET_REQUIRE(lo < hi, "empty truncation range");
+    // Resampling is fine here: callers keep [lo, hi] within a few sigma.
+    for (int attempt = 0; attempt < 1000; ++attempt) {
+        double x = normal(mean, stddev);
+        if (x >= lo && x <= hi)
+            return x;
+    }
+    // Pathological parameters; fall back to the clamped mean.
+    return std::min(std::max(mean, lo), hi);
+}
+
+std::complex<double>
+Rng::normalComplex()
+{
+    return {normal(), normal()};
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    std::bernoulli_distribution dist(std::min(std::max(p, 0.0), 1.0));
+    return dist(engine_);
+}
+
+size_t
+Rng::discrete(const std::vector<double>& weights)
+{
+    QISET_REQUIRE(!weights.empty(), "discrete() needs at least one weight");
+    double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+    QISET_REQUIRE(total > 0.0, "discrete() needs positive total weight");
+    double r = uniform(0.0, total);
+    double cum = 0.0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+        cum += weights[i];
+        if (r < cum)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+std::vector<int>
+Rng::permutation(int n)
+{
+    std::vector<int> perm(n);
+    std::iota(perm.begin(), perm.end(), 0);
+    for (int i = n - 1; i > 0; --i) {
+        int j = uniformInt(0, i);
+        std::swap(perm[i], perm[j]);
+    }
+    return perm;
+}
+
+} // namespace qiset

@@ -1,0 +1,68 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/error.h"
+
+namespace qiset {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    QISET_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    QISET_REQUIRE(cells.size() == headers_.size(),
+                  "row arity ", cells.size(), " != header arity ",
+                  headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::print(std::ostream& os) const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto& row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string>& row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << row[c]
+               << std::string(widths[c] - row[c].size() + 2, ' ');
+        }
+        os << '\n';
+    };
+
+    print_row(headers_);
+    size_t total = 0;
+    for (size_t w : widths)
+        total += w + 2;
+    os << std::string(total, '-') << '\n';
+    for (const auto& row : rows_)
+        print_row(row);
+}
+
+std::string
+fmtDouble(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string
+fmtSci(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*e", precision, value);
+    return buf;
+}
+
+} // namespace qiset

@@ -1,0 +1,44 @@
+#ifndef QISET_COMMON_TABLE_H
+#define QISET_COMMON_TABLE_H
+
+/**
+ * @file
+ * Plain-text table rendering for the benchmark harness.
+ *
+ * Every bench binary reproduces one paper table/figure by printing
+ * aligned rows; this helper keeps that formatting in one place.
+ */
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace qiset {
+
+/** Column-aligned text table accumulated row by row. */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render the table with a separator under the header. */
+    void print(std::ostream& os) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with the given precision (fixed notation). */
+std::string fmtDouble(double value, int precision = 3);
+
+/** Format a double in scientific notation. */
+std::string fmtSci(double value, int precision = 2);
+
+} // namespace qiset
+
+#endif // QISET_COMMON_TABLE_H

@@ -1,0 +1,96 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+
+namespace qiset {
+
+ThreadPool::ThreadPool(size_t num_threads)
+{
+    if (num_threads == 0) {
+        num_threads = std::thread::hardware_concurrency();
+        if (num_threads == 0)
+            num_threads = 4;
+    }
+    workers_.reserve(num_threads);
+    for (size_t i = 0; i < num_threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    job_available_.notify_all();
+    for (auto& worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> job)
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        jobs_.push(std::move(job));
+        ++in_flight_;
+    }
+    job_available_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            job_available_.wait(
+                lock, [this] { return stopping_ || !jobs_.empty(); });
+            if (jobs_.empty()) {
+                if (stopping_)
+                    return;
+                continue;
+            }
+            job = std::move(jobs_.front());
+            jobs_.pop();
+        }
+        job();
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            --in_flight_;
+            if (in_flight_ == 0)
+                all_done_.notify_all();
+        }
+    }
+}
+
+void
+parallelFor(ThreadPool& pool, size_t count,
+            const std::function<void(size_t)>& fn)
+{
+    // Chunk the index space so tiny iterations don't drown in queue
+    // overhead; NuOp decompositions are coarse enough that a handful of
+    // chunks per worker balances well.
+    size_t chunks = std::max<size_t>(pool.size() * 4, 1);
+    size_t chunk_size = (count + chunks - 1) / chunks;
+    if (chunk_size == 0)
+        chunk_size = 1;
+    for (size_t begin = 0; begin < count; begin += chunk_size) {
+        size_t end = std::min(begin + chunk_size, count);
+        pool.submit([begin, end, &fn] {
+            for (size_t i = begin; i < end; ++i)
+                fn(i);
+        });
+    }
+    pool.wait();
+}
+
+} // namespace qiset

@@ -1,0 +1,70 @@
+#ifndef QISET_COMMON_THREAD_POOL_H
+#define QISET_COMMON_THREAD_POOL_H
+
+/**
+ * @file
+ * A small fixed-size thread pool.
+ *
+ * The figure benches (notably the Fig. 8 heatmap sweep, 361 grid points
+ * x dozens of unitaries) parallelize across independent NuOp
+ * decompositions, mirroring the paper's 32-thread compilation setup.
+ */
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace qiset {
+
+/** Fixed-size worker pool executing queued std::function jobs. */
+class ThreadPool
+{
+  public:
+    /**
+     * Start the pool.
+     * @param num_threads Worker count; 0 means hardware_concurrency().
+     */
+    explicit ThreadPool(size_t num_threads = 0);
+
+    /** Drains outstanding work, then joins all workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /** Enqueue a job for asynchronous execution. */
+    void submit(std::function<void()> job);
+
+    /** Block until every submitted job has completed. */
+    void wait();
+
+    /** Number of worker threads. */
+    size_t size() const { return workers_.size(); }
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::queue<std::function<void()>> jobs_;
+    std::mutex mutex_;
+    std::condition_variable job_available_;
+    std::condition_variable all_done_;
+    size_t in_flight_ = 0;
+    bool stopping_ = false;
+};
+
+/**
+ * Run fn(i) for every i in [0, count) across the pool's workers and
+ * block until all iterations finish. fn must be safe to call
+ * concurrently for distinct indices.
+ */
+void parallelFor(ThreadPool& pool, size_t count,
+                 const std::function<void(size_t)>& fn);
+
+} // namespace qiset
+
+#endif // QISET_COMMON_THREAD_POOL_H

@@ -1,0 +1,118 @@
+#include "compiler/consolidate.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "common/error.h"
+#include "qc/gates.h"
+
+namespace qiset {
+
+namespace {
+
+/** An in-flight fusion block on an ordered qubit pair. */
+struct Block
+{
+    int qubit_a; // first qubit == most-significant bit of the 4x4
+    int qubit_b;
+    Matrix unitary = Matrix::identity(4);
+    int fused_ops = 0;
+};
+
+/** Embed a 1Q gate into the block's 4x4 (a is the MSB). */
+Matrix
+embed1q(const Matrix& gate, bool on_first)
+{
+    return on_first ? gate.kron(Matrix::identity(2))
+                    : Matrix::identity(2).kron(gate);
+}
+
+} // namespace
+
+Circuit
+consolidateTwoQubitBlocks(const Circuit& circuit)
+{
+    Circuit out(circuit.numQubits());
+
+    // qubit -> index into `blocks` of the active block covering it.
+    std::map<int, size_t> owner;
+    std::vector<Block> blocks;
+
+    auto flush = [&](size_t index) {
+        Block& block = blocks[index];
+        Operation op;
+        op.qubits = {block.qubit_a, block.qubit_b};
+        op.unitary = block.unitary;
+        op.label = "block";
+        out.add(std::move(op));
+        owner.erase(block.qubit_a);
+        owner.erase(block.qubit_b);
+    };
+
+    auto flush_qubit = [&](int q) {
+        auto it = owner.find(q);
+        if (it != owner.end())
+            flush(it->second);
+    };
+
+    for (const auto& op : circuit.ops()) {
+        if (!op.isTwoQubit()) {
+            int q = op.qubits[0];
+            auto it = owner.find(q);
+            if (it != owner.end()) {
+                Block& block = blocks[it->second];
+                block.unitary =
+                    embed1q(op.unitary, q == block.qubit_a) *
+                    block.unitary;
+                ++block.fused_ops;
+            } else {
+                out.add(op);
+            }
+            continue;
+        }
+
+        int a = op.qubits[0];
+        int b = op.qubits[1];
+        auto it_a = owner.find(a);
+        auto it_b = owner.find(b);
+        if (it_a != owner.end() && it_b != owner.end() &&
+            it_a->second == it_b->second) {
+            // Same pair: fuse (reorienting if the op is reversed).
+            Block& block = blocks[it_a->second];
+            Matrix u = op.unitary;
+            if (a != block.qubit_a) {
+                Matrix s = gates::swap();
+                u = s * u * s;
+            }
+            block.unitary = u * block.unitary;
+            ++block.fused_ops;
+            continue;
+        }
+        // Different partners: close whatever these qubits were part of
+        // and open a fresh block.
+        flush_qubit(a);
+        flush_qubit(b);
+        Block block;
+        block.qubit_a = a;
+        block.qubit_b = b;
+        block.unitary = op.unitary;
+        block.fused_ops = 1;
+        blocks.push_back(std::move(block));
+        owner[a] = blocks.size() - 1;
+        owner[b] = blocks.size() - 1;
+    }
+
+    // Flush remaining blocks in creation order for determinism.
+    std::vector<size_t> open;
+    for (const auto& [q, index] : owner)
+        open.push_back(index);
+    std::sort(open.begin(), open.end());
+    open.erase(std::unique(open.begin(), open.end()), open.end());
+    for (size_t index : open)
+        flush(index);
+
+    return out;
+}
+
+} // namespace qiset

@@ -1,0 +1,76 @@
+#include "compiler/crosstalk.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace qiset {
+
+int
+applyCrosstalkInflation(Circuit& circuit,
+                        const std::vector<int>& physical,
+                        const Topology& device_topology,
+                        double inflation)
+{
+    QISET_REQUIRE(inflation >= 1.0, "inflation must be >= 1");
+    QISET_REQUIRE(physical.size() ==
+                      static_cast<size_t>(circuit.numQubits()),
+                  "physical map width mismatch");
+
+    // ASAP moment assignment.
+    std::vector<int> level(circuit.numQubits(), 0);
+    std::vector<int> moment(circuit.size());
+    auto& ops = circuit.mutableOps();
+    for (size_t i = 0; i < ops.size(); ++i) {
+        int start = 0;
+        for (int q : ops[i].qubits)
+            start = std::max(start, level[q]);
+        moment[i] = start;
+        for (int q : ops[i].qubits)
+            level[q] = start + 1;
+    }
+
+    // Two couplers interact when any endpoint of one is adjacent to
+    // (or shares) an endpoint of the other on the device graph.
+    auto couplers_interact = [&](const Operation& a,
+                                 const Operation& b) {
+        for (int qa : a.qubits) {
+            for (int qb : b.qubits) {
+                int pa = physical[qa];
+                int pb = physical[qb];
+                if (pa == pb || device_topology.adjacent(pa, pb))
+                    return true;
+            }
+        }
+        return false;
+    };
+
+    std::vector<bool> inflate(ops.size(), false);
+    for (size_t i = 0; i < ops.size(); ++i) {
+        if (!ops[i].isTwoQubit() || ops[i].error_rate <= 0.0)
+            continue;
+        for (size_t j = i + 1; j < ops.size(); ++j) {
+            if (moment[j] != moment[i])
+                continue;
+            if (!ops[j].isTwoQubit())
+                continue;
+            if (couplers_interact(ops[i], ops[j])) {
+                inflate[i] = true;
+                if (ops[j].error_rate > 0.0)
+                    inflate[j] = true;
+            }
+        }
+    }
+
+    int count = 0;
+    for (size_t i = 0; i < ops.size(); ++i) {
+        if (!inflate[i])
+            continue;
+        ops[i].error_rate =
+            std::min(1.0, ops[i].error_rate * inflation);
+        ++count;
+    }
+    return count;
+}
+
+} // namespace qiset

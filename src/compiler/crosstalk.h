@@ -1,0 +1,40 @@
+#ifndef QISET_COMPILER_CROSSTALK_H
+#define QISET_COMPILER_CROSSTALK_H
+
+/**
+ * @file
+ * Crosstalk error inflation.
+ *
+ * Section IX notes that calibrating parallel operations is part of the
+ * real tune-up burden, and the paper's ref. [30] shows simultaneous
+ * two-qubit gates on adjacent couplers suffer elevated error rates.
+ * This pass models that: 2Q operations scheduled in the same ASAP
+ * moment whose couplers are adjacent on the device get their
+ * depolarizing error multiplied by an inflation factor.
+ */
+
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "device/topology.h"
+
+namespace qiset {
+
+/**
+ * Inflate the error rate of simultaneously-scheduled adjacent 2Q ops.
+ *
+ * @param circuit Compiled circuit (register positions 0..n-1);
+ *        error rates are modified in place.
+ * @param physical Register position -> device qubit id.
+ * @param device_topology Full device coupling graph.
+ * @param inflation Multiplier applied to each affected op's error.
+ * @return Number of operations whose error rate was inflated.
+ */
+int applyCrosstalkInflation(Circuit& circuit,
+                            const std::vector<int>& physical,
+                            const Topology& device_topology,
+                            double inflation);
+
+} // namespace qiset
+
+#endif // QISET_COMPILER_CROSSTALK_H

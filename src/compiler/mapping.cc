@@ -1,0 +1,131 @@
+#include "compiler/mapping.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace qiset {
+
+std::vector<std::string>
+fidelityKeys(const GateSet& gate_set)
+{
+    std::vector<std::string> keys;
+    for (const auto& type : gate_set.types)
+        keys.push_back(type.name);
+    if (gate_set.continuous == ContinuousFamily::FullXy)
+        keys.push_back("XY");
+    else if (gate_set.continuous == ContinuousFamily::FullFsim)
+        keys.push_back("fSim");
+    else if (gate_set.continuous == ContinuousFamily::FullCphase)
+        keys.push_back("CZt");
+    return keys;
+}
+
+double
+bestEdgeFidelity(const Device& device, int a, int b,
+                 const GateSet& gate_set)
+{
+    double best = 0.0;
+    for (const auto& key : fidelityKeys(gate_set))
+        best = std::max(best, device.edgeFidelity(a, b, key));
+    return best;
+}
+
+std::vector<int>
+chooseMapping(const Device& device, int num_logical,
+              const GateSet& gate_set)
+{
+    QISET_REQUIRE(num_logical >= 1, "need at least one logical qubit");
+    QISET_REQUIRE(num_logical <= device.numQubits(),
+                  "circuit wider than device (", num_logical, " > ",
+                  device.numQubits(), ")");
+    const Topology& topo = device.topology();
+
+    if (num_logical == 1)
+        return {0};
+
+    // Seed: the highest-fidelity edge under this instruction set.
+    auto edges = topo.edges();
+    QISET_REQUIRE(!edges.empty(), "device has no couplers");
+    double best_fid = -1.0;
+    std::pair<int, int> seed = edges.front();
+    for (auto [a, b] : edges) {
+        double f = bestEdgeFidelity(device, a, b, gate_set);
+        if (f > best_fid) {
+            best_fid = f;
+            seed = {a, b};
+        }
+    }
+
+    std::vector<int> chosen = {seed.first, seed.second};
+    std::vector<bool> in_set(device.numQubits(), false);
+    in_set[seed.first] = in_set[seed.second] = true;
+
+    // Candidate scoring: compactness first (in-set degree), then a
+    // one-step lookahead (does picking this qubit enable a future
+    // high-degree attachment? distinguishes L-shaped growth, which
+    // can close squares, from straight lines, which cannot), then
+    // calibrated fidelity.
+    auto in_set_degree = [&](int q, int extra) {
+        int degree = 0;
+        for (int member : chosen)
+            if (topo.adjacent(q, member))
+                ++degree;
+        if (extra >= 0 && topo.adjacent(q, extra))
+            ++degree;
+        return degree;
+    };
+
+    while (static_cast<int>(chosen.size()) < num_logical) {
+        int best_q = -1;
+        int best_degree = -1;
+        int best_lookahead = -1;
+        double best_fid = -1.0;
+        for (int member : chosen) {
+            for (int nbr : topo.neighbors(member)) {
+                if (in_set[nbr])
+                    continue;
+                int degree = in_set_degree(nbr, -1);
+                double fid = 0.0;
+                for (int m2 : chosen)
+                    if (topo.adjacent(nbr, m2))
+                        fid += bestEdgeFidelity(device, nbr, m2,
+                                                gate_set);
+                int lookahead = 0;
+                for (int m2 : chosen)
+                    for (int v : topo.neighbors(m2)) {
+                        if (in_set[v] || v == nbr)
+                            continue;
+                        lookahead = std::max(
+                            lookahead, in_set_degree(v, nbr));
+                    }
+                for (int v : topo.neighbors(nbr)) {
+                    if (in_set[v])
+                        continue;
+                    lookahead =
+                        std::max(lookahead, in_set_degree(v, nbr));
+                }
+                bool better =
+                    degree > best_degree ||
+                    (degree == best_degree &&
+                     (lookahead > best_lookahead ||
+                      (lookahead == best_lookahead &&
+                       fid > best_fid)));
+                if (better) {
+                    best_degree = degree;
+                    best_lookahead = lookahead;
+                    best_fid = fid;
+                    best_q = nbr;
+                }
+            }
+        }
+        QISET_REQUIRE(best_q >= 0,
+                      "device subgraph exhausted before placing all "
+                      "logical qubits");
+        chosen.push_back(best_q);
+        in_set[best_q] = true;
+    }
+    return chosen;
+}
+
+} // namespace qiset

@@ -1,0 +1,114 @@
+#include "compiler/pipeline.h"
+
+#include "compiler/consolidate.h"
+#include "compiler/mapping.h"
+#include "compiler/routing.h"
+#include "metrics/metrics.h"
+#include "sim/density_matrix.h"
+#include "sim/statevector.h"
+
+namespace qiset {
+
+CompileResult
+compileCircuit(const Circuit& app, const Device& device,
+               const GateSet& gate_set, ProfileCache& cache,
+               const CompileOptions& options, ThreadPool* pool)
+{
+    CompileResult out;
+
+    // 1. Placement: pick physical qubits, noise-aware.
+    out.physical = chooseMapping(device, app.numQubits(), gate_set);
+
+    // 2. Routing on the induced coupling subgraph.
+    Topology coupling = device.topology().inducedSubgraph(out.physical);
+    RoutedCircuit routed = routeCircuit(app, coupling);
+    out.final_positions = routed.final_positions;
+    out.swaps_inserted = routed.swaps_inserted;
+
+    // 3. Gate optimization: fuse runs on a pair (SWAP + application
+    // gate, consecutive interactions) into single SU(4) blocks so
+    // NuOp pays for the combined unitary once.
+    Circuit consolidated = options.consolidate
+                               ? consolidateTwoQubitBlocks(routed.circuit)
+                               : routed.circuit;
+
+    // 4. NuOp translation with per-edge noise adaptivity.
+    NuOpDecomposer decomposer(options.nuop);
+    TranslateResult translated =
+        translateCircuit(consolidated, out.physical, device, gate_set,
+                         decomposer, cache, options.approximate, pool);
+    out.circuit = std::move(translated.circuit);
+    out.two_qubit_count = translated.two_qubit_count;
+    out.type_usage = std::move(translated.type_usage);
+    out.estimated_fidelity = translated.estimated_fidelity;
+
+    // 5. Noise model for the compressed register.
+    out.noise = device.noiseModelFor(out.physical);
+    return out;
+}
+
+std::vector<double>
+simulateCompiled(const CompileResult& result)
+{
+    DensityMatrix rho(result.circuit.numQubits());
+    rho.runNoisy(result.circuit, result.noise);
+    std::vector<double> probs =
+        result.noise.applyReadoutError(rho.probabilities());
+    return permuteProbabilities(probs, result.final_positions);
+}
+
+std::vector<double>
+idealProbabilities(const Circuit& app)
+{
+    StateVector state(app.numQubits());
+    state.run(app);
+    return state.probabilities();
+}
+
+void
+reannotateErrorRates(CompileResult& result, const Device& truth)
+{
+    for (auto& op : result.circuit.mutableOps()) {
+        if (op.isTwoQubit()) {
+            int pa = result.physical.at(op.qubits[0]);
+            int pb = result.physical.at(op.qubits[1]);
+            double fidelity = truth.edgeFidelity(pa, pb, op.label);
+            // A type the true hardware no longer supports behaves as
+            // a fully broken gate.
+            op.error_rate = fidelity > 0.0 ? 1.0 - fidelity : 1.0;
+        } else {
+            op.error_rate =
+                truth.oneQubitError(result.physical.at(op.qubits[0]));
+        }
+    }
+    result.noise = truth.noiseModelFor(result.physical);
+}
+
+double
+simulateSuccessRate(const CompileResult& result, const Circuit& app)
+{
+    StateVector ideal(app.numQubits());
+    ideal.run(app);
+
+    // Move the ideal amplitudes into physical register order: logical
+    // qubit l sits at position final_positions[l] at measurement time.
+    int n = app.numQubits();
+    StateVector permuted(n);
+    auto& amps = permuted.mutableAmplitudes();
+    std::fill(amps.begin(), amps.end(), cplx(0.0, 0.0));
+    const auto& map = result.final_positions;
+    for (size_t logical = 0; logical < ideal.dim(); ++logical) {
+        size_t phys = 0;
+        for (int l = 0; l < n; ++l) {
+            if (logical & (size_t{1} << (n - 1 - l)))
+                phys |= size_t{1} << (n - 1 - map[l]);
+        }
+        amps[phys] = ideal.amplitudes()[logical];
+    }
+
+    DensityMatrix rho(result.circuit.numQubits());
+    rho.runNoisy(result.circuit, result.noise);
+    return rho.fidelityWithPure(permuted);
+}
+
+} // namespace qiset

@@ -1,0 +1,99 @@
+#ifndef QISET_COMPILER_PIPELINE_H
+#define QISET_COMPILER_PIPELINE_H
+
+/**
+ * @file
+ * End-to-end compilation pipeline (Fig. 1 of the paper): qubit
+ * mapping -> SWAP routing -> NuOp translation -> noise annotation,
+ * plus the noisy-simulation entry points the benches use.
+ */
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "common/thread_pool.h"
+#include "compiler/translate.h"
+#include "device/device.h"
+#include "isa/gate_set.h"
+#include "nuop/decomposer.h"
+#include "sim/noise_model.h"
+
+namespace qiset {
+
+/** Compilation settings. */
+struct CompileOptions
+{
+    /** Approximate (Eq. 2) vs exact decomposition selection. */
+    bool approximate = true;
+    /** Fuse same-pair runs into SU(4) blocks before NuOp. */
+    bool consolidate = true;
+    /** NuOp settings shared by all decompositions. */
+    NuOpOptions nuop;
+};
+
+/** Fully compiled circuit with everything needed to simulate it. */
+struct CompileResult
+{
+    /** Native circuit over register positions 0..n-1. */
+    Circuit circuit;
+    /** physical[i] = device qubit hosting register position i. */
+    std::vector<int> physical;
+    /** final_positions[l] = register position of logical qubit l. */
+    std::vector<int> final_positions;
+    /** Noise parameters of the compressed register. */
+    NoiseModel noise;
+    /** Native two-qubit instruction count. */
+    int two_qubit_count = 0;
+    /** SWAPs inserted by routing (before decomposition). */
+    int swaps_inserted = 0;
+    /** Native 2Q usage per gate type. */
+    std::map<std::string, int> type_usage;
+    /** Compiler's overall fidelity estimate (product model). */
+    double estimated_fidelity = 1.0;
+
+    CompileResult() : circuit(1) {}
+};
+
+/**
+ * Compile an application circuit for a device and instruction set.
+ * The ProfileCache may be shared across calls (and instruction sets)
+ * to amortize NuOp optimizations.
+ */
+CompileResult compileCircuit(const Circuit& app, const Device& device,
+                             const GateSet& gate_set, ProfileCache& cache,
+                             const CompileOptions& options,
+                             ThreadPool* pool = nullptr);
+
+/**
+ * Exact noisy output distribution of a compiled circuit (density
+ * matrix + readout error), reordered to logical qubit order.
+ * Register width must be <= 13.
+ */
+std::vector<double> simulateCompiled(const CompileResult& result);
+
+/** Ideal (noiseless) output distribution of a logical circuit. */
+std::vector<double> idealProbabilities(const Circuit& app);
+
+/**
+ * State-fidelity success rate <psi_ideal| rho_noisy |psi_ideal> of a
+ * compiled circuit against the ideal output state of the logical
+ * circuit, tracking the router's final qubit permutation (the paper's
+ * QFT metric). Density-matrix path; register width <= 13.
+ */
+double simulateSuccessRate(const CompileResult& result,
+                           const Circuit& app);
+
+/**
+ * Re-stamp a compiled circuit's error rates and noise model from
+ * another device's calibration — the "true" hardware in stale-
+ * calibration (drift) studies, where the compiler saw outdated data.
+ * Native 2Q ops are matched by their gate-type label on the physical
+ * edge they run on.
+ */
+void reannotateErrorRates(CompileResult& result, const Device& truth);
+
+} // namespace qiset
+
+#endif // QISET_COMPILER_PIPELINE_H

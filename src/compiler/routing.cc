@@ -1,0 +1,62 @@
+#include "compiler/routing.h"
+
+#include "common/error.h"
+#include "qc/gates.h"
+
+namespace qiset {
+
+RoutedCircuit
+routeCircuit(const Circuit& logical, const Topology& coupling)
+{
+    QISET_REQUIRE(coupling.numQubits() == logical.numQubits(),
+                  "coupling graph width must match the circuit");
+    QISET_REQUIRE(coupling.connected() || logical.numQubits() == 1,
+                  "coupling graph must be connected");
+
+    int n = logical.numQubits();
+    RoutedCircuit out;
+    out.circuit = Circuit(n);
+
+    // position[l] = register slot currently holding logical qubit l.
+    std::vector<int> position(n);
+    std::vector<int> occupant(n);
+    for (int i = 0; i < n; ++i)
+        position[i] = occupant[i] = i;
+
+    Matrix swap_unitary = gates::swap();
+
+    auto emit_swap = [&](int slot_a, int slot_b) {
+        out.circuit.add2q(slot_a, slot_b, swap_unitary, "SWAP");
+        ++out.swaps_inserted;
+        int la = occupant[slot_a];
+        int lb = occupant[slot_b];
+        std::swap(occupant[slot_a], occupant[slot_b]);
+        position[la] = slot_b;
+        position[lb] = slot_a;
+    };
+
+    for (const auto& op : logical.ops()) {
+        if (!op.isTwoQubit()) {
+            Operation moved = op;
+            moved.qubits = {position[op.qubits[0]]};
+            out.circuit.add(std::move(moved));
+            continue;
+        }
+        int la = op.qubits[0];
+        int lb = op.qubits[1];
+        while (!coupling.adjacent(position[la], position[lb])) {
+            auto path = coupling.shortestPath(position[la], position[lb]);
+            QISET_ASSERT(path.size() >= 3, "non-adjacent pair with a "
+                                           "path shorter than 3 nodes");
+            emit_swap(path[0], path[1]);
+        }
+        Operation moved = op;
+        moved.qubits = {position[la], position[lb]};
+        out.circuit.add(std::move(moved));
+    }
+
+    out.final_positions = position;
+    return out;
+}
+
+} // namespace qiset

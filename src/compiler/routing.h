@@ -1,0 +1,44 @@
+#ifndef QISET_COMPILER_ROUTING_H
+#define QISET_COMPILER_ROUTING_H
+
+/**
+ * @file
+ * SWAP routing: rewrite a fully-connected logical circuit onto a
+ * restricted coupling graph by inserting application-level SWAP
+ * operations (which NuOp later decomposes into native gates — or maps
+ * 1:1 when the instruction set has a hardware SWAP, as in R5/G7).
+ */
+
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "device/topology.h"
+
+namespace qiset {
+
+/** Result of the routing pass. */
+struct RoutedCircuit
+{
+    /** Circuit over register positions 0..n-1 (labels preserved;
+     *  inserted SWAPs are labeled "SWAP"). */
+    Circuit circuit;
+    /** final_positions[l] = register position of logical qubit l at
+     *  measurement time. */
+    std::vector<int> final_positions;
+    /** Number of SWAP operations inserted. */
+    int swaps_inserted = 0;
+
+    RoutedCircuit() : circuit(1) {}
+};
+
+/**
+ * Route a logical circuit onto the given connectivity (the induced
+ * subgraph of the chosen physical qubits, in register-position
+ * numbering). Logical qubit l starts at register position l.
+ */
+RoutedCircuit routeCircuit(const Circuit& logical,
+                           const Topology& coupling);
+
+} // namespace qiset
+
+#endif // QISET_COMPILER_ROUTING_H

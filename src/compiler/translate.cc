@@ -1,0 +1,283 @@
+#include "compiler/translate.h"
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include "common/error.h"
+#include "nuop/template_circuit.h"
+#include "qc/gates.h"
+
+namespace qiset {
+
+std::vector<GateSpec>
+gateSpecs(const GateSet& gate_set)
+{
+    std::vector<GateSpec> specs;
+    for (const auto& type : gate_set.types) {
+        GateSpec spec;
+        spec.type_name = type.name;
+        spec.family = TemplateFamily::Fixed;
+        spec.unitary = type.unitary();
+        specs.push_back(std::move(spec));
+    }
+    if (gate_set.continuous == ContinuousFamily::FullXy) {
+        GateSpec spec;
+        spec.type_name = "XY";
+        spec.family = TemplateFamily::FullXy;
+        specs.push_back(std::move(spec));
+    } else if (gate_set.continuous == ContinuousFamily::FullFsim) {
+        GateSpec spec;
+        spec.type_name = "fSim";
+        spec.family = TemplateFamily::FullFsim;
+        specs.push_back(std::move(spec));
+    } else if (gate_set.continuous == ContinuousFamily::FullCphase) {
+        GateSpec spec;
+        spec.type_name = "CZt";
+        spec.family = TemplateFamily::FullCphase;
+        specs.push_back(std::move(spec));
+    }
+    return specs;
+}
+
+std::string
+ProfileCache::key(const Matrix& target, const GateSpec& spec)
+{
+    std::string out = spec.type_name;
+    out += '|';
+    char buf[48];
+    for (size_t i = 0; i < target.rows(); ++i)
+        for (size_t j = 0; j < target.cols(); ++j) {
+            const cplx& v = target(i, j);
+            std::snprintf(buf, sizeof(buf), "%.9f,%.9f;", v.real(),
+                          v.imag());
+            out += buf;
+        }
+    return out;
+}
+
+const GateProfile&
+ProfileCache::get(const Matrix& target, const GateSpec& spec,
+                  const NuOpDecomposer& decomposer)
+{
+    std::string k = key(target, spec);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = profiles_.find(k);
+        if (it != profiles_.end())
+            return it->second;
+    }
+
+    // Compute outside the lock (the expensive part); duplicated work
+    // between racing threads is harmless and rare.
+    GateProfile profile;
+    profile.type_name = spec.type_name;
+    profile.family = spec.family;
+    profile.unitary = spec.unitary;
+
+    HardwareGate gate;
+    gate.name = spec.type_name;
+    gate.family = spec.family;
+    gate.unitary = spec.unitary;
+
+    double threshold = decomposer.options().exact_threshold;
+    for (int layers = 0; layers <= decomposer.options().max_layers;
+         ++layers) {
+        LayerFit fit;
+        fit.layers = layers;
+        fit.fd = decomposer.bestFidelityForLayers(target, gate, layers,
+                                                  &fit.params);
+        profile.fits.push_back(std::move(fit));
+        if (profile.fits.back().fd >= threshold)
+            break;
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, inserted] = profiles_.emplace(k, std::move(profile));
+    return it->second;
+}
+
+size_t
+ProfileCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return profiles_.size();
+}
+
+void
+precomputeProfiles(const Circuit& circuit,
+                   const std::vector<GateSpec>& specs,
+                   const NuOpDecomposer& decomposer, ProfileCache& cache,
+                   ThreadPool* pool)
+{
+    // Collect distinct (op, spec) jobs; the cache key dedups repeats.
+    std::vector<const Operation*> two_q_ops;
+    for (const auto& op : circuit.ops())
+        if (op.isTwoQubit())
+            two_q_ops.push_back(&op);
+
+    size_t total = two_q_ops.size() * specs.size();
+    auto job = [&](size_t index) {
+        const Operation& op = *two_q_ops[index / specs.size()];
+        const GateSpec& spec = specs[index % specs.size()];
+        cache.get(op.unitary, spec, decomposer);
+    };
+    if (pool) {
+        parallelFor(*pool, total, job);
+    } else {
+        for (size_t i = 0; i < total; ++i)
+            job(i);
+    }
+}
+
+GateChoice
+selectGate(const std::vector<const GateProfile*>& profiles,
+           const std::vector<double>& edge_fidelities,
+           double one_qubit_fidelity, bool approximate,
+           double exact_threshold)
+{
+    QISET_REQUIRE(profiles.size() == edge_fidelities.size(),
+                  "profile/fidelity arity mismatch");
+    GateChoice best;
+    for (size_t g = 0; g < profiles.size(); ++g) {
+        double f2q = edge_fidelities[g];
+        if (f2q <= 0.0)
+            continue; // gate type not calibrated on this edge.
+        const GateProfile* profile = profiles[g];
+        for (const auto& fit : profile->fits) {
+            // Zero-layer fits only count when they are exact (local
+            // targets); lossy gate-dropping is not a NuOp template.
+            if (fit.layers == 0 && fit.fd < exact_threshold)
+                continue;
+            double fh = std::pow(f2q, fit.layers) *
+                        std::pow(one_qubit_fidelity,
+                                 2.0 * (fit.layers + 1));
+            double fu = fit.fd * fh;
+            bool candidate;
+            if (approximate) {
+                candidate = fu > best.overall;
+            } else {
+                // Exact mode: only threshold-meeting fits compete.
+                if (fit.fd < exact_threshold)
+                    continue;
+                candidate = fu > best.overall;
+            }
+            if (candidate) {
+                best.profile = profile;
+                best.fit = &fit;
+                best.edge_fidelity = f2q;
+                best.overall = fu;
+            }
+        }
+    }
+    if (!best.profile && !approximate) {
+        // No gate type reached the exact threshold; fall back to the
+        // highest-Fd fit available (mirrors NuOp returning its best
+        // attempt).
+        for (size_t g = 0; g < profiles.size(); ++g) {
+            double f2q = edge_fidelities[g];
+            if (f2q <= 0.0)
+                continue;
+            for (const auto& fit : profiles[g]->fits) {
+                double fh = std::pow(f2q, fit.layers) *
+                            std::pow(one_qubit_fidelity,
+                                     2.0 * (fit.layers + 1));
+                if (fit.fd * fh > best.overall) {
+                    best.profile = profiles[g];
+                    best.fit = &fit;
+                    best.edge_fidelity = f2q;
+                    best.overall = fit.fd * fh;
+                }
+            }
+        }
+    }
+    QISET_REQUIRE(best.profile != nullptr,
+                  "no hardware gate type available on this edge");
+    return best;
+}
+
+TranslateResult
+translateCircuit(const Circuit& routed, const std::vector<int>& physical,
+                 const Device& device, const GateSet& gate_set,
+                 const NuOpDecomposer& decomposer, ProfileCache& cache,
+                 bool approximate, ThreadPool* pool)
+{
+    QISET_REQUIRE(physical.size() ==
+                      static_cast<size_t>(routed.numQubits()),
+                  "physical qubit list must match register width");
+
+    std::vector<GateSpec> specs = gateSpecs(gate_set);
+    QISET_REQUIRE(!specs.empty(), "instruction set is empty");
+    precomputeProfiles(routed, specs, decomposer, cache, pool);
+
+    int n = routed.numQubits();
+    TranslateResult result;
+    result.circuit = Circuit(n);
+
+    double f1q_avg = 1.0 - device.averageOneQubitError();
+
+    auto emit_1q = [&](int reg, const Matrix& unitary,
+                       const std::string& label) {
+        Operation op;
+        op.qubits = {reg};
+        op.unitary = unitary;
+        op.label = label;
+        op.error_rate = device.oneQubitError(physical[reg]);
+        op.duration_ns = device.oneQubitDurationNs();
+        result.estimated_fidelity *= 1.0 - op.error_rate;
+        result.circuit.add(std::move(op));
+    };
+
+    for (const auto& op : routed.ops()) {
+        if (!op.isTwoQubit()) {
+            emit_1q(op.qubits[0], op.unitary, op.label);
+            continue;
+        }
+
+        int ra = op.qubits[0];
+        int rb = op.qubits[1];
+        int pa = physical[ra];
+        int pb = physical[rb];
+
+        std::vector<const GateProfile*> profiles;
+        std::vector<double> fidelities;
+        for (const auto& spec : specs) {
+            profiles.push_back(&cache.get(op.unitary, spec, decomposer));
+            fidelities.push_back(
+                device.edgeFidelity(pa, pb, spec.type_name));
+        }
+        GateChoice choice =
+            selectGate(profiles, fidelities, f1q_avg, approximate,
+                       decomposer.options().exact_threshold);
+
+        const GateProfile& profile = *choice.profile;
+        const LayerFit& fit = *choice.fit;
+
+        TwoQubitTemplate templ =
+            profile.family == TemplateFamily::Fixed
+                ? TwoQubitTemplate(fit.layers, profile.unitary)
+                : TwoQubitTemplate(fit.layers, profile.family);
+        std::vector<Matrix> u3s = templ.u3Matrices(fit.params);
+
+        emit_1q(ra, u3s[0], "U3");
+        emit_1q(rb, u3s[1], "U3");
+        for (int layer = 0; layer < fit.layers; ++layer) {
+            Operation gate_op;
+            gate_op.qubits = {ra, rb};
+            gate_op.unitary = templ.layerGate(fit.params, layer);
+            gate_op.label = profile.type_name;
+            gate_op.error_rate = 1.0 - choice.edge_fidelity;
+            gate_op.duration_ns = device.twoQubitDurationNs();
+            result.circuit.add(std::move(gate_op));
+            result.estimated_fidelity *= choice.edge_fidelity;
+            ++result.two_qubit_count;
+            ++result.type_usage[profile.type_name];
+            emit_1q(ra, u3s[2 * (layer + 1)], "U3");
+            emit_1q(rb, u3s[2 * (layer + 1) + 1], "U3");
+        }
+        result.estimated_fidelity *= fit.fd;
+    }
+    return result;
+}
+
+} // namespace qiset

@@ -1,0 +1,140 @@
+#ifndef QISET_COMPILER_TRANSLATE_H
+#define QISET_COMPILER_TRANSLATE_H
+
+/**
+ * @file
+ * Gate translation: rewrite routed application circuits into the
+ * target instruction set using NuOp (Section V).
+ *
+ * Decomposition fidelity Fd for a (target unitary, gate type, layer
+ * count) triple is independent of which edge the gate runs on, so the
+ * pass computes a *fidelity profile* per (unitary, type) once and
+ * reuses it across edges, circuits and instruction sets. The per-edge
+ * noise-adaptive selection (Eq. 2) then only combines the cached Fd
+ * values with the edge's calibrated fidelities.
+ */
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "common/thread_pool.h"
+#include "device/device.h"
+#include "isa/gate_set.h"
+#include "nuop/decomposer.h"
+
+namespace qiset {
+
+/** Best achievable Fd and parameters at one template depth. */
+struct LayerFit
+{
+    int layers = 0;
+    double fd = 0.0;
+    std::vector<double> params;
+};
+
+/** All layer fits of one (target unitary, hardware gate type) pair. */
+struct GateProfile
+{
+    /** Calibration key: "S1".."S7", "SWAP", "XY" or "fSim". */
+    std::string type_name;
+    TemplateFamily family = TemplateFamily::Fixed;
+    Matrix unitary; // Fixed family only.
+    std::vector<LayerFit> fits;
+};
+
+/** Hardware gate specification a profile is computed against. */
+struct GateSpec
+{
+    std::string type_name;
+    TemplateFamily family = TemplateFamily::Fixed;
+    Matrix unitary;
+};
+
+/** Gate specs an instruction set exposes (discrete + continuous). */
+std::vector<GateSpec> gateSpecs(const GateSet& gate_set);
+
+/** Thread-safe memoization of gate profiles. */
+class ProfileCache
+{
+  public:
+    /**
+     * Profile of decomposing `target` with `spec`, computing it on
+     * first use. Fits cover layer counts 0..max until the exact
+     * threshold is reached.
+     */
+    const GateProfile& get(const Matrix& target, const GateSpec& spec,
+                           const NuOpDecomposer& decomposer);
+
+    size_t size() const;
+
+  private:
+    static std::string key(const Matrix& target, const GateSpec& spec);
+
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string, GateProfile> profiles_;
+};
+
+/**
+ * Warm the cache for every distinct (2Q unitary, gate spec) pair of a
+ * circuit, in parallel across the pool when provided.
+ */
+void precomputeProfiles(const Circuit& circuit,
+                        const std::vector<GateSpec>& specs,
+                        const NuOpDecomposer& decomposer,
+                        ProfileCache& cache, ThreadPool* pool);
+
+/** Outcome of selecting the best decomposition for one edge. */
+struct GateChoice
+{
+    const GateProfile* profile = nullptr;
+    const LayerFit* fit = nullptr;
+    /** Calibrated fidelity of the chosen type on the edge. */
+    double edge_fidelity = 1.0;
+    /** Overall implementation fidelity Fu = Fd * Fh. */
+    double overall = 0.0;
+};
+
+/**
+ * Noise-adaptive selection (Eq. 2) across the profiles available on an
+ * edge. In exact mode the smallest depth reaching the exact threshold
+ * wins per type; in approximate mode Fu is maximized over depths.
+ */
+GateChoice selectGate(const std::vector<const GateProfile*>& profiles,
+                      const std::vector<double>& edge_fidelities,
+                      double one_qubit_fidelity, bool approximate,
+                      double exact_threshold);
+
+/** A compiled circuit plus bookkeeping for simulation and metrics. */
+struct TranslateResult
+{
+    Circuit circuit;
+    /** Two-qubit native gate count (the paper's instruction count). */
+    int two_qubit_count = 0;
+    /** Native 2Q gates by type name. */
+    std::map<std::string, int> type_usage;
+    /** Product of per-gate fidelity estimates (compiler's Fu). */
+    double estimated_fidelity = 1.0;
+
+    TranslateResult() : circuit(1) {}
+};
+
+/**
+ * Translate a routed circuit (register positions 0..n-1 hosted on
+ * physical qubits `physical`) into native gates of the instruction
+ * set, stamping error rates and durations from the device calibration.
+ */
+TranslateResult translateCircuit(const Circuit& routed,
+                                 const std::vector<int>& physical,
+                                 const Device& device,
+                                 const GateSet& gate_set,
+                                 const NuOpDecomposer& decomposer,
+                                 ProfileCache& cache, bool approximate,
+                                 ThreadPool* pool = nullptr);
+
+} // namespace qiset
+
+#endif // QISET_COMPILER_TRANSLATE_H

@@ -1,0 +1,187 @@
+#include "device/device.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.h"
+
+namespace qiset {
+
+Device::Device(std::string name, Topology topology)
+    : name_(std::move(name)), topology_(std::move(topology)),
+      one_qubit_error_(topology_.numQubits(), 0.0),
+      qubit_noise_(topology_.numQubits())
+{
+}
+
+uint64_t
+Device::edgeKey(int a, int b)
+{
+    if (a > b)
+        std::swap(a, b);
+    return (static_cast<uint64_t>(a) << 32) | static_cast<uint32_t>(b);
+}
+
+void
+Device::setEdgeFidelity(int a, int b, const std::string& gate_type,
+                        double fidelity)
+{
+    QISET_REQUIRE(topology_.adjacent(a, b), "(", a, ",", b,
+                  ") is not a coupled pair");
+    QISET_REQUIRE(fidelity >= 0.0 && fidelity <= 1.0,
+                  "fidelity out of [0, 1]");
+    edge_fidelities_[edgeKey(a, b)][gate_type] = fidelity;
+}
+
+double
+Device::edgeFidelity(int a, int b, const std::string& gate_type) const
+{
+    auto edge_it = edge_fidelities_.find(edgeKey(a, b));
+    if (edge_it == edge_fidelities_.end())
+        return 0.0;
+    auto type_it = edge_it->second.find(gate_type);
+    if (type_it == edge_it->second.end())
+        return 0.0;
+    return type_it->second;
+}
+
+bool
+Device::supportsGate(int a, int b, const std::string& gate_type) const
+{
+    return edgeFidelity(a, b, gate_type) > 0.0;
+}
+
+void
+Device::setOneQubitError(int q, double error_rate)
+{
+    one_qubit_error_.at(q) = error_rate;
+}
+
+double
+Device::oneQubitError(int q) const
+{
+    return one_qubit_error_.at(q);
+}
+
+double
+Device::averageOneQubitError() const
+{
+    double sum = 0.0;
+    for (double e : one_qubit_error_)
+        sum += e;
+    return sum / one_qubit_error_.size();
+}
+
+void
+Device::setQubitNoise(int q, const QubitNoise& noise)
+{
+    qubit_noise_.at(q) = noise;
+}
+
+const QubitNoise&
+Device::qubitNoise(int q) const
+{
+    return qubit_noise_.at(q);
+}
+
+NoiseModel
+Device::noiseModelFor(const std::vector<int>& physical) const
+{
+    std::vector<QubitNoise> noise;
+    noise.reserve(physical.size());
+    for (int q : physical)
+        noise.push_back(qubit_noise_.at(q));
+    return NoiseModel(std::move(noise));
+}
+
+double
+Device::meanEdgeFidelity(const std::string& gate_type) const
+{
+    double sum = 0.0;
+    int count = 0;
+    for (const auto& [key, types] : edge_fidelities_) {
+        auto it = types.find(gate_type);
+        if (it != types.end() && it->second > 0.0) {
+            sum += it->second;
+            ++count;
+        }
+    }
+    return count ? sum / count : 0.0;
+}
+
+Device
+Device::withUniformGateTypes(const std::string& reference_type) const
+{
+    Device copy = *this;
+    for (auto& [key, types] : copy.edge_fidelities_) {
+        auto it = types.find(reference_type);
+        if (it == types.end() || it->second <= 0.0)
+            continue;
+        double reference = it->second;
+        for (auto& [name, fidelity] : types)
+            if (fidelity > 0.0)
+                fidelity = reference;
+    }
+    return copy;
+}
+
+Device
+Device::withScaledTwoQubitErrors(double factor) const
+{
+    QISET_REQUIRE(factor >= 0.0, "scale factor must be non-negative");
+    Device copy = *this;
+    for (auto& [key, types] : copy.edge_fidelities_)
+        for (auto& [name, fidelity] : types) {
+            if (fidelity <= 0.0)
+                continue;
+            double error = std::min(1.0, factor * (1.0 - fidelity));
+            fidelity = 1.0 - error;
+        }
+    return copy;
+}
+
+Device
+Device::withScaledNoise(double factor) const
+{
+    QISET_REQUIRE(factor > 0.0, "scale factor must be positive");
+    Device copy = withScaledTwoQubitErrors(factor);
+    for (auto& error : copy.one_qubit_error_)
+        error = std::min(1.0, factor * error);
+    for (auto& noise : copy.qubit_noise_) {
+        noise.t1_ns /= factor;
+        noise.t2_ns /= factor;
+        noise.readout_p01 = std::min(1.0, factor * noise.readout_p01);
+        noise.readout_p10 = std::min(1.0, factor * noise.readout_p10);
+    }
+    return copy;
+}
+
+Device
+Device::withDriftedCalibration(Rng& rng, double max_factor) const
+{
+    QISET_REQUIRE(max_factor >= 1.0, "drift factor must be >= 1");
+    Device copy = *this;
+    double log_max = std::log(max_factor);
+    for (auto& [key, types] : copy.edge_fidelities_)
+        for (auto& [name, fidelity] : types) {
+            if (fidelity <= 0.0)
+                continue;
+            double factor = std::exp(rng.uniform(-log_max, log_max));
+            double error = std::min(1.0, factor * (1.0 - fidelity));
+            fidelity = 1.0 - error;
+        }
+    return copy;
+}
+
+std::vector<std::string>
+Device::calibratedGateTypes() const
+{
+    std::set<std::string> names;
+    for (const auto& [key, types] : edge_fidelities_)
+        for (const auto& [name, fidelity] : types)
+            if (fidelity > 0.0)
+                names.insert(name);
+    return {names.begin(), names.end()};
+}
+
+} // namespace qiset

@@ -1,0 +1,138 @@
+#ifndef QISET_DEVICE_DEVICE_H
+#define QISET_DEVICE_DEVICE_H
+
+/**
+ * @file
+ * Device model: topology plus calibration data (per-edge, per-gate-type
+ * two-qubit fidelities; per-qubit 1Q error, T1/T2 and readout error;
+ * gate durations). The compiler reads fidelities for noise-adaptive
+ * gate selection and stamps error rates/durations onto the compiled
+ * circuit; the simulators turn those into noise channels.
+ */
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "device/topology.h"
+#include "sim/noise_model.h"
+
+namespace qiset {
+
+/** A calibrated QC device. */
+class Device
+{
+  public:
+    Device(std::string name, Topology topology);
+
+    const std::string& name() const { return name_; }
+    const Topology& topology() const { return topology_; }
+    int numQubits() const { return topology_.numQubits(); }
+
+    /** Set the calibrated fidelity of a gate type on an edge. */
+    void setEdgeFidelity(int a, int b, const std::string& gate_type,
+                         double fidelity);
+
+    /**
+     * Calibrated fidelity of gate_type on edge (a, b); zero when the
+     * type is not calibrated there (i.e. unavailable).
+     */
+    double edgeFidelity(int a, int b, const std::string& gate_type) const;
+
+    /** True if the gate type has nonzero fidelity on the edge. */
+    bool supportsGate(int a, int b, const std::string& gate_type) const;
+
+    /** Per-qubit single-qubit gate error rate. */
+    void setOneQubitError(int q, double error_rate);
+    double oneQubitError(int q) const;
+
+    /** Average 1Q error across qubits (used in Fh estimates). */
+    double averageOneQubitError() const;
+
+    /** Per-qubit relaxation and readout parameters. */
+    void setQubitNoise(int q, const QubitNoise& noise);
+    const QubitNoise& qubitNoise(int q) const;
+
+    /** Gate durations in nanoseconds. */
+    void setTwoQubitDuration(double ns) { two_qubit_duration_ns_ = ns; }
+    void setOneQubitDuration(double ns) { one_qubit_duration_ns_ = ns; }
+    double twoQubitDurationNs() const { return two_qubit_duration_ns_; }
+    double oneQubitDurationNs() const { return one_qubit_duration_ns_; }
+
+    /**
+     * Noise model for a subset of qubits (compressed register order):
+     * entry i of the result describes physical qubit `physical[i]`.
+     */
+    NoiseModel noiseModelFor(const std::vector<int>& physical) const;
+
+    /** Mean fidelity of a gate type across all edges supporting it. */
+    double meanEdgeFidelity(const std::string& gate_type) const;
+
+    /**
+     * Copy of this device with every gate type's fidelity on an edge
+     * replaced by the edge's reference type fidelity — the "no noise
+     * variation across gate types" ablation of Fig. 10e.
+     */
+    Device withUniformGateTypes(const std::string& reference_type) const;
+
+    /**
+     * Copy with all two-qubit error rates scaled by `factor`
+     * (error' = min(1, factor * error)); used by the Fig. 7 sweep.
+     */
+    Device withScaledTwoQubitErrors(double factor) const;
+
+    /**
+     * Copy with *all* noise sources scaled: 2Q and 1Q error rates and
+     * readout confusion multiplied by `factor`, T1/T2 divided by it
+     * (a uniformly better/worse process). Drives the Fig. 10f
+     * hardware-improvement axis.
+     */
+    Device withScaledNoise(double factor) const;
+
+    /** Names of gate types calibrated on at least one edge. */
+    std::vector<std::string> calibratedGateTypes() const;
+
+    /**
+     * Simulate calibration drift (Section IX: parameters drift over
+     * time, with gate-error fluctuations of up to 10x): every edge's
+     * error rate for every gate type is multiplied by an independent
+     * log-uniform factor in [1/max_factor, max_factor].
+     * The returned device is the *true* (drifted) hardware; compiling
+     * against the stale original models skipping recalibration.
+     */
+    Device withDriftedCalibration(Rng& rng, double max_factor) const;
+
+  private:
+    static uint64_t edgeKey(int a, int b);
+
+    std::string name_;
+    Topology topology_;
+    std::unordered_map<uint64_t,
+                       std::unordered_map<std::string, double>>
+        edge_fidelities_;
+    std::vector<double> one_qubit_error_;
+    std::vector<QubitNoise> qubit_noise_;
+    double two_qubit_duration_ns_ = 30.0;
+    double one_qubit_duration_ns_ = 25.0;
+};
+
+/**
+ * Synthetic Rigetti Aspen-8: 30 functional qubits in four octagonal
+ * rings. Ring-0 XY(pi)/CZ fidelities are hardcoded from Fig. 3 of the
+ * paper; remaining edges are sampled from the same empirical ranges.
+ * Arbitrary XY(theta) types get U(0.95, 0.99) fidelity (Abrams et al.).
+ */
+Device makeAspen8(Rng& rng);
+
+/**
+ * Synthetic Google Sycamore: 54 qubits on a 6x9 grid. SYC errors are
+ * N(0.62%, 0.24%) truncated positive; every other studied gate type is
+ * drawn independently from the same distribution (the paper's own
+ * modeling assumption).
+ */
+Device makeSycamore(Rng& rng);
+
+} // namespace qiset
+
+#endif // QISET_DEVICE_DEVICE_H

@@ -1,0 +1,156 @@
+#include "device/topology.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/error.h"
+
+namespace qiset {
+
+Topology::Topology(int num_qubits)
+    : num_qubits_(num_qubits), adjacency_(num_qubits)
+{
+    QISET_REQUIRE(num_qubits >= 1, "topology needs at least one qubit");
+}
+
+void
+Topology::addEdge(int a, int b)
+{
+    QISET_REQUIRE(a >= 0 && a < num_qubits_ && b >= 0 && b < num_qubits_,
+                  "edge endpoint out of range");
+    QISET_REQUIRE(a != b, "self-loop edge");
+    if (adjacent(a, b))
+        return;
+    adjacency_[a].push_back(b);
+    adjacency_[b].push_back(a);
+}
+
+bool
+Topology::adjacent(int a, int b) const
+{
+    const auto& nbrs = adjacency_.at(a);
+    return std::find(nbrs.begin(), nbrs.end(), b) != nbrs.end();
+}
+
+const std::vector<int>&
+Topology::neighbors(int q) const
+{
+    return adjacency_.at(q);
+}
+
+std::vector<std::pair<int, int>>
+Topology::edges() const
+{
+    std::vector<std::pair<int, int>> out;
+    for (int a = 0; a < num_qubits_; ++a)
+        for (int b : adjacency_[a])
+            if (a < b)
+                out.emplace_back(a, b);
+    return out;
+}
+
+int
+Topology::numEdges() const
+{
+    return static_cast<int>(edges().size());
+}
+
+std::vector<int>
+Topology::shortestPath(int a, int b) const
+{
+    QISET_REQUIRE(a >= 0 && a < num_qubits_ && b >= 0 && b < num_qubits_,
+                  "path endpoint out of range");
+    if (a == b)
+        return {a};
+    std::vector<int> parent(num_qubits_, -1);
+    std::queue<int> frontier;
+    frontier.push(a);
+    parent[a] = a;
+    while (!frontier.empty()) {
+        int u = frontier.front();
+        frontier.pop();
+        for (int v : adjacency_[u]) {
+            if (parent[v] != -1)
+                continue;
+            parent[v] = u;
+            if (v == b) {
+                std::vector<int> path = {b};
+                while (path.back() != a)
+                    path.push_back(parent[path.back()]);
+                std::reverse(path.begin(), path.end());
+                return path;
+            }
+            frontier.push(v);
+        }
+    }
+    return {};
+}
+
+bool
+Topology::connected() const
+{
+    std::vector<bool> seen(num_qubits_, false);
+    std::queue<int> frontier;
+    frontier.push(0);
+    seen[0] = true;
+    int count = 1;
+    while (!frontier.empty()) {
+        int u = frontier.front();
+        frontier.pop();
+        for (int v : adjacency_[u]) {
+            if (!seen[v]) {
+                seen[v] = true;
+                ++count;
+                frontier.push(v);
+            }
+        }
+    }
+    return count == num_qubits_;
+}
+
+Topology
+Topology::inducedSubgraph(const std::vector<int>& qubits) const
+{
+    Topology sub(static_cast<int>(qubits.size()));
+    for (size_t i = 0; i < qubits.size(); ++i)
+        for (size_t j = i + 1; j < qubits.size(); ++j)
+            if (adjacent(qubits[i], qubits[j]))
+                sub.addEdge(static_cast<int>(i), static_cast<int>(j));
+    return sub;
+}
+
+Topology
+Topology::line(int n)
+{
+    Topology t(n);
+    for (int i = 0; i + 1 < n; ++i)
+        t.addEdge(i, i + 1);
+    return t;
+}
+
+Topology
+Topology::ring(int n)
+{
+    Topology t = line(n);
+    if (n > 2)
+        t.addEdge(n - 1, 0);
+    return t;
+}
+
+Topology
+Topology::grid(int rows, int cols)
+{
+    Topology t(rows * cols);
+    for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+            int idx = r * cols + c;
+            if (c + 1 < cols)
+                t.addEdge(idx, idx + 1);
+            if (r + 1 < rows)
+                t.addEdge(idx, idx + cols);
+        }
+    }
+    return t;
+}
+
+} // namespace qiset

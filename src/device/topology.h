@@ -1,0 +1,64 @@
+#ifndef QISET_DEVICE_TOPOLOGY_H
+#define QISET_DEVICE_TOPOLOGY_H
+
+/**
+ * @file
+ * Qubit connectivity graphs. NISQ devices restrict two-qubit gates to
+ * coupled pairs; the router uses these graphs to insert SWAPs.
+ */
+
+#include <utility>
+#include <vector>
+
+namespace qiset {
+
+/** Undirected coupling graph over qubits 0..n-1. */
+class Topology
+{
+  public:
+    /** Graph with n isolated qubits. */
+    explicit Topology(int num_qubits);
+
+    int numQubits() const { return num_qubits_; }
+
+    /** Add an undirected edge (idempotent). */
+    void addEdge(int a, int b);
+
+    bool adjacent(int a, int b) const;
+
+    const std::vector<int>& neighbors(int q) const;
+
+    /** All edges with a < b. */
+    std::vector<std::pair<int, int>> edges() const;
+
+    int numEdges() const;
+
+    /** BFS shortest path from a to b (inclusive); empty if unreachable. */
+    std::vector<int> shortestPath(int a, int b) const;
+
+    /** True if every qubit can reach every other. */
+    bool connected() const;
+
+    /**
+     * Induced subgraph on the given qubits; node i of the result is
+     * qubits[i].
+     */
+    Topology inducedSubgraph(const std::vector<int>& qubits) const;
+
+    /** Path graph 0-1-...-(n-1). */
+    static Topology line(int n);
+
+    /** Cycle graph. */
+    static Topology ring(int n);
+
+    /** Rectangular grid with row-major numbering. */
+    static Topology grid(int rows, int cols);
+
+  private:
+    int num_qubits_;
+    std::vector<std::vector<int>> adjacency_;
+};
+
+} // namespace qiset
+
+#endif // QISET_DEVICE_TOPOLOGY_H

@@ -1,0 +1,112 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace qiset {
+
+namespace {
+
+void
+checkSameSize(const std::vector<double>& a, const std::vector<double>& b)
+{
+    QISET_REQUIRE(!a.empty() && a.size() == b.size(),
+                  "distributions must be non-empty and equal-sized");
+}
+
+} // namespace
+
+double
+heavyOutputProbability(const std::vector<double>& ideal,
+                       const std::vector<double>& noisy)
+{
+    checkSameSize(ideal, noisy);
+    std::vector<double> sorted = ideal;
+    std::sort(sorted.begin(), sorted.end());
+    size_t n = sorted.size();
+    double median = (n % 2 == 0)
+                        ? 0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+                        : sorted[n / 2];
+    double hop = 0.0;
+    for (size_t i = 0; i < n; ++i)
+        if (ideal[i] > median)
+            hop += noisy[i];
+    return hop;
+}
+
+double
+crossEntropyDifference(const std::vector<double>& ideal,
+                       const std::vector<double>& noisy)
+{
+    checkSameSize(ideal, noisy);
+    const double floor = 1e-18;
+    size_t n = ideal.size();
+
+    auto cross_entropy = [&](const std::vector<double>& p) {
+        double h = 0.0;
+        for (size_t i = 0; i < n; ++i)
+            h -= p[i] * std::log(std::max(ideal[i], floor));
+        return h;
+    };
+
+    std::vector<double> uniform(n, 1.0 / n);
+    double h_uniform = cross_entropy(uniform);
+    double h_ideal = cross_entropy(ideal);
+    double h_noisy = cross_entropy(noisy);
+    double denom = h_uniform - h_ideal;
+    if (std::abs(denom) < 1e-15)
+        return 0.0; // the ideal distribution is uniform: XED undefined.
+    return (h_uniform - h_noisy) / denom;
+}
+
+double
+linearXebFidelity(const std::vector<double>& ideal,
+                  const std::vector<double>& noisy)
+{
+    checkSameSize(ideal, noisy);
+    double n = static_cast<double>(ideal.size());
+    double dot_in = 0.0, dot_ii = 0.0;
+    for (size_t i = 0; i < ideal.size(); ++i) {
+        dot_in += ideal[i] * noisy[i];
+        dot_ii += ideal[i] * ideal[i];
+    }
+    double denom = n * dot_ii - 1.0;
+    if (std::abs(denom) < 1e-15)
+        return 0.0;
+    return (n * dot_in - 1.0) / denom;
+}
+
+double
+totalVariationDistance(const std::vector<double>& p,
+                       const std::vector<double>& q)
+{
+    checkSameSize(p, q);
+    double sum = 0.0;
+    for (size_t i = 0; i < p.size(); ++i)
+        sum += std::abs(p[i] - q[i]);
+    return 0.5 * sum;
+}
+
+std::vector<double>
+permuteProbabilities(const std::vector<double>& physical_probs,
+                     const std::vector<int>& mapping)
+{
+    int n = static_cast<int>(mapping.size());
+    QISET_REQUIRE(physical_probs.size() == (size_t{1} << n),
+                  "distribution size does not match mapping width");
+    std::vector<double> logical(physical_probs.size(), 0.0);
+    for (size_t phys = 0; phys < physical_probs.size(); ++phys) {
+        size_t log_idx = 0;
+        for (int l = 0; l < n; ++l) {
+            size_t phys_mask = size_t{1} << (n - 1 - mapping[l]);
+            if (phys & phys_mask)
+                log_idx |= size_t{1} << (n - 1 - l);
+        }
+        logical[log_idx] += physical_probs[phys];
+    }
+    return logical;
+}
+
+} // namespace qiset

@@ -1,0 +1,56 @@
+#ifndef QISET_METRICS_METRICS_H
+#define QISET_METRICS_METRICS_H
+
+/**
+ * @file
+ * Application-reliability metrics of Section VI:
+ *  - heavy output probability (HOP) for Quantum Volume,
+ *  - cross-entropy difference (XED) for QAOA,
+ *  - linear cross-entropy benchmarking fidelity for Fermi-Hubbard,
+ *  - success rate (state fidelity) for QFT.
+ * All operate on full measurement probability distributions (our
+ * density-matrix simulator produces exact ones).
+ */
+
+#include <vector>
+
+namespace qiset {
+
+/**
+ * Heavy output probability: the total noisy probability mass on basis
+ * states whose ideal probability exceeds the median ideal probability.
+ * HOP > 2/3 passes the QV threshold.
+ */
+double heavyOutputProbability(const std::vector<double>& ideal,
+                              const std::vector<double>& noisy);
+
+/**
+ * Cross-entropy difference (Boixo et al.): 1 for a perfect execution,
+ * 0 for a fully-depolarized (uniform) output.
+ */
+double crossEntropyDifference(const std::vector<double>& ideal,
+                              const std::vector<double>& noisy);
+
+/**
+ * Linear cross-entropy benchmarking fidelity,
+ * (N <p_ideal, p_noisy> - 1) / (N <p_ideal, p_ideal> - 1).
+ */
+double linearXebFidelity(const std::vector<double>& ideal,
+                         const std::vector<double>& noisy);
+
+/** Total-variation distance between two distributions (diagnostics). */
+double totalVariationDistance(const std::vector<double>& p,
+                              const std::vector<double>& q);
+
+/**
+ * Reorder a physical-register distribution back to logical qubit
+ * order. mapping[l] = physical position (0-based, within the
+ * compressed register) that holds logical qubit l at measurement time.
+ */
+std::vector<double>
+permuteProbabilities(const std::vector<double>& physical_probs,
+                     const std::vector<int>& mapping);
+
+} // namespace qiset
+
+#endif // QISET_METRICS_METRICS_H

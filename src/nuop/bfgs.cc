@@ -1,0 +1,164 @@
+#include "nuop/bfgs.h"
+
+#include <cmath>
+#include <cstddef>
+
+#include "common/error.h"
+
+namespace qiset {
+
+std::vector<double>
+numericalGradient(const ObjectiveFn& f, const std::vector<double>& x,
+                  double eps)
+{
+    std::vector<double> grad(x.size());
+    std::vector<double> probe = x;
+    for (size_t i = 0; i < x.size(); ++i) {
+        probe[i] = x[i] + eps;
+        double f_plus = f(probe);
+        probe[i] = x[i] - eps;
+        double f_minus = f(probe);
+        probe[i] = x[i];
+        grad[i] = (f_plus - f_minus) / (2.0 * eps);
+    }
+    return grad;
+}
+
+namespace {
+
+double
+infinityNorm(const std::vector<double>& v)
+{
+    double max_abs = 0.0;
+    for (double value : v)
+        max_abs = std::max(max_abs, std::abs(value));
+    return max_abs;
+}
+
+double
+dot(const std::vector<double>& a, const std::vector<double>& b)
+{
+    double sum = 0.0;
+    for (size_t i = 0; i < a.size(); ++i)
+        sum += a[i] * b[i];
+    return sum;
+}
+
+} // namespace
+
+BfgsResult
+minimizeBfgs(const ObjectiveFn& f, std::vector<double> x0,
+             const BfgsOptions& options)
+{
+    QISET_REQUIRE(!x0.empty(), "BFGS needs at least one variable");
+    const size_t n = x0.size();
+
+    // Inverse Hessian approximation, initialized to identity.
+    std::vector<double> h(n * n, 0.0);
+    for (size_t i = 0; i < n; ++i)
+        h[i * n + i] = 1.0;
+
+    BfgsResult result;
+    result.x = std::move(x0);
+    result.value = f(result.x);
+    std::vector<double> grad =
+        numericalGradient(f, result.x, options.finite_diff_eps);
+
+    for (int iter = 0; iter < options.max_iterations; ++iter) {
+        result.iterations = iter + 1;
+        if (result.value < options.stop_below) {
+            result.converged = true;
+            break;
+        }
+        if (infinityNorm(grad) < options.gradient_tol) {
+            result.converged = true;
+            break;
+        }
+
+        // Search direction d = -H g.
+        std::vector<double> direction(n, 0.0);
+        for (size_t i = 0; i < n; ++i) {
+            double sum = 0.0;
+            for (size_t j = 0; j < n; ++j)
+                sum += h[i * n + j] * grad[j];
+            direction[i] = -sum;
+        }
+
+        double slope = dot(grad, direction);
+        if (slope >= 0.0) {
+            // H lost positive-definiteness (numerical gradients can do
+            // that); reset to steepest descent.
+            for (size_t i = 0; i < n; ++i)
+                for (size_t j = 0; j < n; ++j)
+                    h[i * n + j] = (i == j) ? 1.0 : 0.0;
+            for (size_t i = 0; i < n; ++i)
+                direction[i] = -grad[i];
+            slope = dot(grad, direction);
+            if (slope >= 0.0) {
+                result.converged = true;
+                break;
+            }
+        }
+
+        // Backtracking Armijo line search.
+        const double c1 = 1e-4;
+        double step = 1.0;
+        std::vector<double> x_new(n);
+        double f_new = result.value;
+        bool step_found = false;
+        for (int ls = 0; ls < 40; ++ls) {
+            for (size_t i = 0; i < n; ++i)
+                x_new[i] = result.x[i] + step * direction[i];
+            f_new = f(x_new);
+            if (f_new <= result.value + c1 * step * slope) {
+                step_found = true;
+                break;
+            }
+            step *= 0.5;
+        }
+        if (!step_found) {
+            result.converged = true;
+            break;
+        }
+
+        std::vector<double> grad_new =
+            numericalGradient(f, x_new, options.finite_diff_eps);
+
+        // BFGS inverse-Hessian update (Sherman-Morrison form).
+        std::vector<double> s(n), y(n);
+        for (size_t i = 0; i < n; ++i) {
+            s[i] = x_new[i] - result.x[i];
+            y[i] = grad_new[i] - grad[i];
+        }
+        double sy = dot(s, y);
+        if (sy > 1e-12) {
+            double rho = 1.0 / sy;
+            // H <- (I - rho s y^T) H (I - rho y s^T) + rho s s^T
+            std::vector<double> hy(n, 0.0);
+            for (size_t i = 0; i < n; ++i)
+                for (size_t j = 0; j < n; ++j)
+                    hy[i] += h[i * n + j] * y[j];
+            double yhy = dot(y, hy);
+            for (size_t i = 0; i < n; ++i) {
+                for (size_t j = 0; j < n; ++j) {
+                    h[i * n + j] += -rho * (s[i] * hy[j] + hy[i] * s[j]) +
+                                    rho * (1.0 + rho * yhy) * s[i] * s[j];
+                }
+            }
+        }
+
+        double improvement = result.value - f_new;
+        result.x = x_new;
+        result.value = f_new;
+        grad = std::move(grad_new);
+
+        if (improvement < options.value_tol &&
+            infinityNorm(grad) < 1e-6) {
+            result.converged = true;
+            break;
+        }
+    }
+    return result;
+}
+
+} // namespace qiset

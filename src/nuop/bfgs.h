@@ -1,0 +1,71 @@
+#ifndef QISET_NUOP_BFGS_H
+#define QISET_NUOP_BFGS_H
+
+/**
+ * @file
+ * Dense BFGS quasi-Newton minimizer.
+ *
+ * The paper's NuOp pass optimizes template-circuit rotation angles with
+ * scipy's BFGS; this is the equivalent C++ implementation: inverse-
+ * Hessian BFGS updates, backtracking Armijo line search, and central-
+ * difference numerical gradients. Problem sizes are tiny (6-50
+ * variables), so dense O(n^2) updates are ideal.
+ */
+
+#include <functional>
+#include <vector>
+
+namespace qiset {
+
+/** Objective callback: R^n -> R. */
+using ObjectiveFn = std::function<double(const std::vector<double>&)>;
+
+/** Tuning knobs for minimizeBfgs. */
+struct BfgsOptions
+{
+    /** Maximum BFGS iterations. */
+    int max_iterations = 200;
+    /** Stop when the infinity norm of the gradient drops below this. */
+    double gradient_tol = 1e-10;
+    /** Stop when the objective improvement drops below this. */
+    double value_tol = 1e-14;
+    /** Central-difference step for numerical gradients. */
+    double finite_diff_eps = 1e-7;
+    /**
+     * Early exit once the objective drops below this value (useful
+     * when any point past a fidelity threshold is equally acceptable).
+     */
+    double stop_below = -1e300;
+};
+
+/** Outcome of a BFGS run. */
+struct BfgsResult
+{
+    /** Minimizer found. */
+    std::vector<double> x;
+    /** Objective value at x. */
+    double value = 0.0;
+    /** Iterations consumed. */
+    int iterations = 0;
+    /** True when a tolerance (not the iteration cap) stopped the run. */
+    bool converged = false;
+};
+
+/**
+ * Minimize f starting from x0.
+ *
+ * @param f Objective function (evaluated many times; keep it cheap).
+ * @param x0 Starting point.
+ * @param options Tolerances and limits.
+ */
+BfgsResult minimizeBfgs(const ObjectiveFn& f, std::vector<double> x0,
+                        const BfgsOptions& options = {});
+
+/** Central-difference gradient of f at x (exposed for testing). */
+std::vector<double> numericalGradient(const ObjectiveFn& f,
+                                      const std::vector<double>& x,
+                                      double eps = 1e-7);
+
+} // namespace qiset
+
+#endif // QISET_NUOP_BFGS_H

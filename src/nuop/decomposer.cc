@@ -1,0 +1,187 @@
+#include "nuop/decomposer.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "qc/gates.h"
+
+namespace qiset {
+
+HardwareGate
+makeFixedGate(const std::string& name, const Matrix& unitary,
+              double fidelity)
+{
+    HardwareGate gate;
+    gate.name = name;
+    gate.family = TemplateFamily::Fixed;
+    gate.unitary = unitary;
+    gate.fidelity = fidelity;
+    return gate;
+}
+
+NuOpDecomposer::NuOpDecomposer(NuOpOptions options)
+    : options_(std::move(options))
+{
+    QISET_REQUIRE(options_.max_layers >= 1, "max_layers must be >= 1");
+    QISET_REQUIRE(options_.multistarts >= 1, "multistarts must be >= 1");
+}
+
+double
+NuOpDecomposer::hardwareFidelity(const HardwareGate& gate, int layers) const
+{
+    double f2q = std::pow(gate.fidelity, layers);
+    double f1q =
+        std::pow(options_.one_qubit_fidelity, 2.0 * (layers + 1));
+    return f2q * f1q;
+}
+
+double
+NuOpDecomposer::bestFidelityForLayers(const Matrix& target,
+                                      const HardwareGate& gate, int layers,
+                                      std::vector<double>* params_out) const
+{
+    QISET_REQUIRE(target.rows() == 4 && target.cols() == 4,
+                  "NuOp targets are two-qubit unitaries");
+    TwoQubitTemplate templ =
+        gate.family == TemplateFamily::Fixed
+            ? TwoQubitTemplate(layers, gate.unitary)
+            : TwoQubitTemplate(layers, gate.family);
+
+    auto objective = [&](const std::vector<double>& x) {
+        return templ.infidelity(x, target);
+    };
+
+    BfgsOptions bfgs = options_.bfgs;
+    bfgs.stop_below =
+        std::max(bfgs.stop_below, 0.1 * (1.0 - options_.exact_threshold));
+
+    // Seed deterministically but distinctly per (gate, layer) so
+    // repeated calls are reproducible.
+    uint64_t seed = options_.seed;
+    seed = seed * 1099511628211ull + std::hash<std::string>{}(gate.name);
+    seed = seed * 1099511628211ull + static_cast<uint64_t>(layers);
+    Rng rng(seed);
+
+    double best = 1.0; // infidelity
+    std::vector<double> best_params;
+    int n = templ.numParams();
+    for (int start = 0; start < options_.multistarts; ++start) {
+        // All starts random: the all-zero point is a symmetric saddle
+        // of the trace-fidelity landscape and traps gradient descent.
+        std::vector<double> x0(n);
+        for (auto& value : x0)
+            value = rng.uniform(0.0, 2.0 * gates::kPi);
+        (void)start;
+        BfgsResult result = minimizeBfgs(objective, std::move(x0), bfgs);
+        if (result.value < best) {
+            best = result.value;
+            best_params = std::move(result.x);
+        }
+        if (best < 1.0 - options_.exact_threshold)
+            break;
+    }
+    if (params_out)
+        *params_out = std::move(best_params);
+    return 1.0 - best;
+}
+
+namespace {
+
+Decomposition
+makeDecomposition(const HardwareGate& gate, int layers, double fd,
+                  double fh, std::vector<double> params, double threshold)
+{
+    Decomposition d;
+    d.gate_name = gate.name;
+    d.family = gate.family;
+    d.gate_unitary = gate.unitary;
+    d.layers = layers;
+    d.decomposition_fidelity = fd;
+    d.hardware_fidelity = fh;
+    d.params = std::move(params);
+    d.meets_threshold = fd >= threshold;
+    return d;
+}
+
+} // namespace
+
+Decomposition
+NuOpDecomposer::decomposeExact(const Matrix& target,
+                               const HardwareGate& gate) const
+{
+    Decomposition best;
+    best.decomposition_fidelity = -1.0;
+    for (int layers = 0; layers <= options_.max_layers; ++layers) {
+        std::vector<double> params;
+        double fd = bestFidelityForLayers(target, gate, layers, &params);
+        if (fd > best.decomposition_fidelity) {
+            best = makeDecomposition(gate, layers, fd,
+                                     hardwareFidelity(gate, layers),
+                                     std::move(params),
+                                     options_.exact_threshold);
+        }
+        if (best.meets_threshold)
+            break;
+    }
+    return best;
+}
+
+Decomposition
+NuOpDecomposer::decomposeApproximate(const Matrix& target,
+                                     const HardwareGate& gate) const
+{
+    Decomposition best;
+    best.decomposition_fidelity = 0.0;
+    best.hardware_fidelity = 0.0;
+    for (int layers = 0; layers <= options_.max_layers; ++layers) {
+        double fh = hardwareFidelity(gate, layers);
+        // Even a perfect Fd cannot beat the incumbent at this depth:
+        // deeper templates only lose more hardware fidelity, so stop.
+        if (fh <= best.overallFidelity())
+            break;
+        std::vector<double> params;
+        double fd = bestFidelityForLayers(target, gate, layers, &params);
+        // Paper templates use >= 1 hardware gate: a zero-layer
+        // (local-only) realization is only admissible when it is an
+        // exact implementation, not a lossy approximation.
+        if (layers == 0 && fd < options_.exact_threshold)
+            continue;
+        if (fd * fh > best.overallFidelity()) {
+            best = makeDecomposition(gate, layers, fd, fh,
+                                     std::move(params),
+                                     options_.exact_threshold);
+        }
+        if (best.meets_threshold)
+            break; // exact found; deeper circuits only add error.
+    }
+    return best;
+}
+
+Decomposition
+NuOpDecomposer::decomposeBest(const Matrix& target,
+                              const std::vector<HardwareGate>& gates,
+                              bool approximate) const
+{
+    QISET_REQUIRE(!gates.empty(), "need at least one hardware gate type");
+    Decomposition best;
+    bool have = false;
+    for (const auto& gate : gates) {
+        if (gate.fidelity <= 0.0)
+            continue; // gate type not calibrated on this pair.
+        Decomposition d = approximate ? decomposeApproximate(target, gate)
+                                      : decomposeExact(target, gate);
+        bool better = !have ||
+                      d.overallFidelity() > best.overallFidelity() ||
+                      (d.overallFidelity() == best.overallFidelity() &&
+                       d.layers < best.layers);
+        if (better) {
+            best = std::move(d);
+            have = true;
+        }
+    }
+    QISET_REQUIRE(have, "no calibrated gate type among the candidates");
+    return best;
+}
+
+} // namespace qiset

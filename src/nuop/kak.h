@@ -1,0 +1,107 @@
+#ifndef QISET_NUOP_KAK_H
+#define QISET_NUOP_KAK_H
+
+/**
+ * @file
+ * KAK (Cartan) decomposition of two-qubit unitaries and local-
+ * equivalence invariants.
+ *
+ * This provides the linear-algebra baseline the paper compares NuOp
+ * against (Google Cirq's KAK-based decomposition routines, Section
+ * VII.A):
+ *  - magic-basis Cartan factorization U = K1 . exp(i sum c_k P_k) . K2
+ *  - Makhlin local invariants,
+ *  - Weyl-chamber coordinates,
+ *  - minimal CZ/CNOT counts from the Shende-Bullock-Markov criteria.
+ */
+
+#include <utility>
+
+#include "qc/matrix.h"
+
+namespace qiset {
+
+/** The magic (Bell) basis change matrix. */
+Matrix magicBasis();
+
+/** Makhlin local invariants (g1 complex, g2 real). */
+struct MakhlinInvariants
+{
+    cplx g1;
+    double g2;
+};
+
+/**
+ * Compute the Makhlin invariants of a two-qubit unitary. Two unitaries
+ * are equivalent up to single-qubit rotations iff their invariants
+ * match.
+ */
+MakhlinInvariants makhlinInvariants(const Matrix& u);
+
+/**
+ * Minimal number of CZ (equivalently CNOT) gates required to implement
+ * u exactly, by the Shende-Bullock-Markov trace criteria on
+ * gamma(u) = m m^T in the magic basis: 0 if u is local, 1 if
+ * tr(gamma) == 0, 2 if tr(gamma) is real, else 3.
+ */
+int minimalCzCount(const Matrix& u, double tol = 1e-8);
+
+/** Interaction coordinates of the canonical gate class. */
+struct WeylCoordinates
+{
+    double cx = 0.0;
+    double cy = 0.0;
+    double cz = 0.0;
+};
+
+/** Canonical interaction exp(i (cx XX + cy YY + cz ZZ)). */
+Matrix canonicalGate(const WeylCoordinates& coords);
+
+/**
+ * Weyl-chamber coordinates of u with pi/4 >= cx >= cy >= |cz|,
+ * found by matching Makhlin invariants (grid seed + BFGS refinement).
+ */
+WeylCoordinates weylCoordinates(const Matrix& u);
+
+/** Full Cartan factorization of a two-qubit unitary. */
+struct KakDecomposition
+{
+    /** Global phase so that u == phase * k1 * canonical * k2. */
+    cplx global_phase;
+    /** Left local factor (4x4, equals k1a (x) k1b up to phase). */
+    Matrix k1;
+    /** Canonical interaction factor. */
+    Matrix canonical;
+    /** Right local factor. */
+    Matrix k2;
+    /** Raw interaction angles (one per magic-basis vector). */
+    double thetas[4];
+};
+
+/**
+ * Compute the Cartan factorization via simultaneous diagonalization of
+ * the real and imaginary parts of m^T m in the magic basis.
+ * Postcondition: u ~= global_phase * k1 * canonical * k2 and k1, k2
+ * are tensor products of single-qubit unitaries.
+ */
+KakDecomposition kakDecompose(const Matrix& u);
+
+/**
+ * Factor a 4x4 tensor-product unitary into its single-qubit parts:
+ * l == phase * (a (x) b). Returns {a, b}.
+ */
+std::pair<Matrix, Matrix> decomposeLocalUnitary(const Matrix& l);
+
+/**
+ * Modeled Cirq decomposition gate counts for the Fig. 6 baseline.
+ * CZ uses the exact minimal count; SYC / iSWAP / sqrt(iSWAP) use the
+ * fixed template sizes Cirq's published routines emit for generic
+ * SU(4) inputs (6, 4 and 3 respectively), clamped below by the
+ * analytic minimum. Returns -1 for unsupported combinations
+ * (Cirq had no sqrt(iSWAP) path for generic QV unitaries).
+ */
+int cirqBaselineGateCount(const Matrix& target, const char* gate_name);
+
+} // namespace qiset
+
+#endif // QISET_NUOP_KAK_H

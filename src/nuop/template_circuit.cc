@@ -1,0 +1,151 @@
+#include "nuop/template_circuit.h"
+
+#include "common/error.h"
+#include "qc/gates.h"
+
+namespace qiset {
+
+TwoQubitTemplate::TwoQubitTemplate(int layers, Matrix fixed_gate)
+    : layers_(layers), family_(TemplateFamily::Fixed),
+      fixed_gate_(std::move(fixed_gate))
+{
+    QISET_REQUIRE(layers >= 0, "layer count must be non-negative");
+    QISET_REQUIRE(fixed_gate_.rows() == 4 && fixed_gate_.cols() == 4,
+                  "fixed gate must be 4x4");
+}
+
+TwoQubitTemplate::TwoQubitTemplate(int layers, TemplateFamily family)
+    : layers_(layers), family_(family)
+{
+    QISET_REQUIRE(layers >= 0, "layer count must be non-negative");
+    QISET_REQUIRE(family != TemplateFamily::Fixed,
+                  "use the fixed-gate constructor for Fixed templates");
+}
+
+int
+TwoQubitTemplate::gateParamsPerLayer() const
+{
+    switch (family_) {
+      case TemplateFamily::Fixed:
+        return 0;
+      case TemplateFamily::FullXy:
+        return 1;
+      case TemplateFamily::FullFsim:
+        return 2;
+      case TemplateFamily::FullCphase:
+        return 1;
+    }
+    return 0;
+}
+
+int
+TwoQubitTemplate::numParams() const
+{
+    return 6 * (layers_ + 1) + gateParamsPerLayer() * layers_;
+}
+
+Matrix
+TwoQubitTemplate::build(const std::vector<double>& params) const
+{
+    QISET_REQUIRE(static_cast<int>(params.size()) == numParams(),
+                  "expected ", numParams(), " params, got ",
+                  params.size());
+
+    size_t p = 0;
+    auto next_u3_pair = [&]() {
+        Matrix a = gates::u3(params[p], params[p + 1], params[p + 2]);
+        Matrix b = gates::u3(params[p + 3], params[p + 4], params[p + 5]);
+        p += 6;
+        return a.kron(b);
+    };
+
+    Matrix unitary = next_u3_pair();
+    for (int layer = 0; layer < layers_; ++layer) {
+        Matrix gate;
+        switch (family_) {
+          case TemplateFamily::Fixed:
+            gate = fixed_gate_;
+            break;
+          case TemplateFamily::FullXy:
+            gate = gates::xy(params[p]);
+            p += 1;
+            break;
+          case TemplateFamily::FullFsim:
+            gate = gates::fsim(params[p], params[p + 1]);
+            p += 2;
+            break;
+          case TemplateFamily::FullCphase:
+            gate = gates::cphase(params[p]);
+            p += 1;
+            break;
+        }
+        unitary = gate * unitary;
+        unitary = next_u3_pair() * unitary;
+    }
+    return unitary;
+}
+
+double
+TwoQubitTemplate::infidelity(const std::vector<double>& params,
+                             const Matrix& target) const
+{
+    return 1.0 - traceFidelity(build(params), target);
+}
+
+std::vector<Matrix>
+TwoQubitTemplate::u3Matrices(const std::vector<double>& params) const
+{
+    QISET_REQUIRE(static_cast<int>(params.size()) == numParams(),
+                  "parameter arity mismatch");
+    std::vector<Matrix> out;
+    out.reserve(2 * (layers_ + 1));
+    int per_layer = gateParamsPerLayer();
+    for (int block = 0; block <= layers_; ++block) {
+        size_t base = block * (6 + per_layer);
+        out.push_back(
+            gates::u3(params[base], params[base + 1], params[base + 2]));
+        out.push_back(gates::u3(params[base + 3], params[base + 4],
+                                params[base + 5]));
+    }
+    return out;
+}
+
+Matrix
+TwoQubitTemplate::layerGate(const std::vector<double>& params,
+                            int layer) const
+{
+    QISET_REQUIRE(layer >= 0 && layer < layers_, "layer out of range");
+    switch (family_) {
+      case TemplateFamily::Fixed:
+        return fixed_gate_;
+      case TemplateFamily::FullXy:
+        return gates::xy(layerGateAngles(params, layer)[0]);
+      case TemplateFamily::FullFsim: {
+        auto angles = layerGateAngles(params, layer);
+        return gates::fsim(angles[0], angles[1]);
+      }
+      case TemplateFamily::FullCphase:
+        return gates::cphase(layerGateAngles(params, layer)[0]);
+    }
+    return fixed_gate_;
+}
+
+std::vector<double>
+TwoQubitTemplate::layerGateAngles(const std::vector<double>& params,
+                                  int layer) const
+{
+    QISET_REQUIRE(layer >= 0 && layer < layers_, "layer out of range");
+    int per_layer = gateParamsPerLayer();
+    QISET_REQUIRE(per_layer > 0,
+                  "fixed-gate templates have no free gate angles");
+    // Parameter layout: 6 U3 angles, then per-layer gate angles, then 6
+    // more U3 angles, ... gate angles of layer L start after
+    // 6(L+1) + per_layer*L entries.
+    size_t base = 6 * (layer + 1) + per_layer * layer;
+    std::vector<double> angles;
+    for (int k = 0; k < per_layer; ++k)
+        angles.push_back(params[base + k]);
+    return angles;
+}
+
+} // namespace qiset

@@ -1,0 +1,96 @@
+#ifndef QISET_NUOP_TEMPLATE_CIRCUIT_H
+#define QISET_NUOP_TEMPLATE_CIRCUIT_H
+
+/**
+ * @file
+ * NuOp template circuits (Fig. 4 of the paper).
+ *
+ * A template with i layers alternates arbitrary single-qubit rotations
+ * and a two-qubit hardware gate:
+ *
+ *     (U3 (x) U3) . G . (U3 (x) U3) . G . ... . (U3 (x) U3)
+ *
+ * For a fixed hardware gate type, the optimization variables are the
+ * 6(i+1) single-qubit angles. For the Full-XY / Full-fSim continuous
+ * families, the two-qubit gate angles join the variable set (1 or 2
+ * extra per layer).
+ */
+
+#include <vector>
+
+#include "qc/matrix.h"
+
+namespace qiset {
+
+/** What the two-qubit slots of a template contain. */
+enum class TemplateFamily
+{
+    /** A fixed 4x4 gate unitary repeated in every layer. */
+    Fixed,
+    /** XY(theta) with theta a free variable per layer. */
+    FullXy,
+    /** fSim(theta, phi) with both angles free per layer. */
+    FullFsim,
+    /**
+     * CZ(phi) with phi a free variable per layer — the continuous
+     * Controlled-Phase family of Lacroix et al. (paper ref. [13]).
+     */
+    FullCphase,
+};
+
+/** Parameterized two-qubit decomposition template. */
+class TwoQubitTemplate
+{
+  public:
+    /** Template whose layers all use the given fixed hardware gate. */
+    TwoQubitTemplate(int layers, Matrix fixed_gate);
+
+    /** Template over a continuous gate family. */
+    TwoQubitTemplate(int layers, TemplateFamily family);
+
+    int layers() const { return layers_; }
+    TemplateFamily family() const { return family_; }
+
+    /** Total number of optimization variables. */
+    int numParams() const;
+
+    /** Build the 4x4 unitary realized by the given parameter vector. */
+    Matrix build(const std::vector<double>& params) const;
+
+    /**
+     * Decomposition infidelity 1 - Fd against a target unitary, where
+     * Fd = |Tr(Ud^dagger Ut)| / 4 (Eq. 1, phase-invariant).
+     */
+    double infidelity(const std::vector<double>& params,
+                      const Matrix& target) const;
+
+    /**
+     * Angles of the two-qubit gate in a given layer for a parameter
+     * vector (continuous families only): {theta} or {theta, phi}.
+     */
+    std::vector<double> layerGateAngles(const std::vector<double>& params,
+                                        int layer) const;
+
+    /**
+     * The 2(layers+1) single-qubit U3 matrices of the template in
+     * execution order [a0, b0, a1, b1, ...] (a acts on the first
+     * qubit). Used when emitting the optimized decomposition as a
+     * circuit.
+     */
+    std::vector<Matrix> u3Matrices(const std::vector<double>& params) const;
+
+    /** The two-qubit gate applied in a layer for a parameter vector. */
+    Matrix layerGate(const std::vector<double>& params, int layer) const;
+
+  private:
+    /** Number of parameters consumed by each two-qubit slot. */
+    int gateParamsPerLayer() const;
+
+    int layers_;
+    TemplateFamily family_;
+    Matrix fixed_gate_;
+};
+
+} // namespace qiset
+
+#endif // QISET_NUOP_TEMPLATE_CIRCUIT_H

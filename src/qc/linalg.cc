@@ -1,0 +1,228 @@
+#include "qc/linalg.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace qiset {
+
+void
+qrDecompose(const Matrix& a, Matrix& q, Matrix& r)
+{
+    QISET_REQUIRE(a.rows() == a.cols(), "qrDecompose expects square input");
+    size_t n = a.rows();
+    q = a;
+    r = Matrix(n, n);
+
+    // Modified Gram-Schmidt on the columns of a.
+    for (size_t j = 0; j < n; ++j) {
+        for (size_t k = 0; k < j; ++k) {
+            cplx dot(0.0, 0.0);
+            for (size_t i = 0; i < n; ++i)
+                dot += std::conj(q(i, k)) * q(i, j);
+            r(k, j) = dot;
+            for (size_t i = 0; i < n; ++i)
+                q(i, j) -= dot * q(i, k);
+        }
+        double norm = 0.0;
+        for (size_t i = 0; i < n; ++i)
+            norm += std::norm(q(i, j));
+        norm = std::sqrt(norm);
+        QISET_REQUIRE(norm > 1e-12, "rank-deficient input to qrDecompose");
+        r(j, j) = norm;
+        for (size_t i = 0; i < n; ++i)
+            q(i, j) /= norm;
+    }
+}
+
+Matrix
+haarRandomUnitary(size_t n, Rng& rng)
+{
+    Matrix ginibre(n, n);
+    for (size_t i = 0; i < n; ++i)
+        for (size_t j = 0; j < n; ++j)
+            ginibre(i, j) = rng.normalComplex();
+
+    Matrix q, r;
+    qrDecompose(ginibre, q, r);
+
+    // Multiply each column by the phase of the matching R diagonal so
+    // the distribution is exactly Haar (Mezzadri, arXiv:math-ph/0609050).
+    for (size_t j = 0; j < n; ++j) {
+        cplx d = r(j, j);
+        cplx phase = d / std::abs(d);
+        for (size_t i = 0; i < n; ++i)
+            q(i, j) *= phase;
+    }
+    return q;
+}
+
+namespace {
+
+/** Largest |off-diagonal| element location of a real symmetric matrix. */
+double
+maxOffDiagonal(const Matrix& a, size_t& p, size_t& q)
+{
+    size_t n = a.rows();
+    double best = 0.0;
+    p = 0;
+    q = 1;
+    for (size_t i = 0; i < n; ++i)
+        for (size_t j = i + 1; j < n; ++j) {
+            double mag = std::abs(a(i, j).real());
+            if (mag > best) {
+                best = mag;
+                p = i;
+                q = j;
+            }
+        }
+    return best;
+}
+
+} // namespace
+
+SymmetricEigen
+jacobiEigenSymmetric(const Matrix& a_in, double tol, int max_sweeps)
+{
+    QISET_REQUIRE(a_in.rows() == a_in.cols(), "eigensolver expects square");
+    size_t n = a_in.rows();
+    Matrix a = a_in;
+    Matrix v = Matrix::identity(n);
+
+    for (int sweep = 0; sweep < max_sweeps * static_cast<int>(n * n);
+         ++sweep) {
+        size_t p, q;
+        double off = maxOffDiagonal(a, p, q);
+        if (off < tol)
+            break;
+
+        double app = a(p, p).real();
+        double aqq = a(q, q).real();
+        double apq = a(p, q).real();
+
+        // Classic Jacobi rotation annihilating a(p, q).
+        double theta = 0.5 * std::atan2(2.0 * apq, aqq - app);
+        double c = std::cos(theta);
+        double s = std::sin(theta);
+
+        for (size_t k = 0; k < n; ++k) {
+            double akp = a(k, p).real();
+            double akq = a(k, q).real();
+            a(k, p) = c * akp - s * akq;
+            a(k, q) = s * akp + c * akq;
+        }
+        for (size_t k = 0; k < n; ++k) {
+            double apk = a(p, k).real();
+            double aqk = a(q, k).real();
+            a(p, k) = c * apk - s * aqk;
+            a(q, k) = s * apk + c * aqk;
+        }
+        for (size_t k = 0; k < n; ++k) {
+            double vkp = v(k, p).real();
+            double vkq = v(k, q).real();
+            v(k, p) = c * vkp - s * vkq;
+            v(k, q) = s * vkp + c * vkq;
+        }
+    }
+
+    SymmetricEigen out;
+    out.values.resize(n);
+    for (size_t i = 0; i < n; ++i)
+        out.values[i] = a(i, i).real();
+    out.vectors = v;
+    return out;
+}
+
+Matrix
+simultaneousDiagonalize(const Matrix& a, const Matrix& b,
+                        double degeneracy_tol)
+{
+    QISET_REQUIRE(a.rows() == a.cols() && b.rows() == b.cols() &&
+                      a.rows() == b.rows(),
+                  "shape mismatch in simultaneousDiagonalize");
+    size_t n = a.rows();
+
+    SymmetricEigen eig_a = jacobiEigenSymmetric(a);
+    Matrix v = eig_a.vectors;
+
+    // Sort columns by eigenvalue of a so degenerate clusters are
+    // contiguous.
+    std::vector<size_t> order(n);
+    for (size_t i = 0; i < n; ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+        return eig_a.values[x] < eig_a.values[y];
+    });
+    Matrix v_sorted(n, n);
+    std::vector<double> w_sorted(n);
+    for (size_t j = 0; j < n; ++j) {
+        w_sorted[j] = eig_a.values[order[j]];
+        for (size_t i = 0; i < n; ++i)
+            v_sorted(i, j) = v(i, order[j]);
+    }
+    v = v_sorted;
+
+    // Within each degenerate eigenspace of a, b restricted to the
+    // space is symmetric (since [a, b] = 0); diagonalize it there.
+    size_t start = 0;
+    while (start < n) {
+        size_t end = start + 1;
+        while (end < n &&
+               std::abs(w_sorted[end] - w_sorted[start]) < degeneracy_tol)
+            ++end;
+        size_t block = end - start;
+        if (block > 1) {
+            // Projected block B' = V_block^T b V_block.
+            Matrix vb(n, block);
+            for (size_t i = 0; i < n; ++i)
+                for (size_t j = 0; j < block; ++j)
+                    vb(i, j) = v(i, start + j);
+            Matrix b_proj = vb.transpose() * b * vb;
+            SymmetricEigen eig_b = jacobiEigenSymmetric(b_proj);
+            Matrix vb_new = vb * eig_b.vectors;
+            for (size_t i = 0; i < n; ++i)
+                for (size_t j = 0; j < block; ++j)
+                    v(i, start + j) = vb_new(i, j);
+        }
+        start = end;
+    }
+    return v;
+}
+
+cplx
+determinant(const Matrix& a_in)
+{
+    QISET_REQUIRE(a_in.rows() == a_in.cols(), "determinant of non-square");
+    Matrix a = a_in;
+    size_t n = a.rows();
+    cplx det(1.0, 0.0);
+
+    for (size_t col = 0; col < n; ++col) {
+        // Partial pivoting.
+        size_t pivot = col;
+        double best = std::abs(a(col, col));
+        for (size_t row = col + 1; row < n; ++row) {
+            if (std::abs(a(row, col)) > best) {
+                best = std::abs(a(row, col));
+                pivot = row;
+            }
+        }
+        if (best < 1e-300)
+            return cplx(0.0, 0.0);
+        if (pivot != col) {
+            for (size_t j = 0; j < n; ++j)
+                std::swap(a(col, j), a(pivot, j));
+            det = -det;
+        }
+        det *= a(col, col);
+        for (size_t row = col + 1; row < n; ++row) {
+            cplx factor = a(row, col) / a(col, col);
+            for (size_t j = col; j < n; ++j)
+                a(row, j) -= factor * a(col, j);
+        }
+    }
+    return det;
+}
+
+} // namespace qiset

@@ -1,0 +1,70 @@
+#ifndef QISET_QC_LINALG_H
+#define QISET_QC_LINALG_H
+
+/**
+ * @file
+ * Numerical linear algebra used by the gate decomposition machinery:
+ * Haar-random unitaries (QV workload), QR factorization, a Jacobi
+ * eigensolver for real symmetric matrices, and simultaneous
+ * diagonalization of commuting symmetric pairs (KAK decomposition).
+ */
+
+#include <vector>
+
+#include "common/rng.h"
+#include "qc/matrix.h"
+
+namespace qiset {
+
+/**
+ * QR factorization via modified Gram-Schmidt.
+ * @param a Input matrix (square, full rank assumed).
+ * @param q Output orthonormal matrix.
+ * @param r Output upper-triangular matrix with a == q * r.
+ */
+void qrDecompose(const Matrix& a, Matrix& q, Matrix& r);
+
+/**
+ * Haar-distributed random unitary of dimension n.
+ *
+ * Samples a complex Ginibre matrix, QR-factorizes it and fixes the
+ * phases of R's diagonal — the standard construction for Haar measure.
+ * Quantum Volume circuits draw their SU(4) blocks from this.
+ */
+Matrix haarRandomUnitary(size_t n, Rng& rng);
+
+/** Result of a real-symmetric eigendecomposition A = V diag(w) V^T. */
+struct SymmetricEigen
+{
+    /** Eigenvalues, in the order matching the columns of vectors. */
+    std::vector<double> values;
+    /** Orthogonal matrix whose columns are eigenvectors. */
+    Matrix vectors;
+};
+
+/**
+ * Eigendecomposition of a real symmetric matrix (stored in a complex
+ * Matrix with zero imaginary parts) via cyclic Jacobi rotations.
+ */
+SymmetricEigen jacobiEigenSymmetric(const Matrix& a, double tol = 1e-13,
+                                    int max_sweeps = 100);
+
+/**
+ * Simultaneously diagonalize two commuting real symmetric matrices.
+ *
+ * Diagonalizes a first, then re-diagonalizes b inside each (near-)
+ * degenerate eigenspace of a. This is the workhorse for decomposing
+ * the complex symmetric matrix M = A + iB that appears in the
+ * magic-basis (KAK) construction.
+ *
+ * @return Orthogonal V with V^T a V and V^T b V both diagonal.
+ */
+Matrix simultaneousDiagonalize(const Matrix& a, const Matrix& b,
+                               double degeneracy_tol = 1e-9);
+
+/** Determinant of a small complex matrix via LU with partial pivoting. */
+cplx determinant(const Matrix& a);
+
+} // namespace qiset
+
+#endif // QISET_QC_LINALG_H

@@ -1,0 +1,232 @@
+#include "qc/matrix.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.h"
+
+namespace qiset {
+
+Matrix::Matrix(size_t rows, size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, cplx(0.0, 0.0))
+{
+}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<cplx>> rows)
+{
+    rows_ = rows.size();
+    cols_ = rows_ ? rows.begin()->size() : 0;
+    data_.reserve(rows_ * cols_);
+    for (const auto& row : rows) {
+        QISET_REQUIRE(row.size() == cols_, "ragged initializer list");
+        for (const auto& value : row)
+            data_.push_back(value);
+    }
+}
+
+Matrix
+Matrix::identity(size_t n)
+{
+    Matrix m(n, n);
+    for (size_t i = 0; i < n; ++i)
+        m(i, i) = 1.0;
+    return m;
+}
+
+Matrix
+Matrix::operator+(const Matrix& other) const
+{
+    QISET_REQUIRE(rows_ == other.rows_ && cols_ == other.cols_,
+                  "shape mismatch in +");
+    Matrix out(rows_, cols_);
+    for (size_t i = 0; i < data_.size(); ++i)
+        out.data_[i] = data_[i] + other.data_[i];
+    return out;
+}
+
+Matrix
+Matrix::operator-(const Matrix& other) const
+{
+    QISET_REQUIRE(rows_ == other.rows_ && cols_ == other.cols_,
+                  "shape mismatch in -");
+    Matrix out(rows_, cols_);
+    for (size_t i = 0; i < data_.size(); ++i)
+        out.data_[i] = data_[i] - other.data_[i];
+    return out;
+}
+
+Matrix
+Matrix::operator*(const Matrix& other) const
+{
+    QISET_REQUIRE(cols_ == other.rows_, "shape mismatch in *: ",
+                  rows_, "x", cols_, " times ", other.rows_, "x",
+                  other.cols_);
+    Matrix out(rows_, other.cols_);
+    for (size_t i = 0; i < rows_; ++i) {
+        for (size_t k = 0; k < cols_; ++k) {
+            cplx aik = (*this)(i, k);
+            if (aik == cplx(0.0, 0.0))
+                continue;
+            for (size_t j = 0; j < other.cols_; ++j)
+                out(i, j) += aik * other(k, j);
+        }
+    }
+    return out;
+}
+
+Matrix
+Matrix::operator*(cplx scalar) const
+{
+    Matrix out = *this;
+    out *= scalar;
+    return out;
+}
+
+Matrix&
+Matrix::operator+=(const Matrix& other)
+{
+    QISET_REQUIRE(rows_ == other.rows_ && cols_ == other.cols_,
+                  "shape mismatch in +=");
+    for (size_t i = 0; i < data_.size(); ++i)
+        data_[i] += other.data_[i];
+    return *this;
+}
+
+Matrix&
+Matrix::operator*=(cplx scalar)
+{
+    for (auto& value : data_)
+        value *= scalar;
+    return *this;
+}
+
+Matrix
+Matrix::dagger() const
+{
+    Matrix out(cols_, rows_);
+    for (size_t i = 0; i < rows_; ++i)
+        for (size_t j = 0; j < cols_; ++j)
+            out(j, i) = std::conj((*this)(i, j));
+    return out;
+}
+
+Matrix
+Matrix::transpose() const
+{
+    Matrix out(cols_, rows_);
+    for (size_t i = 0; i < rows_; ++i)
+        for (size_t j = 0; j < cols_; ++j)
+            out(j, i) = (*this)(i, j);
+    return out;
+}
+
+Matrix
+Matrix::conjugate() const
+{
+    Matrix out(rows_, cols_);
+    for (size_t i = 0; i < data_.size(); ++i)
+        out.data_[i] = std::conj(data_[i]);
+    return out;
+}
+
+cplx
+Matrix::trace() const
+{
+    QISET_REQUIRE(rows_ == cols_, "trace of non-square matrix");
+    cplx sum(0.0, 0.0);
+    for (size_t i = 0; i < rows_; ++i)
+        sum += (*this)(i, i);
+    return sum;
+}
+
+double
+Matrix::frobeniusNorm() const
+{
+    double sum = 0.0;
+    for (const auto& value : data_)
+        sum += std::norm(value);
+    return std::sqrt(sum);
+}
+
+double
+Matrix::maxAbsDiff(const Matrix& other) const
+{
+    QISET_REQUIRE(rows_ == other.rows_ && cols_ == other.cols_,
+                  "shape mismatch in maxAbsDiff");
+    double max_diff = 0.0;
+    for (size_t i = 0; i < data_.size(); ++i)
+        max_diff = std::max(max_diff, std::abs(data_[i] - other.data_[i]));
+    return max_diff;
+}
+
+bool
+Matrix::isUnitary(double tol) const
+{
+    if (rows_ != cols_)
+        return false;
+    Matrix product = (*this) * dagger();
+    return product.maxAbsDiff(identity(rows_)) < tol;
+}
+
+bool
+Matrix::isHermitian(double tol) const
+{
+    if (rows_ != cols_)
+        return false;
+    return maxAbsDiff(dagger()) < tol;
+}
+
+Matrix
+Matrix::kron(const Matrix& other) const
+{
+    Matrix out(rows_ * other.rows_, cols_ * other.cols_);
+    for (size_t i = 0; i < rows_; ++i)
+        for (size_t j = 0; j < cols_; ++j) {
+            cplx aij = (*this)(i, j);
+            if (aij == cplx(0.0, 0.0))
+                continue;
+            for (size_t k = 0; k < other.rows_; ++k)
+                for (size_t l = 0; l < other.cols_; ++l)
+                    out(i * other.rows_ + k, j * other.cols_ + l) =
+                        aij * other(k, l);
+        }
+    return out;
+}
+
+std::string
+Matrix::toString(int precision) const
+{
+    std::string out;
+    char buf[96];
+    for (size_t i = 0; i < rows_; ++i) {
+        out += "[ ";
+        for (size_t j = 0; j < cols_; ++j) {
+            const cplx& v = (*this)(i, j);
+            std::snprintf(buf, sizeof(buf), "%+.*f%+.*fi  ", precision,
+                          v.real(), precision, v.imag());
+            out += buf;
+        }
+        out += "]\n";
+    }
+    return out;
+}
+
+cplx
+hilbertSchmidt(const Matrix& a, const Matrix& b)
+{
+    QISET_REQUIRE(a.rows() == b.rows() && a.cols() == b.cols(),
+                  "shape mismatch in hilbertSchmidt");
+    cplx sum(0.0, 0.0);
+    for (size_t i = 0; i < a.rows(); ++i)
+        for (size_t j = 0; j < a.cols(); ++j)
+            sum += std::conj(a(i, j)) * b(i, j);
+    return sum;
+}
+
+double
+traceFidelity(const Matrix& a, const Matrix& b)
+{
+    return std::abs(hilbertSchmidt(a, b)) / static_cast<double>(a.rows());
+}
+
+} // namespace qiset

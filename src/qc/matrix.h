@@ -1,0 +1,112 @@
+#ifndef QISET_QC_MATRIX_H
+#define QISET_QC_MATRIX_H
+
+/**
+ * @file
+ * Dense complex matrices.
+ *
+ * QISET works almost exclusively with 2x2 and 4x4 unitaries (quantum
+ * gates) plus 2^n state vectors, so a simple row-major dense matrix
+ * with value semantics is the right tool; no sparse machinery needed.
+ */
+
+#include <complex>
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace qiset {
+
+/** Complex scalar type used throughout QISET. */
+using cplx = std::complex<double>;
+
+/** Dense row-major complex matrix with value semantics. */
+class Matrix
+{
+  public:
+    /** Empty 0x0 matrix. */
+    Matrix() = default;
+
+    /** Zero-initialized rows x cols matrix. */
+    Matrix(size_t rows, size_t cols);
+
+    /** Build from nested initializer lists (row major). */
+    Matrix(std::initializer_list<std::initializer_list<cplx>> rows);
+
+    /** The n x n identity. */
+    static Matrix identity(size_t n);
+
+    /** n x n matrix of zeros. */
+    static Matrix zeros(size_t n) { return Matrix(n, n); }
+
+    size_t rows() const { return rows_; }
+    size_t cols() const { return cols_; }
+
+    /** Element access (row, col), bounds unchecked in release builds. */
+    cplx& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+    const cplx&
+    operator()(size_t r, size_t c) const
+    {
+        return data_[r * cols_ + c];
+    }
+
+    /** Raw row-major storage. */
+    const std::vector<cplx>& data() const { return data_; }
+
+    Matrix operator+(const Matrix& other) const;
+    Matrix operator-(const Matrix& other) const;
+    Matrix operator*(const Matrix& other) const;
+    Matrix operator*(cplx scalar) const;
+    Matrix& operator+=(const Matrix& other);
+    Matrix& operator*=(cplx scalar);
+
+    /** Conjugate transpose. */
+    Matrix dagger() const;
+
+    /** Transpose (no conjugation). */
+    Matrix transpose() const;
+
+    /** Elementwise complex conjugate. */
+    Matrix conjugate() const;
+
+    /** Sum of diagonal elements. */
+    cplx trace() const;
+
+    /** Frobenius norm sqrt(sum |a_ij|^2). */
+    double frobeniusNorm() const;
+
+    /** Max elementwise |a_ij - b_ij| between two matrices. */
+    double maxAbsDiff(const Matrix& other) const;
+
+    /** True if U * U^dagger == I within tol. */
+    bool isUnitary(double tol = 1e-9) const;
+
+    /** True if A == A^dagger within tol. */
+    bool isHermitian(double tol = 1e-9) const;
+
+    /** Kronecker product (this ⊗ other). */
+    Matrix kron(const Matrix& other) const;
+
+    /** Multi-line human-readable rendering (for examples/debugging). */
+    std::string toString(int precision = 3) const;
+
+  private:
+    size_t rows_ = 0;
+    size_t cols_ = 0;
+    std::vector<cplx> data_;
+};
+
+/** Hilbert-Schmidt inner product Tr(A^dagger B). */
+cplx hilbertSchmidt(const Matrix& a, const Matrix& b);
+
+/**
+ * Phase-invariant unitary overlap |Tr(A^dagger B)| / dim.
+ * Equals 1 iff A == B up to a global phase; this is the decomposition
+ * fidelity F_d of Eq. (1) in the paper.
+ */
+double traceFidelity(const Matrix& a, const Matrix& b);
+
+} // namespace qiset
+
+#endif // QISET_QC_MATRIX_H

@@ -1,0 +1,325 @@
+#include "sim/density_matrix.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace qiset {
+
+DensityMatrix::DensityMatrix(int num_qubits)
+    : num_qubits_(num_qubits), dim_(size_t{1} << num_qubits)
+{
+    QISET_REQUIRE(num_qubits >= 1 && num_qubits <= 13,
+                  "density matrix supports 1..13 qubits (",
+                  num_qubits, " requested)");
+    rho_.assign(dim_ * dim_, cplx(0.0, 0.0));
+    rho_[0] = 1.0;
+}
+
+DensityMatrix::DensityMatrix(const StateVector& state)
+    : num_qubits_(state.numQubits()), dim_(state.dim())
+{
+    QISET_REQUIRE(num_qubits_ <= 13,
+                  "density matrix supports 1..13 qubits");
+    rho_.resize(dim_ * dim_);
+    const auto& amps = state.amplitudes();
+    for (size_t r = 0; r < dim_; ++r)
+        for (size_t c = 0; c < dim_; ++c)
+            rho_[r * dim_ + c] = amps[r] * std::conj(amps[c]);
+}
+
+cplx
+DensityMatrix::element(size_t row, size_t col) const
+{
+    return rho_[row * dim_ + col];
+}
+
+void
+DensityMatrix::applyLeft(const Matrix& gate, const std::vector<int>& qubits)
+{
+    if (qubits.size() == 1) {
+        size_t mask = size_t{1} << (num_qubits_ - 1 - qubits[0]);
+        cplx g00 = gate(0, 0), g01 = gate(0, 1);
+        cplx g10 = gate(1, 0), g11 = gate(1, 1);
+        for (size_t r = 0; r < dim_; ++r) {
+            if (r & mask)
+                continue;
+            size_t r1 = r | mask;
+            cplx* row0 = &rho_[r * dim_];
+            cplx* row1 = &rho_[r1 * dim_];
+            for (size_t c = 0; c < dim_; ++c) {
+                cplx a0 = row0[c];
+                cplx a1 = row1[c];
+                row0[c] = g00 * a0 + g01 * a1;
+                row1[c] = g10 * a0 + g11 * a1;
+            }
+        }
+        return;
+    }
+
+    size_t mask_a = size_t{1} << (num_qubits_ - 1 - qubits[0]);
+    size_t mask_b = size_t{1} << (num_qubits_ - 1 - qubits[1]);
+    cplx g[4][4];
+    for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 4; ++j)
+            g[i][j] = gate(i, j);
+    for (size_t r = 0; r < dim_; ++r) {
+        if (r & (mask_a | mask_b))
+            continue;
+        cplx* rows[4] = {
+            &rho_[r * dim_],
+            &rho_[(r | mask_b) * dim_],
+            &rho_[(r | mask_a) * dim_],
+            &rho_[(r | mask_a | mask_b) * dim_],
+        };
+        for (size_t c = 0; c < dim_; ++c) {
+            cplx a0 = rows[0][c], a1 = rows[1][c];
+            cplx a2 = rows[2][c], a3 = rows[3][c];
+            rows[0][c] = g[0][0] * a0 + g[0][1] * a1 + g[0][2] * a2 +
+                         g[0][3] * a3;
+            rows[1][c] = g[1][0] * a0 + g[1][1] * a1 + g[1][2] * a2 +
+                         g[1][3] * a3;
+            rows[2][c] = g[2][0] * a0 + g[2][1] * a1 + g[2][2] * a2 +
+                         g[2][3] * a3;
+            rows[3][c] = g[3][0] * a0 + g[3][1] * a1 + g[3][2] * a2 +
+                         g[3][3] * a3;
+        }
+    }
+}
+
+void
+DensityMatrix::applyRight(const Matrix& gate, const std::vector<int>& qubits)
+{
+    // rho <- rho * gate^dagger, i.e. apply conj(gate) along columns.
+    if (qubits.size() == 1) {
+        size_t mask = size_t{1} << (num_qubits_ - 1 - qubits[0]);
+        cplx g00 = std::conj(gate(0, 0)), g01 = std::conj(gate(0, 1));
+        cplx g10 = std::conj(gate(1, 0)), g11 = std::conj(gate(1, 1));
+        for (size_t r = 0; r < dim_; ++r) {
+            cplx* row = &rho_[r * dim_];
+            for (size_t c = 0; c < dim_; ++c) {
+                if (c & mask)
+                    continue;
+                size_t c1 = c | mask;
+                cplx a0 = row[c];
+                cplx a1 = row[c1];
+                row[c] = g00 * a0 + g01 * a1;
+                row[c1] = g10 * a0 + g11 * a1;
+            }
+        }
+        return;
+    }
+
+    size_t mask_a = size_t{1} << (num_qubits_ - 1 - qubits[0]);
+    size_t mask_b = size_t{1} << (num_qubits_ - 1 - qubits[1]);
+    cplx g[4][4];
+    for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 4; ++j)
+            g[i][j] = std::conj(gate(i, j));
+    for (size_t r = 0; r < dim_; ++r) {
+        cplx* row = &rho_[r * dim_];
+        for (size_t c = 0; c < dim_; ++c) {
+            if (c & (mask_a | mask_b))
+                continue;
+            size_t c01 = c | mask_b;
+            size_t c10 = c | mask_a;
+            size_t c11 = c | mask_a | mask_b;
+            cplx a0 = row[c], a1 = row[c01];
+            cplx a2 = row[c10], a3 = row[c11];
+            row[c] = g[0][0] * a0 + g[0][1] * a1 + g[0][2] * a2 +
+                     g[0][3] * a3;
+            row[c01] = g[1][0] * a0 + g[1][1] * a1 + g[1][2] * a2 +
+                       g[1][3] * a3;
+            row[c10] = g[2][0] * a0 + g[2][1] * a1 + g[2][2] * a2 +
+                       g[2][3] * a3;
+            row[c11] = g[3][0] * a0 + g[3][1] * a1 + g[3][2] * a2 +
+                       g[3][3] * a3;
+        }
+    }
+}
+
+void
+DensityMatrix::applyUnitary(const Matrix& gate,
+                            const std::vector<int>& qubits)
+{
+    applyLeft(gate, qubits);
+    applyRight(gate, qubits);
+}
+
+void
+DensityMatrix::applyKraus(const std::vector<Matrix>& kraus,
+                          const std::vector<int>& qubits)
+{
+    QISET_REQUIRE(!kraus.empty(), "empty Kraus set");
+    if (kraus.size() == 1) {
+        applyUnitary(kraus[0], qubits);
+        return;
+    }
+
+    // Blockwise application: for each pair of "external" basis
+    // indices, the touched qubits select a small k x k sub-block B of
+    // rho; the channel maps B -> sum K B K^dagger independently per
+    // block.
+    size_t k = qubits.size() == 1 ? 2 : 4;
+    std::vector<size_t> masks(k, 0);
+    if (qubits.size() == 1) {
+        size_t m = size_t{1} << (num_qubits_ - 1 - qubits[0]);
+        masks = {0, m};
+    } else {
+        size_t ma = size_t{1} << (num_qubits_ - 1 - qubits[0]);
+        size_t mb = size_t{1} << (num_qubits_ - 1 - qubits[1]);
+        masks = {0, mb, ma, ma | mb};
+    }
+    size_t select = 0;
+    for (size_t m : masks)
+        select |= m;
+
+    cplx block[4][4], out[4][4], tmp[4][4];
+    for (size_t r = 0; r < dim_; ++r) {
+        if (r & select)
+            continue;
+        for (size_t c = 0; c < dim_; ++c) {
+            if (c & select)
+                continue;
+            for (size_t i = 0; i < k; ++i)
+                for (size_t j = 0; j < k; ++j)
+                    block[i][j] = rho_[(r | masks[i]) * dim_ +
+                                       (c | masks[j])];
+            for (size_t i = 0; i < k; ++i)
+                for (size_t j = 0; j < k; ++j)
+                    out[i][j] = cplx(0.0, 0.0);
+            for (const auto& op : kraus) {
+                // tmp = K * B
+                for (size_t i = 0; i < k; ++i)
+                    for (size_t j = 0; j < k; ++j) {
+                        cplx sum(0.0, 0.0);
+                        for (size_t l = 0; l < k; ++l)
+                            sum += op(i, l) * block[l][j];
+                        tmp[i][j] = sum;
+                    }
+                // out += tmp * K^dagger
+                for (size_t i = 0; i < k; ++i)
+                    for (size_t j = 0; j < k; ++j) {
+                        cplx sum(0.0, 0.0);
+                        for (size_t l = 0; l < k; ++l)
+                            sum += tmp[i][l] * std::conj(op(j, l));
+                        out[i][j] += sum;
+                    }
+            }
+            for (size_t i = 0; i < k; ++i)
+                for (size_t j = 0; j < k; ++j)
+                    rho_[(r | masks[i]) * dim_ + (c | masks[j])] =
+                        out[i][j];
+        }
+    }
+}
+
+void
+DensityMatrix::applyDepolarizing(double p, const std::vector<int>& qubits)
+{
+    QISET_REQUIRE(p >= 0.0 && p <= 1.0, "invalid depolarizing p=", p);
+    if (p == 0.0)
+        return;
+    size_t k = qubits.size() == 1 ? 2 : 4;
+    double dim_k = static_cast<double>(k * k);
+    double lambda = dim_k * p / (dim_k - 1.0);
+
+    std::vector<size_t> masks;
+    if (qubits.size() == 1) {
+        size_t m = size_t{1} << (num_qubits_ - 1 - qubits[0]);
+        masks = {0, m};
+    } else {
+        size_t ma = size_t{1} << (num_qubits_ - 1 - qubits[0]);
+        size_t mb = size_t{1} << (num_qubits_ - 1 - qubits[1]);
+        masks = {0, mb, ma, ma | mb};
+    }
+    size_t select = 0;
+    for (size_t m : masks)
+        select |= m;
+
+    for (size_t r = 0; r < dim_; ++r) {
+        if (r & select)
+            continue;
+        for (size_t c = 0; c < dim_; ++c) {
+            if (c & select)
+                continue;
+            // Trace of the block (only exists on the block diagonal).
+            cplx tr(0.0, 0.0);
+            for (size_t i = 0; i < k; ++i)
+                tr += rho_[(r | masks[i]) * dim_ + (c | masks[i])];
+            tr /= static_cast<double>(k);
+            for (size_t i = 0; i < k; ++i)
+                for (size_t j = 0; j < k; ++j) {
+                    cplx& value =
+                        rho_[(r | masks[i]) * dim_ + (c | masks[j])];
+                    value *= (1.0 - lambda);
+                    if (i == j)
+                        value += lambda * tr;
+                }
+        }
+    }
+}
+
+double
+DensityMatrix::trace() const
+{
+    double sum = 0.0;
+    for (size_t i = 0; i < dim_; ++i)
+        sum += rho_[i * dim_ + i].real();
+    return sum;
+}
+
+double
+DensityMatrix::purity() const
+{
+    // Tr(rho^2) = sum_ij |rho_ij|^2 for Hermitian rho.
+    double sum = 0.0;
+    for (const auto& value : rho_)
+        sum += std::norm(value);
+    return sum;
+}
+
+std::vector<double>
+DensityMatrix::probabilities() const
+{
+    std::vector<double> probs(dim_);
+    for (size_t i = 0; i < dim_; ++i)
+        probs[i] = std::max(0.0, rho_[i * dim_ + i].real());
+    return probs;
+}
+
+double
+DensityMatrix::fidelityWithPure(const StateVector& psi) const
+{
+    QISET_REQUIRE(psi.dim() == dim_, "dimension mismatch");
+    const auto& amps = psi.amplitudes();
+    cplx sum(0.0, 0.0);
+    for (size_t r = 0; r < dim_; ++r) {
+        cplx row_dot(0.0, 0.0);
+        const cplx* row = &rho_[r * dim_];
+        for (size_t c = 0; c < dim_; ++c)
+            row_dot += row[c] * amps[c];
+        sum += std::conj(amps[r]) * row_dot;
+    }
+    return std::max(0.0, sum.real());
+}
+
+void
+DensityMatrix::runNoisy(const Circuit& circuit, const NoiseModel& noise)
+{
+    QISET_REQUIRE(circuit.numQubits() == num_qubits_,
+                  "circuit width mismatch");
+    for (const auto& op : circuit.ops()) {
+        applyUnitary(op.unitary, op.qubits);
+        if (!noise.enabled())
+            continue;
+        if (op.error_rate > 0.0)
+            applyDepolarizing(op.error_rate, op.qubits);
+        if (op.duration_ns > 0.0) {
+            for (int q : op.qubits)
+                applyKraus(noise.thermalKrausFor(q, op.duration_ns), {q});
+        }
+    }
+}
+
+} // namespace qiset

@@ -1,0 +1,125 @@
+#include "sim/noise_model.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "qc/gates.h"
+
+namespace qiset {
+
+NoiseModel::NoiseModel(int num_qubits, const QubitNoise& qubit_noise)
+    : qubits_(num_qubits, qubit_noise)
+{
+}
+
+NoiseModel::NoiseModel(std::vector<QubitNoise> qubits)
+    : qubits_(std::move(qubits))
+{
+}
+
+std::vector<Matrix>
+NoiseModel::depolarizingKraus1q(double p)
+{
+    QISET_REQUIRE(p >= 0.0 && p <= 1.0, "invalid depolarizing p=", p);
+    double k0 = std::sqrt(1.0 - p);
+    double kp = std::sqrt(p / 3.0);
+    return {
+        gates::identity1q() * cplx(k0, 0.0),
+        gates::pauliX() * cplx(kp, 0.0),
+        gates::pauliY() * cplx(kp, 0.0),
+        gates::pauliZ() * cplx(kp, 0.0),
+    };
+}
+
+std::vector<Matrix>
+NoiseModel::depolarizingKraus2q(double p)
+{
+    QISET_REQUIRE(p >= 0.0 && p <= 1.0, "invalid depolarizing p=", p);
+    std::vector<Matrix> paulis = {gates::identity1q(), gates::pauliX(),
+                                  gates::pauliY(), gates::pauliZ()};
+    std::vector<Matrix> kraus;
+    kraus.reserve(16);
+    double k0 = std::sqrt(1.0 - p);
+    double kp = std::sqrt(p / 15.0);
+    for (int a = 0; a < 4; ++a) {
+        for (int b = 0; b < 4; ++b) {
+            double scale = (a == 0 && b == 0) ? k0 : kp;
+            kraus.push_back(paulis[a].kron(paulis[b]) *
+                            cplx(scale, 0.0));
+        }
+    }
+    return kraus;
+}
+
+std::vector<Matrix>
+NoiseModel::thermalKraus(double t1_ns, double t2_ns, double duration_ns)
+{
+    QISET_REQUIRE(t1_ns > 0.0 && t2_ns > 0.0, "T1/T2 must be positive");
+    QISET_REQUIRE(t2_ns <= 2.0 * t1_ns + 1e-9,
+                  "unphysical T2 > 2 T1 (T1=", t1_ns, ", T2=", t2_ns, ")");
+    if (duration_ns <= 0.0)
+        return {Matrix::identity(2)};
+
+    // Amplitude damping strength over the interval.
+    double gamma = 1.0 - std::exp(-duration_ns / t1_ns);
+    // Residual pure dephasing so total coherence decay matches
+    // exp(-t/T2):   sqrt(1-gamma) * sqrt(1-lambda) = exp(-t/T2).
+    double coh = std::exp(-duration_ns / t2_ns);
+    double lambda = 1.0 - (coh * coh) / (1.0 - gamma);
+    lambda = std::min(std::max(lambda, 0.0), 1.0);
+
+    // Compose amplitude damping {A0, A1} with phase damping {P0, P2}.
+    Matrix a0{{1.0, 0.0}, {0.0, std::sqrt(1.0 - gamma)}};
+    Matrix a1{{0.0, std::sqrt(gamma)}, {0.0, 0.0}};
+    Matrix p0{{1.0, 0.0}, {0.0, std::sqrt(1.0 - lambda)}};
+    Matrix p2{{0.0, 0.0}, {0.0, std::sqrt(lambda)}};
+
+    std::vector<Matrix> kraus;
+    for (const auto& p : {p0, p2})
+        for (const auto& a : {a0, a1}) {
+            Matrix k = p * a;
+            if (k.frobeniusNorm() > 1e-12)
+                kraus.push_back(k);
+        }
+    return kraus;
+}
+
+std::vector<Matrix>
+NoiseModel::thermalKrausFor(int qubit, double duration_ns) const
+{
+    const QubitNoise& qn = qubits_.at(qubit);
+    return thermalKraus(qn.t1_ns, qn.t2_ns, duration_ns);
+}
+
+std::vector<double>
+NoiseModel::applyReadoutError(const std::vector<double>& probs) const
+{
+    if (qubits_.empty())
+        return probs;
+    int n = numQubits();
+    QISET_REQUIRE(probs.size() == (size_t{1} << n),
+                  "probability vector size mismatch");
+
+    std::vector<double> current = probs;
+    std::vector<double> next(probs.size());
+    for (int q = 0; q < n; ++q) {
+        const QubitNoise& qn = qubits_[q];
+        if (qn.readout_p01 == 0.0 && qn.readout_p10 == 0.0)
+            continue;
+        size_t mask = size_t{1} << (n - 1 - q);
+        std::fill(next.begin(), next.end(), 0.0);
+        for (size_t idx = 0; idx < current.size(); ++idx) {
+            double p = current[idx];
+            if (p == 0.0)
+                continue;
+            bool bit = idx & mask;
+            double flip = bit ? qn.readout_p10 : qn.readout_p01;
+            next[idx] += p * (1.0 - flip);
+            next[idx ^ mask] += p * flip;
+        }
+        current.swap(next);
+    }
+    return current;
+}
+
+} // namespace qiset

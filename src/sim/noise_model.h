@@ -1,0 +1,83 @@
+#ifndef QISET_SIM_NOISE_MODEL_H
+#define QISET_SIM_NOISE_MODEL_H
+
+/**
+ * @file
+ * Noise channels mirroring the Qiskit Aer model used in the paper
+ * (Section VI): per-gate depolarizing noise scaled by the gate's
+ * calibrated error rate, amplitude-damping + dephasing driven by
+ * T1/T2 and gate duration, and readout (measurement confusion) error.
+ */
+
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "qc/matrix.h"
+
+namespace qiset {
+
+/** Per-qubit noise parameters. */
+struct QubitNoise
+{
+    /** Amplitude-damping time constant in nanoseconds. */
+    double t1_ns = 15e3;
+    /** Total dephasing time constant in nanoseconds (T2 <= 2 T1). */
+    double t2_ns = 15e3;
+    /** Probability of reading 1 when the qubit is 0. */
+    double readout_p01 = 0.0;
+    /** Probability of reading 0 when the qubit is 1. */
+    double readout_p10 = 0.0;
+};
+
+/** Device-level noise description consumed by the noisy simulators. */
+class NoiseModel
+{
+  public:
+    /** Noiseless model (all channels disabled). */
+    NoiseModel() = default;
+
+    /** Homogeneous model with identical parameters on every qubit. */
+    NoiseModel(int num_qubits, const QubitNoise& qubit_noise);
+
+    /** Fully specified per-qubit model. */
+    explicit NoiseModel(std::vector<QubitNoise> qubits);
+
+    bool enabled() const { return !qubits_.empty(); }
+    int numQubits() const { return static_cast<int>(qubits_.size()); }
+    const QubitNoise& qubit(int q) const { return qubits_.at(q); }
+
+    /**
+     * Kraus operators of the 1Q depolarizing channel with error
+     * probability p: {sqrt(1-p) I, sqrt(p/3) X, sqrt(p/3) Y,
+     * sqrt(p/3) Z}.
+     */
+    static std::vector<Matrix> depolarizingKraus1q(double p);
+
+    /** 16-operator 2Q depolarizing channel with error probability p. */
+    static std::vector<Matrix> depolarizingKraus2q(double p);
+
+    /**
+     * Kraus operators of combined amplitude damping (T1) and pure
+     * dephasing (T2) over the given duration.
+     */
+    static std::vector<Matrix> thermalKraus(double t1_ns, double t2_ns,
+                                            double duration_ns);
+
+    /** Thermal channel for a specific qubit of this model. */
+    std::vector<Matrix> thermalKrausFor(int qubit,
+                                        double duration_ns) const;
+
+    /**
+     * Apply per-qubit readout confusion to a measurement probability
+     * vector (classical post-processing, as Aer does).
+     */
+    std::vector<double>
+    applyReadoutError(const std::vector<double>& probs) const;
+
+  private:
+    std::vector<QubitNoise> qubits_;
+};
+
+} // namespace qiset
+
+#endif // QISET_SIM_NOISE_MODEL_H

@@ -1,0 +1,166 @@
+#include "sim/statevector.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace qiset {
+
+StateVector::StateVector(int num_qubits)
+    : StateVector(num_qubits, 0)
+{
+}
+
+StateVector::StateVector(int num_qubits, size_t basis_index)
+    : num_qubits_(num_qubits)
+{
+    QISET_REQUIRE(num_qubits >= 1 && num_qubits <= 28,
+                  "state vector supports 1..28 qubits");
+    size_t dim = size_t{1} << num_qubits;
+    QISET_REQUIRE(basis_index < dim, "basis index out of range");
+    amps_.assign(dim, cplx(0.0, 0.0));
+    amps_[basis_index] = 1.0;
+}
+
+void
+StateVector::apply1q(const Matrix& gate, int qubit)
+{
+    QISET_REQUIRE(qubit >= 0 && qubit < num_qubits_, "qubit out of range");
+    int shift = num_qubits_ - 1 - qubit;
+    size_t mask = size_t{1} << shift;
+    size_t dim = amps_.size();
+
+    cplx g00 = gate(0, 0), g01 = gate(0, 1);
+    cplx g10 = gate(1, 0), g11 = gate(1, 1);
+
+    for (size_t idx = 0; idx < dim; ++idx) {
+        if (idx & mask)
+            continue;
+        size_t idx1 = idx | mask;
+        cplx a0 = amps_[idx];
+        cplx a1 = amps_[idx1];
+        amps_[idx] = g00 * a0 + g01 * a1;
+        amps_[idx1] = g10 * a0 + g11 * a1;
+    }
+}
+
+void
+StateVector::apply2q(const Matrix& gate, int qubit_a, int qubit_b)
+{
+    QISET_REQUIRE(qubit_a != qubit_b, "2Q gate on identical qubits");
+    QISET_REQUIRE(qubit_a >= 0 && qubit_a < num_qubits_ && qubit_b >= 0 &&
+                      qubit_b < num_qubits_,
+                  "qubit out of range");
+    size_t mask_a = size_t{1} << (num_qubits_ - 1 - qubit_a);
+    size_t mask_b = size_t{1} << (num_qubits_ - 1 - qubit_b);
+    size_t dim = amps_.size();
+
+    cplx g[4][4];
+    for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 4; ++j)
+            g[i][j] = gate(i, j);
+
+    for (size_t idx = 0; idx < dim; ++idx) {
+        if (idx & (mask_a | mask_b))
+            continue;
+        size_t i00 = idx;
+        size_t i01 = idx | mask_b;
+        size_t i10 = idx | mask_a;
+        size_t i11 = idx | mask_a | mask_b;
+        cplx a00 = amps_[i00], a01 = amps_[i01];
+        cplx a10 = amps_[i10], a11 = amps_[i11];
+        amps_[i00] = g[0][0] * a00 + g[0][1] * a01 + g[0][2] * a10 +
+                     g[0][3] * a11;
+        amps_[i01] = g[1][0] * a00 + g[1][1] * a01 + g[1][2] * a10 +
+                     g[1][3] * a11;
+        amps_[i10] = g[2][0] * a00 + g[2][1] * a01 + g[2][2] * a10 +
+                     g[2][3] * a11;
+        amps_[i11] = g[3][0] * a00 + g[3][1] * a01 + g[3][2] * a10 +
+                     g[3][3] * a11;
+    }
+}
+
+void
+StateVector::applyOperation(const Operation& op)
+{
+    if (op.isTwoQubit())
+        apply2q(op.unitary, op.qubits[0], op.qubits[1]);
+    else
+        apply1q(op.unitary, op.qubits[0]);
+}
+
+void
+StateVector::run(const Circuit& circuit)
+{
+    QISET_REQUIRE(circuit.numQubits() == num_qubits_,
+                  "circuit width mismatch");
+    for (const auto& op : circuit.ops())
+        applyOperation(op);
+}
+
+std::vector<double>
+StateVector::probabilities() const
+{
+    std::vector<double> probs(amps_.size());
+    for (size_t i = 0; i < amps_.size(); ++i)
+        probs[i] = std::norm(amps_[i]);
+    return probs;
+}
+
+double
+StateVector::norm() const
+{
+    double sum = 0.0;
+    for (const auto& amp : amps_)
+        sum += std::norm(amp);
+    return std::sqrt(sum);
+}
+
+void
+StateVector::normalize()
+{
+    double n = norm();
+    QISET_REQUIRE(n > 1e-300, "cannot normalize the zero state");
+    for (auto& amp : amps_)
+        amp /= n;
+}
+
+cplx
+StateVector::innerProduct(const StateVector& other) const
+{
+    QISET_REQUIRE(dim() == other.dim(), "dimension mismatch");
+    cplx sum(0.0, 0.0);
+    for (size_t i = 0; i < amps_.size(); ++i)
+        sum += std::conj(amps_[i]) * other.amps_[i];
+    return sum;
+}
+
+std::vector<size_t>
+StateVector::sample(Rng& rng, int shots) const
+{
+    std::vector<double> probs = probabilities();
+    // Cumulative-distribution inversion; one binary search per shot.
+    std::vector<double> cdf(probs.size());
+    double cum = 0.0;
+    for (size_t i = 0; i < probs.size(); ++i) {
+        cum += probs[i];
+        cdf[i] = cum;
+    }
+    std::vector<size_t> outcomes;
+    outcomes.reserve(shots);
+    for (int s = 0; s < shots; ++s) {
+        double r = rng.uniform(0.0, cum);
+        size_t lo = 0, hi = cdf.size() - 1;
+        while (lo < hi) {
+            size_t mid = (lo + hi) / 2;
+            if (cdf[mid] < r)
+                lo = mid + 1;
+            else
+                hi = mid;
+        }
+        outcomes.push_back(lo);
+    }
+    return outcomes;
+}
+
+} // namespace qiset

@@ -1,0 +1,72 @@
+#ifndef QISET_SIM_STATEVECTOR_H
+#define QISET_SIM_STATEVECTOR_H
+
+/**
+ * @file
+ * Pure-state (noiseless) simulator.
+ *
+ * Used for ideal reference distributions (heavy-output sets, XEB ideal
+ * probabilities) and as the state engine inside the trajectory
+ * simulator. Scales comfortably to the paper's 20-qubit Fermi-Hubbard
+ * circuits.
+ */
+
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "common/rng.h"
+#include "qc/matrix.h"
+
+namespace qiset {
+
+/** 2^n-amplitude pure state with in-place gate application. */
+class StateVector
+{
+  public:
+    /** Initialize to |0...0> on num_qubits qubits. */
+    explicit StateVector(int num_qubits);
+
+    /** Initialize to the given computational basis state. */
+    StateVector(int num_qubits, size_t basis_index);
+
+    int numQubits() const { return num_qubits_; }
+    size_t dim() const { return amps_.size(); }
+
+    const std::vector<cplx>& amplitudes() const { return amps_; }
+    std::vector<cplx>& mutableAmplitudes() { return amps_; }
+
+    /** Apply a 2x2 unitary (or Kraus operator) to one qubit. */
+    void apply1q(const Matrix& gate, int qubit);
+
+    /** Apply a 4x4 unitary (or Kraus operator) to a qubit pair. */
+    void apply2q(const Matrix& gate, int qubit_a, int qubit_b);
+
+    /** Apply a circuit operation (dispatches on arity). */
+    void applyOperation(const Operation& op);
+
+    /** Run an entire circuit (no noise). */
+    void run(const Circuit& circuit);
+
+    /** Measurement probabilities |amp|^2 for every basis state. */
+    std::vector<double> probabilities() const;
+
+    /** L2 norm of the state. */
+    double norm() const;
+
+    /** Rescale to unit norm. */
+    void normalize();
+
+    /** Inner product <this|other>. */
+    cplx innerProduct(const StateVector& other) const;
+
+    /** Sample shot measurement outcomes from the probabilities. */
+    std::vector<size_t> sample(Rng& rng, int shots) const;
+
+  private:
+    int num_qubits_;
+    std::vector<cplx> amps_;
+};
+
+} // namespace qiset
+
+#endif // QISET_SIM_STATEVECTOR_H

@@ -1,0 +1,149 @@
+#include "sim/trajectory.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "qc/gates.h"
+
+namespace qiset {
+
+TrajectorySimulator::TrajectorySimulator(NoiseModel noise)
+    : noise_(std::move(noise))
+{
+}
+
+namespace {
+
+/** Apply one uniformly-random non-identity Pauli to the op's qubits. */
+void
+injectPauli(StateVector& state, const Operation& op, Rng& rng)
+{
+    static const Matrix paulis[4] = {gates::identity1q(), gates::pauliX(),
+                                     gates::pauliY(), gates::pauliZ()};
+    if (op.isTwoQubit()) {
+        // 15 non-identity two-qubit Paulis, uniform.
+        int index = rng.uniformInt(1, 15);
+        int pa = index / 4;
+        int pb = index % 4;
+        if (pa != 0)
+            state.apply1q(paulis[pa], op.qubits[0]);
+        if (pb != 0)
+            state.apply1q(paulis[pb], op.qubits[1]);
+    } else {
+        int index = rng.uniformInt(1, 3);
+        state.apply1q(paulis[index], op.qubits[0]);
+    }
+}
+
+/**
+ * Sample a Kraus branch: pick K_i with probability ||K_i psi||^2 and
+ * renormalize. Kraus operators here are single-qubit.
+ */
+void
+sampleKraus1q(StateVector& state, const std::vector<Matrix>& kraus,
+              int qubit, Rng& rng)
+{
+    if (kraus.size() == 1) {
+        state.apply1q(kraus[0], qubit);
+        return;
+    }
+    // Branch norms: compute ||K_i psi||^2 cheaply from the two
+    // marginal populations since each K_i is 2x2.
+    size_t mask = size_t{1} << (state.numQubits() - 1 - qubit);
+    const auto& amps = state.amplitudes();
+    // Gather the 2x2 reduced (unnormalized) density matrix entries we
+    // need: populations p0, p1 and coherence c = sum a0 conj(a1).
+    double p0 = 0.0, p1 = 0.0;
+    cplx coh(0.0, 0.0);
+    for (size_t idx = 0; idx < amps.size(); ++idx) {
+        if (idx & mask)
+            continue;
+        cplx a0 = amps[idx];
+        cplx a1 = amps[idx | mask];
+        p0 += std::norm(a0);
+        p1 += std::norm(a1);
+        coh += a0 * std::conj(a1);
+    }
+    std::vector<double> weights;
+    weights.reserve(kraus.size());
+    for (const auto& k : kraus) {
+        // ||K psi||^2 = Tr(K rho_red K^dagger) with rho_red built from
+        // p0, p1, coh.
+        cplx k00 = k(0, 0), k01 = k(0, 1), k10 = k(1, 0), k11 = k(1, 1);
+        double w = std::norm(k00) * p0 + std::norm(k01) * p1 +
+                   std::norm(k10) * p0 + std::norm(k11) * p1 +
+                   2.0 * (std::conj(k00) * k01 * std::conj(coh)).real() +
+                   2.0 * (std::conj(k10) * k11 * std::conj(coh)).real();
+        weights.push_back(std::max(w, 0.0));
+    }
+    size_t choice = rng.discrete(weights);
+    // Fold the renormalization into the operator: the post-branch
+    // norm is exactly sqrt(w_choice) for a normalized input state, so
+    // applying K/sqrt(w) keeps the state normalized in one pass.
+    double w = std::max(weights[choice], 1e-300);
+    Matrix scaled = kraus[choice] * cplx(1.0 / std::sqrt(w), 0.0);
+    state.apply1q(scaled, qubit);
+}
+
+} // namespace
+
+void
+TrajectorySimulator::applyNoise(StateVector& state, const Operation& op,
+                                Rng& rng) const
+{
+    if (!noise_.enabled())
+        return;
+    if (op.error_rate > 0.0 && rng.bernoulli(op.error_rate))
+        injectPauli(state, op, rng);
+    if (op.duration_ns > 0.0) {
+        for (int q : op.qubits) {
+            sampleKraus1q(state, noise_.thermalKrausFor(q, op.duration_ns),
+                          q, rng);
+        }
+    }
+}
+
+StateVector
+TrajectorySimulator::runTrajectory(const Circuit& circuit, Rng& rng) const
+{
+    StateVector state(circuit.numQubits());
+    for (const auto& op : circuit.ops()) {
+        state.applyOperation(op);
+        applyNoise(state, op, rng);
+    }
+    return state;
+}
+
+std::vector<double>
+TrajectorySimulator::averageProbabilities(const Circuit& circuit,
+                                          int num_trajectories,
+                                          Rng& rng) const
+{
+    QISET_REQUIRE(num_trajectories > 0, "need at least one trajectory");
+    std::vector<double> accum(size_t{1} << circuit.numQubits(), 0.0);
+    for (int t = 0; t < num_trajectories; ++t) {
+        StateVector state = runTrajectory(circuit, rng);
+        const auto& amps = state.amplitudes();
+        for (size_t i = 0; i < amps.size(); ++i)
+            accum[i] += std::norm(amps[i]);
+    }
+    for (auto& p : accum)
+        p /= num_trajectories;
+    return noise_.applyReadoutError(accum);
+}
+
+double
+TrajectorySimulator::averageObservable(
+    const Circuit& circuit, int num_trajectories, Rng& rng,
+    const std::function<double(const StateVector&)>& observable) const
+{
+    QISET_REQUIRE(num_trajectories > 0, "need at least one trajectory");
+    double sum = 0.0;
+    for (int t = 0; t < num_trajectories; ++t) {
+        StateVector state = runTrajectory(circuit, rng);
+        sum += observable(state);
+    }
+    return sum / num_trajectories;
+}
+
+} // namespace qiset

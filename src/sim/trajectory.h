@@ -1,0 +1,70 @@
+#ifndef QISET_SIM_TRAJECTORY_H
+#define QISET_SIM_TRAJECTORY_H
+
+/**
+ * @file
+ * Monte-Carlo quantum-trajectory simulator.
+ *
+ * For circuits too wide for a density matrix (the paper's 20-qubit
+ * Fermi-Hubbard runs), noise is unravelled stochastically: each
+ * trajectory evolves a pure state, sampling a Kraus branch after every
+ * noisy operation. Averaging observables over trajectories converges
+ * to the density-matrix result.
+ */
+
+#include <functional>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "common/rng.h"
+#include "sim/noise_model.h"
+#include "sim/statevector.h"
+
+namespace qiset {
+
+/** Stochastic pure-state unravelling of the noisy evolution. */
+class TrajectorySimulator
+{
+  public:
+    /**
+     * @param noise Per-qubit noise parameters (thermal + readout).
+     */
+    explicit TrajectorySimulator(NoiseModel noise);
+
+    /**
+     * Evolve one trajectory of the circuit.
+     * Depolarizing errors are sampled as random Pauli injections;
+     * thermal relaxation is sampled from the Kraus decomposition with
+     * probabilities given by the post-branch norms.
+     */
+    StateVector runTrajectory(const Circuit& circuit, Rng& rng) const;
+
+    /**
+     * Average measurement probabilities over num_trajectories runs
+     * (readout error applied classically afterwards).
+     */
+    std::vector<double> averageProbabilities(const Circuit& circuit,
+                                             int num_trajectories,
+                                             Rng& rng) const;
+
+    /**
+     * Average a user observable over trajectories without storing the
+     * full probability vector per trajectory. The callback receives
+     * each trajectory's final pure state.
+     */
+    double averageObservable(
+        const Circuit& circuit, int num_trajectories, Rng& rng,
+        const std::function<double(const StateVector&)>& observable) const;
+
+    const NoiseModel& noise() const { return noise_; }
+
+  private:
+    void applyNoise(StateVector& state, const Operation& op,
+                    Rng& rng) const;
+
+    NoiseModel noise_;
+};
+
+} // namespace qiset
+
+#endif // QISET_SIM_TRAJECTORY_H

@@ -1,0 +1,94 @@
+// Calibration cost-model tests (Section IX anchors).
+
+#include <gtest/gtest.h>
+
+#include "calibration/calibration_model.h"
+#include "common/error.h"
+
+namespace qiset {
+namespace {
+
+TEST(Calibration, PerPairPerTypeBreakdown)
+{
+    CalibrationCostModel model;
+    // 200 + 200 + 1000 + 1000 * 10 = 11400.
+    EXPECT_EQ(model.circuitsPerPairPerType(), 11400);
+}
+
+TEST(Calibration, LinearInTypesAndPairs)
+{
+    CalibrationCostModel model;
+    long long one = model.totalCircuits(10, 1);
+    long long two = model.totalCircuits(10, 2);
+    long long double_pairs = model.totalCircuits(20, 1);
+    EXPECT_EQ(two - one, 10 * model.circuitsPerPairPerType());
+    EXPECT_EQ(double_pairs, 2 * one);
+}
+
+TEST(Calibration, PaperScaleAnchors)
+{
+    CalibrationCostModel model;
+    // 54-qubit device, ~10 gate types: order 10^7 circuits (Fig. 11a).
+    long long sycamore = model.totalCircuits(gridPairCount(54), 10);
+    EXPECT_GT(sycamore, 5e6);
+    EXPECT_LT(sycamore, 5e7);
+
+    // 1000-qubit device at the full 361-type grid: order 10^9-10^10.
+    long long kiloqubit =
+        model.totalCircuits(gridPairCount(1000), 361);
+    EXPECT_GT(kiloqubit, 5e9);
+    EXPECT_LT(kiloqubit, 5e10);
+}
+
+TEST(Calibration, ContinuousVsDiscreteIsTwoOrdersOfMagnitude)
+{
+    CalibrationCostModel model;
+    int pairs = gridPairCount(54);
+    double ratio =
+        static_cast<double>(model.totalCircuits(pairs, 361)) /
+        static_cast<double>(model.totalCircuits(pairs, 4));
+    EXPECT_GT(ratio, 50.0);
+    EXPECT_LT(ratio, 120.0);
+}
+
+TEST(Calibration, WallClockAnchors)
+{
+    CalibrationCostModel model;
+    // One gate type: a few hours (Sycamore's "up to 4h/day").
+    EXPECT_GT(model.wallClockHours(1), 2.0);
+    EXPECT_LT(model.wallClockHours(1), 6.0);
+    // Eight types: ~20 hours (Fig. 11b's right edge).
+    EXPECT_GT(model.wallClockHours(8), 15.0);
+    EXPECT_LT(model.wallClockHours(8), 25.0);
+}
+
+TEST(Calibration, WallClockMonotone)
+{
+    CalibrationCostModel model;
+    for (int t = 1; t < 10; ++t)
+        EXPECT_LT(model.wallClockHours(t), model.wallClockHours(t + 1));
+}
+
+TEST(GridPairCount, SmallCases)
+{
+    EXPECT_EQ(gridPairCount(2), 1);
+    // 2x2 grid: 4 edges.
+    EXPECT_EQ(gridPairCount(4), 4);
+    // 54 qubits -> near the Sycamore coupler count (~88-93).
+    EXPECT_GT(gridPairCount(54), 80);
+    EXPECT_LT(gridPairCount(54), 100);
+    // ~2 edges per qubit for large grids.
+    EXPECT_NEAR(gridPairCount(1000), 2000, 120);
+}
+
+TEST(Calibration, InvalidInputsThrow)
+{
+    CalibrationCostModel model;
+    EXPECT_THROW(model.totalCircuits(0, 1), FatalError);
+    EXPECT_THROW(model.totalCircuits(1, 0), FatalError);
+    EXPECT_THROW(model.wallClockHours(0), FatalError);
+    EXPECT_THROW(gridPairCount(1), FatalError);
+}
+
+} // namespace
+} // namespace qiset

@@ -1,0 +1,148 @@
+// Circuit IR tests: construction, counting, depth, scheduling and the
+// full-unitary builder.
+
+#include <gtest/gtest.h>
+
+#include "circuit/circuit.h"
+#include "common/error.h"
+#include "qc/gates.h"
+
+namespace qiset {
+namespace {
+
+using namespace gates;
+
+TEST(Circuit, CountsGatesByArity)
+{
+    Circuit c(3);
+    c.add1q(0, hadamard(), "H");
+    c.add2q(0, 1, cz(), "CZ");
+    c.add2q(1, 2, iswap(), "iSWAP");
+    EXPECT_EQ(c.oneQubitGateCount(), 1);
+    EXPECT_EQ(c.twoQubitGateCount(), 2);
+    EXPECT_EQ(c.size(), 3u);
+}
+
+TEST(Circuit, CountLabel)
+{
+    Circuit c(2);
+    c.add2q(0, 1, swap(), "SWAP");
+    c.add2q(0, 1, swap(), "SWAP");
+    c.add2q(0, 1, cz(), "CZ");
+    EXPECT_EQ(c.countLabel("SWAP"), 2);
+    EXPECT_EQ(c.countLabel("CZ"), 1);
+    EXPECT_EQ(c.countLabel("nope"), 0);
+}
+
+TEST(Circuit, RejectsBadQubits)
+{
+    Circuit c(2);
+    EXPECT_THROW(c.add1q(2, hadamard()), FatalError);
+    EXPECT_THROW(c.add2q(0, 0, cz()), FatalError);
+    EXPECT_THROW(c.add2q(0, 5, cz()), FatalError);
+}
+
+TEST(Circuit, RejectsWrongShapes)
+{
+    Circuit c(2);
+    EXPECT_THROW(c.add1q(0, cz()), FatalError);
+    EXPECT_THROW(c.add2q(0, 1, hadamard()), FatalError);
+}
+
+TEST(Circuit, DepthTracksParallelism)
+{
+    Circuit c(4);
+    c.add1q(0, hadamard());
+    c.add1q(1, hadamard());
+    EXPECT_EQ(c.depth(), 1); // parallel 1Q layer
+    c.add2q(0, 1, cz());
+    EXPECT_EQ(c.depth(), 2);
+    c.add2q(2, 3, cz());
+    EXPECT_EQ(c.depth(), 2); // disjoint pair packs into moment 2
+    c.add2q(1, 2, cz());
+    EXPECT_EQ(c.depth(), 3);
+}
+
+TEST(Circuit, ScheduledDuration)
+{
+    Circuit c(2);
+    Operation a;
+    a.qubits = {0};
+    a.unitary = hadamard();
+    a.duration_ns = 25.0;
+    c.add(a);
+    Operation b;
+    b.qubits = {0, 1};
+    b.unitary = cz();
+    b.duration_ns = 100.0;
+    c.add(b);
+    EXPECT_NEAR(c.scheduledDurationNs(), 125.0, 1e-9);
+}
+
+TEST(Circuit, AppendConcatenates)
+{
+    Circuit a(2), b(2);
+    a.add1q(0, hadamard());
+    b.add2q(0, 1, cz());
+    a.append(b);
+    EXPECT_EQ(a.size(), 2u);
+}
+
+TEST(Circuit, UnitaryOfBellPreparation)
+{
+    Circuit c(2);
+    c.add1q(0, hadamard(), "H");
+    c.add2q(0, 1, cnot(), "CNOT");
+    Matrix u = c.unitary();
+    // First column = state (|00> + |11>)/sqrt(2).
+    double s = 1.0 / std::sqrt(2.0);
+    EXPECT_NEAR(std::abs(u(0, 0) - cplx(s)), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(u(3, 0) - cplx(s)), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(u(1, 0)), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(u(2, 0)), 0.0, 1e-12);
+}
+
+TEST(Circuit, EmbedUnitaryMatchesKroneckerForAdjacentPair)
+{
+    // 2Q gate on qubits (0, 1) of a 2-qubit register is the matrix
+    // itself.
+    Matrix g = iswap();
+    Matrix full = embedUnitary(g, {0, 1}, 2);
+    EXPECT_LT(full.maxAbsDiff(g), 1e-12);
+}
+
+TEST(Circuit, EmbedUnitaryHandlesReversedQubitOrder)
+{
+    // Applying CNOT on (1, 0) must equal SWAP * CNOT * SWAP on (0, 1).
+    Matrix reversed = embedUnitary(cnot(), {1, 0}, 2);
+    Matrix expected = swap() * cnot() * swap();
+    EXPECT_LT(reversed.maxAbsDiff(expected), 1e-12);
+}
+
+TEST(Circuit, EmbedSingleQubitOnSecondQubit)
+{
+    Matrix full = embedUnitary(pauliX(), {1}, 2);
+    Matrix expected = identity1q().kron(pauliX());
+    EXPECT_LT(full.maxAbsDiff(expected), 1e-12);
+}
+
+TEST(Circuit, UnitaryIsUnitaryForRandomCircuit)
+{
+    Circuit c(3);
+    c.add1q(0, hadamard());
+    c.add2q(0, 2, iswap());
+    c.add1q(1, tGate());
+    c.add2q(2, 1, fsim(0.4, 1.1));
+    EXPECT_TRUE(c.unitary().isUnitary(1e-10));
+}
+
+TEST(Circuit, ToStringListsOps)
+{
+    Circuit c(2);
+    c.add2q(0, 1, cz(), "CZ");
+    std::string s = c.toString();
+    EXPECT_NE(s.find("CZ q0, q1"), std::string::npos);
+}
+
+} // namespace
+} // namespace qiset

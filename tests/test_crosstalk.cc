@@ -1,0 +1,104 @@
+// Crosstalk inflation pass tests.
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "compiler/crosstalk.h"
+#include "qc/gates.h"
+
+namespace qiset {
+namespace {
+
+using namespace gates;
+
+Operation
+noisy2q(int a, int b, double error)
+{
+    Operation op;
+    op.qubits = {a, b};
+    op.unitary = cz();
+    op.label = "CZ";
+    op.error_rate = error;
+    return op;
+}
+
+TEST(Crosstalk, ParallelAdjacentCouplersInflate)
+{
+    // Line 0-1-2-3: gates on (0,1) and (2,3) run in the same moment
+    // and couplers (0,1)/(2,3) touch via the (1,2) edge.
+    Circuit c(4);
+    c.add(noisy2q(0, 1, 0.01));
+    c.add(noisy2q(2, 3, 0.01));
+    Topology line = Topology::line(4);
+    int inflated =
+        applyCrosstalkInflation(c, {0, 1, 2, 3}, line, 2.0);
+    EXPECT_EQ(inflated, 2);
+    EXPECT_NEAR(c.ops()[0].error_rate, 0.02, 1e-12);
+    EXPECT_NEAR(c.ops()[1].error_rate, 0.02, 1e-12);
+}
+
+TEST(Crosstalk, SequentialGatesDoNotInflate)
+{
+    // Same couplers but forced into different moments by a shared
+    // qubit chain.
+    Circuit c(4);
+    c.add(noisy2q(0, 1, 0.01));
+    c.add(noisy2q(1, 2, 0.01));
+    c.add(noisy2q(2, 3, 0.01));
+    Topology line = Topology::line(4);
+    int inflated =
+        applyCrosstalkInflation(c, {0, 1, 2, 3}, line, 2.0);
+    EXPECT_EQ(inflated, 0);
+    for (const auto& op : c.ops())
+        EXPECT_NEAR(op.error_rate, 0.01, 1e-12);
+}
+
+TEST(Crosstalk, DistantParallelGatesUnaffected)
+{
+    // On a long line, (0,1) and (4,5) are not adjacent couplers.
+    Circuit c(6);
+    c.add(noisy2q(0, 1, 0.01));
+    c.add(noisy2q(4, 5, 0.01));
+    Topology line = Topology::line(6);
+    int inflated =
+        applyCrosstalkInflation(c, {0, 1, 2, 3, 4, 5}, line, 3.0);
+    EXPECT_EQ(inflated, 0);
+}
+
+TEST(Crosstalk, PhysicalMappingDecidesAdjacency)
+{
+    // Register-adjacent but physically distant: no inflation.
+    Circuit c(4);
+    c.add(noisy2q(0, 1, 0.01));
+    c.add(noisy2q(2, 3, 0.01));
+    Topology line = Topology::line(10);
+    int inflated =
+        applyCrosstalkInflation(c, {0, 1, 8, 9}, line, 2.0);
+    EXPECT_EQ(inflated, 0);
+}
+
+TEST(Crosstalk, OneQubitOpsIgnored)
+{
+    Circuit c(2);
+    Operation op;
+    op.qubits = {0};
+    op.unitary = hadamard();
+    op.error_rate = 0.01;
+    c.add(op);
+    c.add(noisy2q(0, 1, 0.01));
+    int inflated = applyCrosstalkInflation(c, {0, 1},
+                                           Topology::line(2), 2.0);
+    EXPECT_EQ(inflated, 0);
+}
+
+TEST(Crosstalk, RejectsInvalidInflation)
+{
+    Circuit c(2);
+    c.add(noisy2q(0, 1, 0.01));
+    EXPECT_THROW(
+        applyCrosstalkInflation(c, {0, 1}, Topology::line(2), 0.5),
+        FatalError);
+}
+
+} // namespace
+} // namespace qiset

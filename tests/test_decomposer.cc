@@ -1,0 +1,292 @@
+// NuOp decomposer tests: exact layer counts against KAK lower bounds,
+// approximation behaviour and noise-aware gate selection.
+
+#include <gtest/gtest.h>
+
+#include "apps/qv.h"
+#include "common/rng.h"
+#include "nuop/decomposer.h"
+#include "nuop/kak.h"
+#include "nuop/template_circuit.h"
+#include "qc/gates.h"
+
+namespace qiset {
+namespace {
+
+using namespace gates;
+
+NuOpOptions
+fastOptions()
+{
+    NuOpOptions opts;
+    opts.max_layers = 5;
+    opts.multistarts = 4;
+    opts.exact_threshold = 1.0 - 1e-7;
+    return opts;
+}
+
+TEST(Decomposer, GenericSu4NeedsThreeCzLayers)
+{
+    NuOpDecomposer nuop(fastOptions());
+    Rng rng(61);
+    Matrix target = randomSu4(rng);
+    Decomposition d =
+        nuop.decomposeExact(target, makeFixedGate("CZ", cz()));
+    EXPECT_TRUE(d.meets_threshold);
+    EXPECT_EQ(d.layers, 3);
+    EXPECT_GE(d.decomposition_fidelity, 1.0 - 1e-6);
+}
+
+TEST(Decomposer, GenericSu4WithSqrtIswapNeedsTwoOrThree)
+{
+    // ~79% of Haar-random SU(4)s are exactly reachable with two
+    // sqrt(iSWAP) applications (Huang et al. 2021); the rest need 3.
+    NuOpDecomposer nuop(fastOptions());
+    Rng rng(62);
+    for (int trial = 0; trial < 3; ++trial) {
+        Decomposition d = nuop.decomposeExact(
+            randomSu4(rng), makeFixedGate("sqiSWAP", sqrtIswap()));
+        EXPECT_TRUE(d.meets_threshold);
+        EXPECT_GE(d.layers, 2);
+        EXPECT_LE(d.layers, 3);
+    }
+}
+
+TEST(Decomposer, ZzWithCzNeedsTwo)
+{
+    NuOpDecomposer nuop(fastOptions());
+    Decomposition d =
+        nuop.decomposeExact(zz(0.0303), makeFixedGate("CZ", cz()));
+    EXPECT_TRUE(d.meets_threshold);
+    EXPECT_EQ(d.layers, 2);
+}
+
+TEST(Decomposer, CzWithCzNeedsOne)
+{
+    NuOpDecomposer nuop(fastOptions());
+    Decomposition d = nuop.decomposeExact(cz(), makeFixedGate("CZ", cz()));
+    EXPECT_TRUE(d.meets_threshold);
+    EXPECT_EQ(d.layers, 1);
+}
+
+TEST(Decomposer, LocalTargetNeedsZero)
+{
+    NuOpDecomposer nuop(fastOptions());
+    Matrix local = u3(0.4, 1.2, 2.8).kron(u3(2.2, 0.7, 1.4));
+    Decomposition d =
+        nuop.decomposeExact(local, makeFixedGate("CZ", cz()));
+    EXPECT_TRUE(d.meets_threshold);
+    EXPECT_EQ(d.layers, 0);
+}
+
+TEST(Decomposer, SwapWithNativeSwapNeedsOne)
+{
+    NuOpDecomposer nuop(fastOptions());
+    Decomposition d =
+        nuop.decomposeExact(swap(), makeFixedGate("SWAP", swap()));
+    EXPECT_TRUE(d.meets_threshold);
+    EXPECT_EQ(d.layers, 1);
+}
+
+TEST(Decomposer, SwapWithFsimHalfPiPiNeedsOne)
+{
+    // fSim(pi/2, pi) is SWAP-equivalent up to 1Q rotations (Sec VIII).
+    NuOpDecomposer nuop(fastOptions());
+    Decomposition d = nuop.decomposeExact(
+        swap(), makeFixedGate("fSim", fsim(kPi / 2.0, kPi)));
+    EXPECT_TRUE(d.meets_threshold);
+    EXPECT_EQ(d.layers, 1);
+}
+
+TEST(Decomposer, SwapWithCzNeedsThree)
+{
+    NuOpDecomposer nuop(fastOptions());
+    Decomposition d =
+        nuop.decomposeExact(swap(), makeFixedGate("CZ", cz()));
+    EXPECT_TRUE(d.meets_threshold);
+    EXPECT_EQ(d.layers, 3);
+}
+
+TEST(Decomposer, ExactLayerCountMatchesKakBoundForCz)
+{
+    // Property: NuOp's CZ layer count equals the analytic minimum.
+    NuOpDecomposer nuop(fastOptions());
+    Rng rng(63);
+    for (int trial = 0; trial < 5; ++trial) {
+        Matrix target = randomSu4(rng);
+        Decomposition d =
+            nuop.decomposeExact(target, makeFixedGate("CZ", cz()));
+        EXPECT_EQ(d.layers, minimalCzCount(target));
+    }
+}
+
+TEST(Decomposer, DecompositionCircuitReproducesTarget)
+{
+    NuOpDecomposer nuop(fastOptions());
+    Rng rng(64);
+    Matrix target = randomSu4(rng);
+    HardwareGate gate = makeFixedGate("SYC", sycamore());
+    Decomposition d = nuop.decomposeExact(target, gate);
+    ASSERT_TRUE(d.meets_threshold);
+
+    TwoQubitTemplate templ(d.layers, gate.unitary);
+    Matrix realized = templ.build(d.params);
+    EXPECT_NEAR(traceFidelity(realized, target), 1.0, 1e-6);
+}
+
+TEST(Decomposer, FullFsimFamilyDecomposesSu4InTwoLayers)
+{
+    // With free fSim angles, generic SU(4) needs only ~2 layers
+    // (the continuous-set optimum quoted for QV in Sec. VIII).
+    NuOpOptions opts = fastOptions();
+    opts.multistarts = 8;
+    NuOpDecomposer nuop(opts);
+    Rng rng(65);
+    HardwareGate family;
+    family.name = "fSim";
+    family.family = TemplateFamily::FullFsim;
+    Decomposition d = nuop.decomposeExact(randomSu4(rng), family);
+    EXPECT_TRUE(d.meets_threshold);
+    EXPECT_LE(d.layers, 3);
+    EXPECT_GE(d.layers, 2);
+}
+
+TEST(Decomposer, FullCphaseImplementsZzInOneLayer)
+{
+    // The Lacroix CZ(phi) family realizes any controlled-phase-class
+    // interaction (every QAOA ZZ term) with a single gate.
+    NuOpDecomposer nuop(fastOptions());
+    HardwareGate family;
+    family.name = "CZt";
+    family.family = TemplateFamily::FullCphase;
+    for (double beta : {0.1, 0.5, 1.2}) {
+        Decomposition d = nuop.decomposeExact(zz(beta), family);
+        EXPECT_TRUE(d.meets_threshold) << beta;
+        EXPECT_EQ(d.layers, 1) << beta;
+    }
+}
+
+TEST(Decomposer, FullCphaseStillNeedsThreeForSu4)
+{
+    // Phase-family gates are CZ-equivalent per layer: generic SU(4)
+    // still costs 3 applications (the family helps QAOA, not QV).
+    NuOpDecomposer nuop(fastOptions());
+    HardwareGate family;
+    family.name = "CZt";
+    family.family = TemplateFamily::FullCphase;
+    Rng rng(68);
+    Decomposition d = nuop.decomposeExact(randomSu4(rng), family);
+    EXPECT_TRUE(d.meets_threshold);
+    EXPECT_EQ(d.layers, 3);
+}
+
+TEST(Decomposer, ApproximateNeverWorseOverall)
+{
+    NuOpOptions opts = fastOptions();
+    NuOpDecomposer nuop(opts);
+    Rng rng(66);
+    Matrix target = randomSu4(rng);
+    HardwareGate gate = makeFixedGate("CZ", cz(), 0.95);
+    Decomposition exact = nuop.decomposeExact(target, gate);
+    Decomposition approx = nuop.decomposeApproximate(target, gate);
+    // Eq. 2: the approximate pick maximizes Fd * Fh, so it is at least
+    // as good overall as the exact decomposition.
+    EXPECT_GE(approx.overallFidelity(),
+              exact.overallFidelity() - 1e-9);
+}
+
+TEST(Decomposer, ApproximateUsesFewerGatesAtHighError)
+{
+    NuOpDecomposer nuop(fastOptions());
+    Rng rng(67);
+    Matrix target = randomSu4(rng);
+    // At 95% gate fidelity, dropping from 3 to 2 layers usually pays.
+    Decomposition approx = nuop.decomposeApproximate(
+        target, makeFixedGate("CZ", cz(), 0.95));
+    EXPECT_LE(approx.layers, 3);
+    Decomposition near_perfect = nuop.decomposeApproximate(
+        target, makeFixedGate("CZ", cz(), 0.99999));
+    EXPECT_EQ(near_perfect.layers, 3);
+}
+
+TEST(Decomposer, NoiseAwareSelectionPicksBetterGate)
+{
+    NuOpDecomposer nuop(fastOptions());
+    // CZ is poorly calibrated, iSWAP is excellent: for a ZZ target
+    // (2 layers either way) the selector must pick iSWAP.
+    std::vector<HardwareGate> gates = {
+        makeFixedGate("CZ", cz(), 0.86),
+        makeFixedGate("iSWAP", iswap(), 0.99),
+    };
+    Decomposition d = nuop.decomposeBest(zz(0.4), gates);
+    EXPECT_EQ(d.gate_name, "iSWAP");
+}
+
+TEST(Decomposer, UnavailableGateLosesToCalibratedOne)
+{
+    NuOpDecomposer nuop(fastOptions());
+    std::vector<HardwareGate> gates = {
+        makeFixedGate("XY", iswap(), 0.0), // uncalibrated
+        makeFixedGate("CZ", cz(), 0.9),
+    };
+    Decomposition d = nuop.decomposeBest(zz(0.4), gates);
+    EXPECT_EQ(d.gate_name, "CZ");
+}
+
+class FsimTargetSweep
+    : public ::testing::TestWithParam<std::pair<double, double>>
+{
+};
+
+TEST_P(FsimTargetSweep, AnyFsimTargetNeedsAtMostThreeSycs)
+{
+    // Property: every member of the fSim family decomposes exactly
+    // into <= 3 applications of the SYC gate.
+    auto [theta, phi] = GetParam();
+    NuOpDecomposer nuop(fastOptions());
+    Decomposition d = nuop.decomposeExact(
+        fsim(theta, phi), makeFixedGate("SYC", sycamore()));
+    EXPECT_TRUE(d.meets_threshold) << theta << "," << phi;
+    EXPECT_LE(d.layers, 3) << theta << "," << phi;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, FsimTargetSweep,
+    ::testing::Values(std::pair{0.0, kPi}, std::pair{kPi / 4, 0.0},
+                      std::pair{kPi / 2, kPi / 6},
+                      std::pair{kPi / 3, kPi / 2},
+                      std::pair{kPi / 6, kPi},
+                      std::pair{kPi / 2, kPi}));
+
+class CzCountAgreement : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(CzCountAgreement, NuOpMatchesAnalyticBound)
+{
+    // Property: NuOp's exact CZ layer count equals the Shende-
+    // Bullock-Markov analytic minimum for random SU(4) targets.
+    NuOpDecomposer nuop(fastOptions());
+    Rng rng(900 + GetParam());
+    Matrix target = randomSu4(rng);
+    Decomposition d =
+        nuop.decomposeExact(target, makeFixedGate("CZ", cz()));
+    EXPECT_TRUE(d.meets_threshold);
+    EXPECT_EQ(d.layers, minimalCzCount(target));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CzCountAgreement,
+                         ::testing::Range(0, 8));
+
+TEST(Decomposer, HardwareFidelityModel)
+{
+    NuOpOptions opts = fastOptions();
+    opts.one_qubit_fidelity = 0.999;
+    NuOpDecomposer nuop(opts);
+    HardwareGate gate = makeFixedGate("CZ", cz(), 0.95);
+    double fh = nuop.hardwareFidelity(gate, 3);
+    EXPECT_NEAR(fh, std::pow(0.95, 3) * std::pow(0.999, 8), 1e-12);
+}
+
+} // namespace
+} // namespace qiset

@@ -1,0 +1,199 @@
+// Density-matrix simulator tests: consistency with the state vector,
+// channel physics and the noisy-run pipeline.
+
+#include <gtest/gtest.h>
+
+#include "circuit/circuit.h"
+#include "qc/gates.h"
+#include "sim/density_matrix.h"
+#include "sim/statevector.h"
+
+namespace qiset {
+namespace {
+
+using namespace gates;
+
+TEST(DensityMatrix, PureStateProbabilitiesMatchStateVector)
+{
+    Circuit c(3);
+    c.add1q(0, hadamard());
+    c.add2q(0, 1, cnot());
+    c.add2q(1, 2, fsim(0.5, 0.8));
+    c.add1q(2, tGate());
+
+    StateVector sv(3);
+    sv.run(c);
+
+    DensityMatrix rho(3);
+    for (const auto& op : c.ops())
+        rho.applyUnitary(op.unitary, op.qubits);
+
+    auto p_sv = sv.probabilities();
+    auto p_dm = rho.probabilities();
+    for (size_t i = 0; i < p_sv.size(); ++i)
+        EXPECT_NEAR(p_sv[i], p_dm[i], 1e-10);
+    EXPECT_NEAR(rho.purity(), 1.0, 1e-10);
+}
+
+TEST(DensityMatrix, ConstructFromStateVector)
+{
+    StateVector sv(2);
+    sv.apply1q(hadamard(), 0);
+    DensityMatrix rho(sv);
+    EXPECT_NEAR(rho.trace(), 1.0, 1e-12);
+    EXPECT_NEAR(rho.fidelityWithPure(sv), 1.0, 1e-12);
+}
+
+TEST(DensityMatrix, DepolarizingReducesPurity)
+{
+    DensityMatrix rho(2);
+    rho.applyUnitary(hadamard(), {0});
+    rho.applyUnitary(cnot(), {0, 1});
+    double purity_before = rho.purity();
+    rho.applyKraus(NoiseModel::depolarizingKraus2q(0.1), {0, 1});
+    EXPECT_LT(rho.purity(), purity_before);
+    EXPECT_NEAR(rho.trace(), 1.0, 1e-10);
+}
+
+TEST(DensityMatrix, FullDepolarizingGivesMaximallyMixed)
+{
+    DensityMatrix rho(1);
+    // p = 3/4 is the fully-depolarizing point of the 1Q channel.
+    rho.applyKraus(NoiseModel::depolarizingKraus1q(0.75), {0});
+    auto probs = rho.probabilities();
+    EXPECT_NEAR(probs[0], 0.5, 1e-10);
+    EXPECT_NEAR(probs[1], 0.5, 1e-10);
+    EXPECT_NEAR(rho.purity(), 0.5, 1e-10);
+}
+
+TEST(DensityMatrix, AmplitudeDampingDecaysExcitedState)
+{
+    DensityMatrix rho(1);
+    rho.applyUnitary(pauliX(), {0}); // |1>
+    double t1 = 15e3;
+    double duration = 5e3;
+    rho.applyKraus(NoiseModel::thermalKraus(t1, t1, duration), {0});
+    double expected_p1 = std::exp(-duration / t1);
+    EXPECT_NEAR(rho.probabilities()[1], expected_p1, 1e-9);
+}
+
+TEST(DensityMatrix, DephasingKillsCoherence)
+{
+    DensityMatrix rho(1);
+    rho.applyUnitary(hadamard(), {0});
+    double t1 = 1e9; // effectively no amplitude damping
+    double t2 = 10e3;
+    double duration = 7e3;
+    rho.applyKraus(NoiseModel::thermalKraus(t1, t2, duration), {0});
+    // Off-diagonal element decays as exp(-t/T2).
+    double coherence = std::abs(rho.element(0, 1));
+    EXPECT_NEAR(coherence, 0.5 * std::exp(-duration / t2), 1e-6);
+    // Populations essentially untouched (T1 is finite but huge).
+    EXPECT_NEAR(rho.probabilities()[0], 0.5, 1e-5);
+}
+
+TEST(DensityMatrix, RunNoisyMatchesManualChannelApplication)
+{
+    Circuit c(2);
+    c.add1q(0, hadamard(), "H");
+    Operation op;
+    op.qubits = {0, 1};
+    op.unitary = cnot();
+    op.error_rate = 0.05;
+    op.duration_ns = 100.0;
+    c.add(op);
+
+    QubitNoise qn;
+    qn.t1_ns = 20e3;
+    qn.t2_ns = 20e3;
+    NoiseModel noise(2, qn);
+
+    DensityMatrix via_run(2);
+    via_run.runNoisy(c, noise);
+
+    DensityMatrix manual(2);
+    manual.applyUnitary(hadamard(), {0});
+    manual.applyUnitary(cnot(), {0, 1});
+    manual.applyKraus(NoiseModel::depolarizingKraus2q(0.05), {0, 1});
+    manual.applyKraus(NoiseModel::thermalKraus(20e3, 20e3, 100.0), {0});
+    manual.applyKraus(NoiseModel::thermalKraus(20e3, 20e3, 100.0), {1});
+
+    auto p1 = via_run.probabilities();
+    auto p2 = manual.probabilities();
+    for (size_t i = 0; i < p1.size(); ++i)
+        EXPECT_NEAR(p1[i], p2[i], 1e-10);
+}
+
+TEST(DensityMatrix, FidelityWithPureDropsUnderNoise)
+{
+    Circuit c(2);
+    c.add1q(0, hadamard());
+    c.add2q(0, 1, cnot());
+
+    StateVector ideal(2);
+    ideal.run(c);
+
+    DensityMatrix rho(2);
+    for (const auto& op : c.ops())
+        rho.applyUnitary(op.unitary, op.qubits);
+    EXPECT_NEAR(rho.fidelityWithPure(ideal), 1.0, 1e-10);
+
+    rho.applyKraus(NoiseModel::depolarizingKraus2q(0.2), {0, 1});
+    double f = rho.fidelityWithPure(ideal);
+    EXPECT_LT(f, 0.95);
+    EXPECT_GT(f, 0.5);
+}
+
+class DepolarizingClosedForm : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(DepolarizingClosedForm, MatchesKrausChannel1q)
+{
+    double p = GetParam();
+    DensityMatrix a(3), b(3);
+    for (DensityMatrix* rho : {&a, &b}) {
+        rho->applyUnitary(hadamard(), {0});
+        rho->applyUnitary(cnot(), {0, 1});
+        rho->applyUnitary(fsim(0.4, 0.9), {1, 2});
+    }
+    a.applyDepolarizing(p, {1});
+    b.applyKraus(NoiseModel::depolarizingKraus1q(p), {1});
+    for (size_t r = 0; r < a.dim(); ++r)
+        for (size_t c = 0; c < a.dim(); ++c)
+            EXPECT_NEAR(std::abs(a.element(r, c) - b.element(r, c)),
+                        0.0, 1e-12);
+}
+
+TEST_P(DepolarizingClosedForm, MatchesKrausChannel2q)
+{
+    double p = GetParam();
+    DensityMatrix a(3), b(3);
+    for (DensityMatrix* rho : {&a, &b}) {
+        rho->applyUnitary(hadamard(), {2});
+        rho->applyUnitary(iswap(), {2, 0});
+    }
+    a.applyDepolarizing(p, {0, 2});
+    b.applyKraus(NoiseModel::depolarizingKraus2q(p), {0, 2});
+    for (size_t r = 0; r < a.dim(); ++r)
+        for (size_t c = 0; c < a.dim(); ++c)
+            EXPECT_NEAR(std::abs(a.element(r, c) - b.element(r, c)),
+                        0.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Probabilities, DepolarizingClosedForm,
+                         ::testing::Values(0.0, 0.0062, 0.05, 0.25));
+
+TEST(DensityMatrix, KrausOnSecondQubitOnly)
+{
+    DensityMatrix rho(2);
+    rho.applyUnitary(pauliX(), {1}); // |01>
+    rho.applyKraus(NoiseModel::thermalKraus(1e3, 1e3, 1e3), {1});
+    auto probs = rho.probabilities();
+    // Qubit 1 decays toward |0>, qubit 0 untouched.
+    EXPECT_NEAR(probs[0] + probs[1], 1.0, 1e-10);
+    EXPECT_GT(probs[0], 0.5);
+}
+
+} // namespace
+} // namespace qiset

@@ -1,0 +1,77 @@
+// ASCII circuit renderer tests.
+
+#include <gtest/gtest.h>
+
+#include "circuit/draw.h"
+#include "qc/gates.h"
+
+namespace qiset {
+namespace {
+
+using namespace gates;
+
+TEST(Draw, RendersLabelsAndWires)
+{
+    Circuit c(2);
+    c.add1q(0, hadamard(), "H");
+    c.add2q(0, 1, cz(), "CZ");
+    std::string art = drawCircuit(c);
+    EXPECT_NE(art.find("q0:"), std::string::npos);
+    EXPECT_NE(art.find("q1:"), std::string::npos);
+    EXPECT_NE(art.find("H"), std::string::npos);
+    EXPECT_NE(art.find("CZ"), std::string::npos);
+}
+
+TEST(Draw, TwoQubitConnectorPresent)
+{
+    Circuit c(3);
+    c.add2q(0, 2, iswap(), "ISWAP");
+    std::string art = drawCircuit(c);
+    // The op spans qubits 0-2: connector bars on the rows between.
+    EXPECT_NE(art.find('|'), std::string::npos);
+    EXPECT_NE(art.find('*'), std::string::npos);
+}
+
+TEST(Draw, ParallelOpsShareAColumn)
+{
+    Circuit c(4);
+    c.add2q(0, 1, cz(), "CZ");
+    c.add2q(2, 3, cz(), "CZ");
+    std::string one_moment = drawCircuit(c);
+
+    Circuit d(4);
+    d.add2q(0, 1, cz(), "CZ");
+    d.add2q(1, 2, cz(), "CZ");
+    std::string two_moments = drawCircuit(d);
+
+    // Sequential version renders wider wires.
+    auto line_len = [](const std::string& art) {
+        return art.find('\n');
+    };
+    EXPECT_LT(line_len(one_moment), line_len(two_moments));
+}
+
+TEST(Draw, TruncationAddsEllipsis)
+{
+    Circuit c(1);
+    for (int i = 0; i < 10; ++i)
+        c.add1q(0, hadamard(), "H");
+    std::string art = drawCircuit(c, 3);
+    EXPECT_NE(art.find("..."), std::string::npos);
+    std::string full = drawCircuit(c);
+    EXPECT_EQ(full.find("..."), std::string::npos);
+    EXPECT_GT(full.size(), art.size());
+}
+
+TEST(Draw, EveryQubitGetsARow)
+{
+    Circuit c(5);
+    c.add1q(3, pauliX(), "X");
+    std::string art = drawCircuit(c);
+    for (int q = 0; q < 5; ++q)
+        EXPECT_NE(art.find("q" + std::to_string(q) + ":"),
+                  std::string::npos);
+}
+
+} // namespace
+} // namespace qiset

@@ -1,0 +1,63 @@
+// Error-handling helper tests.
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace qiset {
+namespace {
+
+TEST(Error, FatalCarriesMessage)
+{
+    try {
+        fatal("bad value: ", 42, " in ", "context");
+        FAIL() << "fatal() must throw";
+    } catch (const FatalError& e) {
+        std::string what = e.what();
+        EXPECT_NE(what.find("fatal:"), std::string::npos);
+        EXPECT_NE(what.find("bad value: 42 in context"),
+                  std::string::npos);
+    }
+}
+
+TEST(Error, PanicCarriesMessage)
+{
+    try {
+        panic("invariant ", 3.5);
+        FAIL() << "panic() must throw";
+    } catch (const PanicError& e) {
+        EXPECT_NE(std::string(e.what()).find("invariant 3.5"),
+                  std::string::npos);
+    }
+}
+
+TEST(Error, RequireMacroPassesAndFails)
+{
+    EXPECT_NO_THROW(QISET_REQUIRE(1 + 1 == 2, "fine"));
+    EXPECT_THROW(QISET_REQUIRE(false, "nope"), FatalError);
+}
+
+TEST(Error, AssertMacroPassesAndFails)
+{
+    EXPECT_NO_THROW(QISET_ASSERT(true, "fine"));
+    EXPECT_THROW(QISET_ASSERT(false, "bug"), PanicError);
+}
+
+TEST(Error, FatalIsNotPanic)
+{
+    // The two error classes are distinct so callers can distinguish
+    // user errors from library bugs.
+    EXPECT_THROW(
+        {
+            try {
+                fatal("user error");
+            } catch (const PanicError&) {
+                FAIL() << "FatalError must not be a PanicError";
+            }
+            throw FatalError("x");
+        },
+        FatalError);
+}
+
+} // namespace
+} // namespace qiset

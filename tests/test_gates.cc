@@ -1,0 +1,157 @@
+// Gate-library tests: unitarity across parameter sweeps and the gate
+// identities Table I / Table II rely on.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "qc/gates.h"
+#include "qc/matrix.h"
+
+namespace qiset {
+namespace {
+
+using namespace gates;
+
+TEST(Gates, PauliAlgebra)
+{
+    Matrix xy = pauliX() * pauliY();
+    Matrix iz = pauliZ() * cplx(0.0, 1.0);
+    EXPECT_LT(xy.maxAbsDiff(iz), 1e-12);
+    EXPECT_LT((pauliX() * pauliX()).maxAbsDiff(identity1q()), 1e-12);
+    EXPECT_LT((hadamard() * hadamard()).maxAbsDiff(identity1q()), 1e-12);
+}
+
+TEST(Gates, SAndTGates)
+{
+    EXPECT_LT((sGate() * sGate()).maxAbsDiff(pauliZ()), 1e-12);
+    EXPECT_LT((tGate() * tGate()).maxAbsDiff(sGate()), 1e-12);
+}
+
+TEST(Gates, U3ReproducesNamedGates)
+{
+    // U3(pi/2, 0, pi) is the Hadamard up to global phase.
+    EXPECT_NEAR(traceFidelity(u3(kPi / 2.0, 0.0, kPi), hadamard()), 1.0,
+                1e-12);
+    // U3(pi, 0, pi) is X.
+    EXPECT_NEAR(traceFidelity(u3(kPi, 0.0, kPi), pauliX()), 1.0, 1e-12);
+    // U3(0, 0, 0) is the identity.
+    EXPECT_LT(u3(0.0, 0.0, 0.0).maxAbsDiff(identity1q()), 1e-12);
+}
+
+class RotationUnitarityTest : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(RotationUnitarityTest, RotationsAreUnitary)
+{
+    double angle = GetParam();
+    EXPECT_TRUE(rx(angle).isUnitary());
+    EXPECT_TRUE(ry(angle).isUnitary());
+    EXPECT_TRUE(rz(angle).isUnitary());
+    EXPECT_TRUE(u3(angle, 0.7, 1.9).isUnitary());
+    EXPECT_TRUE(xy(angle).isUnitary());
+    EXPECT_TRUE(cphase(angle).isUnitary());
+}
+
+INSTANTIATE_TEST_SUITE_P(Angles, RotationUnitarityTest,
+                         ::testing::Values(0.0, 0.3, kPi / 2, kPi, 2.5,
+                                           2 * kPi));
+
+class FsimUnitarityTest
+    : public ::testing::TestWithParam<std::pair<double, double>>
+{
+};
+
+TEST_P(FsimUnitarityTest, FsimIsUnitary)
+{
+    auto [theta, phi] = GetParam();
+    EXPECT_TRUE(fsim(theta, phi).isUnitary());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Angles, FsimUnitarityTest,
+    ::testing::Values(std::pair{0.0, 0.0}, std::pair{kPi / 2, kPi / 6},
+                      std::pair{kPi / 4, 0.0}, std::pair{1.1, 2.2},
+                      std::pair{kPi, kPi}));
+
+TEST(Gates, TableOneIdentities)
+{
+    // CZ == fSim(0, pi).
+    EXPECT_LT(cz().maxAbsDiff(fsim(0.0, kPi)), 1e-12);
+    // iSWAP == fSim(pi/2, 0).
+    EXPECT_LT(iswap().maxAbsDiff(fsim(kPi / 2.0, 0.0)), 1e-12);
+    // sqrt(iSWAP) squared is iSWAP.
+    EXPECT_LT((sqrtIswap() * sqrtIswap()).maxAbsDiff(iswap()), 1e-12);
+    // SYC == fSim(pi/2, pi/6).
+    EXPECT_LT(sycamore().maxAbsDiff(fsim(kPi / 2.0, kPi / 6.0)), 1e-12);
+}
+
+TEST(Gates, CzIsDiagonalWithMinusOne)
+{
+    Matrix c = cz();
+    EXPECT_EQ(c(0, 0), cplx(1.0));
+    EXPECT_EQ(c(1, 1), cplx(1.0));
+    EXPECT_EQ(c(2, 2), cplx(1.0));
+    EXPECT_NEAR(std::abs(c(3, 3) - cplx(-1.0)), 0.0, 1e-12);
+}
+
+TEST(Gates, XyRelatesToFsimUpToLocalPhases)
+{
+    // XY(theta) and fSim(theta/2, 0) differ only in the sign of the
+    // sin terms, i.e. by single-qubit Z rotations; their interaction
+    // strength matches.
+    Matrix a = xy(1.2);
+    Matrix b = fsim(0.6, 0.0);
+    EXPECT_NEAR(std::abs(a(1, 1)), std::abs(b(1, 1)), 1e-12);
+    EXPECT_NEAR(std::abs(a(1, 2)), std::abs(b(1, 2)), 1e-12);
+}
+
+TEST(Gates, SwapPermutesBasis)
+{
+    Matrix s = swap();
+    EXPECT_EQ(s(1, 2), cplx(1.0));
+    EXPECT_EQ(s(2, 1), cplx(1.0));
+    EXPECT_LT((s * s).maxAbsDiff(Matrix::identity(4)), 1e-12);
+}
+
+TEST(Gates, CnotMapsBasisStates)
+{
+    Matrix c = cnot();
+    // |10> -> |11>.
+    EXPECT_EQ(c(3, 2), cplx(1.0));
+    // |11> -> |10>.
+    EXPECT_EQ(c(2, 3), cplx(1.0));
+}
+
+TEST(Gates, ZzIsDiagonalInteraction)
+{
+    double beta = 0.0303;
+    Matrix m = zz(beta);
+    EXPECT_NEAR(std::arg(m(0, 0)), -beta, 1e-12);
+    EXPECT_NEAR(std::arg(m(1, 1)), beta, 1e-12);
+    EXPECT_NEAR(std::arg(m(3, 3)), -beta, 1e-12);
+    EXPECT_TRUE(m.isUnitary());
+}
+
+TEST(Gates, ZzIdentityAtZeroAngle)
+{
+    EXPECT_LT(zz(0.0).maxAbsDiff(Matrix::identity(4)), 1e-12);
+}
+
+TEST(Gates, XxPlusYyEqualsFsimTheta)
+{
+    EXPECT_LT(xxPlusYy(0.8).maxAbsDiff(fsim(0.8, 0.0)), 1e-12);
+}
+
+TEST(Gates, FsimComposition)
+{
+    // fSim(a, b) * fSim(c, d) == fSim(a+c, b+d): the family is a
+    // two-parameter abelian group.
+    Matrix lhs = fsim(0.3, 0.5) * fsim(0.4, 0.1);
+    Matrix rhs = fsim(0.7, 0.6);
+    EXPECT_LT(lhs.maxAbsDiff(rhs), 1e-12);
+}
+
+} // namespace
+} // namespace qiset

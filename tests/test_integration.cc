@@ -1,0 +1,188 @@
+// Cross-module integration properties tying workloads, simulators and
+// metrics together.
+
+#include <gtest/gtest.h>
+
+#include "apps/qaoa.h"
+#include "apps/qft.h"
+#include "apps/qv.h"
+#include "metrics/metrics.h"
+#include "nuop/decomposer.h"
+#include "qc/gates.h"
+#include "sim/density_matrix.h"
+#include "sim/statevector.h"
+#include "sim/trajectory.h"
+
+namespace qiset {
+namespace {
+
+using namespace gates;
+
+TEST(Integration, IdealQvHopNearPorterThomasValue)
+{
+    // For Haar-random circuits the ideal heavy-output probability
+    // approaches (1 + ln 2) / 2 ~ 0.847 (Aaronson-Chen); finite-size
+    // 6-qubit instances land nearby.
+    Rng rng(41);
+    double total = 0.0;
+    const int samples = 10;
+    for (int s = 0; s < samples; ++s) {
+        Circuit qv = makeQuantumVolumeCircuit(6, rng);
+        StateVector state(6);
+        state.run(qv);
+        auto ideal = state.probabilities();
+        total += heavyOutputProbability(ideal, ideal);
+    }
+    double mean = total / samples;
+    EXPECT_GT(mean, 0.78);
+    EXPECT_LT(mean, 0.92);
+}
+
+TEST(Integration, DepolarizedQvHopApproachesHalf)
+{
+    Rng rng(42);
+    Circuit qv = makeQuantumVolumeCircuit(4, rng);
+    StateVector state(4);
+    state.run(qv);
+    auto ideal = state.probabilities();
+    std::vector<double> uniform(ideal.size(), 1.0 / ideal.size());
+    EXPECT_NEAR(heavyOutputProbability(ideal, uniform), 0.5, 1e-9);
+}
+
+TEST(Integration, NoisyQvMetricsDegradeMonotonically)
+{
+    // More depolarizing noise must not improve HOP.
+    Rng rng(43);
+    Circuit qv = makeQuantumVolumeCircuit(4, rng);
+    StateVector ideal_state(4);
+    ideal_state.run(qv);
+    auto ideal = ideal_state.probabilities();
+
+    double last_hop = 1.0;
+    for (double error : {0.0, 0.01, 0.05, 0.15}) {
+        DensityMatrix rho(4);
+        for (const auto& op : qv.ops()) {
+            rho.applyUnitary(op.unitary, op.qubits);
+            if (error > 0.0)
+                rho.applyDepolarizing(error, op.qubits);
+        }
+        double hop = heavyOutputProbability(ideal, rho.probabilities());
+        EXPECT_LE(hop, last_hop + 1e-9) << "error=" << error;
+        last_hop = hop;
+    }
+}
+
+TEST(Integration, TrajectoryReadoutMatchesDensityMatrixReadout)
+{
+    QubitNoise qn;
+    qn.t1_ns = 15e3;
+    qn.t2_ns = 12e3;
+    qn.readout_p01 = 0.05;
+    qn.readout_p10 = 0.08;
+    NoiseModel noise(2, qn);
+
+    Circuit c(2);
+    Operation h;
+    h.qubits = {0};
+    h.unitary = hadamard();
+    h.duration_ns = 25.0;
+    c.add(h);
+    Operation cx;
+    cx.qubits = {0, 1};
+    cx.unitary = cnot();
+    cx.error_rate = 0.02;
+    cx.duration_ns = 150.0;
+    c.add(cx);
+
+    DensityMatrix rho(2);
+    rho.runNoisy(c, noise);
+    auto exact = noise.applyReadoutError(rho.probabilities());
+
+    TrajectorySimulator sim(noise);
+    Rng rng(44);
+    auto sampled = sim.averageProbabilities(c, 4000, rng);
+    for (size_t i = 0; i < exact.size(); ++i)
+        EXPECT_NEAR(sampled[i], exact[i], 0.03);
+}
+
+TEST(Integration, QftSuccessRateDropsWithNoise)
+{
+    Circuit qft = makeQftCircuitOnInput(4, 9);
+    StateVector ideal(4);
+    ideal.run(qft);
+
+    double last = 1.1;
+    for (double error : {0.0, 0.02, 0.08}) {
+        DensityMatrix rho(4);
+        for (const auto& op : qft.ops()) {
+            rho.applyUnitary(op.unitary, op.qubits);
+            if (error > 0.0 && op.isTwoQubit())
+                rho.applyDepolarizing(error, op.qubits);
+        }
+        double success = rho.fidelityWithPure(ideal);
+        EXPECT_LT(success, last);
+        last = success;
+    }
+    EXPECT_GT(last, 0.1);
+}
+
+TEST(Integration, DecompositionSubstitutionPreservesCircuitOutput)
+{
+    // Replace every 2Q op of a QAOA circuit by its NuOp-exact SYC
+    // decomposition and verify the full-circuit distribution.
+    Rng rng(45);
+    Circuit app = makeRandomQaoaCircuit(3, rng);
+
+    NuOpOptions opts;
+    opts.max_layers = 4;
+    opts.exact_threshold = 1.0 - 1e-8;
+    NuOpDecomposer nuop(opts);
+    HardwareGate syc = makeFixedGate("SYC", sycamore());
+
+    Circuit compiled(3);
+    for (const auto& op : app.ops()) {
+        if (!op.isTwoQubit()) {
+            compiled.add(op);
+            continue;
+        }
+        Decomposition d = nuop.decomposeExact(op.unitary, syc);
+        ASSERT_TRUE(d.meets_threshold);
+        TwoQubitTemplate templ(d.layers, syc.unitary);
+        auto u3s = templ.u3Matrices(d.params);
+        compiled.add1q(op.qubits[0], u3s[0], "U3");
+        compiled.add1q(op.qubits[1], u3s[1], "U3");
+        for (int layer = 0; layer < d.layers; ++layer) {
+            compiled.add2q(op.qubits[0], op.qubits[1], syc.unitary,
+                           "SYC");
+            compiled.add1q(op.qubits[0], u3s[2 * (layer + 1)], "U3");
+            compiled.add1q(op.qubits[1], u3s[2 * (layer + 1) + 1],
+                           "U3");
+        }
+    }
+
+    StateVector a(3), b(3);
+    a.run(app);
+    b.run(compiled);
+    EXPECT_NEAR(std::abs(a.innerProduct(b)), 1.0, 1e-5);
+}
+
+TEST(Integration, XedAndXebAgreeOnGlobalDepolarization)
+{
+    // Under global depolarization both metrics equal the surviving
+    // signal fraction.
+    Rng rng(46);
+    Circuit qv = makeQuantumVolumeCircuit(4, rng);
+    StateVector state(4);
+    state.run(qv);
+    auto ideal = state.probabilities();
+
+    double f = 0.42;
+    std::vector<double> mixed(ideal.size());
+    for (size_t i = 0; i < ideal.size(); ++i)
+        mixed[i] = f * ideal[i] + (1.0 - f) / ideal.size();
+    EXPECT_NEAR(crossEntropyDifference(ideal, mixed), f, 1e-9);
+    EXPECT_NEAR(linearXebFidelity(ideal, mixed), f, 1e-9);
+}
+
+} // namespace
+} // namespace qiset

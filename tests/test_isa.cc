@@ -1,0 +1,125 @@
+// Instruction-set definition tests (Tables I and II).
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "isa/gate_set.h"
+#include "qc/gates.h"
+
+namespace qiset {
+namespace {
+
+using namespace gates;
+
+TEST(Isa, BaselineTypeUnitaries)
+{
+    EXPECT_LT(isa::s1().unitary().maxAbsDiff(sycamore()), 1e-12);
+    EXPECT_LT(isa::s2().unitary().maxAbsDiff(sqrtIswap()), 1e-12);
+    EXPECT_LT(isa::s3().unitary().maxAbsDiff(cz()), 1e-12);
+    EXPECT_LT(isa::s4().unitary().maxAbsDiff(iswap()), 1e-12);
+    EXPECT_LT(isa::s5().unitary().maxAbsDiff(fsim(kPi / 3, 0)), 1e-12);
+    EXPECT_LT(isa::s6().unitary().maxAbsDiff(fsim(3 * kPi / 8, 0)),
+              1e-12);
+    EXPECT_LT(isa::s7().unitary().maxAbsDiff(fsim(kPi / 6, kPi)), 1e-12);
+    EXPECT_LT(isa::swapType().unitary().maxAbsDiff(swap()), 1e-12);
+}
+
+TEST(Isa, AllTypesAreUnitary)
+{
+    for (const auto& type : isa::baselineTypes())
+        EXPECT_TRUE(type.unitary().isUnitary(1e-12)) << type.name;
+}
+
+TEST(Isa, SingleTypeSets)
+{
+    for (int i = 1; i <= 7; ++i) {
+        GateSet set = isa::singleTypeSet(i);
+        EXPECT_EQ(set.types.size(), 1u);
+        EXPECT_EQ(set.name, "S" + std::to_string(i));
+        EXPECT_FALSE(set.isContinuous());
+        EXPECT_EQ(set.calibrationTypeCount(), 1);
+    }
+}
+
+TEST(Isa, GoogleSetSizesMatchTableII)
+{
+    // G1 = {S1,S2}, ..., G6 = {S1..S7}, G7 = G6 + SWAP.
+    EXPECT_EQ(isa::googleSet(1).types.size(), 2u);
+    EXPECT_EQ(isa::googleSet(2).types.size(), 3u);
+    EXPECT_EQ(isa::googleSet(6).types.size(), 7u);
+    EXPECT_EQ(isa::googleSet(7).types.size(), 8u);
+    EXPECT_TRUE(isa::googleSet(7).hasType("SWAP"));
+    EXPECT_FALSE(isa::googleSet(6).hasType("SWAP"));
+    EXPECT_TRUE(isa::googleSet(3).hasType("S4"));
+    EXPECT_FALSE(isa::googleSet(3).hasType("S5"));
+}
+
+TEST(Isa, RigettiSetsMatchTableII)
+{
+    GateSet r1 = isa::rigettiSet(1);
+    EXPECT_EQ(r1.types.size(), 2u);
+    EXPECT_TRUE(r1.hasType("S3"));
+    EXPECT_TRUE(r1.hasType("S4"));
+
+    GateSet r5 = isa::rigettiSet(5);
+    EXPECT_EQ(r5.types.size(), 6u);
+    EXPECT_TRUE(r5.hasType("SWAP"));
+    // R-sets never contain SYC (S1): it is not an XY-family member.
+    for (int i = 1; i <= 5; ++i)
+        EXPECT_FALSE(isa::rigettiSet(i).hasType("S1"));
+}
+
+TEST(Isa, ContinuousSets)
+{
+    GateSet xy = isa::fullXy();
+    EXPECT_TRUE(xy.isContinuous());
+    EXPECT_EQ(xy.continuous, ContinuousFamily::FullXy);
+    EXPECT_TRUE(xy.hasType("S3")); // CZ stays available
+
+    GateSet fsim_set = isa::fullFsim();
+    EXPECT_TRUE(fsim_set.isContinuous());
+    EXPECT_EQ(fsim_set.calibrationTypeCount(), 361);
+}
+
+TEST(Isa, RigettiTypesAreXyFamilyMembers)
+{
+    // All R-set types except CZ and SWAP have phi == 0 (XY family).
+    for (int i = 1; i <= 5; ++i) {
+        for (const auto& type : isa::rigettiSet(i).types) {
+            if (type.name == "S3" || type.is_swap)
+                continue;
+            EXPECT_NEAR(type.phi, 0.0, 1e-12) << type.name;
+        }
+    }
+}
+
+TEST(Isa, GoogleSetsAreNested)
+{
+    // Gi is a strict subset of G(i+1) (Table II construction).
+    for (int i = 1; i < 7; ++i) {
+        GateSet smaller = isa::googleSet(i);
+        GateSet larger = isa::googleSet(i + 1);
+        EXPECT_EQ(larger.types.size(), smaller.types.size() + 1);
+        for (const auto& type : smaller.types)
+            EXPECT_TRUE(larger.hasType(type.name)) << "G" << i;
+    }
+}
+
+TEST(Isa, CphaseExtensionSet)
+{
+    GateSet set = isa::fullCphase();
+    EXPECT_EQ(set.continuous, ContinuousFamily::FullCphase);
+    EXPECT_EQ(set.calibrationTypeCount(), 19);
+    EXPECT_TRUE(set.hasType("S4"));
+}
+
+TEST(Isa, InvalidIndicesThrow)
+{
+    EXPECT_THROW(isa::singleTypeSet(0), FatalError);
+    EXPECT_THROW(isa::singleTypeSet(8), FatalError);
+    EXPECT_THROW(isa::googleSet(8), FatalError);
+    EXPECT_THROW(isa::rigettiSet(6), FatalError);
+}
+
+} // namespace
+} // namespace qiset

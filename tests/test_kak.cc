@@ -1,0 +1,240 @@
+// KAK decomposition, Makhlin invariants, Weyl coordinates and minimal
+// CZ counts.
+
+#include <gtest/gtest.h>
+
+#include "apps/qv.h"
+#include "common/rng.h"
+#include "nuop/kak.h"
+#include "qc/gates.h"
+
+namespace qiset {
+namespace {
+
+using namespace gates;
+
+TEST(MagicBasis, IsUnitary)
+{
+    EXPECT_TRUE(magicBasis().isUnitary(1e-12));
+}
+
+TEST(Makhlin, IdentityInvariants)
+{
+    MakhlinInvariants inv = makhlinInvariants(Matrix::identity(4));
+    EXPECT_NEAR(std::abs(inv.g1 - cplx(1.0)), 0.0, 1e-9);
+    EXPECT_NEAR(inv.g2, 3.0, 1e-9);
+}
+
+TEST(Makhlin, CnotInvariants)
+{
+    MakhlinInvariants inv = makhlinInvariants(cnot());
+    EXPECT_NEAR(std::abs(inv.g1), 0.0, 1e-9);
+    EXPECT_NEAR(inv.g2, 1.0, 1e-9);
+}
+
+TEST(Makhlin, SwapInvariants)
+{
+    MakhlinInvariants inv = makhlinInvariants(swap());
+    EXPECT_NEAR(std::abs(inv.g1 - cplx(-1.0)), 0.0, 1e-9);
+    EXPECT_NEAR(inv.g2, -3.0, 1e-9);
+}
+
+TEST(Makhlin, LocalEquivalenceInvariance)
+{
+    Rng rng(41);
+    Matrix u = sycamore();
+    Matrix locals =
+        u3(1.1, 0.3, 2.2).kron(u3(0.5, 2.9, 1.3));
+    Matrix locals2 =
+        u3(2.7, 1.9, 0.4).kron(u3(0.2, 0.8, 2.6));
+    MakhlinInvariants a = makhlinInvariants(u);
+    MakhlinInvariants b = makhlinInvariants(locals * u * locals2);
+    EXPECT_NEAR(std::abs(a.g1 - b.g1), 0.0, 1e-8);
+    EXPECT_NEAR(a.g2, b.g2, 1e-8);
+}
+
+TEST(MinimalCzCount, KnownGates)
+{
+    EXPECT_EQ(minimalCzCount(Matrix::identity(4)), 0);
+    EXPECT_EQ(minimalCzCount(u3(0.3, 1.0, 2.0).kron(u3(1.7, 0.1, 0.9))),
+              0);
+    EXPECT_EQ(minimalCzCount(cz()), 1);
+    EXPECT_EQ(minimalCzCount(cnot()), 1);
+    EXPECT_EQ(minimalCzCount(iswap()), 2);
+    EXPECT_EQ(minimalCzCount(sqrtIswap()), 2);
+    EXPECT_EQ(minimalCzCount(swap()), 3);
+}
+
+TEST(MinimalCzCount, GenericSu4NeedsThree)
+{
+    Rng rng(43);
+    for (int trial = 0; trial < 20; ++trial)
+        EXPECT_EQ(minimalCzCount(randomSu4(rng)), 3);
+}
+
+TEST(MinimalCzCount, ZzInteractionsNeedAtMostTwo)
+{
+    // ZZ(beta) is in the controlled-phase family: 2 CZs generically,
+    // fewer at special angles.
+    for (double beta : {0.0303, 0.2, 0.7})
+        EXPECT_LE(minimalCzCount(zz(beta)), 2);
+}
+
+TEST(WeylCoordinates, KnownGateCoordinates)
+{
+    const double q = kPi / 4.0;
+    WeylCoordinates c = weylCoordinates(cnot());
+    EXPECT_NEAR(c.cx, q, 1e-4);
+    EXPECT_NEAR(c.cy, 0.0, 1e-4);
+    EXPECT_NEAR(std::abs(c.cz), 0.0, 1e-4);
+
+    c = weylCoordinates(iswap());
+    EXPECT_NEAR(c.cx, q, 1e-4);
+    EXPECT_NEAR(c.cy, q, 1e-4);
+    EXPECT_NEAR(std::abs(c.cz), 0.0, 1e-4);
+
+    c = weylCoordinates(swap());
+    EXPECT_NEAR(c.cx, q, 1e-4);
+    EXPECT_NEAR(c.cy, q, 1e-4);
+    EXPECT_NEAR(std::abs(c.cz), q, 1e-4);
+
+    c = weylCoordinates(sqrtIswap());
+    EXPECT_NEAR(c.cx, kPi / 8.0, 1e-4);
+    EXPECT_NEAR(c.cy, kPi / 8.0, 1e-4);
+    EXPECT_NEAR(std::abs(c.cz), 0.0, 1e-4);
+}
+
+TEST(WeylCoordinates, CanonicalGateRoundTrip)
+{
+    WeylCoordinates in{0.5, 0.3, 0.1};
+    WeylCoordinates out = weylCoordinates(canonicalGate(in));
+    EXPECT_NEAR(out.cx, in.cx, 1e-4);
+    EXPECT_NEAR(out.cy, in.cy, 1e-4);
+    EXPECT_NEAR(std::abs(out.cz), in.cz, 1e-4);
+}
+
+class WeylRoundTripTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(WeylRoundTripTest, RandomSu4CoordinatesVerify)
+{
+    // Property: the extracted chamber point reproduces the unitary's
+    // Makhlin invariants, and conjugating by local rotations leaves
+    // the coordinates unchanged.
+    Rng rng(700 + GetParam());
+    Matrix u = randomSu4(rng);
+    WeylCoordinates c = weylCoordinates(u);
+
+    const double quarter = kPi / 4.0;
+    EXPECT_LE(c.cx, quarter + 1e-9);
+    EXPECT_GE(c.cx, c.cy - 1e-9);
+    EXPECT_GE(c.cy, std::abs(c.cz) - 1e-9);
+
+    MakhlinInvariants a = makhlinInvariants(u);
+    MakhlinInvariants b = makhlinInvariants(canonicalGate(c));
+    EXPECT_NEAR(std::abs(a.g1 - b.g1), 0.0, 1e-6);
+    EXPECT_NEAR(a.g2, b.g2, 1e-6);
+
+    Matrix locals = u3(0.3, 1.1, 2.4).kron(u3(1.9, 0.2, 0.8));
+    WeylCoordinates c2 = weylCoordinates(locals * u);
+    EXPECT_NEAR(c2.cx, c.cx, 1e-6);
+    EXPECT_NEAR(c2.cy, c.cy, 1e-6);
+    EXPECT_NEAR(std::abs(c2.cz), std::abs(c.cz), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WeylRoundTripTest,
+                         ::testing::Range(0, 12));
+
+TEST(WeylCoordinates, FsimFamilyMembers)
+{
+    // fSim(theta, 0) is an XY-type interaction: coordinates
+    // (theta/2, theta/2, 0) for theta in [0, pi/2].
+    for (double theta : {0.2, 0.6, 1.0, kPi / 2}) {
+        WeylCoordinates c = weylCoordinates(fsim(theta, 0.0));
+        EXPECT_NEAR(c.cx, theta / 2.0, 1e-6) << theta;
+        EXPECT_NEAR(c.cy, theta / 2.0, 1e-6) << theta;
+        EXPECT_NEAR(std::abs(c.cz), 0.0, 1e-6) << theta;
+    }
+}
+
+TEST(WeylCoordinates, SwapEquivalentFsim)
+{
+    // fSim(pi/2, pi) is locally equivalent to SWAP (Section VIII).
+    WeylCoordinates c = weylCoordinates(fsim(kPi / 2.0, kPi));
+    const double quarter = kPi / 4.0;
+    EXPECT_NEAR(c.cx, quarter, 1e-6);
+    EXPECT_NEAR(c.cy, quarter, 1e-6);
+    EXPECT_NEAR(std::abs(c.cz), quarter, 1e-6);
+}
+
+TEST(CanonicalGate, IsUnitary)
+{
+    EXPECT_TRUE(canonicalGate({0.3, 0.2, 0.1}).isUnitary(1e-12));
+    EXPECT_TRUE(canonicalGate({kPi / 4, kPi / 4, kPi / 4})
+                    .isUnitary(1e-12));
+}
+
+TEST(DecomposeLocal, RecoversTensorFactors)
+{
+    Matrix a = u3(0.7, 1.9, 0.4);
+    Matrix b = u3(2.3, 0.2, 1.1);
+    auto [ra, rb] = decomposeLocalUnitary(a.kron(b));
+    EXPECT_NEAR(traceFidelity(ra.kron(rb), a.kron(b)), 1.0, 1e-9);
+}
+
+class KakReconstructionTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(KakReconstructionTest, ReconstructsRandomSu4)
+{
+    Rng rng(100 + GetParam());
+    Matrix u = randomSu4(rng);
+    KakDecomposition kak = kakDecompose(u);
+
+    Matrix rebuilt =
+        (kak.k1 * kak.canonical * kak.k2) * kak.global_phase;
+    EXPECT_NEAR(traceFidelity(rebuilt, u), 1.0, 1e-7);
+
+    // Local factors must be tensor products of single-qubit unitaries.
+    auto [a1, b1] = decomposeLocalUnitary(kak.k1);
+    EXPECT_NEAR(traceFidelity(a1.kron(b1), kak.k1), 1.0, 1e-7);
+    auto [a2, b2] = decomposeLocalUnitary(kak.k2);
+    EXPECT_NEAR(traceFidelity(a2.kron(b2), kak.k2), 1.0, 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KakReconstructionTest,
+                         ::testing::Range(0, 10));
+
+TEST(Kak, ReconstructsNamedGates)
+{
+    for (const Matrix& u :
+         {cz(), iswap(), sqrtIswap(), sycamore(), swap(), zz(0.4)}) {
+        KakDecomposition kak = kakDecompose(u);
+        Matrix rebuilt =
+            (kak.k1 * kak.canonical * kak.k2) * kak.global_phase;
+        EXPECT_NEAR(traceFidelity(rebuilt, u), 1.0, 1e-7);
+    }
+}
+
+TEST(CirqBaseline, ModeledCounts)
+{
+    Rng rng(51);
+    Matrix su4 = randomSu4(rng);
+    EXPECT_EQ(cirqBaselineGateCount(su4, "CZ"), 3);
+    EXPECT_EQ(cirqBaselineGateCount(su4, "SYC"), 6);
+    EXPECT_EQ(cirqBaselineGateCount(su4, "iSWAP"), 4);
+    EXPECT_EQ(cirqBaselineGateCount(su4, "sqrt_iSWAP"), -1);
+
+    // Controlled-phase targets.
+    EXPECT_EQ(cirqBaselineGateCount(zz(0.2), "CZ"), 2);
+    EXPECT_EQ(cirqBaselineGateCount(zz(0.2), "SYC"), 2);
+    EXPECT_EQ(cirqBaselineGateCount(zz(0.2), "sqrt_iSWAP"), 2);
+
+    // Local target costs nothing.
+    EXPECT_EQ(cirqBaselineGateCount(Matrix::identity(4), "SYC"), 0);
+}
+
+} // namespace
+} // namespace qiset

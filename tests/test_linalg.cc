@@ -1,0 +1,156 @@
+// Unit and property tests for QR, Haar sampling, the Jacobi
+// eigensolver and simultaneous diagonalization.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "qc/linalg.h"
+
+namespace qiset {
+namespace {
+
+TEST(Qr, ReconstructsInput)
+{
+    Rng rng(7);
+    Matrix a(4, 4);
+    for (size_t i = 0; i < 4; ++i)
+        for (size_t j = 0; j < 4; ++j)
+            a(i, j) = rng.normalComplex();
+    Matrix q, r;
+    qrDecompose(a, q, r);
+    EXPECT_LT((q * r).maxAbsDiff(a), 1e-10);
+    EXPECT_TRUE(q.isUnitary(1e-10));
+}
+
+TEST(Qr, RIsUpperTriangular)
+{
+    Rng rng(8);
+    Matrix a(3, 3);
+    for (size_t i = 0; i < 3; ++i)
+        for (size_t j = 0; j < 3; ++j)
+            a(i, j) = rng.normalComplex();
+    Matrix q, r;
+    qrDecompose(a, q, r);
+    for (size_t i = 1; i < 3; ++i)
+        for (size_t j = 0; j < i; ++j)
+            EXPECT_LT(std::abs(r(i, j)), 1e-12);
+}
+
+class HaarUnitaryTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(HaarUnitaryTest, ProducesUnitary)
+{
+    Rng rng(11 + GetParam());
+    Matrix u = haarRandomUnitary(GetParam(), rng);
+    EXPECT_TRUE(u.isUnitary(1e-10));
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, HaarUnitaryTest,
+                         ::testing::Values(2, 3, 4, 8));
+
+TEST(HaarUnitary, SamplesDiffer)
+{
+    Rng rng(5);
+    Matrix a = haarRandomUnitary(4, rng);
+    Matrix b = haarRandomUnitary(4, rng);
+    EXPECT_GT(a.maxAbsDiff(b), 1e-3);
+}
+
+TEST(HaarUnitary, EigenphaseDistributionRoughlyUniform)
+{
+    // Haar unitaries have eigenvalues spread over the circle; a crude
+    // check: the mean trace over samples is near zero.
+    Rng rng(13);
+    cplx mean(0.0, 0.0);
+    const int samples = 200;
+    for (int s = 0; s < samples; ++s)
+        mean += haarRandomUnitary(4, rng).trace();
+    mean /= static_cast<double>(samples);
+    EXPECT_LT(std::abs(mean), 0.35);
+}
+
+TEST(JacobiEigen, DiagonalizesKnownMatrix)
+{
+    // Eigenvalues of [[2,1],[1,2]] are 1 and 3.
+    Matrix a{{2.0, 1.0}, {1.0, 2.0}};
+    SymmetricEigen eig = jacobiEigenSymmetric(a);
+    std::vector<double> values = eig.values;
+    std::sort(values.begin(), values.end());
+    EXPECT_NEAR(values[0], 1.0, 1e-10);
+    EXPECT_NEAR(values[1], 3.0, 1e-10);
+}
+
+TEST(JacobiEigen, ReconstructsRandomSymmetric)
+{
+    Rng rng(21);
+    const size_t n = 5;
+    Matrix a(n, n);
+    for (size_t i = 0; i < n; ++i)
+        for (size_t j = i; j < n; ++j) {
+            double v = rng.normal();
+            a(i, j) = v;
+            a(j, i) = v;
+        }
+    SymmetricEigen eig = jacobiEigenSymmetric(a);
+    Matrix d(n, n);
+    for (size_t i = 0; i < n; ++i)
+        d(i, i) = eig.values[i];
+    Matrix recon = eig.vectors * d * eig.vectors.transpose();
+    EXPECT_LT(recon.maxAbsDiff(a), 1e-9);
+    EXPECT_TRUE(eig.vectors.isUnitary(1e-9));
+}
+
+TEST(SimultaneousDiagonalize, CommutingPair)
+{
+    // A has a degenerate eigenvalue; B breaks the degeneracy. Both are
+    // diagonal in the same (rotated) basis.
+    Matrix r{{std::cos(0.4), -std::sin(0.4), 0.0},
+             {std::sin(0.4), std::cos(0.4), 0.0},
+             {0.0, 0.0, 1.0}};
+    Matrix da(3, 3), db(3, 3);
+    da(0, 0) = 2.0;
+    da(1, 1) = 2.0;
+    da(2, 2) = 5.0;
+    db(0, 0) = 1.0;
+    db(1, 1) = 3.0;
+    db(2, 2) = 4.0;
+    Matrix a = r * da * r.transpose();
+    Matrix b = r * db * r.transpose();
+
+    Matrix v = simultaneousDiagonalize(a, b);
+    Matrix a_diag = v.transpose() * a * v;
+    Matrix b_diag = v.transpose() * b * v;
+    for (size_t i = 0; i < 3; ++i)
+        for (size_t j = 0; j < 3; ++j) {
+            if (i == j)
+                continue;
+            EXPECT_LT(std::abs(a_diag(i, j)), 1e-8);
+            EXPECT_LT(std::abs(b_diag(i, j)), 1e-8);
+        }
+}
+
+TEST(Determinant, KnownValues)
+{
+    Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+    EXPECT_NEAR(std::abs(determinant(a) - cplx(-2.0)), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(determinant(Matrix::identity(5)) - cplx(1.0)),
+                0.0, 1e-12);
+}
+
+TEST(Determinant, UnitaryHasUnitModulus)
+{
+    Rng rng(3);
+    Matrix u = haarRandomUnitary(4, rng);
+    EXPECT_NEAR(std::abs(determinant(u)), 1.0, 1e-10);
+}
+
+TEST(Determinant, SingularMatrixIsZero)
+{
+    Matrix a{{1.0, 2.0}, {2.0, 4.0}};
+    EXPECT_NEAR(std::abs(determinant(a)), 0.0, 1e-12);
+}
+
+} // namespace
+} // namespace qiset

@@ -1,0 +1,137 @@
+// Unit tests for the dense complex matrix type.
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "qc/gates.h"
+#include "qc/matrix.h"
+
+namespace qiset {
+namespace {
+
+TEST(Matrix, IdentityHasUnitDiagonal)
+{
+    Matrix id = Matrix::identity(4);
+    for (size_t i = 0; i < 4; ++i)
+        for (size_t j = 0; j < 4; ++j)
+            EXPECT_EQ(id(i, j), (i == j ? cplx(1.0) : cplx(0.0)));
+}
+
+TEST(Matrix, InitializerListLayout)
+{
+    Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 2u);
+    EXPECT_EQ(m(0, 1), cplx(2.0));
+    EXPECT_EQ(m(1, 0), cplx(3.0));
+}
+
+TEST(Matrix, MultiplicationMatchesHandComputation)
+{
+    Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+    Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+    Matrix c = a * b;
+    EXPECT_EQ(c(0, 0), cplx(19.0));
+    EXPECT_EQ(c(0, 1), cplx(22.0));
+    EXPECT_EQ(c(1, 0), cplx(43.0));
+    EXPECT_EQ(c(1, 1), cplx(50.0));
+}
+
+TEST(Matrix, MultiplicationShapeMismatchThrows)
+{
+    Matrix a(2, 3), b(2, 2);
+    EXPECT_THROW(a * b, FatalError);
+}
+
+TEST(Matrix, DaggerConjugatesAndTransposes)
+{
+    Matrix m{{cplx(1.0, 2.0), cplx(3.0, -1.0)},
+             {cplx(0.0, 1.0), cplx(2.0, 0.0)}};
+    Matrix d = m.dagger();
+    EXPECT_EQ(d(0, 0), cplx(1.0, -2.0));
+    EXPECT_EQ(d(0, 1), cplx(0.0, -1.0));
+    EXPECT_EQ(d(1, 0), cplx(3.0, 1.0));
+}
+
+TEST(Matrix, TraceSumsDiagonal)
+{
+    Matrix m{{cplx(1.0, 1.0), 0.0}, {0.0, cplx(2.0, -3.0)}};
+    EXPECT_EQ(m.trace(), cplx(3.0, -2.0));
+}
+
+TEST(Matrix, KroneckerProductOfPaulis)
+{
+    Matrix zz = gates::pauliZ().kron(gates::pauliZ());
+    EXPECT_EQ(zz(0, 0), cplx(1.0));
+    EXPECT_EQ(zz(1, 1), cplx(-1.0));
+    EXPECT_EQ(zz(2, 2), cplx(-1.0));
+    EXPECT_EQ(zz(3, 3), cplx(1.0));
+    EXPECT_EQ(zz(0, 1), cplx(0.0));
+}
+
+TEST(Matrix, KroneckerDimensions)
+{
+    Matrix a(2, 3), b(4, 5);
+    Matrix k = a.kron(b);
+    EXPECT_EQ(k.rows(), 8u);
+    EXPECT_EQ(k.cols(), 15u);
+}
+
+TEST(Matrix, FrobeniusNormOfIdentity)
+{
+    EXPECT_NEAR(Matrix::identity(4).frobeniusNorm(), 2.0, 1e-12);
+}
+
+TEST(Matrix, UnitaryDetection)
+{
+    EXPECT_TRUE(gates::hadamard().isUnitary());
+    EXPECT_TRUE(gates::fsim(0.3, 1.1).isUnitary());
+    Matrix not_unitary{{1.0, 1.0}, {0.0, 1.0}};
+    EXPECT_FALSE(not_unitary.isUnitary());
+}
+
+TEST(Matrix, HermitianDetection)
+{
+    EXPECT_TRUE(gates::pauliY().isHermitian());
+    EXPECT_FALSE(gates::sGate().isHermitian());
+}
+
+TEST(Matrix, TraceFidelityIsPhaseInvariant)
+{
+    Matrix u = gates::fsim(0.7, 0.2);
+    Matrix v = u * cplx(std::cos(1.3), std::sin(1.3));
+    EXPECT_NEAR(traceFidelity(u, v), 1.0, 1e-12);
+}
+
+TEST(Matrix, TraceFidelityDistinguishesGates)
+{
+    double f = traceFidelity(gates::cz(), gates::iswap());
+    EXPECT_LT(f, 0.999);
+    EXPECT_GE(f, 0.0);
+}
+
+TEST(Matrix, HilbertSchmidtOfIdenticalUnitaries)
+{
+    Matrix u = gates::sycamore();
+    EXPECT_NEAR(std::abs(hilbertSchmidt(u, u)), 4.0, 1e-12);
+}
+
+TEST(Matrix, MaxAbsDiff)
+{
+    Matrix a = Matrix::identity(2);
+    Matrix b = a;
+    b(1, 1) = cplx(1.0, 0.5);
+    EXPECT_NEAR(a.maxAbsDiff(b), 0.5, 1e-12);
+}
+
+TEST(Matrix, AdditionAndScaling)
+{
+    Matrix a = Matrix::identity(2);
+    Matrix b = (a + a) * cplx(2.0);
+    EXPECT_EQ(b(0, 0), cplx(4.0));
+    a += b;
+    EXPECT_EQ(a(1, 1), cplx(5.0));
+}
+
+} // namespace
+} // namespace qiset

@@ -1,0 +1,132 @@
+// Metric tests: HOP, XED, linear XEB, TVD and distribution
+// permutation.
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "metrics/metrics.h"
+
+namespace qiset {
+namespace {
+
+TEST(Hop, PerfectExecutionOfSkewedDistribution)
+{
+    std::vector<double> ideal = {0.5, 0.3, 0.15, 0.05};
+    // Median is 0.225: heavy set = {0, 1} with mass 0.8.
+    EXPECT_NEAR(heavyOutputProbability(ideal, ideal), 0.8, 1e-12);
+}
+
+TEST(Hop, UniformNoisyOutputGivesHalf)
+{
+    std::vector<double> ideal = {0.5, 0.3, 0.15, 0.05};
+    std::vector<double> uniform(4, 0.25);
+    EXPECT_NEAR(heavyOutputProbability(ideal, uniform), 0.5, 1e-12);
+}
+
+TEST(Hop, DegradesMonotonically)
+{
+    std::vector<double> ideal = {0.6, 0.25, 0.1, 0.05};
+    std::vector<double> mild = {0.5, 0.25, 0.15, 0.1};
+    std::vector<double> heavy = {0.3, 0.25, 0.25, 0.2};
+    double h_ideal = heavyOutputProbability(ideal, ideal);
+    double h_mild = heavyOutputProbability(ideal, mild);
+    double h_heavy = heavyOutputProbability(ideal, heavy);
+    EXPECT_GT(h_ideal, h_mild);
+    EXPECT_GT(h_mild, h_heavy);
+}
+
+TEST(Xed, PerfectIsOneUniformIsZero)
+{
+    std::vector<double> ideal = {0.7, 0.2, 0.08, 0.02};
+    std::vector<double> uniform(4, 0.25);
+    EXPECT_NEAR(crossEntropyDifference(ideal, ideal), 1.0, 1e-12);
+    EXPECT_NEAR(crossEntropyDifference(ideal, uniform), 0.0, 1e-12);
+}
+
+TEST(Xed, InterpolatesForDepolarizedOutput)
+{
+    std::vector<double> ideal = {0.7, 0.2, 0.08, 0.02};
+    // 60% signal + 40% uniform.
+    std::vector<double> mixed(4);
+    for (size_t i = 0; i < 4; ++i)
+        mixed[i] = 0.6 * ideal[i] + 0.4 * 0.25;
+    EXPECT_NEAR(crossEntropyDifference(ideal, mixed), 0.6, 1e-12);
+}
+
+TEST(Xeb, PerfectIsOneUniformIsZero)
+{
+    std::vector<double> ideal = {0.55, 0.25, 0.15, 0.05};
+    std::vector<double> uniform(4, 0.25);
+    EXPECT_NEAR(linearXebFidelity(ideal, ideal), 1.0, 1e-12);
+    EXPECT_NEAR(linearXebFidelity(ideal, uniform), 0.0, 1e-12);
+}
+
+TEST(Xeb, LinearInDepolarizingFraction)
+{
+    std::vector<double> ideal = {0.55, 0.25, 0.15, 0.05};
+    std::vector<double> mixed(4);
+    double f = 0.37;
+    for (size_t i = 0; i < 4; ++i)
+        mixed[i] = f * ideal[i] + (1.0 - f) * 0.25;
+    EXPECT_NEAR(linearXebFidelity(ideal, mixed), f, 1e-12);
+}
+
+TEST(Tvd, BasicProperties)
+{
+    std::vector<double> p = {1.0, 0.0};
+    std::vector<double> q = {0.0, 1.0};
+    EXPECT_NEAR(totalVariationDistance(p, q), 1.0, 1e-12);
+    EXPECT_NEAR(totalVariationDistance(p, p), 0.0, 1e-12);
+}
+
+TEST(Permute, IdentityMapping)
+{
+    std::vector<double> probs = {0.1, 0.2, 0.3, 0.4};
+    auto out = permuteProbabilities(probs, {0, 1});
+    EXPECT_EQ(out, probs);
+}
+
+TEST(Permute, SwappedQubits)
+{
+    // Logical 0 sits at physical position 1 and vice versa: basis
+    // |01> and |10> exchange.
+    std::vector<double> probs = {0.1, 0.2, 0.3, 0.4};
+    auto out = permuteProbabilities(probs, {1, 0});
+    EXPECT_NEAR(out[0], 0.1, 1e-12);
+    EXPECT_NEAR(out[1], 0.3, 1e-12);
+    EXPECT_NEAR(out[2], 0.2, 1e-12);
+    EXPECT_NEAR(out[3], 0.4, 1e-12);
+}
+
+TEST(Permute, ThreeQubitCycle)
+{
+    // logical l -> physical position mapping = (1, 2, 0).
+    std::vector<double> probs(8, 0.0);
+    probs[0b100] = 1.0; // physical bit pattern: position 0 set.
+    auto out = permuteProbabilities(probs, {1, 2, 0});
+    // Position 0 hosts logical 2 (mapping[2] = 0), so logical |001|.
+    EXPECT_NEAR(out[0b001], 1.0, 1e-12);
+}
+
+TEST(Permute, PreservesTotalMass)
+{
+    std::vector<double> probs = {0.05, 0.1, 0.15, 0.2,
+                                 0.25, 0.1, 0.1, 0.05};
+    auto out = permuteProbabilities(probs, {2, 0, 1});
+    double total = 0.0;
+    for (double p : out)
+        total += p;
+    EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Metrics, MismatchedSizesThrow)
+{
+    std::vector<double> a = {1.0};
+    std::vector<double> b = {0.5, 0.5};
+    EXPECT_THROW(heavyOutputProbability(a, b), FatalError);
+    EXPECT_THROW(crossEntropyDifference(a, b), FatalError);
+    EXPECT_THROW(linearXebFidelity(a, b), FatalError);
+}
+
+} // namespace
+} // namespace qiset

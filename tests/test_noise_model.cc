@@ -1,0 +1,125 @@
+// Noise-channel tests: Kraus completeness, depolarizing behaviour,
+// T1/T2 relaxation and readout confusion.
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "qc/gates.h"
+#include "sim/noise_model.h"
+
+namespace qiset {
+namespace {
+
+/** Check sum_k K^dagger K == I (trace preservation). */
+void
+expectCompleteness(const std::vector<Matrix>& kraus, size_t dim)
+{
+    Matrix sum(dim, dim);
+    for (const auto& k : kraus)
+        sum += k.dagger() * k;
+    EXPECT_LT(sum.maxAbsDiff(Matrix::identity(dim)), 1e-10);
+}
+
+class DepolarizingCompleteness : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(DepolarizingCompleteness, OneQubit)
+{
+    expectCompleteness(NoiseModel::depolarizingKraus1q(GetParam()), 2);
+}
+
+TEST_P(DepolarizingCompleteness, TwoQubit)
+{
+    expectCompleteness(NoiseModel::depolarizingKraus2q(GetParam()), 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Probabilities, DepolarizingCompleteness,
+                         ::testing::Values(0.0, 0.0062, 0.05, 0.3, 1.0));
+
+TEST(Depolarizing, RejectsInvalidProbability)
+{
+    EXPECT_THROW(NoiseModel::depolarizingKraus1q(-0.1), FatalError);
+    EXPECT_THROW(NoiseModel::depolarizingKraus2q(1.1), FatalError);
+}
+
+TEST(Depolarizing, TwoQubitHasSixteenOperators)
+{
+    EXPECT_EQ(NoiseModel::depolarizingKraus2q(0.01).size(), 16u);
+}
+
+class ThermalCompleteness : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ThermalCompleteness, KrausComplete)
+{
+    expectCompleteness(NoiseModel::thermalKraus(15e3, 12e3, GetParam()),
+                       2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Durations, ThermalCompleteness,
+                         ::testing::Values(0.0, 25.0, 200.0, 5e3, 60e3));
+
+TEST(Thermal, RejectsUnphysicalT2)
+{
+    EXPECT_THROW(NoiseModel::thermalKraus(10e3, 30e3, 100.0), FatalError);
+}
+
+TEST(Thermal, ZeroDurationIsIdentity)
+{
+    auto kraus = NoiseModel::thermalKraus(15e3, 15e3, 0.0);
+    ASSERT_EQ(kraus.size(), 1u);
+    EXPECT_LT(kraus[0].maxAbsDiff(Matrix::identity(2)), 1e-12);
+}
+
+TEST(Readout, FlipsDistribution)
+{
+    QubitNoise qn;
+    qn.readout_p01 = 0.1;
+    qn.readout_p10 = 0.2;
+    NoiseModel model(1, qn);
+    // Perfect |0>: expect 10% leakage into "1".
+    auto probs = model.applyReadoutError({1.0, 0.0});
+    EXPECT_NEAR(probs[0], 0.9, 1e-12);
+    EXPECT_NEAR(probs[1], 0.1, 1e-12);
+    // Perfect |1>: expect 20% leakage into "0".
+    probs = model.applyReadoutError({0.0, 1.0});
+    EXPECT_NEAR(probs[0], 0.2, 1e-12);
+    EXPECT_NEAR(probs[1], 0.8, 1e-12);
+}
+
+TEST(Readout, PreservesTotalProbability)
+{
+    QubitNoise qn;
+    qn.readout_p01 = 0.03;
+    qn.readout_p10 = 0.05;
+    NoiseModel model(3, qn);
+    std::vector<double> probs(8, 0.125);
+    auto out = model.applyReadoutError(probs);
+    double total = 0.0;
+    for (double p : out)
+        total += p;
+    EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Readout, NoErrorIsIdentity)
+{
+    NoiseModel model(2, QubitNoise{});
+    std::vector<double> probs = {0.4, 0.3, 0.2, 0.1};
+    auto out = model.applyReadoutError(probs);
+    for (size_t i = 0; i < probs.size(); ++i)
+        EXPECT_NEAR(out[i], probs[i], 1e-12);
+}
+
+TEST(NoiseModel, DisabledModelPassesThrough)
+{
+    NoiseModel model;
+    EXPECT_FALSE(model.enabled());
+    std::vector<double> probs = {0.5, 0.5};
+    auto out = model.applyReadoutError(probs);
+    EXPECT_EQ(out, probs);
+}
+
+} // namespace
+} // namespace qiset

@@ -1,0 +1,249 @@
+// End-to-end compilation + simulation integration tests.
+
+#include <gtest/gtest.h>
+
+#include "apps/qaoa.h"
+#include "apps/qft.h"
+#include "apps/qv.h"
+#include "compiler/pipeline.h"
+#include "metrics/metrics.h"
+#include "sim/statevector.h"
+
+namespace qiset {
+namespace {
+
+CompileOptions
+fastCompile()
+{
+    CompileOptions opts;
+    opts.nuop.max_layers = 4;
+    opts.nuop.multistarts = 3;
+    opts.nuop.exact_threshold = 1.0 - 1e-6;
+    return opts;
+}
+
+TEST(Pipeline, CompiledNoiselessCircuitMatchesIdeal)
+{
+    // Build a perfect device: compiling must preserve semantics
+    // exactly (up to the tracked output permutation).
+    Device d("perfect", Topology::line(3));
+    for (auto [a, b] : d.topology().edges()) {
+        d.setEdgeFidelity(a, b, "S3", 1.0);
+        d.setEdgeFidelity(a, b, "S4", 1.0);
+    }
+    QubitNoise noiseless;
+    noiseless.t1_ns = 1e15;
+    noiseless.t2_ns = 1e15;
+    for (int q = 0; q < 3; ++q)
+        d.setQubitNoise(q, noiseless);
+
+    Rng rng(81);
+    Circuit app = makeQuantumVolumeCircuit(3, rng);
+
+    ProfileCache cache;
+    CompileOptions opts = fastCompile();
+    opts.approximate = false;
+    CompileResult result =
+        compileCircuit(app, d, isa::rigettiSet(1), cache, opts);
+
+    auto ideal = idealProbabilities(app);
+    auto compiled = simulateCompiled(result);
+    // Exact decompositions carry up to sqrt(1 - threshold) amplitude
+    // error each; allow the accumulated slack.
+    for (size_t i = 0; i < ideal.size(); ++i)
+        EXPECT_NEAR(compiled[i], ideal[i], 2e-3) << "outcome " << i;
+}
+
+TEST(Pipeline, NoisyCompilationDegradesGracefully)
+{
+    Rng rng(82);
+    Device d = makeSycamore(rng);
+    Circuit app = makeQuantumVolumeCircuit(3, rng);
+
+    ProfileCache cache;
+    CompileResult result =
+        compileCircuit(app, d, isa::googleSet(3), cache, fastCompile());
+
+    auto ideal = idealProbabilities(app);
+    auto noisy = simulateCompiled(result);
+
+    double hop_ideal = heavyOutputProbability(ideal, ideal);
+    double hop_noisy = heavyOutputProbability(ideal, noisy);
+    EXPECT_LT(hop_noisy, hop_ideal + 1e-9);
+    EXPECT_GT(hop_noisy, 0.4); // still far from fully depolarized
+}
+
+TEST(Pipeline, NativeSwapReducesInstructionCount)
+{
+    Rng rng(83);
+    Device d = makeSycamore(rng);
+    // QFT has long-range CPhases: routing inserts SWAPs on the grid.
+    Circuit app = makeQftCircuit(5);
+
+    ProfileCache cache;
+    CompileOptions opts = fastCompile();
+    CompileResult without_swap =
+        compileCircuit(app, d, isa::googleSet(6), cache, opts);
+    CompileResult with_swap =
+        compileCircuit(app, d, isa::googleSet(7), cache, opts);
+
+    if (with_swap.swaps_inserted > 0) {
+        EXPECT_LT(with_swap.two_qubit_count,
+                  without_swap.two_qubit_count);
+        EXPECT_GT(with_swap.type_usage.count("SWAP"), 0u);
+    }
+}
+
+TEST(Pipeline, EstimatedFidelityIsProbability)
+{
+    Rng rng(84);
+    Device d = makeAspen8(rng);
+    Circuit app = makeRandomQaoaCircuit(4, rng);
+    ProfileCache cache;
+    CompileOptions approx = fastCompile();
+    CompileResult result =
+        compileCircuit(app, d, isa::rigettiSet(3), cache, approx);
+    EXPECT_GT(result.estimated_fidelity, 0.0);
+    EXPECT_LE(result.estimated_fidelity, 1.0);
+
+    // Exact mode must realize every ZZ with real entangling gates
+    // (approximate mode may legally drop near-identity interactions
+    // on hardware this noisy, Eq. 2).
+    CompileOptions exact = approx;
+    exact.approximate = false;
+    CompileResult exact_result =
+        compileCircuit(app, d, isa::rigettiSet(3), cache, exact);
+    EXPECT_GT(exact_result.two_qubit_count, 0);
+    // And Eq. 2 guarantees the approximate pick estimates at least as
+    // high an overall fidelity.
+    EXPECT_GE(result.estimated_fidelity,
+              exact_result.estimated_fidelity - 1e-9);
+}
+
+TEST(Pipeline, SharedCacheAcrossGateSets)
+{
+    Rng rng(85);
+    Device d = makeSycamore(rng);
+    Circuit app = makeRandomQaoaCircuit(4, rng);
+    ProfileCache cache;
+    compileCircuit(app, d, isa::googleSet(1), cache, fastCompile());
+    size_t after_first = cache.size();
+    // G2 adds one type: only the new (target, type) pairs compute.
+    compileCircuit(app, d, isa::googleSet(2), cache, fastCompile());
+    size_t after_second = cache.size();
+    EXPECT_GT(after_second, after_first);
+    // S1/S2 profiles were reused, so growth is at most one per target.
+    EXPECT_LE(after_second - after_first, after_first);
+}
+
+TEST(Pipeline, ConsolidationToggleAffectsCounts)
+{
+    Rng rng(87);
+    Device d = makeSycamore(rng);
+    // QFT's long-range CPhases force routing SWAPs, which fuse with
+    // application gates only when consolidation is on.
+    Circuit app = makeQftCircuit(5);
+    ProfileCache cache;
+    CompileOptions with = fastCompile();
+    CompileOptions without = with;
+    without.consolidate = false;
+    CompileResult merged =
+        compileCircuit(app, d, isa::googleSet(3), cache, with);
+    CompileResult split =
+        compileCircuit(app, d, isa::googleSet(3), cache, without);
+    EXPECT_LE(merged.two_qubit_count, split.two_qubit_count);
+
+    // Both still implement the same distribution (approximately).
+    auto ideal = idealProbabilities(app);
+    auto p_merged = simulateCompiled(merged);
+    EXPECT_LT(totalVariationDistance(ideal, p_merged), 0.5);
+}
+
+TEST(Pipeline, SuccessRateMatchesPerfectCompilation)
+{
+    Device d("perfect", Topology::line(3));
+    for (auto [a, b] : d.topology().edges())
+        d.setEdgeFidelity(a, b, "S3", 1.0);
+    QubitNoise noiseless;
+    noiseless.t1_ns = 1e15;
+    noiseless.t2_ns = 1e15;
+    for (int q = 0; q < 3; ++q)
+        d.setQubitNoise(q, noiseless);
+
+    Rng rng(88);
+    Circuit app = makeQuantumVolumeCircuit(3, rng);
+    ProfileCache cache;
+    CompileOptions opts = fastCompile();
+    opts.approximate = false;
+    opts.nuop.exact_threshold = 1.0 - 1e-8;
+    CompileResult result =
+        compileCircuit(app, d, isa::singleTypeSet(3), cache, opts);
+    EXPECT_NEAR(simulateSuccessRate(result, app), 1.0, 1e-4);
+}
+
+TEST(Pipeline, FullCphaseSetCompilesQaoaCheaply)
+{
+    // Nearest-neighbour MaxCut on a line device: no routing, so the
+    // CZ(phi) family's one-gate-per-ZZ advantage is isolated.
+    Device d("line4", Topology::line(4));
+    for (auto [a, b] : d.topology().edges()) {
+        d.setEdgeFidelity(a, b, "S3", 0.99);
+        d.setEdgeFidelity(a, b, "CZt", 0.99);
+    }
+    Rng rng(89);
+    Circuit app = makeQaoaCircuit(
+        4, {{0, 1}, {1, 2}, {2, 3}}, rng);
+    ProfileCache cache;
+    CompileOptions opts = fastCompile();
+    opts.approximate = false;
+    CompileResult czt =
+        compileCircuit(app, d, isa::fullCphase(), cache, opts);
+    CompileResult cz_only =
+        compileCircuit(app, d, isa::singleTypeSet(3), cache, opts);
+    EXPECT_EQ(czt.two_qubit_count, 3);     // one CZ(phi) per ZZ
+    EXPECT_EQ(cz_only.two_qubit_count, 6); // two CZs per ZZ
+}
+
+TEST(Pipeline, ReannotateErrorRatesUsesTruthDevice)
+{
+    Rng rng(90);
+    Device stale = makeSycamore(rng);
+    Device truth = stale.withDriftedCalibration(rng, 2.0);
+    Circuit app = makeRandomQaoaCircuit(3, rng);
+    ProfileCache cache;
+    CompileResult result =
+        compileCircuit(app, stale, isa::googleSet(2), cache,
+                       fastCompile());
+    reannotateErrorRates(result, truth);
+    for (const auto& op : result.circuit.ops()) {
+        if (!op.isTwoQubit())
+            continue;
+        int pa = result.physical[op.qubits[0]];
+        int pb = result.physical[op.qubits[1]];
+        EXPECT_NEAR(op.error_rate,
+                    1.0 - truth.edgeFidelity(pa, pb, op.label), 1e-12);
+    }
+}
+
+TEST(Pipeline, ContinuousFamilyCompiles)
+{
+    Rng rng(86);
+    Device d = makeSycamore(rng);
+    Circuit app = makeRandomQaoaCircuit(3, rng);
+    ProfileCache cache;
+    CompileOptions opts = fastCompile();
+    opts.approximate = false; // keep every interaction entangling
+    CompileResult result =
+        compileCircuit(app, d, isa::fullFsim(), cache, opts);
+    EXPECT_GT(result.two_qubit_count, 0);
+    // All native 2Q gates must carry the family label.
+    for (const auto& [type, count] : result.type_usage)
+        EXPECT_EQ(type, "fSim");
+
+    auto ideal = idealProbabilities(app);
+    auto noisy = simulateCompiled(result);
+    EXPECT_GT(crossEntropyDifference(ideal, noisy), 0.3);
+}
+
+} // namespace
+} // namespace qiset

@@ -1,0 +1,120 @@
+// Tests for the deterministic random number generator.
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace qiset {
+namespace {
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    bool any_diff = false;
+    for (int i = 0; i < 8; ++i)
+        any_diff |= a.uniform() != b.uniform();
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformStaysInRange)
+{
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        double x = rng.uniform(2.0, 5.0);
+        EXPECT_GE(x, 2.0);
+        EXPECT_LT(x, 5.0);
+    }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive)
+{
+    Rng rng(4);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 1000; ++i) {
+        int x = rng.uniformInt(0, 3);
+        EXPECT_GE(x, 0);
+        EXPECT_LE(x, 3);
+        saw_lo |= x == 0;
+        saw_hi |= x == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMomentsApproximatelyCorrect)
+{
+    Rng rng(5);
+    double sum = 0.0, sum_sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        double x = rng.normal(1.0, 2.0);
+        sum += x;
+        sum_sq += x * x;
+    }
+    double mean = sum / n;
+    double var = sum_sq / n - mean * mean;
+    EXPECT_NEAR(mean, 1.0, 0.1);
+    EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(Rng, TruncatedNormalRespectsBounds)
+{
+    Rng rng(6);
+    for (int i = 0; i < 2000; ++i) {
+        double x = rng.truncatedNormal(0.0062, 0.0024, 0.0005, 0.03);
+        EXPECT_GE(x, 0.0005);
+        EXPECT_LE(x, 0.03);
+    }
+}
+
+TEST(Rng, BernoulliExtremes)
+{
+    Rng rng(7);
+    for (int i = 0; i < 64; ++i) {
+        EXPECT_FALSE(rng.bernoulli(0.0));
+        EXPECT_TRUE(rng.bernoulli(1.0));
+    }
+}
+
+TEST(Rng, DiscreteRespectsWeights)
+{
+    Rng rng(8);
+    std::vector<double> weights = {0.0, 1.0, 3.0};
+    int counts[3] = {0, 0, 0};
+    const int n = 12000;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.discrete(weights)];
+    EXPECT_EQ(counts[0], 0);
+    EXPECT_NEAR(static_cast<double>(counts[2]) / counts[1], 3.0, 0.35);
+}
+
+TEST(Rng, DiscreteRejectsInvalid)
+{
+    Rng rng(9);
+    EXPECT_THROW(rng.discrete({}), FatalError);
+    EXPECT_THROW(rng.discrete({0.0, 0.0}), FatalError);
+}
+
+TEST(Rng, PermutationIsAPermutation)
+{
+    Rng rng(10);
+    auto perm = rng.permutation(16);
+    std::vector<bool> seen(16, false);
+    for (int value : perm) {
+        ASSERT_GE(value, 0);
+        ASSERT_LT(value, 16);
+        EXPECT_FALSE(seen[value]);
+        seen[value] = true;
+    }
+}
+
+} // namespace
+} // namespace qiset

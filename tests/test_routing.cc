@@ -1,0 +1,122 @@
+// SWAP-routing pass tests.
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "compiler/routing.h"
+#include "qc/gates.h"
+#include "sim/statevector.h"
+
+namespace qiset {
+namespace {
+
+using namespace gates;
+
+TEST(Routing, AdjacentOpsPassThrough)
+{
+    Circuit logical(3);
+    logical.add2q(0, 1, cz(), "CZ");
+    logical.add2q(1, 2, cz(), "CZ");
+    RoutedCircuit routed = routeCircuit(logical, Topology::line(3));
+    EXPECT_EQ(routed.swaps_inserted, 0);
+    EXPECT_EQ(routed.circuit.twoQubitGateCount(), 2);
+}
+
+TEST(Routing, InsertsSwapForDistantPair)
+{
+    Circuit logical(3);
+    logical.add2q(0, 2, cz(), "CZ");
+    RoutedCircuit routed = routeCircuit(logical, Topology::line(3));
+    EXPECT_EQ(routed.swaps_inserted, 1);
+    EXPECT_EQ(routed.circuit.countLabel("SWAP"), 1);
+}
+
+TEST(Routing, AllEmittedOpsAreOnCoupledPairs)
+{
+    // All-to-all logical circuit on a line: heavy routing.
+    Circuit logical(5);
+    for (int a = 0; a < 5; ++a)
+        for (int b = a + 1; b < 5; ++b)
+            logical.add2q(a, b, iswap(), "ISWAP");
+    Topology line = Topology::line(5);
+    RoutedCircuit routed = routeCircuit(logical, line);
+    for (const auto& op : routed.circuit.ops())
+        if (op.isTwoQubit())
+            EXPECT_TRUE(line.adjacent(op.qubits[0], op.qubits[1]));
+    EXPECT_GT(routed.swaps_inserted, 0);
+}
+
+TEST(Routing, FinalPositionsAreAPermutation)
+{
+    Circuit logical(4);
+    logical.add2q(0, 3, cz(), "CZ");
+    logical.add2q(1, 3, cz(), "CZ");
+    RoutedCircuit routed = routeCircuit(logical, Topology::line(4));
+    std::vector<bool> seen(4, false);
+    for (int pos : routed.final_positions) {
+        ASSERT_GE(pos, 0);
+        ASSERT_LT(pos, 4);
+        EXPECT_FALSE(seen[pos]);
+        seen[pos] = true;
+    }
+}
+
+TEST(Routing, PreservesCircuitSemantics)
+{
+    // The routed circuit, followed by undoing the final permutation,
+    // must equal the logical circuit's unitary.
+    Circuit logical(4);
+    logical.add1q(0, hadamard(), "H");
+    logical.add2q(0, 3, cnot(), "CNOT");
+    logical.add2q(1, 2, fsim(0.3, 0.7), "fSim");
+    logical.add2q(0, 2, cz(), "CZ");
+
+    Topology line = Topology::line(4);
+    RoutedCircuit routed = routeCircuit(logical, line);
+
+    StateVector ideal(4);
+    ideal.run(logical);
+
+    StateVector physical(4);
+    physical.run(routed.circuit);
+
+    // Permute physical amplitudes back: logical qubit l lives at
+    // position final_positions[l].
+    const auto& map = routed.final_positions;
+    std::vector<cplx> restored(16);
+    for (size_t phys = 0; phys < 16; ++phys) {
+        size_t logical_idx = 0;
+        for (int l = 0; l < 4; ++l) {
+            size_t mask = size_t{1} << (3 - map[l]);
+            if (phys & mask)
+                logical_idx |= size_t{1} << (3 - l);
+        }
+        restored[logical_idx] = physical.amplitudes()[phys];
+    }
+    cplx overlap(0.0, 0.0);
+    for (size_t i = 0; i < 16; ++i)
+        overlap += std::conj(ideal.amplitudes()[i]) * restored[i];
+    EXPECT_NEAR(std::abs(overlap), 1.0, 1e-10);
+}
+
+TEST(Routing, OneQubitOpsFollowTheirQubit)
+{
+    Circuit logical(3);
+    logical.add2q(0, 2, cz(), "CZ"); // forces a swap on a line
+    logical.add1q(0, pauliX(), "X");
+    RoutedCircuit routed = routeCircuit(logical, Topology::line(3));
+    // The X must land on logical 0's current position.
+    const auto& ops = routed.circuit.ops();
+    const Operation& x_op = ops.back();
+    EXPECT_EQ(x_op.label, "X");
+    EXPECT_EQ(x_op.qubits[0], routed.final_positions[0]);
+}
+
+TEST(Routing, WidthMismatchThrows)
+{
+    Circuit logical(3);
+    EXPECT_THROW(routeCircuit(logical, Topology::line(4)), FatalError);
+}
+
+} // namespace
+} // namespace qiset

@@ -1,0 +1,145 @@
+// State-vector simulator tests.
+
+#include <gtest/gtest.h>
+
+#include "circuit/circuit.h"
+#include "qc/gates.h"
+#include "sim/statevector.h"
+
+namespace qiset {
+namespace {
+
+using namespace gates;
+
+TEST(StateVector, InitializesToBasisState)
+{
+    StateVector s(3, 5);
+    auto probs = s.probabilities();
+    for (size_t i = 0; i < probs.size(); ++i)
+        EXPECT_NEAR(probs[i], i == 5 ? 1.0 : 0.0, 1e-12);
+}
+
+TEST(StateVector, HadamardCreatesSuperposition)
+{
+    StateVector s(1);
+    s.apply1q(hadamard(), 0);
+    auto probs = s.probabilities();
+    EXPECT_NEAR(probs[0], 0.5, 1e-12);
+    EXPECT_NEAR(probs[1], 0.5, 1e-12);
+}
+
+TEST(StateVector, BellState)
+{
+    StateVector s(2);
+    s.apply1q(hadamard(), 0);
+    s.apply2q(cnot(), 0, 1);
+    auto probs = s.probabilities();
+    EXPECT_NEAR(probs[0], 0.5, 1e-12);
+    EXPECT_NEAR(probs[3], 0.5, 1e-12);
+    EXPECT_NEAR(probs[1] + probs[2], 0.0, 1e-12);
+}
+
+TEST(StateVector, GhzOnFiveQubits)
+{
+    const int n = 5;
+    StateVector s(n);
+    s.apply1q(hadamard(), 0);
+    for (int q = 0; q + 1 < n; ++q)
+        s.apply2q(cnot(), q, q + 1);
+    auto probs = s.probabilities();
+    EXPECT_NEAR(probs.front(), 0.5, 1e-12);
+    EXPECT_NEAR(probs.back(), 0.5, 1e-12);
+}
+
+TEST(StateVector, ApplyMatchesEmbeddedUnitary)
+{
+    // Gate application via bit arithmetic must agree with the dense
+    // embedded matrix acting on the amplitude vector.
+    const int n = 4;
+    Circuit c(n);
+    c.add1q(2, tGate());
+    c.add2q(3, 1, fsim(0.7, 1.3));
+    c.add2q(0, 2, iswap());
+
+    StateVector fast(n);
+    fast.apply1q(hadamard(), 0);
+    fast.apply1q(hadamard(), 1);
+    fast.apply1q(hadamard(), 2);
+    fast.apply1q(hadamard(), 3);
+    StateVector reference = fast;
+
+    fast.run(c);
+
+    Matrix full = c.unitary();
+    std::vector<cplx> expected(full.rows());
+    for (size_t r = 0; r < full.rows(); ++r) {
+        cplx sum(0.0, 0.0);
+        for (size_t k = 0; k < full.cols(); ++k)
+            sum += full(r, k) * reference.amplitudes()[k];
+        expected[r] = sum;
+    }
+    for (size_t i = 0; i < expected.size(); ++i)
+        EXPECT_NEAR(std::abs(fast.amplitudes()[i] - expected[i]), 0.0,
+                    1e-10);
+}
+
+TEST(StateVector, NormPreservedByUnitaries)
+{
+    StateVector s(3);
+    s.apply1q(hadamard(), 1);
+    s.apply2q(sycamore(), 0, 2);
+    s.apply2q(swap(), 1, 2);
+    EXPECT_NEAR(s.norm(), 1.0, 1e-12);
+}
+
+TEST(StateVector, NormalizeRescales)
+{
+    StateVector s(1);
+    s.mutableAmplitudes()[0] = cplx(3.0, 0.0);
+    s.mutableAmplitudes()[1] = cplx(0.0, 4.0);
+    s.normalize();
+    EXPECT_NEAR(s.norm(), 1.0, 1e-12);
+    EXPECT_NEAR(std::abs(s.amplitudes()[0]), 0.6, 1e-12);
+}
+
+TEST(StateVector, InnerProductOfOrthogonalStates)
+{
+    StateVector a(2, 0), b(2, 3);
+    EXPECT_NEAR(std::abs(a.innerProduct(b)), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(a.innerProduct(a) - cplx(1.0)), 0.0, 1e-12);
+}
+
+TEST(StateVector, SamplingMatchesProbabilities)
+{
+    StateVector s(2);
+    s.apply1q(hadamard(), 0);
+    s.apply2q(cnot(), 0, 1);
+    Rng rng(99);
+    auto outcomes = s.sample(rng, 4000);
+    int count00 = 0, count11 = 0;
+    for (size_t o : outcomes) {
+        if (o == 0)
+            ++count00;
+        else if (o == 3)
+            ++count11;
+        else
+            FAIL() << "sampled impossible outcome " << o;
+    }
+    EXPECT_NEAR(static_cast<double>(count00) / outcomes.size(), 0.5,
+                0.05);
+    EXPECT_NEAR(static_cast<double>(count11) / outcomes.size(), 0.5,
+                0.05);
+}
+
+TEST(StateVector, TwentyQubitGateApplication)
+{
+    // The FH-20 workload needs wide registers; check norm is kept.
+    StateVector s(20);
+    s.apply1q(hadamard(), 10);
+    s.apply2q(iswap(), 0, 19);
+    s.apply2q(fsim(0.3, 0.9), 7, 8);
+    EXPECT_NEAR(s.norm(), 1.0, 1e-10);
+}
+
+} // namespace
+} // namespace qiset

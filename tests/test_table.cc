@@ -1,0 +1,63 @@
+// Tests for the bench table formatter.
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/table.h"
+
+namespace qiset {
+namespace {
+
+TEST(Table, RendersHeaderAndRows)
+{
+    Table t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22"});
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(Table, ColumnsAreAligned)
+{
+    Table t({"a", "b"});
+    t.addRow({"xxxxxx", "1"});
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+    // Header line must be padded to the widest cell + separator.
+    auto first_newline = out.find('\n');
+    ASSERT_NE(first_newline, std::string::npos);
+    EXPECT_GE(first_newline, std::string("xxxxxx  b").size());
+}
+
+TEST(Table, RejectsWrongArity)
+{
+    Table t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), FatalError);
+}
+
+TEST(Table, RejectsEmptyHeader)
+{
+    EXPECT_THROW(Table({}), FatalError);
+}
+
+TEST(FmtDouble, FixedPrecision)
+{
+    EXPECT_EQ(fmtDouble(1.23456, 2), "1.23");
+    EXPECT_EQ(fmtDouble(-0.5, 1), "-0.5");
+}
+
+TEST(FmtSci, ScientificNotation)
+{
+    std::string s = fmtSci(12345.0, 2);
+    EXPECT_NE(s.find("e+04"), std::string::npos);
+}
+
+} // namespace
+} // namespace qiset

@@ -1,0 +1,130 @@
+// Template-circuit tests (Fig. 4 structure).
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "nuop/template_circuit.h"
+#include "qc/gates.h"
+
+namespace qiset {
+namespace {
+
+using namespace gates;
+
+TEST(Template, ParamCounts)
+{
+    TwoQubitTemplate fixed(3, cz());
+    EXPECT_EQ(fixed.numParams(), 6 * 4);
+    TwoQubitTemplate xy_t(2, TemplateFamily::FullXy);
+    EXPECT_EQ(xy_t.numParams(), 6 * 3 + 2);
+    TwoQubitTemplate fsim_t(2, TemplateFamily::FullFsim);
+    EXPECT_EQ(fsim_t.numParams(), 6 * 3 + 4);
+}
+
+TEST(Template, ZeroLayersIsLocalOnly)
+{
+    TwoQubitTemplate t(0, cz());
+    std::vector<double> params(t.numParams(), 0.0);
+    // All-zero U3s are identities.
+    EXPECT_LT(t.build(params).maxAbsDiff(Matrix::identity(4)), 1e-12);
+}
+
+TEST(Template, OneLayerZeroU3sIsTheGate)
+{
+    TwoQubitTemplate t(1, sycamore());
+    std::vector<double> params(t.numParams(), 0.0);
+    EXPECT_LT(t.build(params).maxAbsDiff(sycamore()), 1e-12);
+}
+
+TEST(Template, BuildIsAlwaysUnitary)
+{
+    Rng rng(17);
+    TwoQubitTemplate t(3, iswap());
+    for (int trial = 0; trial < 10; ++trial) {
+        std::vector<double> params(t.numParams());
+        for (auto& p : params)
+            p = rng.uniform(0.0, 2.0 * kPi);
+        EXPECT_TRUE(t.build(params).isUnitary(1e-10));
+    }
+}
+
+TEST(Template, InfidelityZeroWhenTargetIsRealizable)
+{
+    // Target: the template's own output for some parameter choice.
+    TwoQubitTemplate t(2, sqrtIswap());
+    Rng rng(23);
+    std::vector<double> params(t.numParams());
+    for (auto& p : params)
+        p = rng.uniform(0.0, 2.0 * kPi);
+    Matrix target = t.build(params);
+    EXPECT_NEAR(t.infidelity(params, target), 0.0, 1e-12);
+}
+
+TEST(Template, InfidelityBoundedByOne)
+{
+    TwoQubitTemplate t(1, cz());
+    std::vector<double> params(t.numParams(), 0.3);
+    double inf = t.infidelity(params, swap());
+    EXPECT_GE(inf, 0.0);
+    EXPECT_LE(inf, 1.0);
+}
+
+TEST(Template, FullFsimLayerAnglesRoundTrip)
+{
+    TwoQubitTemplate t(2, TemplateFamily::FullFsim);
+    std::vector<double> params(t.numParams(), 0.0);
+    // Layer 0 gate params live right after the first 6 U3 angles.
+    params[6] = 0.9;
+    params[7] = 1.7;
+    // Layer 1 gate params after 6 + 2 + 6 entries.
+    params[14] = 0.2;
+    params[15] = 0.4;
+    auto angles0 = t.layerGateAngles(params, 0);
+    auto angles1 = t.layerGateAngles(params, 1);
+    EXPECT_NEAR(angles0[0], 0.9, 1e-12);
+    EXPECT_NEAR(angles0[1], 1.7, 1e-12);
+    EXPECT_NEAR(angles1[0], 0.2, 1e-12);
+    EXPECT_NEAR(angles1[1], 0.4, 1e-12);
+}
+
+TEST(Template, LayerGateMatchesAngles)
+{
+    TwoQubitTemplate t(1, TemplateFamily::FullXy);
+    std::vector<double> params(t.numParams(), 0.0);
+    params[6] = 1.1; // XY angle of layer 0
+    EXPECT_LT(t.layerGate(params, 0).maxAbsDiff(xy(1.1)), 1e-12);
+}
+
+TEST(Template, U3MatricesReconstructBuild)
+{
+    TwoQubitTemplate t(2, sycamore());
+    Rng rng(31);
+    std::vector<double> params(t.numParams());
+    for (auto& p : params)
+        p = rng.uniform(0.0, 2.0 * kPi);
+
+    auto u3s = t.u3Matrices(params);
+    ASSERT_EQ(u3s.size(), 6u);
+    Matrix rebuilt = u3s[0].kron(u3s[1]);
+    for (int layer = 0; layer < 2; ++layer) {
+        rebuilt = t.layerGate(params, layer) * rebuilt;
+        rebuilt =
+            u3s[2 * (layer + 1)].kron(u3s[2 * (layer + 1) + 1]) * rebuilt;
+    }
+    EXPECT_LT(rebuilt.maxAbsDiff(t.build(params)), 1e-10);
+}
+
+TEST(Template, FixedConstructorRejectsWrongShape)
+{
+    EXPECT_THROW(TwoQubitTemplate(1, hadamard()), FatalError);
+}
+
+TEST(Template, WrongParamArityThrows)
+{
+    TwoQubitTemplate t(1, cz());
+    EXPECT_THROW(t.build(std::vector<double>(5, 0.0)), FatalError);
+}
+
+} // namespace
+} // namespace qiset

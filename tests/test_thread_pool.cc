@@ -1,0 +1,69 @@
+// Tests for the worker pool used by the figure benches.
+
+#include <atomic>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+
+namespace qiset {
+namespace {
+
+TEST(ThreadPool, RunsAllSubmittedJobs)
+{
+    ThreadPool pool(4);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&] { counter.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIsIdempotent)
+{
+    ThreadPool pool(2);
+    std::atomic<int> counter{0};
+    pool.submit([&] { counter.fetch_add(1); });
+    pool.wait();
+    pool.wait();
+    EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForCoversIndexSpace)
+{
+    ThreadPool pool(8);
+    std::vector<std::atomic<int>> hits(257);
+    parallelFor(pool, hits.size(),
+                [&](size_t i) { hits[i].fetch_add(1); });
+    for (const auto& h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRange)
+{
+    ThreadPool pool(2);
+    bool called = false;
+    parallelFor(pool, 0, [&](size_t) { called = true; });
+    EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches)
+{
+    ThreadPool pool(4);
+    std::atomic<long> sum{0};
+    for (int batch = 0; batch < 3; ++batch) {
+        parallelFor(pool, 50, [&](size_t i) {
+            sum.fetch_add(static_cast<long>(i));
+        });
+    }
+    EXPECT_EQ(sum.load(), 3 * (49 * 50 / 2));
+}
+
+TEST(ThreadPool, DefaultSizeIsPositive)
+{
+    ThreadPool pool;
+    EXPECT_GT(pool.size(), 0u);
+}
+
+} // namespace
+} // namespace qiset

@@ -1,0 +1,102 @@
+// Coupling-graph tests.
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "device/topology.h"
+
+namespace qiset {
+namespace {
+
+TEST(Topology, LineStructure)
+{
+    Topology t = Topology::line(5);
+    EXPECT_EQ(t.numQubits(), 5);
+    EXPECT_EQ(t.numEdges(), 4);
+    EXPECT_TRUE(t.adjacent(0, 1));
+    EXPECT_FALSE(t.adjacent(0, 2));
+    EXPECT_TRUE(t.connected());
+}
+
+TEST(Topology, RingClosesLoop)
+{
+    Topology t = Topology::ring(8);
+    EXPECT_EQ(t.numEdges(), 8);
+    EXPECT_TRUE(t.adjacent(7, 0));
+}
+
+TEST(Topology, GridStructure)
+{
+    Topology t = Topology::grid(6, 9);
+    EXPECT_EQ(t.numQubits(), 54);
+    EXPECT_EQ(t.numEdges(), 6 * 8 + 5 * 9); // 93
+    EXPECT_TRUE(t.adjacent(0, 1));
+    EXPECT_TRUE(t.adjacent(0, 9));
+    EXPECT_FALSE(t.adjacent(0, 10));
+    EXPECT_TRUE(t.connected());
+}
+
+TEST(Topology, AddEdgeIsIdempotent)
+{
+    Topology t(3);
+    t.addEdge(0, 1);
+    t.addEdge(1, 0);
+    EXPECT_EQ(t.numEdges(), 1);
+}
+
+TEST(Topology, RejectsSelfLoopsAndBadIndexes)
+{
+    Topology t(3);
+    EXPECT_THROW(t.addEdge(1, 1), FatalError);
+    EXPECT_THROW(t.addEdge(0, 3), FatalError);
+}
+
+TEST(Topology, ShortestPathOnLine)
+{
+    Topology t = Topology::line(6);
+    auto path = t.shortestPath(1, 4);
+    ASSERT_EQ(path.size(), 4u);
+    EXPECT_EQ(path.front(), 1);
+    EXPECT_EQ(path.back(), 4);
+    for (size_t i = 0; i + 1 < path.size(); ++i)
+        EXPECT_TRUE(t.adjacent(path[i], path[i + 1]));
+}
+
+TEST(Topology, ShortestPathTakesRingShortcut)
+{
+    Topology t = Topology::ring(8);
+    auto path = t.shortestPath(0, 6);
+    EXPECT_EQ(path.size(), 3u); // 0 -> 7 -> 6
+}
+
+TEST(Topology, ShortestPathSameNode)
+{
+    Topology t = Topology::line(3);
+    auto path = t.shortestPath(2, 2);
+    ASSERT_EQ(path.size(), 1u);
+    EXPECT_EQ(path[0], 2);
+}
+
+TEST(Topology, DisconnectedGraphDetected)
+{
+    Topology t(4);
+    t.addEdge(0, 1);
+    t.addEdge(2, 3);
+    EXPECT_FALSE(t.connected());
+    EXPECT_TRUE(t.shortestPath(0, 3).empty());
+}
+
+TEST(Topology, InducedSubgraphRelabels)
+{
+    Topology t = Topology::grid(3, 3);
+    // Take the middle row: qubits 3, 4, 5 form a line.
+    Topology sub = t.inducedSubgraph({3, 4, 5});
+    EXPECT_EQ(sub.numQubits(), 3);
+    EXPECT_EQ(sub.numEdges(), 2);
+    EXPECT_TRUE(sub.adjacent(0, 1));
+    EXPECT_TRUE(sub.adjacent(1, 2));
+    EXPECT_FALSE(sub.adjacent(0, 2));
+}
+
+} // namespace
+} // namespace qiset

@@ -1,0 +1,128 @@
+// Trajectory-simulator tests: convergence to the density-matrix
+// result and basic statistical sanity.
+
+#include <gtest/gtest.h>
+
+#include "circuit/circuit.h"
+#include "qc/gates.h"
+#include "sim/density_matrix.h"
+#include "sim/trajectory.h"
+
+namespace qiset {
+namespace {
+
+using namespace gates;
+
+Circuit
+noisyBellCircuit()
+{
+    Circuit c(2);
+    Operation h;
+    h.qubits = {0};
+    h.unitary = hadamard();
+    h.error_rate = 0.01;
+    h.duration_ns = 25.0;
+    c.add(h);
+    Operation cx;
+    cx.qubits = {0, 1};
+    cx.unitary = cnot();
+    cx.error_rate = 0.05;
+    cx.duration_ns = 150.0;
+    c.add(cx);
+    return c;
+}
+
+NoiseModel
+testNoise(int n)
+{
+    QubitNoise qn;
+    qn.t1_ns = 15e3;
+    qn.t2_ns = 12e3;
+    return NoiseModel(n, qn);
+}
+
+TEST(Trajectory, NoiselessTrajectoryIsDeterministic)
+{
+    Circuit c(2);
+    c.add1q(0, hadamard());
+    c.add2q(0, 1, cnot());
+    TrajectorySimulator sim((NoiseModel()));
+    Rng rng(1);
+    StateVector a = sim.runTrajectory(c, rng);
+    StateVector b = sim.runTrajectory(c, rng);
+    EXPECT_NEAR(std::abs(a.innerProduct(b)), 1.0, 1e-12);
+    EXPECT_NEAR(a.probabilities()[0], 0.5, 1e-12);
+}
+
+TEST(Trajectory, AverageConvergesToDensityMatrix)
+{
+    Circuit c = noisyBellCircuit();
+    NoiseModel noise = testNoise(2);
+
+    DensityMatrix rho(2);
+    rho.runNoisy(c, noise);
+    auto exact = noise.applyReadoutError(rho.probabilities());
+
+    TrajectorySimulator sim(noise);
+    Rng rng(7);
+    auto sampled = sim.averageProbabilities(c, 3000, rng);
+
+    for (size_t i = 0; i < exact.size(); ++i)
+        EXPECT_NEAR(sampled[i], exact[i], 0.03) << "outcome " << i;
+}
+
+TEST(Trajectory, ObservableAverageMatchesFidelity)
+{
+    Circuit c = noisyBellCircuit();
+    NoiseModel noise = testNoise(2);
+
+    // Ideal (noiseless) reference state.
+    StateVector ideal(2);
+    ideal.apply1q(hadamard(), 0);
+    ideal.apply2q(cnot(), 0, 1);
+
+    DensityMatrix rho(2);
+    rho.runNoisy(c, noise);
+    double exact_fidelity = rho.fidelityWithPure(ideal);
+
+    TrajectorySimulator sim(noise);
+    Rng rng(11);
+    double sampled = sim.averageObservable(
+        c, 3000, rng, [&](const StateVector& s) {
+            return std::norm(ideal.innerProduct(s));
+        });
+    EXPECT_NEAR(sampled, exact_fidelity, 0.03);
+}
+
+TEST(Trajectory, StatesStayNormalized)
+{
+    Circuit c = noisyBellCircuit();
+    TrajectorySimulator sim(testNoise(2));
+    Rng rng(3);
+    for (int t = 0; t < 50; ++t) {
+        StateVector s = sim.runTrajectory(c, rng);
+        EXPECT_NEAR(s.norm(), 1.0, 1e-9);
+    }
+}
+
+TEST(Trajectory, HeavyNoiseDepolarizes)
+{
+    // Many high-error gates drive the average distribution toward
+    // uniform.
+    Circuit c(2);
+    for (int rep = 0; rep < 30; ++rep) {
+        Operation op;
+        op.qubits = {0, 1};
+        op.unitary = fsim(0.3, 0.4);
+        op.error_rate = 0.3;
+        c.add(op);
+    }
+    TrajectorySimulator sim(testNoise(2));
+    Rng rng(5);
+    auto probs = sim.averageProbabilities(c, 1500, rng);
+    for (double p : probs)
+        EXPECT_NEAR(p, 0.25, 0.06);
+}
+
+} // namespace
+} // namespace qiset

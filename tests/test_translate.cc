@@ -1,0 +1,259 @@
+// NuOp translation pass tests: profiles, selection and emission.
+
+#include <gtest/gtest.h>
+
+#include "apps/qv.h"
+#include "common/error.h"
+#include "compiler/translate.h"
+#include "qc/gates.h"
+
+namespace qiset {
+namespace {
+
+using namespace gates;
+
+NuOpOptions
+fastNuOp()
+{
+    NuOpOptions opts;
+    opts.max_layers = 4;
+    opts.multistarts = 3;
+    opts.exact_threshold = 1.0 - 1e-6;
+    return opts;
+}
+
+Device
+twoQubitDevice(double cz_fid, double iswap_fid)
+{
+    Device d("pair", Topology::line(2));
+    d.setEdgeFidelity(0, 1, "S3", cz_fid);
+    d.setEdgeFidelity(0, 1, "S4", iswap_fid);
+    d.setOneQubitError(0, 0.001);
+    d.setOneQubitError(1, 0.001);
+    return d;
+}
+
+TEST(ProfileCache, MemoizesAcrossCalls)
+{
+    NuOpDecomposer decomposer(fastNuOp());
+    ProfileCache cache;
+    GateSpec spec;
+    spec.type_name = "S3";
+    spec.unitary = cz();
+
+    const GateProfile& a = cache.get(zz(0.3), spec, decomposer);
+    EXPECT_EQ(cache.size(), 1u);
+    const GateProfile& b = cache.get(zz(0.3), spec, decomposer);
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(&a, &b);
+    // Different target: new entry.
+    cache.get(zz(0.4), spec, decomposer);
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ProfileCache, FitsStopAtExactThreshold)
+{
+    NuOpDecomposer decomposer(fastNuOp());
+    ProfileCache cache;
+    GateSpec spec;
+    spec.type_name = "S3";
+    spec.unitary = cz();
+    const GateProfile& profile = cache.get(zz(0.3), spec, decomposer);
+    // ZZ with CZ is exact at 2 layers: fits = depths 0, 1, 2.
+    ASSERT_EQ(profile.fits.size(), 3u);
+    EXPECT_GE(profile.fits.back().fd, 1.0 - 1e-6);
+    EXPECT_LT(profile.fits[1].fd, 1.0 - 1e-6);
+}
+
+TEST(SelectGate, PrefersHigherOverallFidelity)
+{
+    NuOpDecomposer decomposer(fastNuOp());
+    ProfileCache cache;
+    GateSpec cz_spec{"S3", TemplateFamily::Fixed, cz()};
+    GateSpec isw_spec{"S4", TemplateFamily::Fixed, iswap()};
+    Matrix target = zz(0.5);
+    std::vector<const GateProfile*> profiles = {
+        &cache.get(target, cz_spec, decomposer),
+        &cache.get(target, isw_spec, decomposer)};
+
+    GateChoice pick_cz = selectGate(profiles, {0.99, 0.90}, 1.0, true,
+                                    1.0 - 1e-6);
+    EXPECT_EQ(pick_cz.profile->type_name, "S3");
+    GateChoice pick_isw = selectGate(profiles, {0.90, 0.99}, 1.0, true,
+                                     1.0 - 1e-6);
+    EXPECT_EQ(pick_isw.profile->type_name, "S4");
+}
+
+TEST(SelectGate, SkipsUncalibratedTypes)
+{
+    NuOpDecomposer decomposer(fastNuOp());
+    ProfileCache cache;
+    GateSpec cz_spec{"S3", TemplateFamily::Fixed, cz()};
+    GateSpec isw_spec{"S4", TemplateFamily::Fixed, iswap()};
+    Matrix target = zz(0.5);
+    std::vector<const GateProfile*> profiles = {
+        &cache.get(target, cz_spec, decomposer),
+        &cache.get(target, isw_spec, decomposer)};
+    GateChoice choice =
+        selectGate(profiles, {0.0, 0.92}, 1.0, true, 1.0 - 1e-6);
+    EXPECT_EQ(choice.profile->type_name, "S4");
+}
+
+TEST(Translate, EmittedCircuitImplementsTarget)
+{
+    Device d = twoQubitDevice(0.99, 0.98);
+    GateSet set = isa::rigettiSet(1); // {CZ, iSWAP}
+    NuOpDecomposer decomposer(fastNuOp());
+    ProfileCache cache;
+
+    Rng rng(71);
+    Circuit logical(2);
+    logical.add2q(0, 1, randomSu4(rng), "SU4");
+
+    TranslateResult result =
+        translateCircuit(logical, {0, 1}, d, set, decomposer, cache,
+                         /*approximate=*/false);
+
+    // Exact mode: compiled block must equal the target up to phase.
+    Matrix compiled = result.circuit.unitary();
+    Matrix target = logical.unitary();
+    EXPECT_NEAR(traceFidelity(compiled, target), 1.0, 1e-5);
+    EXPECT_EQ(result.two_qubit_count, 3);
+}
+
+TEST(Translate, AnnotatesErrorRatesAndDurations)
+{
+    Device d = twoQubitDevice(0.95, 0.0);
+    GateSet set = isa::singleTypeSet(3);
+    NuOpDecomposer decomposer(fastNuOp());
+    ProfileCache cache;
+
+    Circuit logical(2);
+    logical.add2q(0, 1, zz(0.4), "ZZ");
+    TranslateResult result = translateCircuit(
+        logical, {0, 1}, d, set, decomposer, cache, true);
+
+    for (const auto& op : result.circuit.ops()) {
+        EXPECT_GT(op.duration_ns, 0.0) << op.label;
+        if (op.isTwoQubit())
+            EXPECT_NEAR(op.error_rate, 0.05, 1e-9);
+        else
+            EXPECT_NEAR(op.error_rate, 0.001, 1e-9);
+    }
+}
+
+TEST(Translate, NoiseAdaptiveAcrossEdges)
+{
+    // Three-qubit line: edge (0,1) has good CZ, edge (1,2) good iSWAP.
+    Device d("line3", Topology::line(3));
+    d.setEdgeFidelity(0, 1, "S3", 0.99);
+    d.setEdgeFidelity(0, 1, "S4", 0.90);
+    d.setEdgeFidelity(1, 2, "S3", 0.90);
+    d.setEdgeFidelity(1, 2, "S4", 0.99);
+    for (int q = 0; q < 3; ++q)
+        d.setOneQubitError(q, 0.001);
+
+    GateSet set = isa::rigettiSet(1);
+    NuOpDecomposer decomposer(fastNuOp());
+    ProfileCache cache;
+
+    Circuit logical(3);
+    logical.add2q(0, 1, zz(0.5), "ZZ");
+    logical.add2q(1, 2, zz(0.5), "ZZ");
+    TranslateResult result = translateCircuit(
+        logical, {0, 1, 2}, d, set, decomposer, cache, true);
+
+    // The same application unitary must compile to different gate
+    // types on the two edges (the Fig. 5 scenario).
+    std::string first_type, second_type;
+    for (const auto& op : result.circuit.ops()) {
+        if (!op.isTwoQubit())
+            continue;
+        if (op.qubits[0] == 0 || op.qubits[1] == 0)
+            first_type = op.label;
+        else
+            second_type = op.label;
+    }
+    EXPECT_EQ(first_type, "S3");
+    EXPECT_EQ(second_type, "S4");
+}
+
+TEST(Translate, ContinuousFamilyEmissionIsExact)
+{
+    // FullfSim templates optimize the two-qubit angles too; the
+    // emitted per-layer fSim gates + U3s must reproduce the target.
+    Device d("pair", Topology::line(2));
+    d.setEdgeFidelity(0, 1, "fSim", 0.995);
+    GateSet set = isa::fullFsim();
+    NuOpOptions opts = fastNuOp();
+    opts.multistarts = 6;
+    NuOpDecomposer decomposer(opts);
+    ProfileCache cache;
+
+    Rng rng(72);
+    Circuit logical(2);
+    logical.add2q(0, 1, randomSu4(rng), "SU4");
+    TranslateResult result = translateCircuit(
+        logical, {0, 1}, d, set, decomposer, cache,
+        /*approximate=*/false);
+    EXPECT_NEAR(
+        traceFidelity(result.circuit.unitary(), logical.unitary()),
+        1.0, 1e-5);
+    for (const auto& [type, count] : result.type_usage)
+        EXPECT_EQ(type, "fSim");
+}
+
+TEST(Translate, ThrowsWhenNoTypeCalibratedOnEdge)
+{
+    // Failure injection: the edge has no calibrated member of the
+    // instruction set at all.
+    Device d("pair", Topology::line(2));
+    d.setEdgeFidelity(0, 1, "S1", 0.99); // SYC only
+    GateSet set = isa::singleTypeSet(3);  // wants CZ
+    NuOpDecomposer decomposer(fastNuOp());
+    ProfileCache cache;
+    Circuit logical(2);
+    logical.add2q(0, 1, zz(0.4), "ZZ");
+    EXPECT_THROW(translateCircuit(logical, {0, 1}, d, set, decomposer,
+                                  cache, true),
+                 FatalError);
+}
+
+TEST(Translate, SwapTypeUsedForRoutedSwaps)
+{
+    // A consolidated SWAP block on a G7-style edge should compile to
+    // the native SWAP in one gate.
+    Device d("pair", Topology::line(2));
+    d.setEdgeFidelity(0, 1, "S3", 0.99);
+    d.setEdgeFidelity(0, 1, "SWAP", 0.99);
+    GateSet set;
+    set.name = "toy";
+    set.types = {isa::s3(), isa::swapType()};
+    NuOpDecomposer decomposer(fastNuOp());
+    ProfileCache cache;
+    Circuit logical(2);
+    logical.add2q(0, 1, gates::swap(), "SWAP");
+    TranslateResult result = translateCircuit(
+        logical, {0, 1}, d, set, decomposer, cache, true);
+    EXPECT_EQ(result.two_qubit_count, 1);
+    EXPECT_EQ(result.type_usage.at("SWAP"), 1);
+}
+
+TEST(Translate, TypeUsageAccounting)
+{
+    Device d = twoQubitDevice(0.99, 0.99);
+    GateSet set = isa::singleTypeSet(3);
+    NuOpDecomposer decomposer(fastNuOp());
+    ProfileCache cache;
+
+    Circuit logical(2);
+    logical.add2q(0, 1, zz(0.3), "ZZ");
+    logical.add2q(0, 1, zz(0.7), "ZZ");
+    TranslateResult result = translateCircuit(
+        logical, {0, 1}, d, set, decomposer, cache, false);
+    EXPECT_EQ(result.type_usage.at("S3"), result.two_qubit_count);
+    EXPECT_EQ(result.two_qubit_count, 4); // 2 layers per ZZ
+}
+
+} // namespace
+} // namespace qiset
