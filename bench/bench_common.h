@@ -76,7 +76,9 @@ struct GateSetScore
 
 /**
  * Compile every circuit for the gate set, simulate exactly (density
- * matrix + readout) and average metric(ideal, noisy).
+ * matrix + readout) and average metric(ideal, noisy). Compilation
+ * goes through compileBatch, so a pool parallelizes across circuits
+ * while the shared cache still deduplicates NuOp work.
  */
 inline GateSetScore
 scoreGateSet(const Device& device, const GateSet& gate_set,
@@ -84,16 +86,17 @@ scoreGateSet(const Device& device, const GateSet& gate_set,
              const CompileOptions& options,
              const std::function<double(const std::vector<double>&,
                                         const std::vector<double>&)>&
-                 metric)
+                 metric,
+             ThreadPool* pool = nullptr)
 {
     GateSetScore score;
-    for (const auto& app : circuits) {
-        CompileResult result =
-            compileCircuit(app, device, gate_set, cache, options);
-        auto ideal = idealProbabilities(app);
-        auto noisy = simulateCompiled(result);
+    std::vector<CompileResult> results =
+        compileBatch(circuits, device, gate_set, cache, options, pool);
+    for (size_t i = 0; i < circuits.size(); ++i) {
+        auto ideal = idealProbabilities(circuits[i]);
+        auto noisy = simulateCompiled(results[i]);
         score.metric += metric(ideal, noisy);
-        score.avg_two_qubit += result.two_qubit_count;
+        score.avg_two_qubit += results[i].two_qubit_count;
     }
     score.metric /= circuits.size();
     score.avg_two_qubit /= circuits.size();

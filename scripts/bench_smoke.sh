@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Smoke test for the perf path: build the library + benches and run one
+# small bench in quick mode. Catches compile breaks and gross runtime
+# regressions in the code paths the figure benches exercise, without
+# paying for a paper-scale run.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+BENCH="${BENCH:-bench_table1_gate_families}"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target "$BENCH" quickstart
+
+echo "=== $BENCH (quick mode) ==="
+time "./$BUILD_DIR/$BENCH"
+
+echo "=== quickstart (pass timings + cache stats) ==="
+"./$BUILD_DIR/quickstart"

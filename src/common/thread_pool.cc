@@ -83,14 +83,29 @@ parallelFor(ThreadPool& pool, size_t count,
     size_t chunk_size = (count + chunks - 1) / chunks;
     if (chunk_size == 0)
         chunk_size = 1;
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+    std::atomic<bool> failed{false};
     for (size_t begin = 0; begin < count; begin += chunk_size) {
         size_t end = std::min(begin + chunk_size, count);
-        pool.submit([begin, end, &fn] {
-            for (size_t i = begin; i < end; ++i)
-                fn(i);
+        pool.submit([begin, end, &fn, &error_mutex, &first_error,
+                     &failed] {
+            if (failed.load(std::memory_order_relaxed))
+                return; // a sibling chunk already failed; bail early.
+            try {
+                for (size_t i = begin; i < end; ++i)
+                    fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error)
+                    first_error = std::current_exception();
+                failed.store(true, std::memory_order_relaxed);
+            }
         });
     }
     pool.wait();
+    if (first_error)
+        std::rethrow_exception(first_error);
 }
 
 } // namespace qiset

@@ -61,6 +61,11 @@ class ThreadPool
  * Run fn(i) for every i in [0, count) across the pool's workers and
  * block until all iterations finish. fn must be safe to call
  * concurrently for distinct indices.
+ *
+ * If fn throws, remaining chunks are skipped (best effort) and the
+ * first exception is rethrown on the calling thread after all
+ * submitted work has drained. Must not be called from inside a worker
+ * of the same pool (the inner wait() would deadlock).
  */
 void parallelFor(ThreadPool& pool, size_t count,
                  const std::function<void(size_t)>& fn);

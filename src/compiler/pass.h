@@ -1,0 +1,197 @@
+#ifndef QISET_COMPILER_PASS_H
+#define QISET_COMPILER_PASS_H
+
+/**
+ * @file
+ * The compiler core: compilation options/results, the shared
+ * CompilationContext every pass reads and mutates, and the Pass
+ * interface.
+ *
+ * The Fig. 1 pipeline stages (mapping -> SWAP routing -> consolidation
+ * -> NuOp translation -> crosstalk check -> noise annotation) are
+ * expressed as Pass implementations (see passes.h) registered into a
+ * PassManager (pass_manager.h). The context carries the working
+ * circuit, device/gate-set inputs, layout and routing state, per-pass
+ * timing metrics, diagnostics, and the shared decomposition profile
+ * cache, so passes compose without hard-coded stage wiring.
+ */
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "common/thread_pool.h"
+#include "compiler/profile_cache.h"
+#include "device/device.h"
+#include "isa/gate_set.h"
+#include "metrics/metrics.h"
+#include "nuop/decomposer.h"
+#include "sim/noise_model.h"
+
+namespace qiset {
+
+/** Compilation settings. */
+struct CompileOptions
+{
+    /** Approximate (Eq. 2) vs exact decomposition selection. */
+    bool approximate = true;
+    /** Fuse same-pair runs into SU(4) blocks before NuOp. */
+    bool consolidate = true;
+    /**
+     * Error-rate multiplier for simultaneously-scheduled adjacent 2Q
+     * gates; values > 1 register the crosstalk pass in the default
+     * pipeline (1.0 disables it, matching the paper's baseline).
+     */
+    double crosstalk_inflation = 1.0;
+    /** NuOp settings shared by all decompositions. */
+    NuOpOptions nuop;
+};
+
+/** Fully compiled circuit with everything needed to simulate it. */
+struct CompileResult
+{
+    /** Native circuit over register positions 0..n-1. */
+    Circuit circuit;
+    /** physical[i] = device qubit hosting register position i. */
+    std::vector<int> physical;
+    /** final_positions[l] = register position of logical qubit l. */
+    std::vector<int> final_positions;
+    /** Noise parameters of the compressed register. */
+    NoiseModel noise;
+    /** Native two-qubit instruction count. */
+    int two_qubit_count = 0;
+    /** SWAPs inserted by routing (before decomposition). */
+    int swaps_inserted = 0;
+    /** Ops whose error rate the crosstalk pass inflated. */
+    int crosstalk_inflated = 0;
+    /** Native 2Q usage per gate type. */
+    std::map<std::string, int> type_usage;
+    /** Compiler's overall fidelity estimate (product model). */
+    double estimated_fidelity = 1.0;
+    /** Wall-clock and counters of every pass that ran, in order. */
+    std::vector<PassMetric> pass_metrics;
+    /** Human-readable notes passes emitted while compiling. */
+    std::vector<std::string> diagnostics;
+
+    CompileResult() : circuit(1) {}
+};
+
+/**
+ * Shared state of one compilation, owned for the duration of a
+ * PassManager run. The application circuit, device and cache are held
+ * by reference and must outlive the context; the gate set and options
+ * are small and copied, so temporaries are safe to pass.
+ */
+class CompilationContext
+{
+  public:
+    CompilationContext(const Circuit& app, const Device& device,
+                       GateSet gate_set, CompileOptions options,
+                       ProfileCache& cache, ThreadPool* pool = nullptr)
+        : app_(app), device_(device), gate_set_(std::move(gate_set)),
+          options_(std::move(options)), cache_(cache), pool_(pool),
+          circuit(app)
+    {
+    }
+
+    CompilationContext(const CompilationContext&) = delete;
+    CompilationContext& operator=(const CompilationContext&) = delete;
+
+    // ----- immutable inputs -------------------------------------------
+    const Circuit& app() const { return app_; }
+    const Device& device() const { return device_; }
+    const GateSet& gateSet() const { return gate_set_; }
+    const CompileOptions& options() const { return options_; }
+    ProfileCache& profileCache() { return cache_; }
+    /** Worker pool for intra-pass parallelism; may be null. */
+    ThreadPool* threadPool() { return pool_; }
+
+    // ----- mutable pipeline state (passes read/write directly) -------
+    /** Working circuit; starts as a copy of the application circuit. */
+    Circuit circuit;
+    /** physical[i] = device qubit hosting register position i. */
+    std::vector<int> physical;
+    /** final_positions[l] = register position of logical qubit l. */
+    std::vector<int> final_positions;
+    /** Noise parameters of the compressed register. */
+    NoiseModel noise;
+    int two_qubit_count = 0;
+    int swaps_inserted = 0;
+    int crosstalk_inflated = 0;
+    std::map<std::string, int> type_usage;
+    double estimated_fidelity = 1.0;
+
+    // ----- metrics & diagnostics --------------------------------------
+    /** Per-pass records, appended by the PassManager as passes run. */
+    std::vector<PassMetric> pass_metrics;
+    std::vector<std::string> diagnostics;
+
+    /** Record a note for the compile report. */
+    void diagnostic(std::string message)
+    {
+        diagnostics.push_back(std::move(message));
+    }
+
+    /**
+     * Report a counter on the currently running pass (no-op when
+     * called outside a PassManager run).
+     */
+    void reportCounter(const std::string& name, double value)
+    {
+        if (current_index_ < pass_metrics.size())
+            pass_metrics[current_index_].counters[name] = value;
+    }
+
+    /** Assemble the final CompileResult (moves the context's state). */
+    CompileResult takeResult()
+    {
+        CompileResult out;
+        out.circuit = std::move(circuit);
+        out.physical = std::move(physical);
+        out.final_positions = std::move(final_positions);
+        out.noise = std::move(noise);
+        out.two_qubit_count = two_qubit_count;
+        out.swaps_inserted = swaps_inserted;
+        out.crosstalk_inflated = crosstalk_inflated;
+        out.type_usage = std::move(type_usage);
+        out.estimated_fidelity = estimated_fidelity;
+        out.pass_metrics = std::move(pass_metrics);
+        out.diagnostics = std::move(diagnostics);
+        return out;
+    }
+
+  private:
+    friend class PassManager;
+
+    const Circuit& app_;
+    const Device& device_;
+    GateSet gate_set_;
+    CompileOptions options_;
+    ProfileCache& cache_;
+    ThreadPool* pool_ = nullptr;
+    /**
+     * Index into pass_metrics of the pass currently running, or
+     * SIZE_MAX outside a run (index, not pointer: a nested manager run
+     * may grow the vector and reallocate).
+     */
+    size_t current_index_ = static_cast<size_t>(-1);
+};
+
+/** One unit of compilation work, composable through the PassManager. */
+class Pass
+{
+  public:
+    virtual ~Pass() = default;
+
+    /** Stable identifier used for ordering, lookup and reporting. */
+    virtual std::string name() const = 0;
+
+    /** Transform the context (may throw QisetError on misuse). */
+    virtual void run(CompilationContext& context) = 0;
+};
+
+} // namespace qiset
+
+#endif // QISET_COMPILER_PASS_H

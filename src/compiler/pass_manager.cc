@@ -1,0 +1,115 @@
+#include "compiler/pass_manager.h"
+
+#include <chrono>
+
+#include "common/error.h"
+#include "compiler/passes.h"
+
+namespace qiset {
+
+PassManager&
+PassManager::append(std::unique_ptr<Pass> pass)
+{
+    QISET_REQUIRE(pass != nullptr, "cannot register a null pass");
+    passes_.push_back(std::move(pass));
+    return *this;
+}
+
+size_t
+PassManager::indexOf(const std::string& name) const
+{
+    for (size_t i = 0; i < passes_.size(); ++i)
+        if (passes_[i]->name() == name)
+            return i;
+    return passes_.size();
+}
+
+bool
+PassManager::insertBefore(const std::string& anchor,
+                          std::unique_ptr<Pass> pass)
+{
+    QISET_REQUIRE(pass != nullptr, "cannot register a null pass");
+    size_t index = indexOf(anchor);
+    if (index == passes_.size())
+        return false;
+    passes_.insert(passes_.begin() + index, std::move(pass));
+    return true;
+}
+
+bool
+PassManager::insertAfter(const std::string& anchor,
+                         std::unique_ptr<Pass> pass)
+{
+    QISET_REQUIRE(pass != nullptr, "cannot register a null pass");
+    size_t index = indexOf(anchor);
+    if (index == passes_.size())
+        return false;
+    passes_.insert(passes_.begin() + index + 1, std::move(pass));
+    return true;
+}
+
+bool
+PassManager::remove(const std::string& name)
+{
+    size_t index = indexOf(name);
+    if (index == passes_.size())
+        return false;
+    passes_.erase(passes_.begin() + index);
+    return true;
+}
+
+bool
+PassManager::contains(const std::string& name) const
+{
+    return indexOf(name) != passes_.size();
+}
+
+std::vector<std::string>
+PassManager::passNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(passes_.size());
+    for (const auto& pass : passes_)
+        names.push_back(pass->name());
+    return names;
+}
+
+void
+PassManager::run(CompilationContext& context) const
+{
+    for (const auto& pass : passes_) {
+        size_t index = context.pass_metrics.size();
+        context.pass_metrics.push_back(PassMetric{pass->name(), 0.0, {}});
+        size_t previous = context.current_index_;
+        context.current_index_ = index;
+        auto start = std::chrono::steady_clock::now();
+        try {
+            pass->run(context);
+        } catch (...) {
+            context.current_index_ = previous;
+            throw;
+        }
+        auto end = std::chrono::steady_clock::now();
+        context.pass_metrics[index].wall_ms =
+            std::chrono::duration<double, std::milli>(end - start)
+                .count();
+        context.current_index_ = previous;
+    }
+}
+
+PassManager
+defaultPipeline(const CompileOptions& options)
+{
+    PassManager manager;
+    manager.append(makeMappingPass());
+    manager.append(makeRoutingPass());
+    if (options.consolidate)
+        manager.append(makeConsolidationPass());
+    manager.append(makeTranslationPass());
+    if (options.crosstalk_inflation > 1.0)
+        manager.append(makeCrosstalkPass(options.crosstalk_inflation));
+    manager.append(makeNoiseAnnotationPass());
+    return manager;
+}
+
+} // namespace qiset

@@ -1,0 +1,77 @@
+#ifndef QISET_COMPILER_PASS_MANAGER_H
+#define QISET_COMPILER_PASS_MANAGER_H
+
+/**
+ * @file
+ * Ordered pass registry and runner.
+ *
+ * A PassManager owns a sequence of Pass instances and executes them
+ * against one CompilationContext, timing each pass and appending a
+ * PassMetric record per run. Pipelines are assembled explicitly
+ * (append / insertBefore / insertAfter / remove), so alternative stage
+ * orders, ablations and new passes need no changes to the core.
+ */
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compiler/pass.h"
+
+namespace qiset {
+
+/** Ordered, named sequence of compiler passes. */
+class PassManager
+{
+  public:
+    PassManager() = default;
+    PassManager(PassManager&&) = default;
+    PassManager& operator=(PassManager&&) = default;
+
+    /** Append a pass at the end of the pipeline. */
+    PassManager& append(std::unique_ptr<Pass> pass);
+
+    /**
+     * Insert a pass immediately before the named pass.
+     * @return true when the anchor was found (no-op otherwise).
+     */
+    bool insertBefore(const std::string& anchor,
+                      std::unique_ptr<Pass> pass);
+
+    /** Insert a pass immediately after the named pass. */
+    bool insertAfter(const std::string& anchor,
+                     std::unique_ptr<Pass> pass);
+
+    /** Remove the first pass with the given name. */
+    bool remove(const std::string& name);
+
+    bool contains(const std::string& name) const;
+
+    /** Registered pass names, in execution order. */
+    std::vector<std::string> passNames() const;
+
+    size_t size() const { return passes_.size(); }
+
+    /**
+     * Run every pass in order against the context, recording one timed
+     * PassMetric per pass in context.pass_metrics.
+     */
+    void run(CompilationContext& context) const;
+
+  private:
+    size_t indexOf(const std::string& name) const;
+
+    std::vector<std::unique_ptr<Pass>> passes_;
+};
+
+/**
+ * The Fig. 1 pipeline as configured by the options: mapping, routing,
+ * consolidation (when options.consolidate), NuOp translation,
+ * crosstalk inflation (when options.crosstalk_inflation > 1) and
+ * noise annotation.
+ */
+PassManager defaultPipeline(const CompileOptions& options);
+
+} // namespace qiset
+
+#endif // QISET_COMPILER_PASS_MANAGER_H

@@ -1,0 +1,171 @@
+#include "compiler/passes.h"
+
+#include <sstream>
+
+#include "common/error.h"
+#include "compiler/consolidate.h"
+#include "compiler/crosstalk.h"
+#include "compiler/mapping.h"
+#include "compiler/routing.h"
+#include "compiler/translate.h"
+
+namespace qiset {
+
+namespace {
+
+class MappingPass : public Pass
+{
+  public:
+    std::string name() const override { return "mapping"; }
+
+    void run(CompilationContext& ctx) override
+    {
+        ctx.physical = chooseMapping(ctx.device(), ctx.circuit.numQubits(),
+                                     ctx.gateSet());
+        ctx.reportCounter("physical_qubits",
+                          static_cast<double>(ctx.physical.size()));
+    }
+};
+
+class RoutingPass : public Pass
+{
+  public:
+    std::string name() const override { return "routing"; }
+
+    void run(CompilationContext& ctx) override
+    {
+        QISET_REQUIRE(ctx.physical.size() ==
+                          static_cast<size_t>(ctx.circuit.numQubits()),
+                      "routing requires a mapping pass to run first");
+        Topology coupling =
+            ctx.device().topology().inducedSubgraph(ctx.physical);
+        RoutedCircuit routed = routeCircuit(ctx.circuit, coupling);
+        ctx.circuit = std::move(routed.circuit);
+        ctx.final_positions = std::move(routed.final_positions);
+        ctx.swaps_inserted = routed.swaps_inserted;
+        ctx.reportCounter("swaps_inserted", routed.swaps_inserted);
+    }
+};
+
+class ConsolidationPass : public Pass
+{
+  public:
+    std::string name() const override { return "consolidation"; }
+
+    void run(CompilationContext& ctx) override
+    {
+        int before = ctx.circuit.twoQubitGateCount();
+        ctx.circuit = consolidateTwoQubitBlocks(ctx.circuit);
+        int after = ctx.circuit.twoQubitGateCount();
+        ctx.reportCounter("blocks_before", before);
+        ctx.reportCounter("blocks_after", after);
+    }
+};
+
+class TranslationPass : public Pass
+{
+  public:
+    std::string name() const override { return "translation"; }
+
+    void run(CompilationContext& ctx) override
+    {
+        QISET_REQUIRE(ctx.physical.size() ==
+                          static_cast<size_t>(ctx.circuit.numQubits()),
+                      "translation requires a mapping pass to run first");
+        NuOpDecomposer decomposer(ctx.options().nuop);
+        TranslateResult translated = translateCircuit(
+            ctx.circuit, ctx.physical, ctx.device(), ctx.gateSet(),
+            decomposer, ctx.profileCache(), ctx.options().approximate,
+            ctx.threadPool());
+        ctx.circuit = std::move(translated.circuit);
+        ctx.two_qubit_count = translated.two_qubit_count;
+        ctx.type_usage = std::move(translated.type_usage);
+        ctx.estimated_fidelity = translated.estimated_fidelity;
+
+        ctx.reportCounter("two_qubit_count", translated.two_qubit_count);
+        // This circuit's own traffic (the shared cache's global stats
+        // also include concurrently-compiling circuits).
+        ctx.reportCounter("cache_hits",
+                          static_cast<double>(translated.cache_hits));
+        ctx.reportCounter("cache_misses",
+                          static_cast<double>(translated.cache_misses));
+    }
+};
+
+class CrosstalkPass : public Pass
+{
+  public:
+    explicit CrosstalkPass(double inflation) : inflation_(inflation) {}
+
+    std::string name() const override { return "crosstalk"; }
+
+    void run(CompilationContext& ctx) override
+    {
+        ctx.crosstalk_inflated = applyCrosstalkInflation(
+            ctx.circuit, ctx.physical, ctx.device().topology(),
+            inflation_);
+        ctx.reportCounter("inflated_ops", ctx.crosstalk_inflated);
+        if (ctx.crosstalk_inflated > 0) {
+            std::ostringstream os;
+            os << "crosstalk: inflated " << ctx.crosstalk_inflated
+               << " simultaneous adjacent 2Q ops by x" << inflation_;
+            ctx.diagnostic(os.str());
+        }
+    }
+
+  private:
+    double inflation_;
+};
+
+class NoiseAnnotationPass : public Pass
+{
+  public:
+    std::string name() const override { return "noise-annotation"; }
+
+    void run(CompilationContext& ctx) override
+    {
+        QISET_REQUIRE(!ctx.physical.empty(),
+                      "noise annotation requires a mapping");
+        ctx.noise = ctx.device().noiseModelFor(ctx.physical);
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Pass>
+makeMappingPass()
+{
+    return std::make_unique<MappingPass>();
+}
+
+std::unique_ptr<Pass>
+makeRoutingPass()
+{
+    return std::make_unique<RoutingPass>();
+}
+
+std::unique_ptr<Pass>
+makeConsolidationPass()
+{
+    return std::make_unique<ConsolidationPass>();
+}
+
+std::unique_ptr<Pass>
+makeTranslationPass()
+{
+    return std::make_unique<TranslationPass>();
+}
+
+std::unique_ptr<Pass>
+makeCrosstalkPass(double inflation)
+{
+    return std::make_unique<CrosstalkPass>(inflation);
+}
+
+std::unique_ptr<Pass>
+makeNoiseAnnotationPass()
+{
+    return std::make_unique<NoiseAnnotationPass>();
+}
+
+} // namespace qiset

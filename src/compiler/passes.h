@@ -1,0 +1,41 @@
+#ifndef QISET_COMPILER_PASSES_H
+#define QISET_COMPILER_PASSES_H
+
+/**
+ * @file
+ * The built-in compiler passes (the boxes of the paper's Fig. 1),
+ * exposed as factories so pipelines can be assembled, reordered and
+ * ablated without depending on the concrete classes.
+ *
+ * Pass names (stable identifiers for PassManager lookup):
+ *   "mapping", "routing", "consolidation", "translation",
+ *   "crosstalk", "noise-annotation".
+ */
+
+#include <memory>
+
+#include "compiler/pass.h"
+
+namespace qiset {
+
+/** Noise-aware placement: fills context.physical. */
+std::unique_ptr<Pass> makeMappingPass();
+
+/** SWAP routing on the induced coupling subgraph. */
+std::unique_ptr<Pass> makeRoutingPass();
+
+/** Fuse same-pair runs into SU(4) blocks before NuOp. */
+std::unique_ptr<Pass> makeConsolidationPass();
+
+/** NuOp translation with per-edge noise adaptivity (Eq. 2). */
+std::unique_ptr<Pass> makeTranslationPass();
+
+/** Inflate error rates of simultaneous adjacent 2Q gates. */
+std::unique_ptr<Pass> makeCrosstalkPass(double inflation);
+
+/** Stamp the compressed-register noise model. */
+std::unique_ptr<Pass> makeNoiseAnnotationPass();
+
+} // namespace qiset
+
+#endif // QISET_COMPILER_PASSES_H

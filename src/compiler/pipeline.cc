@@ -1,8 +1,5 @@
 #include "compiler/pipeline.h"
 
-#include "compiler/consolidate.h"
-#include "compiler/mapping.h"
-#include "compiler/routing.h"
 #include "metrics/metrics.h"
 #include "sim/density_matrix.h"
 #include "sim/statevector.h"
@@ -14,37 +11,35 @@ compileCircuit(const Circuit& app, const Device& device,
                const GateSet& gate_set, ProfileCache& cache,
                const CompileOptions& options, ThreadPool* pool)
 {
-    CompileResult out;
+    CompilationContext context(app, device, gate_set, options, cache,
+                               pool);
+    defaultPipeline(options).run(context);
+    return context.takeResult();
+}
 
-    // 1. Placement: pick physical qubits, noise-aware.
-    out.physical = chooseMapping(device, app.numQubits(), gate_set);
+std::vector<CompileResult>
+compileBatch(const std::vector<Circuit>& apps, const Device& device,
+             const GateSet& gate_set, ProfileCache& cache,
+             const CompileOptions& options, ThreadPool* pool)
+{
+    std::vector<CompileResult> results(apps.size());
+    if (apps.empty())
+        return results;
 
-    // 2. Routing on the induced coupling subgraph.
-    Topology coupling = device.topology().inducedSubgraph(out.physical);
-    RoutedCircuit routed = routeCircuit(app, coupling);
-    out.final_positions = routed.final_positions;
-    out.swaps_inserted = routed.swaps_inserted;
-
-    // 3. Gate optimization: fuse runs on a pair (SWAP + application
-    // gate, consecutive interactions) into single SU(4) blocks so
-    // NuOp pays for the combined unitary once.
-    Circuit consolidated = options.consolidate
-                               ? consolidateTwoQubitBlocks(routed.circuit)
-                               : routed.circuit;
-
-    // 4. NuOp translation with per-edge noise adaptivity.
-    NuOpDecomposer decomposer(options.nuop);
-    TranslateResult translated =
-        translateCircuit(consolidated, out.physical, device, gate_set,
-                         decomposer, cache, options.approximate, pool);
-    out.circuit = std::move(translated.circuit);
-    out.two_qubit_count = translated.two_qubit_count;
-    out.type_usage = std::move(translated.type_usage);
-    out.estimated_fidelity = translated.estimated_fidelity;
-
-    // 5. Noise model for the compressed register.
-    out.noise = device.noiseModelFor(out.physical);
-    return out;
+    if (pool && pool->size() > 1 && apps.size() > 1) {
+        // One worker per circuit; the inner translation must not
+        // re-enter the same pool (its parallelFor would wait on the
+        // whole pool from inside a worker and deadlock).
+        parallelFor(*pool, apps.size(), [&](size_t i) {
+            results[i] = compileCircuit(apps[i], device, gate_set, cache,
+                                        options, nullptr);
+        });
+    } else {
+        for (size_t i = 0; i < apps.size(); ++i)
+            results[i] = compileCircuit(apps[i], device, gate_set, cache,
+                                        options, pool);
+    }
+    return results;
 }
 
 std::vector<double>

@@ -3,9 +3,14 @@
 
 /**
  * @file
- * End-to-end compilation pipeline (Fig. 1 of the paper): qubit
+ * End-to-end compilation entry points (Fig. 1 of the paper): qubit
  * mapping -> SWAP routing -> NuOp translation -> noise annotation,
- * plus the noisy-simulation entry points the benches use.
+ * plus the noisy-simulation helpers the benches use.
+ *
+ * The pipeline itself is a PassManager over the passes in passes.h;
+ * compileCircuit() is a thin wrapper running the default pipeline, and
+ * compileBatch() fans a workload of circuits over a ThreadPool with
+ * one shared decomposition profile cache.
  */
 
 #include <map>
@@ -14,6 +19,9 @@
 
 #include "circuit/circuit.h"
 #include "common/thread_pool.h"
+#include "compiler/pass.h"
+#include "compiler/pass_manager.h"
+#include "compiler/passes.h"
 #include "compiler/translate.h"
 #include "device/device.h"
 #include "isa/gate_set.h"
@@ -22,49 +30,32 @@
 
 namespace qiset {
 
-/** Compilation settings. */
-struct CompileOptions
-{
-    /** Approximate (Eq. 2) vs exact decomposition selection. */
-    bool approximate = true;
-    /** Fuse same-pair runs into SU(4) blocks before NuOp. */
-    bool consolidate = true;
-    /** NuOp settings shared by all decompositions. */
-    NuOpOptions nuop;
-};
-
-/** Fully compiled circuit with everything needed to simulate it. */
-struct CompileResult
-{
-    /** Native circuit over register positions 0..n-1. */
-    Circuit circuit;
-    /** physical[i] = device qubit hosting register position i. */
-    std::vector<int> physical;
-    /** final_positions[l] = register position of logical qubit l. */
-    std::vector<int> final_positions;
-    /** Noise parameters of the compressed register. */
-    NoiseModel noise;
-    /** Native two-qubit instruction count. */
-    int two_qubit_count = 0;
-    /** SWAPs inserted by routing (before decomposition). */
-    int swaps_inserted = 0;
-    /** Native 2Q usage per gate type. */
-    std::map<std::string, int> type_usage;
-    /** Compiler's overall fidelity estimate (product model). */
-    double estimated_fidelity = 1.0;
-
-    CompileResult() : circuit(1) {}
-};
-
 /**
- * Compile an application circuit for a device and instruction set.
- * The ProfileCache may be shared across calls (and instruction sets)
- * to amortize NuOp optimizations.
+ * Compile an application circuit for a device and instruction set by
+ * running the default pass pipeline built from `options`. The
+ * ProfileCache may be shared across calls (and instruction sets) to
+ * amortize NuOp optimizations.
  */
 CompileResult compileCircuit(const Circuit& app, const Device& device,
                              const GateSet& gate_set, ProfileCache& cache,
                              const CompileOptions& options,
                              ThreadPool* pool = nullptr);
+
+/**
+ * Compile many circuits against one device/instruction set, sharing
+ * one thread-safe profile cache so every distinct (unitary, gate type)
+ * profile is optimized at most once across the whole batch.
+ *
+ * With a pool, circuits compile concurrently (one worker per circuit;
+ * the intra-circuit translation then runs serially to keep the pool
+ * deadlock-free). Results are positionally aligned with `apps` and,
+ * thanks to deterministic multistart seeding, bit-identical to serial
+ * compileCircuit() calls.
+ */
+std::vector<CompileResult>
+compileBatch(const std::vector<Circuit>& apps, const Device& device,
+             const GateSet& gate_set, ProfileCache& cache,
+             const CompileOptions& options, ThreadPool* pool = nullptr);
 
 /**
  * Exact noisy output distribution of a compiled circuit (density

@@ -1,0 +1,290 @@
+#include "compiler/profile_cache.h"
+
+#include <cstdio>
+#include <fstream>
+#include <iomanip>
+
+#include "common/error.h"
+#include "nuop/decomposer.h"
+
+namespace qiset {
+
+ProfileCache::ProfileCache(size_t max_entries) : max_entries_(max_entries)
+{
+}
+
+std::string
+ProfileCache::key(const Matrix& target, const GateSpec& spec)
+{
+    // quantizedForm is shared with the NuOp multistart seeding, so
+    // key-equal targets always draw identical seeds.
+    return spec.type_name + '|' + quantizedForm(target);
+}
+
+void
+ProfileCache::touchLocked(Entry& entry)
+{
+    lru_.splice(lru_.begin(), lru_, entry.lru_it);
+}
+
+std::shared_ptr<const GateProfile>
+ProfileCache::insertLocked(const std::string& k,
+                           std::shared_ptr<const GateProfile> profile)
+{
+    auto it = profiles_.find(k);
+    if (it != profiles_.end()) {
+        touchLocked(it->second);
+        return it->second.profile;
+    }
+    lru_.push_front(k);
+    Entry entry;
+    entry.profile = std::move(profile);
+    entry.lru_it = lru_.begin();
+    auto inserted = profiles_.emplace(k, std::move(entry)).first;
+    // Evict from the cold end; the new entry sits at the front and is
+    // never the victim while anything else remains.
+    while (max_entries_ > 0 && profiles_.size() > max_entries_ &&
+           profiles_.size() > 1) {
+        profiles_.erase(lru_.back());
+        lru_.pop_back();
+        ++evictions_;
+    }
+    return inserted->second.profile;
+}
+
+std::shared_ptr<const GateProfile>
+ProfileCache::get(const Matrix& target, const GateSpec& spec,
+                  const NuOpDecomposer& decomposer,
+                  LocalCacheCounters* local, bool tally_hit)
+{
+    std::string k = key(target, spec);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = profiles_.find(k);
+        if (it != profiles_.end()) {
+            touchLocked(it->second);
+            if (tally_hit) {
+                ++hits_;
+                if (local)
+                    local->hits.fetch_add(1,
+                                          std::memory_order_relaxed);
+            }
+            return it->second.profile;
+        }
+        ++misses_;
+        if (local)
+            local->misses.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    // Compute outside the lock (the expensive part); duplicated work
+    // between racing threads is harmless and rare — the first insert
+    // wins and both count as misses, since both ran BFGS.
+    auto profile = std::make_shared<GateProfile>();
+    profile->type_name = spec.type_name;
+    profile->family = spec.family;
+    profile->unitary = spec.unitary;
+
+    HardwareGate gate;
+    gate.name = spec.type_name;
+    gate.family = spec.family;
+    gate.unitary = spec.unitary;
+
+    double threshold = decomposer.options().exact_threshold;
+    for (int layers = 0; layers <= decomposer.options().max_layers;
+         ++layers) {
+        LayerFit fit;
+        fit.layers = layers;
+        fit.fd = decomposer.bestFidelityForLayers(target, gate, layers,
+                                                  &fit.params);
+        profile->fits.push_back(std::move(fit));
+        if (profile->fits.back().fd >= threshold)
+            break;
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    return insertLocked(k, std::move(profile));
+}
+
+size_t
+ProfileCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return profiles_.size();
+}
+
+ProfileCacheStats
+ProfileCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ProfileCacheStats s;
+    s.hits = hits_;
+    s.misses = misses_;
+    s.evictions = evictions_;
+    s.loaded = loaded_;
+    s.entries = profiles_.size();
+    return s;
+}
+
+void
+ProfileCache::resetStats()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    hits_ = misses_ = evictions_ = loaded_ = 0;
+}
+
+void
+ProfileCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    profiles_.clear();
+    lru_.clear();
+}
+
+namespace {
+
+constexpr const char* kMagic = "qiset-profile-cache";
+constexpr int kVersion = 1;
+
+void
+writeMatrix(std::ostream& os, const Matrix& m)
+{
+    os << m.rows() << ' ' << m.cols();
+    for (size_t i = 0; i < m.rows(); ++i)
+        for (size_t j = 0; j < m.cols(); ++j)
+            os << ' ' << m(i, j).real() << ' ' << m(i, j).imag();
+    os << '\n';
+}
+
+bool
+readMatrix(std::istream& is, Matrix& m)
+{
+    size_t rows = 0, cols = 0;
+    if (!(is >> rows >> cols))
+        return false;
+    if (rows > 16 || cols > 16)
+        return false; // gates are at most 4x4; reject corrupt sizes.
+    m = Matrix(rows, cols);
+    for (size_t i = 0; i < rows; ++i)
+        for (size_t j = 0; j < cols; ++j) {
+            double re = 0.0, im = 0.0;
+            if (!(is >> re >> im))
+                return false;
+            m(i, j) = cplx(re, im);
+        }
+    return true;
+}
+
+} // namespace
+
+bool
+ProfileCache::save(const std::string& path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    os << std::setprecision(17);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    os << kMagic << ' ' << kVersion << '\n';
+    os << profiles_.size() << '\n';
+    for (const auto& [k, entry] : profiles_) {
+        const GateProfile& p = *entry.profile;
+        os << k.size() << '\n' << k << '\n';
+        os << p.type_name.size() << '\n' << p.type_name << '\n';
+        os << static_cast<int>(p.family) << '\n';
+        writeMatrix(os, p.unitary);
+        os << p.fits.size() << '\n';
+        for (const auto& fit : p.fits) {
+            os << fit.layers << ' ' << fit.fd << ' '
+               << fit.params.size();
+            for (double v : fit.params)
+                os << ' ' << v;
+            os << '\n';
+        }
+    }
+    return static_cast<bool>(os);
+}
+
+namespace {
+
+/** Read a length-prefixed string ("N\n<N bytes>\n"). */
+bool
+readLenString(std::istream& is, std::string& out)
+{
+    size_t len = 0;
+    if (!(is >> len))
+        return false;
+    if (len > (1u << 20))
+        return false;
+    is.ignore(); // the newline after the length
+    out.resize(len);
+    is.read(out.empty() ? nullptr : &out[0],
+            static_cast<std::streamsize>(len));
+    return static_cast<bool>(is);
+}
+
+} // namespace
+
+bool
+ProfileCache::load(const std::string& path)
+{
+    std::ifstream is(path);
+    if (!is)
+        return false;
+
+    std::string magic;
+    int version = 0;
+    if (!(is >> magic >> version) || magic != kMagic ||
+        version != kVersion)
+        return false;
+    size_t count = 0;
+    if (!(is >> count) || count > (1u << 20))
+        return false; // reject absurd entry counts from corrupt files.
+
+    // Parse the whole file before touching the cache: a truncated or
+    // corrupt file must not leave a half-merged state behind a false
+    // return.
+    std::vector<
+        std::pair<std::string, std::shared_ptr<GateProfile>>>
+        parsed;
+    parsed.reserve(count);
+    for (size_t e = 0; e < count; ++e) {
+        std::string k, type_name;
+        if (!readLenString(is, k) || !readLenString(is, type_name))
+            return false;
+        int family = 0;
+        if (!(is >> family))
+            return false;
+        auto profile = std::make_shared<GateProfile>();
+        profile->type_name = std::move(type_name);
+        profile->family = static_cast<TemplateFamily>(family);
+        if (!readMatrix(is, profile->unitary))
+            return false;
+        size_t num_fits = 0;
+        if (!(is >> num_fits) || num_fits > 1024)
+            return false;
+        profile->fits.resize(num_fits);
+        for (auto& fit : profile->fits) {
+            size_t num_params = 0;
+            if (!(is >> fit.layers >> fit.fd >> num_params) ||
+                num_params > 4096)
+                return false;
+            fit.params.resize(num_params);
+            for (double& v : fit.params)
+                if (!(is >> v))
+                    return false;
+        }
+        parsed.emplace_back(std::move(k), std::move(profile));
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [k, profile] : parsed) {
+        if (profiles_.count(k) == 0) {
+            insertLocked(k, std::move(profile));
+            ++loaded_;
+        }
+    }
+    return true;
+}
+
+} // namespace qiset

@@ -1,0 +1,179 @@
+#ifndef QISET_COMPILER_PROFILE_CACHE_H
+#define QISET_COMPILER_PROFILE_CACHE_H
+
+/**
+ * @file
+ * The decomposition profile cache shared across compilations.
+ *
+ * Decomposition fidelity Fd for a (target unitary, gate type, layer
+ * count) triple is independent of which edge the gate runs on, so the
+ * translation pass computes a *fidelity profile* per (unitary, type)
+ * once and reuses it across edges, circuits, instruction sets — and,
+ * via save()/load(), across process runs. Profiles are the output of
+ * NuOp's BFGS multistarts, by far the most expensive part of
+ * compilation, which makes this cache the compiler's main
+ * amortization lever.
+ *
+ * The cache is thread-safe: concurrent get() calls from batch
+ * compilation workers are serialized only around the map lookup, and
+ * the expensive profile computation runs outside the lock. Entries are
+ * handed out as shared_ptr so a bounded cache can evict without
+ * invalidating profiles still in use by a translation in flight.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "nuop/template_circuit.h"
+#include "qc/matrix.h"
+
+namespace qiset {
+
+class NuOpDecomposer;
+
+/** Best achievable Fd and parameters at one template depth. */
+struct LayerFit
+{
+    int layers = 0;
+    double fd = 0.0;
+    std::vector<double> params;
+};
+
+/** All layer fits of one (target unitary, hardware gate type) pair. */
+struct GateProfile
+{
+    /** Calibration key: "S1".."S7", "SWAP", "XY" or "fSim". */
+    std::string type_name;
+    TemplateFamily family = TemplateFamily::Fixed;
+    Matrix unitary; // Fixed family only.
+    std::vector<LayerFit> fits;
+};
+
+/** Hardware gate specification a profile is computed against. */
+struct GateSpec
+{
+    std::string type_name;
+    TemplateFamily family = TemplateFamily::Fixed;
+    Matrix unitary;
+};
+
+/** Counters describing cache effectiveness (monotonic since reset). */
+struct ProfileCacheStats
+{
+    /** get() calls answered from the map (no BFGS run). */
+    uint64_t hits = 0;
+    /** get() calls that computed a new profile (BFGS runs). */
+    uint64_t misses = 0;
+    /** Entries dropped to respect the capacity bound. */
+    uint64_t evictions = 0;
+    /** Entries deserialized by load(). */
+    uint64_t loaded = 0;
+    /** Current entry count. */
+    size_t entries = 0;
+};
+
+/**
+ * Per-caller hit/miss tally. A translation pass passes one of these
+ * to get() so a circuit's own cache traffic can be reported even when
+ * the cache is shared with concurrently-compiling circuits (whose
+ * activity would pollute a before/after delta of the global stats).
+ */
+struct LocalCacheCounters
+{
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+};
+
+/** Thread-safe, optionally bounded, persistable profile memoization. */
+class ProfileCache
+{
+  public:
+    /**
+     * @param max_entries Capacity bound; 0 (default) means unbounded.
+     *        When bounded, inserting past capacity evicts the least
+     *        recently used entries (eviction counter incremented).
+     */
+    explicit ProfileCache(size_t max_entries = 0);
+
+    /**
+     * Profile of decomposing `target` with `spec`, computing it on
+     * first use. Fits cover layer counts 0..max until the exact
+     * threshold is reached. The returned profile stays valid even if
+     * the entry is later evicted. When `local` is given, the call is
+     * additionally tallied there (hit or miss).
+     *
+     * `tally_hit=false` suppresses hit counting (global and local) —
+     * used by the translator when re-fetching profiles it warmed
+     * moments earlier, so "hits" measures genuine reuse rather than
+     * the pipeline's own bookkeeping. Misses (BFGS runs) are always
+     * counted.
+     */
+    std::shared_ptr<const GateProfile>
+    get(const Matrix& target, const GateSpec& spec,
+        const NuOpDecomposer& decomposer,
+        LocalCacheCounters* local = nullptr, bool tally_hit = true);
+
+    size_t size() const;
+
+    /** Snapshot of the hit/miss/eviction counters. */
+    ProfileCacheStats stats() const;
+
+    /** Zero the hit/miss/eviction/loaded counters (entries stay). */
+    void resetStats();
+
+    /** Drop every entry (counters keep their values). */
+    void clear();
+
+    /**
+     * Serialize every entry to `path` (plain-text format, versioned).
+     * @return false when the file cannot be written.
+     */
+    bool save(const std::string& path) const;
+
+    /**
+     * Merge entries from a file produced by save(). Existing keys are
+     * kept (the in-memory profile wins). Loaded entries count toward
+     * the capacity bound.
+     * @return false when the file is missing or malformed.
+     */
+    bool load(const std::string& path);
+
+    /** Cache key of a (target, spec) pair (exposed for tests). */
+    static std::string key(const Matrix& target, const GateSpec& spec);
+
+  private:
+    struct Entry
+    {
+        std::shared_ptr<const GateProfile> profile;
+        /** Position in lru_ (front = most recently used). */
+        std::list<std::string>::iterator lru_it;
+    };
+
+    /** Move an entry to the front of the LRU order (lock held). */
+    void touchLocked(Entry& entry);
+
+    /** Insert under lock, evicting LRU entries past capacity. */
+    std::shared_ptr<const GateProfile>
+    insertLocked(const std::string& k,
+                 std::shared_ptr<const GateProfile> profile);
+
+    size_t max_entries_ = 0;
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string, Entry> profiles_;
+    /** Keys in recency order, front = most recently used. */
+    std::list<std::string> lru_;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+    uint64_t evictions_ = 0;
+    uint64_t loaded_ = 0;
+};
+
+} // namespace qiset
+
+#endif // QISET_COMPILER_PROFILE_CACHE_H

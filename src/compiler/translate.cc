@@ -1,7 +1,6 @@
 #include "compiler/translate.h"
 
 #include <cmath>
-#include <cstdio>
 #include <set>
 
 #include "common/error.h"
@@ -40,75 +39,11 @@ gateSpecs(const GateSet& gate_set)
     return specs;
 }
 
-std::string
-ProfileCache::key(const Matrix& target, const GateSpec& spec)
-{
-    std::string out = spec.type_name;
-    out += '|';
-    char buf[48];
-    for (size_t i = 0; i < target.rows(); ++i)
-        for (size_t j = 0; j < target.cols(); ++j) {
-            const cplx& v = target(i, j);
-            std::snprintf(buf, sizeof(buf), "%.9f,%.9f;", v.real(),
-                          v.imag());
-            out += buf;
-        }
-    return out;
-}
-
-const GateProfile&
-ProfileCache::get(const Matrix& target, const GateSpec& spec,
-                  const NuOpDecomposer& decomposer)
-{
-    std::string k = key(target, spec);
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        auto it = profiles_.find(k);
-        if (it != profiles_.end())
-            return it->second;
-    }
-
-    // Compute outside the lock (the expensive part); duplicated work
-    // between racing threads is harmless and rare.
-    GateProfile profile;
-    profile.type_name = spec.type_name;
-    profile.family = spec.family;
-    profile.unitary = spec.unitary;
-
-    HardwareGate gate;
-    gate.name = spec.type_name;
-    gate.family = spec.family;
-    gate.unitary = spec.unitary;
-
-    double threshold = decomposer.options().exact_threshold;
-    for (int layers = 0; layers <= decomposer.options().max_layers;
-         ++layers) {
-        LayerFit fit;
-        fit.layers = layers;
-        fit.fd = decomposer.bestFidelityForLayers(target, gate, layers,
-                                                  &fit.params);
-        profile.fits.push_back(std::move(fit));
-        if (profile.fits.back().fd >= threshold)
-            break;
-    }
-
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto [it, inserted] = profiles_.emplace(k, std::move(profile));
-    return it->second;
-}
-
-size_t
-ProfileCache::size() const
-{
-    std::lock_guard<std::mutex> lock(mutex_);
-    return profiles_.size();
-}
-
 void
 precomputeProfiles(const Circuit& circuit,
                    const std::vector<GateSpec>& specs,
                    const NuOpDecomposer& decomposer, ProfileCache& cache,
-                   ThreadPool* pool)
+                   ThreadPool* pool, LocalCacheCounters* local)
 {
     // Collect distinct (op, spec) jobs; the cache key dedups repeats.
     std::vector<const Operation*> two_q_ops;
@@ -120,7 +55,7 @@ precomputeProfiles(const Circuit& circuit,
     auto job = [&](size_t index) {
         const Operation& op = *two_q_ops[index / specs.size()];
         const GateSpec& spec = specs[index % specs.size()];
-        cache.get(op.unitary, spec, decomposer);
+        cache.get(op.unitary, spec, decomposer, local);
     };
     if (pool) {
         parallelFor(*pool, total, job);
@@ -208,7 +143,8 @@ translateCircuit(const Circuit& routed, const std::vector<int>& physical,
 
     std::vector<GateSpec> specs = gateSpecs(gate_set);
     QISET_REQUIRE(!specs.empty(), "instruction set is empty");
-    precomputeProfiles(routed, specs, decomposer, cache, pool);
+    LocalCacheCounters local;
+    precomputeProfiles(routed, specs, decomposer, cache, pool, &local);
 
     int n = routed.numQubits();
     TranslateResult result;
@@ -239,10 +175,18 @@ translateCircuit(const Circuit& routed, const std::vector<int>& physical,
         int pa = physical[ra];
         int pb = physical[rb];
 
+        // Holders keep the profiles alive across selection even if a
+        // bounded cache evicts the entries concurrently.
+        std::vector<std::shared_ptr<const GateProfile>> holders;
         std::vector<const GateProfile*> profiles;
         std::vector<double> fidelities;
         for (const auto& spec : specs) {
-            profiles.push_back(&cache.get(op.unitary, spec, decomposer));
+            // Re-fetch of a profile precomputeProfiles just warmed:
+            // don't tally the hit, or a stone-cold compile would
+            // report a warm-looking hit rate.
+            holders.push_back(cache.get(op.unitary, spec, decomposer,
+                                        &local, /*tally_hit=*/false));
+            profiles.push_back(holders.back().get());
             fidelities.push_back(
                 device.edgeFidelity(pa, pb, spec.type_name));
         }
@@ -277,6 +221,8 @@ translateCircuit(const Circuit& routed, const std::vector<int>& physical,
         }
         result.estimated_fidelity *= fit.fd;
     }
+    result.cache_hits = local.hits.load();
+    result.cache_misses = local.misses.load();
     return result;
 }
 

@@ -15,77 +15,31 @@
  */
 
 #include <map>
-#include <mutex>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "circuit/circuit.h"
 #include "common/thread_pool.h"
+#include "compiler/profile_cache.h"
 #include "device/device.h"
 #include "isa/gate_set.h"
 #include "nuop/decomposer.h"
 
 namespace qiset {
 
-/** Best achievable Fd and parameters at one template depth. */
-struct LayerFit
-{
-    int layers = 0;
-    double fd = 0.0;
-    std::vector<double> params;
-};
-
-/** All layer fits of one (target unitary, hardware gate type) pair. */
-struct GateProfile
-{
-    /** Calibration key: "S1".."S7", "SWAP", "XY" or "fSim". */
-    std::string type_name;
-    TemplateFamily family = TemplateFamily::Fixed;
-    Matrix unitary; // Fixed family only.
-    std::vector<LayerFit> fits;
-};
-
-/** Hardware gate specification a profile is computed against. */
-struct GateSpec
-{
-    std::string type_name;
-    TemplateFamily family = TemplateFamily::Fixed;
-    Matrix unitary;
-};
-
 /** Gate specs an instruction set exposes (discrete + continuous). */
 std::vector<GateSpec> gateSpecs(const GateSet& gate_set);
 
-/** Thread-safe memoization of gate profiles. */
-class ProfileCache
-{
-  public:
-    /**
-     * Profile of decomposing `target` with `spec`, computing it on
-     * first use. Fits cover layer counts 0..max until the exact
-     * threshold is reached.
-     */
-    const GateProfile& get(const Matrix& target, const GateSpec& spec,
-                           const NuOpDecomposer& decomposer);
-
-    size_t size() const;
-
-  private:
-    static std::string key(const Matrix& target, const GateSpec& spec);
-
-    mutable std::mutex mutex_;
-    std::unordered_map<std::string, GateProfile> profiles_;
-};
-
 /**
  * Warm the cache for every distinct (2Q unitary, gate spec) pair of a
- * circuit, in parallel across the pool when provided.
+ * circuit, in parallel across the pool when provided. Lookups are
+ * tallied into `local` when given.
  */
 void precomputeProfiles(const Circuit& circuit,
                         const std::vector<GateSpec>& specs,
                         const NuOpDecomposer& decomposer,
-                        ProfileCache& cache, ThreadPool* pool);
+                        ProfileCache& cache, ThreadPool* pool,
+                        LocalCacheCounters* local = nullptr);
 
 /** Outcome of selecting the best decomposition for one edge. */
 struct GateChoice
@@ -118,6 +72,12 @@ struct TranslateResult
     std::map<std::string, int> type_usage;
     /** Product of per-gate fidelity estimates (compiler's Fu). */
     double estimated_fidelity = 1.0;
+    /**
+     * Profile-cache traffic of *this* translation only (global cache
+     * stats also include concurrently-compiling circuits).
+     */
+    uint64_t cache_hits = 0;
+    uint64_t cache_misses = 0;
 
     TranslateResult() : circuit(1) {}
 };

@@ -2,10 +2,65 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
 #include "common/error.h"
+#include "common/table.h"
 
 namespace qiset {
+
+double
+totalWallMs(const std::vector<PassMetric>& passes)
+{
+    double total = 0.0;
+    for (const auto& metric : passes)
+        total += metric.wall_ms;
+    return total;
+}
+
+std::string
+formatPassReport(const std::vector<PassMetric>& passes)
+{
+    Table table({"pass", "wall ms", "counters"});
+    for (const auto& metric : passes) {
+        std::ostringstream counters;
+        bool first = true;
+        for (const auto& [name, value] : metric.counters) {
+            if (!first)
+                counters << "  ";
+            first = false;
+            counters << name << "=";
+            if (value == static_cast<double>(
+                             static_cast<long long>(value)))
+                counters << static_cast<long long>(value);
+            else
+                counters << fmtDouble(value, 4);
+        }
+        table.addRow({metric.pass, fmtDouble(metric.wall_ms, 3),
+                      counters.str()});
+    }
+    table.addRow({"total", fmtDouble(totalWallMs(passes), 3), ""});
+    std::ostringstream os;
+    table.print(os);
+    return os.str();
+}
+
+std::string
+formatCacheStats(uint64_t hits, uint64_t misses, uint64_t evictions,
+                 size_t entries)
+{
+    uint64_t lookups = hits + misses;
+    double rate = lookups == 0
+                      ? 0.0
+                      : static_cast<double>(hits) /
+                            static_cast<double>(lookups);
+    std::ostringstream os;
+    os << "profile cache: " << entries << " entries, " << hits
+       << " hits / " << misses << " misses (hit rate "
+       << fmtDouble(100.0 * rate, 1) << "%), " << evictions
+       << " evictions";
+    return os.str();
+}
 
 namespace {
 

@@ -12,9 +12,41 @@
  * density-matrix simulator produces exact ones).
  */
 
+#include <cstdint>
+#include <map>
+#include <string>
 #include <vector>
 
 namespace qiset {
+
+/**
+ * Wall-clock and counter record of one compiler pass execution,
+ * populated by the PassManager and reported alongside the compiled
+ * circuit so stage costs are observable (timing, ablation, regression
+ * tracking).
+ */
+struct PassMetric
+{
+    /** Pass name as registered with the PassManager. */
+    std::string pass;
+    /** Wall-clock time the pass consumed, in milliseconds. */
+    double wall_ms = 0.0;
+    /** Counters the pass reported (swaps inserted, cache misses, ...). */
+    std::map<std::string, double> counters;
+};
+
+/** Total wall-clock across a pass-metric list, in milliseconds. */
+double totalWallMs(const std::vector<PassMetric>& passes);
+
+/**
+ * Render a per-pass timing/counter table (one row per pass plus a
+ * total row) for command-line reporting.
+ */
+std::string formatPassReport(const std::vector<PassMetric>& passes);
+
+/** One-line rendering of decomposition-cache effectiveness counters. */
+std::string formatCacheStats(uint64_t hits, uint64_t misses,
+                             uint64_t evictions, size_t entries);
 
 /**
  * Heavy output probability: the total noisy probability mass on basis

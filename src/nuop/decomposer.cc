@@ -8,6 +8,44 @@
 
 namespace qiset {
 
+namespace {
+
+/** FNV-1a over raw bytes, used to derive multistart seeds. */
+uint64_t
+fnvMix(uint64_t hash, const void* bytes, size_t size)
+{
+    const unsigned char* p = static_cast<const unsigned char*>(bytes);
+    for (size_t i = 0; i < size; ++i) {
+        hash ^= p[i];
+        hash *= 1099511628211ull;
+    }
+    return hash;
+}
+
+uint64_t
+fnvMix(uint64_t hash, uint64_t value)
+{
+    return fnvMix(hash, &value, sizeof(value));
+}
+
+/**
+ * Hash a matrix through its canonical quantized form — the same
+ * rendering the decomposition profile cache keys on, so targets the
+ * cache treats as equal always draw the same multistart seeds
+ * (bit-different but key-equal unitaries must not race to fill one
+ * cache slot with differently-seeded profiles).
+ */
+uint64_t
+hashMatrix(uint64_t hash, const Matrix& m)
+{
+    hash = fnvMix(hash, m.rows());
+    hash = fnvMix(hash, m.cols());
+    std::string form = quantizedForm(m);
+    return fnvMix(hash, form.data(), form.size());
+}
+
+} // namespace
+
 HardwareGate
 makeFixedGate(const std::string& name, const Matrix& unitary,
               double fidelity)
@@ -56,12 +94,15 @@ NuOpDecomposer::bestFidelityForLayers(const Matrix& target,
     bfgs.stop_below =
         std::max(bfgs.stop_below, 0.1 * (1.0 - options_.exact_threshold));
 
-    // Seed deterministically but distinctly per (gate, layer) so
-    // repeated calls are reproducible.
-    uint64_t seed = options_.seed;
-    seed = seed * 1099511628211ull + std::hash<std::string>{}(gate.name);
-    seed = seed * 1099511628211ull + static_cast<uint64_t>(layers);
-    Rng rng(seed);
+    // Seed deterministically per (target, gate, layers, start index):
+    // each multistart draws from its own Rng, so the x0 of start k
+    // never depends on how many earlier starts ran, which thread
+    // computes the profile, or what was optimized before. Parallel and
+    // serial compiles therefore produce bit-identical decompositions.
+    uint64_t base_seed = fnvMix(options_.seed, gate.name.data(),
+                                gate.name.size());
+    base_seed = fnvMix(base_seed, static_cast<uint64_t>(layers));
+    base_seed = hashMatrix(base_seed, target);
 
     double best = 1.0; // infidelity
     std::vector<double> best_params;
@@ -69,10 +110,10 @@ NuOpDecomposer::bestFidelityForLayers(const Matrix& target,
     for (int start = 0; start < options_.multistarts; ++start) {
         // All starts random: the all-zero point is a symmetric saddle
         // of the trace-fidelity landscape and traps gradient descent.
+        Rng rng(fnvMix(base_seed, static_cast<uint64_t>(start)));
         std::vector<double> x0(n);
         for (auto& value : x0)
             value = rng.uniform(0.0, 2.0 * gates::kPi);
-        (void)start;
         BfgsResult result = minimizeBfgs(objective, std::move(x0), bfgs);
         if (result.value < best) {
             best = result.value;

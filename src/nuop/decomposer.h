@@ -51,7 +51,12 @@ struct NuOpOptions
     double exact_threshold = 1.0 - 1e-9;
     /** Hardware fidelity assumed for every single-qubit gate in Fh. */
     double one_qubit_fidelity = 1.0;
-    /** Seed for the multistart generator (decompositions are pure). */
+    /**
+     * Base seed for the multistart generator. Each start's initial
+     * point is seeded per (target, gate, layers, start index), so
+     * decompositions are pure functions of their inputs — identical
+     * across serial and parallel compilation orders.
+     */
     uint64_t seed = 17;
     /** Inner optimizer settings. */
     BfgsOptions bfgs;

@@ -211,6 +211,23 @@ Matrix::toString(int precision) const
     return out;
 }
 
+std::string
+quantizedForm(const Matrix& m, int decimals)
+{
+    std::string out;
+    out.reserve(m.rows() * m.cols() * 24);
+    char buf[64];
+    for (size_t i = 0; i < m.rows(); ++i)
+        for (size_t j = 0; j < m.cols(); ++j) {
+            const cplx& v = m(i, j);
+            int len = std::snprintf(buf, sizeof(buf), "%.*f,%.*f;",
+                                    decimals, v.real(), decimals,
+                                    v.imag());
+            out.append(buf, static_cast<size_t>(len));
+        }
+    return out;
+}
+
 cplx
 hilbertSchmidt(const Matrix& a, const Matrix& b)
 {

@@ -97,6 +97,16 @@ class Matrix
     std::vector<cplx> data_;
 };
 
+/**
+ * Entry-wise fixed-point rendering "re,im;re,im;..." with the given
+ * decimal precision. This is the canonical quantized form of a
+ * matrix: the decomposition profile cache keys on it and the NuOp
+ * multistart seeding hashes it, so "equal up to rounding" means the
+ * same thing in both places (a prerequisite for bit-identical
+ * parallel and serial compilation).
+ */
+std::string quantizedForm(const Matrix& m, int decimals = 9);
+
 /** Hilbert-Schmidt inner product Tr(A^dagger B). */
 cplx hilbertSchmidt(const Matrix& a, const Matrix& b);
 

@@ -288,5 +288,53 @@ TEST(Decomposer, HardwareFidelityModel)
     EXPECT_NEAR(fh, std::pow(0.95, 3) * std::pow(0.999, 8), 1e-12);
 }
 
+TEST(Decomposer, MultistartSeedingIsDeterministicPerInputs)
+{
+    // Decompositions are pure functions of (target, gate, layers,
+    // start index): repeated calls — and calls from different
+    // decomposer instances, as in parallel batch compilation — must
+    // agree bit-for-bit.
+    Rng rng(63);
+    Matrix target = randomSu4(rng);
+    HardwareGate gate = makeFixedGate("CZ", cz());
+
+    NuOpDecomposer a(fastOptions());
+    NuOpDecomposer b(fastOptions());
+    for (int layers = 1; layers <= 3; ++layers) {
+        std::vector<double> params_a, params_b, params_a2;
+        double fd_a = a.bestFidelityForLayers(target, gate, layers,
+                                              &params_a);
+        double fd_b = b.bestFidelityForLayers(target, gate, layers,
+                                              &params_b);
+        double fd_a2 = a.bestFidelityForLayers(target, gate, layers,
+                                               &params_a2);
+        EXPECT_EQ(fd_a, fd_b);
+        EXPECT_EQ(fd_a, fd_a2);
+        EXPECT_EQ(params_a, params_b);
+        EXPECT_EQ(params_a, params_a2);
+    }
+}
+
+TEST(Decomposer, SeedsDifferAcrossTargetsAndStarts)
+{
+    // Different targets draw different multistart points: the
+    // optimized parameters for inexact fits must not coincide (they
+    // would if the seed ignored the target matrix).
+    NuOpOptions opts = fastOptions();
+    opts.multistarts = 1;
+    opts.bfgs.max_iterations = 5; // stay far from convergence
+    NuOpDecomposer nuop(opts);
+    Rng rng(64);
+    Matrix t1 = randomSu4(rng);
+    Matrix t2 = randomSu4(rng);
+    HardwareGate gate = makeFixedGate("CZ", cz());
+
+    std::vector<double> p1, p2;
+    nuop.bestFidelityForLayers(t1, gate, 1, &p1);
+    nuop.bestFidelityForLayers(t2, gate, 1, &p2);
+    ASSERT_EQ(p1.size(), p2.size());
+    EXPECT_NE(p1, p2);
+}
+
 } // namespace
 } // namespace qiset

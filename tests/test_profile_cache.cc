@@ -1,0 +1,197 @@
+// Profile-cache tests: counters, eviction, concurrency, persistence.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "compiler/profile_cache.h"
+#include "nuop/decomposer.h"
+#include "qc/gates.h"
+
+namespace qiset {
+namespace {
+
+using namespace gates;
+
+NuOpOptions
+fastNuOp()
+{
+    NuOpOptions opts;
+    opts.max_layers = 3;
+    opts.multistarts = 2;
+    opts.exact_threshold = 1.0 - 1e-6;
+    return opts;
+}
+
+GateSpec
+czSpec()
+{
+    return GateSpec{"S3", TemplateFamily::Fixed, cz()};
+}
+
+/** Temp file path removed on scope exit. */
+struct TempFile
+{
+    std::string path;
+    explicit TempFile(const std::string& name)
+        : path(std::string(::testing::TempDir()) + name)
+    {
+    }
+    ~TempFile() { std::remove(path.c_str()); }
+};
+
+TEST(ProfileCacheCore, CountsHitsAndMisses)
+{
+    NuOpDecomposer decomposer(fastNuOp());
+    ProfileCache cache;
+    cache.get(zz(0.3), czSpec(), decomposer);
+    cache.get(zz(0.3), czSpec(), decomposer);
+    cache.get(zz(0.7), czSpec(), decomposer);
+
+    ProfileCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.misses, 2u);
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.entries, 2u);
+    EXPECT_EQ(stats.evictions, 0u);
+
+    cache.resetStats();
+    stats = cache.stats();
+    EXPECT_EQ(stats.hits, 0u);
+    EXPECT_EQ(stats.misses, 0u);
+    EXPECT_EQ(stats.entries, 2u); // entries survive a stats reset.
+}
+
+TEST(ProfileCacheCore, BoundedCacheEvictsLeastRecentlyUsed)
+{
+    NuOpDecomposer decomposer(fastNuOp());
+    ProfileCache cache(2);
+    auto first = cache.get(zz(0.1), czSpec(), decomposer);
+    cache.get(zz(0.2), czSpec(), decomposer);
+    cache.get(zz(0.1), czSpec(), decomposer); // refresh 0.1
+    cache.get(zz(0.3), czSpec(), decomposer); // evicts 0.2
+    ProfileCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.entries, 2u);
+    EXPECT_EQ(stats.evictions, 1u);
+
+    // 0.1 was refreshed, so it survived; 0.2 recomputes (miss).
+    uint64_t misses_before = cache.stats().misses;
+    cache.get(zz(0.1), czSpec(), decomposer);
+    EXPECT_EQ(cache.stats().misses, misses_before);
+    cache.get(zz(0.2), czSpec(), decomposer);
+    EXPECT_EQ(cache.stats().misses, misses_before + 1);
+
+    // The handle returned before any eviction is still valid.
+    EXPECT_FALSE(first->fits.empty());
+}
+
+TEST(ProfileCacheCore, ConcurrentGetIsConsistent)
+{
+    NuOpDecomposer decomposer(fastNuOp());
+    ProfileCache cache;
+    ThreadPool pool(8);
+
+    const int kDistinct = 4;
+    const size_t kCalls = 64;
+    std::vector<std::shared_ptr<const GateProfile>> seen(kCalls);
+    parallelFor(pool, kCalls, [&](size_t i) {
+        double theta = 0.2 + 0.1 * static_cast<double>(i % kDistinct);
+        seen[i] = cache.get(zz(theta), czSpec(), decomposer);
+    });
+
+    EXPECT_EQ(cache.size(), static_cast<size_t>(kDistinct));
+    ProfileCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.hits + stats.misses, kCalls);
+    EXPECT_GE(stats.misses, static_cast<uint64_t>(kDistinct));
+
+    // Every call for the same target observed the same stored profile.
+    for (size_t i = 0; i < kCalls; ++i) {
+        ASSERT_NE(seen[i], nullptr);
+        EXPECT_EQ(seen[i].get(), seen[i % kDistinct].get());
+    }
+}
+
+TEST(ProfileCacheCore, SaveLoadRoundTrip)
+{
+    NuOpDecomposer decomposer(fastNuOp());
+    ProfileCache cache;
+    auto a = cache.get(zz(0.3), czSpec(), decomposer);
+    GateSpec isw{"S4", TemplateFamily::Fixed, iswap()};
+    auto b = cache.get(zz(0.3), isw, decomposer);
+
+    TempFile file("qiset_profile_cache_roundtrip.txt");
+    ASSERT_TRUE(cache.save(file.path));
+
+    ProfileCache restored;
+    ASSERT_TRUE(restored.load(file.path));
+    ProfileCacheStats stats = restored.stats();
+    EXPECT_EQ(stats.loaded, 2u);
+    EXPECT_EQ(stats.entries, 2u);
+
+    // Reading back the same (target, spec) pairs is pure cache hits —
+    // zero new BFGS optimizations — and reproduces the fits exactly.
+    auto a2 = restored.get(zz(0.3), czSpec(), decomposer);
+    auto b2 = restored.get(zz(0.3), isw, decomposer);
+    stats = restored.stats();
+    EXPECT_EQ(stats.misses, 0u);
+    EXPECT_EQ(stats.hits, 2u);
+
+    ASSERT_EQ(a2->fits.size(), a->fits.size());
+    for (size_t i = 0; i < a->fits.size(); ++i) {
+        EXPECT_EQ(a2->fits[i].layers, a->fits[i].layers);
+        EXPECT_EQ(a2->fits[i].fd, a->fits[i].fd); // %.17g is lossless
+        EXPECT_EQ(a2->fits[i].params, a->fits[i].params);
+    }
+    EXPECT_EQ(b2->type_name, "S4");
+    EXPECT_EQ(b2->unitary.maxAbsDiff(iswap()), 0.0);
+}
+
+TEST(ProfileCacheCore, LoadMergesWithoutOverwriting)
+{
+    NuOpDecomposer decomposer(fastNuOp());
+    ProfileCache cache;
+    auto original = cache.get(zz(0.3), czSpec(), decomposer);
+
+    TempFile file("qiset_profile_cache_merge.txt");
+    ASSERT_TRUE(cache.save(file.path));
+
+    // Loading into a cache that already has the key keeps the
+    // in-memory profile and counts nothing as loaded.
+    ASSERT_TRUE(cache.load(file.path));
+    EXPECT_EQ(cache.stats().loaded, 0u);
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.get(zz(0.3), czSpec(), decomposer).get(),
+              original.get());
+}
+
+TEST(ProfileCacheCore, LoadRejectsMissingAndMalformedFiles)
+{
+    ProfileCache cache;
+    EXPECT_FALSE(cache.load("/nonexistent/path/cache.txt"));
+
+    TempFile file("qiset_profile_cache_garbage.txt");
+    {
+        std::ofstream os(file.path);
+        os << "not-a-cache 99\ngarbage\n";
+    }
+    EXPECT_FALSE(cache.load(file.path));
+    EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ProfileCacheCore, KeySeparatesTargetsAndSpecs)
+{
+    GateSpec cz_spec = czSpec();
+    GateSpec isw{"S4", TemplateFamily::Fixed, iswap()};
+    EXPECT_NE(ProfileCache::key(zz(0.3), cz_spec),
+              ProfileCache::key(zz(0.4), cz_spec));
+    EXPECT_NE(ProfileCache::key(zz(0.3), cz_spec),
+              ProfileCache::key(zz(0.3), isw));
+    EXPECT_EQ(ProfileCache::key(zz(0.3), cz_spec),
+              ProfileCache::key(zz(0.3), cz_spec));
+}
+
+} // namespace
+} // namespace qiset

@@ -41,14 +41,18 @@ TEST(ProfileCache, MemoizesAcrossCalls)
     spec.type_name = "S3";
     spec.unitary = cz();
 
-    const GateProfile& a = cache.get(zz(0.3), spec, decomposer);
+    auto a = cache.get(zz(0.3), spec, decomposer);
     EXPECT_EQ(cache.size(), 1u);
-    const GateProfile& b = cache.get(zz(0.3), spec, decomposer);
+    auto b = cache.get(zz(0.3), spec, decomposer);
     EXPECT_EQ(cache.size(), 1u);
-    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(a.get(), b.get());
     // Different target: new entry.
     cache.get(zz(0.4), spec, decomposer);
     EXPECT_EQ(cache.size(), 2u);
+    // The counters saw one hit and two computed profiles.
+    ProfileCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.misses, 2u);
 }
 
 TEST(ProfileCache, FitsStopAtExactThreshold)
@@ -58,11 +62,11 @@ TEST(ProfileCache, FitsStopAtExactThreshold)
     GateSpec spec;
     spec.type_name = "S3";
     spec.unitary = cz();
-    const GateProfile& profile = cache.get(zz(0.3), spec, decomposer);
+    auto profile = cache.get(zz(0.3), spec, decomposer);
     // ZZ with CZ is exact at 2 layers: fits = depths 0, 1, 2.
-    ASSERT_EQ(profile.fits.size(), 3u);
-    EXPECT_GE(profile.fits.back().fd, 1.0 - 1e-6);
-    EXPECT_LT(profile.fits[1].fd, 1.0 - 1e-6);
+    ASSERT_EQ(profile->fits.size(), 3u);
+    EXPECT_GE(profile->fits.back().fd, 1.0 - 1e-6);
+    EXPECT_LT(profile->fits[1].fd, 1.0 - 1e-6);
 }
 
 TEST(SelectGate, PrefersHigherOverallFidelity)
@@ -72,9 +76,10 @@ TEST(SelectGate, PrefersHigherOverallFidelity)
     GateSpec cz_spec{"S3", TemplateFamily::Fixed, cz()};
     GateSpec isw_spec{"S4", TemplateFamily::Fixed, iswap()};
     Matrix target = zz(0.5);
-    std::vector<const GateProfile*> profiles = {
-        &cache.get(target, cz_spec, decomposer),
-        &cache.get(target, isw_spec, decomposer)};
+    auto cz_profile = cache.get(target, cz_spec, decomposer);
+    auto isw_profile = cache.get(target, isw_spec, decomposer);
+    std::vector<const GateProfile*> profiles = {cz_profile.get(),
+                                                isw_profile.get()};
 
     GateChoice pick_cz = selectGate(profiles, {0.99, 0.90}, 1.0, true,
                                     1.0 - 1e-6);
@@ -91,9 +96,10 @@ TEST(SelectGate, SkipsUncalibratedTypes)
     GateSpec cz_spec{"S3", TemplateFamily::Fixed, cz()};
     GateSpec isw_spec{"S4", TemplateFamily::Fixed, iswap()};
     Matrix target = zz(0.5);
-    std::vector<const GateProfile*> profiles = {
-        &cache.get(target, cz_spec, decomposer),
-        &cache.get(target, isw_spec, decomposer)};
+    auto cz_profile = cache.get(target, cz_spec, decomposer);
+    auto isw_profile = cache.get(target, isw_spec, decomposer);
+    std::vector<const GateProfile*> profiles = {cz_profile.get(),
+                                                isw_profile.get()};
     GateChoice choice =
         selectGate(profiles, {0.0, 0.92}, 1.0, true, 1.0 - 1e-6);
     EXPECT_EQ(choice.profile->type_name, "S4");
