@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_cphase_family.dir/bench/bench_ext_cphase_family.cc.o"
+  "CMakeFiles/bench_ext_cphase_family.dir/bench/bench_ext_cphase_family.cc.o.d"
+  "bench_ext_cphase_family"
+  "bench_ext_cphase_family.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_cphase_family.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

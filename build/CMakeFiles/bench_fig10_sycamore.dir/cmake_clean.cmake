@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_sycamore.dir/bench/bench_fig10_sycamore.cc.o"
+  "CMakeFiles/bench_fig10_sycamore.dir/bench/bench_fig10_sycamore.cc.o.d"
+  "bench_fig10_sycamore"
+  "bench_fig10_sycamore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_sycamore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_exact_vs_approx.dir/bench/bench_fig7_exact_vs_approx.cc.o"
+  "CMakeFiles/bench_fig7_exact_vs_approx.dir/bench/bench_fig7_exact_vs_approx.cc.o.d"
+  "bench_fig7_exact_vs_approx"
+  "bench_fig7_exact_vs_approx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_exact_vs_approx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_heatmaps.dir/bench/bench_fig8_heatmaps.cc.o"
+  "CMakeFiles/bench_fig8_heatmaps.dir/bench/bench_fig8_heatmaps.cc.o.d"
+  "bench_fig8_heatmaps"
+  "bench_fig8_heatmaps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_heatmaps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

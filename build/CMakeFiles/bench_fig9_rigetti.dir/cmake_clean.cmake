@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_rigetti.dir/bench/bench_fig9_rigetti.cc.o"
+  "CMakeFiles/bench_fig9_rigetti.dir/bench/bench_fig9_rigetti.cc.o.d"
+  "bench_fig9_rigetti"
+  "bench_fig9_rigetti.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_rigetti.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

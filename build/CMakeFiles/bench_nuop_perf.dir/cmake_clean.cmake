@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nuop_perf.dir/bench/bench_nuop_perf.cc.o"
+  "CMakeFiles/bench_nuop_perf.dir/bench/bench_nuop_perf.cc.o.d"
+  "bench_nuop_perf"
+  "bench_nuop_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nuop_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

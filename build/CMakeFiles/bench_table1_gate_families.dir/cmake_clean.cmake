@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_gate_families.dir/bench/bench_table1_gate_families.cc.o"
+  "CMakeFiles/bench_table1_gate_families.dir/bench/bench_table1_gate_families.cc.o.d"
+  "bench_table1_gate_families"
+  "bench_table1_gate_families.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_gate_families.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_instruction_sets.dir/bench/bench_table2_instruction_sets.cc.o"
+  "CMakeFiles/bench_table2_instruction_sets.dir/bench/bench_table2_instruction_sets.cc.o.d"
+  "bench_table2_instruction_sets"
+  "bench_table2_instruction_sets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_instruction_sets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibration_planner.dir/examples/calibration_planner.cpp.o"
+  "CMakeFiles/calibration_planner.dir/examples/calibration_planner.cpp.o.d"
+  "calibration_planner"
+  "calibration_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibration_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compile_and_draw.dir/examples/compile_and_draw.cpp.o"
+  "CMakeFiles/compile_and_draw.dir/examples/compile_and_draw.cpp.o.d"
+  "compile_and_draw"
+  "compile_and_draw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compile_and_draw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

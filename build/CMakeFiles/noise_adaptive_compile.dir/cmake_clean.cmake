@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noise_adaptive_compile.dir/examples/noise_adaptive_compile.cpp.o"
+  "CMakeFiles/noise_adaptive_compile.dir/examples/noise_adaptive_compile.cpp.o.d"
+  "noise_adaptive_compile"
+  "noise_adaptive_compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noise_adaptive_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

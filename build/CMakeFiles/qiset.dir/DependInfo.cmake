@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/fermi_hubbard.cc" "CMakeFiles/qiset.dir/src/apps/fermi_hubbard.cc.o" "gcc" "CMakeFiles/qiset.dir/src/apps/fermi_hubbard.cc.o.d"
+  "/root/repo/src/apps/qaoa.cc" "CMakeFiles/qiset.dir/src/apps/qaoa.cc.o" "gcc" "CMakeFiles/qiset.dir/src/apps/qaoa.cc.o.d"
+  "/root/repo/src/apps/qft.cc" "CMakeFiles/qiset.dir/src/apps/qft.cc.o" "gcc" "CMakeFiles/qiset.dir/src/apps/qft.cc.o.d"
+  "/root/repo/src/apps/qv.cc" "CMakeFiles/qiset.dir/src/apps/qv.cc.o" "gcc" "CMakeFiles/qiset.dir/src/apps/qv.cc.o.d"
+  "/root/repo/src/calibration/calibration_model.cc" "CMakeFiles/qiset.dir/src/calibration/calibration_model.cc.o" "gcc" "CMakeFiles/qiset.dir/src/calibration/calibration_model.cc.o.d"
+  "/root/repo/src/circuit/circuit.cc" "CMakeFiles/qiset.dir/src/circuit/circuit.cc.o" "gcc" "CMakeFiles/qiset.dir/src/circuit/circuit.cc.o.d"
+  "/root/repo/src/circuit/draw.cc" "CMakeFiles/qiset.dir/src/circuit/draw.cc.o" "gcc" "CMakeFiles/qiset.dir/src/circuit/draw.cc.o.d"
+  "/root/repo/src/common/rng.cc" "CMakeFiles/qiset.dir/src/common/rng.cc.o" "gcc" "CMakeFiles/qiset.dir/src/common/rng.cc.o.d"
+  "/root/repo/src/common/table.cc" "CMakeFiles/qiset.dir/src/common/table.cc.o" "gcc" "CMakeFiles/qiset.dir/src/common/table.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "CMakeFiles/qiset.dir/src/common/thread_pool.cc.o" "gcc" "CMakeFiles/qiset.dir/src/common/thread_pool.cc.o.d"
+  "/root/repo/src/compiler/consolidate.cc" "CMakeFiles/qiset.dir/src/compiler/consolidate.cc.o" "gcc" "CMakeFiles/qiset.dir/src/compiler/consolidate.cc.o.d"
+  "/root/repo/src/compiler/crosstalk.cc" "CMakeFiles/qiset.dir/src/compiler/crosstalk.cc.o" "gcc" "CMakeFiles/qiset.dir/src/compiler/crosstalk.cc.o.d"
+  "/root/repo/src/compiler/mapping.cc" "CMakeFiles/qiset.dir/src/compiler/mapping.cc.o" "gcc" "CMakeFiles/qiset.dir/src/compiler/mapping.cc.o.d"
+  "/root/repo/src/compiler/pass_manager.cc" "CMakeFiles/qiset.dir/src/compiler/pass_manager.cc.o" "gcc" "CMakeFiles/qiset.dir/src/compiler/pass_manager.cc.o.d"
+  "/root/repo/src/compiler/passes.cc" "CMakeFiles/qiset.dir/src/compiler/passes.cc.o" "gcc" "CMakeFiles/qiset.dir/src/compiler/passes.cc.o.d"
+  "/root/repo/src/compiler/pipeline.cc" "CMakeFiles/qiset.dir/src/compiler/pipeline.cc.o" "gcc" "CMakeFiles/qiset.dir/src/compiler/pipeline.cc.o.d"
+  "/root/repo/src/compiler/profile_cache.cc" "CMakeFiles/qiset.dir/src/compiler/profile_cache.cc.o" "gcc" "CMakeFiles/qiset.dir/src/compiler/profile_cache.cc.o.d"
+  "/root/repo/src/compiler/routing.cc" "CMakeFiles/qiset.dir/src/compiler/routing.cc.o" "gcc" "CMakeFiles/qiset.dir/src/compiler/routing.cc.o.d"
+  "/root/repo/src/compiler/translate.cc" "CMakeFiles/qiset.dir/src/compiler/translate.cc.o" "gcc" "CMakeFiles/qiset.dir/src/compiler/translate.cc.o.d"
+  "/root/repo/src/device/aspen8.cc" "CMakeFiles/qiset.dir/src/device/aspen8.cc.o" "gcc" "CMakeFiles/qiset.dir/src/device/aspen8.cc.o.d"
+  "/root/repo/src/device/device.cc" "CMakeFiles/qiset.dir/src/device/device.cc.o" "gcc" "CMakeFiles/qiset.dir/src/device/device.cc.o.d"
+  "/root/repo/src/device/sycamore.cc" "CMakeFiles/qiset.dir/src/device/sycamore.cc.o" "gcc" "CMakeFiles/qiset.dir/src/device/sycamore.cc.o.d"
+  "/root/repo/src/device/topology.cc" "CMakeFiles/qiset.dir/src/device/topology.cc.o" "gcc" "CMakeFiles/qiset.dir/src/device/topology.cc.o.d"
+  "/root/repo/src/isa/gate_set.cc" "CMakeFiles/qiset.dir/src/isa/gate_set.cc.o" "gcc" "CMakeFiles/qiset.dir/src/isa/gate_set.cc.o.d"
+  "/root/repo/src/metrics/metrics.cc" "CMakeFiles/qiset.dir/src/metrics/metrics.cc.o" "gcc" "CMakeFiles/qiset.dir/src/metrics/metrics.cc.o.d"
+  "/root/repo/src/nuop/bfgs.cc" "CMakeFiles/qiset.dir/src/nuop/bfgs.cc.o" "gcc" "CMakeFiles/qiset.dir/src/nuop/bfgs.cc.o.d"
+  "/root/repo/src/nuop/decomposer.cc" "CMakeFiles/qiset.dir/src/nuop/decomposer.cc.o" "gcc" "CMakeFiles/qiset.dir/src/nuop/decomposer.cc.o.d"
+  "/root/repo/src/nuop/kak.cc" "CMakeFiles/qiset.dir/src/nuop/kak.cc.o" "gcc" "CMakeFiles/qiset.dir/src/nuop/kak.cc.o.d"
+  "/root/repo/src/nuop/template_circuit.cc" "CMakeFiles/qiset.dir/src/nuop/template_circuit.cc.o" "gcc" "CMakeFiles/qiset.dir/src/nuop/template_circuit.cc.o.d"
+  "/root/repo/src/qc/gates.cc" "CMakeFiles/qiset.dir/src/qc/gates.cc.o" "gcc" "CMakeFiles/qiset.dir/src/qc/gates.cc.o.d"
+  "/root/repo/src/qc/linalg.cc" "CMakeFiles/qiset.dir/src/qc/linalg.cc.o" "gcc" "CMakeFiles/qiset.dir/src/qc/linalg.cc.o.d"
+  "/root/repo/src/qc/matrix.cc" "CMakeFiles/qiset.dir/src/qc/matrix.cc.o" "gcc" "CMakeFiles/qiset.dir/src/qc/matrix.cc.o.d"
+  "/root/repo/src/sim/density_matrix.cc" "CMakeFiles/qiset.dir/src/sim/density_matrix.cc.o" "gcc" "CMakeFiles/qiset.dir/src/sim/density_matrix.cc.o.d"
+  "/root/repo/src/sim/noise_model.cc" "CMakeFiles/qiset.dir/src/sim/noise_model.cc.o" "gcc" "CMakeFiles/qiset.dir/src/sim/noise_model.cc.o.d"
+  "/root/repo/src/sim/statevector.cc" "CMakeFiles/qiset.dir/src/sim/statevector.cc.o" "gcc" "CMakeFiles/qiset.dir/src/sim/statevector.cc.o.d"
+  "/root/repo/src/sim/trajectory.cc" "CMakeFiles/qiset.dir/src/sim/trajectory.cc.o" "gcc" "CMakeFiles/qiset.dir/src/sim/trajectory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bfgs.dir/tests/test_bfgs.cc.o"
+  "CMakeFiles/test_bfgs.dir/tests/test_bfgs.cc.o.d"
+  "test_bfgs"
+  "test_bfgs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bfgs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

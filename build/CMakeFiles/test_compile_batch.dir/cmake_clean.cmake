@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compile_batch.dir/tests/test_compile_batch.cc.o"
+  "CMakeFiles/test_compile_batch.dir/tests/test_compile_batch.cc.o.d"
+  "test_compile_batch"
+  "test_compile_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compile_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

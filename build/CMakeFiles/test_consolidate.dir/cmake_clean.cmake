@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_consolidate.dir/tests/test_consolidate.cc.o"
+  "CMakeFiles/test_consolidate.dir/tests/test_consolidate.cc.o.d"
+  "test_consolidate"
+  "test_consolidate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_consolidate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_decomposer.dir/tests/test_decomposer.cc.o"
+  "CMakeFiles/test_decomposer.dir/tests/test_decomposer.cc.o.d"
+  "test_decomposer"
+  "test_decomposer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_decomposer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

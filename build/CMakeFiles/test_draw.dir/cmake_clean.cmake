@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_draw.dir/tests/test_draw.cc.o"
+  "CMakeFiles/test_draw.dir/tests/test_draw.cc.o.d"
+  "test_draw"
+  "test_draw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_draw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

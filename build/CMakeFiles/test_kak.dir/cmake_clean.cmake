@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kak.dir/tests/test_kak.cc.o"
+  "CMakeFiles/test_kak.dir/tests/test_kak.cc.o.d"
+  "test_kak"
+  "test_kak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

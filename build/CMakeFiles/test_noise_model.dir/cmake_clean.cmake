@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_noise_model.dir/tests/test_noise_model.cc.o"
+  "CMakeFiles/test_noise_model.dir/tests/test_noise_model.cc.o.d"
+  "test_noise_model"
+  "test_noise_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_noise_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

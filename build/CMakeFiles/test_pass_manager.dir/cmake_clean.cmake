@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pass_manager.dir/tests/test_pass_manager.cc.o"
+  "CMakeFiles/test_pass_manager.dir/tests/test_pass_manager.cc.o.d"
+  "test_pass_manager"
+  "test_pass_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pass_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

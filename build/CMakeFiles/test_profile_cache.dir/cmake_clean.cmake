@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_profile_cache.dir/tests/test_profile_cache.cc.o"
+  "CMakeFiles/test_profile_cache.dir/tests/test_profile_cache.cc.o.d"
+  "test_profile_cache"
+  "test_profile_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_profile_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_template_circuit.dir/tests/test_template_circuit.cc.o"
+  "CMakeFiles/test_template_circuit.dir/tests/test_template_circuit.cc.o.d"
+  "test_template_circuit"
+  "test_template_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_template_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_translate.dir/tests/test_translate.cc.o"
+  "CMakeFiles/test_translate.dir/tests/test_translate.cc.o.d"
+  "test_translate"
+  "test_translate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_translate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
