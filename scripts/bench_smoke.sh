@@ -9,12 +9,20 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build}"
 BENCH="${BENCH:-bench_table1_gate_families}"
+ROUTING_JSON="${ROUTING_JSON:-$BUILD_DIR/BENCH_routing.json}"
 
 cmake -B "$BUILD_DIR" -S .
-cmake --build "$BUILD_DIR" -j "$(nproc)" --target "$BENCH" quickstart
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target "$BENCH" \
+    bench_routing quickstart
 
 echo "=== $BENCH (quick mode) ==="
 time "./$BUILD_DIR/$BENCH"
 
 echo "=== quickstart (pass timings + cache stats) ==="
 "./$BUILD_DIR/quickstart"
+
+# Machine-readable routing trajectory: SWAP counts and routing
+# wall-clock per strategy per workload, tracked from PR 2 on.
+echo "=== bench_routing -> $ROUTING_JSON ==="
+"./$BUILD_DIR/bench_routing" > "$ROUTING_JSON"
+cat "$ROUTING_JSON"

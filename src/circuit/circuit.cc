@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "circuit/schedule.h"
 #include "common/error.h"
 
 namespace qiset {
@@ -95,34 +96,13 @@ Circuit::countLabel(const std::string& label) const
 int
 Circuit::depth() const
 {
-    std::vector<int> level(num_qubits_, 0);
-    int max_level = 0;
-    for (const auto& op : ops_) {
-        int start = 0;
-        for (int q : op.qubits)
-            start = std::max(start, level[q]);
-        for (int q : op.qubits)
-            level[q] = start + 1;
-        max_level = std::max(max_level, start + 1);
-    }
-    return max_level;
+    return Schedule(*this).depth();
 }
 
 double
 Circuit::scheduledDurationNs() const
 {
-    std::vector<double> busy_until(num_qubits_, 0.0);
-    double total = 0.0;
-    for (const auto& op : ops_) {
-        double start = 0.0;
-        for (int q : op.qubits)
-            start = std::max(start, busy_until[q]);
-        double end = start + op.duration_ns;
-        for (int q : op.qubits)
-            busy_until[q] = end;
-        total = std::max(total, end);
-    }
-    return total;
+    return Schedule(*this).durationNs();
 }
 
 Matrix

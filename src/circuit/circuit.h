@@ -83,10 +83,10 @@ class Circuit
     /** Count of 2Q operations whose label matches exactly. */
     int countLabel(const std::string& label) const;
 
-    /** ASAP-schedule depth (number of moments). */
+    /** ASAP-schedule depth (number of moments; see schedule.h). */
     int depth() const;
 
-    /** Total ASAP-scheduled wall-clock duration in ns. */
+    /** Total ASAP-scheduled wall-clock duration in ns (schedule.h). */
     double scheduledDurationNs() const;
 
     /**

@@ -1,0 +1,166 @@
+#include "circuit/schedule.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "circuit/circuit.h"
+#include "common/error.h"
+
+namespace qiset {
+
+namespace {
+
+/** FNV-1a, the usual incremental byte hash. */
+inline uint64_t
+fnv1a(uint64_t hash, uint64_t value)
+{
+    for (int byte = 0; byte < 8; ++byte) {
+        hash ^= (value >> (8 * byte)) & 0xffu;
+        hash *= 1099511628211ull;
+    }
+    return hash;
+}
+
+inline uint64_t
+fnv1aDouble(uint64_t hash, double value)
+{
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(value), "double is 64-bit");
+    std::memcpy(&bits, &value, sizeof(bits));
+    return fnv1a(hash, bits);
+}
+
+} // namespace
+
+uint64_t
+Schedule::structureFingerprint(const Circuit& circuit)
+{
+    uint64_t hash = 14695981039346656037ull;
+    hash = fnv1a(hash, static_cast<uint64_t>(circuit.numQubits()));
+    hash = fnv1a(hash, circuit.size());
+    for (const auto& op : circuit.ops()) {
+        hash = fnv1a(hash, op.qubits.size());
+        for (int q : op.qubits)
+            hash = fnv1a(hash, static_cast<uint64_t>(q));
+        hash = fnv1aDouble(hash, op.duration_ns);
+    }
+    return hash;
+}
+
+void
+Schedule::build(const Circuit& circuit)
+{
+    const auto& ops = circuit.ops();
+    size_t count = ops.size();
+    int n = circuit.numQubits();
+
+    asap_.assign(count, 0);
+    alap_.assign(count, 0);
+    start_ns_.assign(count, 0.0);
+    moments_.clear();
+    frontier_.clear();
+
+    // ASAP: each op starts at the first moment after every op already
+    // scheduled on its qubits (this exact recurrence is the contract
+    // the crosstalk model and Circuit::depth() rely on).
+    std::vector<int> level(n, 0);
+    std::vector<double> busy_until(n, 0.0);
+    int depth = 0;
+    double duration = 0.0;
+    for (size_t i = 0; i < count; ++i) {
+        int start = 0;
+        double start_ns = 0.0;
+        for (int q : ops[i].qubits) {
+            start = std::max(start, level[q]);
+            start_ns = std::max(start_ns, busy_until[q]);
+        }
+        asap_[i] = start;
+        start_ns_[i] = start_ns;
+        double end_ns = start_ns + ops[i].duration_ns;
+        for (int q : ops[i].qubits) {
+            level[q] = start + 1;
+            busy_until[q] = end_ns;
+        }
+        depth = std::max(depth, start + 1);
+        duration = std::max(duration, end_ns);
+    }
+    depth_ = depth;
+    duration_ns_ = duration;
+
+    // ALAP: schedule the reversed op order ASAP, then mirror the
+    // moment axis. An op's ALAP moment is depth-1 minus its reversed
+    // ASAP moment.
+    std::fill(level.begin(), level.end(), 0);
+    for (size_t r = 0; r < count; ++r) {
+        size_t i = count - 1 - r;
+        int start = 0;
+        for (int q : ops[i].qubits)
+            start = std::max(start, level[q]);
+        alap_[i] = depth_ - 1 - start;
+        for (int q : ops[i].qubits)
+            level[q] = start + 1;
+    }
+
+    moments_.resize(depth_);
+    frontier_.resize(depth_);
+    for (size_t i = 0; i < count; ++i) {
+        moments_[asap_[i]].push_back(i);
+        if (ops[i].isTwoQubit())
+            frontier_[asap_[i]].push_back(i);
+    }
+
+    fingerprint_ = structureFingerprint(circuit);
+    valid_ = true;
+}
+
+bool
+Schedule::consistentWith(const Circuit& circuit) const
+{
+    return valid_ && circuit.size() == asap_.size() &&
+           fingerprint_ == structureFingerprint(circuit);
+}
+
+int
+Schedule::asapMoment(size_t op) const
+{
+    QISET_REQUIRE(valid_, "schedule not built");
+    QISET_REQUIRE(op < asap_.size(), "op index ", op,
+                  " out of range for ", asap_.size(), " scheduled ops");
+    return asap_[op];
+}
+
+int
+Schedule::alapMoment(size_t op) const
+{
+    QISET_REQUIRE(valid_, "schedule not built");
+    QISET_REQUIRE(op < alap_.size(), "op index ", op,
+                  " out of range for ", alap_.size(), " scheduled ops");
+    return alap_[op];
+}
+
+int
+Schedule::slack(size_t op) const
+{
+    return alapMoment(op) - asapMoment(op);
+}
+
+size_t
+Schedule::maxParallelTwoQubit() const
+{
+    size_t best = 0;
+    for (const auto& moment : frontier_)
+        best = std::max(best, moment.size());
+    return best;
+}
+
+double
+Schedule::startTimeNs(size_t op) const
+{
+    QISET_REQUIRE(valid_, "schedule not built");
+    QISET_REQUIRE(op < start_ns_.size(), "op index ", op,
+                  " out of range for ", start_ns_.size(),
+                  " scheduled ops");
+    return start_ns_[op];
+}
+
+} // namespace qiset

@@ -1,0 +1,118 @@
+#ifndef QISET_CIRCUIT_SCHEDULE_H
+#define QISET_CIRCUIT_SCHEDULE_H
+
+/**
+ * @file
+ * Moment-level schedule IR.
+ *
+ * A Schedule assigns every operation of a Circuit to a discrete
+ * *moment* (gates in the same moment execute simultaneously) under
+ * both ASAP (as-soon-as-possible) and ALAP (as-late-as-possible)
+ * dependency orderings, plus wall-clock start times driven by the
+ * per-op durations. It is the shared scheduling state of the
+ * compiler: the scheduling pass builds one on the CompilationContext,
+ * the crosstalk pass reads its per-moment two-qubit frontier to find
+ * simultaneously-executing couplers (the paper's Section IX model),
+ * the noise-annotation pass reads its critical-path duration, and the
+ * SABRE router drives its lookahead from the ASAP moment order.
+ *
+ * Invalidation: moments depend only on the circuit's *qubit
+ * structure* (which qubits each op touches) and durations — not on
+ * unitaries, labels or error rates. A structural fingerprint captures
+ * exactly that, so consistentWith() stays true across error-rate
+ * rewrites (crosstalk inflation) but turns false when ops are
+ * inserted, removed or re-wired (SWAP insertion, consolidation,
+ * translation). Passes that rewrite the circuit call invalidate();
+ * consumers rebuild lazily via CompilationContext::ensureSchedule().
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace qiset {
+
+class Circuit;
+
+/** ASAP/ALAP moment assignment of one circuit. */
+class Schedule
+{
+  public:
+    /** An empty, invalid schedule (build() before use). */
+    Schedule() = default;
+
+    explicit Schedule(const Circuit& circuit) { build(circuit); }
+
+    /** (Re)compute all moment state from the circuit. */
+    void build(const Circuit& circuit);
+
+    /** False until built, or after invalidate(). */
+    bool valid() const { return valid_; }
+
+    /** Mark stale (cheap; consumers rebuild lazily). */
+    void invalidate() { valid_ = false; }
+
+    /**
+     * True when this schedule was built from a circuit with the same
+     * qubit structure and durations as `circuit` (error-rate, label
+     * and unitary edits keep a schedule consistent).
+     */
+    bool consistentWith(const Circuit& circuit) const;
+
+    /** Number of scheduled operations. */
+    size_t numOps() const { return asap_.size(); }
+
+    /** Number of moments (the circuit's dependency depth). */
+    int depth() const { return depth_; }
+
+    /** ASAP moment of op `op` (index into the circuit's op list). */
+    int asapMoment(size_t op) const;
+
+    /** ALAP moment of op `op`. */
+    int alapMoment(size_t op) const;
+
+    /** alapMoment - asapMoment; zero for critical-path ops. */
+    int slack(size_t op) const;
+
+    /** Op indices of each ASAP moment, in circuit order. */
+    const std::vector<std::vector<size_t>>& moments() const
+    {
+        return moments_;
+    }
+
+    /**
+     * Two-qubit op indices of each ASAP moment — the simultaneity
+     * frontier the crosstalk model pairs up.
+     */
+    const std::vector<std::vector<size_t>>& twoQubitFrontier() const
+    {
+        return frontier_;
+    }
+
+    /** Largest two-qubit frontier across all moments. */
+    size_t maxParallelTwoQubit() const;
+
+    /** ASAP start time of op `op` in ns (durations drive packing). */
+    double startTimeNs(size_t op) const;
+
+    /** Critical-path wall-clock duration of the circuit in ns. */
+    double durationNs() const { return duration_ns_; }
+
+  private:
+    /** Hash of (num_qubits, per-op qubit lists, per-op durations). */
+    static uint64_t structureFingerprint(const Circuit& circuit);
+
+    bool valid_ = false;
+    uint64_t fingerprint_ = 0;
+    int depth_ = 0;
+    double duration_ns_ = 0.0;
+    std::vector<int> asap_;
+    std::vector<int> alap_;
+    std::vector<double> start_ns_;
+    std::vector<std::vector<size_t>> moments_;
+    std::vector<std::vector<size_t>> frontier_;
+};
+
+} // namespace qiset
+
+#endif // QISET_CIRCUIT_SCHEDULE_H

@@ -7,7 +7,7 @@
 namespace qiset {
 
 int
-applyCrosstalkInflation(Circuit& circuit,
+applyCrosstalkInflation(Circuit& circuit, const Schedule& schedule,
                         const std::vector<int>& physical,
                         const Topology& device_topology,
                         double inflation)
@@ -16,19 +16,11 @@ applyCrosstalkInflation(Circuit& circuit,
     QISET_REQUIRE(physical.size() ==
                       static_cast<size_t>(circuit.numQubits()),
                   "physical map width mismatch");
+    QISET_REQUIRE(schedule.consistentWith(circuit),
+                  "crosstalk inflation needs the schedule of the "
+                  "circuit being inflated");
 
-    // ASAP moment assignment.
-    std::vector<int> level(circuit.numQubits(), 0);
-    std::vector<int> moment(circuit.size());
     auto& ops = circuit.mutableOps();
-    for (size_t i = 0; i < ops.size(); ++i) {
-        int start = 0;
-        for (int q : ops[i].qubits)
-            start = std::max(start, level[q]);
-        moment[i] = start;
-        for (int q : ops[i].qubits)
-            level[q] = start + 1;
-    }
 
     // Two couplers interact when any endpoint of one is adjacent to
     // (or shares) an endpoint of the other on the device graph.
@@ -45,19 +37,22 @@ applyCrosstalkInflation(Circuit& circuit,
         return false;
     };
 
+    // Pair up each moment's two-qubit frontier. A zero-error op is
+    // ideal/abstract: it is never inflated and does not inflate its
+    // later partners.
     std::vector<bool> inflate(ops.size(), false);
-    for (size_t i = 0; i < ops.size(); ++i) {
-        if (!ops[i].isTwoQubit() || ops[i].error_rate <= 0.0)
-            continue;
-        for (size_t j = i + 1; j < ops.size(); ++j) {
-            if (moment[j] != moment[i])
+    for (const auto& frontier : schedule.twoQubitFrontier()) {
+        for (size_t a = 0; a < frontier.size(); ++a) {
+            size_t i = frontier[a];
+            if (ops[i].error_rate <= 0.0)
                 continue;
-            if (!ops[j].isTwoQubit())
-                continue;
-            if (couplers_interact(ops[i], ops[j])) {
-                inflate[i] = true;
-                if (ops[j].error_rate > 0.0)
-                    inflate[j] = true;
+            for (size_t b = a + 1; b < frontier.size(); ++b) {
+                size_t j = frontier[b];
+                if (couplers_interact(ops[i], ops[j])) {
+                    inflate[i] = true;
+                    if (ops[j].error_rate > 0.0)
+                        inflate[j] = true;
+                }
             }
         }
     }
@@ -71,6 +66,16 @@ applyCrosstalkInflation(Circuit& circuit,
         ++count;
     }
     return count;
+}
+
+int
+applyCrosstalkInflation(Circuit& circuit,
+                        const std::vector<int>& physical,
+                        const Topology& device_topology,
+                        double inflation)
+{
+    return applyCrosstalkInflation(circuit, Schedule(circuit), physical,
+                                   device_topology, inflation);
 }
 
 } // namespace qiset

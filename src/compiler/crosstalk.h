@@ -16,20 +16,33 @@
 #include <vector>
 
 #include "circuit/circuit.h"
+#include "circuit/schedule.h"
 #include "device/topology.h"
 
 namespace qiset {
 
 /**
  * Inflate the error rate of simultaneously-scheduled adjacent 2Q ops.
+ * Simultaneity is read off the schedule's per-moment two-qubit
+ * frontier (in the pipeline, the shared Schedule IR built by the
+ * scheduling pass).
  *
  * @param circuit Compiled circuit (register positions 0..n-1);
  *        error rates are modified in place.
+ * @param schedule Moment schedule of `circuit` (must be consistent
+ *        with it). Error-rate edits keep it consistent, so the caller
+ *        can reuse it afterwards.
  * @param physical Register position -> device qubit id.
  * @param device_topology Full device coupling graph.
  * @param inflation Multiplier applied to each affected op's error.
  * @return Number of operations whose error rate was inflated.
  */
+int applyCrosstalkInflation(Circuit& circuit, const Schedule& schedule,
+                            const std::vector<int>& physical,
+                            const Topology& device_topology,
+                            double inflation);
+
+/** Convenience overload scheduling the circuit internally. */
 int applyCrosstalkInflation(Circuit& circuit,
                             const std::vector<int>& physical,
                             const Topology& device_topology,

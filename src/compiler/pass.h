@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "circuit/circuit.h"
+#include "circuit/schedule.h"
 #include "common/thread_pool.h"
 #include "compiler/profile_cache.h"
 #include "device/device.h"
@@ -45,6 +46,13 @@ struct CompileOptions
      * pipeline (1.0 disables it, matching the paper's baseline).
      */
     double crosstalk_inflation = 1.0;
+    /**
+     * Routing strategy name resolved through the RoutingStrategy
+     * registry (routing_strategy.h): "greedy" (nearest-neighbor SWAP
+     * chains, the paper's baseline) or "sabre" (bidirectional
+     * lookahead; fewer SWAPs on long-range workloads).
+     */
+    std::string routing = "greedy";
     /** NuOp settings shared by all decompositions. */
     NuOpOptions nuop;
 };
@@ -56,6 +64,14 @@ struct CompileResult
     Circuit circuit;
     /** physical[i] = device qubit hosting register position i. */
     std::vector<int> physical;
+    /**
+     * initial_positions[l] = register position of logical qubit l at
+     * circuit start. Identity for the greedy router; lookahead
+     * routers may permute the start layout (harmless for the all-|0>
+     * register input every simulator here uses, and the final
+     * permutation below is tracked regardless).
+     */
+    std::vector<int> initial_positions;
     /** final_positions[l] = register position of logical qubit l. */
     std::vector<int> final_positions;
     /** Noise parameters of the compressed register. */
@@ -90,9 +106,9 @@ class CompilationContext
     CompilationContext(const Circuit& app, const Device& device,
                        GateSet gate_set, CompileOptions options,
                        ProfileCache& cache, ThreadPool* pool = nullptr)
-        : app_(app), device_(device), gate_set_(std::move(gate_set)),
-          options_(std::move(options)), cache_(cache), pool_(pool),
-          circuit(app)
+        : circuit(app), app_(app), device_(device),
+          gate_set_(std::move(gate_set)),
+          options_(std::move(options)), cache_(cache), pool_(pool)
     {
     }
 
@@ -111,8 +127,16 @@ class CompilationContext
     // ----- mutable pipeline state (passes read/write directly) -------
     /** Working circuit; starts as a copy of the application circuit. */
     Circuit circuit;
+    /**
+     * Shared moment schedule of `circuit`. The scheduling pass builds
+     * it; passes that rewrite the circuit invalidate() it; consumers
+     * go through ensureSchedule() so they never read a stale one.
+     */
+    Schedule schedule;
     /** physical[i] = device qubit hosting register position i. */
     std::vector<int> physical;
+    /** initial_positions[l] = start position of logical qubit l. */
+    std::vector<int> initial_positions;
     /** final_positions[l] = register position of logical qubit l. */
     std::vector<int> final_positions;
     /** Noise parameters of the compressed register. */
@@ -135,6 +159,17 @@ class CompilationContext
     }
 
     /**
+     * The schedule of the current working circuit, rebuilding it when
+     * it is missing or stale (circuit rewritten since the last build).
+     */
+    const Schedule& ensureSchedule()
+    {
+        if (!schedule.consistentWith(circuit))
+            schedule.build(circuit);
+        return schedule;
+    }
+
+    /**
      * Report a counter on the currently running pass (no-op when
      * called outside a PassManager run).
      */
@@ -150,6 +185,7 @@ class CompilationContext
         CompileResult out;
         out.circuit = std::move(circuit);
         out.physical = std::move(physical);
+        out.initial_positions = std::move(initial_positions);
         out.final_positions = std::move(final_positions);
         out.noise = std::move(noise);
         out.two_qubit_count = two_qubit_count;

@@ -102,10 +102,13 @@ defaultPipeline(const CompileOptions& options)
 {
     PassManager manager;
     manager.append(makeMappingPass());
-    manager.append(makeRoutingPass());
+    manager.append(makeRoutingPass(options.routing));
     if (options.consolidate)
         manager.append(makeConsolidationPass());
     manager.append(makeTranslationPass());
+    // Scheduling runs on the final (native) circuit so crosstalk and
+    // noise annotation share one moment assignment.
+    manager.append(makeSchedulingPass());
     if (options.crosstalk_inflation > 1.0)
         manager.append(makeCrosstalkPass(options.crosstalk_inflation));
     manager.append(makeNoiseAnnotationPass());

@@ -65,10 +65,11 @@ class PassManager
 };
 
 /**
- * The Fig. 1 pipeline as configured by the options: mapping, routing,
- * consolidation (when options.consolidate), NuOp translation,
- * crosstalk inflation (when options.crosstalk_inflation > 1) and
- * noise annotation.
+ * The Fig. 1 pipeline as configured by the options: mapping, routing
+ * (strategy options.routing), consolidation (when
+ * options.consolidate), NuOp translation, scheduling, crosstalk
+ * inflation (when options.crosstalk_inflation > 1) and noise
+ * annotation.
  */
 PassManager defaultPipeline(const CompileOptions& options);
 

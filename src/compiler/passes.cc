@@ -7,6 +7,7 @@
 #include "compiler/crosstalk.h"
 #include "compiler/mapping.h"
 #include "compiler/routing.h"
+#include "compiler/routing_strategy.h"
 #include "compiler/translate.h"
 
 namespace qiset {
@@ -30,6 +31,11 @@ class MappingPass : public Pass
 class RoutingPass : public Pass
 {
   public:
+    explicit RoutingPass(std::string strategy)
+        : strategy_(std::move(strategy))
+    {
+    }
+
     std::string name() const override { return "routing"; }
 
     void run(CompilationContext& ctx) override
@@ -37,14 +43,29 @@ class RoutingPass : public Pass
         QISET_REQUIRE(ctx.physical.size() ==
                           static_cast<size_t>(ctx.circuit.numQubits()),
                       "routing requires a mapping pass to run first");
+        std::unique_ptr<RoutingStrategy> router =
+            makeRoutingStrategy(strategy_);
         Topology coupling =
             ctx.device().topology().inducedSubgraph(ctx.physical);
-        RoutedCircuit routed = routeCircuit(ctx.circuit, coupling);
+        // Only lookahead strategies need the pre-routing schedule;
+        // don't build one the greedy path would throw away.
+        RoutedCircuit routed = router->wantsSchedule()
+                                   ? router->route(ctx.circuit, coupling,
+                                                   ctx.ensureSchedule())
+                                   : router->route(ctx.circuit, coupling,
+                                                   Schedule());
         ctx.circuit = std::move(routed.circuit);
+        ctx.schedule.invalidate(); // SWAPs rewrote the circuit
+        ctx.initial_positions = std::move(routed.initial_positions);
         ctx.final_positions = std::move(routed.final_positions);
         ctx.swaps_inserted = routed.swaps_inserted;
         ctx.reportCounter("swaps_inserted", routed.swaps_inserted);
+        ctx.diagnostic("routing: strategy " + strategy_ + " inserted " +
+                       std::to_string(routed.swaps_inserted) + " SWAPs");
     }
+
+  private:
+    std::string strategy_;
 };
 
 class ConsolidationPass : public Pass
@@ -56,6 +77,7 @@ class ConsolidationPass : public Pass
     {
         int before = ctx.circuit.twoQubitGateCount();
         ctx.circuit = consolidateTwoQubitBlocks(ctx.circuit);
+        ctx.schedule.invalidate(); // fusing ops rewrote the circuit
         int after = ctx.circuit.twoQubitGateCount();
         ctx.reportCounter("blocks_before", before);
         ctx.reportCounter("blocks_after", after);
@@ -78,6 +100,7 @@ class TranslationPass : public Pass
             decomposer, ctx.profileCache(), ctx.options().approximate,
             ctx.threadPool());
         ctx.circuit = std::move(translated.circuit);
+        ctx.schedule.invalidate(); // native gates rewrote the circuit
         ctx.two_qubit_count = translated.two_qubit_count;
         ctx.type_usage = std::move(translated.type_usage);
         ctx.estimated_fidelity = translated.estimated_fidelity;
@@ -92,6 +115,22 @@ class TranslationPass : public Pass
     }
 };
 
+class SchedulingPass : public Pass
+{
+  public:
+    std::string name() const override { return "scheduling"; }
+
+    void run(CompilationContext& ctx) override
+    {
+        ctx.schedule.build(ctx.circuit);
+        ctx.reportCounter("depth", ctx.schedule.depth());
+        ctx.reportCounter("max_parallel_2q",
+                          static_cast<double>(
+                              ctx.schedule.maxParallelTwoQubit()));
+        ctx.reportCounter("duration_ns", ctx.schedule.durationNs());
+    }
+};
+
 class CrosstalkPass : public Pass
 {
   public:
@@ -101,9 +140,12 @@ class CrosstalkPass : public Pass
 
     void run(CompilationContext& ctx) override
     {
+        // Simultaneity comes from the shared schedule (built by the
+        // scheduling pass; rebuilt here only if a pass rewrote the
+        // circuit afterwards). Error-rate inflation keeps it valid.
         ctx.crosstalk_inflated = applyCrosstalkInflation(
-            ctx.circuit, ctx.physical, ctx.device().topology(),
-            inflation_);
+            ctx.circuit, ctx.ensureSchedule(), ctx.physical,
+            ctx.device().topology(), inflation_);
         ctx.reportCounter("inflated_ops", ctx.crosstalk_inflated);
         if (ctx.crosstalk_inflated > 0) {
             std::ostringstream os;
@@ -127,6 +169,12 @@ class NoiseAnnotationPass : public Pass
         QISET_REQUIRE(!ctx.physical.empty(),
                       "noise annotation requires a mapping");
         ctx.noise = ctx.device().noiseModelFor(ctx.physical);
+        // Report the decoherence-relevant wall-clock figures off the
+        // shared schedule rather than re-deriving moments privately.
+        const Schedule& schedule = ctx.ensureSchedule();
+        ctx.reportCounter("schedule_depth", schedule.depth());
+        ctx.reportCounter("scheduled_duration_ns",
+                          schedule.durationNs());
     }
 };
 
@@ -139,9 +187,15 @@ makeMappingPass()
 }
 
 std::unique_ptr<Pass>
-makeRoutingPass()
+makeRoutingPass(const std::string& strategy)
 {
-    return std::make_unique<RoutingPass>();
+    return std::make_unique<RoutingPass>(strategy);
+}
+
+std::unique_ptr<Pass>
+makeSchedulingPass()
+{
+    return std::make_unique<SchedulingPass>();
 }
 
 std::unique_ptr<Pass>

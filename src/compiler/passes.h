@@ -9,10 +9,11 @@
  *
  * Pass names (stable identifiers for PassManager lookup):
  *   "mapping", "routing", "consolidation", "translation",
- *   "crosstalk", "noise-annotation".
+ *   "scheduling", "crosstalk", "noise-annotation".
  */
 
 #include <memory>
+#include <string>
 
 #include "compiler/pass.h"
 
@@ -21,8 +22,12 @@ namespace qiset {
 /** Noise-aware placement: fills context.physical. */
 std::unique_ptr<Pass> makeMappingPass();
 
-/** SWAP routing on the induced coupling subgraph. */
-std::unique_ptr<Pass> makeRoutingPass();
+/**
+ * SWAP routing on the induced coupling subgraph, delegating to the
+ * named RoutingStrategy (routing_strategy.h); invalidates the shared
+ * schedule, since SWAP insertion rewrites the circuit.
+ */
+std::unique_ptr<Pass> makeRoutingPass(const std::string& strategy = "greedy");
 
 /** Fuse same-pair runs into SU(4) blocks before NuOp. */
 std::unique_ptr<Pass> makeConsolidationPass();
@@ -30,7 +35,15 @@ std::unique_ptr<Pass> makeConsolidationPass();
 /** NuOp translation with per-edge noise adaptivity (Eq. 2). */
 std::unique_ptr<Pass> makeTranslationPass();
 
-/** Inflate error rates of simultaneous adjacent 2Q gates. */
+/**
+ * Build the Schedule IR of the working circuit onto the context
+ * (ASAP/ALAP moments, 2Q frontier, critical-path duration) for the
+ * downstream passes to share.
+ */
+std::unique_ptr<Pass> makeSchedulingPass();
+
+/** Inflate error rates of simultaneous adjacent 2Q gates, pairing
+ *  them up through the context's shared schedule. */
 std::unique_ptr<Pass> makeCrosstalkPass(double inflation);
 
 /** Stamp the compressed-register noise model. */

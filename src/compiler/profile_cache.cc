@@ -143,7 +143,10 @@ ProfileCache::clear()
 namespace {
 
 constexpr const char* kMagic = "qiset-profile-cache";
-constexpr int kVersion = 1;
+// v2: header carries the NuOp options stamp; v1 files (no stamp)
+// cannot prove their profiles match the current settings and are
+// rejected.
+constexpr int kVersion = 2;
 
 void
 writeMatrix(std::ostream& os, const Matrix& m)
@@ -177,7 +180,8 @@ readMatrix(std::istream& is, Matrix& m)
 } // namespace
 
 bool
-ProfileCache::save(const std::string& path) const
+ProfileCache::save(const std::string& path,
+                   const NuOpOptions& nuop) const
 {
     std::ofstream os(path);
     if (!os)
@@ -186,6 +190,10 @@ ProfileCache::save(const std::string& path) const
 
     std::lock_guard<std::mutex> lock(mutex_);
     os << kMagic << ' ' << kVersion << '\n';
+    // Everything that changes what the BFGS multistarts can find:
+    // layer bound, start count, exact tolerance, and the seed.
+    os << "nuop " << nuop.max_layers << ' ' << nuop.multistarts << ' '
+       << nuop.exact_threshold << ' ' << nuop.seed << '\n';
     os << profiles_.size() << '\n';
     for (const auto& [k, entry] : profiles_) {
         const GateProfile& p = *entry.profile;
@@ -226,7 +234,7 @@ readLenString(std::istream& is, std::string& out)
 } // namespace
 
 bool
-ProfileCache::load(const std::string& path)
+ProfileCache::load(const std::string& path, const NuOpOptions& nuop)
 {
     std::ifstream is(path);
     if (!is)
@@ -237,6 +245,24 @@ ProfileCache::load(const std::string& path)
     if (!(is >> magic >> version) || magic != kMagic ||
         version != kVersion)
         return false;
+
+    // Reject profiles computed under different optimizer settings:
+    // they would silently stand in for results the current settings
+    // might improve on (or never reach). %.17g round-trips doubles
+    // exactly, so equality is the right comparison.
+    std::string stamp;
+    int max_layers = 0, multistarts = 0;
+    double exact_threshold = 0.0;
+    uint64_t seed = 0;
+    if (!(is >> stamp >> max_layers >> multistarts >> exact_threshold >>
+          seed) ||
+        stamp != "nuop")
+        return false;
+    if (max_layers != nuop.max_layers ||
+        multistarts != nuop.multistarts ||
+        exact_threshold != nuop.exact_threshold || seed != nuop.seed)
+        return false;
+
     size_t count = 0;
     if (!(is >> count) || count > (1u << 20))
         return false; // reject absurd entry counts from corrupt files.

@@ -36,6 +36,7 @@
 namespace qiset {
 
 class NuOpDecomposer;
+struct NuOpOptions;
 
 /** Best achievable Fd and parameters at one template depth. */
 struct LayerFit
@@ -132,17 +133,28 @@ class ProfileCache
 
     /**
      * Serialize every entry to `path` (plain-text format, versioned).
+     * The NuOp settings the profiles were computed under (layer
+     * bound, multistarts, exact-threshold tolerance, seed) are
+     * stamped into the file header, so a later load() can tell stale
+     * profiles from reusable ones.
      * @return false when the file cannot be written.
      */
-    bool save(const std::string& path) const;
+    bool save(const std::string& path, const NuOpOptions& nuop) const;
 
     /**
      * Merge entries from a file produced by save(). Existing keys are
      * kept (the in-memory profile wins). Loaded entries count toward
      * the capacity bound.
-     * @return false when the file is missing or malformed.
+     *
+     * The header's NuOp stamp must match `nuop`: profiles computed
+     * under different optimizer settings (layer bound, multistarts,
+     * tolerance, seed) are not comparable, so a mismatched file is
+     * rejected wholesale and the cache is left untouched.
+     * @return false when the file is missing, malformed, from an
+     *         older format version, or stamped with different NuOp
+     *         settings.
      */
-    bool load(const std::string& path);
+    bool load(const std::string& path, const NuOpOptions& nuop);
 
     /** Cache key of a (target, spec) pair (exposed for tests). */
     static std::string key(const Matrix& target, const GateSpec& spec);

@@ -5,6 +5,43 @@
 
 namespace qiset {
 
+void
+addSwapOp(Circuit& circuit, int slot_a, int slot_b)
+{
+    circuit.add2q(slot_a, slot_b, gates::swap(), "SWAP");
+}
+
+RoutingState::RoutingState(int num_positions)
+    : position(num_positions), occupant(num_positions)
+{
+    for (int i = 0; i < num_positions; ++i)
+        position[i] = occupant[i] = i;
+}
+
+RoutingState::RoutingState(std::vector<int> initial_positions)
+    : position(std::move(initial_positions)),
+      occupant(position.size(), -1)
+{
+    for (size_t l = 0; l < position.size(); ++l) {
+        QISET_REQUIRE(position[l] >= 0 &&
+                          position[l] <
+                              static_cast<int>(position.size()) &&
+                      occupant[position[l]] < 0,
+                      "initial positions must be a permutation");
+        occupant[position[l]] = static_cast<int>(l);
+    }
+}
+
+void
+RoutingState::swapSlots(int slot_a, int slot_b)
+{
+    int la = occupant[slot_a];
+    int lb = occupant[slot_b];
+    std::swap(occupant[slot_a], occupant[slot_b]);
+    position[la] = slot_b;
+    position[lb] = slot_a;
+}
+
 RoutedCircuit
 routeCircuit(const Circuit& logical, const Topology& coupling)
 {
@@ -17,45 +54,40 @@ routeCircuit(const Circuit& logical, const Topology& coupling)
     RoutedCircuit out;
     out.circuit = Circuit(n);
 
-    // position[l] = register slot currently holding logical qubit l.
-    std::vector<int> position(n);
-    std::vector<int> occupant(n);
-    for (int i = 0; i < n; ++i)
-        position[i] = occupant[i] = i;
-
-    Matrix swap_unitary = gates::swap();
+    RoutingState state(n);
 
     auto emit_swap = [&](int slot_a, int slot_b) {
-        out.circuit.add2q(slot_a, slot_b, swap_unitary, "SWAP");
+        addSwapOp(out.circuit, slot_a, slot_b);
         ++out.swaps_inserted;
-        int la = occupant[slot_a];
-        int lb = occupant[slot_b];
-        std::swap(occupant[slot_a], occupant[slot_b]);
-        position[la] = slot_b;
-        position[lb] = slot_a;
+        state.swapSlots(slot_a, slot_b);
     };
 
     for (const auto& op : logical.ops()) {
         if (!op.isTwoQubit()) {
             Operation moved = op;
-            moved.qubits = {position[op.qubits[0]]};
+            moved.qubits = {state.position[op.qubits[0]]};
             out.circuit.add(std::move(moved));
             continue;
         }
         int la = op.qubits[0];
         int lb = op.qubits[1];
-        while (!coupling.adjacent(position[la], position[lb])) {
-            auto path = coupling.shortestPath(position[la], position[lb]);
+        while (!coupling.adjacent(state.position[la],
+                                  state.position[lb])) {
+            auto path = coupling.shortestPath(state.position[la],
+                                              state.position[lb]);
             QISET_ASSERT(path.size() >= 3, "non-adjacent pair with a "
                                            "path shorter than 3 nodes");
             emit_swap(path[0], path[1]);
         }
         Operation moved = op;
-        moved.qubits = {position[la], position[lb]};
+        moved.qubits = {state.position[la], state.position[lb]};
         out.circuit.add(std::move(moved));
     }
 
-    out.final_positions = position;
+    out.initial_positions.resize(n);
+    for (int i = 0; i < n; ++i)
+        out.initial_positions[i] = i;
+    out.final_positions = state.position;
     return out;
 }
 

@@ -22,6 +22,12 @@ struct RoutedCircuit
     /** Circuit over register positions 0..n-1 (labels preserved;
      *  inserted SWAPs are labeled "SWAP"). */
     Circuit circuit;
+    /** initial_positions[l] = register position of logical qubit l at
+     *  circuit start. Identity for the greedy router; lookahead
+     *  routers may pick a permuted start layout (sound for the
+     *  all-|0> register input the simulators use, since the routed
+     *  circuit carries every preparation gate with it). */
+    std::vector<int> initial_positions;
     /** final_positions[l] = register position of logical qubit l at
      *  measurement time. */
     std::vector<int> final_positions;
@@ -34,10 +40,42 @@ struct RoutedCircuit
 /**
  * Route a logical circuit onto the given connectivity (the induced
  * subgraph of the chosen physical qubits, in register-position
- * numbering). Logical qubit l starts at register position l.
+ * numbering) by greedy nearest-neighbor SWAP chains. Logical qubit l
+ * starts at register position l. This is the "greedy" strategy of the
+ * RoutingStrategy registry (routing_strategy.h); alternative routers
+ * plug in there.
  */
 RoutedCircuit routeCircuit(const Circuit& logical,
                            const Topology& coupling);
+
+/**
+ * Append the canonical application-level SWAP operation (the one
+ * NuOp later decomposes, or maps 1:1 on hardware-SWAP sets). Every
+ * router must emit SWAPs through this so label/unitary stay uniform.
+ */
+void addSwapOp(Circuit& circuit, int slot_a, int slot_b);
+
+/**
+ * The logical<->position mapping a router mutates while inserting
+ * SWAPs, shared by every strategy so the two sides of the bijection
+ * cannot drift apart.
+ */
+struct RoutingState
+{
+    /** position[l] = register slot currently holding logical qubit l. */
+    std::vector<int> position;
+    /** occupant[s] = logical qubit currently held by register slot s. */
+    std::vector<int> occupant;
+
+    /** Identity layout on n slots. */
+    explicit RoutingState(int num_positions);
+
+    /** Start from a given layout (position[l] = initial slot of l). */
+    explicit RoutingState(std::vector<int> initial_positions);
+
+    /** Record a SWAP of the occupants of two slots. */
+    void swapSlots(int slot_a, int slot_b);
+};
 
 } // namespace qiset
 

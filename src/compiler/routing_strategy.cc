@@ -1,0 +1,389 @@
+#include "compiler/routing_strategy.h"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <queue>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "common/error.h"
+#include "qc/gates.h"
+
+namespace qiset {
+
+// ------------------------------------------------------------ registry
+
+namespace {
+
+using Registry = std::map<std::string, RoutingStrategyFactory>;
+
+std::mutex&
+registryMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
+/** Lazily-built registry pre-seeded with the built-in strategies. */
+Registry&
+registryMap()
+{
+    static Registry registry = [] {
+        Registry builtins;
+        builtins["greedy"] = [] {
+            return std::unique_ptr<RoutingStrategy>(new GreedyRouter());
+        };
+        builtins["sabre"] = [] {
+            return std::unique_ptr<RoutingStrategy>(new SabreRouter());
+        };
+        return builtins;
+    }();
+    return registry;
+}
+
+} // namespace
+
+bool
+registerRoutingStrategy(const std::string& name,
+                        RoutingStrategyFactory factory)
+{
+    QISET_REQUIRE(factory != nullptr,
+                  "cannot register a null routing strategy factory");
+    std::lock_guard<std::mutex> lock(registryMutex());
+    return registryMap().emplace(name, std::move(factory)).second;
+}
+
+std::unique_ptr<RoutingStrategy>
+makeRoutingStrategy(const std::string& name)
+{
+    RoutingStrategyFactory factory;
+    {
+        std::lock_guard<std::mutex> lock(registryMutex());
+        auto it = registryMap().find(name);
+        if (it != registryMap().end())
+            factory = it->second;
+    }
+    if (!factory) {
+        std::ostringstream known;
+        for (const auto& existing : routingStrategyNames())
+            known << ' ' << existing;
+        fatal("unknown routing strategy \"", name,
+              "\"; registered:", known.str());
+    }
+    auto strategy = factory();
+    QISET_REQUIRE(strategy != nullptr, "routing strategy factory for \"",
+                  name, "\" returned null");
+    return strategy;
+}
+
+std::vector<std::string>
+routingStrategyNames()
+{
+    std::lock_guard<std::mutex> lock(registryMutex());
+    std::vector<std::string> names;
+    names.reserve(registryMap().size());
+    for (const auto& [name, factory] : registryMap())
+        names.push_back(name);
+    return names;
+}
+
+// ------------------------------------------------------------- greedy
+
+RoutedCircuit
+GreedyRouter::route(const Circuit& logical, const Topology& coupling,
+                    const Schedule& schedule) const
+{
+    (void)schedule; // greedy looks one gate ahead only
+    return routeCircuit(logical, coupling);
+}
+
+// -------------------------------------------------------------- sabre
+
+namespace {
+
+/** All-pairs BFS distances on the coupling graph. */
+std::vector<std::vector<int>>
+allPairsDistance(const Topology& coupling)
+{
+    int n = coupling.numQubits();
+    std::vector<std::vector<int>> dist(n, std::vector<int>(n, -1));
+    for (int source = 0; source < n; ++source) {
+        auto& row = dist[source];
+        row[source] = 0;
+        std::queue<int> frontier;
+        frontier.push(source);
+        while (!frontier.empty()) {
+            int node = frontier.front();
+            frontier.pop();
+            for (int next : coupling.neighbors(node)) {
+                if (row[next] >= 0)
+                    continue;
+                row[next] = row[node] + 1;
+                frontier.push(next);
+            }
+        }
+    }
+    return dist;
+}
+
+/** Gate-dependency DAG over a given execution order of op indices. */
+struct Dag
+{
+    std::vector<std::vector<int>> successors;
+    std::vector<int> in_degree;
+};
+
+Dag
+buildDag(const std::vector<Operation>& ops, const std::vector<int>& order,
+         int num_qubits)
+{
+    Dag dag;
+    dag.successors.assign(ops.size(), {});
+    dag.in_degree.assign(ops.size(), 0);
+    std::vector<int> last_on_qubit(num_qubits, -1);
+    for (int id : order) {
+        for (int q : ops[id].qubits) {
+            if (last_on_qubit[q] >= 0) {
+                dag.successors[last_on_qubit[q]].push_back(id);
+                ++dag.in_degree[id];
+            }
+            last_on_qubit[q] = id;
+        }
+    }
+    return dag;
+}
+
+/**
+ * One SABRE pass over `order`. Starts from `position` (position[l] =
+ * register slot of logical qubit l), returns the final mapping. When
+ * `out` is given, mapped ops and inserted SWAPs are emitted into it
+ * and *swaps_out counts the insertions; refinement passes leave both
+ * null and only advance the mapping. Fully deterministic: ties break
+ * on op/edge order, never on randomness.
+ */
+std::vector<int>
+runSabrePass(const std::vector<Operation>& ops,
+             const std::vector<int>& order,
+             const std::vector<int>& lookahead_rank,
+             const Topology& coupling,
+             const std::vector<std::vector<int>>& dist,
+             const SabreOptions& opt, std::vector<int> position,
+             Circuit* out, int* swaps_out)
+{
+    int n = coupling.numQubits();
+    RoutingState state(std::move(position));
+
+    Dag dag = buildDag(ops, order, n);
+    std::set<int> front;
+    for (int id : order)
+        if (dag.in_degree[id] == 0)
+            front.insert(id);
+
+    // Unexecuted 2Q ops in lookahead priority order; the extended set
+    // is drawn from its head.
+    std::set<std::pair<int, int>> pending_2q;
+    for (int id : order)
+        if (ops[static_cast<size_t>(id)].isTwoQubit())
+            pending_2q.emplace(lookahead_rank[id], id);
+
+    std::vector<double> decay(n, 1.0);
+    int swaps_since_reset = 0;
+    int swaps_since_progress = 0;
+    // Past this many SWAPs without executing anything, fall back to
+    // deterministic shortest-path SWAPs for the oldest blocked gate —
+    // each strictly shrinks its distance, so the pass always finishes.
+    const int stuck_threshold = 10 * std::max(1, n);
+
+    auto apply_swap = [&](int slot_a, int slot_b) {
+        if (out) {
+            addSwapOp(*out, slot_a, slot_b);
+            ++*swaps_out;
+        }
+        state.swapSlots(slot_a, slot_b);
+    };
+
+    while (!front.empty()) {
+        // Execute everything executable under the current mapping.
+        std::vector<int> executable;
+        for (int id : front) {
+            const Operation& op = ops[static_cast<size_t>(id)];
+            if (!op.isTwoQubit() ||
+                coupling.adjacent(state.position[op.qubits[0]],
+                                  state.position[op.qubits[1]]))
+                executable.push_back(id);
+        }
+        if (!executable.empty()) {
+            for (int id : executable) {
+                const Operation& op = ops[static_cast<size_t>(id)];
+                if (out) {
+                    Operation moved = op;
+                    for (int& q : moved.qubits)
+                        q = state.position[q];
+                    out->add(std::move(moved));
+                }
+                if (op.isTwoQubit())
+                    pending_2q.erase({lookahead_rank[id], id});
+                front.erase(id);
+                for (int next : dag.successors[static_cast<size_t>(id)])
+                    if (--dag.in_degree[next] == 0)
+                        front.insert(next);
+            }
+            std::fill(decay.begin(), decay.end(), 1.0);
+            swaps_since_reset = 0;
+            swaps_since_progress = 0;
+            continue;
+        }
+
+        // Everything in the front layer is a blocked 2Q gate.
+        if (++swaps_since_progress > stuck_threshold) {
+            const Operation& op = ops[static_cast<size_t>(*front.begin())];
+            auto path = coupling.shortestPath(state.position[op.qubits[0]],
+                                              state.position[op.qubits[1]]);
+            QISET_ASSERT(path.size() >= 3, "non-adjacent pair with a "
+                                           "path shorter than 3 nodes");
+            apply_swap(path[0], path[1]);
+            continue;
+        }
+
+        // Extended set: the next lookahead gates by schedule order.
+        std::vector<int> extended;
+        for (const auto& [rank, id] : pending_2q) {
+            if (front.count(id))
+                continue;
+            extended.push_back(id);
+            if (static_cast<int>(extended.size()) >=
+                opt.extended_set_size)
+                break;
+        }
+
+        // Candidate SWAPs: every coupling edge touching a position
+        // that holds a front-layer logical qubit.
+        std::set<std::pair<int, int>> candidates;
+        for (int id : front)
+            for (int l : ops[static_cast<size_t>(id)].qubits)
+                for (int neighbor : coupling.neighbors(state.position[l]))
+                    candidates.emplace(std::min(state.position[l], neighbor),
+                                       std::max(state.position[l], neighbor));
+
+        auto scored_distance = [&](const std::vector<int>& gate_ids,
+                                   int slot_a, int slot_b) {
+            double total = 0.0;
+            for (int id : gate_ids) {
+                const Operation& op = ops[static_cast<size_t>(id)];
+                int pa = state.position[op.qubits[0]];
+                int pb = state.position[op.qubits[1]];
+                if (pa == slot_a)
+                    pa = slot_b;
+                else if (pa == slot_b)
+                    pa = slot_a;
+                if (pb == slot_a)
+                    pb = slot_b;
+                else if (pb == slot_b)
+                    pb = slot_a;
+                total += dist[pa][pb];
+            }
+            return total / static_cast<double>(gate_ids.size());
+        };
+
+        std::vector<int> front_gates(front.begin(), front.end());
+        double best_score = 0.0;
+        std::pair<int, int> best_edge{-1, -1};
+        for (const auto& [slot_a, slot_b] : candidates) {
+            double score = scored_distance(front_gates, slot_a, slot_b);
+            if (!extended.empty())
+                score += opt.extended_set_weight *
+                         scored_distance(extended, slot_a, slot_b);
+            score *= std::max(decay[slot_a], decay[slot_b]);
+            if (best_edge.first < 0 || score < best_score) {
+                best_score = score;
+                best_edge = {slot_a, slot_b};
+            }
+        }
+        QISET_ASSERT(best_edge.first >= 0,
+                     "blocked front layer with no candidate SWAPs");
+
+        apply_swap(best_edge.first, best_edge.second);
+        decay[best_edge.first] += opt.decay_increment;
+        decay[best_edge.second] += opt.decay_increment;
+        if (++swaps_since_reset >= opt.decay_reset_interval) {
+            std::fill(decay.begin(), decay.end(), 1.0);
+            swaps_since_reset = 0;
+        }
+    }
+    return state.position;
+}
+
+} // namespace
+
+SabreRouter::SabreRouter(SabreOptions options) : options_(options)
+{
+    QISET_REQUIRE(options_.extended_set_size >= 0,
+                  "extended set size must be >= 0");
+    QISET_REQUIRE(options_.decay_reset_interval >= 1,
+                  "decay reset interval must be >= 1");
+    QISET_REQUIRE(options_.refinement_rounds >= 0,
+                  "refinement rounds must be >= 0");
+}
+
+RoutedCircuit
+SabreRouter::route(const Circuit& logical, const Topology& coupling,
+                   const Schedule& schedule) const
+{
+    QISET_REQUIRE(coupling.numQubits() == logical.numQubits(),
+                  "coupling graph width must match the circuit");
+    QISET_REQUIRE(coupling.connected() || logical.numQubits() == 1,
+                  "coupling graph must be connected");
+    QISET_REQUIRE(schedule.consistentWith(logical),
+                  "sabre routing needs the schedule of the logical "
+                  "circuit being routed");
+
+    int n = logical.numQubits();
+    const auto& ops = logical.ops();
+    auto dist = allPairsDistance(coupling);
+
+    std::vector<int> forward_order(ops.size());
+    std::vector<int> reverse_order(ops.size());
+    for (size_t i = 0; i < ops.size(); ++i) {
+        forward_order[i] = static_cast<int>(i);
+        reverse_order[i] = static_cast<int>(ops.size() - 1 - i);
+    }
+    // Lookahead priority: the schedule's ASAP moment order forward;
+    // its mirror (depth-1 - ALAP, the reversed circuit's ASAP) on
+    // reverse refinement passes.
+    std::vector<int> forward_rank(ops.size(), 0);
+    std::vector<int> reverse_rank(ops.size(), 0);
+    for (size_t i = 0; i < ops.size(); ++i) {
+        forward_rank[i] = schedule.asapMoment(i);
+        reverse_rank[i] = schedule.depth() - 1 - schedule.alapMoment(i);
+    }
+
+    std::vector<int> position(n);
+    for (int l = 0; l < n; ++l)
+        position[l] = l;
+
+    // Bidirectional refinement: each pass routes the circuit in
+    // alternating directions and hands its final mapping to the next,
+    // so the emitting pass starts from a layout already shaped by the
+    // whole circuit.
+    for (int round = 0; round < options_.refinement_rounds; ++round) {
+        bool forward = (round % 2 == 0);
+        position = runSabrePass(ops, forward ? forward_order : reverse_order,
+                                forward ? forward_rank : reverse_rank,
+                                coupling, dist, options_,
+                                std::move(position), nullptr, nullptr);
+    }
+
+    RoutedCircuit out;
+    out.circuit = Circuit(n);
+    out.initial_positions = position;
+    out.swaps_inserted = 0;
+    out.final_positions =
+        runSabrePass(ops, forward_order, forward_rank, coupling, dist,
+                     options_, std::move(position), &out.circuit,
+                     &out.swaps_inserted);
+    return out;
+}
+
+} // namespace qiset

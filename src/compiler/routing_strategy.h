@@ -1,0 +1,155 @@
+#ifndef QISET_COMPILER_ROUTING_STRATEGY_H
+#define QISET_COMPILER_ROUTING_STRATEGY_H
+
+/**
+ * @file
+ * Pluggable SWAP-routing strategies.
+ *
+ * Routing is a policy, not a fixed algorithm: the RoutingPass
+ * resolves CompileOptions::routing through this registry, so new
+ * routers drop in without touching the pass pipeline. Two strategies
+ * ship built in:
+ *
+ *  - "greedy": the paper's baseline — walk the op list and close each
+ *    non-adjacent 2Q gate with SWAPs along a shortest path
+ *    (routing.h).
+ *  - "sabre":  a SABRE-style bidirectional lookahead router (Li,
+ *    Ding, Xie, ASPLOS'19 shape). It keeps the DAG's front layer of
+ *    blocked 2Q gates, scores candidate SWAPs by the summed coupling
+ *    distance of the front layer plus a weighted lookahead window
+ *    drawn from the Schedule IR's ASAP moment order, multiplies in a
+ *    per-position decay to spread SWAPs across the register, and runs
+ *    forward/reverse refinement passes whose final mapping seeds the
+ *    emitting pass (so the start layout may be a permutation; see
+ *    RoutedCircuit::initial_positions).
+ *
+ * Extension point: implement RoutingStrategy, then
+ * registerRoutingStrategy("name", factory) once at startup;
+ * CompileOptions::routing = "name" selects it everywhere (see
+ * src/compiler/README.md).
+ */
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "circuit/schedule.h"
+#include "compiler/routing.h"
+
+namespace qiset {
+
+/** One SWAP-insertion policy. Implementations must be deterministic. */
+class RoutingStrategy
+{
+  public:
+    virtual ~RoutingStrategy() = default;
+
+    /** Registry name (stable identifier, e.g. "greedy", "sabre"). */
+    virtual std::string name() const = 0;
+
+    /**
+     * Whether route() consumes the schedule argument. Strategies that
+     * return false (greedy) receive an empty Schedule and spare the
+     * routing pass the build on the common path.
+     */
+    virtual bool wantsSchedule() const { return true; }
+
+    /**
+     * Route `logical` onto `coupling` (register-position numbering).
+     * `schedule` is the moment schedule of `logical`, shared from the
+     * CompilationContext — an empty Schedule when wantsSchedule() is
+     * false. Must satisfy the RoutedCircuit contract: every emitted
+     * 2Q op on a coupled pair, positions tracked in
+     * initial_positions/final_positions, SWAPs emitted via
+     * addSwapOp().
+     */
+    virtual RoutedCircuit route(const Circuit& logical,
+                                const Topology& coupling,
+                                const Schedule& schedule) const = 0;
+
+    /** Convenience overload building the schedule internally. */
+    RoutedCircuit route(const Circuit& logical,
+                        const Topology& coupling) const
+    {
+        return route(logical, coupling,
+                     wantsSchedule() ? Schedule(logical) : Schedule());
+    }
+};
+
+using RoutingStrategyFactory =
+    std::function<std::unique_ptr<RoutingStrategy>()>;
+
+/**
+ * Register a strategy under `name`.
+ * @return false when the name is already taken (registration ignored).
+ */
+bool registerRoutingStrategy(const std::string& name,
+                             RoutingStrategyFactory factory);
+
+/**
+ * Instantiate the strategy registered under `name`.
+ * Throws FatalError for unknown names (message lists what exists).
+ */
+std::unique_ptr<RoutingStrategy>
+makeRoutingStrategy(const std::string& name);
+
+/** Registered strategy names, sorted. */
+std::vector<std::string> routingStrategyNames();
+
+/** The baseline greedy nearest-neighbor router (wraps routeCircuit). */
+class GreedyRouter : public RoutingStrategy
+{
+  public:
+    using RoutingStrategy::route;
+
+    std::string name() const override { return "greedy"; }
+
+    bool wantsSchedule() const override { return false; }
+
+    RoutedCircuit route(const Circuit& logical, const Topology& coupling,
+                        const Schedule& schedule) const override;
+};
+
+/** Tuning knobs of the SABRE-style router. */
+struct SabreOptions
+{
+    /** Lookahead window: 2Q gates past the front layer to score. */
+    int extended_set_size = 20;
+    /** Weight of the lookahead term relative to the front layer. */
+    double extended_set_weight = 0.5;
+    /** Decay added to a position's weight per SWAP it partakes in. */
+    double decay_increment = 0.001;
+    /** SWAPs between decay resets (also reset on any progress). */
+    int decay_reset_interval = 5;
+    /**
+     * Mapping-refinement passes run before the emitting pass:
+     * forward, reverse, forward, ... Each seeds the next with its
+     * final mapping (the SABRE bidirectional trick); 0 keeps the
+     * identity start layout.
+     */
+    int refinement_rounds = 2;
+};
+
+/** SABRE-style lookahead router ("sabre" in the registry). */
+class SabreRouter : public RoutingStrategy
+{
+  public:
+    using RoutingStrategy::route;
+
+    explicit SabreRouter(SabreOptions options = SabreOptions());
+
+    std::string name() const override { return "sabre"; }
+
+    RoutedCircuit route(const Circuit& logical, const Topology& coupling,
+                        const Schedule& schedule) const override;
+
+    const SabreOptions& options() const { return options_; }
+
+  private:
+    SabreOptions options_;
+};
+
+} // namespace qiset
+
+#endif // QISET_COMPILER_ROUTING_STRATEGY_H

@@ -150,12 +150,12 @@ TEST(CompileBatch, PersistedCacheSkipsAllBfgs)
     std::vector<CompileResult> first =
         compileBatch(apps, d, set, first_cache, opts);
     EXPECT_GT(first_cache.stats().misses, 0u);
-    ASSERT_TRUE(first_cache.save(path));
+    ASSERT_TRUE(first_cache.save(path, opts.nuop));
 
     // Second process run (simulated by a fresh cache): loading the
     // persisted profiles means zero new BFGS optimizations.
     ProfileCache second_cache;
-    ASSERT_TRUE(second_cache.load(path));
+    ASSERT_TRUE(second_cache.load(path, opts.nuop));
     ThreadPool pool(4);
     std::vector<CompileResult> second =
         compileBatch(apps, d, set, second_cache, opts, &pool);

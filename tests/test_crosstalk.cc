@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "circuit/schedule.h"
 #include "common/error.h"
 #include "compiler/crosstalk.h"
 #include "qc/gates.h"
@@ -98,6 +99,53 @@ TEST(Crosstalk, RejectsInvalidInflation)
     EXPECT_THROW(
         applyCrosstalkInflation(c, {0, 1}, Topology::line(2), 0.5),
         FatalError);
+}
+
+TEST(Crosstalk, SharedScheduleMatchesInternalScheduling)
+{
+    // The pipeline hands the pass a shared Schedule; results must be
+    // bit-identical to the convenience overload that schedules
+    // internally (the pre-refactor behavior).
+    auto build = [] {
+        Circuit c(6);
+        c.add(noisy2q(0, 1, 0.01));
+        c.add(noisy2q(2, 3, 0.02));
+        c.add(noisy2q(4, 5, 0.03));
+        c.add(noisy2q(1, 2, 0.04));
+        c.add(noisy2q(3, 4, 0.05));
+        return c;
+    };
+    Topology line = Topology::line(6);
+    std::vector<int> physical = {0, 1, 2, 3, 4, 5};
+
+    Circuit internally_scheduled = build();
+    int count_a = applyCrosstalkInflation(internally_scheduled,
+                                          physical, line, 2.5);
+
+    Circuit shared_schedule = build();
+    Schedule schedule(shared_schedule);
+    int count_b = applyCrosstalkInflation(shared_schedule, schedule,
+                                          physical, line, 2.5);
+
+    EXPECT_EQ(count_a, count_b);
+    ASSERT_EQ(internally_scheduled.size(), shared_schedule.size());
+    for (size_t i = 0; i < internally_scheduled.size(); ++i)
+        EXPECT_EQ(internally_scheduled.ops()[i].error_rate,
+                  shared_schedule.ops()[i].error_rate)
+            << "op " << i;
+    // Error-rate edits keep the shared schedule reusable.
+    EXPECT_TRUE(schedule.consistentWith(shared_schedule));
+}
+
+TEST(Crosstalk, RejectsStaleSchedule)
+{
+    Circuit c(2);
+    c.add(noisy2q(0, 1, 0.01));
+    Schedule schedule(c);
+    c.add(noisy2q(0, 1, 0.01)); // structural edit: schedule is stale
+    EXPECT_THROW(applyCrosstalkInflation(c, schedule, {0, 1},
+                                         Topology::line(2), 2.0),
+                 FatalError);
 }
 
 } // namespace

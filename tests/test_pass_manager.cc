@@ -61,6 +61,7 @@ TEST(PassManager, DefaultPipelineOrder)
     PassManager manager = defaultPipeline(opts);
     std::vector<std::string> expected = {"mapping", "routing",
                                          "consolidation", "translation",
+                                         "scheduling",
                                          "noise-annotation"};
     EXPECT_EQ(manager.passNames(), expected);
 }
@@ -72,7 +73,8 @@ TEST(PassManager, DefaultPipelineRespectsOptions)
     opts.crosstalk_inflation = 2.0;
     PassManager manager = defaultPipeline(opts);
     std::vector<std::string> expected = {"mapping", "routing",
-                                         "translation", "crosstalk",
+                                         "translation", "scheduling",
+                                         "crosstalk",
                                          "noise-annotation"};
     EXPECT_EQ(manager.passNames(), expected);
 }
@@ -125,7 +127,7 @@ TEST(PassManager, CompileResultCarriesPassMetrics)
     CompileResult result =
         compileCircuit(app, d, isa::rigettiSet(1), cache, fastCompile());
 
-    ASSERT_EQ(result.pass_metrics.size(), 5u);
+    ASSERT_EQ(result.pass_metrics.size(), 6u);
     EXPECT_EQ(result.pass_metrics.front().pass, "mapping");
     EXPECT_EQ(result.pass_metrics.back().pass, "noise-annotation");
     EXPECT_EQ(result.pass_metrics[0].counters.at("physical_qubits"), 3.0);

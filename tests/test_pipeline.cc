@@ -5,8 +5,10 @@
 #include "apps/qaoa.h"
 #include "apps/qft.h"
 #include "apps/qv.h"
+#include "common/error.h"
 #include "compiler/pipeline.h"
 #include "metrics/metrics.h"
+#include "qc/gates.h"
 #include "sim/statevector.h"
 
 namespace qiset {
@@ -179,6 +181,64 @@ TEST(Pipeline, SuccessRateMatchesPerfectCompilation)
     CompileResult result =
         compileCircuit(app, d, isa::singleTypeSet(3), cache, opts);
     EXPECT_NEAR(simulateSuccessRate(result, app), 1.0, 1e-4);
+}
+
+TEST(Pipeline, SabreRoutingCompilesCorrectly)
+{
+    // End-to-end with options.routing = "sabre" on a perfect device:
+    // the permuted start layout and tracked output permutation must
+    // still reproduce the ideal state exactly.
+    Device d("perfect", Topology::line(4));
+    for (auto [a, b] : d.topology().edges())
+        d.setEdgeFidelity(a, b, "S3", 1.0);
+    QubitNoise noiseless;
+    noiseless.t1_ns = 1e15;
+    noiseless.t2_ns = 1e15;
+    for (int q = 0; q < 4; ++q)
+        d.setQubitNoise(q, noiseless);
+
+    // Long-range CPhases force real routing on the line.
+    Circuit app = makeQftCircuit(4);
+    ProfileCache cache;
+    CompileOptions opts = fastCompile();
+    opts.routing = "sabre";
+    opts.approximate = false;
+    opts.nuop.exact_threshold = 1.0 - 1e-8;
+    CompileResult result =
+        compileCircuit(app, d, isa::singleTypeSet(3), cache, opts);
+    EXPECT_NEAR(simulateSuccessRate(result, app), 1.0, 1e-4);
+    ASSERT_EQ(result.initial_positions.size(), 4u);
+}
+
+TEST(Pipeline, SabreRoutingNeverWorseOnQft)
+{
+    Rng rng(91);
+    Device d = makeSycamore(rng);
+    Circuit app = makeQftCircuit(6);
+    ProfileCache cache;
+    CompileOptions greedy_opts = fastCompile();
+    CompileOptions sabre_opts = greedy_opts;
+    sabre_opts.routing = "sabre";
+    CompileResult greedy =
+        compileCircuit(app, d, isa::googleSet(3), cache, greedy_opts);
+    CompileResult sabre =
+        compileCircuit(app, d, isa::googleSet(3), cache, sabre_opts);
+    EXPECT_LE(sabre.swaps_inserted, greedy.swaps_inserted);
+}
+
+TEST(Pipeline, UnknownRoutingStrategyFailsLoudly)
+{
+    Device d("line", Topology::line(2));
+    for (auto [a, b] : d.topology().edges())
+        d.setEdgeFidelity(a, b, "S3", 0.99);
+    Circuit app(2);
+    app.add2q(0, 1, gates::cz(), "CZ");
+    ProfileCache cache;
+    CompileOptions opts = fastCompile();
+    opts.routing = "definitely-not-registered";
+    EXPECT_THROW(
+        compileCircuit(app, d, isa::rigettiSet(1), cache, opts),
+        FatalError);
 }
 
 TEST(Pipeline, FullCphaseSetCompilesQaoaCheaply)

@@ -123,10 +123,10 @@ TEST(ProfileCacheCore, SaveLoadRoundTrip)
     auto b = cache.get(zz(0.3), isw, decomposer);
 
     TempFile file("qiset_profile_cache_roundtrip.txt");
-    ASSERT_TRUE(cache.save(file.path));
+    ASSERT_TRUE(cache.save(file.path, fastNuOp()));
 
     ProfileCache restored;
-    ASSERT_TRUE(restored.load(file.path));
+    ASSERT_TRUE(restored.load(file.path, fastNuOp()));
     ProfileCacheStats stats = restored.stats();
     EXPECT_EQ(stats.loaded, 2u);
     EXPECT_EQ(stats.entries, 2u);
@@ -156,11 +156,11 @@ TEST(ProfileCacheCore, LoadMergesWithoutOverwriting)
     auto original = cache.get(zz(0.3), czSpec(), decomposer);
 
     TempFile file("qiset_profile_cache_merge.txt");
-    ASSERT_TRUE(cache.save(file.path));
+    ASSERT_TRUE(cache.save(file.path, fastNuOp()));
 
     // Loading into a cache that already has the key keeps the
     // in-memory profile and counts nothing as loaded.
-    ASSERT_TRUE(cache.load(file.path));
+    ASSERT_TRUE(cache.load(file.path, fastNuOp()));
     EXPECT_EQ(cache.stats().loaded, 0u);
     EXPECT_EQ(cache.size(), 1u);
     EXPECT_EQ(cache.get(zz(0.3), czSpec(), decomposer).get(),
@@ -170,14 +170,64 @@ TEST(ProfileCacheCore, LoadMergesWithoutOverwriting)
 TEST(ProfileCacheCore, LoadRejectsMissingAndMalformedFiles)
 {
     ProfileCache cache;
-    EXPECT_FALSE(cache.load("/nonexistent/path/cache.txt"));
+    EXPECT_FALSE(cache.load("/nonexistent/path/cache.txt", fastNuOp()));
 
     TempFile file("qiset_profile_cache_garbage.txt");
     {
         std::ofstream os(file.path);
         os << "not-a-cache 99\ngarbage\n";
     }
-    EXPECT_FALSE(cache.load(file.path));
+    EXPECT_FALSE(cache.load(file.path, fastNuOp()));
+    EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ProfileCacheCore, LoadRejectsMismatchedNuOpOptions)
+{
+    NuOpDecomposer decomposer(fastNuOp());
+    ProfileCache cache;
+    cache.get(zz(0.3), czSpec(), decomposer);
+
+    TempFile file("qiset_profile_cache_stale.txt");
+    ASSERT_TRUE(cache.save(file.path, fastNuOp()));
+
+    // Any change to the optimizer settings the profiles were computed
+    // under invalidates the whole file.
+    auto expect_rejected = [&](NuOpOptions changed) {
+        ProfileCache fresh;
+        EXPECT_FALSE(fresh.load(file.path, changed));
+        EXPECT_EQ(fresh.size(), 0u);
+        EXPECT_EQ(fresh.stats().loaded, 0u);
+    };
+    NuOpOptions more_layers = fastNuOp();
+    more_layers.max_layers += 1;
+    expect_rejected(more_layers);
+    NuOpOptions more_starts = fastNuOp();
+    more_starts.multistarts += 1;
+    expect_rejected(more_starts);
+    NuOpOptions tighter = fastNuOp();
+    tighter.exact_threshold = 1.0 - 1e-9;
+    expect_rejected(tighter);
+    NuOpOptions reseeded = fastNuOp();
+    reseeded.seed += 1;
+    expect_rejected(reseeded);
+
+    // The exact settings still load.
+    ProfileCache fresh;
+    EXPECT_TRUE(fresh.load(file.path, fastNuOp()));
+    EXPECT_EQ(fresh.stats().loaded, 1u);
+}
+
+TEST(ProfileCacheCore, LoadRejectsUnstampedLegacyFiles)
+{
+    // A v1 file (no NuOp stamp) cannot prove its profiles match the
+    // current settings: reject rather than risk stale reuse.
+    TempFile file("qiset_profile_cache_v1.txt");
+    {
+        std::ofstream os(file.path);
+        os << "qiset-profile-cache 1\n0\n";
+    }
+    ProfileCache cache;
+    EXPECT_FALSE(cache.load(file.path, fastNuOp()));
     EXPECT_EQ(cache.size(), 0u);
 }
 
