@@ -1,8 +1,13 @@
 #!/usr/bin/env bash
-# Smoke test for the perf path: build the library + benches and run one
-# small bench in quick mode. Catches compile breaks and gross runtime
+# Smoke test for the perf path: build the library + benches and run the
+# small benches in quick mode. Catches compile breaks and gross runtime
 # regressions in the code paths the figure benches exercise, without
 # paying for a paper-scale run.
+#
+# Every bench binary's exit code is checked explicitly (on top of
+# `set -euo pipefail`), so a crashing bench — even one whose output is
+# being captured into a JSON file — fails the script loudly instead of
+# slipping through CI.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -10,19 +15,41 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
 BENCH="${BENCH:-bench_table1_gate_families}"
 ROUTING_JSON="${ROUTING_JSON:-$BUILD_DIR/BENCH_routing.json}"
+SHARDING_JSON="${SHARDING_JSON:-$BUILD_DIR/BENCH_sharding.json}"
 
-cmake -B "$BUILD_DIR" -S .
+# Extra configure arguments (e.g. -DCMAKE_CXX_COMPILER_LAUNCHER=ccache
+# in CI); intentionally unquoted so multiple flags split.
+cmake -B "$BUILD_DIR" -S . ${CMAKE_EXTRA_ARGS:-}
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target "$BENCH" \
-    bench_routing quickstart
+    bench_routing bench_sharding quickstart
 
-echo "=== $BENCH (quick mode) ==="
-time "./$BUILD_DIR/$BENCH"
+# run_bench <binary> [json-output]: run a bench, streaming its output
+# to the terminal (and to the JSON file when given), and abort with
+# the bench's own exit code if it fails.
+run_bench() {
+    local bin="$1"
+    local out="${2:-}"
+    echo "=== ${bin}${out:+ -> ${out}} ==="
+    local status=0
+    if [[ -n "$out" ]]; then
+        "./$BUILD_DIR/$bin" > "$out" || status=$?
+        cat "$out"
+    else
+        "./$BUILD_DIR/$bin" || status=$?
+    fi
+    if (( status != 0 )); then
+        echo "FAIL: $bin exited with status $status" >&2
+        exit "$status"
+    fi
+}
 
-echo "=== quickstart (pass timings + cache stats) ==="
-"./$BUILD_DIR/quickstart"
+time run_bench "$BENCH"
 
-# Machine-readable routing trajectory: SWAP counts and routing
-# wall-clock per strategy per workload, tracked from PR 2 on.
-echo "=== bench_routing -> $ROUTING_JSON ==="
-"./$BUILD_DIR/bench_routing" > "$ROUTING_JSON"
-cat "$ROUTING_JSON"
+# quickstart prints pass timings + cache stats.
+run_bench quickstart
+
+# Machine-readable perf trajectories: routing SWAP counts (PR 2 on)
+# and sharded batch throughput (PR 3 on). The committed baseline in
+# scripts/bench_baseline.json gates regressions in CI.
+run_bench bench_routing "$ROUTING_JSON"
+run_bench bench_sharding "$SHARDING_JSON"

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Bench-regression gate for CI.
+
+Compares the freshly-emitted BENCH_routing.json and BENCH_sharding.json
+against the committed baseline (scripts/bench_baseline.json) and exits
+nonzero when a tracked metric regresses beyond the baseline tolerance:
+
+  - QFT-16 SABRE SWAP count (deterministic): fails when the router
+    inserts more than (1 + tolerance) * baseline SWAPs.
+  - Sharded batch throughput: fails when the sharded/serial speedup
+    drops below (1 - tolerance) * baseline or below the hard floor
+    (min_sharding_speedup). The baseline is calibrated on a 4-thread
+    pool (see bench_baseline.json), so the gate is skipped with a
+    warning when the bench got fewer than 4 threads — on such runners
+    the floor would fire without a real regression.
+  - Bit-identity of sharded results (always enforced).
+
+Usage:
+  check_bench_regression.py <baseline.json> <BENCH_routing.json> \
+      <BENCH_sharding.json>
+"""
+
+import json
+import sys
+
+
+def fail(message: str) -> None:
+    print(f"REGRESSION: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    if len(sys.argv) != 4:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    baseline_path, routing_path, sharding_path = sys.argv[1:4]
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    with open(routing_path) as f:
+        routing = json.load(f)
+    with open(sharding_path) as f:
+        sharding = json.load(f)
+
+    tolerance = baseline.get("tolerance", 0.10)
+
+    # --- routing: QFT-16 SABRE SWAP count (deterministic) ------------
+    workload = next(
+        (w for w in routing["workloads"] if w["name"] == "qft16_grid4x4"),
+        None,
+    )
+    if workload is None:
+        fail("BENCH_routing.json has no qft16_grid4x4 workload")
+    swaps = workload["strategies"]["sabre"]["swaps"]
+    swaps_baseline = baseline["qft16_grid4x4_sabre_swaps"]
+    swaps_limit = swaps_baseline * (1.0 + tolerance)
+    print(
+        f"qft16_grid4x4 sabre swaps: {swaps} "
+        f"(baseline {swaps_baseline}, limit {swaps_limit:.1f})"
+    )
+    if swaps > swaps_limit:
+        fail(
+            f"QFT-16 SABRE SWAP count regressed: {swaps} > {swaps_limit:.1f}"
+        )
+
+    # --- sharding: bit-identity (always) and throughput --------------
+    if not sharding.get("bit_identical", False):
+        fail("sharded results are not bit-identical to solo compiles")
+
+    speedup = sharding["sharded"]["speedup"]
+    threads = sharding.get("threads", 1)
+    speedup_baseline = baseline["sharding_speedup"]
+    floor = max(
+        baseline.get("min_sharding_speedup", 0.0),
+        speedup_baseline * (1.0 - tolerance),
+    )
+    print(
+        f"sharding speedup: {speedup:.2f}x on {threads} threads "
+        f"(baseline {speedup_baseline}, floor {floor:.2f})"
+    )
+    if threads < 4:
+        print(
+            f"WARNING: bench ran on {threads} thread(s) but the "
+            "baseline is calibrated for 4; skipping the sharded-"
+            "throughput gate"
+        )
+    elif speedup < floor:
+        fail(
+            f"sharded batch throughput regressed: {speedup:.2f}x < "
+            f"{floor:.2f}x"
+        )
+
+    print("bench regression gate: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -153,6 +153,18 @@ Schedule::maxParallelTwoQubit() const
     return best;
 }
 
+ScheduleSummary
+Schedule::summary() const
+{
+    QISET_REQUIRE(valid_, "schedule not built");
+    ScheduleSummary out;
+    out.depth = depth_;
+    out.duration_ns = duration_ns_;
+    out.max_parallel_2q = maxParallelTwoQubit();
+    out.num_ops = numOps();
+    return out;
+}
+
 double
 Schedule::startTimeNs(size_t op) const
 {

@@ -34,6 +34,20 @@ namespace qiset {
 
 class Circuit;
 
+/**
+ * Cheap cost summary of one schedule — the per-candidate signal the
+ * shard planner ranks (circuit, shard) placements by: dependency
+ * depth and critical-path duration bound queue time, max 2Q
+ * parallelism bounds crosstalk exposure.
+ */
+struct ScheduleSummary
+{
+    int depth = 0;
+    double duration_ns = 0.0;
+    size_t max_parallel_2q = 0;
+    size_t num_ops = 0;
+};
+
 /** ASAP/ALAP moment assignment of one circuit. */
 class Schedule
 {
@@ -97,6 +111,9 @@ class Schedule
 
     /** Critical-path wall-clock duration of the circuit in ns. */
     double durationNs() const { return duration_ns_; }
+
+    /** Snapshot of the ranking signals (depth, duration, 2Q width). */
+    ScheduleSummary summary() const;
 
   private:
     /** Hash of (num_qubits, per-op qubit lists, per-op durations). */

@@ -25,6 +25,7 @@
 #include "circuit/schedule.h"
 #include "common/thread_pool.h"
 #include "compiler/profile_cache.h"
+#include "compiler/routing_strategy.h"
 #include "device/device.h"
 #include "isa/gate_set.h"
 #include "metrics/metrics.h"
@@ -53,6 +54,12 @@ struct CompileOptions
      * lookahead; fewer SWAPs on long-range workloads).
      */
     std::string routing = "greedy";
+    /**
+     * SABRE tuning used when `routing == "sabre"` (lookahead window,
+     * decay, refinement rounds). Per-compile — and therefore per-shard
+     * in a sharded batch — so each target can tune its router.
+     */
+    SabreOptions sabre;
     /** NuOp settings shared by all decompositions. */
     NuOpOptions nuop;
 };

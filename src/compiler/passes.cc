@@ -43,8 +43,13 @@ class RoutingPass : public Pass
         QISET_REQUIRE(ctx.physical.size() ==
                           static_cast<size_t>(ctx.circuit.numQubits()),
                       "routing requires a mapping pass to run first");
+        // The built-in SABRE router takes its tuning from the compile
+        // options; other names resolve through the registry (whose
+        // factories take no options).
         std::unique_ptr<RoutingStrategy> router =
-            makeRoutingStrategy(strategy_);
+            strategy_ == "sabre"
+                ? std::make_unique<SabreRouter>(ctx.options().sabre)
+                : makeRoutingStrategy(strategy_);
         Topology coupling =
             ctx.device().topology().inducedSubgraph(ctx.physical);
         // Only lookahead strategies need the pre-routing schedule;

@@ -1,0 +1,382 @@
+#include "compiler/shard.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <queue>
+
+#include "common/error.h"
+#include "compiler/mapping.h"
+#include "metrics/metrics.h"
+
+namespace qiset {
+
+// ---------------------------------------------------------- DeviceFleet
+
+size_t
+DeviceFleet::addDevice(Device device, std::string name)
+{
+    return addDevice(std::move(device), defaults_, std::move(name));
+}
+
+size_t
+DeviceFleet::addDevice(Device device, CompileOptions options,
+                       std::string name)
+{
+    std::string shard_name = name.empty() ? device.name() : std::move(name);
+    shards_.push_back(Shard{std::move(shard_name), std::move(device),
+                            std::move(options)});
+    return shards_.size() - 1;
+}
+
+size_t
+DeviceFleet::addRegions(const Device& device, int num_regions)
+{
+    return addRegions(device, num_regions, defaults_);
+}
+
+size_t
+DeviceFleet::addRegions(const Device& device, int num_regions,
+                        CompileOptions options)
+{
+    std::vector<std::vector<int>> regions =
+        device.topology().balancedPartitions(num_regions);
+    size_t first = shards_.size();
+    for (size_t r = 0; r < regions.size(); ++r) {
+        std::string name =
+            device.name() + "/r" + std::to_string(r);
+        addDevice(device.extractRegion(regions[r], name), options, name);
+    }
+    return first;
+}
+
+// -------------------------------------------------------------- planner
+
+namespace {
+
+/** Per-shard calibration aggregates, computed once per plan. */
+struct ShardAggregates
+{
+    int capacity = 0;
+    int num_edges = 0;
+    /** Mean best-available edge fidelity under the gate set. */
+    double mean_edge_fid = 1.0;
+    double avg_1q_error = 0.0;
+    /** Mean pairwise coupling distance (routing-overhead proxy). */
+    double mean_distance = 0.0;
+};
+
+/** Per-circuit workload features, computed once per plan. */
+struct CircuitFeatures
+{
+    int qubits = 0;
+    int two_q = 0;
+    int one_q = 0;
+    ScheduleSummary schedule;
+};
+
+double
+meanPairwiseDistance(const Topology& topo)
+{
+    int n = topo.numQubits();
+    if (n < 2)
+        return 0.0;
+    long long total = 0;
+    long long pairs = 0;
+    for (int source = 0; source < n; ++source) {
+        std::vector<int> dist(n, -1);
+        std::queue<int> frontier;
+        frontier.push(source);
+        dist[source] = 0;
+        while (!frontier.empty()) {
+            int u = frontier.front();
+            frontier.pop();
+            for (int v : topo.neighbors(u))
+                if (dist[v] < 0) {
+                    dist[v] = dist[u] + 1;
+                    frontier.push(v);
+                }
+        }
+        for (int target = source + 1; target < n; ++target) {
+            // Unreachable pairs get the worst-case distance so
+            // fragmented shards rank below connected ones.
+            total += dist[target] > 0 ? dist[target] : n;
+            ++pairs;
+        }
+    }
+    return static_cast<double>(total) / static_cast<double>(pairs);
+}
+
+ShardAggregates
+aggregatesFor(const Shard& shard, const GateSet& gate_set)
+{
+    const Device& device = shard.device;
+    ShardAggregates agg;
+    agg.capacity = device.numQubits();
+    auto edges = device.topology().edges();
+    agg.num_edges = static_cast<int>(edges.size());
+    double sum = 0.0;
+    for (auto [a, b] : edges)
+        sum += bestEdgeFidelity(device, a, b, gate_set);
+    agg.mean_edge_fid = edges.empty() ? 1.0 : sum / edges.size();
+    agg.avg_1q_error = device.averageOneQubitError();
+    agg.mean_distance = meanPairwiseDistance(device.topology());
+    return agg;
+}
+
+/** One (circuit, shard) candidate's predicted cost/quality. */
+struct Candidate
+{
+    bool feasible = false;
+    double fidelity = 0.0;
+    double duration_ns = 0.0;
+};
+
+Candidate
+scoreCandidate(const CircuitFeatures& circuit, const ShardAggregates& agg,
+               const Device& device)
+{
+    Candidate candidate;
+    if (circuit.qubits > agg.capacity)
+        return candidate;
+    if (circuit.two_q > 0 && agg.num_edges == 0)
+        return candidate;
+    candidate.feasible = true;
+
+    // Routing-overhead proxy: half the excess mean coupling distance
+    // in SWAPs per 2Q gate, each SWAP ~3 native 2Q gates.
+    double est_swaps = circuit.two_q * 0.5 *
+                       std::max(0.0, agg.mean_distance - 1.0);
+    double est_native_2q = circuit.two_q + 3.0 * est_swaps;
+    candidate.fidelity =
+        std::pow(agg.mean_edge_fid, est_native_2q) *
+        std::pow(1.0 - agg.avg_1q_error, circuit.one_q);
+
+    // Queue cost: the schedule's critical path (or its depth at the
+    // device's 2Q cadence when the logical circuit carries no
+    // durations), stretched by the predicted routing overhead.
+    double base_ns =
+        std::max(circuit.schedule.duration_ns,
+                 circuit.schedule.depth * device.twoQubitDurationNs());
+    double overhead =
+        circuit.two_q > 0 ? est_native_2q / circuit.two_q : 1.0;
+    candidate.duration_ns = base_ns * overhead;
+    return candidate;
+}
+
+} // namespace
+
+ShardPlan
+planShardAssignments(const std::vector<Circuit>& apps,
+                     const DeviceFleet& fleet, const GateSet& gate_set,
+                     const ShardPlannerOptions& planner)
+{
+    QISET_REQUIRE(fleet.size() > 0,
+                  "cannot plan a sharded batch over an empty fleet");
+    QISET_REQUIRE(planner.policy == "greedy" ||
+                      planner.policy == "round-robin",
+                  "unknown shard policy \"", planner.policy,
+                  "\"; known: greedy round-robin");
+
+    ShardPlan plan;
+    plan.assignments.resize(apps.size());
+    plan.queues.resize(fleet.size());
+    plan.queue_ns.resize(fleet.size(), 0.0);
+    if (apps.empty())
+        return plan;
+
+    std::vector<ShardAggregates> aggregates;
+    aggregates.reserve(fleet.size());
+    for (const Shard& shard : fleet.shards())
+        aggregates.push_back(aggregatesFor(shard, gate_set));
+
+    std::vector<CircuitFeatures> features(apps.size());
+    for (size_t c = 0; c < apps.size(); ++c) {
+        features[c].qubits = apps[c].numQubits();
+        features[c].two_q = apps[c].twoQubitGateCount();
+        features[c].one_q = apps[c].oneQubitGateCount();
+        features[c].schedule = Schedule(apps[c]).summary();
+    }
+
+    // All (circuit, shard) candidates up front: cheap (schedule
+    // summaries + calibration aggregates), and both policies need the
+    // per-pair durations.
+    std::vector<std::vector<Candidate>> candidates(apps.size());
+    for (size_t c = 0; c < apps.size(); ++c) {
+        candidates[c].reserve(fleet.size());
+        for (size_t s = 0; s < fleet.size(); ++s)
+            candidates[c].push_back(scoreCandidate(
+                features[c], aggregates[s], fleet.shard(s).device));
+    }
+
+    auto assign = [&](size_t c, size_t s) {
+        const Candidate& candidate = candidates[c][s];
+        plan.assignments[c].shard = static_cast<int>(s);
+        plan.assignments[c].predicted_fidelity = candidate.fidelity;
+        plan.assignments[c].predicted_duration_ns = candidate.duration_ns;
+        plan.queues[s].push_back(c);
+        plan.queue_ns[s] += candidate.duration_ns;
+    };
+    auto requireFeasible = [&](size_t c, bool found) {
+        QISET_REQUIRE(found, "circuit ", c, " (", features[c].qubits,
+                      " qubits, ", features[c].two_q,
+                      " 2Q gates) fits no shard of the fleet");
+    };
+
+    if (planner.policy == "round-robin") {
+        for (size_t c = 0; c < apps.size(); ++c) {
+            bool found = false;
+            for (size_t off = 0; off < fleet.size() && !found; ++off) {
+                size_t s = (c + off) % fleet.size();
+                if (candidates[c][s].feasible) {
+                    assign(c, s);
+                    found = true;
+                }
+            }
+            requireFeasible(c, found);
+        }
+        return plan;
+    }
+
+    // Greedy ranked assignment, longest predicted duration first so
+    // big circuits anchor the balance and small ones fill the gaps.
+    std::vector<double> sort_dur(apps.size(), 0.0);
+    double total_min_dur = 0.0;
+    for (size_t c = 0; c < apps.size(); ++c) {
+        double min_dur = std::numeric_limits<double>::max();
+        bool found = false;
+        for (const Candidate& candidate : candidates[c])
+            if (candidate.feasible) {
+                found = true;
+                sort_dur[c] =
+                    std::max(sort_dur[c], candidate.duration_ns);
+                min_dur = std::min(min_dur, candidate.duration_ns);
+            }
+        requireFeasible(c, found);
+        total_min_dur += min_dur;
+    }
+    std::vector<size_t> order(apps.size());
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [&](size_t a, size_t b) {
+                         return sort_dur[a] > sort_dur[b];
+                     });
+
+    // Normalize queue load by the ideal per-shard makespan so the
+    // penalty stays commensurate with fidelity regardless of device
+    // time scales.
+    double scale = std::max(1.0, total_min_dur / fleet.size());
+    for (size_t c : order) {
+        int best = -1;
+        double best_score = -std::numeric_limits<double>::max();
+        for (size_t s = 0; s < fleet.size(); ++s) {
+            const Candidate& candidate = candidates[c][s];
+            if (!candidate.feasible)
+                continue;
+            double load =
+                (plan.queue_ns[s] + candidate.duration_ns) / scale;
+            double score = planner.fidelity_weight * candidate.fidelity -
+                           planner.load_weight * load;
+            if (score > best_score) {
+                best_score = score;
+                best = static_cast<int>(s);
+            }
+        }
+        assign(c, static_cast<size_t>(best));
+    }
+    return plan;
+}
+
+// ------------------------------------------------------------ execution
+
+namespace {
+
+/**
+ * Profiles are keyed by (unitary, gate type) only, so every shard
+ * sharing one cache must run NuOp under identical optimizer settings
+ * — including the inner BFGS knobs, which shape the cached LayerFit
+ * params even though the ProfileCache save-file stamp omits them.
+ */
+bool
+sameNuOpOptions(const NuOpOptions& a, const NuOpOptions& b)
+{
+    return a.max_layers == b.max_layers &&
+           a.multistarts == b.multistarts &&
+           a.exact_threshold == b.exact_threshold &&
+           a.one_qubit_fidelity == b.one_qubit_fidelity &&
+           a.seed == b.seed &&
+           a.bfgs.max_iterations == b.bfgs.max_iterations &&
+           a.bfgs.gradient_tol == b.bfgs.gradient_tol &&
+           a.bfgs.value_tol == b.bfgs.value_tol &&
+           a.bfgs.finite_diff_eps == b.bfgs.finite_diff_eps &&
+           a.bfgs.stop_below == b.bfgs.stop_below;
+}
+
+} // namespace
+
+ShardedBatchResult
+compileBatchSharded(const std::vector<Circuit>& apps,
+                    const DeviceFleet& fleet, const GateSet& gate_set,
+                    ProfileCache& cache,
+                    const ShardPlannerOptions& planner, ThreadPool* pool)
+{
+    for (size_t s = 1; s < fleet.size(); ++s)
+        QISET_REQUIRE(
+            sameNuOpOptions(fleet.shard(0).options.nuop,
+                            fleet.shard(s).options.nuop),
+            "shards \"", fleet.shard(0).name, "\" and \"",
+            fleet.shard(s).name,
+            "\" have different NuOp settings; they cannot share one "
+            "profile cache");
+
+    ShardedBatchResult out;
+    out.plan = planShardAssignments(apps, fleet, gate_set, planner);
+    out.results.resize(apps.size());
+
+    auto compileOne = [&](size_t i, ThreadPool* inner) {
+        const Shard& shard =
+            fleet.shard(static_cast<size_t>(out.plan.assignments[i].shard));
+        out.results[i] = compileCircuit(apps[i], shard.device, gate_set,
+                                        cache, shard.options, inner);
+    };
+    if (pool && pool->size() > 1 && apps.size() > 1) {
+        // One worker per circuit; inner translation stays serial so a
+        // worker never waits on its own pool (see compileBatch).
+        parallelFor(*pool, apps.size(),
+                    [&](size_t i) { compileOne(i, nullptr); });
+    } else {
+        for (size_t i = 0; i < apps.size(); ++i)
+            compileOne(i, pool);
+    }
+
+    out.shard_pass_rollups.resize(fleet.size());
+    for (size_t s = 0; s < fleet.size(); ++s) {
+        PassMetric metric{"shard:" + fleet.shard(s).name, 0.0, {}};
+        double estimated_sum = 0.0;
+        double predicted_sum = 0.0;
+        int swaps = 0;
+        for (size_t i : out.plan.queues[s]) {
+            metric.wall_ms += totalWallMs(out.results[i].pass_metrics);
+            estimated_sum += out.results[i].estimated_fidelity;
+            predicted_sum += out.plan.assignments[i].predicted_fidelity;
+            swaps += out.results[i].swaps_inserted;
+            accumulatePassMetrics(out.shard_pass_rollups[s],
+                                  out.results[i].pass_metrics);
+        }
+        size_t assigned = out.plan.queues[s].size();
+        metric.counters["assigned"] = static_cast<double>(assigned);
+        metric.counters["queue_ns"] = out.plan.queue_ns[s];
+        metric.counters["swaps_inserted"] = swaps;
+        if (assigned > 0) {
+            metric.counters["mean_estimated_fidelity"] =
+                estimated_sum / assigned;
+            metric.counters["mean_predicted_fidelity"] =
+                predicted_sum / assigned;
+        }
+        out.shard_metrics.push_back(std::move(metric));
+    }
+    return out;
+}
+
+} // namespace qiset

@@ -173,6 +173,39 @@ Device::withDriftedCalibration(Rng& rng, double max_factor) const
     return copy;
 }
 
+Device
+Device::extractRegion(const std::vector<int>& qubits,
+                      const std::string& region_name) const
+{
+    QISET_REQUIRE(!qubits.empty(), "region needs at least one qubit");
+    std::set<int> unique(qubits.begin(), qubits.end());
+    QISET_REQUIRE(unique.size() == qubits.size(),
+                  "region qubits must be unique");
+    for (int q : qubits)
+        QISET_REQUIRE(q >= 0 && q < numQubits(), "region qubit ", q,
+                      " out of range");
+
+    Device region(region_name.empty() ? name_ + "/region" : region_name,
+                  topology_.inducedSubgraph(qubits));
+    region.two_qubit_duration_ns_ = two_qubit_duration_ns_;
+    region.one_qubit_duration_ns_ = one_qubit_duration_ns_;
+    for (size_t i = 0; i < qubits.size(); ++i) {
+        region.one_qubit_error_[i] = one_qubit_error_.at(qubits[i]);
+        region.qubit_noise_[i] = qubit_noise_.at(qubits[i]);
+    }
+    for (size_t i = 0; i < qubits.size(); ++i)
+        for (size_t j = i + 1; j < qubits.size(); ++j) {
+            auto it = edge_fidelities_.find(edgeKey(qubits[i], qubits[j]));
+            if (it == edge_fidelities_.end() ||
+                !topology_.adjacent(qubits[i], qubits[j]))
+                continue;
+            region.edge_fidelities_[edgeKey(static_cast<int>(i),
+                                            static_cast<int>(j))] =
+                it->second;
+        }
+    return region;
+}
+
 std::vector<std::string>
 Device::calibratedGateTypes() const
 {

@@ -94,6 +94,18 @@ class Device
     std::vector<std::string> calibratedGateTypes() const;
 
     /**
+     * Sub-device on the given qubits (compile-shard extraction):
+     * topology is the induced subgraph, and per-qubit noise, 1Q
+     * errors, gate durations and the calibrated fidelities of every
+     * internal edge carry over (relabeled so result qubit i is
+     * `qubits[i]`). Edges leaving the region are dropped, so
+     * compiling on the extracted device is exactly compiling on that
+     * region of the parent. Qubits must be unique and in range.
+     */
+    Device extractRegion(const std::vector<int>& qubits,
+                         const std::string& region_name = "") const;
+
+    /**
      * Simulate calibration drift (Section IX: parameters drift over
      * time, with gate-error fluctuations of up to 10x): every edge's
      * error rate for every gate type is multiplied by an independent

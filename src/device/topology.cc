@@ -119,6 +119,83 @@ Topology::inducedSubgraph(const std::vector<int>& qubits) const
     return sub;
 }
 
+std::vector<std::vector<int>>
+Topology::balancedPartitions(int count) const
+{
+    QISET_REQUIRE(count >= 1 && count <= num_qubits_,
+                  "partition count out of range (", count, " regions, ",
+                  num_qubits_, " qubits)");
+    QISET_REQUIRE(connected(),
+                  "cannot partition a disconnected topology");
+
+    // Farthest-point seeds: qubit 0, then repeatedly the qubit with
+    // the largest BFS distance to every seed so far (ties -> lowest
+    // index), so regions start spread across the graph.
+    std::vector<int> dist(num_qubits_, num_qubits_);
+    std::vector<int> seeds;
+    auto absorbSeed = [&](int seed) {
+        seeds.push_back(seed);
+        std::queue<int> frontier;
+        frontier.push(seed);
+        dist[seed] = 0;
+        while (!frontier.empty()) {
+            int u = frontier.front();
+            frontier.pop();
+            for (int v : adjacency_[u]) {
+                if (dist[u] + 1 < dist[v]) {
+                    dist[v] = dist[u] + 1;
+                    frontier.push(v);
+                }
+            }
+        }
+    };
+    absorbSeed(0);
+    while (static_cast<int>(seeds.size()) < count) {
+        int farthest = 0;
+        for (int q = 1; q < num_qubits_; ++q)
+            if (dist[q] > dist[farthest])
+                farthest = q;
+        absorbSeed(farthest);
+    }
+
+    // Round-robin growth: each region claims one qubit per turn, the
+    // lowest-index unclaimed neighbor of its earliest member that can
+    // still grow. Claiming is monotone, so a member whose neighbors
+    // are all claimed can be dropped from the growth queue for good.
+    std::vector<std::vector<int>> regions(count);
+    std::vector<int> owner(num_qubits_, -1);
+    std::vector<std::queue<int>> grow(count);
+    for (int r = 0; r < count; ++r) {
+        owner[seeds[r]] = r;
+        regions[r].push_back(seeds[r]);
+        grow[r].push(seeds[r]);
+    }
+    int claimed = count;
+    while (claimed < num_qubits_) {
+        for (int r = 0; r < count && claimed < num_qubits_; ++r) {
+            while (!grow[r].empty()) {
+                int member = grow[r].front();
+                int pick = -1;
+                for (int v : adjacency_[member])
+                    if (owner[v] < 0 && (pick < 0 || v < pick))
+                        pick = v;
+                if (pick < 0) {
+                    grow[r].pop();
+                    continue;
+                }
+                owner[pick] = r;
+                regions[r].push_back(pick);
+                grow[r].push(pick);
+                ++claimed;
+                break;
+            }
+        }
+    }
+    for (auto& region : regions)
+        std::sort(region.begin(), region.end());
+    return regions;
+}
+
 Topology
 Topology::line(int n)
 {

@@ -45,6 +45,17 @@ class Topology
      */
     Topology inducedSubgraph(const std::vector<int>& qubits) const;
 
+    /**
+     * Partition all qubits into `count` disjoint connected regions of
+     * roughly equal size (the building block of multi-region compile
+     * sharding). Seeds are chosen by farthest-point sampling and the
+     * regions grow round-robin, one qubit per turn, always claiming
+     * the lowest-index unclaimed neighbor — fully deterministic.
+     * Every qubit lands in exactly one region; each region is sorted
+     * ascending. Requires a connected topology.
+     */
+    std::vector<std::vector<int>> balancedPartitions(int count) const;
+
     /** Path graph 0-1-...-(n-1). */
     static Topology line(int n);
 

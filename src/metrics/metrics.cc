@@ -18,6 +18,28 @@ totalWallMs(const std::vector<PassMetric>& passes)
     return total;
 }
 
+void
+accumulatePassMetrics(std::vector<PassMetric>& total,
+                      const std::vector<PassMetric>& run)
+{
+    for (const PassMetric& metric : run) {
+        PassMetric* slot = nullptr;
+        for (PassMetric& existing : total)
+            if (existing.pass == metric.pass) {
+                slot = &existing;
+                break;
+            }
+        if (!slot) {
+            total.push_back(PassMetric{metric.pass, 0.0, {}});
+            slot = &total.back();
+        }
+        slot->wall_ms += metric.wall_ms;
+        for (const auto& [name, value] : metric.counters)
+            slot->counters[name] += value;
+        slot->counters["runs"] += 1.0;
+    }
+}
+
 std::string
 formatPassReport(const std::vector<PassMetric>& passes)
 {

@@ -39,6 +39,16 @@ struct PassMetric
 double totalWallMs(const std::vector<PassMetric>& passes);
 
 /**
+ * Fold one compile's pass metrics into a running roll-up: passes are
+ * matched by name (appended in first-appearance order), wall_ms and
+ * every counter are summed, and a "runs" counter tracks how many
+ * executions each row aggregates. Sharded batch compilation uses this
+ * to report per-shard totals across all circuits in a shard's queue.
+ */
+void accumulatePassMetrics(std::vector<PassMetric>& total,
+                           const std::vector<PassMetric>& run);
+
+/**
  * Render a per-pass timing/counter table (one row per pass plus a
  * total row) for command-line reporting.
  */
