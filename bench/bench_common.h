@@ -12,7 +12,7 @@
 #include <string>
 #include <vector>
 
-#include "compiler/pipeline.h"
+#include "compiler/service.h"
 #include "metrics/metrics.h"
 #include "sim/density_matrix.h"
 #include "sim/statevector.h"
@@ -77,8 +77,10 @@ struct GateSetScore
 /**
  * Compile every circuit for the gate set, simulate exactly (density
  * matrix + readout) and average metric(ideal, noisy). Compilation
- * goes through compileBatch, so a pool parallelizes across circuits
- * while the shared cache still deduplicates NuOp work.
+ * goes through a one-shot CompileService request/job round trip (the
+ * same path the async front end serves), so a pool parallelizes
+ * across circuits while the shared cache still deduplicates NuOp
+ * work; results are bit-identical to the legacy compileBatch path.
  */
 inline GateSetScore
 scoreGateSet(const Device& device, const GateSet& gate_set,
@@ -90,8 +92,16 @@ scoreGateSet(const Device& device, const GateSet& gate_set,
              ThreadPool* pool = nullptr)
 {
     GateSetScore score;
+    DeviceFleet fleet(options);
+    fleet.addDevice(device, options);
+    CompileService service(
+        std::move(fleet), gate_set,
+        oneShotServiceOptions(cache, circuits.size(), pool));
+
+    CompileRequest request;
+    request.circuits = circuits;
     std::vector<CompileResult> results =
-        compileBatch(circuits, device, gate_set, cache, options, pool);
+        service.submit(std::move(request)).takeResults();
     for (size_t i = 0; i < circuits.size(); ++i) {
         auto ideal = idealProbabilities(circuits[i]);
         auto noisy = simulateCompiled(results[i]);
@@ -109,6 +119,35 @@ inline double
 successRate(const CompileResult& result, const Circuit& app)
 {
     return simulateSuccessRate(result, app);
+}
+
+/**
+ * Field-by-field bit-identity of two compile results — the
+ * determinism self-check the sharding/service benches gate CI on.
+ * One shared definition so a new CompileResult field only needs the
+ * comparison added here.
+ */
+inline bool
+resultsBitIdentical(const CompileResult& a, const CompileResult& b)
+{
+    if (a.physical != b.physical ||
+        a.initial_positions != b.initial_positions ||
+        a.final_positions != b.final_positions ||
+        a.swaps_inserted != b.swaps_inserted ||
+        a.two_qubit_count != b.two_qubit_count ||
+        a.type_usage != b.type_usage ||
+        a.estimated_fidelity != b.estimated_fidelity ||
+        a.circuit.size() != b.circuit.size())
+        return false;
+    for (size_t i = 0; i < a.circuit.size(); ++i) {
+        const Operation& x = a.circuit.ops()[i];
+        const Operation& y = b.circuit.ops()[i];
+        if (x.qubits != y.qubits || x.label != y.label ||
+            x.error_rate != y.error_rate ||
+            x.unitary.maxAbsDiff(y.unitary) != 0.0)
+            return false;
+    }
+    return true;
 }
 
 } // namespace bench

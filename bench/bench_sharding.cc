@@ -26,6 +26,7 @@
 #include "apps/qaoa.h"
 #include "apps/qft.h"
 #include "apps/qv.h"
+#include "bench/bench_common.h"
 #include "common/rng.h"
 #include "compiler/shard.h"
 #include "isa/gate_set.h"
@@ -58,29 +59,6 @@ makeWorkload()
         apps.push_back(makeQuantumVolumeCircuit(4, rng));
     }
     return apps;
-}
-
-bool
-identicalResults(const CompileResult& a, const CompileResult& b)
-{
-    if (a.physical != b.physical ||
-        a.initial_positions != b.initial_positions ||
-        a.final_positions != b.final_positions ||
-        a.swaps_inserted != b.swaps_inserted ||
-        a.two_qubit_count != b.two_qubit_count ||
-        a.type_usage != b.type_usage ||
-        a.estimated_fidelity != b.estimated_fidelity ||
-        a.circuit.size() != b.circuit.size())
-        return false;
-    for (size_t i = 0; i < a.circuit.size(); ++i) {
-        const Operation& x = a.circuit.ops()[i];
-        const Operation& y = b.circuit.ops()[i];
-        if (x.qubits != y.qubits || x.label != y.label ||
-            x.error_rate != y.error_rate ||
-            x.unitary.maxAbsDiff(y.unitary) != 0.0)
-            return false;
-    }
-    return true;
 }
 
 double
@@ -152,14 +130,14 @@ main()
         if (s == 0) {
             bit_identical =
                 bit_identical &&
-                identicalResults(serial[i], sharded.results[i]);
+                bench::resultsBitIdentical(serial[i], sharded.results[i]);
         } else {
             CompileResult solo =
                 compileCircuit(apps[i], shard.device, set, check_cache,
                                shard.options);
             bit_identical =
                 bit_identical &&
-                identicalResults(solo, sharded.results[i]);
+                bench::resultsBitIdentical(solo, sharded.results[i]);
         }
     }
 

@@ -2,8 +2,9 @@
  * @file
  * Quickstart: decompose a random two-qubit application unitary into
  * different hardware gate types with NuOp, exactly and approximately;
- * then compile a small workload through the pass-manager pipeline and
- * report per-pass wall-clock plus decomposition-cache statistics.
+ * then compile a small workload through the async CompileService
+ * (request in, job handle out) and report per-pass wall-clock, job
+ * telemetry and decomposition-cache statistics.
  *
  * Build & run:
  *     cmake -B build -S . && cmake --build build
@@ -17,7 +18,7 @@
 #include "circuit/draw.h"
 #include "common/rng.h"
 #include "common/table.h"
-#include "compiler/pipeline.h"
+#include "compiler/service.h"
 #include "metrics/metrics.h"
 #include "nuop/decomposer.h"
 #include "nuop/kak.h"
@@ -93,9 +94,9 @@ main()
                  "approximate mode\ntrades decomposition accuracy for "
                  "fewer noisy hardware gates (Eq. 2).\n";
 
-    // ---- end-to-end: pass-manager pipeline + shared profile cache ----
-    std::cout << "\nCompiling a 4-circuit QAOA workload through the "
-                 "pass pipeline...\n\n";
+    // ---- end-to-end: the async CompileService request/job API --------
+    std::cout << "\nServing a 4-circuit QAOA workload through the "
+                 "async CompileService...\n\n";
     Device device("line4", Topology::line(4));
     for (auto [a, b] : device.topology().edges()) {
         device.setEdgeFidelity(a, b, "S3", 0.995);
@@ -113,26 +114,49 @@ main()
     for (int i = 0; i < 4; ++i)
         workload.push_back(makeRandomQaoaCircuit(4, rng));
 
-    ProfileCache cache;
-    std::vector<CompileResult> compiled = compileBatch(
-        workload, device, isa::rigettiSet(1), cache, compile_options);
+    // The service owns the fleet (one device here), the worker pool
+    // and the shared profile cache; clients submit requests and wait
+    // on job handles.
+    DeviceFleet fleet(compile_options);
+    fleet.addDevice(device);
+    CompileServiceOptions service_options;
+    service_options.workers = 2;
+    CompileService service(std::move(fleet), isa::rigettiSet(1),
+                           service_options);
 
-    const CompileResult& first = compiled.front();
+    CompileRequest request;
+    request.circuits = workload;
+    request.tag = "quickstart";
+    CompileJob job = service.submit(request);
+    std::cout << "job " << job.id() << " (\"" << job.tag() << "\"): "
+              << toString(job.wait()) << "\n\n";
+
     std::cout << "Per-pass wall clock of circuit 0 (cold cache):\n"
-              << formatPassReport(first.pass_metrics) << "\n";
-    ProfileCacheStats stats = cache.stats();
+              << formatPassReport(job.results().front().pass_metrics)
+              << "\n";
+    CompileJobStats job_stats = job.stats();
+    std::cout << "job telemetry: queue wait mean "
+              << fmtDouble(job_stats.queue_wait_ns_mean / 1e6, 3)
+              << " ms, compile wall "
+              << fmtDouble(job_stats.compile_wall_ms, 2)
+              << " ms, cache hit ratio "
+              << fmtDouble(job_stats.cache_hit_ratio, 3) << "\n";
+    ProfileCacheStats stats = service.profileCache().stats();
     std::cout << formatCacheStats(stats.hits, stats.misses,
                                   stats.evictions, stats.entries)
               << "\n";
 
-    // A warm cache turns every decomposition into a lookup: recompile
+    // A warm cache turns every decomposition into a lookup: resubmit
     // the same workload and compare translation times.
-    cache.resetStats();
-    std::vector<CompileResult> warm = compileBatch(
-        workload, device, isa::rigettiSet(1), cache, compile_options);
+    service.profileCache().resetStats();
+    CompileJob warm = service.submit(request);
+    warm.wait();
     std::cout << "\nPer-pass wall clock of circuit 0 (warm cache):\n"
-              << formatPassReport(warm.front().pass_metrics) << "\n";
-    stats = cache.stats();
+              << formatPassReport(warm.results().front().pass_metrics)
+              << "\n";
+    std::cout << "warm job cache hit ratio: "
+              << fmtDouble(warm.stats().cache_hit_ratio, 3) << "\n";
+    stats = service.profileCache().stats();
     std::cout << formatCacheStats(stats.hits, stats.misses,
                                   stats.evictions, stats.entries)
               << "\n";

@@ -16,12 +16,13 @@ BUILD_DIR="${BUILD_DIR:-build}"
 BENCH="${BENCH:-bench_table1_gate_families}"
 ROUTING_JSON="${ROUTING_JSON:-$BUILD_DIR/BENCH_routing.json}"
 SHARDING_JSON="${SHARDING_JSON:-$BUILD_DIR/BENCH_sharding.json}"
+SERVICE_JSON="${SERVICE_JSON:-$BUILD_DIR/BENCH_service.json}"
 
 # Extra configure arguments (e.g. -DCMAKE_CXX_COMPILER_LAUNCHER=ccache
 # in CI); intentionally unquoted so multiple flags split.
 cmake -B "$BUILD_DIR" -S . ${CMAKE_EXTRA_ARGS:-}
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target "$BENCH" \
-    bench_routing bench_sharding quickstart
+    bench_routing bench_sharding bench_service quickstart
 
 # run_bench <binary> [json-output]: run a bench, streaming its output
 # to the terminal (and to the JSON file when given), and abort with
@@ -48,8 +49,10 @@ time run_bench "$BENCH"
 # quickstart prints pass timings + cache stats.
 run_bench quickstart
 
-# Machine-readable perf trajectories: routing SWAP counts (PR 2 on)
-# and sharded batch throughput (PR 3 on). The committed baseline in
+# Machine-readable perf trajectories: routing SWAP counts (PR 2 on),
+# sharded batch throughput (PR 3 on) and compile-service submit->
+# complete latency/throughput (PR 4 on). The committed baseline in
 # scripts/bench_baseline.json gates regressions in CI.
 run_bench bench_routing "$ROUTING_JSON"
 run_bench bench_sharding "$SHARDING_JSON"
+run_bench bench_service "$SERVICE_JSON"

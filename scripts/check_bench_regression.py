@@ -1,23 +1,30 @@
 #!/usr/bin/env python3
 """Bench-regression gate for CI.
 
-Compares the freshly-emitted BENCH_routing.json and BENCH_sharding.json
-against the committed baseline (scripts/bench_baseline.json) and exits
-nonzero when a tracked metric regresses beyond the baseline tolerance:
+Compares the freshly-emitted BENCH_routing.json, BENCH_sharding.json
+and BENCH_service.json against the committed baseline
+(scripts/bench_baseline.json) and exits nonzero when a tracked metric
+regresses beyond the baseline tolerance:
 
   - QFT-16 SABRE SWAP count (deterministic): fails when the router
     inserts more than (1 + tolerance) * baseline SWAPs.
   - Sharded batch throughput: fails when the sharded/serial speedup
     drops below (1 - tolerance) * baseline or below the hard floor
-    (min_sharding_speedup). The baseline is calibrated on a 4-thread
-    pool (see bench_baseline.json), so the gate is skipped with a
-    warning when the bench got fewer than 4 threads — on such runners
-    the floor would fire without a real regression.
-  - Bit-identity of sharded results (always enforced).
+    (min_sharding_speedup).
+  - CompileService throughput: fails when the service/serial speedup
+    drops below (1 - tolerance) * baseline or below the hard floor
+    (min_service_speedup), or when any submitted job failed to reach
+    a terminal Done state.
+  - Bit-identity of sharded and service results (always enforced).
+
+The speedup baselines are calibrated on a 4-thread pool (see
+bench_baseline.json), so those gates are skipped with a warning when a
+bench got fewer than 4 threads — on such runners the floor would fire
+without a real regression.
 
 Usage:
   check_bench_regression.py <baseline.json> <BENCH_routing.json> \
-      <BENCH_sharding.json>
+      <BENCH_sharding.json> <BENCH_service.json>
 """
 
 import json
@@ -29,17 +36,44 @@ def fail(message: str) -> None:
     sys.exit(1)
 
 
+def gate_speedup(
+    name: str,
+    speedup: float,
+    threads: int,
+    baseline_speedup: float,
+    floor: float,
+    tolerance: float,
+) -> None:
+    """Shared machine-relative speedup gate with the <4-thread skip."""
+    limit = max(floor, baseline_speedup * (1.0 - tolerance))
+    print(
+        f"{name} speedup: {speedup:.2f}x on {threads} threads "
+        f"(baseline {baseline_speedup}, floor {limit:.2f})"
+    )
+    if threads < 4:
+        print(
+            f"WARNING: {name} bench ran on {threads} thread(s) but the "
+            "baseline is calibrated for 4; skipping its throughput gate"
+        )
+    elif speedup < limit:
+        fail(
+            f"{name} throughput regressed: {speedup:.2f}x < {limit:.2f}x"
+        )
+
+
 def main() -> None:
-    if len(sys.argv) != 4:
+    if len(sys.argv) != 5:
         print(__doc__, file=sys.stderr)
         sys.exit(2)
-    baseline_path, routing_path, sharding_path = sys.argv[1:4]
+    baseline_path, routing_path, sharding_path, service_path = sys.argv[1:5]
     with open(baseline_path) as f:
         baseline = json.load(f)
     with open(routing_path) as f:
         routing = json.load(f)
     with open(sharding_path) as f:
         sharding = json.load(f)
+    with open(service_path) as f:
+        service = json.load(f)
 
     tolerance = baseline.get("tolerance", 0.10)
 
@@ -65,29 +99,31 @@ def main() -> None:
     # --- sharding: bit-identity (always) and throughput --------------
     if not sharding.get("bit_identical", False):
         fail("sharded results are not bit-identical to solo compiles")
-
-    speedup = sharding["sharded"]["speedup"]
-    threads = sharding.get("threads", 1)
-    speedup_baseline = baseline["sharding_speedup"]
-    floor = max(
+    gate_speedup(
+        "sharding",
+        sharding["sharded"]["speedup"],
+        sharding.get("threads", 1),
+        baseline["sharding_speedup"],
         baseline.get("min_sharding_speedup", 0.0),
-        speedup_baseline * (1.0 - tolerance),
+        tolerance,
     )
-    print(
-        f"sharding speedup: {speedup:.2f}x on {threads} threads "
-        f"(baseline {speedup_baseline}, floor {floor:.2f})"
-    )
-    if threads < 4:
-        print(
-            f"WARNING: bench ran on {threads} thread(s) but the "
-            "baseline is calibrated for 4; skipping the sharded-"
-            "throughput gate"
-        )
-    elif speedup < floor:
+
+    # --- service: completion + bit-identity (always) and throughput --
+    if not service.get("all_done", False):
+        fail("not every CompileService job completed")
+    if not service.get("bit_identical", False):
         fail(
-            f"sharded batch throughput regressed: {speedup:.2f}x < "
-            f"{floor:.2f}x"
+            "CompileService results are not bit-identical to legacy "
+            "compileCircuit"
         )
+    gate_speedup(
+        "service",
+        service["service"]["speedup"],
+        service.get("threads", 1),
+        baseline["service_speedup"],
+        baseline.get("min_service_speedup", 0.0),
+        tolerance,
+    )
 
     print("bench regression gate: OK")
 

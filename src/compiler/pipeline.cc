@@ -1,5 +1,6 @@
 #include "compiler/pipeline.h"
 
+#include "compiler/service.h"
 #include "metrics/metrics.h"
 #include "sim/density_matrix.h"
 #include "sim/statevector.h"
@@ -7,9 +8,9 @@
 namespace qiset {
 
 CompileResult
-compileCircuit(const Circuit& app, const Device& device,
-               const GateSet& gate_set, ProfileCache& cache,
-               const CompileOptions& options, ThreadPool* pool)
+runCompilePipeline(const Circuit& app, const Device& device,
+                   const GateSet& gate_set, ProfileCache& cache,
+                   const CompileOptions& options, ThreadPool* pool)
 {
     CompilationContext context(app, device, gate_set, options, cache,
                                pool);
@@ -17,29 +18,35 @@ compileCircuit(const Circuit& app, const Device& device,
     return context.takeResult();
 }
 
+CompileResult
+compileCircuit(const Circuit& app, const Device& device,
+               const GateSet& gate_set, ProfileCache& cache,
+               const CompileOptions& options, ThreadPool* pool)
+{
+    DeviceFleet fleet(options);
+    fleet.addDevice(device, options);
+    CompileService service(std::move(fleet), gate_set,
+                           oneShotServiceOptions(cache, 1, pool));
+    CompileRequest request;
+    request.circuits.push_back(app);
+    std::vector<CompileResult> results =
+        service.submit(std::move(request)).takeResults();
+    return std::move(results.front());
+}
+
 std::vector<CompileResult>
 compileBatch(const std::vector<Circuit>& apps, const Device& device,
              const GateSet& gate_set, ProfileCache& cache,
              const CompileOptions& options, ThreadPool* pool)
 {
-    std::vector<CompileResult> results(apps.size());
-    if (apps.empty())
-        return results;
-
-    if (pool && pool->size() > 1 && apps.size() > 1) {
-        // One worker per circuit; the inner translation must not
-        // re-enter the same pool (its parallelFor would wait on the
-        // whole pool from inside a worker and deadlock).
-        parallelFor(*pool, apps.size(), [&](size_t i) {
-            results[i] = compileCircuit(apps[i], device, gate_set, cache,
-                                        options, nullptr);
-        });
-    } else {
-        for (size_t i = 0; i < apps.size(); ++i)
-            results[i] = compileCircuit(apps[i], device, gate_set, cache,
-                                        options, pool);
-    }
-    return results;
+    DeviceFleet fleet(options);
+    fleet.addDevice(device, options);
+    CompileService service(
+        std::move(fleet), gate_set,
+        oneShotServiceOptions(cache, apps.size(), pool));
+    CompileRequest request;
+    request.circuits = apps;
+    return service.submit(std::move(request)).takeResults();
 }
 
 std::vector<double>

@@ -31,10 +31,27 @@
 namespace qiset {
 
 /**
+ * Raw pass-pipeline primitive: run the default pipeline built from
+ * `options` on one circuit, on the calling thread. This is what the
+ * CompileService executes per admitted circuit; almost every caller
+ * wants compileCircuit() (the service-routed wrapper, same results
+ * bit-for-bit) instead.
+ */
+CompileResult runCompilePipeline(const Circuit& app, const Device& device,
+                                 const GateSet& gate_set,
+                                 ProfileCache& cache,
+                                 const CompileOptions& options,
+                                 ThreadPool* pool = nullptr);
+
+/**
  * Compile an application circuit for a device and instruction set by
  * running the default pass pipeline built from `options`. The
  * ProfileCache may be shared across calls (and instruction sets) to
  * amortize NuOp optimizations.
+ *
+ * A thin wrapper over a one-shot inline CompileService (see
+ * compiler/service.h) — results are bit-identical to the raw
+ * pipeline, and the request/job path is exercised on every call.
  */
 CompileResult compileCircuit(const Circuit& app, const Device& device,
                              const GateSet& gate_set, ProfileCache& cache,
@@ -50,7 +67,8 @@ CompileResult compileCircuit(const Circuit& app, const Device& device,
  * the intra-circuit translation then runs serially to keep the pool
  * deadlock-free). Results are positionally aligned with `apps` and,
  * thanks to deterministic multistart seeding, bit-identical to serial
- * compileCircuit() calls.
+ * compileCircuit() calls. Like compileCircuit, a thin wrapper over a
+ * one-shot single-device CompileService.
  */
 std::vector<CompileResult>
 compileBatch(const std::vector<Circuit>& apps, const Device& device,

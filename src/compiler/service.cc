@@ -1,0 +1,842 @@
+#include "compiler/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/error.h"
+#include "metrics/metrics.h"
+
+namespace qiset {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+nsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double, std::nano>(Clock::now() - start)
+        .count();
+}
+
+double
+msSince(Clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+const char*
+toString(JobStatus status)
+{
+    switch (status) {
+    case JobStatus::Queued: return "queued";
+    case JobStatus::Running: return "running";
+    case JobStatus::Done: return "done";
+    case JobStatus::Cancelled: return "cancelled";
+    case JobStatus::Failed: return "failed";
+    case JobStatus::Rejected: return "rejected";
+    }
+    return "unknown";
+}
+
+// ------------------------------------------------------------ job state
+
+/** Shared state of one job; outlives both service and handles. */
+struct CompileJob::State
+{
+    // Immutable after admission.
+    uint64_t id = 0;
+    std::vector<Circuit> circuits;
+    std::optional<CompileOptions> options;
+    int priority = 0;
+    std::string tag;
+    ShardPlan plan;
+    Clock::time_point submit_time;
+    std::weak_ptr<CompileService::Impl> service;
+
+    // Guarded by m. The service's lock order is service mutex first,
+    // then this one; handle-only methods take only this one.
+    mutable std::mutex m;
+    mutable std::condition_variable cv;
+    JobStatus status = JobStatus::Queued;
+    bool cancel_requested = false;
+    /** Circuits finished or skipped (terminal when == circuits). */
+    size_t accounted = 0;
+    size_t compiled_count = 0;
+    std::vector<CompileResult> results;
+    std::vector<double> queue_wait_ns;
+    std::vector<double> wall_ms;
+    std::vector<uint64_t> dispatch_seq;
+    std::vector<char> compiled;
+    std::exception_ptr error;
+
+    bool terminalLocked() const
+    {
+        return status == JobStatus::Done ||
+               status == JobStatus::Cancelled ||
+               status == JobStatus::Failed ||
+               status == JobStatus::Rejected;
+    }
+
+    CompileJobStats statsLocked() const
+    {
+        CompileJobStats out;
+        out.circuits = circuits.size();
+        out.shards.reserve(plan.assignments.size());
+        for (const ShardAssignment& a : plan.assignments) {
+            out.shards.push_back(a.shard);
+            out.mean_predicted_fidelity += a.predicted_fidelity;
+        }
+        if (!plan.assignments.empty())
+            out.mean_predicted_fidelity /= plan.assignments.size();
+        out.dispatch_seq = dispatch_seq;
+
+        size_t dispatched = 0;
+        for (size_t i = 0; i < circuits.size(); ++i) {
+            out.compile_wall_ms += wall_ms[i];
+            if (dispatch_seq[i] != 0) {
+                ++dispatched;
+                out.queue_wait_ns_mean += queue_wait_ns[i];
+                out.queue_wait_ns_max =
+                    std::max(out.queue_wait_ns_max, queue_wait_ns[i]);
+            }
+            if (!compiled[i])
+                continue;
+            out.swaps_inserted += results[i].swaps_inserted;
+            out.mean_estimated_fidelity += results[i].estimated_fidelity;
+            for (const PassMetric& metric : results[i].pass_metrics) {
+                if (metric.pass != "translation")
+                    continue;
+                auto hit = metric.counters.find("cache_hits");
+                if (hit != metric.counters.end())
+                    out.cache_hits +=
+                        static_cast<uint64_t>(hit->second);
+                auto miss = metric.counters.find("cache_misses");
+                if (miss != metric.counters.end())
+                    out.cache_misses +=
+                        static_cast<uint64_t>(miss->second);
+            }
+        }
+        if (dispatched > 0)
+            out.queue_wait_ns_mean /= dispatched;
+        if (compiled_count > 0)
+            out.mean_estimated_fidelity /= compiled_count;
+        uint64_t lookups = out.cache_hits + out.cache_misses;
+        if (lookups > 0)
+            out.cache_hit_ratio =
+                static_cast<double>(out.cache_hits) / lookups;
+        return out;
+    }
+};
+
+// --------------------------------------------------------- service impl
+
+struct CompileService::Impl
+    : std::enable_shared_from_this<CompileService::Impl>
+{
+    /** One queued circuit of one job. */
+    struct QueueEntry
+    {
+        std::shared_ptr<CompileJob::State> job;
+        size_t index = 0;
+        int priority = 0;
+        uint64_t seq = 0;
+    };
+
+    /** Per-shard running telemetry (guarded by m). */
+    struct ShardAccum
+    {
+        uint64_t assigned = 0;
+        uint64_t completed = 0;
+        double wall_ms = 0.0;
+        int swaps = 0;
+        double est_fid_sum = 0.0;
+        double pred_fid_sum = 0.0;
+        std::vector<PassMetric> pass_rollup;
+    };
+
+    DeviceFleet fleet;
+    GateSet gate_set;
+    CompileServiceOptions opts;
+    ProfileCache owned_cache;
+    ProfileCache* cache = nullptr;
+    /** Worker pool (owned or borrowed); null => inline execution. */
+    ThreadPool* pool = nullptr;
+    size_t max_inflight = 1;
+
+    mutable std::mutex m;
+    std::condition_variable idle_cv;
+    bool paused = false;
+    bool stopping = false;
+    bool cache_saved = false;
+    uint64_t next_job_id = 1;
+    uint64_t next_entry_seq = 1;
+    uint64_t next_dispatch_seq = 1;
+    size_t queued = 0;
+    size_t in_flight = 0;
+
+    /**
+     * Per-shard admission queues, each sorted so the back holds the
+     * next dispatch: ascending (priority, then submission recency) —
+     * i.e. back = highest priority, earliest sequence number.
+     */
+    std::vector<std::vector<QueueEntry>> queues;
+    /** Gauge: predicted ns admitted but not yet compiled, per shard. */
+    std::vector<double> backlog_ns;
+    /** Monotonic predicted ns ever admitted, per shard. */
+    std::vector<double> admitted_ns;
+    std::vector<ShardAccum> shard_accum;
+
+    uint64_t submitted = 0;
+    uint64_t admitted_jobs = 0;
+    uint64_t rejected = 0;
+    uint64_t completed_jobs = 0;
+    uint64_t failed_jobs = 0;
+    uint64_t cancelled_jobs = 0;
+
+    /** True when a dispatches before b (FIFO within priority). */
+    static bool dispatchesBefore(const QueueEntry& a, const QueueEntry& b)
+    {
+        if (a.priority != b.priority)
+            return a.priority > b.priority;
+        return a.seq < b.seq;
+    }
+
+    void enqueueLocked(QueueEntry entry)
+    {
+        auto& queue = queues[static_cast<size_t>(
+            entry.job->plan.assignments[entry.index].shard)];
+        // Sorted worst-first so the best entry pops from the back.
+        auto pos = std::upper_bound(
+            queue.begin(), queue.end(), entry,
+            [](const QueueEntry& a, const QueueEntry& b) {
+                return dispatchesBefore(b, a);
+            });
+        queue.insert(pos, std::move(entry));
+        ++queued;
+    }
+
+    /**
+     * Finalize a job whose circuits are all accounted for. Both the
+     * service mutex and the job mutex must be held.
+     */
+    void maybeFinalizeJobLocked(CompileJob::State& job)
+    {
+        if (job.accounted < job.circuits.size() || job.terminalLocked())
+            return;
+        if (job.error) {
+            job.status = JobStatus::Failed;
+            ++failed_jobs;
+        } else if (job.compiled_count == job.circuits.size()) {
+            job.status = JobStatus::Done;
+            ++completed_jobs;
+        } else {
+            job.status = JobStatus::Cancelled;
+            ++cancelled_jobs;
+        }
+        job.cv.notify_all();
+    }
+
+    /** Dispatch queued entries while capacity allows (m held). */
+    void pumpLocked()
+    {
+        if (!pool)
+            return;
+        while (!paused && in_flight < max_inflight) {
+            int best_shard = -1;
+            for (size_t s = 0; s < queues.size(); ++s) {
+                if (queues[s].empty())
+                    continue;
+                if (best_shard < 0 ||
+                    dispatchesBefore(
+                        queues[s].back(),
+                        queues[static_cast<size_t>(best_shard)].back()))
+                    best_shard = static_cast<int>(s);
+            }
+            if (best_shard < 0)
+                break;
+            auto& queue = queues[static_cast<size_t>(best_shard)];
+            QueueEntry entry = std::move(queue.back());
+            queue.pop_back();
+            --queued;
+
+            bool skip = false;
+            {
+                std::lock_guard<std::mutex> jl(entry.job->m);
+                skip = entry.job->cancel_requested ||
+                       entry.job->error != nullptr;
+                if (skip) {
+                    ++entry.job->accounted;
+                    maybeFinalizeJobLocked(*entry.job);
+                } else {
+                    markDispatchedLocked(*entry.job, entry.index);
+                }
+            }
+            if (skip) {
+                releaseBacklogLocked(entry);
+                idle_cv.notify_all();
+                continue;
+            }
+            ++in_flight;
+            auto self = shared_from_this();
+            pool->submit([self, entry] { self->runEntry(entry); });
+        }
+    }
+
+    /** Stamp dispatch bookkeeping on one circuit (job mutex held). */
+    void markDispatchedLocked(CompileJob::State& job, size_t index)
+    {
+        job.dispatch_seq[index] = next_dispatch_seq++;
+        job.queue_wait_ns[index] = nsSince(job.submit_time);
+        if (job.status == JobStatus::Queued)
+            job.status = JobStatus::Running;
+    }
+
+    void releaseBacklogLocked(const QueueEntry& entry)
+    {
+        const ShardAssignment& a =
+            entry.job->plan.assignments[entry.index];
+        backlog_ns[static_cast<size_t>(a.shard)] -=
+            a.predicted_duration_ns;
+    }
+
+    /** Compile one circuit (no service lock held). */
+    void runEntry(const QueueEntry& entry)
+    {
+        const ShardAssignment& assignment =
+            entry.job->plan.assignments[entry.index];
+        const Shard& shard =
+            fleet.shard(static_cast<size_t>(assignment.shard));
+        const CompileOptions& options =
+            entry.job->options ? *entry.job->options : shard.options;
+        // Async workers keep the inner translation serial (a worker
+        // must never wait on its own pool); inline submits may fan the
+        // translation out over a caller-provided pool.
+        ThreadPool* inner = pool ? nullptr : opts.translation_pool;
+
+        CompileResult result;
+        std::exception_ptr error;
+        auto start = Clock::now();
+        try {
+            result = runCompilePipeline(entry.job->circuits[entry.index],
+                                        shard.device, gate_set, *cache,
+                                        options, inner);
+        } catch (...) {
+            error = std::current_exception();
+        }
+        finishEntry(entry, std::move(result), error, msSince(start));
+    }
+
+    /**
+     * Account one already-dispatched circuit as skipped without
+     * compiling it (inline-mode fail-fast after a sibling's error).
+     */
+    void skipEntry(const QueueEntry& entry)
+    {
+        std::lock_guard<std::mutex> lock(m);
+        releaseBacklogLocked(entry);
+        {
+            std::lock_guard<std::mutex> jl(entry.job->m);
+            ++entry.job->accounted;
+            maybeFinalizeJobLocked(*entry.job);
+        }
+        --in_flight;
+        idle_cv.notify_all();
+    }
+
+    void finishEntry(const QueueEntry& entry, CompileResult result,
+                     std::exception_ptr error, double wall_ms)
+    {
+        std::lock_guard<std::mutex> lock(m);
+        releaseBacklogLocked(entry);
+        size_t s = static_cast<size_t>(
+            entry.job->plan.assignments[entry.index].shard);
+        if (!error) {
+            ShardAccum& acc = shard_accum[s];
+            ++acc.completed;
+            acc.wall_ms += totalWallMs(result.pass_metrics);
+            acc.swaps += result.swaps_inserted;
+            acc.est_fid_sum += result.estimated_fidelity;
+            accumulatePassMetrics(acc.pass_rollup, result.pass_metrics);
+        }
+        {
+            std::lock_guard<std::mutex> jl(entry.job->m);
+            CompileJob::State& job = *entry.job;
+            if (error) {
+                if (!job.error)
+                    job.error = error;
+            } else {
+                job.results[entry.index] = std::move(result);
+                job.compiled[entry.index] = 1;
+                ++job.compiled_count;
+            }
+            job.wall_ms[entry.index] = wall_ms;
+            ++job.accounted;
+            maybeFinalizeJobLocked(job);
+        }
+        --in_flight;
+        pumpLocked();
+        idle_cv.notify_all();
+    }
+};
+
+// -------------------------------------------------------------- handles
+
+uint64_t
+CompileJob::id() const
+{
+    QISET_REQUIRE(state_, "id() on an invalid CompileJob");
+    return state_->id;
+}
+
+const std::string&
+CompileJob::tag() const
+{
+    QISET_REQUIRE(state_, "tag() on an invalid CompileJob");
+    return state_->tag;
+}
+
+JobStatus
+CompileJob::poll() const
+{
+    QISET_REQUIRE(state_, "poll() on an invalid CompileJob");
+    std::lock_guard<std::mutex> lock(state_->m);
+    return state_->status;
+}
+
+JobStatus
+CompileJob::wait() const
+{
+    QISET_REQUIRE(state_, "wait() on an invalid CompileJob");
+    std::unique_lock<std::mutex> lock(state_->m);
+    state_->cv.wait(lock, [this] { return state_->terminalLocked(); });
+    return state_->status;
+}
+
+const std::vector<CompileResult>&
+CompileJob::results() const
+{
+    JobStatus status = wait();
+    std::lock_guard<std::mutex> lock(state_->m);
+    if (state_->error)
+        std::rethrow_exception(state_->error);
+    QISET_REQUIRE(status == JobStatus::Done,
+                  "results() on a job that ended \"", toString(status),
+                  "\"");
+    return state_->results;
+}
+
+std::vector<CompileResult>
+CompileJob::takeResults()
+{
+    JobStatus status = wait();
+    std::lock_guard<std::mutex> lock(state_->m);
+    if (state_->error)
+        std::rethrow_exception(state_->error);
+    QISET_REQUIRE(status == JobStatus::Done,
+                  "takeResults() on a job that ended \"",
+                  toString(status), "\"");
+    return std::move(state_->results);
+}
+
+const ShardPlan&
+CompileJob::plan() const
+{
+    QISET_REQUIRE(state_, "plan() on an invalid CompileJob");
+    return state_->plan;
+}
+
+CompileJobStats
+CompileJob::stats() const
+{
+    QISET_REQUIRE(state_, "stats() on an invalid CompileJob");
+    std::lock_guard<std::mutex> lock(state_->m);
+    return state_->statsLocked();
+}
+
+std::vector<PassMetric>
+CompileJob::passMetrics() const
+{
+    QISET_REQUIRE(state_, "passMetrics() on an invalid CompileJob");
+    std::lock_guard<std::mutex> lock(state_->m);
+    std::vector<PassMetric> out;
+    for (size_t i = 0; i < state_->circuits.size(); ++i)
+        if (state_->compiled[i])
+            accumulatePassMetrics(out,
+                                  state_->results[i].pass_metrics);
+    CompileJobStats stats = state_->statsLocked();
+    // Summable counters only: accumulatePassMetrics adds counters
+    // across jobs, so ratios and means (which do not survive
+    // summation) stay on CompileJobStats; consumers derive them from
+    // these sums plus "circuits"/"runs".
+    PassMetric service{"service:job", stats.compile_wall_ms, {}};
+    service.counters["circuits"] =
+        static_cast<double>(stats.circuits);
+    double queue_wait_total = 0.0;
+    for (double wait : state_->queue_wait_ns)
+        queue_wait_total += wait;
+    service.counters["queue_wait_ns_total"] = queue_wait_total;
+    service.counters["cache_hits"] =
+        static_cast<double>(stats.cache_hits);
+    service.counters["cache_misses"] =
+        static_cast<double>(stats.cache_misses);
+    service.counters["swaps_inserted"] =
+        static_cast<double>(stats.swaps_inserted);
+    double fidelity_sum = 0.0;
+    for (size_t i = 0; i < state_->circuits.size(); ++i)
+        if (state_->compiled[i])
+            fidelity_sum += state_->results[i].estimated_fidelity;
+    service.counters["estimated_fidelity_sum"] = fidelity_sum;
+    out.push_back(std::move(service));
+    return out;
+}
+
+bool
+CompileJob::cancel()
+{
+    QISET_REQUIRE(state_, "cancel() on an invalid CompileJob");
+    std::shared_ptr<CompileService::Impl> impl = state_->service.lock();
+    if (!impl) {
+        // The service is gone, so the job was drained to a terminal
+        // state; there is nothing left to cancel.
+        return false;
+    }
+    std::lock_guard<std::mutex> lock(impl->m);
+    std::lock_guard<std::mutex> jl(state_->m);
+    if (state_->terminalLocked())
+        return false;
+    state_->cancel_requested = true;
+
+    // Drop this job's still-queued circuits and release their backlog.
+    size_t dropped = 0;
+    for (auto& queue : impl->queues) {
+        auto it = queue.begin();
+        while (it != queue.end()) {
+            if (it->job.get() != state_.get()) {
+                ++it;
+                continue;
+            }
+            impl->releaseBacklogLocked(*it);
+            ++state_->accounted;
+            ++dropped;
+            --impl->queued;
+            it = queue.erase(it);
+        }
+    }
+    impl->maybeFinalizeJobLocked(*state_);
+    impl->idle_cv.notify_all();
+    return dropped > 0;
+}
+
+// -------------------------------------------------------------- service
+
+CompileServiceOptions
+oneShotServiceOptions(ProfileCache& cache, size_t batch_size,
+                      ThreadPool* pool)
+{
+    CompileServiceOptions options;
+    options.cache = &cache;
+    if (pool && pool->size() > 1 && batch_size > 1) {
+        // Fan circuits over the pool; the inner translation stays
+        // serial so a worker never waits on its own pool.
+        options.pool = pool;
+    } else {
+        // Inline on the calling thread; the pool (if any) instead
+        // parallelizes within each circuit's translation.
+        options.translation_pool = pool;
+    }
+    return options;
+}
+
+CompileService::CompileService(DeviceFleet fleet, GateSet gate_set,
+                               CompileServiceOptions options)
+{
+    QISET_REQUIRE(fleet.size() > 0,
+                  "a CompileService needs a non-empty fleet");
+    for (size_t s = 1; s < fleet.size(); ++s)
+        QISET_REQUIRE(
+            sameNuOpOptions(fleet.shard(0).options.nuop,
+                            fleet.shard(s).options.nuop),
+            "shards \"", fleet.shard(0).name, "\" and \"",
+            fleet.shard(s).name,
+            "\" have different NuOp settings; they cannot share one "
+            "profile cache");
+
+    impl_ = std::make_shared<Impl>();
+    impl_->fleet = std::move(fleet);
+    impl_->gate_set = std::move(gate_set);
+    impl_->opts = std::move(options);
+    impl_->cache = impl_->opts.cache ? impl_->opts.cache
+                                     : &impl_->owned_cache;
+    if (!impl_->opts.cache && !impl_->opts.cache_path.empty()) {
+        // Warm state from a previous service run; a stale or missing
+        // file simply means a cold start.
+        impl_->owned_cache.load(impl_->opts.cache_path,
+                                impl_->fleet.shard(0).options.nuop);
+    }
+    if (!impl_->opts.pool && impl_->opts.workers > 0)
+        owned_pool_ = std::make_unique<ThreadPool>(impl_->opts.workers);
+    impl_->pool = impl_->opts.pool ? impl_->opts.pool
+                                   : owned_pool_.get();
+    impl_->max_inflight =
+        impl_->opts.max_inflight > 0
+            ? impl_->opts.max_inflight
+            : (impl_->pool ? std::max<size_t>(impl_->pool->size(), 1)
+                           : 1);
+
+    size_t shards = impl_->fleet.size();
+    impl_->queues.resize(shards);
+    impl_->backlog_ns.assign(shards, 0.0);
+    impl_->admitted_ns.assign(shards, 0.0);
+    impl_->shard_accum.resize(shards);
+}
+
+CompileService::~CompileService()
+{
+    shutdown();
+    // Joining the owned workers after the drain guarantees no task
+    // still references impl state through the raw pool pointer.
+    owned_pool_.reset();
+}
+
+CompileJob
+CompileService::submit(CompileRequest request)
+{
+    if (request.options)
+        QISET_REQUIRE(
+            sameNuOpOptions(request.options->nuop,
+                            impl_->fleet.shard(0).options.nuop),
+            "per-request NuOp settings differ from the fleet's; the "
+            "shared profile cache would mix incompatible profiles");
+
+    auto state = std::make_shared<CompileJob::State>();
+    state->circuits = std::move(request.circuits);
+    state->options = std::move(request.options);
+    state->priority = request.priority;
+    state->tag = std::move(request.tag);
+    state->service = impl_;
+
+    std::unique_lock<std::mutex> lock(impl_->m);
+    QISET_REQUIRE(!impl_->stopping,
+                  "submit() on a CompileService that was shut down");
+    state->id = impl_->next_job_id++;
+    state->submit_time = Clock::now();
+    // Re-plan on arrival against the current predicted backlog: the
+    // plan is cheap and deterministic, and load-balances new work away
+    // from busy shards.
+    state->plan =
+        planShardAssignments(state->circuits, impl_->fleet,
+                             impl_->gate_set, impl_->opts.planner,
+                             impl_->backlog_ns);
+    ++impl_->submitted;
+
+    size_t n = state->circuits.size();
+    state->results.resize(n);
+    state->queue_wait_ns.assign(n, 0.0);
+    state->wall_ms.assign(n, 0.0);
+    state->dispatch_seq.assign(n, 0);
+    state->compiled.assign(n, 0);
+
+    // ---- admission control over the planner's predicted queue_ns ----
+    double predicted_completion_ns = 0.0;
+    for (size_t s = 0; s < impl_->fleet.size(); ++s)
+        if (!state->plan.queues[s].empty())
+            predicted_completion_ns = std::max(predicted_completion_ns,
+                                               state->plan.queue_ns[s]);
+    bool reject = false;
+    if (request.deadline_ns > 0.0 &&
+        predicted_completion_ns > request.deadline_ns)
+        reject = true;
+    if (impl_->opts.max_queue_ns > 0.0)
+        for (size_t s = 0; s < impl_->fleet.size(); ++s)
+            if (!state->plan.queues[s].empty() &&
+                state->plan.queue_ns[s] > impl_->opts.max_queue_ns)
+                reject = true;
+    if (reject) {
+        ++impl_->rejected;
+        std::lock_guard<std::mutex> jl(state->m);
+        state->status = JobStatus::Rejected;
+        state->cv.notify_all();
+        return CompileJob(std::move(state));
+    }
+
+    ++impl_->admitted_jobs;
+    if (n == 0) {
+        ++impl_->completed_jobs;
+        std::lock_guard<std::mutex> jl(state->m);
+        state->status = JobStatus::Done;
+        state->cv.notify_all();
+        return CompileJob(std::move(state));
+    }
+
+    for (size_t s = 0; s < impl_->fleet.size(); ++s) {
+        impl_->admitted_ns[s] +=
+            state->plan.queue_ns[s] - impl_->backlog_ns[s];
+        impl_->backlog_ns[s] = state->plan.queue_ns[s];
+    }
+    for (size_t c = 0; c < n; ++c) {
+        const ShardAssignment& a = state->plan.assignments[c];
+        Impl::ShardAccum& acc =
+            impl_->shard_accum[static_cast<size_t>(a.shard)];
+        ++acc.assigned;
+        acc.pred_fid_sum += a.predicted_fidelity;
+    }
+
+    if (impl_->pool) {
+        for (size_t c = 0; c < n; ++c)
+            impl_->enqueueLocked(Impl::QueueEntry{
+                state, c, state->priority, impl_->next_entry_seq++});
+        impl_->pumpLocked();
+        return CompileJob(std::move(state));
+    }
+
+    // Inline mode: compile on the calling thread before returning.
+    std::vector<Impl::QueueEntry> entries;
+    entries.reserve(n);
+    {
+        std::lock_guard<std::mutex> jl(state->m);
+        for (size_t c = 0; c < n; ++c) {
+            impl_->markDispatchedLocked(*state, c);
+            entries.push_back(Impl::QueueEntry{
+                state, c, state->priority, impl_->next_entry_seq++});
+        }
+    }
+    impl_->in_flight += n;
+    lock.unlock();
+    for (const Impl::QueueEntry& entry : entries) {
+        bool bail;
+        {
+            std::lock_guard<std::mutex> jl(state->m);
+            // Fail fast: once one circuit errored (or another thread
+            // cancelled), skip the rest instead of compiling work
+            // whose job is already lost.
+            bail = state->error != nullptr || state->cancel_requested;
+        }
+        if (bail)
+            impl_->skipEntry(entry);
+        else
+            impl_->runEntry(entry);
+    }
+    return CompileJob(std::move(state));
+}
+
+void
+CompileService::pause()
+{
+    std::lock_guard<std::mutex> lock(impl_->m);
+    impl_->paused = true;
+}
+
+void
+CompileService::resume()
+{
+    std::lock_guard<std::mutex> lock(impl_->m);
+    impl_->paused = false;
+    impl_->pumpLocked();
+}
+
+void
+CompileService::shutdown()
+{
+    bool save = false;
+    {
+        std::unique_lock<std::mutex> lock(impl_->m);
+        impl_->stopping = true;
+        impl_->paused = false;
+        impl_->pumpLocked();
+        impl_->idle_cv.wait(lock, [this] {
+            return impl_->queued == 0 && impl_->in_flight == 0;
+        });
+        if (!impl_->opts.cache && !impl_->opts.cache_path.empty() &&
+            !impl_->cache_saved) {
+            impl_->cache_saved = true;
+            save = true;
+        }
+    }
+    if (save)
+        impl_->owned_cache.save(impl_->opts.cache_path,
+                                impl_->fleet.shard(0).options.nuop);
+}
+
+CompileServiceStats
+CompileService::stats() const
+{
+    std::lock_guard<std::mutex> lock(impl_->m);
+    CompileServiceStats out;
+    out.submitted = impl_->submitted;
+    out.admitted = impl_->admitted_jobs;
+    out.rejected = impl_->rejected;
+    out.completed = impl_->completed_jobs;
+    out.failed = impl_->failed_jobs;
+    out.cancelled = impl_->cancelled_jobs;
+    out.queued = impl_->queued;
+    out.in_flight = impl_->in_flight;
+    out.backlog_ns = impl_->backlog_ns;
+    out.admitted_ns = impl_->admitted_ns;
+    return out;
+}
+
+std::vector<PassMetric>
+CompileService::shardTelemetry() const
+{
+    std::lock_guard<std::mutex> lock(impl_->m);
+    std::vector<PassMetric> out;
+    out.reserve(impl_->fleet.size());
+    for (size_t s = 0; s < impl_->fleet.size(); ++s) {
+        const Impl::ShardAccum& acc = impl_->shard_accum[s];
+        PassMetric metric{"shard:" + impl_->fleet.shard(s).name,
+                          acc.wall_ms,
+                          {}};
+        metric.counters["assigned"] =
+            static_cast<double>(acc.assigned);
+        metric.counters["completed"] =
+            static_cast<double>(acc.completed);
+        metric.counters["queue_ns"] = impl_->admitted_ns[s];
+        metric.counters["backlog_ns"] = impl_->backlog_ns[s];
+        metric.counters["swaps_inserted"] = acc.swaps;
+        if (acc.completed > 0)
+            metric.counters["mean_estimated_fidelity"] =
+                acc.est_fid_sum / acc.completed;
+        if (acc.assigned > 0)
+            metric.counters["mean_predicted_fidelity"] =
+                acc.pred_fid_sum / acc.assigned;
+        out.push_back(std::move(metric));
+    }
+    return out;
+}
+
+std::vector<std::vector<PassMetric>>
+CompileService::shardPassRollups() const
+{
+    std::lock_guard<std::mutex> lock(impl_->m);
+    std::vector<std::vector<PassMetric>> out;
+    out.reserve(impl_->shard_accum.size());
+    for (const Impl::ShardAccum& acc : impl_->shard_accum)
+        out.push_back(acc.pass_rollup);
+    return out;
+}
+
+const DeviceFleet&
+CompileService::fleet() const
+{
+    return impl_->fleet;
+}
+
+const GateSet&
+CompileService::gateSet() const
+{
+    return impl_->gate_set;
+}
+
+ProfileCache&
+CompileService::profileCache()
+{
+    return *impl_->cache;
+}
+
+} // namespace qiset

@@ -8,6 +8,7 @@
 
 #include "common/error.h"
 #include "compiler/mapping.h"
+#include "compiler/service.h"
 #include "metrics/metrics.h"
 
 namespace qiset {
@@ -170,7 +171,8 @@ scoreCandidate(const CircuitFeatures& circuit, const ShardAggregates& agg,
 ShardPlan
 planShardAssignments(const std::vector<Circuit>& apps,
                      const DeviceFleet& fleet, const GateSet& gate_set,
-                     const ShardPlannerOptions& planner)
+                     const ShardPlannerOptions& planner,
+                     const std::vector<double>& initial_queue_ns)
 {
     QISET_REQUIRE(fleet.size() > 0,
                   "cannot plan a sharded batch over an empty fleet");
@@ -178,11 +180,17 @@ planShardAssignments(const std::vector<Circuit>& apps,
                       planner.policy == "round-robin",
                   "unknown shard policy \"", planner.policy,
                   "\"; known: greedy round-robin");
+    QISET_REQUIRE(initial_queue_ns.empty() ||
+                      initial_queue_ns.size() == fleet.size(),
+                  "initial_queue_ns must carry one entry per shard (",
+                  fleet.size(), "), got ", initial_queue_ns.size());
 
     ShardPlan plan;
     plan.assignments.resize(apps.size());
     plan.queues.resize(fleet.size());
     plan.queue_ns.resize(fleet.size(), 0.0);
+    if (!initial_queue_ns.empty())
+        plan.queue_ns = initial_queue_ns;
     if (apps.empty())
         return plan;
 
@@ -290,8 +298,6 @@ planShardAssignments(const std::vector<Circuit>& apps,
 
 // ------------------------------------------------------------ execution
 
-namespace {
-
 /**
  * Profiles are keyed by (unitary, gate type) only, so every shard
  * sharing one cache must run NuOp under identical optimizer settings
@@ -313,42 +319,29 @@ sameNuOpOptions(const NuOpOptions& a, const NuOpOptions& b)
            a.bfgs.stop_below == b.bfgs.stop_below;
 }
 
-} // namespace
-
 ShardedBatchResult
 compileBatchSharded(const std::vector<Circuit>& apps,
                     const DeviceFleet& fleet, const GateSet& gate_set,
                     ProfileCache& cache,
                     const ShardPlannerOptions& planner, ThreadPool* pool)
 {
-    for (size_t s = 1; s < fleet.size(); ++s)
-        QISET_REQUIRE(
-            sameNuOpOptions(fleet.shard(0).options.nuop,
-                            fleet.shard(s).options.nuop),
-            "shards \"", fleet.shard(0).name, "\" and \"",
-            fleet.shard(s).name,
-            "\" have different NuOp settings; they cannot share one "
-            "profile cache");
+    // One-shot service over the caller's fleet: the constructor
+    // enforces the shared-cache NuOp invariant, submit() plans against
+    // an idle backlog (so the plan matches a direct
+    // planShardAssignments call), and the job fans circuits over the
+    // pool exactly as the old direct execution did.
+    CompileServiceOptions service_options =
+        oneShotServiceOptions(cache, apps.size(), pool);
+    service_options.planner = planner;
+    CompileService service(fleet, gate_set, service_options);
+
+    CompileRequest request;
+    request.circuits = apps;
+    CompileJob job = service.submit(std::move(request));
 
     ShardedBatchResult out;
-    out.plan = planShardAssignments(apps, fleet, gate_set, planner);
-    out.results.resize(apps.size());
-
-    auto compileOne = [&](size_t i, ThreadPool* inner) {
-        const Shard& shard =
-            fleet.shard(static_cast<size_t>(out.plan.assignments[i].shard));
-        out.results[i] = compileCircuit(apps[i], shard.device, gate_set,
-                                        cache, shard.options, inner);
-    };
-    if (pool && pool->size() > 1 && apps.size() > 1) {
-        // One worker per circuit; inner translation stays serial so a
-        // worker never waits on its own pool (see compileBatch).
-        parallelFor(*pool, apps.size(),
-                    [&](size_t i) { compileOne(i, nullptr); });
-    } else {
-        for (size_t i = 0; i < apps.size(); ++i)
-            compileOne(i, pool);
-    }
+    out.plan = job.plan();
+    out.results = job.takeResults();
 
     out.shard_pass_rollups.resize(fleet.size());
     for (size_t s = 0; s < fleet.size(); ++s) {

@@ -126,14 +126,31 @@ struct ShardPlan
  * build per circuit (depth / critical path), plus per-shard
  * calibration aggregates (mean edge fidelity under the gate set,
  * mean coupling distance as a routing-overhead proxy). Deterministic;
- * throws QisetError when a circuit fits no shard or the fleet is
+ * throws FatalError when a circuit fits no shard or the fleet is
  * empty.
+ *
+ * `initial_queue_ns` seeds the per-shard predicted load (one value
+ * per shard, or empty for an idle fleet): the CompileService re-plans
+ * every arriving request against its live backlog this way, so the
+ * greedy policy steers new work away from busy shards. The returned
+ * plan's queue_ns is cumulative (initial load plus this workload).
  */
 ShardPlan planShardAssignments(const std::vector<Circuit>& apps,
                                const DeviceFleet& fleet,
                                const GateSet& gate_set,
                                const ShardPlannerOptions& planner =
-                                   ShardPlannerOptions());
+                                   ShardPlannerOptions(),
+                               const std::vector<double>&
+                                   initial_queue_ns = {});
+
+/**
+ * True when two NuOp option sets produce interchangeable cached
+ * profiles (including the inner BFGS knobs, which shape the optimized
+ * parameters even though profile keys omit them). Everything sharing
+ * one ProfileCache — the shards of a fleet, the requests of a
+ * CompileService — must agree under this predicate.
+ */
+bool sameNuOpOptions(const NuOpOptions& a, const NuOpOptions& b);
 
 /** A sharded batch's results plus its plan and per-shard telemetry. */
 struct ShardedBatchResult

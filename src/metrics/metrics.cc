@@ -40,6 +40,22 @@ accumulatePassMetrics(std::vector<PassMetric>& total,
     }
 }
 
+double
+quantile(std::vector<double> values, double q)
+{
+    QISET_REQUIRE(q >= 0.0 && q <= 1.0, "quantile q must be in [0, 1], got ",
+                  q);
+    if (values.empty())
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    // Nearest rank: ceil(q * n), clamped to a valid 1-based rank.
+    size_t rank = static_cast<size_t>(
+        std::ceil(q * static_cast<double>(values.size())));
+    if (rank == 0)
+        rank = 1;
+    return values[rank - 1];
+}
+
 std::string
 formatPassReport(const std::vector<PassMetric>& passes)
 {

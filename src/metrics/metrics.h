@@ -59,6 +59,14 @@ std::string formatCacheStats(uint64_t hits, uint64_t misses,
                              uint64_t evictions, size_t entries);
 
 /**
+ * Nearest-rank quantile of a sample (q in [0, 1]; q=0.5 is the
+ * median, q=0.95 the p95). Used by the service bench for
+ * submit-to-complete latency percentiles. Returns 0 on an empty
+ * sample; throws FatalError when q is outside [0, 1].
+ */
+double quantile(std::vector<double> values, double q);
+
+/**
  * Heavy output probability: the total noisy probability mass on basis
  * states whose ideal probability exceeds the median ideal probability.
  * HOP > 2/3 passes the QV threshold.
