@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Decomposition-engine comparison bench: cold-cache compile wall-clock
+ * of the tiered "auto" engine against the "nuop" BFGS baseline, the
+ * Weyl-canonicalized cache hit ratio against raw keying, and a
+ * bit-identity self-check of the "nuop" strategy against the legacy
+ * default path — on the paper's QFT-16 / QV-16 / QAOA workloads with
+ * the CZ instruction set (S3, the analytic engine's universal tier).
+ *
+ * Exact-mode selection is used for the Fu comparison: Section VII.A's
+ * NuOp-vs-Cirq study compares exact decompositions, and in exact mode
+ * the analytic SBM-minimal fits provably meet or beat the BFGS
+ * ladder's Fu per gate.
+ *
+ * Emits a single JSON object on stdout so the perf trajectory is
+ * machine-readable (scripts/bench_smoke.sh captures it as
+ * BENCH_translation.json; scripts/check_bench_regression.py gates the
+ * speedup, hit-ratio win, Fu parity and bit-identity in CI).
+ */
+
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "apps/qaoa.h"
+#include "apps/qft.h"
+#include "apps/qv.h"
+#include "bench/bench_common.h"
+#include "common/rng.h"
+#include "compiler/pipeline.h"
+#include "device/device.h"
+#include "isa/gate_set.h"
+
+namespace {
+
+using namespace qiset;
+
+struct Workload
+{
+    std::string name;
+    Circuit circuit;
+};
+
+struct EngineRun
+{
+    double compile_ms = 0.0;
+    double translation_ms = 0.0;
+    int two_qubit = 0;
+    int analytic_ops = 0;
+    double estimated_fidelity = 0.0;
+    double cache_hit_ratio = 0.0;
+    CompileResult result;
+};
+
+EngineRun
+runEngine(const Circuit& app, const Device& device, const GateSet& set,
+          const CompileOptions& base, const std::string& engine,
+          ProfileCache& cache)
+{
+    CompileOptions options = base;
+    options.decomposition = engine;
+    EngineRun run;
+    auto start = std::chrono::steady_clock::now();
+    run.result = compileCircuit(app, device, set, cache, options);
+    auto end = std::chrono::steady_clock::now();
+    run.compile_ms =
+        std::chrono::duration<double, std::milli>(end - start).count();
+    run.two_qubit = run.result.two_qubit_count;
+    run.estimated_fidelity = run.result.estimated_fidelity;
+    for (const auto& metric : run.result.pass_metrics) {
+        if (metric.pass != "translation")
+            continue;
+        run.translation_ms = metric.wall_ms;
+        auto analytic = metric.counters.find("analytic_ops");
+        if (analytic != metric.counters.end())
+            run.analytic_ops = static_cast<int>(analytic->second);
+        double hits = metric.counters.at("cache_hits");
+        double misses = metric.counters.at("cache_misses");
+        if (hits + misses > 0.0)
+            run.cache_hit_ratio = hits / (hits + misses);
+    }
+    return run;
+}
+
+} // namespace
+
+int
+main()
+{
+    // Fixed-scale workloads (the acceptance trio); no --full knob, and
+    // no banner — stdout must stay pure JSON for the smoke capture.
+    Rng rng(4242);
+    Device device = makeSycamore(rng);
+    GateSet set = isa::singleTypeSet(3); // CZ: the universal tier.
+
+    CompileOptions options = bench::benchCompileOptions();
+    options.approximate = false; // exact mode (the Eq. 1 comparison)
+
+    std::vector<Workload> workloads;
+    workloads.push_back({"qft16", makeQftCircuit(16)});
+    Rng qv_rng(77);
+    workloads.push_back({"qv16", makeQuantumVolumeCircuit(16, qv_rng)});
+    Rng qaoa_rng(78);
+    workloads.push_back({"qaoa12", makeRandomQaoaCircuit(12, qaoa_rng)});
+
+    double nuop_total_ms = 0.0;
+    double auto_total_ms = 0.0;
+    bool fu_parity = true;
+    double qft_hit_nuop = 0.0;
+    double qft_hit_auto = 0.0;
+
+    std::cout << "{\n  \"bench\": \"translation\",\n"
+              << "  \"gate_set\": \"" << set.name
+              << "\",\n  \"workloads\": [\n";
+    for (size_t w = 0; w < workloads.size(); ++w) {
+        const Workload& workload = workloads[w];
+        // Cold caches: every engine pays its own profile computations.
+        ProfileCache nuop_cache;
+        EngineRun nuop = runEngine(workload.circuit, device, set,
+                                   options, "nuop", nuop_cache);
+        ProfileCache auto_cache;
+        EngineRun tiered = runEngine(workload.circuit, device, set,
+                                     options, "auto", auto_cache);
+        nuop_total_ms += nuop.compile_ms;
+        auto_total_ms += tiered.compile_ms;
+        // Exact mode: the analytic minimal-depth fits must meet or
+        // beat the BFGS ladder's overall fidelity (1e-9 float slack).
+        bool parity = tiered.estimated_fidelity + 1e-9 >=
+                      nuop.estimated_fidelity;
+        fu_parity = fu_parity && parity;
+        if (workload.name == "qft16") {
+            qft_hit_nuop = nuop.cache_hit_ratio;
+            qft_hit_auto = tiered.cache_hit_ratio;
+        }
+
+        auto emit = [](const char* name, const EngineRun& run,
+                       bool last) {
+            std::cout << "      \"" << name
+                      << "\": {\"compile_ms\": " << run.compile_ms
+                      << ", \"translation_ms\": " << run.translation_ms
+                      << ", \"two_qubit\": " << run.two_qubit
+                      << ", \"analytic_ops\": " << run.analytic_ops
+                      << ", \"estimated_fidelity\": "
+                      << run.estimated_fidelity
+                      << ", \"cache_hit_ratio\": "
+                      << run.cache_hit_ratio << "}"
+                      << (last ? "" : ",") << '\n';
+        };
+        std::cout << "    {\n      \"name\": \"" << workload.name
+                  << "\",\n";
+        emit("nuop", nuop, false);
+        emit("auto", tiered, false);
+        std::cout << "      \"speedup\": "
+                  << (tiered.compile_ms > 0.0
+                          ? nuop.compile_ms / tiered.compile_ms
+                          : 0.0)
+                  << ",\n      \"fu_parity\": "
+                  << (parity ? "true" : "false") << "\n    }"
+                  << (w + 1 < workloads.size() ? "," : "") << '\n';
+    }
+    std::cout << "  ],\n";
+
+    // Bit-identity self-check: the explicit "nuop" strategy must be
+    // bit-identical to the legacy default path (pre-registry output).
+    bool bit_identical = true;
+    {
+        ProfileCache default_cache;
+        CompileOptions default_options = options;
+        CompileResult legacy = compileCircuit(
+            workloads[0].circuit, device, set, default_cache,
+            default_options);
+        ProfileCache explicit_cache;
+        CompileOptions explicit_options = options;
+        explicit_options.decomposition = "nuop";
+        CompileResult explicit_nuop = compileCircuit(
+            workloads[0].circuit, device, set, explicit_cache,
+            explicit_options);
+        bit_identical =
+            bench::resultsBitIdentical(legacy, explicit_nuop);
+    }
+
+    double speedup =
+        auto_total_ms > 0.0 ? nuop_total_ms / auto_total_ms : 0.0;
+    std::cout << "  \"cold\": {\"nuop_ms\": " << nuop_total_ms
+              << ", \"auto_ms\": " << auto_total_ms
+              << ", \"speedup\": " << speedup << "},\n"
+              << "  \"qft16_hit_ratio\": {\"nuop\": " << qft_hit_nuop
+              << ", \"auto\": " << qft_hit_auto << "},\n"
+              << "  \"fu_parity\": " << (fu_parity ? "true" : "false")
+              << ",\n  \"bit_identical\": "
+              << (bit_identical ? "true" : "false") << "\n}\n";
+    return 0;
+}

@@ -17,12 +17,14 @@ BENCH="${BENCH:-bench_table1_gate_families}"
 ROUTING_JSON="${ROUTING_JSON:-$BUILD_DIR/BENCH_routing.json}"
 SHARDING_JSON="${SHARDING_JSON:-$BUILD_DIR/BENCH_sharding.json}"
 SERVICE_JSON="${SERVICE_JSON:-$BUILD_DIR/BENCH_service.json}"
+TRANSLATION_JSON="${TRANSLATION_JSON:-$BUILD_DIR/BENCH_translation.json}"
 
 # Extra configure arguments (e.g. -DCMAKE_CXX_COMPILER_LAUNCHER=ccache
 # in CI); intentionally unquoted so multiple flags split.
 cmake -B "$BUILD_DIR" -S . ${CMAKE_EXTRA_ARGS:-}
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target "$BENCH" \
-    bench_routing bench_sharding bench_service quickstart
+    bench_routing bench_sharding bench_service bench_translation \
+    quickstart
 
 # run_bench <binary> [json-output]: run a bench, streaming its output
 # to the terminal (and to the JSON file when given), and abort with
@@ -50,9 +52,12 @@ time run_bench "$BENCH"
 run_bench quickstart
 
 # Machine-readable perf trajectories: routing SWAP counts (PR 2 on),
-# sharded batch throughput (PR 3 on) and compile-service submit->
-# complete latency/throughput (PR 4 on). The committed baseline in
-# scripts/bench_baseline.json gates regressions in CI.
+# sharded batch throughput (PR 3 on), compile-service submit->
+# complete latency/throughput (PR 4 on) and decomposition-engine
+# cold-cache speedup / canonicalized cache hit ratio (PR 5 on). The
+# committed baseline in scripts/bench_baseline.json gates regressions
+# in CI.
 run_bench bench_routing "$ROUTING_JSON"
 run_bench bench_sharding "$SHARDING_JSON"
 run_bench bench_service "$SERVICE_JSON"
+run_bench bench_translation "$TRANSLATION_JSON"

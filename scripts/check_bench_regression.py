@@ -15,16 +15,24 @@ regresses beyond the baseline tolerance:
     drops below (1 - tolerance) * baseline or below the hard floor
     (min_service_speedup), or when any submitted job failed to reach
     a terminal Done state.
+  - Decomposition engines: fails when the cold-cache "auto"/"nuop"
+    compile speedup drops below (1 - tolerance) * baseline or the
+    hard floor (min_translation_speedup), when the canonicalized
+    cache hit ratio on QFT-16 stops exceeding the raw-key baseline,
+    when "auto" loses exact-mode Fu parity on any workload, or when
+    the "nuop" engine stops being bit-identical to the legacy path.
   - Bit-identity of sharded and service results (always enforced).
 
-The speedup baselines are calibrated on a 4-thread pool (see
-bench_baseline.json), so those gates are skipped with a warning when a
-bench got fewer than 4 threads — on such runners the floor would fire
-without a real regression.
+The sharding/service speedup baselines are calibrated on a 4-thread
+pool (see bench_baseline.json), so those gates are skipped with a
+warning when a bench got fewer than 4 threads — on such runners the
+floor would fire without a real regression. The translation speedup
+is serial-vs-serial on one thread and always gated.
 
 Usage:
   check_bench_regression.py <baseline.json> <BENCH_routing.json> \
-      <BENCH_sharding.json> <BENCH_service.json>
+      <BENCH_sharding.json> <BENCH_service.json> \
+      <BENCH_translation.json>
 """
 
 import json
@@ -43,17 +51,21 @@ def gate_speedup(
     baseline_speedup: float,
     floor: float,
     tolerance: float,
+    min_threads: int = 4,
 ) -> None:
-    """Shared machine-relative speedup gate with the <4-thread skip."""
+    """Shared speedup gate; baselines needing a multi-core runner set
+    min_threads and are skipped (with a warning) below it, while
+    serial-vs-serial ratios pass min_threads=1 and always gate."""
     limit = max(floor, baseline_speedup * (1.0 - tolerance))
     print(
         f"{name} speedup: {speedup:.2f}x on {threads} threads "
         f"(baseline {baseline_speedup}, floor {limit:.2f})"
     )
-    if threads < 4:
+    if threads < min_threads:
         print(
             f"WARNING: {name} bench ran on {threads} thread(s) but the "
-            "baseline is calibrated for 4; skipping its throughput gate"
+            f"baseline is calibrated for {min_threads}; skipping its "
+            "throughput gate"
         )
     elif speedup < limit:
         fail(
@@ -62,10 +74,16 @@ def gate_speedup(
 
 
 def main() -> None:
-    if len(sys.argv) != 5:
+    if len(sys.argv) != 6:
         print(__doc__, file=sys.stderr)
         sys.exit(2)
-    baseline_path, routing_path, sharding_path, service_path = sys.argv[1:5]
+    (
+        baseline_path,
+        routing_path,
+        sharding_path,
+        service_path,
+        translation_path,
+    ) = sys.argv[1:6]
     with open(baseline_path) as f:
         baseline = json.load(f)
     with open(routing_path) as f:
@@ -74,6 +92,8 @@ def main() -> None:
         sharding = json.load(f)
     with open(service_path) as f:
         service = json.load(f)
+    with open(translation_path) as f:
+        translation = json.load(f)
 
     tolerance = baseline.get("tolerance", 0.10)
 
@@ -123,6 +143,43 @@ def main() -> None:
         baseline["service_speedup"],
         baseline.get("min_service_speedup", 0.0),
         tolerance,
+    )
+
+    # --- decomposition engines: correctness (always) and speedup -----
+    if not translation.get("bit_identical", False):
+        fail(
+            'the "nuop" decomposition strategy is not bit-identical to '
+            "the legacy compile path"
+        )
+    if not translation.get("fu_parity", False):
+        fail(
+            '"auto" lost exact-mode Fu parity against "nuop" on a '
+            "bench workload"
+        )
+    # Deterministic (seeded, serial) but the margin is a handful of
+    # extra hits: a routing/consolidation change that alters which
+    # dressed controlled-phase variants appear can legitimately move
+    # it — re-measure and re-baseline rather than relaxing the gate.
+    hit_ratio = translation["qft16_hit_ratio"]
+    print(
+        f"qft16 cache hit ratio: canonical {hit_ratio['auto']:.4f} vs "
+        f"raw {hit_ratio['nuop']:.4f}"
+    )
+    if hit_ratio["auto"] <= hit_ratio["nuop"]:
+        fail(
+            "canonicalized cache keys no longer beat raw keys on the "
+            f"QFT-16 bench: {hit_ratio['auto']:.4f} <= "
+            f"{hit_ratio['nuop']:.4f}"
+        )
+    # Serial-vs-serial on the same host: always gated (min_threads=1).
+    gate_speedup(
+        "translation cold-cache",
+        translation["cold"]["speedup"],
+        1,
+        baseline["translation_speedup"],
+        baseline.get("min_translation_speedup", 0.0),
+        tolerance,
+        min_threads=1,
     )
 
     print("bench regression gate: OK")

@@ -50,10 +50,22 @@ struct CompileOptions
     /**
      * Routing strategy name resolved through the RoutingStrategy
      * registry (routing_strategy.h): "greedy" (nearest-neighbor SWAP
-     * chains, the paper's baseline) or "sabre" (bidirectional
-     * lookahead; fewer SWAPs on long-range workloads).
+     * chains, the paper's baseline), "sabre" (bidirectional
+     * lookahead; fewer SWAPs on long-range workloads), or "best-of"
+     * (meta-router: route with every registered strategy and keep the
+     * best predicted-fidelity result).
      */
     std::string routing = "greedy";
+    /**
+     * Decomposition engine name resolved through the
+     * DecompositionStrategy registry (nuop/decomposition_strategy.h):
+     * "nuop" (BFGS multistarts, the paper's engine — bit-identical to
+     * the historical path), "kak" (analytic Cartan synthesis, the
+     * Cirq-style baseline), or "auto" (analytic when it reaches the
+     * exact threshold, NuOp fallback otherwise — bypasses the BFGS
+     * hot path on every analytically reachable target).
+     */
+    std::string decomposition = "nuop";
     /**
      * SABRE tuning used when `routing == "sabre"` (lookahead window,
      * decay, refinement rounds). Per-compile — and therefore per-shard

@@ -1,6 +1,9 @@
 #include "compiler/passes.h"
 
+#include <algorithm>
+#include <memory>
 #include <sstream>
+#include <vector>
 
 #include "common/error.h"
 #include "compiler/consolidate.h"
@@ -9,6 +12,7 @@
 #include "compiler/routing.h"
 #include "compiler/routing_strategy.h"
 #include "compiler/translate.h"
+#include "nuop/decomposition_strategy.h"
 
 namespace qiset {
 
@@ -43,33 +47,109 @@ class RoutingPass : public Pass
         QISET_REQUIRE(ctx.physical.size() ==
                           static_cast<size_t>(ctx.circuit.numQubits()),
                       "routing requires a mapping pass to run first");
-        // The built-in SABRE router takes its tuning from the compile
-        // options; other names resolve through the registry (whose
-        // factories take no options).
-        std::unique_ptr<RoutingStrategy> router =
-            strategy_ == "sabre"
-                ? std::make_unique<SabreRouter>(ctx.options().sabre)
-                : makeRoutingStrategy(strategy_);
         Topology coupling =
             ctx.device().topology().inducedSubgraph(ctx.physical);
-        // Only lookahead strategies need the pre-routing schedule;
-        // don't build one the greedy path would throw away.
-        RoutedCircuit routed = router->wantsSchedule()
-                                   ? router->route(ctx.circuit, coupling,
-                                                   ctx.ensureSchedule())
-                                   : router->route(ctx.circuit, coupling,
-                                                   Schedule());
+
+        RoutedCircuit routed;
+        std::string winner = strategy_;
+        if (strategy_ == "best-of") {
+            routed = routeBestOf(ctx, coupling, winner);
+        } else {
+            routed = routeWith(ctx, coupling, strategy_);
+        }
         ctx.circuit = std::move(routed.circuit);
         ctx.schedule.invalidate(); // SWAPs rewrote the circuit
         ctx.initial_positions = std::move(routed.initial_positions);
         ctx.final_positions = std::move(routed.final_positions);
         ctx.swaps_inserted = routed.swaps_inserted;
         ctx.reportCounter("swaps_inserted", routed.swaps_inserted);
-        ctx.diagnostic("routing: strategy " + strategy_ + " inserted " +
+        ctx.diagnostic("routing: strategy " + winner + " inserted " +
                        std::to_string(routed.swaps_inserted) + " SWAPs");
     }
 
   private:
+    RoutedCircuit routeWith(CompilationContext& ctx,
+                            const Topology& coupling,
+                            const std::string& name) const
+    {
+        // The built-in SABRE router takes its tuning from the compile
+        // options; other names resolve through the registry (whose
+        // factories take no options).
+        std::unique_ptr<RoutingStrategy> router =
+            name == "sabre"
+                ? std::make_unique<SabreRouter>(ctx.options().sabre)
+                : makeRoutingStrategy(name);
+        // Only lookahead strategies need the pre-routing schedule;
+        // don't build one the greedy path would throw away.
+        return router->wantsSchedule()
+                   ? router->route(ctx.circuit, coupling,
+                                   ctx.ensureSchedule())
+                   : router->route(ctx.circuit, coupling, Schedule());
+    }
+
+    /**
+     * Predicted fidelity of a routed candidate: the shard planner's
+     * product-model proxy evaluated per edge — each routed 2Q op
+     * contributes the edge's best calibrated fidelity under the gate
+     * set, and each SWAP is charged as ~3 native gates (its generic
+     * decomposition cost).
+     */
+    double predictedFidelity(CompilationContext& ctx,
+                             const RoutedCircuit& routed) const
+    {
+        double fidelity = 1.0;
+        for (const auto& op : routed.circuit.ops()) {
+            if (!op.isTwoQubit())
+                continue;
+            int pa = ctx.physical[op.qubits[0]];
+            int pb = ctx.physical[op.qubits[1]];
+            double edge =
+                bestEdgeFidelity(ctx.device(), pa, pb, ctx.gateSet());
+            if (edge <= 0.0)
+                return 0.0; // candidate routes over a dead edge.
+            double cost = op.label == "SWAP" ? 3.0 : 1.0;
+            fidelity *= std::pow(edge, cost);
+        }
+        return fidelity;
+    }
+
+    /**
+     * The best-of-N meta-router: route with every registered
+     * strategy and keep the best predicted-fidelity result (ties
+     * break on fewer SWAPs, then registry-name order, so the choice
+     * is deterministic).
+     */
+    RoutedCircuit routeBestOf(CompilationContext& ctx,
+                              const Topology& coupling,
+                              std::string& winner) const
+    {
+        std::vector<std::string> names = routingStrategyNames();
+        QISET_REQUIRE(!names.empty(), "no routing strategies registered");
+        RoutedCircuit best;
+        double best_fidelity = -1.0;
+        std::ostringstream summary;
+        for (const std::string& name : names) {
+            RoutedCircuit candidate = routeWith(ctx, coupling, name);
+            double fidelity = predictedFidelity(ctx, candidate);
+            summary << ' ' << name << "=" << candidate.swaps_inserted
+                    << " swaps/" << fidelity << " fid";
+            bool take = fidelity > best_fidelity ||
+                        (fidelity == best_fidelity &&
+                         candidate.swaps_inserted < best.swaps_inserted);
+            if (take) {
+                best_fidelity = fidelity;
+                best = std::move(candidate);
+                winner = name;
+            }
+        }
+        ctx.reportCounter("best_of_candidates",
+                          static_cast<double>(names.size()));
+        ctx.reportCounter("best_of_predicted_fidelity", best_fidelity);
+        ctx.diagnostic("routing: best-of candidates:" + summary.str());
+        winner = "best-of[" + winner + "]";
+        return best;
+    }
+
     std::string strategy_;
 };
 
@@ -100,10 +180,12 @@ class TranslationPass : public Pass
                           static_cast<size_t>(ctx.circuit.numQubits()),
                       "translation requires a mapping pass to run first");
         NuOpDecomposer decomposer(ctx.options().nuop);
+        std::unique_ptr<DecompositionStrategy> strategy =
+            makeDecompositionStrategy(ctx.options().decomposition);
         TranslateResult translated = translateCircuit(
             ctx.circuit, ctx.physical, ctx.device(), ctx.gateSet(),
-            decomposer, ctx.profileCache(), ctx.options().approximate,
-            ctx.threadPool());
+            decomposer, *strategy, ctx.profileCache(),
+            ctx.options().approximate, ctx.threadPool());
         ctx.circuit = std::move(translated.circuit);
         ctx.schedule.invalidate(); // native gates rewrote the circuit
         ctx.two_qubit_count = translated.two_qubit_count;
@@ -111,6 +193,21 @@ class TranslationPass : public Pass
         ctx.estimated_fidelity = translated.estimated_fidelity;
 
         ctx.reportCounter("two_qubit_count", translated.two_qubit_count);
+        // 2Q blocks the analytic engine served (BFGS bypassed).
+        ctx.reportCounter("analytic_ops",
+                          static_cast<double>(translated.analytic_ops));
+        if (translated.dressing_fallbacks > 0) {
+            // Canonical dressing failed somewhere: each such op paid
+            // a cold BFGS serially — surface it loudly.
+            ctx.reportCounter(
+                "dressing_fallbacks",
+                static_cast<double>(translated.dressing_fallbacks));
+            ctx.diagnostic(
+                "translation: " +
+                std::to_string(translated.dressing_fallbacks) +
+                " op(s) fell back from canonical dressing to raw "
+                "NuOp profiles");
+        }
         // This circuit's own traffic (the shared cache's global stats
         // also include concurrently-compiling circuits).
         ctx.reportCounter("cache_hits",

@@ -16,9 +16,7 @@ ProfileCache::ProfileCache(size_t max_entries) : max_entries_(max_entries)
 std::string
 ProfileCache::key(const Matrix& target, const GateSpec& spec)
 {
-    // quantizedForm is shared with the NuOp multistart seeding, so
-    // key-equal targets always draw identical seeds.
-    return spec.type_name + '|' + quantizedForm(target);
+    return profileKeyCore(target, spec);
 }
 
 void
@@ -55,9 +53,10 @@ ProfileCache::insertLocked(const std::string& k,
 std::shared_ptr<const GateProfile>
 ProfileCache::get(const Matrix& target, const GateSpec& spec,
                   const NuOpDecomposer& decomposer,
+                  const DecompositionStrategy& strategy,
                   LocalCacheCounters* local, bool tally_hit)
 {
-    std::string k = key(target, spec);
+    std::string k = strategy.cacheKey(target, spec);
     {
         std::lock_guard<std::mutex> lock(mutex_);
         auto it = profiles_.find(k);
@@ -78,31 +77,21 @@ ProfileCache::get(const Matrix& target, const GateSpec& spec,
 
     // Compute outside the lock (the expensive part); duplicated work
     // between racing threads is harmless and rare — the first insert
-    // wins and both count as misses, since both ran BFGS.
-    auto profile = std::make_shared<GateProfile>();
-    profile->type_name = spec.type_name;
-    profile->family = spec.family;
-    profile->unitary = spec.unitary;
-
-    HardwareGate gate;
-    gate.name = spec.type_name;
-    gate.family = spec.family;
-    gate.unitary = spec.unitary;
-
-    double threshold = decomposer.options().exact_threshold;
-    for (int layers = 0; layers <= decomposer.options().max_layers;
-         ++layers) {
-        LayerFit fit;
-        fit.layers = layers;
-        fit.fd = decomposer.bestFidelityForLayers(target, gate, layers,
-                                                  &fit.params);
-        profile->fits.push_back(std::move(fit));
-        if (profile->fits.back().fd >= threshold)
-            break;
-    }
+    // wins and both count as misses, since both paid the computation.
+    auto profile = std::make_shared<GateProfile>(
+        strategy.computeProfile(target, spec, decomposer));
 
     std::lock_guard<std::mutex> lock(mutex_);
     return insertLocked(k, std::move(profile));
+}
+
+std::shared_ptr<const GateProfile>
+ProfileCache::get(const Matrix& target, const GateSpec& spec,
+                  const NuOpDecomposer& decomposer,
+                  LocalCacheCounters* local, bool tally_hit)
+{
+    return get(target, spec, decomposer, nuopDecompositionStrategy(),
+               local, tally_hit);
 }
 
 size_t
@@ -143,10 +132,12 @@ ProfileCache::clear()
 namespace {
 
 constexpr const char* kMagic = "qiset-profile-cache";
-// v2: header carries the NuOp options stamp; v1 files (no stamp)
-// cannot prove their profiles match the current settings and are
-// rejected.
-constexpr int kVersion = 2;
+// v3: the header carries the NuOp options stamp *and* the
+// decomposition strategy stamp (name + canonicalization), and every
+// entry records the engine that computed it. v1 files (no stamp) and
+// v2 files (no strategy stamp, raw-keyed only) cannot prove their
+// profiles match the current configuration and are rejected.
+constexpr int kVersion = 3;
 
 void
 writeMatrix(std::ostream& os, const Matrix& m)
@@ -180,8 +171,8 @@ readMatrix(std::istream& is, Matrix& m)
 } // namespace
 
 bool
-ProfileCache::save(const std::string& path,
-                   const NuOpOptions& nuop) const
+ProfileCache::save(const std::string& path, const NuOpOptions& nuop,
+                   const DecompositionStrategy& strategy) const
 {
     std::ofstream os(path);
     if (!os)
@@ -190,6 +181,10 @@ ProfileCache::save(const std::string& path,
 
     std::lock_guard<std::mutex> lock(mutex_);
     os << kMagic << ' ' << kVersion << '\n';
+    // The strategy shapes both the keys (canonicalized or raw) and
+    // the fit contents, so it is part of the compatibility contract.
+    os << "strategy " << strategy.name() << ' '
+       << (strategy.canonicalizesTargets() ? 1 : 0) << '\n';
     // Everything that changes what the BFGS multistarts can find:
     // layer bound, start count, exact tolerance, and the seed.
     os << "nuop " << nuop.max_layers << ' ' << nuop.multistarts << ' '
@@ -199,6 +194,7 @@ ProfileCache::save(const std::string& path,
         const GateProfile& p = *entry.profile;
         os << k.size() << '\n' << k << '\n';
         os << p.type_name.size() << '\n' << p.type_name << '\n';
+        os << p.engine.size() << '\n' << p.engine << '\n';
         os << static_cast<int>(p.family) << '\n';
         writeMatrix(os, p.unitary);
         os << p.fits.size() << '\n';
@@ -234,7 +230,8 @@ readLenString(std::istream& is, std::string& out)
 } // namespace
 
 bool
-ProfileCache::load(const std::string& path, const NuOpOptions& nuop)
+ProfileCache::load(const std::string& path, const NuOpOptions& nuop,
+                   const DecompositionStrategy& strategy)
 {
     std::ifstream is(path);
     if (!is)
@@ -244,6 +241,18 @@ ProfileCache::load(const std::string& path, const NuOpOptions& nuop)
     int version = 0;
     if (!(is >> magic >> version) || magic != kMagic ||
         version != kVersion)
+        return false;
+
+    // Reject profiles keyed or computed by a different decomposition
+    // strategy: raw and canonicalized keys are not interchangeable,
+    // and neither are analytic and BFGS fit contents.
+    std::string strategy_stamp, strategy_name;
+    int canonical = -1;
+    if (!(is >> strategy_stamp >> strategy_name >> canonical) ||
+        strategy_stamp != "strategy")
+        return false;
+    if (strategy_name != strategy.name() ||
+        canonical != (strategy.canonicalizesTargets() ? 1 : 0))
         return false;
 
     // Reject profiles computed under different optimizer settings:
@@ -275,14 +284,16 @@ ProfileCache::load(const std::string& path, const NuOpOptions& nuop)
         parsed;
     parsed.reserve(count);
     for (size_t e = 0; e < count; ++e) {
-        std::string k, type_name;
-        if (!readLenString(is, k) || !readLenString(is, type_name))
+        std::string k, type_name, engine;
+        if (!readLenString(is, k) || !readLenString(is, type_name) ||
+            !readLenString(is, engine))
             return false;
         int family = 0;
         if (!(is >> family))
             return false;
         auto profile = std::make_shared<GateProfile>();
         profile->type_name = std::move(type_name);
+        profile->engine = std::move(engine);
         profile->family = static_cast<TemplateFamily>(family);
         if (!readMatrix(is, profile->unitary))
             return false;

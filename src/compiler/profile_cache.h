@@ -30,6 +30,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "nuop/decomposition_strategy.h"
 #include "nuop/template_circuit.h"
 #include "qc/matrix.h"
 
@@ -37,32 +38,6 @@ namespace qiset {
 
 class NuOpDecomposer;
 struct NuOpOptions;
-
-/** Best achievable Fd and parameters at one template depth. */
-struct LayerFit
-{
-    int layers = 0;
-    double fd = 0.0;
-    std::vector<double> params;
-};
-
-/** All layer fits of one (target unitary, hardware gate type) pair. */
-struct GateProfile
-{
-    /** Calibration key: "S1".."S7", "SWAP", "XY" or "fSim". */
-    std::string type_name;
-    TemplateFamily family = TemplateFamily::Fixed;
-    Matrix unitary; // Fixed family only.
-    std::vector<LayerFit> fits;
-};
-
-/** Hardware gate specification a profile is computed against. */
-struct GateSpec
-{
-    std::string type_name;
-    TemplateFamily family = TemplateFamily::Fixed;
-    Matrix unitary;
-};
 
 /** Counters describing cache effectiveness (monotonic since reset). */
 struct ProfileCacheStats
@@ -103,18 +78,27 @@ class ProfileCache
     explicit ProfileCache(size_t max_entries = 0);
 
     /**
-     * Profile of decomposing `target` with `spec`, computing it on
-     * first use. Fits cover layer counts 0..max until the exact
-     * threshold is reached. The returned profile stays valid even if
-     * the entry is later evicted. When `local` is given, the call is
-     * additionally tallied there (hit or miss).
+     * Profile of decomposing `target` with `spec` under the given
+     * decomposition strategy, computing it on first use. The key, the
+     * stored representative and the fit contents are all the
+     * strategy's choice (strategies embed their tag in the key, so one
+     * cache safely serves mixed engines). The returned profile stays
+     * valid even if the entry is later evicted. When `local` is given,
+     * the call is additionally tallied there (hit or miss).
      *
      * `tally_hit=false` suppresses hit counting (global and local) —
      * used by the translator when re-fetching profiles it warmed
      * moments earlier, so "hits" measures genuine reuse rather than
-     * the pipeline's own bookkeeping. Misses (BFGS runs) are always
-     * counted.
+     * the pipeline's own bookkeeping. Misses (profile computations)
+     * are always counted.
      */
+    std::shared_ptr<const GateProfile>
+    get(const Matrix& target, const GateSpec& spec,
+        const NuOpDecomposer& decomposer,
+        const DecompositionStrategy& strategy,
+        LocalCacheCounters* local = nullptr, bool tally_hit = true);
+
+    /** Baseline overload: the "nuop" engine (pre-registry behavior). */
     std::shared_ptr<const GateProfile>
     get(const Matrix& target, const GateSpec& spec,
         const NuOpDecomposer& decomposer,
@@ -133,30 +117,40 @@ class ProfileCache
 
     /**
      * Serialize every entry to `path` (plain-text format, versioned).
-     * The NuOp settings the profiles were computed under (layer
-     * bound, multistarts, exact-threshold tolerance, seed) are
-     * stamped into the file header, so a later load() can tell stale
-     * profiles from reusable ones.
+     * The v3 header stamps the NuOp settings the profiles were
+     * computed under (layer bound, multistarts, exact-threshold
+     * tolerance, seed) *and* the decomposition strategy (name +
+     * whether it canonicalizes targets), so a later load() can tell
+     * stale or incompatible profiles from reusable ones.
      * @return false when the file cannot be written.
      */
-    bool save(const std::string& path, const NuOpOptions& nuop) const;
+    bool save(const std::string& path, const NuOpOptions& nuop,
+              const DecompositionStrategy& strategy =
+                  nuopDecompositionStrategy()) const;
 
     /**
      * Merge entries from a file produced by save(). Existing keys are
      * kept (the in-memory profile wins). Loaded entries count toward
      * the capacity bound.
      *
-     * The header's NuOp stamp must match `nuop`: profiles computed
-     * under different optimizer settings (layer bound, multistarts,
-     * tolerance, seed) are not comparable, so a mismatched file is
-     * rejected wholesale and the cache is left untouched.
+     * The header's stamps must match: profiles computed under
+     * different optimizer settings are not comparable, and profiles
+     * keyed or computed by a different decomposition strategy (or
+     * with different canonicalization) would silently stand in for
+     * the wrong circuits. Mismatched files — including every pre-v3
+     * file — are rejected wholesale and the cache is left untouched.
      * @return false when the file is missing, malformed, from an
      *         older format version, or stamped with different NuOp
-     *         settings.
+     *         settings or strategy.
      */
-    bool load(const std::string& path, const NuOpOptions& nuop);
+    bool load(const std::string& path, const NuOpOptions& nuop,
+              const DecompositionStrategy& strategy =
+                  nuopDecompositionStrategy());
 
-    /** Cache key of a (target, spec) pair (exposed for tests). */
+    /**
+     * Raw strategy-agnostic key core of a (target, spec) pair
+     * (exposed for tests; strategies prefix it with their tag).
+     */
     static std::string key(const Matrix& target, const GateSpec& spec);
 
   private:

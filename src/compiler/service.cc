@@ -7,6 +7,7 @@
 
 #include "common/error.h"
 #include "metrics/metrics.h"
+#include "nuop/decomposition_strategy.h"
 
 namespace qiset {
 
@@ -567,6 +568,11 @@ CompileService::CompileService(DeviceFleet fleet, GateSet gate_set,
             "\" have different NuOp settings; they cannot share one "
             "profile cache");
 
+    // Fail fast on unknown engines (per-shard knobs are resolved
+    // per-compile inside the translation pass).
+    for (size_t s = 0; s < fleet.size(); ++s)
+        makeDecompositionStrategy(fleet.shard(s).options.decomposition);
+
     impl_ = std::make_shared<Impl>();
     impl_->fleet = std::move(fleet);
     impl_->gate_set = std::move(gate_set);
@@ -574,10 +580,12 @@ CompileService::CompileService(DeviceFleet fleet, GateSet gate_set,
     impl_->cache = impl_->opts.cache ? impl_->opts.cache
                                      : &impl_->owned_cache;
     if (!impl_->opts.cache && !impl_->opts.cache_path.empty()) {
-        // Warm state from a previous service run; a stale or missing
-        // file simply means a cold start.
-        impl_->owned_cache.load(impl_->opts.cache_path,
-                                impl_->fleet.shard(0).options.nuop);
+        // Warm state from a previous service run; a stale, missing or
+        // differently-stamped file simply means a cold start.
+        impl_->owned_cache.load(
+            impl_->opts.cache_path, impl_->fleet.shard(0).options.nuop,
+            *makeDecompositionStrategy(
+                impl_->fleet.shard(0).options.decomposition));
     }
     if (!impl_->opts.pool && impl_->opts.workers > 0)
         owned_pool_ = std::make_unique<ThreadPool>(impl_->opts.workers);
@@ -607,12 +615,17 @@ CompileService::~CompileService()
 CompileJob
 CompileService::submit(CompileRequest request)
 {
-    if (request.options)
+    if (request.options) {
         QISET_REQUIRE(
             sameNuOpOptions(request.options->nuop,
                             impl_->fleet.shard(0).options.nuop),
             "per-request NuOp settings differ from the fleet's; the "
             "shared profile cache would mix incompatible profiles");
+        // Per-request decomposition engines are fine — strategy tags
+        // in the cache keys keep mixed engines collision-free — but
+        // an unknown name should reject at submit, not mid-compile.
+        makeDecompositionStrategy(request.options->decomposition);
+    }
 
     auto state = std::make_shared<CompileJob::State>();
     state->circuits = std::move(request.circuits);
@@ -759,8 +772,10 @@ CompileService::shutdown()
         }
     }
     if (save)
-        impl_->owned_cache.save(impl_->opts.cache_path,
-                                impl_->fleet.shard(0).options.nuop);
+        impl_->owned_cache.save(
+            impl_->opts.cache_path, impl_->fleet.shard(0).options.nuop,
+            *makeDecompositionStrategy(
+                impl_->fleet.shard(0).options.decomposition));
 }
 
 CompileServiceStats

@@ -18,22 +18,28 @@ gateSpecs(const GateSet& gate_set)
         spec.type_name = type.name;
         spec.family = TemplateFamily::Fixed;
         spec.unitary = type.unitary();
+        // The instruction set advertises what the analytic engine can
+        // do with each type, so strategies need not re-classify.
+        spec.analytic = type.analyticTier();
         specs.push_back(std::move(spec));
     }
     if (gate_set.continuous == ContinuousFamily::FullXy) {
         GateSpec spec;
         spec.type_name = "XY";
         spec.family = TemplateFamily::FullXy;
+        spec.analytic = AnalyticTier::None;
         specs.push_back(std::move(spec));
     } else if (gate_set.continuous == ContinuousFamily::FullFsim) {
         GateSpec spec;
         spec.type_name = "fSim";
         spec.family = TemplateFamily::FullFsim;
+        spec.analytic = AnalyticTier::None;
         specs.push_back(std::move(spec));
     } else if (gate_set.continuous == ContinuousFamily::FullCphase) {
         GateSpec spec;
         spec.type_name = "CZt";
         spec.family = TemplateFamily::FullCphase;
+        spec.analytic = AnalyticTier::None;
         specs.push_back(std::move(spec));
     }
     return specs;
@@ -42,8 +48,10 @@ gateSpecs(const GateSet& gate_set)
 void
 precomputeProfiles(const Circuit& circuit,
                    const std::vector<GateSpec>& specs,
-                   const NuOpDecomposer& decomposer, ProfileCache& cache,
-                   ThreadPool* pool, LocalCacheCounters* local)
+                   const NuOpDecomposer& decomposer,
+                   const DecompositionStrategy& strategy,
+                   ProfileCache& cache, ThreadPool* pool,
+                   LocalCacheCounters* local)
 {
     // Collect distinct (op, spec) jobs; the cache key dedups repeats.
     std::vector<const Operation*> two_q_ops;
@@ -55,7 +63,7 @@ precomputeProfiles(const Circuit& circuit,
     auto job = [&](size_t index) {
         const Operation& op = *two_q_ops[index / specs.size()];
         const GateSpec& spec = specs[index % specs.size()];
-        cache.get(op.unitary, spec, decomposer, local);
+        cache.get(op.unitary, spec, decomposer, strategy, local);
     };
     if (pool) {
         parallelFor(*pool, total, job);
@@ -74,6 +82,19 @@ selectGate(const std::vector<const GateProfile*>& profiles,
     QISET_REQUIRE(profiles.size() == edge_fidelities.size(),
                   "profile/fidelity arity mismatch");
     GateChoice best;
+    // Deterministic tie-break on exactly equal Fu: fewer layers, then
+    // the lexicographically smaller type name — the choice must not
+    // depend on the order the instruction set lists its types.
+    auto better = [&best](double fu, const LayerFit& fit,
+                          const GateProfile& profile) {
+        if (fu != best.overall)
+            return fu > best.overall;
+        if (!best.profile)
+            return false; // fu == 0: never select a zero-Fu fit.
+        if (fit.layers != best.fit->layers)
+            return fit.layers < best.fit->layers;
+        return profile.type_name < best.profile->type_name;
+    };
     for (size_t g = 0; g < profiles.size(); ++g) {
         double f2q = edge_fidelities[g];
         if (f2q <= 0.0)
@@ -88,16 +109,10 @@ selectGate(const std::vector<const GateProfile*>& profiles,
                         std::pow(one_qubit_fidelity,
                                  2.0 * (fit.layers + 1));
             double fu = fit.fd * fh;
-            bool candidate;
-            if (approximate) {
-                candidate = fu > best.overall;
-            } else {
-                // Exact mode: only threshold-meeting fits compete.
-                if (fit.fd < exact_threshold)
-                    continue;
-                candidate = fu > best.overall;
-            }
-            if (candidate) {
+            // Exact mode: only threshold-meeting fits compete.
+            if (!approximate && fit.fd < exact_threshold)
+                continue;
+            if (better(fu, fit, *profile)) {
                 best.profile = profile;
                 best.fit = &fit;
                 best.edge_fidelity = f2q;
@@ -117,7 +132,7 @@ selectGate(const std::vector<const GateProfile*>& profiles,
                 double fh = std::pow(f2q, fit.layers) *
                             std::pow(one_qubit_fidelity,
                                      2.0 * (fit.layers + 1));
-                if (fit.fd * fh > best.overall) {
+                if (better(fit.fd * fh, fit, *profiles[g])) {
                     best.profile = profiles[g];
                     best.fit = &fit;
                     best.edge_fidelity = f2q;
@@ -127,15 +142,33 @@ selectGate(const std::vector<const GateProfile*>& profiles,
         }
     }
     QISET_REQUIRE(best.profile != nullptr,
-                  "no hardware gate type available on this edge");
+                  "no hardware gate type with a usable decomposition "
+                  "is available on this edge");
     return best;
 }
+
+namespace {
+
+/**
+ * Local factors re-dressing a canonical-representative circuit into
+ * the concrete target: target == phase * left * representative *
+ * right, split into per-qubit U3 corrections.
+ */
+struct TargetDressing
+{
+    bool active = false;
+    Matrix pre_a, pre_b;   // merged into the first U3 pair
+    Matrix post_a, post_b; // merged into the last U3 pair
+};
+
+} // namespace
 
 TranslateResult
 translateCircuit(const Circuit& routed, const std::vector<int>& physical,
                  const Device& device, const GateSet& gate_set,
-                 const NuOpDecomposer& decomposer, ProfileCache& cache,
-                 bool approximate, ThreadPool* pool)
+                 const NuOpDecomposer& decomposer,
+                 const DecompositionStrategy& strategy,
+                 ProfileCache& cache, bool approximate, ThreadPool* pool)
 {
     QISET_REQUIRE(physical.size() ==
                       static_cast<size_t>(routed.numQubits()),
@@ -144,7 +177,8 @@ translateCircuit(const Circuit& routed, const std::vector<int>& physical,
     std::vector<GateSpec> specs = gateSpecs(gate_set);
     QISET_REQUIRE(!specs.empty(), "instruction set is empty");
     LocalCacheCounters local;
-    precomputeProfiles(routed, specs, decomposer, cache, pool, &local);
+    precomputeProfiles(routed, specs, decomposer, strategy, cache, pool,
+                       &local);
 
     int n = routed.numQubits();
     TranslateResult result;
@@ -175,6 +209,39 @@ translateCircuit(const Circuit& routed, const std::vector<int>& physical,
         int pa = physical[ra];
         int pb = physical[rb];
 
+        // Canonicalizing strategies store profiles against the
+        // Weyl-chamber representative; recover the local factors that
+        // dress it back into this exact target. A failed solve (never
+        // observed, but numerically conceivable) falls back to a
+        // raw-keyed NuOp profile for this op.
+        const DecompositionStrategy* op_strategy = &strategy;
+        TargetDressing dressing;
+        if (strategy.canonicalizesTargets()) {
+            Matrix representative = strategy.profileTarget(op.unitary);
+            if (representative.maxAbsDiff(op.unitary) > 0.0) {
+                LocalEquivalence equivalence =
+                    localFactorsBetween(representative, op.unitary);
+                bool usable =
+                    equivalence.ok &&
+                    ((equivalence.left * representative *
+                      equivalence.right) *
+                     equivalence.phase)
+                            .maxAbsDiff(op.unitary) < 1e-6;
+                if (usable) {
+                    dressing.active = true;
+                    auto post = decomposeLocalUnitary(equivalence.left);
+                    auto pre = decomposeLocalUnitary(equivalence.right);
+                    dressing.post_a = std::move(post.first);
+                    dressing.post_b = std::move(post.second);
+                    dressing.pre_a = std::move(pre.first);
+                    dressing.pre_b = std::move(pre.second);
+                } else {
+                    op_strategy = &nuopDecompositionStrategy();
+                    ++result.dressing_fallbacks;
+                }
+            }
+        }
+
         // Holders keep the profiles alive across selection even if a
         // bounded cache evicts the entries concurrently.
         std::vector<std::shared_ptr<const GateProfile>> holders;
@@ -185,7 +252,8 @@ translateCircuit(const Circuit& routed, const std::vector<int>& physical,
             // don't tally the hit, or a stone-cold compile would
             // report a warm-looking hit rate.
             holders.push_back(cache.get(op.unitary, spec, decomposer,
-                                        &local, /*tally_hit=*/false));
+                                        *op_strategy, &local,
+                                        /*tally_hit=*/false));
             profiles.push_back(holders.back().get());
             fidelities.push_back(
                 device.edgeFidelity(pa, pb, spec.type_name));
@@ -196,12 +264,24 @@ translateCircuit(const Circuit& routed, const std::vector<int>& physical,
 
         const GateProfile& profile = *choice.profile;
         const LayerFit& fit = *choice.fit;
+        if (profile.engine == "kak")
+            ++result.analytic_ops;
 
         TwoQubitTemplate templ =
             profile.family == TemplateFamily::Fixed
                 ? TwoQubitTemplate(fit.layers, profile.unitary)
                 : TwoQubitTemplate(fit.layers, profile.family);
         std::vector<Matrix> u3s = templ.u3Matrices(fit.params);
+        if (dressing.active) {
+            // C' = post . C . pre implements the target exactly when C
+            // implements the representative (Fd is invariant under
+            // local dressing, so the profiled fidelities carry over).
+            u3s[0] = u3s[0] * dressing.pre_a;
+            u3s[1] = u3s[1] * dressing.pre_b;
+            u3s[2 * fit.layers] = dressing.post_a * u3s[2 * fit.layers];
+            u3s[2 * fit.layers + 1] =
+                dressing.post_b * u3s[2 * fit.layers + 1];
+        }
 
         emit_1q(ra, u3s[0], "U3");
         emit_1q(rb, u3s[1], "U3");
@@ -224,6 +304,17 @@ translateCircuit(const Circuit& routed, const std::vector<int>& physical,
     result.cache_hits = local.hits.load();
     result.cache_misses = local.misses.load();
     return result;
+}
+
+TranslateResult
+translateCircuit(const Circuit& routed, const std::vector<int>& physical,
+                 const Device& device, const GateSet& gate_set,
+                 const NuOpDecomposer& decomposer, ProfileCache& cache,
+                 bool approximate, ThreadPool* pool)
+{
+    return translateCircuit(routed, physical, device, gate_set,
+                            decomposer, nuopDecompositionStrategy(),
+                            cache, approximate, pool);
 }
 
 } // namespace qiset

@@ -24,10 +24,14 @@
 #include "device/device.h"
 #include "isa/gate_set.h"
 #include "nuop/decomposer.h"
+#include "nuop/decomposition_strategy.h"
 
 namespace qiset {
 
-/** Gate specs an instruction set exposes (discrete + continuous). */
+/**
+ * Gate specs an instruction set exposes (discrete + continuous),
+ * with the analytic-availability tier each type advertises.
+ */
 std::vector<GateSpec> gateSpecs(const GateSet& gate_set);
 
 /**
@@ -38,6 +42,7 @@ std::vector<GateSpec> gateSpecs(const GateSet& gate_set);
 void precomputeProfiles(const Circuit& circuit,
                         const std::vector<GateSpec>& specs,
                         const NuOpDecomposer& decomposer,
+                        const DecompositionStrategy& strategy,
                         ProfileCache& cache, ThreadPool* pool,
                         LocalCacheCounters* local = nullptr);
 
@@ -56,6 +61,9 @@ struct GateChoice
  * Noise-adaptive selection (Eq. 2) across the profiles available on an
  * edge. In exact mode the smallest depth reaching the exact threshold
  * wins per type; in approximate mode Fu is maximized over depths.
+ * Exact Fu ties break deterministically — fewer layers first, then
+ * lexicographically smaller gate-type name — so the choice never
+ * depends on the order profiles are supplied in.
  */
 GateChoice selectGate(const std::vector<const GateProfile*>& profiles,
                       const std::vector<double>& edge_fidelities,
@@ -78,6 +86,15 @@ struct TranslateResult
      */
     uint64_t cache_hits = 0;
     uint64_t cache_misses = 0;
+    /** 2Q blocks served by the analytic engine (engine == "kak"). */
+    int analytic_ops = 0;
+    /**
+     * 2Q blocks whose canonical-representative dressing failed and
+     * fell back to a raw-keyed NuOp profile — each one pays a cold
+     * BFGS inside the emission loop, so a nonzero count flags a
+     * performance cliff (expected to stay zero).
+     */
+    int dressing_fallbacks = 0;
 
     TranslateResult() : circuit(1) {}
 };
@@ -86,7 +103,21 @@ struct TranslateResult
  * Translate a routed circuit (register positions 0..n-1 hosted on
  * physical qubits `physical`) into native gates of the instruction
  * set, stamping error rates and durations from the device calibration.
+ * The decomposition strategy chooses the engine per (unitary, gate
+ * type); for canonicalizing strategies the cached circuit implements
+ * the Weyl-chamber representative and is re-dressed here with the
+ * exact local factors of each concrete target.
  */
+TranslateResult translateCircuit(const Circuit& routed,
+                                 const std::vector<int>& physical,
+                                 const Device& device,
+                                 const GateSet& gate_set,
+                                 const NuOpDecomposer& decomposer,
+                                 const DecompositionStrategy& strategy,
+                                 ProfileCache& cache, bool approximate,
+                                 ThreadPool* pool = nullptr);
+
+/** Baseline overload: the "nuop" engine (pre-registry behavior). */
 TranslateResult translateCircuit(const Circuit& routed,
                                  const std::vector<int>& physical,
                                  const Device& device,

@@ -13,6 +13,12 @@ GateType::unitary() const
     return gates::fsim(theta, phi);
 }
 
+AnalyticTier
+GateType::analyticTier() const
+{
+    return qiset::analyticTier(unitary());
+}
+
 int
 GateSet::calibrationTypeCount() const
 {

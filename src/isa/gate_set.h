@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "nuop/kak.h"
 #include "qc/matrix.h"
 
 namespace qiset {
@@ -32,6 +33,15 @@ struct GateType
 
     /** The 4x4 unitary of this gate type. */
     Matrix unitary() const;
+
+    /**
+     * What the analytic KAK decomposition engine can do with this
+     * type: Universal for CZ-class gates (every SU(4) target in the
+     * SBM-minimal count), LocalEquivalence otherwise (only the type's
+     * own interaction class). Gate specs carry this advertisement
+     * into the translation layer (see gateSpecs()).
+     */
+    AnalyticTier analyticTier() const;
 };
 
 /** Continuous-family flag for a gate set. */

@@ -306,7 +306,105 @@ kakDecompose(const Matrix& u)
     out.canonical = mb * build_exp(1.0) * mb.dagger();
     out.k2 = mb * p.transpose() * mb.dagger();
     std::memcpy(out.thetas, thetas, sizeof(thetas));
+    out.magic_p = std::move(p);
     return out;
+}
+
+LocalEquivalence
+localFactorsBetween(const Matrix& u, const Matrix& v, double tol)
+{
+    QISET_REQUIRE(u.rows() == 4 && u.cols() == 4 && v.rows() == 4 &&
+                      v.cols() == 4,
+                  "localFactorsBetween expects 4x4 unitaries");
+    LocalEquivalence out;
+    Matrix mb = magicBasis();
+
+    KakDecomposition ku = kakDecompose(u);
+    cplx du[4];
+    for (int j = 0; j < 4; ++j)
+        du[j] = std::exp(2.0 * kI * ku.thetas[j]);
+
+    // The SU(4) normalization branch of v is determined only up to a
+    // factor of i, which flips the sign of the magic-basis spectrum
+    // {e^{2i theta}}: try both branches and keep the better match.
+    KakDecomposition kv;
+    int best[4] = {0, 1, 2, 3};
+    double best_residual = 1e9;
+    cplx branch(1.0, 0.0);
+    for (int b = 0; b < 2; ++b) {
+        cplx g = b == 0 ? cplx(1.0, 0.0) : cplx(0.0, 1.0);
+        KakDecomposition kb = kakDecompose(v * g);
+        cplx dv[4];
+        for (int j = 0; j < 4; ++j)
+            dv[j] = std::exp(2.0 * kI * kb.thetas[j]);
+        int perm[4] = {0, 1, 2, 3};
+        std::sort(perm, perm + 4);
+        do {
+            double residual = 0.0;
+            for (int j = 0; j < 4; ++j)
+                residual += std::abs(dv[j] - du[perm[j]]);
+            if (residual < best_residual) {
+                best_residual = residual;
+                std::copy(perm, perm + 4, best);
+                kv = kb;
+                branch = g;
+            }
+        } while (std::next_permutation(perm, perm + 4));
+    }
+    if (best_residual > tol)
+        return out; // not locally equivalent.
+
+    // Permutation Q aligning v's interaction phases with u's:
+    // (Q E(theta_u) Q^T)_jj = e^{i theta_u[best[j]]}. Conjugation by a
+    // diagonal sign matrix leaves the result unchanged, so flipping a
+    // row restores det +1 (SO(4) maps to locals under the magic
+    // basis).
+    Matrix q(4, 4);
+    for (int j = 0; j < 4; ++j)
+        q(j, best[j]) = 1.0;
+    if (determinant(q).real() < 0.0)
+        for (int j = 0; j < 4; ++j)
+            q(0, j) = -q(0, j);
+
+    // Per-phase branch signs e^{i theta_v} / e^{i theta_u}; an odd
+    // sign count is a global -1 in the local picture, folded into the
+    // phase to keep S in SO(4).
+    Matrix s(4, 4);
+    double sign_product = 1.0;
+    for (int j = 0; j < 4; ++j) {
+        cplx ratio = std::exp(kI * kv.thetas[j]) /
+                     std::exp(kI * ku.thetas[best[j]]);
+        double sign = ratio.real() >= 0.0 ? 1.0 : -1.0;
+        s(j, j) = sign;
+        sign_product *= sign;
+    }
+    cplx parity_phase(1.0, 0.0);
+    if (sign_product < 0.0) {
+        for (int j = 0; j < 4; ++j)
+            s(j, j) = -s(j, j);
+        parity_phase = cplx(-1.0, 0.0);
+    }
+
+    Matrix lq = mb * q * mb.dagger();
+    Matrix lqs = mb * (q.transpose() * s) * mb.dagger();
+    out.left = kv.k1 * lq * ku.k1.dagger();
+    out.right = ku.k2.dagger() * lqs * kv.k2;
+    out.phase = kv.global_phase / ku.global_phase * parity_phase / branch;
+    out.ok = true;
+    return out;
+}
+
+AnalyticTier
+analyticTier(const Matrix& gate_unitary)
+{
+    if (gate_unitary.rows() != 4 || gate_unitary.cols() != 4)
+        return AnalyticTier::None;
+    // CZ-class gates (exactly one CZ by the SBM criteria) admit the
+    // universal minimal-count synthesis; anything else is served only
+    // when the target is locally equivalent to the gate itself.
+    return minimalCzCount(gate_unitary) == 1
+               ? AnalyticTier::Universal
+               : AnalyticTier::LocalEquivalence;
 }
 
 int

@@ -76,6 +76,12 @@ struct KakDecomposition
     Matrix k2;
     /** Raw interaction angles (one per magic-basis vector). */
     double thetas[4];
+    /**
+     * Orthogonal frame diagonalizing m^T m in the magic basis:
+     * P^T (m^T m) P = diag(e^{2i thetas}). The analytic synthesis
+     * engine reuses it to build aligned local rotations.
+     */
+    Matrix magic_p;
 };
 
 /**
@@ -91,6 +97,54 @@ KakDecomposition kakDecompose(const Matrix& u);
  * l == phase * (a (x) b). Returns {a, b}.
  */
 std::pair<Matrix, Matrix> decomposeLocalUnitary(const Matrix& l);
+
+/**
+ * Locals relating two locally-equivalent two-qubit unitaries:
+ * v == phase * left * u * right with left/right tensor products of
+ * single-qubit unitaries. `ok` is false when u and v are not locally
+ * equivalent (their magic-basis spectra differ beyond `tol`).
+ */
+struct LocalEquivalence
+{
+    bool ok = false;
+    cplx phase{1.0, 0.0};
+    Matrix left;
+    Matrix right;
+};
+
+/**
+ * Solve the local-equivalence realization problem: find locals with
+ * v == phase * left * u * right. Constructive (magic-basis spectrum
+ * matching over both SU(4) branches), deterministic, and exact to
+ * machine precision for genuinely equivalent inputs. This is the
+ * primitive behind the analytic decomposition engine and the
+ * Weyl-canonicalized profile-cache dressing.
+ */
+LocalEquivalence localFactorsBetween(const Matrix& u, const Matrix& v,
+                                     double tol = 1e-6);
+
+/** What the analytic KAK engine can do with a hardware gate type. */
+enum class AnalyticTier
+{
+    /** Tier not yet classified (resolved from the unitary on use). */
+    Unspecified,
+    /** Continuous family / no analytic route beyond local targets. */
+    None,
+    /** Only targets locally equivalent to the gate (single layer). */
+    LocalEquivalence,
+    /**
+     * CZ-class gate: every SU(4) target synthesizes exactly in the
+     * Shende-Bullock-Markov minimal number of applications.
+     */
+    Universal,
+};
+
+/**
+ * Classify a fixed two-qubit gate for the analytic engine: Universal
+ * when the gate is CZ/CNOT-class (Makhlin invariants of CZ), else
+ * LocalEquivalence.
+ */
+AnalyticTier analyticTier(const Matrix& gate_unitary);
 
 /**
  * Modeled Cirq decomposition gate counts for the Fig. 6 baseline.

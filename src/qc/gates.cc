@@ -1,6 +1,9 @@
 #include "qc/gates.h"
 
+#include <algorithm>
 #include <cmath>
+
+#include "common/error.h"
 
 namespace qiset {
 namespace gates {
@@ -190,6 +193,37 @@ Matrix
 kron2(const Matrix& a, const Matrix& b)
 {
     return a.kron(b);
+}
+
+std::vector<double>
+u3Angles(const Matrix& u)
+{
+    QISET_REQUIRE(u.rows() == 2 && u.cols() == 2,
+                  "u3Angles expects a 2x2 unitary");
+    // alpha comes from the actual entry magnitudes (atan2, not acos):
+    // |u00| alone is numerically blind to off-diagonals far below the
+    // roundoff of the diagonal, and a wrong branch there poisons the
+    // beta/lambda args with full weight.
+    const double tol = 1e-9;
+    double c = std::abs(u(0, 0));
+    double s = std::abs(u(1, 0));
+    double alpha = 2.0 * std::atan2(s, c);
+    double beta = 0.0, lambda = 0.0;
+    if (s <= tol * c) {
+        // (Near-)diagonal: only beta + lambda matters; put it in beta.
+        cplx phase = u(0, 0) / c;
+        beta = std::arg(u(1, 1) / phase);
+    } else if (c <= tol * s) {
+        // (Near-)anti-diagonal: pin the phase to the lower-left entry
+        // (beta stays zero; only beta + lambda would be observable).
+        cplx phase = u(1, 0) / s;
+        lambda = std::arg(-u(0, 1) / phase);
+    } else {
+        cplx phase = u(0, 0) / c;
+        beta = std::arg(u(1, 0) / phase);
+        lambda = std::arg(-u(0, 1) / phase);
+    }
+    return {alpha, beta, lambda};
 }
 
 } // namespace gates

@@ -99,6 +99,14 @@ Matrix xxPlusYy(double theta);
 /** Tensor product of two single-qubit gates: a on qubit 0, b on qubit 1. */
 Matrix kron2(const Matrix& a, const Matrix& b);
 
+/**
+ * U3 angles of an arbitrary 2x2 unitary: returns {alpha, beta, lambda}
+ * with u3(alpha, beta, lambda) == u up to a global phase. Inverse of
+ * u3() modulo phase; the analytic KAK engine uses it to emit its local
+ * factors in the same parameter encoding NuOp templates use.
+ */
+std::vector<double> u3Angles(const Matrix& u);
+
 } // namespace gates
 } // namespace qiset
 

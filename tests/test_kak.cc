@@ -218,6 +218,39 @@ TEST(Kak, ReconstructsNamedGates)
     }
 }
 
+TEST(Kak, InvariantRoundTripThroughReconstruction)
+{
+    // makhlinInvariants ∘ reconstruction is the identity: rebuilding
+    // from the Cartan factors preserves the local-equivalence class.
+    Rng rng(61);
+    for (int trial = 0; trial < 8; ++trial) {
+        Matrix u = randomSu4(rng);
+        KakDecomposition kak = kakDecompose(u);
+        Matrix rebuilt =
+            (kak.k1 * kak.canonical * kak.k2) * kak.global_phase;
+        MakhlinInvariants a = makhlinInvariants(u);
+        MakhlinInvariants b = makhlinInvariants(rebuilt);
+        EXPECT_NEAR(std::abs(a.g1 - b.g1), 0.0, 1e-8);
+        EXPECT_NEAR(a.g2, b.g2, 1e-8);
+        // The canonical factor alone carries the whole class.
+        MakhlinInvariants c = makhlinInvariants(kak.canonical);
+        EXPECT_NEAR(std::abs(a.g1 - c.g1), 0.0, 1e-8);
+        EXPECT_NEAR(a.g2, c.g2, 1e-8);
+    }
+}
+
+TEST(Kak, AnalyticTierClassification)
+{
+    // CZ-class gates are universal for the analytic engine; every
+    // other fixed type only serves its own class.
+    EXPECT_EQ(analyticTier(cz()), AnalyticTier::Universal);
+    EXPECT_EQ(analyticTier(cnot()), AnalyticTier::Universal);
+    EXPECT_EQ(analyticTier(iswap()), AnalyticTier::LocalEquivalence);
+    EXPECT_EQ(analyticTier(sqrtIswap()), AnalyticTier::LocalEquivalence);
+    EXPECT_EQ(analyticTier(sycamore()), AnalyticTier::LocalEquivalence);
+    EXPECT_EQ(analyticTier(swap()), AnalyticTier::LocalEquivalence);
+}
+
 TEST(CirqBaseline, ModeledCounts)
 {
     Rng rng(51);

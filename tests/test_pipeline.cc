@@ -241,6 +241,86 @@ TEST(Pipeline, UnknownRoutingStrategyFailsLoudly)
         FatalError);
 }
 
+TEST(Pipeline, BestOfMetaRouterMatchesBestStrategy)
+{
+    // options.routing = "best-of" routes with every registered
+    // strategy and keeps the best predicted-fidelity result — on a
+    // QFT workload that must be bit-identical to one of the
+    // individual strategies, and deterministic across runs.
+    Rng rng(93);
+    Device d = makeSycamore(rng);
+    Circuit app = makeQftCircuit(6);
+    ProfileCache cache;
+    CompileOptions opts = fastCompile();
+    opts.routing = "best-of";
+    CompileResult best =
+        compileCircuit(app, d, isa::googleSet(3), cache, opts);
+    CompileResult best_again =
+        compileCircuit(app, d, isa::googleSet(3), cache, opts);
+    EXPECT_EQ(best.swaps_inserted, best_again.swaps_inserted);
+    EXPECT_EQ(best.estimated_fidelity, best_again.estimated_fidelity);
+
+    std::vector<int> candidate_swaps;
+    for (const char* name : {"greedy", "sabre"}) {
+        CompileOptions single = fastCompile();
+        single.routing = name;
+        candidate_swaps.push_back(
+            compileCircuit(app, d, isa::googleSet(3), cache, single)
+                .swaps_inserted);
+    }
+    EXPECT_NE(std::find(candidate_swaps.begin(), candidate_swaps.end(),
+                        best.swaps_inserted),
+              candidate_swaps.end());
+    // And it still produces a correct circuit.
+    EXPECT_GT(best.estimated_fidelity, 0.0);
+}
+
+TEST(Pipeline, AutoDecompositionCompilesExactly)
+{
+    // End-to-end options.decomposition = "auto" on a perfect device:
+    // the analytic engine must reproduce the ideal output exactly,
+    // without any BFGS profile computation for CZ-class targets.
+    Device d("perfect", Topology::line(4));
+    for (auto [a, b] : d.topology().edges())
+        d.setEdgeFidelity(a, b, "S3", 1.0);
+    QubitNoise noiseless;
+    noiseless.t1_ns = 1e15;
+    noiseless.t2_ns = 1e15;
+    for (int q = 0; q < 4; ++q)
+        d.setQubitNoise(q, noiseless);
+
+    Circuit app = makeQftCircuit(4);
+    ProfileCache cache;
+    CompileOptions opts = fastCompile();
+    opts.decomposition = "auto";
+    opts.approximate = false;
+    CompileResult result =
+        compileCircuit(app, d, isa::singleTypeSet(3), cache, opts);
+    EXPECT_NEAR(simulateSuccessRate(result, app), 1.0, 1e-4);
+
+    // The translation pass reported analytic coverage.
+    double analytic = 0.0;
+    for (const auto& metric : result.pass_metrics)
+        if (metric.pass == "translation")
+            analytic = metric.counters.at("analytic_ops");
+    EXPECT_GT(analytic, 0.0);
+}
+
+TEST(Pipeline, UnknownDecompositionStrategyFailsLoudly)
+{
+    Device d("line", Topology::line(2));
+    for (auto [a, b] : d.topology().edges())
+        d.setEdgeFidelity(a, b, "S3", 0.99);
+    Circuit app(2);
+    app.add2q(0, 1, gates::cz(), "CZ");
+    ProfileCache cache;
+    CompileOptions opts = fastCompile();
+    opts.decomposition = "definitely-not-registered";
+    EXPECT_THROW(
+        compileCircuit(app, d, isa::singleTypeSet(3), cache, opts),
+        FatalError);
+}
+
 TEST(Pipeline, FullCphaseSetCompilesQaoaCheaply)
 {
     // Nearest-neighbour MaxCut on a line device: no routing, so the

@@ -219,16 +219,67 @@ TEST(ProfileCacheCore, LoadRejectsMismatchedNuOpOptions)
 
 TEST(ProfileCacheCore, LoadRejectsUnstampedLegacyFiles)
 {
-    // A v1 file (no NuOp stamp) cannot prove its profiles match the
-    // current settings: reject rather than risk stale reuse.
-    TempFile file("qiset_profile_cache_v1.txt");
-    {
-        std::ofstream os(file.path);
-        os << "qiset-profile-cache 1\n0\n";
+    // v1 files (no NuOp stamp) and v2 files (no strategy stamp)
+    // cannot prove their profiles match the current configuration:
+    // reject rather than risk stale or wrongly-keyed reuse.
+    for (const char* header :
+         {"qiset-profile-cache 1\n0\n",
+          "qiset-profile-cache 2\nnuop 3 2 0.999999 17\n0\n"}) {
+        TempFile file("qiset_profile_cache_legacy.txt");
+        {
+            std::ofstream os(file.path);
+            os << header;
+        }
+        ProfileCache cache;
+        EXPECT_FALSE(cache.load(file.path, fastNuOp())) << header;
+        EXPECT_EQ(cache.size(), 0u);
     }
+}
+
+TEST(ProfileCacheCore, V3RoundTripsCanonicalStrategies)
+{
+    // A canonical-keyed cache saved under "auto" reloads under "auto"
+    // — entries, keys and engine tags intact — and serves the dressed
+    // variants of its classes as pure hits.
+    NuOpDecomposer decomposer(fastNuOp());
+    auto automatic = makeDecompositionStrategy("auto");
     ProfileCache cache;
-    EXPECT_FALSE(cache.load(file.path, fastNuOp()));
-    EXPECT_EQ(cache.size(), 0u);
+    cache.get(zz(0.3), czSpec(), decomposer, *automatic);
+
+    TempFile file("qiset_profile_cache_v3_auto.txt");
+    ASSERT_TRUE(cache.save(file.path, fastNuOp(), *automatic));
+
+    ProfileCache restored;
+    ASSERT_TRUE(restored.load(file.path, fastNuOp(), *automatic));
+    EXPECT_EQ(restored.stats().loaded, 1u);
+    Matrix dressed = gates::u3(0.4, 1.1, 2.2)
+                         .kron(gates::u3(0.7, 0.2, 1.9)) *
+                     zz(0.3);
+    auto profile =
+        restored.get(dressed, czSpec(), decomposer, *automatic);
+    EXPECT_EQ(restored.stats().misses, 0u);
+    EXPECT_EQ(restored.stats().hits, 1u);
+    EXPECT_EQ(profile->engine, "kak"); // analytic tier served zz-class
+}
+
+TEST(ProfileCacheCore, LoadRejectsMismatchedStrategy)
+{
+    // Raw "nuop" keys and canonical "auto"/"kak" keys are not
+    // interchangeable; files stamped with a different strategy are
+    // rejected wholesale.
+    NuOpDecomposer decomposer(fastNuOp());
+    ProfileCache cache;
+    cache.get(zz(0.3), czSpec(), decomposer);
+
+    TempFile file("qiset_profile_cache_strategy.txt");
+    ASSERT_TRUE(cache.save(file.path, fastNuOp()));
+    ProfileCache fresh;
+    EXPECT_FALSE(fresh.load(file.path, fastNuOp(),
+                            *makeDecompositionStrategy("auto")));
+    EXPECT_EQ(fresh.size(), 0u);
+    EXPECT_TRUE(fresh.load(file.path, fastNuOp(),
+                           *makeDecompositionStrategy("nuop")));
+    EXPECT_EQ(fresh.stats().loaded, 1u);
 }
 
 TEST(ProfileCacheCore, KeySeparatesTargetsAndSpecs)

@@ -105,6 +105,38 @@ TEST(SelectGate, SkipsUncalibratedTypes)
     EXPECT_EQ(choice.profile->type_name, "S4");
 }
 
+TEST(SelectGate, BreaksExactTiesDeterministically)
+{
+    // Two gate types with bit-identical fit ladders and equal edge
+    // fidelities: the selection must not depend on the order the
+    // profiles are supplied in — fewer layers wins, then the
+    // lexicographically smaller type name.
+    GateProfile a;
+    a.type_name = "S3";
+    a.fits.push_back(LayerFit{2, 0.999, {}});
+    a.fits.push_back(LayerFit{3, 0.999, {}});
+    GateProfile b = a;
+    b.type_name = "S4";
+
+    GateChoice forward =
+        selectGate({&a, &b}, {0.95, 0.95}, 1.0, true, 1.0 - 1e-6);
+    GateChoice reversed =
+        selectGate({&b, &a}, {0.95, 0.95}, 1.0, true, 1.0 - 1e-6);
+    EXPECT_EQ(forward.profile->type_name, "S3");
+    EXPECT_EQ(reversed.profile->type_name, "S3");
+    EXPECT_EQ(forward.fit->layers, 2); // equal Fu would need equal Fh
+    EXPECT_EQ(reversed.fit->layers, 2);
+
+    // Within one profile, an exactly tied Fu prefers the shallower
+    // fit even when the deeper one is listed first.
+    GateProfile c;
+    c.type_name = "S3";
+    c.fits.push_back(LayerFit{3, 0.5, {}});
+    c.fits.push_back(LayerFit{2, 0.5, {}});
+    GateChoice depth = selectGate({&c}, {1.0}, 1.0, true, 1.0 - 1e-6);
+    EXPECT_EQ(depth.fit->layers, 2);
+}
+
 TEST(Translate, EmittedCircuitImplementsTarget)
 {
     Device d = twoQubitDevice(0.99, 0.98);
