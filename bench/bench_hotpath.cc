@@ -1,0 +1,348 @@
+/**
+ * @file
+ * Single-circuit compile hot-path bench: p50/p95 cold- and warm-cache
+ * latency of one 32-qubit compile (QFT-32 and QV-32 on the Sycamore
+ * device, CZ instruction set), the intra-circuit parallel speedup of
+ * fanning one circuit's decompositions over a worker pool, and global
+ * allocation counters (operator new count/bytes) per cold compile —
+ * so the arena/SBO savings are measured, not asserted.
+ *
+ * QFT-32's controlled-phase ladder canonicalizes to a few dozen
+ * distinct profiles (cache-bound, allocation-sensitive); QV-32's
+ * random SU(4)s need ~500 independent BFGS profile optimizations
+ * (compute-bound, where the intra-circuit fan-out pays off). The
+ * parallel path must be bit-identical to serial — checked here and
+ * gated in CI alongside the latency/speedup baselines
+ * (scripts/check_bench_regression.py).
+ *
+ * Emits a single JSON object on stdout (scripts/bench_smoke.sh
+ * captures it as BENCH_hotpath.json).
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <new>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/qft.h"
+#include "apps/qv.h"
+#include "bench/bench_common.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "compiler/pipeline.h"
+#include "device/device.h"
+#include "isa/gate_set.h"
+
+// ------------------------------------------------- allocation counters
+//
+// Replaceable global allocation functions, counting every heap
+// allocation the process makes. Serial compiles are deterministic, so
+// the per-compile deltas are exact, reproducible figures of merit for
+// the arena/SBO work (they shrink when scratch stops hitting malloc).
+
+namespace {
+
+std::atomic<std::uint64_t> g_alloc_count{0};
+std::atomic<std::uint64_t> g_alloc_bytes{0};
+
+void*
+countedAlloc(std::size_t size)
+{
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+    g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+    void* p = std::malloc(size == 0 ? 1 : size);
+    if (!p)
+        throw std::bad_alloc();
+    return p;
+}
+
+void*
+countedAlignedAlloc(std::size_t size, std::size_t align)
+{
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+    g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+    // aligned_alloc requires size to be a multiple of the alignment.
+    std::size_t padded = (size + align - 1) / align * align;
+    void* p = std::aligned_alloc(align, padded == 0 ? align : padded);
+    if (!p)
+        throw std::bad_alloc();
+    return p;
+}
+
+} // namespace
+
+void*
+operator new(std::size_t size)
+{
+    return countedAlloc(size);
+}
+
+void*
+operator new[](std::size_t size)
+{
+    return countedAlloc(size);
+}
+
+void*
+operator new(std::size_t size, std::align_val_t align)
+{
+    return countedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+
+void*
+operator new[](std::size_t size, std::align_val_t align)
+{
+    return countedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+
+void
+operator delete(void* p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void* p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void* p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void* p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void* p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void* p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void* p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void* p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+// ----------------------------------------------------------- the bench
+
+namespace {
+
+using namespace qiset;
+
+double
+percentile(std::vector<double> samples, double q)
+{
+    std::sort(samples.begin(), samples.end());
+    // Nearest-rank on the sorted samples (small-n friendly).
+    double n = static_cast<double>(samples.size());
+    size_t rank = static_cast<size_t>(std::ceil(q * n));
+    return samples[std::min(samples.size() - 1,
+                            rank == 0 ? 0 : rank - 1)];
+}
+
+struct TimedCompile
+{
+    double ms = 0.0;
+    CompileResult result;
+};
+
+TimedCompile
+timedCompile(const Circuit& app, const Device& device,
+             const GateSet& set, const CompileOptions& options,
+             ProfileCache& cache, ThreadPool* pool)
+{
+    TimedCompile timed;
+    auto start = std::chrono::steady_clock::now();
+    timed.result = compileCircuit(app, device, set, cache, options, pool);
+    auto end = std::chrono::steady_clock::now();
+    timed.ms =
+        std::chrono::duration<double, std::milli>(end - start).count();
+    return timed;
+}
+
+struct AllocDelta
+{
+    std::uint64_t count = 0;
+    std::uint64_t bytes = 0;
+};
+
+struct WorkloadReport
+{
+    std::string name;
+    double cold_p50 = 0.0, cold_p95 = 0.0;
+    double warm_p50 = 0.0, warm_p95 = 0.0;
+    double parallel_p50 = 0.0, parallel_p95 = 0.0;
+    double speedup = 0.0;
+    AllocDelta cold_alloc, warm_alloc;
+    bool bit_identical = false;
+};
+
+WorkloadReport
+runWorkload(const std::string& name, const Circuit& app,
+            const Device& device, const GateSet& set,
+            const CompileOptions& options, ThreadPool& pool,
+            int cold_reps, int warm_reps)
+{
+    WorkloadReport report;
+    report.name = name;
+
+    // Serial cold: fresh cache per rep, every profile recomputed. The
+    // first rep's result anchors the bit-identity check, and its
+    // allocation delta is the deterministic counter reported below.
+    std::vector<double> cold_ms;
+    CompileResult serial_result;
+    for (int rep = 0; rep < cold_reps; ++rep) {
+        ProfileCache cache;
+        std::uint64_t c0 = g_alloc_count.load();
+        std::uint64_t b0 = g_alloc_bytes.load();
+        TimedCompile timed =
+            timedCompile(app, device, set, options, cache, nullptr);
+        if (rep == 0) {
+            report.cold_alloc.count = g_alloc_count.load() - c0;
+            report.cold_alloc.bytes = g_alloc_bytes.load() - b0;
+            serial_result = std::move(timed.result);
+        }
+        cold_ms.push_back(timed.ms);
+    }
+
+    // Serial warm: one shared cache, warmed by an untimed compile.
+    std::vector<double> warm_ms;
+    {
+        ProfileCache cache;
+        timedCompile(app, device, set, options, cache, nullptr);
+        for (int rep = 0; rep < warm_reps; ++rep) {
+            std::uint64_t c0 = g_alloc_count.load();
+            std::uint64_t b0 = g_alloc_bytes.load();
+            warm_ms.push_back(
+                timedCompile(app, device, set, options, cache, nullptr)
+                    .ms);
+            if (rep == 0) {
+                report.warm_alloc.count = g_alloc_count.load() - c0;
+                report.warm_alloc.bytes = g_alloc_bytes.load() - b0;
+            }
+        }
+    }
+
+    // Parallel cold: the worker pool fans the circuit's independent
+    // profile optimizations (cooperative parallelFor; no cap).
+    std::vector<double> parallel_ms;
+    CompileResult parallel_result;
+    for (int rep = 0; rep < cold_reps; ++rep) {
+        ProfileCache cache;
+        TimedCompile timed =
+            timedCompile(app, device, set, options, cache, &pool);
+        if (rep == 0)
+            parallel_result = std::move(timed.result);
+        parallel_ms.push_back(timed.ms);
+    }
+
+    report.cold_p50 = percentile(cold_ms, 0.50);
+    report.cold_p95 = percentile(cold_ms, 0.95);
+    report.warm_p50 = percentile(warm_ms, 0.50);
+    report.warm_p95 = percentile(warm_ms, 0.95);
+    report.parallel_p50 = percentile(parallel_ms, 0.50);
+    report.parallel_p95 = percentile(parallel_ms, 0.95);
+    report.speedup = report.parallel_p50 > 0.0
+                         ? report.cold_p50 / report.parallel_p50
+                         : 0.0;
+    report.bit_identical =
+        bench::resultsBitIdentical(serial_result, parallel_result);
+    return report;
+}
+
+void
+emitWorkload(const WorkloadReport& r, bool last)
+{
+    std::cout << "    {\n      \"name\": \"" << r.name << "\",\n"
+              << "      \"cold\": {\"p50_ms\": " << r.cold_p50
+              << ", \"p95_ms\": " << r.cold_p95 << "},\n"
+              << "      \"warm\": {\"p50_ms\": " << r.warm_p50
+              << ", \"p95_ms\": " << r.warm_p95 << "},\n"
+              << "      \"parallel_cold\": {\"p50_ms\": "
+              << r.parallel_p50 << ", \"p95_ms\": " << r.parallel_p95
+              << "},\n"
+              << "      \"speedup\": " << r.speedup << ",\n"
+              << "      \"alloc\": {\"cold_count\": "
+              << r.cold_alloc.count
+              << ", \"cold_bytes\": " << r.cold_alloc.bytes
+              << ", \"warm_count\": " << r.warm_alloc.count
+              << ", \"warm_bytes\": " << r.warm_alloc.bytes << "},\n"
+              << "      \"bit_identical\": "
+              << (r.bit_identical ? "true" : "false") << "\n    }"
+              << (last ? "" : ",") << '\n';
+}
+
+} // namespace
+
+int
+main()
+{
+    // Fixed scale, no banner: stdout must stay pure JSON for the
+    // smoke capture (same contract as bench_translation).
+    Rng rng(4242);
+    Device device = makeSycamore(rng);
+    GateSet set = isa::singleTypeSet(3); // CZ
+    CompileOptions options = bench::benchCompileOptions();
+
+    unsigned hw = std::thread::hardware_concurrency();
+    ThreadPool pool(hw == 0 ? 1 : hw);
+
+    Circuit qft = makeQftCircuit(32);
+    Rng qv_rng(77);
+    Circuit qv = makeQuantumVolumeCircuit(32, qv_rng);
+
+    // QFT-32 is sub-second per compile: enough reps for a stable p95.
+    // QV-32 pays ~500 BFGS optimizations per cold rep; keep it to a
+    // handful (its p95 is effectively the max of the reps).
+    WorkloadReport qft_report = runWorkload(
+        "qft32", qft, device, set, options, pool, 7, 15);
+    WorkloadReport qv_report =
+        runWorkload("qv32", qv, device, set, options, pool, 3, 3);
+
+    bool bit_identical =
+        qft_report.bit_identical && qv_report.bit_identical;
+
+    std::cout << "{\n  \"bench\": \"hotpath\",\n"
+              << "  \"threads\": " << pool.size() << ",\n"
+              << "  \"gate_set\": \"" << set.name << "\",\n"
+              << "  \"workloads\": [\n";
+    emitWorkload(qft_report, false);
+    emitWorkload(qv_report, true);
+    // Headline figures the CI gate reads: QFT-32 serial latency (the
+    // deterministic cache-bound path) and the QV-32 intra-circuit
+    // parallel speedup (the compute-bound path that needs the cores).
+    std::cout << "  ],\n"
+              << "  \"qft32_cold_p95_ms\": " << qft_report.cold_p95
+              << ",\n"
+              << "  \"cold_speedup\": " << qv_report.speedup << ",\n"
+              << "  \"bit_identical\": "
+              << (bit_identical ? "true" : "false") << "\n}\n";
+    return 0;
+}

@@ -18,13 +18,14 @@ ROUTING_JSON="${ROUTING_JSON:-$BUILD_DIR/BENCH_routing.json}"
 SHARDING_JSON="${SHARDING_JSON:-$BUILD_DIR/BENCH_sharding.json}"
 SERVICE_JSON="${SERVICE_JSON:-$BUILD_DIR/BENCH_service.json}"
 TRANSLATION_JSON="${TRANSLATION_JSON:-$BUILD_DIR/BENCH_translation.json}"
+HOTPATH_JSON="${HOTPATH_JSON:-$BUILD_DIR/BENCH_hotpath.json}"
 
 # Extra configure arguments (e.g. -DCMAKE_CXX_COMPILER_LAUNCHER=ccache
 # in CI); intentionally unquoted so multiple flags split.
 cmake -B "$BUILD_DIR" -S . ${CMAKE_EXTRA_ARGS:-}
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target "$BENCH" \
     bench_routing bench_sharding bench_service bench_translation \
-    quickstart
+    bench_hotpath quickstart
 
 # run_bench <binary> [json-output]: run a bench, streaming its output
 # to the terminal (and to the JSON file when given), and abort with
@@ -61,3 +62,6 @@ run_bench bench_routing "$ROUTING_JSON"
 run_bench bench_sharding "$SHARDING_JSON"
 run_bench bench_service "$SERVICE_JSON"
 run_bench bench_translation "$TRANSLATION_JSON"
+# Single-circuit hot-path latency, allocation counters and the
+# intra-circuit parallel speedup/bit-identity self-check (PR 6 on).
+run_bench bench_hotpath "$HOTPATH_JSON"

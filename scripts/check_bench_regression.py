@@ -21,18 +21,25 @@ regresses beyond the baseline tolerance:
     cache hit ratio on QFT-16 stops exceeding the raw-key baseline,
     when "auto" loses exact-mode Fu parity on any workload, or when
     the "nuop" engine stops being bit-identical to the legacy path.
+  - Compile hot path: fails when the QFT-32 serial cold-cache compile
+    p95 exceeds (1 + hotpath_latency_tolerance) * hotpath_p95_ms, or
+    when the QV-32 intra-circuit parallel speedup drops below
+    (1 - tolerance) * baseline or the hard floor
+    (min_hotpath_speedup), or when the parallel compile stops being
+    bit-identical to serial (always enforced).
   - Bit-identity of sharded and service results (always enforced).
 
-The sharding/service speedup baselines are calibrated on a 4-thread
-pool (see bench_baseline.json), so those gates are skipped with a
-warning when a bench got fewer than 4 threads — on such runners the
-floor would fire without a real regression. The translation speedup
-is serial-vs-serial on one thread and always gated.
+The sharding/service/hotpath speedup baselines — and the hotpath p95
+latency — are calibrated on the 4-thread CI runner (see
+bench_baseline.json), so those gates are skipped with a warning when
+a bench got fewer than 4 threads — on such runners the floor would
+fire without a real regression. The translation speedup is
+serial-vs-serial on one thread and always gated.
 
 Usage:
   check_bench_regression.py <baseline.json> <BENCH_routing.json> \
       <BENCH_sharding.json> <BENCH_service.json> \
-      <BENCH_translation.json>
+      <BENCH_translation.json> <BENCH_hotpath.json>
 """
 
 import json
@@ -74,7 +81,7 @@ def gate_speedup(
 
 
 def main() -> None:
-    if len(sys.argv) != 6:
+    if len(sys.argv) != 7:
         print(__doc__, file=sys.stderr)
         sys.exit(2)
     (
@@ -83,7 +90,8 @@ def main() -> None:
         sharding_path,
         service_path,
         translation_path,
-    ) = sys.argv[1:6]
+        hotpath_path,
+    ) = sys.argv[1:7]
     with open(baseline_path) as f:
         baseline = json.load(f)
     with open(routing_path) as f:
@@ -94,6 +102,8 @@ def main() -> None:
         service = json.load(f)
     with open(translation_path) as f:
         translation = json.load(f)
+    with open(hotpath_path) as f:
+        hotpath = json.load(f)
 
     tolerance = baseline.get("tolerance", 0.10)
 
@@ -180,6 +190,46 @@ def main() -> None:
         baseline.get("min_translation_speedup", 0.0),
         tolerance,
         min_threads=1,
+    )
+
+    # --- compile hot path: bit-identity (always), latency, speedup ---
+    if not hotpath.get("bit_identical", False):
+        fail(
+            "intra-circuit parallel compiles are not bit-identical to "
+            "the serial hot path"
+        )
+    hotpath_threads = hotpath.get("threads", 1)
+    p95 = hotpath["qft32_cold_p95_ms"]
+    p95_baseline = baseline["hotpath_p95_ms"]
+    # Wall-clock latency varies more across hosts than a same-host
+    # speedup ratio does, so this gate takes its own (wider) tolerance
+    # and, like the pool gates, only fires on the runner class it was
+    # calibrated for.
+    p95_limit = p95_baseline * (
+        1.0 + baseline.get("hotpath_latency_tolerance", 0.50)
+    )
+    print(
+        f"qft32 cold-cache compile p95: {p95:.1f} ms "
+        f"(baseline {p95_baseline}, limit {p95_limit:.1f})"
+    )
+    if hotpath_threads < 4:
+        print(
+            f"WARNING: hotpath bench ran on {hotpath_threads} thread(s) "
+            "but the latency baseline is calibrated for the 4-thread CI "
+            "runner; skipping its p95 gate"
+        )
+    elif p95 > p95_limit:
+        fail(
+            f"single-circuit cold compile p95 regressed: {p95:.1f} ms > "
+            f"{p95_limit:.1f} ms"
+        )
+    gate_speedup(
+        "hotpath intra-circuit",
+        hotpath["cold_speedup"],
+        hotpath_threads,
+        baseline["hotpath_speedup"],
+        baseline.get("min_hotpath_speedup", 0.0),
+        tolerance,
     )
 
     print("bench regression gate: OK")

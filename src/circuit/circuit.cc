@@ -1,6 +1,7 @@
 #include "circuit/circuit.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "circuit/schedule.h"
 #include "common/error.h"
@@ -67,6 +68,7 @@ Circuit::append(const Circuit& other)
 {
     QISET_REQUIRE(other.num_qubits_ <= num_qubits_,
                   "appended circuit is wider than target");
+    ops_.reserve(ops_.size() + other.ops_.size());
     for (const auto& op : other.ops_)
         ops_.push_back(op);
 }
@@ -158,8 +160,15 @@ Circuit::unitary() const
                   num_qubits_, " requested)");
     size_t dim = size_t{1} << num_qubits_;
     Matrix result = Matrix::identity(dim);
-    for (const auto& op : ops_)
-        result = embedUnitary(op.unitary, op.qubits, num_qubits_) * result;
+    // Ping-pong between result and a product buffer so the loop runs
+    // allocation-free after the first op (multiplyInto reuses the
+    // 2^n x 2^n buffers instead of materializing fresh temporaries).
+    Matrix embedded, product;
+    for (const auto& op : ops_) {
+        embedded = embedUnitary(op.unitary, op.qubits, num_qubits_);
+        Matrix::multiplyInto(product, embedded, result);
+        std::swap(product, result);
+    }
     return result;
 }
 

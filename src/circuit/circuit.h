@@ -69,6 +69,16 @@ class Circuit
     /** Append every operation of another circuit (same register size). */
     void append(const Circuit& other);
 
+    /**
+     * Pre-size the op list for `additional` more appends (on top of
+     * the current size). Generators and rewrite passes that know their
+     * output gate count call this so append loops never reallocate.
+     */
+    void reserveOps(size_t additional)
+    {
+        ops_.reserve(ops_.size() + additional);
+    }
+
     const std::vector<Operation>& ops() const { return ops_; }
     std::vector<Operation>& mutableOps() { return ops_; }
 

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "circuit/circuit.h"
+#include "common/arena.h"
 #include "common/error.h"
 
 namespace qiset {
@@ -48,7 +49,7 @@ Schedule::structureFingerprint(const Circuit& circuit)
 }
 
 void
-Schedule::build(const Circuit& circuit)
+Schedule::build(const Circuit& circuit, MemArena* scratch)
 {
     const auto& ops = circuit.ops();
     size_t count = ops.size();
@@ -62,9 +63,24 @@ Schedule::build(const Circuit& circuit)
 
     // ASAP: each op starts at the first moment after every op already
     // scheduled on its qubits (this exact recurrence is the contract
-    // the crosstalk model and Circuit::depth() rely on).
-    std::vector<int> level(n, 0);
-    std::vector<double> busy_until(n, 0.0);
+    // the crosstalk model and Circuit::depth() rely on). The per-qubit
+    // working arrays are pure scratch: bump them from the caller's
+    // arena when one is available.
+    int* level;
+    double* busy_until;
+    std::vector<int> level_heap;
+    std::vector<double> busy_heap;
+    if (scratch) {
+        level = scratch->allocateArray<int>(n);
+        busy_until = scratch->allocateArray<double>(n);
+    } else {
+        level_heap.assign(n, 0);
+        busy_heap.assign(n, 0.0);
+        level = level_heap.data();
+        busy_until = busy_heap.data();
+    }
+    std::fill(level, level + n, 0);
+    std::fill(busy_until, busy_until + n, 0.0);
     int depth = 0;
     double duration = 0.0;
     for (size_t i = 0; i < count; ++i) {
@@ -90,7 +106,7 @@ Schedule::build(const Circuit& circuit)
     // ALAP: schedule the reversed op order ASAP, then mirror the
     // moment axis. An op's ALAP moment is depth-1 minus its reversed
     // ASAP moment.
-    std::fill(level.begin(), level.end(), 0);
+    std::fill(level, level + n, 0);
     for (size_t r = 0; r < count; ++r) {
         size_t i = count - 1 - r;
         int start = 0;
@@ -101,8 +117,32 @@ Schedule::build(const Circuit& circuit)
             level[q] = start + 1;
     }
 
+    // Build the moment tables with exact per-moment capacities: count
+    // first (cheap, reusing the scratch array), then reserve, so the
+    // inner vectors never grow-and-copy during the fill.
     moments_.resize(depth_);
     frontier_.resize(depth_);
+    if (depth_ > 0) {
+        int* moment_ops = nullptr;
+        std::vector<int> moment_heap;
+        if (scratch) {
+            moment_ops = scratch->allocateArray<int>(2 * depth_);
+        } else {
+            moment_heap.assign(2 * static_cast<size_t>(depth_), 0);
+            moment_ops = moment_heap.data();
+        }
+        std::fill(moment_ops, moment_ops + 2 * depth_, 0);
+        int* frontier_ops = moment_ops + depth_;
+        for (size_t i = 0; i < count; ++i) {
+            ++moment_ops[asap_[i]];
+            if (ops[i].isTwoQubit())
+                ++frontier_ops[asap_[i]];
+        }
+        for (int m = 0; m < depth_; ++m) {
+            moments_[m].reserve(moment_ops[m]);
+            frontier_[m].reserve(frontier_ops[m]);
+        }
+    }
     for (size_t i = 0; i < count; ++i) {
         moments_[asap_[i]].push_back(i);
         if (ops[i].isTwoQubit())

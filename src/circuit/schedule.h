@@ -33,6 +33,7 @@
 namespace qiset {
 
 class Circuit;
+class MemArena;
 
 /**
  * Cheap cost summary of one schedule — the per-candidate signal the
@@ -57,8 +58,14 @@ class Schedule
 
     explicit Schedule(const Circuit& circuit) { build(circuit); }
 
-    /** (Re)compute all moment state from the circuit. */
-    void build(const Circuit& circuit);
+    /**
+     * (Re)compute all moment state from the circuit. When `scratch`
+     * is given, per-qubit working arrays bump-allocate from it (and
+     * are dead once build returns — the arena owner may reset);
+     * the schedule's own state always lives on the regular heap, so a
+     * built Schedule never holds arena pointers.
+     */
+    void build(const Circuit& circuit, MemArena* scratch = nullptr);
 
     /** False until built, or after invalidate(). */
     bool valid() const { return valid_; }

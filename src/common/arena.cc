@@ -1,0 +1,104 @@
+#include "common/arena.h"
+
+#include <cstdlib>
+
+#include "common/error.h"
+
+namespace qiset {
+
+namespace {
+
+inline size_t
+alignUp(size_t value, size_t align)
+{
+    return (value + align - 1) & ~(align - 1);
+}
+
+} // namespace
+
+MemArena::MemArena(size_t block_bytes) : block_bytes_(block_bytes)
+{
+    QISET_REQUIRE(block_bytes_ > 0, "arena block size must be positive");
+}
+
+MemArena::~MemArena()
+{
+    for (Block& block : blocks_)
+        ::operator delete(block.data);
+    for (Block& block : oversized_)
+        ::operator delete(block.data);
+}
+
+void*
+MemArena::allocate(size_t bytes, size_t align)
+{
+    QISET_REQUIRE(align != 0 && (align & (align - 1)) == 0,
+                  "arena alignment must be a power of two (got ", align,
+                  ")");
+    if (bytes == 0)
+        bytes = 1; // distinct non-null pointers, like operator new.
+
+    // Outlier requests get a dedicated block: they would waste most of
+    // a regular block and defeat reset-reuse.
+    if (bytes + align > block_bytes_) {
+        Block block;
+        block.capacity = bytes + align;
+        block.data =
+            static_cast<char*>(::operator new(block.capacity));
+        ++blocks_ever_;
+        bytes_reserved_ += block.capacity;
+        oversized_.push_back(block);
+        bytes_allocated_ += bytes;
+        return reinterpret_cast<void*>(
+            alignUp(reinterpret_cast<uintptr_t>(block.data), align));
+    }
+
+    if (blocks_.empty())
+        nextBlock(bytes + align);
+    for (;;) {
+        Block& block = blocks_[current_];
+        size_t base = alignUp(
+            reinterpret_cast<uintptr_t>(block.data) + offset_, align) -
+            reinterpret_cast<uintptr_t>(block.data);
+        if (base + bytes <= block.capacity) {
+            offset_ = base + bytes;
+            bytes_allocated_ += bytes;
+            return block.data + base;
+        }
+        nextBlock(bytes + align);
+    }
+}
+
+void
+MemArena::nextBlock(size_t min_bytes)
+{
+    // Reuse an already-chained block when rewound; otherwise grow.
+    if (!blocks_.empty() && current_ + 1 < blocks_.size()) {
+        ++current_;
+        offset_ = 0;
+        return;
+    }
+    Block block;
+    block.capacity = block_bytes_ < min_bytes ? min_bytes : block_bytes_;
+    block.data = static_cast<char*>(::operator new(block.capacity));
+    ++blocks_ever_;
+    bytes_reserved_ += block.capacity;
+    blocks_.push_back(block);
+    current_ = blocks_.size() - 1;
+    offset_ = 0;
+}
+
+void
+MemArena::reset()
+{
+    for (Block& block : oversized_) {
+        bytes_reserved_ -= block.capacity;
+        ::operator delete(block.data);
+    }
+    oversized_.clear();
+    current_ = 0;
+    offset_ = 0;
+    bytes_allocated_ = 0;
+}
+
+} // namespace qiset

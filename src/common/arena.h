@@ -1,0 +1,212 @@
+#ifndef QISET_COMMON_ARENA_H
+#define QISET_COMMON_ARENA_H
+
+/**
+ * @file
+ * Bump-pointer memory arena for per-compile scratch.
+ *
+ * The compile hot path rebuilds the same transient structures on every
+ * pass sweep — routing frontier sets, all-pairs distance rows, moment
+ * tables, consolidation block lists — and paid a malloc/free round
+ * trip for each. A MemArena turns that into JIT-style region
+ * allocation (the rvdbt MemArena-per-translation pattern): grab a
+ * region at compile start, bump-allocate scratch into it, rewind the
+ * whole region when the pass (or the compile) is done. Deallocation
+ * of individual objects is a no-op; only trivially-destructible
+ * payloads (or containers whose destructors run before the rewind)
+ * belong in an arena.
+ *
+ * ArenaAllocator adapts a MemArena to the standard allocator
+ * interface so `std::vector<T, ArenaAllocator<T>>` (aliased as
+ * ArenaVector<T>) gets bump-allocated growth. Vectors still run their
+ * destructors normally — the arena simply never returns the memory to
+ * the heap until reset()/destruction.
+ *
+ * Thread safety: none. One arena belongs to one compilation (the
+ * CompilationContext owns one); concurrent passes must use distinct
+ * arenas or scoped sub-arenas.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+namespace qiset {
+
+/** Region bump allocator with block chaining and reset-reuse. */
+class MemArena
+{
+  public:
+    /**
+     * @param block_bytes Size of each internal block. Requests larger
+     *        than a block get a dedicated oversized block.
+     */
+    explicit MemArena(size_t block_bytes = kDefaultBlockBytes);
+    ~MemArena();
+
+    MemArena(const MemArena&) = delete;
+    MemArena& operator=(const MemArena&) = delete;
+
+    /**
+     * Bump-allocate `bytes` with the given alignment (a power of two).
+     * Never returns null: exhausting the current block chains a new
+     * one. Zero-byte requests return a valid, unique pointer.
+     */
+    void* allocate(size_t bytes, size_t align = alignof(std::max_align_t));
+
+    /** Typed helper: uninitialized storage for `count` T. */
+    template <typename T>
+    T* allocateArray(size_t count)
+    {
+        return static_cast<T*>(allocate(count * sizeof(T), alignof(T)));
+    }
+
+    /**
+     * Rewind to empty, retaining every already-chained regular block
+     * for reuse (the steady-state compile loop allocates from warm
+     * blocks without touching malloc). Oversized one-off blocks are
+     * released — they were sized for a single outlier request.
+     * Everything previously allocated becomes invalid.
+     */
+    void reset();
+
+    /** Bytes handed out since construction/reset (live scratch). */
+    size_t bytesAllocated() const { return bytes_allocated_; }
+
+    /** Bytes of block capacity currently owned (reserved heap). */
+    size_t bytesReserved() const { return bytes_reserved_; }
+
+    /** Number of blocks currently owned (regular + oversized). */
+    size_t blockCount() const
+    {
+        return blocks_.size() + oversized_.size();
+    }
+
+    /** Total blocks ever chained (monotonic; reuse keeps it flat). */
+    uint64_t blocksEverAllocated() const { return blocks_ever_; }
+
+    static constexpr size_t kDefaultBlockBytes = 64 * 1024;
+
+  private:
+    struct Block
+    {
+        char* data = nullptr;
+        size_t capacity = 0;
+    };
+
+    /** Chain (or reuse) the next regular block. */
+    void nextBlock(size_t min_bytes);
+
+    std::vector<Block> blocks_;
+    /** Dedicated blocks for requests larger than block_bytes_. */
+    std::vector<Block> oversized_;
+    size_t block_bytes_;
+    /** Index into blocks_ of the block being bumped. */
+    size_t current_ = 0;
+    /** Bump offset within the current block. */
+    size_t offset_ = 0;
+    size_t bytes_allocated_ = 0;
+    size_t bytes_reserved_ = 0;
+    uint64_t blocks_ever_ = 0;
+};
+
+/**
+ * RAII pass-scope guard: resets the arena when the scope exits, so
+ * the next pass starts bumping from warm blocks. Use one per pass (or
+ * per compile phase) — MemArena::reset() is a full rewind, so scopes
+ * must not nest.
+ */
+class ArenaResetGuard
+{
+  public:
+    explicit ArenaResetGuard(MemArena& arena) : arena_(arena) {}
+    ~ArenaResetGuard() { arena_.reset(); }
+
+    ArenaResetGuard(const ArenaResetGuard&) = delete;
+    ArenaResetGuard& operator=(const ArenaResetGuard&) = delete;
+
+  private:
+    MemArena& arena_;
+};
+
+/**
+ * Standard-allocator adapter over a MemArena. deallocate() is a no-op
+ * (the arena reclaims everything at reset()); rebinding copies the
+ * arena reference. Compares equal iff both sides use the same arena,
+ * so container moves between same-arena allocators stay cheap.
+ */
+template <typename T>
+class ArenaAllocator
+{
+  public:
+    using value_type = T;
+    using is_always_equal = std::false_type;
+    using propagate_on_container_move_assignment = std::true_type;
+    using propagate_on_container_copy_assignment = std::true_type;
+    using propagate_on_container_swap = std::true_type;
+
+    explicit ArenaAllocator(MemArena& arena) : arena_(&arena) {}
+
+    template <typename U>
+    ArenaAllocator(const ArenaAllocator<U>& other)
+        : arena_(other.arena())
+    {
+    }
+
+    T* allocate(size_t count)
+    {
+        return arena_->allocateArray<T>(count);
+    }
+
+    void deallocate(T*, size_t) {}
+
+    MemArena* arena() const { return arena_; }
+
+  private:
+    MemArena* arena_;
+};
+
+template <typename T, typename U>
+bool
+operator==(const ArenaAllocator<T>& a, const ArenaAllocator<U>& b)
+{
+    return a.arena() == b.arena();
+}
+
+template <typename T, typename U>
+bool
+operator!=(const ArenaAllocator<T>& a, const ArenaAllocator<U>& b)
+{
+    return !(a == b);
+}
+
+/** std::vector growing inside an arena. */
+template <typename T>
+using ArenaVector = std::vector<T, ArenaAllocator<T>>;
+
+/** Build an ArenaVector of `count` default-initialized T. */
+template <typename T>
+ArenaVector<T>
+makeArenaVector(MemArena& arena, size_t count = 0)
+{
+    ArenaVector<T> v{ArenaAllocator<T>(arena)};
+    if (count)
+        v.resize(count);
+    return v;
+}
+
+/** Build an ArenaVector of `count` copies of `fill`. */
+template <typename T>
+ArenaVector<T>
+makeArenaVector(MemArena& arena, size_t count, const T& fill)
+{
+    ArenaVector<T> v{ArenaAllocator<T>(arena)};
+    v.assign(count, fill);
+    return v;
+}
+
+} // namespace qiset
+
+#endif // QISET_COMMON_ARENA_H

@@ -1,6 +1,8 @@
 #include "common/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
+#include <memory>
 
 namespace qiset {
 
@@ -72,40 +74,86 @@ ThreadPool::workerLoop()
     }
 }
 
+namespace {
+
+/**
+ * Shared state of one cooperative parallelFor. Heap-held via
+ * shared_ptr so a helper job that dequeues after the loop has already
+ * finished (it will find no indices left) still touches live memory.
+ * The user fn is referenced through a raw pointer: it is only ever
+ * invoked for a claimed index i < count, and the caller cannot return
+ * before every claimed index is done, so the referent is alive for
+ * every invocation.
+ */
+struct ParallelForState
+{
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::atomic<bool> failed{false};
+    std::mutex mutex;
+    std::condition_variable all_done;
+    std::exception_ptr first_error;
+};
+
+/** Claim-and-run loop shared by the caller and every helper. */
+void
+parallelForDrain(const std::shared_ptr<ParallelForState>& state,
+                 size_t count, const std::function<void(size_t)>* fn)
+{
+    for (;;) {
+        size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count)
+            return;
+        if (!state->failed.load(std::memory_order_relaxed)) {
+            try {
+                (*fn)(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(state->mutex);
+                if (!state->first_error)
+                    state->first_error = std::current_exception();
+                state->failed.store(true, std::memory_order_relaxed);
+            }
+        }
+        // Every index is claimed exactly once and accounted exactly
+        // once (even when skipped after a failure), so done == count
+        // is the loop's sole completion condition.
+        if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            count) {
+            std::lock_guard<std::mutex> lock(state->mutex);
+            state->all_done.notify_all();
+        }
+    }
+}
+
+} // namespace
+
 void
 parallelFor(ThreadPool& pool, size_t count,
-            const std::function<void(size_t)>& fn)
+            const std::function<void(size_t)>& fn,
+            size_t max_parallelism)
 {
-    // Chunk the index space so tiny iterations don't drown in queue
-    // overhead; NuOp decompositions are coarse enough that a handful of
-    // chunks per worker balances well.
-    size_t chunks = std::max<size_t>(pool.size() * 4, 1);
-    size_t chunk_size = (count + chunks - 1) / chunks;
-    if (chunk_size == 0)
-        chunk_size = 1;
-    std::mutex error_mutex;
-    std::exception_ptr first_error;
-    std::atomic<bool> failed{false};
-    for (size_t begin = 0; begin < count; begin += chunk_size) {
-        size_t end = std::min(begin + chunk_size, count);
-        pool.submit([begin, end, &fn, &error_mutex, &first_error,
-                     &failed] {
-            if (failed.load(std::memory_order_relaxed))
-                return; // a sibling chunk already failed; bail early.
-            try {
-                for (size_t i = begin; i < end; ++i)
-                    fn(i);
-            } catch (...) {
-                std::lock_guard<std::mutex> lock(error_mutex);
-                if (!first_error)
-                    first_error = std::current_exception();
-                failed.store(true, std::memory_order_relaxed);
-            }
+    if (count == 0)
+        return;
+    auto state = std::make_shared<ParallelForState>();
+    // The caller participates, so only count - 1 helpers can ever find
+    // work; cap further by the pool size and the requested parallelism.
+    size_t helpers = std::min(count - 1, pool.size());
+    if (max_parallelism != 0)
+        helpers = std::min(helpers, max_parallelism - 1);
+    const std::function<void(size_t)>* fn_ptr = &fn;
+    for (size_t h = 0; h < helpers; ++h)
+        pool.submit([state, count, fn_ptr] {
+            parallelForDrain(state, count, fn_ptr);
+        });
+    parallelForDrain(state, count, fn_ptr);
+    {
+        std::unique_lock<std::mutex> lock(state->mutex);
+        state->all_done.wait(lock, [&] {
+            return state->done.load(std::memory_order_acquire) == count;
         });
     }
-    pool.wait();
-    if (first_error)
-        std::rethrow_exception(first_error);
+    if (state->first_error)
+        std::rethrow_exception(state->first_error);
 }
 
 } // namespace qiset

@@ -58,17 +58,26 @@ class ThreadPool
 };
 
 /**
- * Run fn(i) for every i in [0, count) across the pool's workers and
- * block until all iterations finish. fn must be safe to call
- * concurrently for distinct indices.
+ * Run fn(i) for every i in [0, count) and block until all iterations
+ * finish. fn must be safe to call concurrently for distinct indices.
  *
- * If fn throws, remaining chunks are skipped (best effort) and the
- * first exception is rethrown on the calling thread after all
- * submitted work has drained. Must not be called from inside a worker
- * of the same pool (the inner wait() would deadlock).
+ * Cooperative: the calling thread claims indices itself while up to
+ * `max_parallelism - 1` pool workers help (0 means "as many as the
+ * pool has"). Indices are dispensed from a shared atomic counter and
+ * completion is tracked by the loop's own counter — no pool.wait() —
+ * so it is safe to call from inside a worker of the same pool: helpers
+ * that never get scheduled simply find no indices left, and the caller
+ * makes progress on its own thread regardless. This is what lets the
+ * async CompileService fan a single circuit's decompositions across
+ * otherwise-idle workers.
+ *
+ * If fn throws, remaining indices are skipped (best effort) and the
+ * first exception is rethrown on the calling thread after every
+ * claimed index has been accounted for.
  */
 void parallelFor(ThreadPool& pool, size_t count,
-                 const std::function<void(size_t)>& fn);
+                 const std::function<void(size_t)>& fn,
+                 size_t max_parallelism = 0);
 
 } // namespace qiset
 

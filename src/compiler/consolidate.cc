@@ -1,9 +1,9 @@
 #include "compiler/consolidate.h"
 
 #include <algorithm>
-#include <map>
 #include <utility>
 
+#include "common/arena.h"
 #include "common/error.h"
 #include "qc/gates.h"
 
@@ -33,38 +33,53 @@ embed1q(const Matrix& gate, bool on_first)
 Circuit
 consolidateTwoQubitBlocks(const Circuit& circuit)
 {
+    // No caller arena (direct use in tests/benches): scratch lives in
+    // a call-local arena discarded wholesale on return.
+    MemArena arena;
+    return consolidateTwoQubitBlocks(circuit, arena);
+}
+
+Circuit
+consolidateTwoQubitBlocks(const Circuit& circuit, MemArena& arena)
+{
     Circuit out(circuit.numQubits());
+    // Consolidation never grows the op list: every input op either
+    // passes through or fuses away.
+    out.reserveOps(circuit.size());
 
-    // qubit -> index into `blocks` of the active block covering it.
-    std::map<int, size_t> owner;
-    std::vector<Block> blocks;
+    // owner[q] = index into `blocks` of the active block covering
+    // qubit q, or -1. A flat array: lookups on the fuse hot path were
+    // previously a std::map probe per op.
+    auto owner = makeArenaVector<int>(arena, circuit.numQubits(), -1);
+    auto blocks = makeArenaVector<Block>(arena);
+    // Every 4x4 product lands in these reused scratch matrices
+    // (inline SBO storage — the whole fuse loop is allocation-free).
+    Matrix embedded, product;
 
-    auto flush = [&](size_t index) {
-        Block& block = blocks[index];
+    auto flush = [&](int index) {
+        Block& block = blocks[static_cast<size_t>(index)];
         Operation op;
         op.qubits = {block.qubit_a, block.qubit_b};
         op.unitary = block.unitary;
         op.label = "block";
         out.add(std::move(op));
-        owner.erase(block.qubit_a);
-        owner.erase(block.qubit_b);
+        owner[block.qubit_a] = -1;
+        owner[block.qubit_b] = -1;
     };
 
     auto flush_qubit = [&](int q) {
-        auto it = owner.find(q);
-        if (it != owner.end())
-            flush(it->second);
+        if (owner[q] >= 0)
+            flush(owner[q]);
     };
 
     for (const auto& op : circuit.ops()) {
         if (!op.isTwoQubit()) {
             int q = op.qubits[0];
-            auto it = owner.find(q);
-            if (it != owner.end()) {
-                Block& block = blocks[it->second];
-                block.unitary =
-                    embed1q(op.unitary, q == block.qubit_a) *
-                    block.unitary;
+            if (owner[q] >= 0) {
+                Block& block = blocks[static_cast<size_t>(owner[q])];
+                embedded = embed1q(op.unitary, q == block.qubit_a);
+                Matrix::multiplyInto(product, embedded, block.unitary);
+                std::swap(block.unitary, product);
                 ++block.fused_ops;
             } else {
                 out.add(op);
@@ -74,18 +89,18 @@ consolidateTwoQubitBlocks(const Circuit& circuit)
 
         int a = op.qubits[0];
         int b = op.qubits[1];
-        auto it_a = owner.find(a);
-        auto it_b = owner.find(b);
-        if (it_a != owner.end() && it_b != owner.end() &&
-            it_a->second == it_b->second) {
+        if (owner[a] >= 0 && owner[a] == owner[b]) {
             // Same pair: fuse (reorienting if the op is reversed).
-            Block& block = blocks[it_a->second];
-            Matrix u = op.unitary;
+            Block& block = blocks[static_cast<size_t>(owner[a])];
             if (a != block.qubit_a) {
-                Matrix s = gates::swap();
-                u = s * u * s;
+                const Matrix& s = gates::swap();
+                Matrix::multiplyInto(product, s, op.unitary);
+                Matrix::multiplyInto(embedded, product, s);
+            } else {
+                embedded = op.unitary;
             }
-            block.unitary = u * block.unitary;
+            Matrix::multiplyInto(product, embedded, block.unitary);
+            std::swap(block.unitary, product);
             ++block.fused_ops;
             continue;
         }
@@ -99,17 +114,18 @@ consolidateTwoQubitBlocks(const Circuit& circuit)
         block.unitary = op.unitary;
         block.fused_ops = 1;
         blocks.push_back(std::move(block));
-        owner[a] = blocks.size() - 1;
-        owner[b] = blocks.size() - 1;
+        owner[a] = static_cast<int>(blocks.size()) - 1;
+        owner[b] = static_cast<int>(blocks.size()) - 1;
     }
 
     // Flush remaining blocks in creation order for determinism.
-    std::vector<size_t> open;
-    for (const auto& [q, index] : owner)
-        open.push_back(index);
+    auto open = makeArenaVector<int>(arena);
+    for (int q = 0; q < circuit.numQubits(); ++q)
+        if (owner[q] >= 0)
+            open.push_back(owner[q]);
     std::sort(open.begin(), open.end());
     open.erase(std::unique(open.begin(), open.end()), open.end());
-    for (size_t index : open)
+    for (int index : open)
         flush(index);
 
     return out;

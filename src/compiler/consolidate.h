@@ -18,6 +18,8 @@
 
 namespace qiset {
 
+class MemArena;
+
 /**
  * Fuse runs of operations confined to one qubit pair into single 4x4
  * unitaries (labeled "block"). Single-qubit ops merge into the
@@ -26,6 +28,14 @@ namespace qiset {
  * preserved up to commuting reorderings.
  */
 Circuit consolidateTwoQubitBlocks(const Circuit& circuit);
+
+/**
+ * Arena variant: ownership tables and the in-flight block list
+ * bump-allocate from `arena` (dead by return; the caller resets).
+ * The returned Circuit holds only regular heap state.
+ */
+Circuit consolidateTwoQubitBlocks(const Circuit& circuit,
+                                  MemArena& arena);
 
 } // namespace qiset
 

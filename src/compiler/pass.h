@@ -23,6 +23,7 @@
 
 #include "circuit/circuit.h"
 #include "circuit/schedule.h"
+#include "common/arena.h"
 #include "common/thread_pool.h"
 #include "compiler/profile_cache.h"
 #include "compiler/routing_strategy.h"
@@ -74,6 +75,15 @@ struct CompileOptions
     SabreOptions sabre;
     /** NuOp settings shared by all decompositions. */
     NuOpOptions nuop;
+    /**
+     * Cap on the threads (including the calling one) a single compile
+     * may use for intra-circuit work — today, fanning a circuit's
+     * independent two-qubit decompositions across the worker pool.
+     * 0 means "no cap" (use every pool worker), 1 forces the serial
+     * path. Parallel and serial results are bit-identical; the cap
+     * only trades latency of one job against throughput of many.
+     */
+    size_t intra_circuit_parallelism = 0;
 };
 
 /** Fully compiled circuit with everything needed to simulate it. */
@@ -143,6 +153,18 @@ class CompilationContext
     /** Worker pool for intra-pass parallelism; may be null. */
     ThreadPool* threadPool() { return pool_; }
 
+    /**
+     * Per-compile bump arena for pass-local scratch (frontier sets,
+     * distance rows, moment tables). Lifetime rules: allocations live
+     * until the pass that made them returns — each pass that uses the
+     * arena resets it on exit (ArenaResetGuard), so no pass may hold
+     * arena pointers across its own run() exit, and blocks chained by
+     * one pass are reused warm by the next. Single-threaded: only the
+     * pass running on the context's thread may allocate; work fanned
+     * onto the pool must not touch it.
+     */
+    MemArena& arena() { return arena_; }
+
     // ----- mutable pipeline state (passes read/write directly) -------
     /** Working circuit; starts as a copy of the application circuit. */
     Circuit circuit;
@@ -183,8 +205,11 @@ class CompilationContext
      */
     const Schedule& ensureSchedule()
     {
+        // The build's per-qubit scratch bumps from the compile arena;
+        // the Schedule itself stores only heap state, so the rebuild
+        // leaves nothing arena-held behind.
         if (!schedule.consistentWith(circuit))
-            schedule.build(circuit);
+            schedule.build(circuit, &arena_);
         return schedule;
     }
 
@@ -226,6 +251,7 @@ class CompilationContext
     CompileOptions options_;
     ProfileCache& cache_;
     ThreadPool* pool_ = nullptr;
+    MemArena arena_;
     /**
      * Index into pass_metrics of the pass currently running, or
      * SIZE_MAX outside a run (index, not pointer: a nested manager run

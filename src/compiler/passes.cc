@@ -79,12 +79,17 @@ class RoutingPass : public Pass
             name == "sabre"
                 ? std::make_unique<SabreRouter>(ctx.options().sabre)
                 : makeRoutingStrategy(name);
+        // Routing scratch (distance tables, DAG, frontier sets) bumps
+        // from the compile arena; rewind it per candidate so best-of
+        // runs reuse the same warm blocks instead of accumulating.
+        ArenaResetGuard scratch(ctx.arena());
         // Only lookahead strategies need the pre-routing schedule;
         // don't build one the greedy path would throw away.
         return router->wantsSchedule()
                    ? router->route(ctx.circuit, coupling,
-                                   ctx.ensureSchedule())
-                   : router->route(ctx.circuit, coupling, Schedule());
+                                   ctx.ensureSchedule(), ctx.arena())
+                   : router->route(ctx.circuit, coupling, Schedule(),
+                                   ctx.arena());
     }
 
     /**
@@ -161,7 +166,8 @@ class ConsolidationPass : public Pass
     void run(CompilationContext& ctx) override
     {
         int before = ctx.circuit.twoQubitGateCount();
-        ctx.circuit = consolidateTwoQubitBlocks(ctx.circuit);
+        ArenaResetGuard scratch(ctx.arena());
+        ctx.circuit = consolidateTwoQubitBlocks(ctx.circuit, ctx.arena());
         ctx.schedule.invalidate(); // fusing ops rewrote the circuit
         int after = ctx.circuit.twoQubitGateCount();
         ctx.reportCounter("blocks_before", before);
@@ -185,7 +191,8 @@ class TranslationPass : public Pass
         TranslateResult translated = translateCircuit(
             ctx.circuit, ctx.physical, ctx.device(), ctx.gateSet(),
             decomposer, *strategy, ctx.profileCache(),
-            ctx.options().approximate, ctx.threadPool());
+            ctx.options().approximate, ctx.threadPool(),
+            ctx.options().intra_circuit_parallelism);
         ctx.circuit = std::move(translated.circuit);
         ctx.schedule.invalidate(); // native gates rewrote the circuit
         ctx.two_qubit_count = translated.two_qubit_count;
@@ -224,7 +231,8 @@ class SchedulingPass : public Pass
 
     void run(CompilationContext& ctx) override
     {
-        ctx.schedule.build(ctx.circuit);
+        ArenaResetGuard scratch(ctx.arena());
+        ctx.schedule.build(ctx.circuit, &ctx.arena());
         ctx.reportCounter("depth", ctx.schedule.depth());
         ctx.reportCounter("max_parallel_2q",
                           static_cast<double>(

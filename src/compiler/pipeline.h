@@ -64,8 +64,10 @@ CompileResult compileCircuit(const Circuit& app, const Device& device,
  * profile is optimized at most once across the whole batch.
  *
  * With a pool, circuits compile concurrently (one worker per circuit;
- * the intra-circuit translation then runs serially to keep the pool
- * deadlock-free). Results are positionally aligned with `apps` and,
+ * each worker additionally fans its circuit's decompositions across
+ * otherwise-idle workers via the cooperative parallelFor, capped by
+ * options.intra_circuit_parallelism). Results are positionally
+ * aligned with `apps` and,
  * thanks to deterministic multistart seeding, bit-identical to serial
  * compileCircuit() calls. Like compileCircuit, a thin wrapper over a
  * one-shot single-device CompileService.

@@ -53,6 +53,9 @@ routeCircuit(const Circuit& logical, const Topology& coupling)
     int n = logical.numQubits();
     RoutedCircuit out;
     out.circuit = Circuit(n);
+    // Output = every logical op plus inserted SWAPs; pre-size for the
+    // known part so the append loop rarely reallocates.
+    out.circuit.reserveOps(logical.size());
 
     RoutingState state(n);
 

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <map>
 #include <mutex>
-#include <queue>
 #include <set>
 #include <sstream>
 #include <utility>
@@ -103,57 +102,102 @@ GreedyRouter::route(const Circuit& logical, const Topology& coupling,
 
 namespace {
 
-/** All-pairs BFS distances on the coupling graph. */
-std::vector<std::vector<int>>
-allPairsDistance(const Topology& coupling)
+/**
+ * All-pairs BFS distances on the coupling graph, bump-allocated as a
+ * flat n x n row-major table (dist[a * n + b]); the BFS queue is an
+ * arena array walked by index.
+ */
+const int*
+allPairsDistance(const Topology& coupling, MemArena& arena)
 {
     int n = coupling.numQubits();
-    std::vector<std::vector<int>> dist(n, std::vector<int>(n, -1));
+    int* dist = arena.allocateArray<int>(static_cast<size_t>(n) * n);
+    std::fill(dist, dist + static_cast<size_t>(n) * n, -1);
+    int* frontier = arena.allocateArray<int>(n);
     for (int source = 0; source < n; ++source) {
-        auto& row = dist[source];
+        int* row = dist + static_cast<size_t>(source) * n;
         row[source] = 0;
-        std::queue<int> frontier;
-        frontier.push(source);
-        while (!frontier.empty()) {
-            int node = frontier.front();
-            frontier.pop();
+        size_t head = 0;
+        size_t tail = 0;
+        frontier[tail++] = source;
+        while (head < tail) {
+            int node = frontier[head++];
             for (int next : coupling.neighbors(node)) {
                 if (row[next] >= 0)
                     continue;
                 row[next] = row[node] + 1;
-                frontier.push(next);
+                frontier[tail++] = next;
             }
         }
     }
     return dist;
 }
 
-/** Gate-dependency DAG over a given execution order of op indices. */
+/**
+ * Gate-dependency DAG over a given execution order of op indices, in
+ * CSR form over the arena: op id's successors are
+ * succ[succ_begin[id] .. succ_begin[id + 1]).
+ */
 struct Dag
 {
-    std::vector<std::vector<int>> successors;
-    std::vector<int> in_degree;
+    int* succ = nullptr;
+    int* succ_begin = nullptr;
+    int* in_degree = nullptr;
+
+    int successorsBegin(int id) const { return succ_begin[id]; }
+    int successorsEnd(int id) const { return succ_begin[id + 1]; }
 };
 
 Dag
 buildDag(const std::vector<Operation>& ops, const std::vector<int>& order,
-         int num_qubits)
+         int num_qubits, MemArena& arena)
 {
+    size_t count = ops.size();
     Dag dag;
-    dag.successors.assign(ops.size(), {});
-    dag.in_degree.assign(ops.size(), 0);
-    std::vector<int> last_on_qubit(num_qubits, -1);
+    dag.succ_begin = arena.allocateArray<int>(count + 1);
+    dag.in_degree = arena.allocateArray<int>(count);
+    std::fill(dag.succ_begin, dag.succ_begin + count + 1, 0);
+    std::fill(dag.in_degree, dag.in_degree + count, 0);
+
+    int* last_on_qubit = arena.allocateArray<int>(num_qubits);
+    std::fill(last_on_qubit, last_on_qubit + num_qubits, -1);
+
+    // Pass 1: count each op's successor edges (succ_begin holds
+    // per-op counts shifted by one, turned into offsets below).
+    size_t edges = 0;
     for (int id : order) {
-        for (int q : ops[id].qubits) {
+        for (int q : ops[static_cast<size_t>(id)].qubits) {
             if (last_on_qubit[q] >= 0) {
-                dag.successors[last_on_qubit[q]].push_back(id);
+                ++dag.succ_begin[last_on_qubit[q] + 1];
                 ++dag.in_degree[id];
+                ++edges;
             }
+            last_on_qubit[q] = id;
+        }
+    }
+    for (size_t i = 0; i < count; ++i)
+        dag.succ_begin[i + 1] += dag.succ_begin[i];
+
+    // Pass 2: fill, replaying the identical traversal.
+    dag.succ = arena.allocateArray<int>(edges);
+    int* cursor = arena.allocateArray<int>(count);
+    std::copy(dag.succ_begin, dag.succ_begin + count, cursor);
+    std::fill(last_on_qubit, last_on_qubit + num_qubits, -1);
+    for (int id : order) {
+        for (int q : ops[static_cast<size_t>(id)].qubits) {
+            if (last_on_qubit[q] >= 0)
+                dag.succ[cursor[last_on_qubit[q]]++] = id;
             last_on_qubit[q] = id;
         }
     }
     return dag;
 }
+
+/** Ordered int set whose nodes bump-allocate from the pass arena. */
+using ArenaIntSet = std::set<int, std::less<int>, ArenaAllocator<int>>;
+using ArenaRankSet = std::set<std::pair<int, int>,
+                              std::less<std::pair<int, int>>,
+                              ArenaAllocator<std::pair<int, int>>>;
 
 /**
  * One SABRE pass over `order`. Starts from `position` (position[l] =
@@ -167,28 +211,37 @@ std::vector<int>
 runSabrePass(const std::vector<Operation>& ops,
              const std::vector<int>& order,
              const std::vector<int>& lookahead_rank,
-             const Topology& coupling,
-             const std::vector<std::vector<int>>& dist,
+             const Topology& coupling, const int* dist,
              const SabreOptions& opt, std::vector<int> position,
-             Circuit* out, int* swaps_out)
+             Circuit* out, int* swaps_out, MemArena& arena)
 {
     int n = coupling.numQubits();
     RoutingState state(std::move(position));
 
-    Dag dag = buildDag(ops, order, n);
-    std::set<int> front;
+    Dag dag = buildDag(ops, order, n, arena);
+    ArenaIntSet front{ArenaAllocator<int>(arena)};
     for (int id : order)
         if (dag.in_degree[id] == 0)
             front.insert(id);
 
     // Unexecuted 2Q ops in lookahead priority order; the extended set
     // is drawn from its head.
-    std::set<std::pair<int, int>> pending_2q;
+    ArenaRankSet pending_2q{
+        ArenaAllocator<std::pair<int, int>>(arena)};
     for (int id : order)
         if (ops[static_cast<size_t>(id)].isTwoQubit())
             pending_2q.emplace(lookahead_rank[id], id);
 
-    std::vector<double> decay(n, 1.0);
+    double* decay = arena.allocateArray<double>(n);
+    std::fill(decay, decay + n, 1.0);
+
+    // Per-iteration worklists, hoisted so each keeps its high-water
+    // capacity across the whole pass (one arena bump each).
+    auto executable = makeArenaVector<int>(arena);
+    auto extended = makeArenaVector<int>(arena);
+    auto front_gates = makeArenaVector<int>(arena);
+    auto candidates =
+        makeArenaVector<std::pair<int, int>>(arena);
     int swaps_since_reset = 0;
     int swaps_since_progress = 0;
     // Past this many SWAPs without executing anything, fall back to
@@ -206,7 +259,7 @@ runSabrePass(const std::vector<Operation>& ops,
 
     while (!front.empty()) {
         // Execute everything executable under the current mapping.
-        std::vector<int> executable;
+        executable.clear();
         for (int id : front) {
             const Operation& op = ops[static_cast<size_t>(id)];
             if (!op.isTwoQubit() ||
@@ -226,11 +279,12 @@ runSabrePass(const std::vector<Operation>& ops,
                 if (op.isTwoQubit())
                     pending_2q.erase({lookahead_rank[id], id});
                 front.erase(id);
-                for (int next : dag.successors[static_cast<size_t>(id)])
-                    if (--dag.in_degree[next] == 0)
-                        front.insert(next);
+                for (int s = dag.successorsBegin(id);
+                     s < dag.successorsEnd(id); ++s)
+                    if (--dag.in_degree[dag.succ[s]] == 0)
+                        front.insert(dag.succ[s]);
             }
-            std::fill(decay.begin(), decay.end(), 1.0);
+            std::fill(decay, decay + n, 1.0);
             swaps_since_reset = 0;
             swaps_since_progress = 0;
             continue;
@@ -248,7 +302,7 @@ runSabrePass(const std::vector<Operation>& ops,
         }
 
         // Extended set: the next lookahead gates by schedule order.
-        std::vector<int> extended;
+        extended.clear();
         for (const auto& [rank, id] : pending_2q) {
             if (front.count(id))
                 continue;
@@ -259,15 +313,22 @@ runSabrePass(const std::vector<Operation>& ops,
         }
 
         // Candidate SWAPs: every coupling edge touching a position
-        // that holds a front-layer logical qubit.
-        std::set<std::pair<int, int>> candidates;
+        // that holds a front-layer logical qubit. Collected into the
+        // reused worklist and deduped by sort+unique (same ascending
+        // order a std::set would yield, without per-node churn).
+        candidates.clear();
         for (int id : front)
             for (int l : ops[static_cast<size_t>(id)].qubits)
                 for (int neighbor : coupling.neighbors(state.position[l]))
-                    candidates.emplace(std::min(state.position[l], neighbor),
-                                       std::max(state.position[l], neighbor));
+                    candidates.emplace_back(
+                        std::min(state.position[l], neighbor),
+                        std::max(state.position[l], neighbor));
+        std::sort(candidates.begin(), candidates.end());
+        candidates.erase(
+            std::unique(candidates.begin(), candidates.end()),
+            candidates.end());
 
-        auto scored_distance = [&](const std::vector<int>& gate_ids,
+        auto scored_distance = [&](const ArenaVector<int>& gate_ids,
                                    int slot_a, int slot_b) {
             double total = 0.0;
             for (int id : gate_ids) {
@@ -282,12 +343,12 @@ runSabrePass(const std::vector<Operation>& ops,
                     pb = slot_b;
                 else if (pb == slot_b)
                     pb = slot_a;
-                total += dist[pa][pb];
+                total += dist[static_cast<size_t>(pa) * n + pb];
             }
             return total / static_cast<double>(gate_ids.size());
         };
 
-        std::vector<int> front_gates(front.begin(), front.end());
+        front_gates.assign(front.begin(), front.end());
         double best_score = 0.0;
         std::pair<int, int> best_edge{-1, -1};
         for (const auto& [slot_a, slot_b] : candidates) {
@@ -308,7 +369,7 @@ runSabrePass(const std::vector<Operation>& ops,
         decay[best_edge.first] += opt.decay_increment;
         decay[best_edge.second] += opt.decay_increment;
         if (++swaps_since_reset >= opt.decay_reset_interval) {
-            std::fill(decay.begin(), decay.end(), 1.0);
+            std::fill(decay, decay + n, 1.0);
             swaps_since_reset = 0;
         }
     }
@@ -331,6 +392,16 @@ RoutedCircuit
 SabreRouter::route(const Circuit& logical, const Topology& coupling,
                    const Schedule& schedule) const
 {
+    // No caller arena (direct router use, e.g. tests/benches): scratch
+    // lives in a route-local arena discarded wholesale on return.
+    MemArena arena;
+    return route(logical, coupling, schedule, arena);
+}
+
+RoutedCircuit
+SabreRouter::route(const Circuit& logical, const Topology& coupling,
+                   const Schedule& schedule, MemArena& arena) const
+{
     QISET_REQUIRE(coupling.numQubits() == logical.numQubits(),
                   "coupling graph width must match the circuit");
     QISET_REQUIRE(coupling.connected() || logical.numQubits() == 1,
@@ -341,7 +412,7 @@ SabreRouter::route(const Circuit& logical, const Topology& coupling,
 
     int n = logical.numQubits();
     const auto& ops = logical.ops();
-    auto dist = allPairsDistance(coupling);
+    const int* dist = allPairsDistance(coupling, arena);
 
     std::vector<int> forward_order(ops.size());
     std::vector<int> reverse_order(ops.size());
@@ -372,17 +443,21 @@ SabreRouter::route(const Circuit& logical, const Topology& coupling,
         position = runSabrePass(ops, forward ? forward_order : reverse_order,
                                 forward ? forward_rank : reverse_rank,
                                 coupling, dist, options_,
-                                std::move(position), nullptr, nullptr);
+                                std::move(position), nullptr, nullptr,
+                                arena);
     }
 
     RoutedCircuit out;
     out.circuit = Circuit(n);
+    // Emitted ops = every logical op plus the inserted SWAPs; reserve
+    // for the former so only an unusually SWAP-heavy route regrows.
+    out.circuit.reserveOps(ops.size());
     out.initial_positions = position;
     out.swaps_inserted = 0;
     out.final_positions =
         runSabrePass(ops, forward_order, forward_rank, coupling, dist,
                      options_, std::move(position), &out.circuit,
-                     &out.swaps_inserted);
+                     &out.swaps_inserted, arena);
     return out;
 }
 

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "circuit/schedule.h"
+#include "common/arena.h"
 #include "compiler/routing.h"
 
 namespace qiset {
@@ -67,6 +68,23 @@ class RoutingStrategy
     virtual RoutedCircuit route(const Circuit& logical,
                                 const Topology& coupling,
                                 const Schedule& schedule) const = 0;
+
+    /**
+     * Arena-aware overload: strategies rebuilding large scratch per
+     * route (distance tables, dependency DAGs, frontier sets) may
+     * bump-allocate it from `arena` instead of the heap. Contract:
+     * every arena allocation is dead by return — the caller resets
+     * the arena right after — and the returned RoutedCircuit holds
+     * only regular heap state. The default ignores the arena.
+     */
+    virtual RoutedCircuit route(const Circuit& logical,
+                                const Topology& coupling,
+                                const Schedule& schedule,
+                                MemArena& arena) const
+    {
+        (void)arena;
+        return route(logical, coupling, schedule);
+    }
 
     /** Convenience overload building the schedule internally. */
     RoutedCircuit route(const Circuit& logical,
@@ -141,8 +159,14 @@ class SabreRouter : public RoutingStrategy
 
     std::string name() const override { return "sabre"; }
 
+    /** Routes via a private arena (scratch discarded on return). */
     RoutedCircuit route(const Circuit& logical, const Topology& coupling,
                         const Schedule& schedule) const override;
+
+    /** Bump-allocates all routing scratch from `arena`. */
+    RoutedCircuit route(const Circuit& logical, const Topology& coupling,
+                        const Schedule& schedule,
+                        MemArena& arena) const override;
 
     const SabreOptions& options() const { return options_; }
 

@@ -315,10 +315,16 @@ struct CompileService::Impl
             fleet.shard(static_cast<size_t>(assignment.shard));
         const CompileOptions& options =
             entry.job->options ? *entry.job->options : shard.options;
-        // Async workers keep the inner translation serial (a worker
-        // must never wait on its own pool); inline submits may fan the
-        // translation out over a caller-provided pool.
-        ThreadPool* inner = pool ? nullptr : opts.translation_pool;
+        // Async workers fan a single circuit's decompositions across
+        // the same pool: parallelFor is cooperative (the worker claims
+        // indices itself; it never waits on the pool), so a lone large
+        // job recruits otherwise-idle workers while a saturated pool
+        // degrades gracefully to per-worker serial. Inline submits use
+        // the caller-provided translation pool as before. Either way
+        // options.intra_circuit_parallelism caps the fan-out.
+        ThreadPool* inner = pool ? pool : opts.translation_pool;
+        if (options.intra_circuit_parallelism == 1)
+            inner = nullptr;
 
         CompileResult result;
         std::exception_ptr error;
@@ -543,8 +549,9 @@ oneShotServiceOptions(ProfileCache& cache, size_t batch_size,
     CompileServiceOptions options;
     options.cache = &cache;
     if (pool && pool->size() > 1 && batch_size > 1) {
-        // Fan circuits over the pool; the inner translation stays
-        // serial so a worker never waits on its own pool.
+        // Fan circuits over the pool. Each worker's translation may
+        // additionally recruit idle workers (cooperative parallelFor),
+        // so a skewed batch with one giant circuit still saturates.
         options.pool = pool;
     } else {
         // Inline on the calling thread; the pool (if any) instead

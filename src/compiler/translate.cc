@@ -51,7 +51,7 @@ precomputeProfiles(const Circuit& circuit,
                    const NuOpDecomposer& decomposer,
                    const DecompositionStrategy& strategy,
                    ProfileCache& cache, ThreadPool* pool,
-                   LocalCacheCounters* local)
+                   LocalCacheCounters* local, size_t max_parallelism)
 {
     // Collect distinct (op, spec) jobs; the cache key dedups repeats.
     std::vector<const Operation*> two_q_ops;
@@ -65,8 +65,8 @@ precomputeProfiles(const Circuit& circuit,
         const GateSpec& spec = specs[index % specs.size()];
         cache.get(op.unitary, spec, decomposer, strategy, local);
     };
-    if (pool) {
-        parallelFor(*pool, total, job);
+    if (pool && max_parallelism != 1) {
+        parallelFor(*pool, total, job, max_parallelism);
     } else {
         for (size_t i = 0; i < total; ++i)
             job(i);
@@ -168,7 +168,8 @@ translateCircuit(const Circuit& routed, const std::vector<int>& physical,
                  const Device& device, const GateSet& gate_set,
                  const NuOpDecomposer& decomposer,
                  const DecompositionStrategy& strategy,
-                 ProfileCache& cache, bool approximate, ThreadPool* pool)
+                 ProfileCache& cache, bool approximate, ThreadPool* pool,
+                 size_t max_parallelism)
 {
     QISET_REQUIRE(physical.size() ==
                       static_cast<size_t>(routed.numQubits()),
@@ -178,11 +179,19 @@ translateCircuit(const Circuit& routed, const std::vector<int>& physical,
     QISET_REQUIRE(!specs.empty(), "instruction set is empty");
     LocalCacheCounters local;
     precomputeProfiles(routed, specs, decomposer, strategy, cache, pool,
-                       &local);
+                       &local, max_parallelism);
 
     int n = routed.numQubits();
     TranslateResult result;
     result.circuit = Circuit(n);
+    // Each 2Q block expands to 2 + 3*layers native ops; pre-size for
+    // the common 2-layer case so the emission loop's appends rarely
+    // regrow (a deeper fit costs at most one more reallocation).
+    size_t routed_2q = 0;
+    for (const auto& op : routed.ops())
+        if (op.isTwoQubit())
+            ++routed_2q;
+    result.circuit.reserveOps(routed.size() + 7 * routed_2q);
 
     double f1q_avg = 1.0 - device.averageOneQubitError();
 
@@ -310,11 +319,12 @@ TranslateResult
 translateCircuit(const Circuit& routed, const std::vector<int>& physical,
                  const Device& device, const GateSet& gate_set,
                  const NuOpDecomposer& decomposer, ProfileCache& cache,
-                 bool approximate, ThreadPool* pool)
+                 bool approximate, ThreadPool* pool,
+                 size_t max_parallelism)
 {
     return translateCircuit(routed, physical, device, gate_set,
                             decomposer, nuopDecompositionStrategy(),
-                            cache, approximate, pool);
+                            cache, approximate, pool, max_parallelism);
 }
 
 } // namespace qiset

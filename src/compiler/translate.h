@@ -36,15 +36,18 @@ std::vector<GateSpec> gateSpecs(const GateSet& gate_set);
 
 /**
  * Warm the cache for every distinct (2Q unitary, gate spec) pair of a
- * circuit, in parallel across the pool when provided. Lookups are
- * tallied into `local` when given.
+ * circuit, in parallel across the pool when provided (cooperatively —
+ * safe even when the caller is itself a pool worker). Lookups are
+ * tallied into `local` when given. `max_parallelism` caps the threads
+ * used, including the caller (0 = no cap, 1 = serial).
  */
 void precomputeProfiles(const Circuit& circuit,
                         const std::vector<GateSpec>& specs,
                         const NuOpDecomposer& decomposer,
                         const DecompositionStrategy& strategy,
                         ProfileCache& cache, ThreadPool* pool,
-                        LocalCacheCounters* local = nullptr);
+                        LocalCacheCounters* local = nullptr,
+                        size_t max_parallelism = 0);
 
 /** Outcome of selecting the best decomposition for one edge. */
 struct GateChoice
@@ -115,7 +118,8 @@ TranslateResult translateCircuit(const Circuit& routed,
                                  const NuOpDecomposer& decomposer,
                                  const DecompositionStrategy& strategy,
                                  ProfileCache& cache, bool approximate,
-                                 ThreadPool* pool = nullptr);
+                                 ThreadPool* pool = nullptr,
+                                 size_t max_parallelism = 0);
 
 /** Baseline overload: the "nuop" engine (pre-registry behavior). */
 TranslateResult translateCircuit(const Circuit& routed,
@@ -124,7 +128,8 @@ TranslateResult translateCircuit(const Circuit& routed,
                                  const GateSet& gate_set,
                                  const NuOpDecomposer& decomposer,
                                  ProfileCache& cache, bool approximate,
-                                 ThreadPool* pool = nullptr);
+                                 ThreadPool* pool = nullptr,
+                                 size_t max_parallelism = 0);
 
 } // namespace qiset
 

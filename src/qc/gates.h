@@ -18,6 +18,8 @@
  * as the most significant bit.
  */
 
+#include <vector>
+
 #include "qc/matrix.h"
 
 namespace qiset {

@@ -1,5 +1,6 @@
 #include "qc/matrix.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
@@ -7,20 +8,121 @@
 
 namespace qiset {
 
-Matrix::Matrix(size_t rows, size_t cols)
-    : rows_(rows), cols_(cols), data_(rows * cols, cplx(0.0, 0.0))
+void
+Matrix::resizeStorage(size_t rows, size_t cols)
 {
+    size_t count = rows * cols;
+    if (ptr_ != inline_)
+        delete[] ptr_;
+    ptr_ = count <= kInlineElems ? inline_ : new cplx[count];
+    rows_ = rows;
+    cols_ = cols;
+}
+
+Matrix::Matrix(size_t rows, size_t cols)
+{
+    resizeStorage(rows, cols);
+    std::fill(ptr_, ptr_ + size(), cplx(0.0, 0.0));
 }
 
 Matrix::Matrix(std::initializer_list<std::initializer_list<cplx>> rows)
 {
-    rows_ = rows.size();
-    cols_ = rows_ ? rows.begin()->size() : 0;
-    data_.reserve(rows_ * cols_);
+    size_t r = rows.size();
+    size_t c = r ? rows.begin()->size() : 0;
+    resizeStorage(r, c);
+    cplx* out = ptr_;
     for (const auto& row : rows) {
-        QISET_REQUIRE(row.size() == cols_, "ragged initializer list");
+        QISET_REQUIRE(row.size() == c, "ragged initializer list");
         for (const auto& value : row)
-            data_.push_back(value);
+            *out++ = value;
+    }
+}
+
+Matrix::Matrix(const Matrix& other)
+{
+    resizeStorage(other.rows_, other.cols_);
+    std::copy(other.ptr_, other.ptr_ + size(), ptr_);
+}
+
+Matrix::Matrix(Matrix&& other) noexcept
+    : rows_(other.rows_), cols_(other.cols_)
+{
+    if (other.ptr_ == other.inline_) {
+        // Inline storage cannot move; copy the handful of elements.
+        ptr_ = inline_;
+        std::copy(other.ptr_, other.ptr_ + size(), ptr_);
+    } else {
+        ptr_ = other.ptr_;
+        other.ptr_ = other.inline_;
+    }
+    other.rows_ = 0;
+    other.cols_ = 0;
+}
+
+Matrix&
+Matrix::operator=(const Matrix& other)
+{
+    if (this == &other)
+        return *this;
+    if (size() != other.size())
+        resizeStorage(other.rows_, other.cols_);
+    rows_ = other.rows_;
+    cols_ = other.cols_;
+    std::copy(other.ptr_, other.ptr_ + size(), ptr_);
+    return *this;
+}
+
+Matrix&
+Matrix::operator=(Matrix&& other) noexcept
+{
+    if (this == &other)
+        return *this;
+    if (other.ptr_ == other.inline_) {
+        rows_ = other.rows_;
+        cols_ = other.cols_;
+        if (ptr_ != inline_) {
+            delete[] ptr_;
+            ptr_ = inline_;
+        }
+        std::copy(other.ptr_, other.ptr_ + size(), ptr_);
+    } else {
+        if (ptr_ != inline_)
+            delete[] ptr_;
+        ptr_ = other.ptr_;
+        rows_ = other.rows_;
+        cols_ = other.cols_;
+        other.ptr_ = other.inline_;
+    }
+    other.rows_ = 0;
+    other.cols_ = 0;
+    return *this;
+}
+
+Matrix::~Matrix()
+{
+    if (ptr_ != inline_)
+        delete[] ptr_;
+}
+
+void
+Matrix::multiplyInto(Matrix& out, const Matrix& a, const Matrix& b)
+{
+    QISET_REQUIRE(a.cols_ == b.rows_, "shape mismatch in multiplyInto: ",
+                  a.rows_, "x", a.cols_, " times ", b.rows_, "x",
+                  b.cols_);
+    QISET_REQUIRE(&out != &a && &out != &b,
+                  "multiplyInto output must not alias an input");
+    if (out.rows_ != a.rows_ || out.cols_ != b.cols_)
+        out.resizeStorage(a.rows_, b.cols_);
+    std::fill(out.ptr_, out.ptr_ + out.size(), cplx(0.0, 0.0));
+    for (size_t i = 0; i < a.rows_; ++i) {
+        for (size_t k = 0; k < a.cols_; ++k) {
+            cplx aik = a(i, k);
+            if (aik == cplx(0.0, 0.0))
+                continue;
+            for (size_t j = 0; j < b.cols_; ++j)
+                out(i, j) += aik * b(k, j);
+        }
     }
 }
 
@@ -39,8 +141,8 @@ Matrix::operator+(const Matrix& other) const
     QISET_REQUIRE(rows_ == other.rows_ && cols_ == other.cols_,
                   "shape mismatch in +");
     Matrix out(rows_, cols_);
-    for (size_t i = 0; i < data_.size(); ++i)
-        out.data_[i] = data_[i] + other.data_[i];
+    for (size_t i = 0; i < size(); ++i)
+        out.ptr_[i] = ptr_[i] + other.ptr_[i];
     return out;
 }
 
@@ -50,8 +152,8 @@ Matrix::operator-(const Matrix& other) const
     QISET_REQUIRE(rows_ == other.rows_ && cols_ == other.cols_,
                   "shape mismatch in -");
     Matrix out(rows_, cols_);
-    for (size_t i = 0; i < data_.size(); ++i)
-        out.data_[i] = data_[i] - other.data_[i];
+    for (size_t i = 0; i < size(); ++i)
+        out.ptr_[i] = ptr_[i] - other.ptr_[i];
     return out;
 }
 
@@ -87,16 +189,16 @@ Matrix::operator+=(const Matrix& other)
 {
     QISET_REQUIRE(rows_ == other.rows_ && cols_ == other.cols_,
                   "shape mismatch in +=");
-    for (size_t i = 0; i < data_.size(); ++i)
-        data_[i] += other.data_[i];
+    for (size_t i = 0; i < size(); ++i)
+        ptr_[i] += other.ptr_[i];
     return *this;
 }
 
 Matrix&
 Matrix::operator*=(cplx scalar)
 {
-    for (auto& value : data_)
-        value *= scalar;
+    for (size_t i = 0; i < size(); ++i)
+        ptr_[i] *= scalar;
     return *this;
 }
 
@@ -124,8 +226,8 @@ Matrix
 Matrix::conjugate() const
 {
     Matrix out(rows_, cols_);
-    for (size_t i = 0; i < data_.size(); ++i)
-        out.data_[i] = std::conj(data_[i]);
+    for (size_t i = 0; i < size(); ++i)
+        out.ptr_[i] = std::conj(ptr_[i]);
     return out;
 }
 
@@ -143,8 +245,8 @@ double
 Matrix::frobeniusNorm() const
 {
     double sum = 0.0;
-    for (const auto& value : data_)
-        sum += std::norm(value);
+    for (size_t i = 0; i < size(); ++i)
+        sum += std::norm(ptr_[i]);
     return std::sqrt(sum);
 }
 
@@ -154,8 +256,8 @@ Matrix::maxAbsDiff(const Matrix& other) const
     QISET_REQUIRE(rows_ == other.rows_ && cols_ == other.cols_,
                   "shape mismatch in maxAbsDiff");
     double max_diff = 0.0;
-    for (size_t i = 0; i < data_.size(); ++i)
-        max_diff = std::max(max_diff, std::abs(data_[i] - other.data_[i]));
+    for (size_t i = 0; i < size(); ++i)
+        max_diff = std::max(max_diff, std::abs(ptr_[i] - other.ptr_[i]));
     return max_diff;
 }
 

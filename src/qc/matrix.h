@@ -8,23 +8,35 @@
  * QISET works almost exclusively with 2x2 and 4x4 unitaries (quantum
  * gates) plus 2^n state vectors, so a simple row-major dense matrix
  * with value semantics is the right tool; no sparse machinery needed.
+ *
+ * Storage uses a small-buffer optimization: matrices of up to 16
+ * elements (every 1Q/2Q gate, every KAK local factor — the compile hot
+ * path's entire matrix traffic) live inline in the Matrix object and
+ * never touch the heap; larger matrices (full register unitaries,
+ * density matrices) fall back to a heap allocation. Consequence for
+ * code holding data(): the pointer aims into the object itself for
+ * small matrices, so moving or copying the Matrix does NOT transfer
+ * pointer validity the way a moved std::vector buffer would — re-fetch
+ * data() after any move/copy/resize.
  */
 
 #include <complex>
 #include <cstddef>
 #include <initializer_list>
 #include <string>
-#include <vector>
 
 namespace qiset {
 
 /** Complex scalar type used throughout QISET. */
 using cplx = std::complex<double>;
 
-/** Dense row-major complex matrix with value semantics. */
+/** Dense row-major complex matrix with value semantics (SBO <= 16). */
 class Matrix
 {
   public:
+    /** Elements held inline without a heap allocation (covers 4x4). */
+    static constexpr size_t kInlineElems = 16;
+
     /** Empty 0x0 matrix. */
     Matrix() = default;
 
@@ -33,6 +45,12 @@ class Matrix
 
     /** Build from nested initializer lists (row major). */
     Matrix(std::initializer_list<std::initializer_list<cplx>> rows);
+
+    Matrix(const Matrix& other);
+    Matrix(Matrix&& other) noexcept;
+    Matrix& operator=(const Matrix& other);
+    Matrix& operator=(Matrix&& other) noexcept;
+    ~Matrix();
 
     /** The n x n identity. */
     static Matrix identity(size_t n);
@@ -43,16 +61,26 @@ class Matrix
     size_t rows() const { return rows_; }
     size_t cols() const { return cols_; }
 
+    /** Element count rows() * cols(). */
+    size_t size() const { return rows_ * cols_; }
+
+    /** True when the elements live inline (no heap allocation). */
+    bool isInline() const { return ptr_ == inline_; }
+
     /** Element access (row, col), bounds unchecked in release builds. */
-    cplx& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+    cplx& operator()(size_t r, size_t c) { return ptr_[r * cols_ + c]; }
     const cplx&
     operator()(size_t r, size_t c) const
     {
-        return data_[r * cols_ + c];
+        return ptr_[r * cols_ + c];
     }
 
-    /** Raw row-major storage. */
-    const std::vector<cplx>& data() const { return data_; }
+    /**
+     * Raw row-major storage. For matrices of <= kInlineElems elements
+     * this points into the Matrix object itself (see the SBO caveat in
+     * the file comment); never retain it across a move/copy/resize.
+     */
+    const cplx* data() const { return ptr_; }
 
     Matrix operator+(const Matrix& other) const;
     Matrix operator-(const Matrix& other) const;
@@ -60,6 +88,15 @@ class Matrix
     Matrix operator*(cplx scalar) const;
     Matrix& operator+=(const Matrix& other);
     Matrix& operator*=(cplx scalar);
+
+    /**
+     * out = a * b without materializing a temporary: out's storage is
+     * reshaped (reusing its buffer when the shape already matches) and
+     * overwritten. `out` must not alias `a` or `b`. The hot-loop
+     * companion of operator* for consolidation/template products.
+     */
+    static void multiplyInto(Matrix& out, const Matrix& a,
+                             const Matrix& b);
 
     /** Conjugate transpose. */
     Matrix dagger() const;
@@ -92,9 +129,18 @@ class Matrix
     std::string toString(int precision = 3) const;
 
   private:
+    /**
+     * Point ptr_ at storage for rows*cols elements — the inline buffer
+     * when it fits, a fresh heap block otherwise. Frees any previous
+     * heap block; elements are left uninitialized.
+     */
+    void resizeStorage(size_t rows, size_t cols);
+
     size_t rows_ = 0;
     size_t cols_ = 0;
-    std::vector<cplx> data_;
+    /** Aims at inline_ (SBO) or a heap block of size() elements. */
+    cplx* ptr_ = inline_;
+    cplx inline_[kInlineElems];
 };
 
 /**

@@ -1,0 +1,148 @@
+// Unit tests for the bump-arena allocator behind the compile hot path.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "common/arena.h"
+#include "common/error.h"
+
+namespace qiset {
+namespace {
+
+bool
+isAligned(const void* p, size_t align)
+{
+    return reinterpret_cast<uintptr_t>(p) % align == 0;
+}
+
+TEST(MemArena, RespectsRequestedAlignment)
+{
+    MemArena arena(256);
+    // Interleave odd sizes with strict alignments to force padding.
+    for (size_t i = 0; i < 100; ++i) {
+        char* byte = static_cast<char*>(arena.allocate(1, 1));
+        *byte = 'x'; // must be writable
+        void* p8 = arena.allocate(24, 8);
+        void* p16 = arena.allocate(32, 16);
+        void* p64 = arena.allocate(24, 64);
+        EXPECT_TRUE(isAligned(p8, 8));
+        EXPECT_TRUE(isAligned(p16, 16));
+        EXPECT_TRUE(isAligned(p64, 64));
+    }
+}
+
+TEST(MemArena, RejectsNonPowerOfTwoAlignment)
+{
+    MemArena arena;
+    EXPECT_THROW(arena.allocate(8, 3), FatalError);
+    EXPECT_THROW(arena.allocate(8, 0), FatalError);
+}
+
+TEST(MemArena, ZeroByteAllocationsAreDistinct)
+{
+    MemArena arena;
+    void* a = arena.allocate(0);
+    void* b = arena.allocate(0);
+    EXPECT_NE(a, nullptr);
+    EXPECT_NE(b, nullptr);
+    EXPECT_NE(a, b);
+}
+
+TEST(MemArena, AllocationsDoNotOverlap)
+{
+    MemArena arena(128); // tiny blocks force chaining
+    std::vector<int*> ptrs;
+    for (int i = 0; i < 500; ++i) {
+        int* p = arena.allocateArray<int>(3);
+        p[0] = p[1] = p[2] = i;
+        ptrs.push_back(p);
+    }
+    for (int i = 0; i < 500; ++i) {
+        EXPECT_EQ(ptrs[i][0], i);
+        EXPECT_EQ(ptrs[i][2], i);
+    }
+    EXPECT_GT(arena.blockCount(), 1u);
+}
+
+TEST(MemArena, ResetReusesChainedBlocks)
+{
+    MemArena arena(1024);
+    auto churn = [&] {
+        for (int i = 0; i < 200; ++i)
+            arena.allocate(64);
+    };
+    churn();
+    uint64_t after_first = arena.blocksEverAllocated();
+    size_t reserved = arena.bytesReserved();
+    EXPECT_GT(after_first, 0u);
+
+    // Steady state: every later round runs from the warm blocks.
+    for (int round = 0; round < 10; ++round) {
+        arena.reset();
+        EXPECT_EQ(arena.bytesAllocated(), 0u);
+        churn();
+        EXPECT_EQ(arena.blocksEverAllocated(), after_first);
+        EXPECT_EQ(arena.bytesReserved(), reserved);
+    }
+}
+
+TEST(MemArena, OversizedRequestsGetDedicatedBlocksFreedOnReset)
+{
+    MemArena arena(256);
+    char* big = static_cast<char*>(arena.allocate(10 * 1024));
+    std::memset(big, 0xab, 10 * 1024); // whole range usable
+    size_t reserved_with_big = arena.bytesReserved();
+    EXPECT_GE(reserved_with_big, 10 * 1024u);
+
+    arena.reset();
+    // The dedicated block is gone; regular blocks stay.
+    EXPECT_LT(arena.bytesReserved(), reserved_with_big);
+
+    // Regular small traffic still works after the reset.
+    int* p = arena.allocateArray<int>(8);
+    std::iota(p, p + 8, 0);
+    EXPECT_EQ(p[7], 7);
+}
+
+TEST(MemArena, ArenaVectorGrowsInsideArena)
+{
+    MemArena arena;
+    auto v = makeArenaVector<int>(arena);
+    for (int i = 0; i < 1000; ++i)
+        v.push_back(i);
+    EXPECT_EQ(v.size(), 1000u);
+    EXPECT_EQ(v[999], 999);
+    EXPECT_GT(arena.bytesAllocated(), 1000 * sizeof(int));
+
+    auto filled = makeArenaVector<double>(arena, 17, 2.5);
+    EXPECT_EQ(filled.size(), 17u);
+    EXPECT_EQ(filled[16], 2.5);
+}
+
+TEST(MemArena, ArenaAllocatorEqualityFollowsArenaIdentity)
+{
+    MemArena a, b;
+    ArenaAllocator<int> aa(a), ab(a), ba(b);
+    EXPECT_TRUE(aa == ab);
+    EXPECT_FALSE(aa == ba);
+    ArenaAllocator<double> rebound(aa);
+    EXPECT_TRUE(rebound == aa);
+}
+
+TEST(MemArena, ResetGuardRewindsOnScopeExit)
+{
+    MemArena arena;
+    {
+        ArenaResetGuard guard(arena);
+        arena.allocate(4096);
+        EXPECT_GT(arena.bytesAllocated(), 0u);
+    }
+    EXPECT_EQ(arena.bytesAllocated(), 0u);
+}
+
+} // namespace
+} // namespace qiset

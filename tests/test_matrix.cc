@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+
 #include "common/error.h"
 #include "qc/gates.h"
 #include "qc/matrix.h"
@@ -131,6 +133,129 @@ TEST(Matrix, AdditionAndScaling)
     EXPECT_EQ(b(0, 0), cplx(4.0));
     a += b;
     EXPECT_EQ(a(1, 1), cplx(5.0));
+}
+
+// ---------------------------------------------------- small-buffer SBO
+
+TEST(MatrixSbo, GateSizedMatricesLiveInline)
+{
+    EXPECT_TRUE(Matrix::identity(1).isInline());
+    EXPECT_TRUE(gates::hadamard().isInline());      // 2x2
+    EXPECT_TRUE(gates::sycamore().isInline());      // 4x4 == 16 elems
+    EXPECT_FALSE(Matrix::identity(5).isInline());   // 25 > 16
+    EXPECT_FALSE(Matrix(2, 16).isInline());
+}
+
+TEST(MatrixSbo, DataPointsIntoObjectForInlineStorage)
+{
+    Matrix m = gates::cz();
+    const char* lo = reinterpret_cast<const char*>(&m);
+    const char* hi = lo + sizeof(Matrix);
+    const char* d = reinterpret_cast<const char*>(m.data());
+    EXPECT_GE(d, lo);
+    EXPECT_LT(d, hi);
+
+    Matrix big = Matrix::identity(8);
+    const char* bd = reinterpret_cast<const char*>(big.data());
+    EXPECT_TRUE(bd < reinterpret_cast<const char*>(&big) ||
+                bd >= reinterpret_cast<const char*>(&big) +
+                          sizeof(Matrix));
+}
+
+TEST(MatrixSbo, InlineAndHeapRoundTripsAgree)
+{
+    // The same arithmetic through an inline 4x4 and a heap 5x5
+    // embedding must agree on the shared 4x4 corner.
+    Matrix small = gates::fsim(0.37, 0.81);
+    Matrix big(5, 5);
+    for (size_t i = 0; i < 4; ++i)
+        for (size_t j = 0; j < 4; ++j)
+            big(i, j) = small(i, j);
+    big(4, 4) = 1.0;
+
+    Matrix small_sq = small * small;
+    Matrix big_sq = big * big;
+    for (size_t i = 0; i < 4; ++i)
+        for (size_t j = 0; j < 4; ++j)
+            EXPECT_EQ(big_sq(i, j), small_sq(i, j));
+}
+
+TEST(MatrixSbo, CopyAndMoveSemantics)
+{
+    Matrix inline_src = gates::iswap();
+    Matrix copy = inline_src;
+    EXPECT_TRUE(copy.isInline());
+    EXPECT_EQ(copy.maxAbsDiff(inline_src), 0.0);
+
+    Matrix moved = std::move(copy);
+    EXPECT_TRUE(moved.isInline());
+    EXPECT_EQ(moved.maxAbsDiff(inline_src), 0.0);
+
+    Matrix heap_src = Matrix::identity(6);
+    heap_src(5, 0) = cplx(0.0, 2.0);
+    const cplx* heap_buf = heap_src.data();
+    Matrix heap_moved = std::move(heap_src);
+    // Heap storage transfers by pointer steal.
+    EXPECT_EQ(heap_moved.data(), heap_buf);
+    EXPECT_EQ(heap_moved(5, 0), cplx(0.0, 2.0));
+
+    // Assignment across storage classes in both directions.
+    Matrix m = gates::cnot();
+    m = Matrix::identity(7);
+    EXPECT_FALSE(m.isInline());
+    EXPECT_EQ(m(6, 6), cplx(1.0));
+    m = gates::cnot();
+    EXPECT_TRUE(m.isInline());
+    EXPECT_EQ(m(3, 2), cplx(1.0));
+
+    // Self-assignment keeps contents.
+    Matrix& alias = m;
+    m = alias;
+    EXPECT_EQ(m(3, 2), cplx(1.0));
+}
+
+TEST(MatrixSbo, MovedFromMatrixIsReusable)
+{
+    Matrix a = Matrix::identity(6);
+    Matrix b = std::move(a);
+    a = gates::pauliX(); // must be safely assignable after the move
+    EXPECT_TRUE(a.isInline());
+    EXPECT_EQ(a(0, 1), cplx(1.0));
+    EXPECT_EQ(b(5, 5), cplx(1.0));
+}
+
+TEST(MatrixSbo, MultiplyIntoMatchesOperatorStar)
+{
+    Matrix a = gates::fsim(1.2, 0.4);
+    Matrix b = gates::sqrtIswap();
+    Matrix expected = a * b;
+    Matrix out;
+    Matrix::multiplyInto(out, a, b);
+    EXPECT_EQ(out.maxAbsDiff(expected), 0.0);
+
+    // Reuse with a shape already matching (no reallocation path).
+    Matrix::multiplyInto(out, b, a);
+    EXPECT_EQ(out.maxAbsDiff(b * a), 0.0);
+
+    // Heap-sized product and rectangular shapes.
+    Matrix r1(3, 7), r2(7, 2);
+    for (size_t i = 0; i < r1.size(); ++i)
+        const_cast<cplx*>(r1.data())[i] = cplx(double(i), 0.5);
+    for (size_t i = 0; i < r2.size(); ++i)
+        const_cast<cplx*>(r2.data())[i] = cplx(0.25, double(i));
+    Matrix rect;
+    Matrix::multiplyInto(rect, r1, r2);
+    EXPECT_EQ(rect.rows(), 3u);
+    EXPECT_EQ(rect.cols(), 2u);
+    EXPECT_EQ(rect.maxAbsDiff(r1 * r2), 0.0);
+}
+
+TEST(MatrixSbo, MultiplyIntoRejectsAliasing)
+{
+    Matrix a = gates::cz();
+    Matrix b = gates::iswap();
+    EXPECT_THROW(Matrix::multiplyInto(a, a, b), FatalError);
+    EXPECT_THROW(Matrix::multiplyInto(b, a, b), FatalError);
 }
 
 } // namespace

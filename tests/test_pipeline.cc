@@ -96,6 +96,47 @@ TEST(Pipeline, NativeSwapReducesInstructionCount)
     }
 }
 
+TEST(Pipeline, IntraCircuitParallelismBitIdenticalAcrossCaps)
+{
+    // Full pipeline through the one-shot service with a worker pool:
+    // every intra_circuit_parallelism setting must reproduce the
+    // serial compile bit-for-bit (cold cache per variant, so nothing
+    // is shared between runs but the inputs).
+    Rng rng(84);
+    Device d = makeSycamore(rng);
+    Circuit app = makeQuantumVolumeCircuit(4, rng);
+    GateSet set = isa::googleSet(3);
+
+    auto compile = [&](ThreadPool* pool, size_t cap) {
+        ProfileCache cold;
+        CompileOptions opts = fastCompile();
+        opts.intra_circuit_parallelism = cap;
+        return compileCircuit(app, d, set, cold, opts, pool);
+    };
+
+    CompileResult serial = compile(nullptr, 0);
+    ThreadPool pool(4);
+    for (size_t cap : {size_t(0), size_t(1), size_t(2)}) {
+        SCOPED_TRACE("cap " + std::to_string(cap));
+        CompileResult parallel = compile(&pool, cap);
+        EXPECT_EQ(serial.physical, parallel.physical);
+        EXPECT_EQ(serial.final_positions, parallel.final_positions);
+        EXPECT_EQ(serial.swaps_inserted, parallel.swaps_inserted);
+        EXPECT_EQ(serial.two_qubit_count, parallel.two_qubit_count);
+        EXPECT_EQ(serial.type_usage, parallel.type_usage);
+        EXPECT_DOUBLE_EQ(serial.estimated_fidelity,
+                         parallel.estimated_fidelity);
+        ASSERT_EQ(serial.circuit.size(), parallel.circuit.size());
+        for (size_t i = 0; i < serial.circuit.size(); ++i) {
+            const Operation& x = serial.circuit.ops()[i];
+            const Operation& y = parallel.circuit.ops()[i];
+            EXPECT_EQ(x.qubits, y.qubits);
+            EXPECT_EQ(x.label, y.label);
+            EXPECT_EQ(x.unitary.maxAbsDiff(y.unitary), 0.0);
+        }
+    }
+}
+
 TEST(Pipeline, EstimatedFidelityIsProbability)
 {
     Rng rng(84);

@@ -277,6 +277,70 @@ TEST(Translate, SwapTypeUsedForRoutedSwaps)
     EXPECT_EQ(result.type_usage.at("SWAP"), 1);
 }
 
+TEST(Translate, ParallelProfileWarmupBitIdenticalToSerial)
+{
+    // The intra-circuit fan-out only parallelizes the profile
+    // precompute; selection and emission stay serial. Whatever the
+    // thread count or cap, the emitted circuit must be bit-identical
+    // — each variant runs against its own cold cache so identity is
+    // established by recomputation, not by sharing profile objects.
+    Device d("line4", Topology::line(4));
+    for (auto [a, b] : d.topology().edges()) {
+        d.setEdgeFidelity(a, b, "S3", 0.99);
+        d.setEdgeFidelity(a, b, "S4", 0.98);
+    }
+    for (int q = 0; q < 4; ++q)
+        d.setOneQubitError(q, 0.001);
+    GateSet set = isa::rigettiSet(1);
+    NuOpDecomposer decomposer(fastNuOp());
+
+    Rng rng(73);
+    Circuit logical(4);
+    logical.add2q(0, 1, randomSu4(rng), "SU4");
+    logical.add1q(2, hadamard(), "H");
+    logical.add2q(1, 2, zz(0.3), "ZZ");
+    logical.add2q(2, 3, randomSu4(rng), "SU4");
+    logical.add2q(0, 1, zz(0.3), "ZZ"); // repeat: cache-hit path
+    logical.add2q(1, 2, randomSu4(rng), "SU4");
+
+    auto translate = [&](ThreadPool* pool, size_t cap) {
+        ProfileCache cold;
+        return translateCircuit(logical, {0, 1, 2, 3}, d, set,
+                                decomposer, cold, /*approximate=*/true,
+                                pool, cap);
+    };
+
+    TranslateResult serial = translate(nullptr, 0);
+    ThreadPool pool(4);
+    TranslateResult uncapped = translate(&pool, 0);
+    TranslateResult capped = translate(&pool, 2);
+    TranslateResult forced_serial = translate(&pool, 1);
+
+    for (const TranslateResult* other :
+         {&uncapped, &capped, &forced_serial}) {
+        EXPECT_EQ(serial.two_qubit_count, other->two_qubit_count);
+        EXPECT_EQ(serial.type_usage, other->type_usage);
+        EXPECT_DOUBLE_EQ(serial.estimated_fidelity,
+                         other->estimated_fidelity);
+        ASSERT_EQ(serial.circuit.size(), other->circuit.size());
+        for (size_t i = 0; i < serial.circuit.size(); ++i) {
+            const Operation& x = serial.circuit.ops()[i];
+            const Operation& y = other->circuit.ops()[i];
+            EXPECT_EQ(x.qubits, y.qubits);
+            EXPECT_EQ(x.label, y.label);
+            EXPECT_EQ(x.unitary.maxAbsDiff(y.unitary), 0.0);
+        }
+    }
+    // Every (op, spec) precompute job tallies exactly one hit or
+    // miss. The split is timing-dependent under concurrency (racing
+    // same-key requesters both compute and both count as misses, by
+    // ProfileCache design), but the total is exact.
+    EXPECT_EQ(serial.cache_hits + serial.cache_misses,
+              uncapped.cache_hits + uncapped.cache_misses);
+    EXPECT_EQ(serial.cache_hits, forced_serial.cache_hits);
+    EXPECT_EQ(serial.cache_misses, forced_serial.cache_misses);
+}
+
 TEST(Translate, TypeUsageAccounting)
 {
     Device d = twoQubitDevice(0.99, 0.99);
