@@ -140,11 +140,12 @@ resultsBitIdentical(const CompileResult& a, const CompileResult& b)
         a.circuit.size() != b.circuit.size())
         return false;
     for (size_t i = 0; i < a.circuit.size(); ++i) {
-        const Operation& x = a.circuit.ops()[i];
-        const Operation& y = b.circuit.ops()[i];
-        if (x.qubits != y.qubits || x.label != y.label ||
-            x.error_rate != y.error_rate ||
-            x.unitary.maxAbsDiff(y.unitary) != 0.0)
+        ConstOpRef x = a.circuit.ops()[i];
+        ConstOpRef y = b.circuit.ops()[i];
+        // Interned ids compare label text exactly (one global table).
+        if (x.qubits() != y.qubits() || x.labelId() != y.labelId() ||
+            x.errorRate() != y.errorRate() ||
+            x.unitary().maxAbsDiff(y.unitary()) != 0.0)
             return false;
     }
     return true;

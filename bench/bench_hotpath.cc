@@ -302,10 +302,27 @@ emitWorkload(const WorkloadReport& r, bool last)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
-    // Fixed scale, no banner: stdout must stay pure JSON for the
-    // smoke capture (same contract as bench_translation).
+    // --quick trims the compute-bound leg for the CI smoke run: the
+    // QV workload drops to 24 qubits and every rep count shrinks. The
+    // QFT workload stays at 32 qubits so its deterministic allocation
+    // counters — the numbers bench_baseline.json gates — are the same
+    // figures in both modes.
+    bool quick = false;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--quick") {
+            quick = true;
+        } else {
+            // Usage goes to stderr: stdout must stay pure JSON for
+            // the smoke capture (same contract as bench_translation).
+            std::cerr << "usage: " << argv[0] << " [--quick]\n"
+                      << "  --quick  CI smoke scale: QV-24, fewer reps\n";
+            return arg == "--help" || arg == "-h" ? 0 : 2;
+        }
+    }
+
     Rng rng(4242);
     Device device = makeSycamore(rng);
     GateSet set = isa::singleTypeSet(3); // CZ
@@ -316,28 +333,34 @@ main()
 
     Circuit qft = makeQftCircuit(32);
     Rng qv_rng(77);
-    Circuit qv = makeQuantumVolumeCircuit(32, qv_rng);
+    int qv_qubits = quick ? 24 : 32;
+    Circuit qv = makeQuantumVolumeCircuit(qv_qubits, qv_rng);
 
     // QFT-32 is sub-second per compile: enough reps for a stable p95.
     // QV-32 pays ~500 BFGS optimizations per cold rep; keep it to a
     // handful (its p95 is effectively the max of the reps).
-    WorkloadReport qft_report = runWorkload(
-        "qft32", qft, device, set, options, pool, 7, 15);
-    WorkloadReport qv_report =
-        runWorkload("qv32", qv, device, set, options, pool, 3, 3);
+    WorkloadReport qft_report =
+        runWorkload("qft32", qft, device, set, options, pool,
+                    quick ? 3 : 7, quick ? 5 : 15);
+    WorkloadReport qv_report = runWorkload(
+        quick ? "qv24" : "qv32", qv, device, set, options, pool,
+        quick ? 2 : 3, quick ? 2 : 3);
 
     bool bit_identical =
         qft_report.bit_identical && qv_report.bit_identical;
 
     std::cout << "{\n  \"bench\": \"hotpath\",\n"
+              << "  \"mode\": \"" << (quick ? "quick" : "full")
+              << "\",\n"
               << "  \"threads\": " << pool.size() << ",\n"
               << "  \"gate_set\": \"" << set.name << "\",\n"
               << "  \"workloads\": [\n";
     emitWorkload(qft_report, false);
     emitWorkload(qv_report, true);
-    // Headline figures the CI gate reads: QFT-32 serial latency (the
-    // deterministic cache-bound path) and the QV-32 intra-circuit
-    // parallel speedup (the compute-bound path that needs the cores).
+    // Headline figures the CI gate reads: QFT-32 serial latency and
+    // allocation counters (the deterministic cache-bound path) and
+    // the QV intra-circuit parallel speedup (the compute-bound path
+    // that needs the cores).
     std::cout << "  ],\n"
               << "  \"qft32_cold_p95_ms\": " << qft_report.cold_p95
               << ",\n"

@@ -27,19 +27,20 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" --target "$BENCH" \
     bench_routing bench_sharding bench_service bench_translation \
     bench_hotpath quickstart
 
-# run_bench <binary> [json-output]: run a bench, streaming its output
-# to the terminal (and to the JSON file when given), and abort with
-# the bench's own exit code if it fails.
+# run_bench <binary> [json-output] [args...]: run a bench, streaming
+# its output to the terminal (and to the JSON file when given), and
+# abort with the bench's own exit code if it fails.
 run_bench() {
     local bin="$1"
     local out="${2:-}"
-    echo "=== ${bin}${out:+ -> ${out}} ==="
+    shift $(( $# >= 2 ? 2 : 1 ))
+    echo "=== ${bin}${out:+ -> ${out}}${*:+ ($*)} ==="
     local status=0
     if [[ -n "$out" ]]; then
-        "./$BUILD_DIR/$bin" > "$out" || status=$?
+        "./$BUILD_DIR/$bin" "$@" > "$out" || status=$?
         cat "$out"
     else
-        "./$BUILD_DIR/$bin" || status=$?
+        "./$BUILD_DIR/$bin" "$@" || status=$?
     fi
     if (( status != 0 )); then
         echo "FAIL: $bin exited with status $status" >&2
@@ -64,4 +65,7 @@ run_bench bench_service "$SERVICE_JSON"
 run_bench bench_translation "$TRANSLATION_JSON"
 # Single-circuit hot-path latency, allocation counters and the
 # intra-circuit parallel speedup/bit-identity self-check (PR 6 on).
-run_bench bench_hotpath "$HOTPATH_JSON"
+# HOTPATH_ARGS=--quick (the CI smoke setting) trims the compute-bound
+# QV leg to 24 qubits; the gated QFT-32 counters are mode-invariant.
+# Intentionally unquoted so multiple flags split.
+run_bench bench_hotpath "$HOTPATH_JSON" ${HOTPATH_ARGS:-}

@@ -23,10 +23,15 @@ regresses beyond the baseline tolerance:
     the "nuop" engine stops being bit-identical to the legacy path.
   - Compile hot path: fails when the QFT-32 serial cold-cache compile
     p95 exceeds (1 + hotpath_latency_tolerance) * hotpath_p95_ms, or
-    when the QV-32 intra-circuit parallel speedup drops below
+    when the QV-leg intra-circuit parallel speedup drops below
     (1 - tolerance) * baseline or the hard floor
     (min_hotpath_speedup), or when the parallel compile stops being
-    bit-identical to serial (always enforced).
+    bit-identical to serial (always enforced), or when the QFT-32
+    warm-cache heap allocation count/bytes exceed
+    (1 + hotpath_alloc_tolerance) * baseline. The allocation counters
+    are serial, seeded and mode-invariant (--quick shrinks only the
+    QV leg), so — like the SWAP-count gate — they are enforced on
+    every runner regardless of thread count.
   - Bit-identity of sharded and service results (always enforced).
 
 The sharding/service/hotpath speedup baselines — and the hotpath p95
@@ -198,6 +203,33 @@ def main() -> None:
             "intra-circuit parallel compiles are not bit-identical to "
             "the serial hot path"
         )
+    # Warm-cache allocation counters: deterministic (serial rep, seeded
+    # workload, QFT leg unchanged by --quick), so always enforced. A
+    # count regression means a pass sweep started allocating again —
+    # the exact thing the SoA IR / scratch-reuse work pays for.
+    qft32 = next(
+        (w for w in hotpath["workloads"] if w["name"] == "qft32"), None
+    )
+    if qft32 is None:
+        fail("BENCH_hotpath.json has no qft32 workload")
+    alloc_tolerance = baseline.get("hotpath_alloc_tolerance", 0.50)
+    for metric, key in (
+        ("warm_count", "hotpath_warm_alloc_count"),
+        ("warm_bytes", "hotpath_warm_alloc_bytes"),
+    ):
+        measured = qft32["alloc"][metric]
+        alloc_baseline = baseline[key]
+        alloc_limit = alloc_baseline * (1.0 + alloc_tolerance)
+        print(
+            f"qft32 warm-cache alloc {metric}: {measured} "
+            f"(baseline {alloc_baseline}, limit {alloc_limit:.0f})"
+        )
+        if measured > alloc_limit:
+            fail(
+                f"hot-path warm-compile {metric} regressed: "
+                f"{measured} > {alloc_limit:.0f}"
+            )
+
     hotpath_threads = hotpath.get("threads", 1)
     p95 = hotpath["qft32_cold_p95_ms"]
     p95_baseline = baseline["hotpath_p95_ms"]

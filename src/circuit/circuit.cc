@@ -1,6 +1,5 @@
 #include "circuit/circuit.h"
 
-#include <algorithm>
 #include <utility>
 
 #include "circuit/schedule.h"
@@ -22,45 +21,77 @@ Circuit::validateQubit(int qubit) const
 }
 
 void
+Circuit::pushOp(Qubits qubits, const Matrix& unitary, LabelId label,
+                double error_rate, double duration_ns)
+{
+    validateQubit(qubits[0]);
+    if (qubits.isTwoQubit()) {
+        validateQubit(qubits[1]);
+        QISET_REQUIRE(qubits[0] != qubits[1], "2Q op on identical qubits");
+        QISET_REQUIRE(unitary.rows() == 4 && unitary.cols() == 4,
+                      "2Q op needs a 4x4 unitary");
+        ++two_qubit_count_;
+    } else {
+        QISET_REQUIRE(unitary.rows() == 2 && unitary.cols() == 2,
+                      "1Q op needs a 2x2 unitary");
+    }
+    qubits_.push_back(qubits);
+    labels_.push_back(label);
+    unitaries_.push_back(unitary);
+    error_rates_.push_back(error_rate);
+    durations_.push_back(duration_ns);
+}
+
+void
 Circuit::add1q(int qubit, const Matrix& unitary, const std::string& label)
 {
-    validateQubit(qubit);
-    QISET_REQUIRE(unitary.rows() == 2 && unitary.cols() == 2,
-                  "1Q op needs a 2x2 unitary");
-    Operation op;
-    op.qubits = {qubit};
-    op.unitary = unitary;
-    op.label = label;
-    ops_.push_back(std::move(op));
+    pushOp(Qubits(qubit), unitary, internLabel(label), 0.0, 0.0);
+}
+
+void
+Circuit::add1q(int qubit, const Matrix& unitary, LabelId label,
+               double error_rate, double duration_ns)
+{
+    pushOp(Qubits(qubit), unitary, label, error_rate, duration_ns);
 }
 
 void
 Circuit::add2q(int qubit_a, int qubit_b, const Matrix& unitary,
                const std::string& label)
 {
-    validateQubit(qubit_a);
-    validateQubit(qubit_b);
-    QISET_REQUIRE(qubit_a != qubit_b, "2Q op on identical qubits");
-    QISET_REQUIRE(unitary.rows() == 4 && unitary.cols() == 4,
-                  "2Q op needs a 4x4 unitary");
-    Operation op;
-    op.qubits = {qubit_a, qubit_b};
-    op.unitary = unitary;
-    op.label = label;
-    ops_.push_back(std::move(op));
+    pushOp(Qubits(qubit_a, qubit_b), unitary, internLabel(label), 0.0,
+           0.0);
+}
+
+void
+Circuit::add2q(int qubit_a, int qubit_b, const Matrix& unitary,
+               LabelId label, double error_rate, double duration_ns)
+{
+    pushOp(Qubits(qubit_a, qubit_b), unitary, label, error_rate,
+           duration_ns);
 }
 
 void
 Circuit::add(Operation op)
 {
-    QISET_REQUIRE(op.qubits.size() == 1 || op.qubits.size() == 2,
-                  "operation must touch 1 or 2 qubits");
-    for (int q : op.qubits)
-        validateQubit(q);
-    size_t dim = op.qubits.size() == 1 ? 2 : 4;
-    QISET_REQUIRE(op.unitary.rows() == dim && op.unitary.cols() == dim,
-                  "operation unitary has wrong shape");
-    ops_.push_back(std::move(op));
+    pushOp(op.qubits, op.unitary, internLabel(op.label), op.error_rate,
+           op.duration_ns);
+}
+
+void
+Circuit::add(ConstOpRef op)
+{
+    pushOp(op.qubits(), op.unitary(), op.labelId(), op.errorRate(),
+           op.durationNs());
+}
+
+void
+Circuit::add(ConstOpRef op, Qubits remapped)
+{
+    QISET_REQUIRE(remapped.size() == op.qubits().size(),
+                  "remapped operand count differs from source op");
+    pushOp(remapped, op.unitary(), op.labelId(), op.errorRate(),
+           op.durationNs());
 }
 
 void
@@ -68,31 +99,33 @@ Circuit::append(const Circuit& other)
 {
     QISET_REQUIRE(other.num_qubits_ <= num_qubits_,
                   "appended circuit is wider than target");
-    ops_.reserve(ops_.size() + other.ops_.size());
-    for (const auto& op : other.ops_)
-        ops_.push_back(op);
+    reserveOps(other.size());
+    for (size_t i = 0; i < other.size(); ++i)
+        pushOp(other.qubits_[i], other.unitaries_[i], other.labels_[i],
+               other.error_rates_[i], other.durations_[i]);
 }
 
-int
-Circuit::twoQubitGateCount() const
+void
+Circuit::reserveOps(size_t additional)
 {
-    return static_cast<int>(std::count_if(
-        ops_.begin(), ops_.end(),
-        [](const Operation& op) { return op.isTwoQubit(); }));
-}
-
-int
-Circuit::oneQubitGateCount() const
-{
-    return static_cast<int>(ops_.size()) - twoQubitGateCount();
+    size_t total = qubits_.size() + additional;
+    qubits_.reserve(total);
+    labels_.reserve(total);
+    unitaries_.reserve(total);
+    error_rates_.reserve(total);
+    durations_.reserve(total);
 }
 
 int
 Circuit::countLabel(const std::string& label) const
 {
-    return static_cast<int>(std::count_if(
-        ops_.begin(), ops_.end(),
-        [&](const Operation& op) { return op.label == label; }));
+    LabelId id = LabelTable::global().find(label);
+    if (id == kInvalidLabel)
+        return 0;
+    int count = 0;
+    for (LabelId l : labels_)
+        count += (l == id);
+    return count;
 }
 
 int
@@ -108,8 +141,7 @@ Circuit::scheduledDurationNs() const
 }
 
 Matrix
-embedUnitary(const Matrix& gate, const std::vector<int>& qubits,
-             int num_qubits)
+embedUnitary(const Matrix& gate, Qubits qubits, int num_qubits)
 {
     size_t dim = size_t{1} << num_qubits;
     Matrix full(dim, dim);
@@ -164,8 +196,8 @@ Circuit::unitary() const
     // allocation-free after the first op (multiplyInto reuses the
     // 2^n x 2^n buffers instead of materializing fresh temporaries).
     Matrix embedded, product;
-    for (const auto& op : ops_) {
-        embedded = embedUnitary(op.unitary, op.qubits, num_qubits_);
+    for (size_t i = 0; i < size(); ++i) {
+        embedded = embedUnitary(unitaries_[i], qubits_[i], num_qubits_);
         Matrix::multiplyInto(product, embedded, result);
         std::swap(product, result);
     }
@@ -176,13 +208,13 @@ std::string
 Circuit::toString() const
 {
     std::string out;
-    for (const auto& op : ops_) {
-        out += op.label;
+    for (size_t i = 0; i < size(); ++i) {
+        out += labelName(labels_[i]);
         out += " q";
-        out += std::to_string(op.qubits[0]);
-        if (op.isTwoQubit()) {
+        out += std::to_string(qubits_[i][0]);
+        if (qubits_[i].isTwoQubit()) {
             out += ", q";
-            out += std::to_string(op.qubits[1]);
+            out += std::to_string(qubits_[i][1]);
         }
         out += '\n';
     }

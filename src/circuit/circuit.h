@@ -11,22 +11,90 @@
  * circuits of native hardware gates annotated with error rates and
  * durations that the noisy simulators consume.
  *
+ * Storage is struct-of-arrays: operands are an inline fixed pair
+ * (Qubits), labels are interned LabelIds, and unitary / error-rate /
+ * duration live in parallel columns, so pass sweeps touch only the
+ * columns they read and appending an op performs no per-op heap
+ * allocation (2x2/4x4 unitaries sit in the Matrix small-buffer).
+ * Operations are accessed through OpRef/ConstOpRef proxy views
+ * (`for (const auto& op : circuit.ops())`) or — for the hottest
+ * sweeps — through the raw column accessors (opQubits(), ...).
+ *
+ * Invalidation: like std::vector, any add or append call may
+ * reallocate the columns; OpRefs, column references and iterators
+ * obtained before a mutation must not be used after it.
+ *
  * Basis convention: for an n-qubit register, qubit 0 is the most
  * significant bit of the computational basis index.
  */
 
+#include <cstdint>
+#include <initializer_list>
 #include <string>
 #include <vector>
 
+#include "circuit/label_table.h"
 #include "qc/matrix.h"
 
 namespace qiset {
 
-/** A single gate application within a circuit. */
+/**
+ * Inline operand list of one operation: one or two qubit indices, no
+ * heap. The second slot is -1 for single-qubit ops. Iterable and
+ * indexable like the std::vector<int> it replaced.
+ */
+class Qubits
+{
+  public:
+    Qubits() = default;
+    Qubits(int q0) : q_{static_cast<std::int32_t>(q0), -1} {}
+    Qubits(int q0, int q1)
+        : q_{static_cast<std::int32_t>(q0), static_cast<std::int32_t>(q1)}
+    {
+    }
+    Qubits(std::initializer_list<int> qs)
+    {
+        size_t i = 0;
+        for (int q : qs) {
+            if (i < 2)
+                q_[i] = static_cast<std::int32_t>(q);
+            ++i;
+        }
+        // Over-long lists are rejected by Circuit::add's validation
+        // (size() never exceeds 2 by construction here).
+    }
+    Qubits(const std::vector<int>& qs)
+    {
+        for (size_t i = 0; i < qs.size() && i < 2; ++i)
+            q_[i] = static_cast<std::int32_t>(qs[i]);
+    }
+
+    size_t size() const { return q_[1] >= 0 ? 2 : 1; }
+    bool isTwoQubit() const { return q_[1] >= 0; }
+    int operator[](size_t i) const { return q_[i]; }
+
+    const std::int32_t* begin() const { return q_; }
+    const std::int32_t* end() const { return q_ + size(); }
+
+    friend bool operator==(Qubits a, Qubits b)
+    {
+        return a.q_[0] == b.q_[0] && a.q_[1] == b.q_[1];
+    }
+    friend bool operator!=(Qubits a, Qubits b) { return !(a == b); }
+
+  private:
+    std::int32_t q_[2] = {-1, -1};
+};
+
+/**
+ * A single gate application, as a standalone value. This is the
+ * *builder* type for Circuit::add(Operation) — inside a Circuit the
+ * fields live in separate columns and are read through OpRef views.
+ */
 struct Operation
 {
     /** Qubits acted on; size 1 or 2. For 2Q ops order matters. */
-    std::vector<int> qubits;
+    Qubits qubits;
 
     /** The gate unitary: 2x2 for 1Q ops, 4x4 for 2Q ops. */
     Matrix unitary;
@@ -43,8 +111,117 @@ struct Operation
     /** Gate duration in nanoseconds (drives T1/T2 decoherence). */
     double duration_ns = 0.0;
 
-    bool isTwoQubit() const { return qubits.size() == 2; }
+    bool isTwoQubit() const { return qubits.isTwoQubit(); }
 };
+
+class Circuit;
+
+/** Read-only proxy for one operation inside a Circuit. */
+class ConstOpRef
+{
+  public:
+    ConstOpRef(const Circuit& circuit, size_t index)
+        : circuit_(&circuit), index_(index)
+    {
+    }
+
+    size_t index() const { return index_; }
+    inline Qubits qubits() const;
+    inline bool isTwoQubit() const;
+    inline const Matrix& unitary() const;
+    inline LabelId labelId() const;
+    /** Label text, resolved through the global LabelTable. */
+    inline const std::string& label() const;
+    inline double errorRate() const;
+    inline double durationNs() const;
+
+  private:
+    const Circuit* circuit_;
+    size_t index_;
+};
+
+/** Mutable proxy for one operation inside a Circuit. */
+class OpRef
+{
+  public:
+    OpRef(Circuit& circuit, size_t index)
+        : circuit_(&circuit), index_(index)
+    {
+    }
+
+    size_t index() const { return index_; }
+    inline Qubits qubits() const;
+    inline bool isTwoQubit() const;
+    inline const Matrix& unitary() const;
+    inline LabelId labelId() const;
+    inline const std::string& label() const;
+    inline double errorRate() const;
+    inline double durationNs() const;
+
+    inline void setUnitary(const Matrix& unitary) const;
+    inline void setLabel(LabelId label) const;
+    inline void setLabel(std::string_view label) const;
+    inline void setErrorRate(double error_rate) const;
+    inline void setDurationNs(double duration_ns) const;
+
+    inline operator ConstOpRef() const;
+
+  private:
+    Circuit* circuit_;
+    size_t index_;
+};
+
+/** Range view over a Circuit's operations yielding Ref proxies. */
+template <typename CircuitT, typename Ref>
+class OpRange
+{
+  public:
+    class iterator
+    {
+      public:
+        using iterator_category = std::forward_iterator_tag;
+        using value_type = Ref;
+        using difference_type = std::ptrdiff_t;
+        using pointer = const Ref*;
+        using reference = Ref;
+
+        iterator(CircuitT& circuit, size_t index)
+            : circuit_(&circuit), index_(index)
+        {
+        }
+        Ref operator*() const { return Ref(*circuit_, index_); }
+        iterator& operator++()
+        {
+            ++index_;
+            return *this;
+        }
+        bool operator==(const iterator& other) const
+        {
+            return index_ == other.index_;
+        }
+        bool operator!=(const iterator& other) const
+        {
+            return index_ != other.index_;
+        }
+
+      private:
+        CircuitT* circuit_;
+        size_t index_;
+    };
+
+    explicit OpRange(CircuitT& circuit) : circuit_(&circuit) {}
+    inline iterator begin() const;
+    inline iterator end() const;
+    inline size_t size() const;
+    bool empty() const { return size() == 0; }
+    Ref operator[](size_t index) const { return Ref(*circuit_, index); }
+
+  private:
+    CircuitT* circuit_;
+};
+
+using ConstOpRange = OpRange<const Circuit, ConstOpRef>;
+using MutableOpRange = OpRange<Circuit, OpRef>;
 
 /** An ordered sequence of operations on a fixed-size qubit register. */
 class Circuit
@@ -59,38 +236,56 @@ class Circuit
     void add1q(int qubit, const Matrix& unitary,
                const std::string& label = "U1q");
 
+    /** Append a single-qubit unitary with a pre-interned label. */
+    void add1q(int qubit, const Matrix& unitary, LabelId label,
+               double error_rate = 0.0, double duration_ns = 0.0);
+
     /** Append a two-qubit unitary on (qubit_a, qubit_b). */
     void add2q(int qubit_a, int qubit_b, const Matrix& unitary,
                const std::string& label = "U2q");
 
+    /** Append a two-qubit unitary with a pre-interned label. */
+    void add2q(int qubit_a, int qubit_b, const Matrix& unitary,
+               LabelId label, double error_rate = 0.0,
+               double duration_ns = 0.0);
+
     /** Append a pre-built operation (validated). */
     void add(Operation op);
+
+    /**
+     * Append a copy of an op from another circuit (column-to-column;
+     * no label re-intern, no unitary heap traffic).
+     */
+    void add(ConstOpRef op);
+
+    /** Append a copy of `op` rewired onto `remapped` qubits. */
+    void add(ConstOpRef op, Qubits remapped);
 
     /** Append every operation of another circuit (same register size). */
     void append(const Circuit& other);
 
     /**
-     * Pre-size the op list for `additional` more appends (on top of
+     * Pre-size every column for `additional` more appends (on top of
      * the current size). Generators and rewrite passes that know their
      * output gate count call this so append loops never reallocate.
      */
-    void reserveOps(size_t additional)
-    {
-        ops_.reserve(ops_.size() + additional);
-    }
+    void reserveOps(size_t additional);
 
-    const std::vector<Operation>& ops() const { return ops_; }
-    std::vector<Operation>& mutableOps() { return ops_; }
+    ConstOpRange ops() const { return ConstOpRange(*this); }
+    MutableOpRange mutableOps() { return MutableOpRange(*this); }
 
-    size_t size() const { return ops_.size(); }
+    size_t size() const { return qubits_.size(); }
 
     /** Number of two-qubit operations (the paper's instruction count). */
-    int twoQubitGateCount() const;
+    int twoQubitGateCount() const { return two_qubit_count_; }
 
     /** Number of single-qubit operations. */
-    int oneQubitGateCount() const;
+    int oneQubitGateCount() const
+    {
+        return static_cast<int>(size()) - two_qubit_count_;
+    }
 
-    /** Count of 2Q operations whose label matches exactly. */
+    /** Count of operations whose label matches exactly. */
     int countLabel(const std::string& label) const;
 
     /** ASAP-schedule depth (number of moments; see schedule.h). */
@@ -108,19 +303,171 @@ class Circuit
     /** Multi-line textual listing of the circuit. */
     std::string toString() const;
 
+    // ----------------------------------------------------- SoA columns
+    //
+    // Raw parallel arrays for allocation-free pass sweeps: routing and
+    // scheduling read opQubits()/opDurations(), crosstalk reads
+    // opQubits() and rewrites mutableErrorRates(), translation reads
+    // opQubits()/opUnitaries(). References follow the std::vector
+    // rule: invalidated by any add or append.
+
+    const std::vector<Qubits>& opQubits() const { return qubits_; }
+    const std::vector<LabelId>& opLabels() const { return labels_; }
+    const std::vector<Matrix>& opUnitaries() const { return unitaries_; }
+    const std::vector<double>& opErrorRates() const
+    {
+        return error_rates_;
+    }
+    const std::vector<double>& opDurations() const { return durations_; }
+
+    /** Error-rate column, writable (crosstalk/noise re-annotation). */
+    std::vector<double>& mutableErrorRates() { return error_rates_; }
+
   private:
+    friend class ConstOpRef;
+    friend class OpRef;
+
     void validateQubit(int qubit) const;
+    /** Validated column append shared by every add path. */
+    void pushOp(Qubits qubits, const Matrix& unitary, LabelId label,
+                double error_rate, double duration_ns);
 
     int num_qubits_;
-    std::vector<Operation> ops_;
+    int two_qubit_count_ = 0;
+    std::vector<Qubits> qubits_;
+    std::vector<LabelId> labels_;
+    std::vector<Matrix> unitaries_;
+    std::vector<double> error_rates_;
+    std::vector<double> durations_;
 };
+
+// ------------------------------------------------- inline proxy bodies
+
+inline Qubits
+ConstOpRef::qubits() const
+{
+    return circuit_->qubits_[index_];
+}
+inline bool
+ConstOpRef::isTwoQubit() const
+{
+    return circuit_->qubits_[index_].isTwoQubit();
+}
+inline const Matrix&
+ConstOpRef::unitary() const
+{
+    return circuit_->unitaries_[index_];
+}
+inline LabelId
+ConstOpRef::labelId() const
+{
+    return circuit_->labels_[index_];
+}
+inline const std::string&
+ConstOpRef::label() const
+{
+    return labelName(circuit_->labels_[index_]);
+}
+inline double
+ConstOpRef::errorRate() const
+{
+    return circuit_->error_rates_[index_];
+}
+inline double
+ConstOpRef::durationNs() const
+{
+    return circuit_->durations_[index_];
+}
+
+inline Qubits
+OpRef::qubits() const
+{
+    return circuit_->qubits_[index_];
+}
+inline bool
+OpRef::isTwoQubit() const
+{
+    return circuit_->qubits_[index_].isTwoQubit();
+}
+inline const Matrix&
+OpRef::unitary() const
+{
+    return circuit_->unitaries_[index_];
+}
+inline LabelId
+OpRef::labelId() const
+{
+    return circuit_->labels_[index_];
+}
+inline const std::string&
+OpRef::label() const
+{
+    return labelName(circuit_->labels_[index_]);
+}
+inline double
+OpRef::errorRate() const
+{
+    return circuit_->error_rates_[index_];
+}
+inline double
+OpRef::durationNs() const
+{
+    return circuit_->durations_[index_];
+}
+inline void
+OpRef::setUnitary(const Matrix& unitary) const
+{
+    circuit_->unitaries_[index_] = unitary;
+}
+inline void
+OpRef::setLabel(LabelId label) const
+{
+    circuit_->labels_[index_] = label;
+}
+inline void
+OpRef::setLabel(std::string_view label) const
+{
+    circuit_->labels_[index_] = internLabel(label);
+}
+inline void
+OpRef::setErrorRate(double error_rate) const
+{
+    circuit_->error_rates_[index_] = error_rate;
+}
+inline void
+OpRef::setDurationNs(double duration_ns) const
+{
+    circuit_->durations_[index_] = duration_ns;
+}
+inline OpRef::operator ConstOpRef() const
+{
+    return ConstOpRef(*circuit_, index_);
+}
+
+template <typename CircuitT, typename Ref>
+inline typename OpRange<CircuitT, Ref>::iterator
+OpRange<CircuitT, Ref>::begin() const
+{
+    return iterator(*circuit_, 0);
+}
+template <typename CircuitT, typename Ref>
+inline typename OpRange<CircuitT, Ref>::iterator
+OpRange<CircuitT, Ref>::end() const
+{
+    return iterator(*circuit_, circuit_->size());
+}
+template <typename CircuitT, typename Ref>
+inline size_t
+OpRange<CircuitT, Ref>::size() const
+{
+    return circuit_->size();
+}
 
 /**
  * Embed a 1Q or 2Q gate into the full 2^n register unitary.
  * Exposed for tests and for the ideal-simulation path.
  */
-Matrix embedUnitary(const Matrix& gate, const std::vector<int>& qubits,
-                    int num_qubits);
+Matrix embedUnitary(const Matrix& gate, Qubits qubits, int num_qubits);
 
 } // namespace qiset
 

@@ -7,20 +7,21 @@ namespace qiset {
 
 namespace {
 
-/** Assign each operation to an ASAP moment. */
-std::vector<std::vector<const Operation*>>
+/** Assign each operation (by op index) to an ASAP moment. */
+std::vector<std::vector<size_t>>
 buildMoments(const Circuit& circuit)
 {
     std::vector<int> level(circuit.numQubits(), 0);
-    std::vector<std::vector<const Operation*>> moments;
-    for (const auto& op : circuit.ops()) {
+    std::vector<std::vector<size_t>> moments;
+    const auto& op_qubits = circuit.opQubits();
+    for (size_t i = 0; i < op_qubits.size(); ++i) {
         int start = 0;
-        for (int q : op.qubits)
+        for (int q : op_qubits[i])
             start = std::max(start, level[q]);
         if (static_cast<size_t>(start) >= moments.size())
             moments.resize(start + 1);
-        moments[start].push_back(&op);
-        for (int q : op.qubits)
+        moments[start].push_back(i);
+        for (int q : op_qubits[i])
             level[q] = start + 1;
     }
     return moments;
@@ -47,16 +48,18 @@ drawCircuit(const Circuit& circuit, int max_columns)
     for (size_t m = 0; m < shown; ++m) {
         // Column width: widest label in this moment (min 1).
         size_t width = 1;
-        for (const Operation* op : moments[m])
-            width = std::max(width, op->label.size());
+        for (size_t i : moments[m])
+            width = std::max(width, circuit.ops()[i].label().size());
 
         std::vector<std::string> cell(n, std::string(width, '-'));
         std::vector<bool> connect(n, false);
-        for (const Operation* op : moments[m]) {
-            if (op->isTwoQubit()) {
-                int hi = std::min(op->qubits[0], op->qubits[1]);
-                int lo = std::max(op->qubits[0], op->qubits[1]);
-                std::string label = op->label;
+        for (size_t i : moments[m]) {
+            ConstOpRef op = circuit.ops()[i];
+            Qubits qs = op.qubits();
+            if (op.isTwoQubit()) {
+                int hi = std::min(qs[0], qs[1]);
+                int lo = std::max(qs[0], qs[1]);
+                std::string label = op.label();
                 label.resize(width, '-');
                 cell[hi] = label;
                 std::string bullet(width, '-');
@@ -65,9 +68,9 @@ drawCircuit(const Circuit& circuit, int max_columns)
                 for (int q = hi; q < lo; ++q)
                     connect[q] = true;
             } else {
-                std::string label = op->label;
+                std::string label = op.label();
                 label.resize(width, '-');
-                cell[op->qubits[0]] = label;
+                cell[qs[0]] = label;
             }
         }
         for (int q = 0; q < n; ++q) {

@@ -1,0 +1,76 @@
+#include "circuit/label_table.h"
+
+#include <mutex>
+
+#include "common/error.h"
+
+namespace qiset {
+
+LabelTable&
+LabelTable::global()
+{
+    // Leaked on purpose: interned label text must outlive every
+    // static-storage Circuit and every LabelId cached in a static
+    // local, so the table is never destroyed.
+    static LabelTable* table = new LabelTable();
+    return *table;
+}
+
+LabelId
+LabelTable::intern(std::string_view name)
+{
+    {
+        std::shared_lock<std::shared_mutex> lock(mutex_);
+        auto it = index_.find(name);
+        if (it != index_.end())
+            return it->second;
+    }
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    // Re-check: another thread may have interned it between locks.
+    auto it = index_.find(name);
+    if (it != index_.end())
+        return it->second;
+    LabelId id = static_cast<LabelId>(names_.size());
+    names_.emplace_back(name);
+    index_.emplace(std::string_view(names_.back()), id);
+    return id;
+}
+
+LabelId
+LabelTable::find(std::string_view name) const
+{
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    auto it = index_.find(name);
+    return it == index_.end() ? kInvalidLabel : it->second;
+}
+
+const std::string&
+LabelTable::name(LabelId id) const
+{
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    QISET_REQUIRE(id >= 0 && static_cast<size_t>(id) < names_.size(),
+                  "unknown label id ", id, " (", names_.size(),
+                  " labels interned)");
+    return names_[static_cast<size_t>(id)];
+}
+
+size_t
+LabelTable::size() const
+{
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    return names_.size();
+}
+
+LabelId
+internLabel(std::string_view name)
+{
+    return LabelTable::global().intern(name);
+}
+
+const std::string&
+labelName(LabelId id)
+{
+    return LabelTable::global().name(id);
+}
+
+} // namespace qiset

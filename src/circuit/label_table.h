@@ -1,0 +1,79 @@
+#ifndef QISET_CIRCUIT_LABEL_TABLE_H
+#define QISET_CIRCUIT_LABEL_TABLE_H
+
+/**
+ * @file
+ * Interned operation labels.
+ *
+ * Circuits store a 4-byte LabelId per operation instead of an owning
+ * std::string; the id resolves through the process-wide LabelTable.
+ * Formatted names like "fSim(1.571,0.524)" are interned once and
+ * shared by every op (and every circuit) that uses them, so the
+ * compiler's emit loops never heap-copy label text.
+ *
+ * The table is append-only and thread-safe: interning takes a shared
+ * lock on the hit path and upgrades to an exclusive lock only for a
+ * genuinely new name, so parallel translation workers interning the
+ * same handful of native gate names do not serialize. Ids are dense,
+ * never invalidated, and comparable across circuits — two ops carry
+ * the same label text iff their LabelIds are equal.
+ */
+
+#include <cstdint>
+#include <deque>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace qiset {
+
+/** Index of an interned label in the global LabelTable. */
+using LabelId = std::int32_t;
+
+/** Sentinel returned by LabelTable::find for unknown names. */
+inline constexpr LabelId kInvalidLabel = -1;
+
+/** Process-wide, append-only, thread-safe label intern pool. */
+class LabelTable
+{
+  public:
+    /** The table every Circuit resolves labels through. */
+    static LabelTable& global();
+
+    /** Id of `name`, interning it on first sight. */
+    LabelId intern(std::string_view name);
+
+    /** Id of `name` if already interned, else kInvalidLabel. */
+    LabelId find(std::string_view name) const;
+
+    /**
+     * Text of an interned id. The reference is stable for the life of
+     * the process (entries live in a deque and are never removed).
+     */
+    const std::string& name(LabelId id) const;
+
+    /** Number of distinct labels interned so far. */
+    size_t size() const;
+
+    LabelTable(const LabelTable&) = delete;
+    LabelTable& operator=(const LabelTable&) = delete;
+
+  private:
+    LabelTable() = default;
+
+    mutable std::shared_mutex mutex_;
+    std::deque<std::string> names_; // stable storage; index == LabelId
+    // Keys are views into names_ entries (stable in a deque).
+    std::unordered_map<std::string_view, LabelId> index_;
+};
+
+/** Shorthand for LabelTable::global().intern(name). */
+LabelId internLabel(std::string_view name);
+
+/** Shorthand for LabelTable::global().name(id). */
+const std::string& labelName(LabelId id);
+
+} // namespace qiset
+
+#endif // QISET_CIRCUIT_LABEL_TABLE_H

@@ -39,11 +39,13 @@ Schedule::structureFingerprint(const Circuit& circuit)
     uint64_t hash = 14695981039346656037ull;
     hash = fnv1a(hash, static_cast<uint64_t>(circuit.numQubits()));
     hash = fnv1a(hash, circuit.size());
-    for (const auto& op : circuit.ops()) {
-        hash = fnv1a(hash, op.qubits.size());
-        for (int q : op.qubits)
+    const auto& qubits = circuit.opQubits();
+    const auto& durations = circuit.opDurations();
+    for (size_t i = 0; i < qubits.size(); ++i) {
+        hash = fnv1a(hash, qubits[i].size());
+        for (int q : qubits[i])
             hash = fnv1a(hash, static_cast<uint64_t>(q));
-        hash = fnv1aDouble(hash, op.duration_ns);
+        hash = fnv1aDouble(hash, durations[i]);
     }
     return hash;
 }
@@ -51,15 +53,20 @@ Schedule::structureFingerprint(const Circuit& circuit)
 void
 Schedule::build(const Circuit& circuit, MemArena* scratch)
 {
-    const auto& ops = circuit.ops();
-    size_t count = ops.size();
+    // The build touches only the qubit and duration columns — the
+    // whole point of the SoA layout: no label/unitary cache traffic.
+    const auto& op_qubits = circuit.opQubits();
+    const auto& op_durations = circuit.opDurations();
+    size_t count = op_qubits.size();
     int n = circuit.numQubits();
 
     asap_.assign(count, 0);
     alap_.assign(count, 0);
     start_ns_.assign(count, 0.0);
-    moments_.clear();
-    frontier_.clear();
+    moments_.ops_.clear();
+    moments_.offsets_.clear();
+    frontier_.ops_.clear();
+    frontier_.offsets_.clear();
 
     // ASAP: each op starts at the first moment after every op already
     // scheduled on its qubits (this exact recurrence is the contract
@@ -86,14 +93,14 @@ Schedule::build(const Circuit& circuit, MemArena* scratch)
     for (size_t i = 0; i < count; ++i) {
         int start = 0;
         double start_ns = 0.0;
-        for (int q : ops[i].qubits) {
+        for (int q : op_qubits[i]) {
             start = std::max(start, level[q]);
             start_ns = std::max(start_ns, busy_until[q]);
         }
         asap_[i] = start;
         start_ns_[i] = start_ns;
-        double end_ns = start_ns + ops[i].duration_ns;
-        for (int q : ops[i].qubits) {
+        double end_ns = start_ns + op_durations[i];
+        for (int q : op_qubits[i]) {
             level[q] = start + 1;
             busy_until[q] = end_ns;
         }
@@ -110,43 +117,55 @@ Schedule::build(const Circuit& circuit, MemArena* scratch)
     for (size_t r = 0; r < count; ++r) {
         size_t i = count - 1 - r;
         int start = 0;
-        for (int q : ops[i].qubits)
+        for (int q : op_qubits[i])
             start = std::max(start, level[q]);
         alap_[i] = depth_ - 1 - start;
-        for (int q : ops[i].qubits)
+        for (int q : op_qubits[i])
             level[q] = start + 1;
     }
 
-    // Build the moment tables with exact per-moment capacities: count
-    // first (cheap, reusing the scratch array), then reserve, so the
-    // inner vectors never grow-and-copy during the fill.
-    moments_.resize(depth_);
-    frontier_.resize(depth_);
-    if (depth_ > 0) {
-        int* moment_ops = nullptr;
-        std::vector<int> moment_heap;
-        if (scratch) {
-            moment_ops = scratch->allocateArray<int>(2 * depth_);
-        } else {
-            moment_heap.assign(2 * static_cast<size_t>(depth_), 0);
-            moment_ops = moment_heap.data();
-        }
-        std::fill(moment_ops, moment_ops + 2 * depth_, 0);
-        int* frontier_ops = moment_ops + depth_;
-        for (size_t i = 0; i < count; ++i) {
-            ++moment_ops[asap_[i]];
-            if (ops[i].isTwoQubit())
-                ++frontier_ops[asap_[i]];
-        }
-        for (int m = 0; m < depth_; ++m) {
-            moments_[m].reserve(moment_ops[m]);
-            frontier_[m].reserve(frontier_ops[m]);
+    // Build the CSR moment tables: count per moment, prefix-sum into
+    // offsets, then scatter the op indices in circuit order. Two flat
+    // vectors per table (reusing their capacity across rebuilds)
+    // instead of one heap allocation per moment.
+    size_t two_q = 0;
+    moments_.offsets_.assign(static_cast<size_t>(depth_) + 1, 0);
+    frontier_.offsets_.assign(static_cast<size_t>(depth_) + 1, 0);
+    for (size_t i = 0; i < count; ++i) {
+        ++moments_.offsets_[asap_[i] + 1];
+        if (op_qubits[i].isTwoQubit()) {
+            ++frontier_.offsets_[asap_[i] + 1];
+            ++two_q;
         }
     }
-    for (size_t i = 0; i < count; ++i) {
-        moments_[asap_[i]].push_back(i);
-        if (ops[i].isTwoQubit())
-            frontier_[asap_[i]].push_back(i);
+    for (int m = 0; m < depth_; ++m) {
+        moments_.offsets_[m + 1] += moments_.offsets_[m];
+        frontier_.offsets_[m + 1] += frontier_.offsets_[m];
+    }
+    moments_.ops_.resize(count);
+    frontier_.ops_.resize(two_q);
+    // Scatter via a running cursor per moment (reusing the scratch
+    // arena when one is available); ops stay in circuit order within
+    // each moment because i is ascending.
+    if (depth_ > 0) {
+        size_t* cursor;
+        std::vector<size_t> cursor_heap;
+        if (scratch) {
+            cursor = scratch->allocateArray<size_t>(2 * depth_);
+        } else {
+            cursor_heap.assign(2 * static_cast<size_t>(depth_), 0);
+            cursor = cursor_heap.data();
+        }
+        size_t* frontier_cursor = cursor + depth_;
+        std::copy(moments_.offsets_.begin(),
+                  moments_.offsets_.end() - 1, cursor);
+        std::copy(frontier_.offsets_.begin(),
+                  frontier_.offsets_.end() - 1, frontier_cursor);
+        for (size_t i = 0; i < count; ++i) {
+            moments_.ops_[cursor[asap_[i]]++] = i;
+            if (op_qubits[i].isTwoQubit())
+                frontier_.ops_[frontier_cursor[asap_[i]]++] = i;
+        }
     }
 
     fingerprint_ = structureFingerprint(circuit);

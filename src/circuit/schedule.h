@@ -49,6 +49,82 @@ struct ScheduleSummary
     size_t num_ops = 0;
 };
 
+/**
+ * The op indices of one moment — a borrowed slice of the schedule's
+ * flat moment table (valid until the schedule is rebuilt).
+ */
+class MomentView
+{
+  public:
+    MomentView() = default;
+    MomentView(const size_t* begin, const size_t* end)
+        : begin_(begin), end_(end)
+    {
+    }
+
+    const size_t* begin() const { return begin_; }
+    const size_t* end() const { return end_; }
+    size_t size() const { return static_cast<size_t>(end_ - begin_); }
+    bool empty() const { return begin_ == end_; }
+    size_t operator[](size_t i) const { return begin_[i]; }
+
+  private:
+    const size_t* begin_ = nullptr;
+    const size_t* end_ = nullptr;
+};
+
+/**
+ * All moments of a schedule, stored CSR-style: one flat op-index
+ * array plus per-moment offsets, so building a schedule costs two
+ * vectors instead of one allocation per moment. Iteration yields
+ * MomentView slices.
+ */
+class MomentTable
+{
+  public:
+    class Iterator
+    {
+      public:
+        Iterator(const MomentTable* table, size_t m)
+            : table_(table), m_(m)
+        {
+        }
+        MomentView operator*() const { return (*table_)[m_]; }
+        Iterator& operator++()
+        {
+            ++m_;
+            return *this;
+        }
+        bool operator!=(const Iterator& o) const { return m_ != o.m_; }
+
+      private:
+        const MomentTable* table_;
+        size_t m_;
+    };
+
+    /** Number of moments. */
+    size_t size() const
+    {
+        return offsets_.empty() ? 0 : offsets_.size() - 1;
+    }
+    bool empty() const { return size() == 0; }
+
+    MomentView operator[](size_t m) const
+    {
+        return MomentView(ops_.data() + offsets_[m],
+                          ops_.data() + offsets_[m + 1]);
+    }
+
+    Iterator begin() const { return Iterator(this, 0); }
+    Iterator end() const { return Iterator(this, size()); }
+
+  private:
+    friend class Schedule;
+    std::vector<size_t> ops_;
+    /** size()+1 offsets into ops_ (offsets_[m] .. offsets_[m+1]). */
+    std::vector<size_t> offsets_;
+};
+
 /** ASAP/ALAP moment assignment of one circuit. */
 class Schedule
 {
@@ -96,19 +172,13 @@ class Schedule
     int slack(size_t op) const;
 
     /** Op indices of each ASAP moment, in circuit order. */
-    const std::vector<std::vector<size_t>>& moments() const
-    {
-        return moments_;
-    }
+    const MomentTable& moments() const { return moments_; }
 
     /**
      * Two-qubit op indices of each ASAP moment — the simultaneity
      * frontier the crosstalk model pairs up.
      */
-    const std::vector<std::vector<size_t>>& twoQubitFrontier() const
-    {
-        return frontier_;
-    }
+    const MomentTable& twoQubitFrontier() const { return frontier_; }
 
     /** Largest two-qubit frontier across all moments. */
     size_t maxParallelTwoQubit() const;
@@ -122,6 +192,14 @@ class Schedule
     /** Snapshot of the ranking signals (depth, duration, 2Q width). */
     ScheduleSummary summary() const;
 
+    /**
+     * The structural fingerprint this schedule was built from — a hash
+     * of (num_qubits, per-op qubit lists, per-op durations). Stable
+     * across error-rate/label/unitary edits; golden tests pin it to
+     * detect structural drift in the IR or generators.
+     */
+    uint64_t fingerprint() const { return fingerprint_; }
+
   private:
     /** Hash of (num_qubits, per-op qubit lists, per-op durations). */
     static uint64_t structureFingerprint(const Circuit& circuit);
@@ -133,8 +211,8 @@ class Schedule
     std::vector<int> asap_;
     std::vector<int> alap_;
     std::vector<double> start_ns_;
-    std::vector<std::vector<size_t>> moments_;
-    std::vector<std::vector<size_t>> frontier_;
+    MomentTable moments_;
+    MomentTable frontier_;
 };
 
 } // namespace qiset

@@ -56,13 +56,11 @@ consolidateTwoQubitBlocks(const Circuit& circuit, MemArena& arena)
     // (inline SBO storage — the whole fuse loop is allocation-free).
     Matrix embedded, product;
 
+    static const LabelId block_label = internLabel("block");
     auto flush = [&](int index) {
         Block& block = blocks[static_cast<size_t>(index)];
-        Operation op;
-        op.qubits = {block.qubit_a, block.qubit_b};
-        op.unitary = block.unitary;
-        op.label = "block";
-        out.add(std::move(op));
+        out.add2q(block.qubit_a, block.qubit_b, block.unitary,
+                  block_label);
         owner[block.qubit_a] = -1;
         owner[block.qubit_b] = -1;
     };
@@ -73,11 +71,12 @@ consolidateTwoQubitBlocks(const Circuit& circuit, MemArena& arena)
     };
 
     for (const auto& op : circuit.ops()) {
+        Qubits qs = op.qubits();
         if (!op.isTwoQubit()) {
-            int q = op.qubits[0];
+            int q = qs[0];
             if (owner[q] >= 0) {
                 Block& block = blocks[static_cast<size_t>(owner[q])];
-                embedded = embed1q(op.unitary, q == block.qubit_a);
+                embedded = embed1q(op.unitary(), q == block.qubit_a);
                 Matrix::multiplyInto(product, embedded, block.unitary);
                 std::swap(block.unitary, product);
                 ++block.fused_ops;
@@ -87,17 +86,17 @@ consolidateTwoQubitBlocks(const Circuit& circuit, MemArena& arena)
             continue;
         }
 
-        int a = op.qubits[0];
-        int b = op.qubits[1];
+        int a = qs[0];
+        int b = qs[1];
         if (owner[a] >= 0 && owner[a] == owner[b]) {
             // Same pair: fuse (reorienting if the op is reversed).
             Block& block = blocks[static_cast<size_t>(owner[a])];
             if (a != block.qubit_a) {
                 const Matrix& s = gates::swap();
-                Matrix::multiplyInto(product, s, op.unitary);
+                Matrix::multiplyInto(product, s, op.unitary());
                 Matrix::multiplyInto(embedded, product, s);
             } else {
-                embedded = op.unitary;
+                embedded = op.unitary();
             }
             Matrix::multiplyInto(product, embedded, block.unitary);
             std::swap(block.unitary, product);
@@ -111,7 +110,7 @@ consolidateTwoQubitBlocks(const Circuit& circuit, MemArena& arena)
         Block block;
         block.qubit_a = a;
         block.qubit_b = b;
-        block.unitary = op.unitary;
+        block.unitary = op.unitary();
         block.fused_ops = 1;
         blocks.push_back(std::move(block));
         owner[a] = static_cast<int>(blocks.size()) - 1;

@@ -20,14 +20,16 @@ applyCrosstalkInflation(Circuit& circuit, const Schedule& schedule,
                   "crosstalk inflation needs the schedule of the "
                   "circuit being inflated");
 
-    auto& ops = circuit.mutableOps();
+    // The sweep touches exactly two columns: qubit operands (read) and
+    // error rates (read + rewrite).
+    const std::vector<Qubits>& op_qubits = circuit.opQubits();
+    std::vector<double>& error_rates = circuit.mutableErrorRates();
 
     // Two couplers interact when any endpoint of one is adjacent to
     // (or shares) an endpoint of the other on the device graph.
-    auto couplers_interact = [&](const Operation& a,
-                                 const Operation& b) {
-        for (int qa : a.qubits) {
-            for (int qb : b.qubits) {
+    auto couplers_interact = [&](Qubits a, Qubits b) {
+        for (int qa : a) {
+            for (int qb : b) {
                 int pa = physical[qa];
                 int pb = physical[qb];
                 if (pa == pb || device_topology.adjacent(pa, pb))
@@ -40,17 +42,17 @@ applyCrosstalkInflation(Circuit& circuit, const Schedule& schedule,
     // Pair up each moment's two-qubit frontier. A zero-error op is
     // ideal/abstract: it is never inflated and does not inflate its
     // later partners.
-    std::vector<bool> inflate(ops.size(), false);
+    std::vector<bool> inflate(op_qubits.size(), false);
     for (const auto& frontier : schedule.twoQubitFrontier()) {
         for (size_t a = 0; a < frontier.size(); ++a) {
             size_t i = frontier[a];
-            if (ops[i].error_rate <= 0.0)
+            if (error_rates[i] <= 0.0)
                 continue;
             for (size_t b = a + 1; b < frontier.size(); ++b) {
                 size_t j = frontier[b];
-                if (couplers_interact(ops[i], ops[j])) {
+                if (couplers_interact(op_qubits[i], op_qubits[j])) {
                     inflate[i] = true;
-                    if (ops[j].error_rate > 0.0)
+                    if (error_rates[j] > 0.0)
                         inflate[j] = true;
                 }
             }
@@ -58,11 +60,10 @@ applyCrosstalkInflation(Circuit& circuit, const Schedule& schedule,
     }
 
     int count = 0;
-    for (size_t i = 0; i < ops.size(); ++i) {
+    for (size_t i = 0; i < error_rates.size(); ++i) {
         if (!inflate[i])
             continue;
-        ops[i].error_rate =
-            std::min(1.0, ops[i].error_rate * inflation);
+        error_rates[i] = std::min(1.0, error_rates[i] * inflation);
         ++count;
     }
     return count;

@@ -25,8 +25,15 @@ double
 bestEdgeFidelity(const Device& device, int a, int b,
                  const GateSet& gate_set)
 {
+    return bestEdgeFidelity(device, a, b, fidelityKeys(gate_set));
+}
+
+double
+bestEdgeFidelity(const Device& device, int a, int b,
+                 const std::vector<std::string>& keys)
+{
     double best = 0.0;
-    for (const auto& key : fidelityKeys(gate_set))
+    for (const auto& key : keys)
         best = std::max(best, device.edgeFidelity(a, b, key));
     return best;
 }
@@ -44,13 +51,17 @@ chooseMapping(const Device& device, int num_logical,
     if (num_logical == 1)
         return {0};
 
+    // One key list for the whole mapping; every edge query below
+    // reads it instead of rebuilding the strings.
+    const std::vector<std::string> keys = fidelityKeys(gate_set);
+
     // Seed: the highest-fidelity edge under this instruction set.
     auto edges = topo.edges();
     QISET_REQUIRE(!edges.empty(), "device has no couplers");
     double best_fid = -1.0;
     std::pair<int, int> seed = edges.front();
     for (auto [a, b] : edges) {
-        double f = bestEdgeFidelity(device, a, b, gate_set);
+        double f = bestEdgeFidelity(device, a, b, keys);
         if (f > best_fid) {
             best_fid = f;
             seed = {a, b};
@@ -89,8 +100,7 @@ chooseMapping(const Device& device, int num_logical,
                 double fid = 0.0;
                 for (int m2 : chosen)
                     if (topo.adjacent(nbr, m2))
-                        fid += bestEdgeFidelity(device, nbr, m2,
-                                                gate_set);
+                        fid += bestEdgeFidelity(device, nbr, m2, keys);
                 int lookahead = 0;
                 for (int m2 : chosen)
                     for (int v : topo.neighbors(m2)) {

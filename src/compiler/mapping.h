@@ -32,6 +32,14 @@ double bestEdgeFidelity(const Device& device, int a, int b,
                         const GateSet& gate_set);
 
 /**
+ * bestEdgeFidelity against precomputed fidelityKeys(gate_set) — the
+ * form the mapping pass calls once per candidate edge, so the key
+ * list is built once per mapping rather than once per query.
+ */
+double bestEdgeFidelity(const Device& device, int a, int b,
+                        const std::vector<std::string>& keys);
+
+/**
  * Choose num_logical physical qubits forming a connected subgraph,
  * greedily maximizing attachment fidelity. Returns physical qubit ids;
  * entry i hosts register position i.

@@ -102,17 +102,19 @@ class RoutingPass : public Pass
     double predictedFidelity(CompilationContext& ctx,
                              const RoutedCircuit& routed) const
     {
+        static const LabelId swap_label = internLabel("SWAP");
         double fidelity = 1.0;
         for (const auto& op : routed.circuit.ops()) {
             if (!op.isTwoQubit())
                 continue;
-            int pa = ctx.physical[op.qubits[0]];
-            int pb = ctx.physical[op.qubits[1]];
+            Qubits qs = op.qubits();
+            int pa = ctx.physical[qs[0]];
+            int pb = ctx.physical[qs[1]];
             double edge =
                 bestEdgeFidelity(ctx.device(), pa, pb, ctx.gateSet());
             if (edge <= 0.0)
                 return 0.0; // candidate routes over a dead edge.
-            double cost = op.label == "SWAP" ? 3.0 : 1.0;
+            double cost = op.labelId() == swap_label ? 3.0 : 1.0;
             fidelity *= std::pow(edge, cost);
         }
         return fidelity;

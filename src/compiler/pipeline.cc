@@ -70,17 +70,18 @@ idealProbabilities(const Circuit& app)
 void
 reannotateErrorRates(CompileResult& result, const Device& truth)
 {
-    for (auto& op : result.circuit.mutableOps()) {
+    for (OpRef op : result.circuit.mutableOps()) {
+        Qubits qs = op.qubits();
         if (op.isTwoQubit()) {
-            int pa = result.physical.at(op.qubits[0]);
-            int pb = result.physical.at(op.qubits[1]);
-            double fidelity = truth.edgeFidelity(pa, pb, op.label);
+            int pa = result.physical.at(qs[0]);
+            int pb = result.physical.at(qs[1]);
+            double fidelity = truth.edgeFidelity(pa, pb, op.label());
             // A type the true hardware no longer supports behaves as
             // a fully broken gate.
-            op.error_rate = fidelity > 0.0 ? 1.0 - fidelity : 1.0;
+            op.setErrorRate(fidelity > 0.0 ? 1.0 - fidelity : 1.0);
         } else {
-            op.error_rate =
-                truth.oneQubitError(result.physical.at(op.qubits[0]));
+            op.setErrorRate(
+                truth.oneQubitError(result.physical.at(qs[0])));
         }
     }
     result.noise = truth.noiseModelFor(result.physical);

@@ -56,7 +56,12 @@ ProfileCache::get(const Matrix& target, const GateSpec& spec,
                   const DecompositionStrategy& strategy,
                   LocalCacheCounters* local, bool tally_hit)
 {
-    std::string k = strategy.cacheKey(target, spec);
+    // Warm lookups are the pass-sweep hot path: build the key in a
+    // reused per-thread buffer so a cache hit performs zero heap
+    // allocations. The map copies the buffer only on insert (misses).
+    thread_local std::string k;
+    k.clear();
+    strategy.cacheKeyInto(k, target, spec);
     {
         std::lock_guard<std::mutex> lock(mutex_);
         auto it = profiles_.find(k);
@@ -78,11 +83,14 @@ ProfileCache::get(const Matrix& target, const GateSpec& spec,
     // Compute outside the lock (the expensive part); duplicated work
     // between racing threads is harmless and rare — the first insert
     // wins and both count as misses, since both paid the computation.
+    // Snapshot the key first: computeProfile may call back into code
+    // that reuses this thread's key buffer.
+    std::string key_copy = k;
     auto profile = std::make_shared<GateProfile>(
         strategy.computeProfile(target, spec, decomposer));
 
     std::lock_guard<std::mutex> lock(mutex_);
-    return insertLocked(k, std::move(profile));
+    return insertLocked(key_copy, std::move(profile));
 }
 
 std::shared_ptr<const GateProfile>

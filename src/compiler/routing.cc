@@ -8,7 +8,8 @@ namespace qiset {
 void
 addSwapOp(Circuit& circuit, int slot_a, int slot_b)
 {
-    circuit.add2q(slot_a, slot_b, gates::swap(), "SWAP");
+    static const LabelId swap_label = internLabel("SWAP");
+    circuit.add2q(slot_a, slot_b, gates::swap(), swap_label);
 }
 
 RoutingState::RoutingState(int num_positions)
@@ -65,26 +66,29 @@ routeCircuit(const Circuit& logical, const Topology& coupling)
         state.swapSlots(slot_a, slot_b);
     };
 
+    // One path/scratch pair for the whole sweep: the BFS queries
+    // reuse their capacity instead of allocating per SWAP candidate.
+    std::vector<int> path;
+    std::vector<int> path_scratch;
     for (const auto& op : logical.ops()) {
+        Qubits qs = op.qubits();
         if (!op.isTwoQubit()) {
-            Operation moved = op;
-            moved.qubits = {state.position[op.qubits[0]]};
-            out.circuit.add(std::move(moved));
+            out.circuit.add(op, Qubits(state.position[qs[0]]));
             continue;
         }
-        int la = op.qubits[0];
-        int lb = op.qubits[1];
+        int la = qs[0];
+        int lb = qs[1];
         while (!coupling.adjacent(state.position[la],
                                   state.position[lb])) {
-            auto path = coupling.shortestPath(state.position[la],
-                                              state.position[lb]);
+            coupling.shortestPathInto(state.position[la],
+                                      state.position[lb], path,
+                                      path_scratch);
             QISET_ASSERT(path.size() >= 3, "non-adjacent pair with a "
                                            "path shorter than 3 nodes");
             emit_swap(path[0], path[1]);
         }
-        Operation moved = op;
-        moved.qubits = {state.position[la], state.position[lb]};
-        out.circuit.add(std::move(moved));
+        out.circuit.add(
+            op, Qubits(state.position[la], state.position[lb]));
     }
 
     out.initial_positions.resize(n);

@@ -149,10 +149,10 @@ struct Dag
 };
 
 Dag
-buildDag(const std::vector<Operation>& ops, const std::vector<int>& order,
-         int num_qubits, MemArena& arena)
+buildDag(const std::vector<Qubits>& op_qubits,
+         const std::vector<int>& order, int num_qubits, MemArena& arena)
 {
-    size_t count = ops.size();
+    size_t count = op_qubits.size();
     Dag dag;
     dag.succ_begin = arena.allocateArray<int>(count + 1);
     dag.in_degree = arena.allocateArray<int>(count);
@@ -166,7 +166,7 @@ buildDag(const std::vector<Operation>& ops, const std::vector<int>& order,
     // per-op counts shifted by one, turned into offsets below).
     size_t edges = 0;
     for (int id : order) {
-        for (int q : ops[static_cast<size_t>(id)].qubits) {
+        for (int q : op_qubits[static_cast<size_t>(id)]) {
             if (last_on_qubit[q] >= 0) {
                 ++dag.succ_begin[last_on_qubit[q] + 1];
                 ++dag.in_degree[id];
@@ -184,7 +184,7 @@ buildDag(const std::vector<Operation>& ops, const std::vector<int>& order,
     std::copy(dag.succ_begin, dag.succ_begin + count, cursor);
     std::fill(last_on_qubit, last_on_qubit + num_qubits, -1);
     for (int id : order) {
-        for (int q : ops[static_cast<size_t>(id)].qubits) {
+        for (int q : op_qubits[static_cast<size_t>(id)]) {
             if (last_on_qubit[q] >= 0)
                 dag.succ[cursor[last_on_qubit[q]]++] = id;
             last_on_qubit[q] = id;
@@ -208,8 +208,7 @@ using ArenaRankSet = std::set<std::pair<int, int>,
  * on op/edge order, never on randomness.
  */
 std::vector<int>
-runSabrePass(const std::vector<Operation>& ops,
-             const std::vector<int>& order,
+runSabrePass(const Circuit& logical, const std::vector<int>& order,
              const std::vector<int>& lookahead_rank,
              const Topology& coupling, const int* dist,
              const SabreOptions& opt, std::vector<int> position,
@@ -218,7 +217,12 @@ runSabrePass(const std::vector<Operation>& ops,
     int n = coupling.numQubits();
     RoutingState state(std::move(position));
 
-    Dag dag = buildDag(ops, order, n, arena);
+    // The pass routes on the qubit column alone; unitaries, labels and
+    // annotations are only touched when an executed op is emitted
+    // (and then column-copied without re-interning or re-allocating).
+    const std::vector<Qubits>& op_qubits = logical.opQubits();
+
+    Dag dag = buildDag(op_qubits, order, n, arena);
     ArenaIntSet front{ArenaAllocator<int>(arena)};
     for (int id : order)
         if (dag.in_degree[id] == 0)
@@ -229,7 +233,7 @@ runSabrePass(const std::vector<Operation>& ops,
     ArenaRankSet pending_2q{
         ArenaAllocator<std::pair<int, int>>(arena)};
     for (int id : order)
-        if (ops[static_cast<size_t>(id)].isTwoQubit())
+        if (op_qubits[static_cast<size_t>(id)].isTwoQubit())
             pending_2q.emplace(lookahead_rank[id], id);
 
     double* decay = arena.allocateArray<double>(n);
@@ -261,22 +265,25 @@ runSabrePass(const std::vector<Operation>& ops,
         // Execute everything executable under the current mapping.
         executable.clear();
         for (int id : front) {
-            const Operation& op = ops[static_cast<size_t>(id)];
-            if (!op.isTwoQubit() ||
-                coupling.adjacent(state.position[op.qubits[0]],
-                                  state.position[op.qubits[1]]))
+            Qubits qs = op_qubits[static_cast<size_t>(id)];
+            if (!qs.isTwoQubit() ||
+                coupling.adjacent(state.position[qs[0]],
+                                  state.position[qs[1]]))
                 executable.push_back(id);
         }
         if (!executable.empty()) {
             for (int id : executable) {
-                const Operation& op = ops[static_cast<size_t>(id)];
+                Qubits qs = op_qubits[static_cast<size_t>(id)];
                 if (out) {
-                    Operation moved = op;
-                    for (int& q : moved.qubits)
-                        q = state.position[q];
-                    out->add(std::move(moved));
+                    Qubits moved =
+                        qs.isTwoQubit()
+                            ? Qubits(state.position[qs[0]],
+                                     state.position[qs[1]])
+                            : Qubits(state.position[qs[0]]);
+                    out->add(
+                        logical.ops()[static_cast<size_t>(id)], moved);
                 }
-                if (op.isTwoQubit())
+                if (qs.isTwoQubit())
                     pending_2q.erase({lookahead_rank[id], id});
                 front.erase(id);
                 for (int s = dag.successorsBegin(id);
@@ -292,9 +299,9 @@ runSabrePass(const std::vector<Operation>& ops,
 
         // Everything in the front layer is a blocked 2Q gate.
         if (++swaps_since_progress > stuck_threshold) {
-            const Operation& op = ops[static_cast<size_t>(*front.begin())];
-            auto path = coupling.shortestPath(state.position[op.qubits[0]],
-                                              state.position[op.qubits[1]]);
+            Qubits qs = op_qubits[static_cast<size_t>(*front.begin())];
+            auto path = coupling.shortestPath(state.position[qs[0]],
+                                              state.position[qs[1]]);
             QISET_ASSERT(path.size() >= 3, "non-adjacent pair with a "
                                            "path shorter than 3 nodes");
             apply_swap(path[0], path[1]);
@@ -318,7 +325,7 @@ runSabrePass(const std::vector<Operation>& ops,
         // order a std::set would yield, without per-node churn).
         candidates.clear();
         for (int id : front)
-            for (int l : ops[static_cast<size_t>(id)].qubits)
+            for (int l : op_qubits[static_cast<size_t>(id)])
                 for (int neighbor : coupling.neighbors(state.position[l]))
                     candidates.emplace_back(
                         std::min(state.position[l], neighbor),
@@ -332,9 +339,9 @@ runSabrePass(const std::vector<Operation>& ops,
                                    int slot_a, int slot_b) {
             double total = 0.0;
             for (int id : gate_ids) {
-                const Operation& op = ops[static_cast<size_t>(id)];
-                int pa = state.position[op.qubits[0]];
-                int pb = state.position[op.qubits[1]];
+                Qubits qs = op_qubits[static_cast<size_t>(id)];
+                int pa = state.position[qs[0]];
+                int pb = state.position[qs[1]];
                 if (pa == slot_a)
                     pa = slot_b;
                 else if (pa == slot_b)
@@ -411,21 +418,21 @@ SabreRouter::route(const Circuit& logical, const Topology& coupling,
                   "circuit being routed");
 
     int n = logical.numQubits();
-    const auto& ops = logical.ops();
+    size_t count = logical.size();
     const int* dist = allPairsDistance(coupling, arena);
 
-    std::vector<int> forward_order(ops.size());
-    std::vector<int> reverse_order(ops.size());
-    for (size_t i = 0; i < ops.size(); ++i) {
+    std::vector<int> forward_order(count);
+    std::vector<int> reverse_order(count);
+    for (size_t i = 0; i < count; ++i) {
         forward_order[i] = static_cast<int>(i);
-        reverse_order[i] = static_cast<int>(ops.size() - 1 - i);
+        reverse_order[i] = static_cast<int>(count - 1 - i);
     }
     // Lookahead priority: the schedule's ASAP moment order forward;
     // its mirror (depth-1 - ALAP, the reversed circuit's ASAP) on
     // reverse refinement passes.
-    std::vector<int> forward_rank(ops.size(), 0);
-    std::vector<int> reverse_rank(ops.size(), 0);
-    for (size_t i = 0; i < ops.size(); ++i) {
+    std::vector<int> forward_rank(count, 0);
+    std::vector<int> reverse_rank(count, 0);
+    for (size_t i = 0; i < count; ++i) {
         forward_rank[i] = schedule.asapMoment(i);
         reverse_rank[i] = schedule.depth() - 1 - schedule.alapMoment(i);
     }
@@ -440,23 +447,22 @@ SabreRouter::route(const Circuit& logical, const Topology& coupling,
     // whole circuit.
     for (int round = 0; round < options_.refinement_rounds; ++round) {
         bool forward = (round % 2 == 0);
-        position = runSabrePass(ops, forward ? forward_order : reverse_order,
-                                forward ? forward_rank : reverse_rank,
-                                coupling, dist, options_,
-                                std::move(position), nullptr, nullptr,
-                                arena);
+        position = runSabrePass(
+            logical, forward ? forward_order : reverse_order,
+            forward ? forward_rank : reverse_rank, coupling, dist,
+            options_, std::move(position), nullptr, nullptr, arena);
     }
 
     RoutedCircuit out;
     out.circuit = Circuit(n);
     // Emitted ops = every logical op plus the inserted SWAPs; reserve
     // for the former so only an unusually SWAP-heavy route regrows.
-    out.circuit.reserveOps(ops.size());
+    out.circuit.reserveOps(count);
     out.initial_positions = position;
     out.swaps_inserted = 0;
     out.final_positions =
-        runSabrePass(ops, forward_order, forward_rank, coupling, dist,
-                     options_, std::move(position), &out.circuit,
+        runSabrePass(logical, forward_order, forward_rank, coupling,
+                     dist, options_, std::move(position), &out.circuit,
                      &out.swaps_inserted, arena);
     return out;
 }

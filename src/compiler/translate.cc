@@ -1,6 +1,8 @@
 #include "compiler/translate.h"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <set>
 
 #include "common/error.h"
@@ -54,18 +56,32 @@ precomputeProfiles(const Circuit& circuit,
                    LocalCacheCounters* local, size_t max_parallelism)
 {
     // Collect distinct (op, spec) jobs; the cache key dedups repeats.
-    std::vector<const Operation*> two_q_ops;
-    for (const auto& op : circuit.ops())
-        if (op.isTwoQubit())
-            two_q_ops.push_back(&op);
+    // Only the unitary column matters here — pointers into it stay
+    // valid for the whole sweep (the circuit is not mutated).
+    std::vector<const Matrix*> two_q_unitaries;
+    const auto& op_qubits = circuit.opQubits();
+    const auto& op_unitaries = circuit.opUnitaries();
+    for (size_t i = 0; i < op_qubits.size(); ++i)
+        if (op_qubits[i].isTwoQubit())
+            two_q_unitaries.push_back(&op_unitaries[i]);
 
-    size_t total = two_q_ops.size() * specs.size();
+    size_t total = two_q_unitaries.size() * specs.size();
     auto job = [&](size_t index) {
-        const Operation& op = *two_q_ops[index / specs.size()];
+        const Matrix& unitary = *two_q_unitaries[index / specs.size()];
         const GateSpec& spec = specs[index % specs.size()];
-        cache.get(op.unitary, spec, decomposer, strategy, local);
+        cache.get(unitary, spec, decomposer, strategy, local);
     };
-    if (pool && max_parallelism != 1) {
+    // Fan out only when more than one worker can actually run the
+    // jobs: with an effective worker count of 1 (a one-thread pool or
+    // a parallelism cap of 1) the claim/atomic overhead of the
+    // cooperative loop is pure loss, so take the plain serial path.
+    size_t effective_workers =
+        pool ? std::min(pool->size(),
+                        max_parallelism == 0
+                            ? std::numeric_limits<size_t>::max()
+                            : max_parallelism)
+             : 0;
+    if (effective_workers > 1) {
         parallelFor(*pool, total, job, max_parallelism);
     } else {
         for (size_t i = 0; i < total; ++i)
@@ -195,26 +211,32 @@ translateCircuit(const Circuit& routed, const std::vector<int>& physical,
 
     double f1q_avg = 1.0 - device.averageOneQubitError();
 
-    auto emit_1q = [&](int reg, const Matrix& unitary,
-                       const std::string& label) {
-        Operation op;
-        op.qubits = {reg};
-        op.unitary = unitary;
-        op.label = label;
-        op.error_rate = device.oneQubitError(physical[reg]);
-        op.duration_ns = device.oneQubitDurationNs();
-        result.estimated_fidelity *= 1.0 - op.error_rate;
-        result.circuit.add(std::move(op));
+    static const LabelId u3_label = internLabel("U3");
+    auto emit_1q = [&](int reg, const Matrix& unitary, LabelId label) {
+        double error_rate = device.oneQubitError(physical[reg]);
+        result.estimated_fidelity *= 1.0 - error_rate;
+        result.circuit.add1q(reg, unitary, label, error_rate,
+                             device.oneQubitDurationNs());
     };
 
+    // Per-2Q-block working sets, hoisted so the emission loop reuses
+    // their capacity (and the U3 matrices' inline storage) instead of
+    // allocating per op.
+    std::vector<std::shared_ptr<const GateProfile>> holders;
+    std::vector<const GateProfile*> profiles;
+    std::vector<double> fidelities;
+    std::vector<Matrix> u3s;
+
     for (const auto& op : routed.ops()) {
+        const Matrix& op_unitary = op.unitary();
+        Qubits qs = op.qubits();
         if (!op.isTwoQubit()) {
-            emit_1q(op.qubits[0], op.unitary, op.label);
+            emit_1q(qs[0], op_unitary, op.labelId());
             continue;
         }
 
-        int ra = op.qubits[0];
-        int rb = op.qubits[1];
+        int ra = qs[0];
+        int rb = qs[1];
         int pa = physical[ra];
         int pb = physical[rb];
 
@@ -226,16 +248,16 @@ translateCircuit(const Circuit& routed, const std::vector<int>& physical,
         const DecompositionStrategy* op_strategy = &strategy;
         TargetDressing dressing;
         if (strategy.canonicalizesTargets()) {
-            Matrix representative = strategy.profileTarget(op.unitary);
-            if (representative.maxAbsDiff(op.unitary) > 0.0) {
+            Matrix representative = strategy.profileTarget(op_unitary);
+            if (representative.maxAbsDiff(op_unitary) > 0.0) {
                 LocalEquivalence equivalence =
-                    localFactorsBetween(representative, op.unitary);
+                    localFactorsBetween(representative, op_unitary);
                 bool usable =
                     equivalence.ok &&
                     ((equivalence.left * representative *
                       equivalence.right) *
                      equivalence.phase)
-                            .maxAbsDiff(op.unitary) < 1e-6;
+                            .maxAbsDiff(op_unitary) < 1e-6;
                 if (usable) {
                     dressing.active = true;
                     auto post = decomposeLocalUnitary(equivalence.left);
@@ -253,14 +275,14 @@ translateCircuit(const Circuit& routed, const std::vector<int>& physical,
 
         // Holders keep the profiles alive across selection even if a
         // bounded cache evicts the entries concurrently.
-        std::vector<std::shared_ptr<const GateProfile>> holders;
-        std::vector<const GateProfile*> profiles;
-        std::vector<double> fidelities;
+        holders.clear();
+        profiles.clear();
+        fidelities.clear();
         for (const auto& spec : specs) {
             // Re-fetch of a profile precomputeProfiles just warmed:
             // don't tally the hit, or a stone-cold compile would
             // report a warm-looking hit rate.
-            holders.push_back(cache.get(op.unitary, spec, decomposer,
+            holders.push_back(cache.get(op_unitary, spec, decomposer,
                                         *op_strategy, &local,
                                         /*tally_hit=*/false));
             profiles.push_back(holders.back().get());
@@ -280,7 +302,7 @@ translateCircuit(const Circuit& routed, const std::vector<int>& physical,
             profile.family == TemplateFamily::Fixed
                 ? TwoQubitTemplate(fit.layers, profile.unitary)
                 : TwoQubitTemplate(fit.layers, profile.family);
-        std::vector<Matrix> u3s = templ.u3Matrices(fit.params);
+        templ.u3MatricesInto(fit.params, u3s);
         if (dressing.active) {
             // C' = post . C . pre implements the target exactly when C
             // implements the representative (Fd is invariant under
@@ -292,21 +314,23 @@ translateCircuit(const Circuit& routed, const std::vector<int>& physical,
                 dressing.post_b * u3s[2 * fit.layers + 1];
         }
 
-        emit_1q(ra, u3s[0], "U3");
-        emit_1q(rb, u3s[1], "U3");
+        emit_1q(ra, u3s[0], u3_label);
+        emit_1q(rb, u3s[1], u3_label);
+        // One intern per 2Q block; every layer reuses the id (the
+        // common single-type compile hits the LabelTable's shared-lock
+        // fast path once per block).
+        LabelId type_label = internLabel(profile.type_name);
         for (int layer = 0; layer < fit.layers; ++layer) {
-            Operation gate_op;
-            gate_op.qubits = {ra, rb};
-            gate_op.unitary = templ.layerGate(fit.params, layer);
-            gate_op.label = profile.type_name;
-            gate_op.error_rate = 1.0 - choice.edge_fidelity;
-            gate_op.duration_ns = device.twoQubitDurationNs();
-            result.circuit.add(std::move(gate_op));
+            result.circuit.add2q(ra, rb,
+                                 templ.layerGate(fit.params, layer),
+                                 type_label,
+                                 1.0 - choice.edge_fidelity,
+                                 device.twoQubitDurationNs());
             result.estimated_fidelity *= choice.edge_fidelity;
             ++result.two_qubit_count;
             ++result.type_usage[profile.type_name];
-            emit_1q(ra, u3s[2 * (layer + 1)], "U3");
-            emit_1q(rb, u3s[2 * (layer + 1) + 1], "U3");
+            emit_1q(ra, u3s[2 * (layer + 1)], u3_label);
+            emit_1q(rb, u3s[2 * (layer + 1) + 1], u3_label);
         }
         result.estimated_fidelity *= fit.fd;
     }

@@ -58,32 +58,48 @@ Topology::numEdges() const
 std::vector<int>
 Topology::shortestPath(int a, int b) const
 {
+    std::vector<int> path;
+    std::vector<int> scratch;
+    shortestPathInto(a, b, path, scratch);
+    return path;
+}
+
+void
+Topology::shortestPathInto(int a, int b, std::vector<int>& path,
+                           std::vector<int>& scratch) const
+{
     QISET_REQUIRE(a >= 0 && a < num_qubits_ && b >= 0 && b < num_qubits_,
                   "path endpoint out of range");
-    if (a == b)
-        return {a};
-    std::vector<int> parent(num_qubits_, -1);
-    std::queue<int> frontier;
-    frontier.push(a);
+    path.clear();
+    if (a == b) {
+        path.push_back(a);
+        return;
+    }
+    // Scratch layout: [0, n) parents, [n, 2n) the BFS FIFO (every
+    // qubit enters the frontier at most once, so n slots suffice).
+    size_t n = static_cast<size_t>(num_qubits_);
+    scratch.assign(2 * n, -1);
+    int* parent = scratch.data();
+    int* frontier = scratch.data() + n;
+    size_t head = 0, tail = 0;
+    frontier[tail++] = a;
     parent[a] = a;
-    while (!frontier.empty()) {
-        int u = frontier.front();
-        frontier.pop();
+    while (head < tail) {
+        int u = frontier[head++];
         for (int v : adjacency_[u]) {
             if (parent[v] != -1)
                 continue;
             parent[v] = u;
             if (v == b) {
-                std::vector<int> path = {b};
+                path.push_back(b);
                 while (path.back() != a)
                     path.push_back(parent[path.back()]);
                 std::reverse(path.begin(), path.end());
-                return path;
+                return;
             }
-            frontier.push(v);
+            frontier[tail++] = v;
         }
     }
-    return {};
 }
 
 bool

@@ -36,6 +36,17 @@ class Topology
     /** BFS shortest path from a to b (inclusive); empty if unreachable. */
     std::vector<int> shortestPath(int a, int b) const;
 
+    /**
+     * shortestPath into caller-owned storage: `path` receives the
+     * result, `scratch` holds the BFS working set. Both grow to
+     * steady-state capacity on first use and are reused verbatim on
+     * every following call — the routers query paths once per SWAP
+     * candidate, and this keeps those sweeps off the heap. Produces
+     * exactly the path shortestPath() returns.
+     */
+    void shortestPathInto(int a, int b, std::vector<int>& path,
+                          std::vector<int>& scratch) const;
+
     /** True if every qubit can reach every other. */
     bool connected() const;
 

@@ -101,9 +101,20 @@ resolveTier(const GateSpec& spec)
 std::string
 profileKeyCore(const Matrix& target, const GateSpec& spec)
 {
+    std::string out;
+    appendProfileKeyCore(out, target, spec);
+    return out;
+}
+
+void
+appendProfileKeyCore(std::string& out, const Matrix& target,
+                     const GateSpec& spec)
+{
     // quantizedForm is shared with the NuOp multistart seeding, so
     // key-equal targets always draw identical seeds.
-    return spec.type_name + '|' + quantizedForm(target);
+    out += spec.type_name;
+    out += '|';
+    appendQuantizedForm(out, target);
 }
 
 WeylCoordinates
@@ -260,14 +271,22 @@ kakSynthesize(const Matrix& target, const GateSpec& spec)
 namespace {
 
 /** Canonical-class cache-key fragment of a target. */
-std::string
-weylKey(const Matrix& target)
+void
+appendWeylKey(std::string& out, const Matrix& target)
 {
     WeylCoordinates c = canonicalWeylCoordinates(target);
     char buffer[96];
-    std::snprintf(buffer, sizeof(buffer), "w|%.9f|%.9f|%.9f", c.cx,
-                  c.cy, c.cz);
-    return buffer;
+    int len = std::snprintf(buffer, sizeof(buffer), "w|%.9f|%.9f|%.9f",
+                            c.cx, c.cy, c.cz);
+    out.append(buffer, static_cast<size_t>(len));
+}
+
+std::string
+weylKey(const Matrix& target)
+{
+    std::string out;
+    appendWeylKey(out, target);
+    return out;
 }
 
 /**
@@ -452,6 +471,13 @@ class NuOpStrategy : public DecompositionStrategy
         return "nuop|" + profileKeyCore(target, spec);
     }
 
+    void cacheKeyInto(std::string& out, const Matrix& target,
+                      const GateSpec& spec) const override
+    {
+        out += "nuop|";
+        appendProfileKeyCore(out, target, spec);
+    }
+
     GateProfile computeProfile(const Matrix& target, const GateSpec& spec,
                                const NuOpDecomposer& decomposer)
         const override
@@ -476,6 +502,15 @@ class KakStrategy : public DecompositionStrategy
                          const GateSpec& spec) const override
     {
         return "kak|" + spec.type_name + '|' + weylKey(target);
+    }
+
+    void cacheKeyInto(std::string& out, const Matrix& target,
+                      const GateSpec& spec) const override
+    {
+        out += "kak|";
+        out += spec.type_name;
+        out += '|';
+        appendWeylKey(out, target);
     }
 
     GateProfile computeProfile(const Matrix& target, const GateSpec& spec,
@@ -507,6 +542,15 @@ class AutoStrategy : public DecompositionStrategy
                          const GateSpec& spec) const override
     {
         return "auto|" + spec.type_name + '|' + weylKey(target);
+    }
+
+    void cacheKeyInto(std::string& out, const Matrix& target,
+                      const GateSpec& spec) const override
+    {
+        out += "auto|";
+        out += spec.type_name;
+        out += '|';
+        appendWeylKey(out, target);
     }
 
     GateProfile computeProfile(const Matrix& target, const GateSpec& spec,

@@ -87,6 +87,10 @@ struct GateSpec
 /** Raw, strategy-agnostic cache key core of a (target, spec) pair. */
 std::string profileKeyCore(const Matrix& target, const GateSpec& spec);
 
+/** Append profileKeyCore(target, spec) to `out` without a temporary. */
+void appendProfileKeyCore(std::string& out, const Matrix& target,
+                          const GateSpec& spec);
+
 /**
  * One decomposition engine. Implementations must be deterministic:
  * key-equal targets must produce bit-identical profiles regardless of
@@ -125,6 +129,20 @@ class DecompositionStrategy
      */
     virtual std::string cacheKey(const Matrix& target,
                                  const GateSpec& spec) const = 0;
+
+    /**
+     * Append cacheKey(target, spec) to `out`. The profile cache calls
+     * this with a reused buffer so warm lookups build their key
+     * without touching the heap; the built-in engines override it
+     * with append-only implementations, and the default simply
+     * delegates to cacheKey() so external strategies stay correct
+     * (just not allocation-free) without changes.
+     */
+    virtual void cacheKeyInto(std::string& out, const Matrix& target,
+                              const GateSpec& spec) const
+    {
+        out += cacheKey(target, spec);
+    }
 
     /**
      * Compute the full layer-fit profile of decomposing

@@ -98,16 +98,26 @@ TwoQubitTemplate::u3Matrices(const std::vector<double>& params) const
     QISET_REQUIRE(static_cast<int>(params.size()) == numParams(),
                   "parameter arity mismatch");
     std::vector<Matrix> out;
-    out.reserve(2 * (layers_ + 1));
+    u3MatricesInto(params, out);
+    return out;
+}
+
+void
+TwoQubitTemplate::u3MatricesInto(const std::vector<double>& params,
+                                 std::vector<Matrix>& out) const
+{
+    QISET_REQUIRE(static_cast<int>(params.size()) == numParams(),
+                  "parameter arity mismatch");
+    out.resize(2 * (layers_ + 1));
     int per_layer = gateParamsPerLayer();
     for (int block = 0; block <= layers_; ++block) {
         size_t base = block * (6 + per_layer);
-        out.push_back(
-            gates::u3(params[base], params[base + 1], params[base + 2]));
-        out.push_back(gates::u3(params[base + 3], params[base + 4],
-                                params[base + 5]));
+        out[2 * block] =
+            gates::u3(params[base], params[base + 1], params[base + 2]);
+        out[2 * block + 1] = gates::u3(params[base + 3],
+                                       params[base + 4],
+                                       params[base + 5]);
     }
-    return out;
 }
 
 Matrix

@@ -79,6 +79,15 @@ class TwoQubitTemplate
      */
     std::vector<Matrix> u3Matrices(const std::vector<double>& params) const;
 
+    /**
+     * u3Matrices into a caller-owned vector. The translator emits one
+     * block per two-qubit op; reusing the vector (and the inline
+     * storage of the matrices already in it) keeps that loop
+     * allocation-free after the first block.
+     */
+    void u3MatricesInto(const std::vector<double>& params,
+                        std::vector<Matrix>& out) const;
+
     /** The two-qubit gate applied in a layer for a parameter vector. */
     Matrix layerGate(const std::vector<double>& params, int layer) const;
 

@@ -318,6 +318,13 @@ quantizedForm(const Matrix& m, int decimals)
 {
     std::string out;
     out.reserve(m.rows() * m.cols() * 24);
+    appendQuantizedForm(out, m, decimals);
+    return out;
+}
+
+void
+appendQuantizedForm(std::string& out, const Matrix& m, int decimals)
+{
     char buf[64];
     for (size_t i = 0; i < m.rows(); ++i)
         for (size_t j = 0; j < m.cols(); ++j) {
@@ -327,7 +334,6 @@ quantizedForm(const Matrix& m, int decimals)
                                     v.imag());
             out.append(buf, static_cast<size_t>(len));
         }
-    return out;
 }
 
 cplx

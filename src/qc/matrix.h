@@ -153,6 +153,14 @@ class Matrix
  */
 std::string quantizedForm(const Matrix& m, int decimals = 9);
 
+/**
+ * Append quantizedForm(m, decimals) to `out` without constructing a
+ * temporary string — the allocation-free building block the profile
+ * cache uses to assemble lookup keys in a reused buffer.
+ */
+void appendQuantizedForm(std::string& out, const Matrix& m,
+                         int decimals = 9);
+
 /** Hilbert-Schmidt inner product Tr(A^dagger B). */
 cplx hilbertSchmidt(const Matrix& a, const Matrix& b);
 

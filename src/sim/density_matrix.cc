@@ -35,7 +35,7 @@ DensityMatrix::element(size_t row, size_t col) const
 }
 
 void
-DensityMatrix::applyLeft(const Matrix& gate, const std::vector<int>& qubits)
+DensityMatrix::applyLeft(const Matrix& gate, Qubits qubits)
 {
     if (qubits.size() == 1) {
         size_t mask = size_t{1} << (num_qubits_ - 1 - qubits[0]);
@@ -88,7 +88,7 @@ DensityMatrix::applyLeft(const Matrix& gate, const std::vector<int>& qubits)
 }
 
 void
-DensityMatrix::applyRight(const Matrix& gate, const std::vector<int>& qubits)
+DensityMatrix::applyRight(const Matrix& gate, Qubits qubits)
 {
     // rho <- rho * gate^dagger, i.e. apply conj(gate) along columns.
     if (qubits.size() == 1) {
@@ -140,7 +140,7 @@ DensityMatrix::applyRight(const Matrix& gate, const std::vector<int>& qubits)
 
 void
 DensityMatrix::applyUnitary(const Matrix& gate,
-                            const std::vector<int>& qubits)
+                            Qubits qubits)
 {
     applyLeft(gate, qubits);
     applyRight(gate, qubits);
@@ -148,7 +148,7 @@ DensityMatrix::applyUnitary(const Matrix& gate,
 
 void
 DensityMatrix::applyKraus(const std::vector<Matrix>& kraus,
-                          const std::vector<int>& qubits)
+                          Qubits qubits)
 {
     QISET_REQUIRE(!kraus.empty(), "empty Kraus set");
     if (kraus.size() == 1) {
@@ -215,7 +215,7 @@ DensityMatrix::applyKraus(const std::vector<Matrix>& kraus,
 }
 
 void
-DensityMatrix::applyDepolarizing(double p, const std::vector<int>& qubits)
+DensityMatrix::applyDepolarizing(double p, Qubits qubits)
 {
     QISET_REQUIRE(p >= 0.0 && p <= 1.0, "invalid depolarizing p=", p);
     if (p == 0.0)
@@ -310,14 +310,16 @@ DensityMatrix::runNoisy(const Circuit& circuit, const NoiseModel& noise)
     QISET_REQUIRE(circuit.numQubits() == num_qubits_,
                   "circuit width mismatch");
     for (const auto& op : circuit.ops()) {
-        applyUnitary(op.unitary, op.qubits);
+        Qubits qs = op.qubits();
+        applyUnitary(op.unitary(), qs);
         if (!noise.enabled())
             continue;
-        if (op.error_rate > 0.0)
-            applyDepolarizing(op.error_rate, op.qubits);
-        if (op.duration_ns > 0.0) {
-            for (int q : op.qubits)
-                applyKraus(noise.thermalKrausFor(q, op.duration_ns), {q});
+        if (op.errorRate() > 0.0)
+            applyDepolarizing(op.errorRate(), qs);
+        if (op.durationNs() > 0.0) {
+            for (int q : qs)
+                applyKraus(noise.thermalKrausFor(q, op.durationNs()),
+                           Qubits(q));
         }
     }
 }

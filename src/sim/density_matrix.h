@@ -38,7 +38,7 @@ class DensityMatrix
     cplx element(size_t row, size_t col) const;
 
     /** Apply a unitary gate: rho <- U rho U^dagger. */
-    void applyUnitary(const Matrix& gate, const std::vector<int>& qubits);
+    void applyUnitary(const Matrix& gate, Qubits qubits);
 
     /**
      * Apply a Kraus channel: rho <- sum_k K rho K^dagger.
@@ -47,14 +47,14 @@ class DensityMatrix
      * one pass over rho regardless of the number of Kraus operators.
      */
     void applyKraus(const std::vector<Matrix>& kraus,
-                    const std::vector<int>& qubits);
+                    Qubits qubits);
 
     /**
      * Depolarizing channel in closed form:
      * rho <- (1 - lambda) rho + lambda (I/2^k (x) Tr_qubits rho) with
      * lambda = 4^k p / (4^k - 1), matching depolarizingKraus{1,2}q(p).
      */
-    void applyDepolarizing(double p, const std::vector<int>& qubits);
+    void applyDepolarizing(double p, Qubits qubits);
 
     /** Trace of the density operator (should stay 1). */
     double trace() const;
@@ -77,9 +77,9 @@ class DensityMatrix
 
   private:
     /** Apply op to the left (row) index of rho, like a state vector. */
-    void applyLeft(const Matrix& gate, const std::vector<int>& qubits);
+    void applyLeft(const Matrix& gate, Qubits qubits);
     /** Apply conj(op) to the right (column) index of rho. */
-    void applyRight(const Matrix& gate, const std::vector<int>& qubits);
+    void applyRight(const Matrix& gate, Qubits qubits);
 
     int num_qubits_;
     size_t dim_;

@@ -90,6 +90,16 @@ StateVector::applyOperation(const Operation& op)
 }
 
 void
+StateVector::applyOperation(ConstOpRef op)
+{
+    Qubits qs = op.qubits();
+    if (op.isTwoQubit())
+        apply2q(op.unitary(), qs[0], qs[1]);
+    else
+        apply1q(op.unitary(), qs[0]);
+}
+
+void
 StateVector::run(const Circuit& circuit)
 {
     QISET_REQUIRE(circuit.numQubits() == num_qubits_,

@@ -44,6 +44,9 @@ class StateVector
     /** Apply a circuit operation (dispatches on arity). */
     void applyOperation(const Operation& op);
 
+    /** Apply an operation viewed in place inside a Circuit. */
+    void applyOperation(ConstOpRef op);
+
     /** Run an entire circuit (no noise). */
     void run(const Circuit& circuit);
 

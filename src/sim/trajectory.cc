@@ -16,22 +16,22 @@ namespace {
 
 /** Apply one uniformly-random non-identity Pauli to the op's qubits. */
 void
-injectPauli(StateVector& state, const Operation& op, Rng& rng)
+injectPauli(StateVector& state, Qubits qubits, Rng& rng)
 {
     static const Matrix paulis[4] = {gates::identity1q(), gates::pauliX(),
                                      gates::pauliY(), gates::pauliZ()};
-    if (op.isTwoQubit()) {
+    if (qubits.isTwoQubit()) {
         // 15 non-identity two-qubit Paulis, uniform.
         int index = rng.uniformInt(1, 15);
         int pa = index / 4;
         int pb = index % 4;
         if (pa != 0)
-            state.apply1q(paulis[pa], op.qubits[0]);
+            state.apply1q(paulis[pa], qubits[0]);
         if (pb != 0)
-            state.apply1q(paulis[pb], op.qubits[1]);
+            state.apply1q(paulis[pb], qubits[1]);
     } else {
         int index = rng.uniformInt(1, 3);
-        state.apply1q(paulis[index], op.qubits[0]);
+        state.apply1q(paulis[index], qubits[0]);
     }
 }
 
@@ -88,17 +88,18 @@ sampleKraus1q(StateVector& state, const std::vector<Matrix>& kraus,
 } // namespace
 
 void
-TrajectorySimulator::applyNoise(StateVector& state, const Operation& op,
+TrajectorySimulator::applyNoise(StateVector& state, ConstOpRef op,
                                 Rng& rng) const
 {
     if (!noise_.enabled())
         return;
-    if (op.error_rate > 0.0 && rng.bernoulli(op.error_rate))
-        injectPauli(state, op, rng);
-    if (op.duration_ns > 0.0) {
-        for (int q : op.qubits) {
-            sampleKraus1q(state, noise_.thermalKrausFor(q, op.duration_ns),
-                          q, rng);
+    if (op.errorRate() > 0.0 && rng.bernoulli(op.errorRate()))
+        injectPauli(state, op.qubits(), rng);
+    if (op.durationNs() > 0.0) {
+        for (int q : op.qubits()) {
+            sampleKraus1q(state,
+                          noise_.thermalKrausFor(q, op.durationNs()), q,
+                          rng);
         }
     }
 }

@@ -59,8 +59,7 @@ class TrajectorySimulator
     const NoiseModel& noise() const { return noise_; }
 
   private:
-    void applyNoise(StateVector& state, const Operation& op,
-                    Rng& rng) const;
+    void applyNoise(StateVector& state, ConstOpRef op, Rng& rng) const;
 
     NoiseModel noise_;
 };

@@ -31,7 +31,7 @@ TEST(Qv, BlocksAreSu4)
     Circuit c = makeQuantumVolumeCircuit(4, rng);
     for (const auto& op : c.ops()) {
         ASSERT_TRUE(op.isTwoQubit());
-        EXPECT_TRUE(op.unitary.isUnitary(1e-10));
+        EXPECT_TRUE(op.unitary().isUnitary(1e-10));
     }
 }
 
@@ -48,7 +48,7 @@ TEST(Qv, CircuitsDiffer)
     Circuit a = makeQuantumVolumeCircuit(4, rng);
     Circuit b = makeQuantumVolumeCircuit(4, rng);
     // Same structure but different unitaries (overwhelmingly likely).
-    EXPECT_GT(a.ops()[0].unitary.maxAbsDiff(b.ops()[0].unitary), 1e-6);
+    EXPECT_GT(a.ops()[0].unitary().maxAbsDiff(b.ops()[0].unitary()), 1e-6);
 }
 
 TEST(Qaoa, GraphSizeFollowsThreeQuartersRule)
@@ -101,7 +101,7 @@ TEST(FermiHubbard, NearestNeighbourOnly)
     Circuit c = makeFermiHubbardCircuit(8, 0.3, 0.1);
     for (const auto& op : c.ops())
         if (op.isTwoQubit())
-            EXPECT_EQ(std::abs(op.qubits[0] - op.qubits[1]), 1);
+            EXPECT_EQ(std::abs(op.qubits()[0] - op.qubits()[1]), 1);
 }
 
 TEST(Qft, GateCountIsQuadratic)

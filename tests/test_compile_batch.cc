@@ -61,12 +61,12 @@ expectIdentical(const CompileResult& a, const CompileResult& b)
     EXPECT_DOUBLE_EQ(a.estimated_fidelity, b.estimated_fidelity);
     ASSERT_EQ(a.circuit.size(), b.circuit.size());
     for (size_t i = 0; i < a.circuit.size(); ++i) {
-        const Operation& x = a.circuit.ops()[i];
-        const Operation& y = b.circuit.ops()[i];
-        EXPECT_EQ(x.qubits, y.qubits);
-        EXPECT_EQ(x.label, y.label);
-        EXPECT_DOUBLE_EQ(x.error_rate, y.error_rate);
-        EXPECT_EQ(x.unitary.maxAbsDiff(y.unitary), 0.0);
+        ConstOpRef x = a.circuit.ops()[i];
+        ConstOpRef y = b.circuit.ops()[i];
+        EXPECT_EQ(x.qubits(), y.qubits());
+        EXPECT_EQ(x.labelId(), y.labelId());
+        EXPECT_DOUBLE_EQ(x.errorRate(), y.errorRate());
+        EXPECT_EQ(x.unitary().maxAbsDiff(y.unitary()), 0.0);
     }
 }
 

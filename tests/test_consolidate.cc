@@ -17,7 +17,7 @@ TEST(Consolidate, MergesSamePairRun)
     c.add2q(0, 1, zz(0.4), "ZZ");
     Circuit out = consolidateTwoQubitBlocks(c);
     EXPECT_EQ(out.twoQubitGateCount(), 1);
-    EXPECT_NEAR(traceFidelity(out.ops()[0].unitary,
+    EXPECT_NEAR(traceFidelity(out.ops()[0].unitary(),
                               zz(0.4) * swap()),
                 1.0, 1e-12);
 }
@@ -33,7 +33,7 @@ TEST(Consolidate, AbsorbsInterleavedOneQubitOps)
     ASSERT_EQ(out.size(), 1u);
     Matrix expected = iswap() *
                       hadamard().kron(tGate()) * cz();
-    EXPECT_NEAR(traceFidelity(out.ops()[0].unitary, expected), 1.0,
+    EXPECT_NEAR(traceFidelity(out.ops()[0].unitary(), expected), 1.0,
                 1e-12);
 }
 
@@ -45,7 +45,7 @@ TEST(Consolidate, HandlesReversedQubitOrder)
     Circuit out = consolidateTwoQubitBlocks(c);
     ASSERT_EQ(out.twoQubitGateCount(), 1);
     Matrix expected = (swap() * cnot() * swap()) * cnot();
-    EXPECT_NEAR(traceFidelity(out.ops()[0].unitary, expected), 1.0,
+    EXPECT_NEAR(traceFidelity(out.ops()[0].unitary(), expected), 1.0,
                 1e-12);
 }
 
@@ -94,7 +94,7 @@ TEST(Consolidate, TrailingOneQubitAfterBlockIsAbsorbed)
     Circuit out = consolidateTwoQubitBlocks(c);
     ASSERT_EQ(out.size(), 1u);
     Matrix expected = hadamard().kron(identity1q()) * cz();
-    EXPECT_NEAR(traceFidelity(out.ops()[0].unitary, expected), 1.0,
+    EXPECT_NEAR(traceFidelity(out.ops()[0].unitary(), expected), 1.0,
                 1e-12);
 }
 

@@ -34,8 +34,8 @@ TEST(Crosstalk, ParallelAdjacentCouplersInflate)
     int inflated =
         applyCrosstalkInflation(c, {0, 1, 2, 3}, line, 2.0);
     EXPECT_EQ(inflated, 2);
-    EXPECT_NEAR(c.ops()[0].error_rate, 0.02, 1e-12);
-    EXPECT_NEAR(c.ops()[1].error_rate, 0.02, 1e-12);
+    EXPECT_NEAR(c.ops()[0].errorRate(), 0.02, 1e-12);
+    EXPECT_NEAR(c.ops()[1].errorRate(), 0.02, 1e-12);
 }
 
 TEST(Crosstalk, SequentialGatesDoNotInflate)
@@ -51,7 +51,7 @@ TEST(Crosstalk, SequentialGatesDoNotInflate)
         applyCrosstalkInflation(c, {0, 1, 2, 3}, line, 2.0);
     EXPECT_EQ(inflated, 0);
     for (const auto& op : c.ops())
-        EXPECT_NEAR(op.error_rate, 0.01, 1e-12);
+        EXPECT_NEAR(op.errorRate(), 0.01, 1e-12);
 }
 
 TEST(Crosstalk, DistantParallelGatesUnaffected)
@@ -130,8 +130,8 @@ TEST(Crosstalk, SharedScheduleMatchesInternalScheduling)
     EXPECT_EQ(count_a, count_b);
     ASSERT_EQ(internally_scheduled.size(), shared_schedule.size());
     for (size_t i = 0; i < internally_scheduled.size(); ++i)
-        EXPECT_EQ(internally_scheduled.ops()[i].error_rate,
-                  shared_schedule.ops()[i].error_rate)
+        EXPECT_EQ(internally_scheduled.ops()[i].errorRate(),
+                  shared_schedule.ops()[i].errorRate())
             << "op " << i;
     // Error-rate edits keep the shared schedule reusable.
     EXPECT_TRUE(schedule.consistentWith(shared_schedule));

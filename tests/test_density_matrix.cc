@@ -26,7 +26,7 @@ TEST(DensityMatrix, PureStateProbabilitiesMatchStateVector)
 
     DensityMatrix rho(3);
     for (const auto& op : c.ops())
-        rho.applyUnitary(op.unitary, op.qubits);
+        rho.applyUnitary(op.unitary(), op.qubits());
 
     auto p_sv = sv.probabilities();
     auto p_dm = rho.probabilities();
@@ -135,7 +135,7 @@ TEST(DensityMatrix, FidelityWithPureDropsUnderNoise)
 
     DensityMatrix rho(2);
     for (const auto& op : c.ops())
-        rho.applyUnitary(op.unitary, op.qubits);
+        rho.applyUnitary(op.unitary(), op.qubits());
     EXPECT_NEAR(rho.fidelityWithPure(ideal), 1.0, 1e-10);
 
     rho.applyKraus(NoiseModel::depolarizingKraus2q(0.2), {0, 1});

@@ -62,9 +62,9 @@ TEST(Integration, NoisyQvMetricsDegradeMonotonically)
     for (double error : {0.0, 0.01, 0.05, 0.15}) {
         DensityMatrix rho(4);
         for (const auto& op : qv.ops()) {
-            rho.applyUnitary(op.unitary, op.qubits);
+            rho.applyUnitary(op.unitary(), op.qubits());
             if (error > 0.0)
-                rho.applyDepolarizing(error, op.qubits);
+                rho.applyDepolarizing(error, op.qubits());
         }
         double hop = heavyOutputProbability(ideal, rho.probabilities());
         EXPECT_LE(hop, last_hop + 1e-9) << "error=" << error;
@@ -115,9 +115,9 @@ TEST(Integration, QftSuccessRateDropsWithNoise)
     for (double error : {0.0, 0.02, 0.08}) {
         DensityMatrix rho(4);
         for (const auto& op : qft.ops()) {
-            rho.applyUnitary(op.unitary, op.qubits);
+            rho.applyUnitary(op.unitary(), op.qubits());
             if (error > 0.0 && op.isTwoQubit())
-                rho.applyDepolarizing(error, op.qubits);
+                rho.applyDepolarizing(error, op.qubits());
         }
         double success = rho.fidelityWithPure(ideal);
         EXPECT_LT(success, last);
@@ -145,17 +145,17 @@ TEST(Integration, DecompositionSubstitutionPreservesCircuitOutput)
             compiled.add(op);
             continue;
         }
-        Decomposition d = nuop.decomposeExact(op.unitary, syc);
+        Decomposition d = nuop.decomposeExact(op.unitary(), syc);
         ASSERT_TRUE(d.meets_threshold);
         TwoQubitTemplate templ(d.layers, syc.unitary);
         auto u3s = templ.u3Matrices(d.params);
-        compiled.add1q(op.qubits[0], u3s[0], "U3");
-        compiled.add1q(op.qubits[1], u3s[1], "U3");
+        compiled.add1q(op.qubits()[0], u3s[0], "U3");
+        compiled.add1q(op.qubits()[1], u3s[1], "U3");
         for (int layer = 0; layer < d.layers; ++layer) {
-            compiled.add2q(op.qubits[0], op.qubits[1], syc.unitary,
+            compiled.add2q(op.qubits()[0], op.qubits()[1], syc.unitary,
                            "SYC");
-            compiled.add1q(op.qubits[0], u3s[2 * (layer + 1)], "U3");
-            compiled.add1q(op.qubits[1], u3s[2 * (layer + 1) + 1],
+            compiled.add1q(op.qubits()[0], u3s[2 * (layer + 1)], "U3");
+            compiled.add1q(op.qubits()[1], u3s[2 * (layer + 1) + 1],
                            "U3");
         }
     }

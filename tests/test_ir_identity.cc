@@ -1,0 +1,212 @@
+// IR bit-identity goldens across the struct-of-arrays refactor.
+//
+// The hashes below were captured from the array-of-structs IR
+// (pre-SoA seed) on seeded QFT/QV/QAOA workloads: schedule structure
+// fingerprints, full circuit content (qubits, labels, annotations,
+// unitary entries), and complete CompileResult state after the serial
+// pipeline. Any representation change that alters what a pass reads
+// or emits — operand packing, label interning, column ordering —
+// shows up here as a hash mismatch.
+
+#include <cstdint>
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "apps/qaoa.h"
+#include "apps/qft.h"
+#include "apps/qv.h"
+#include "circuit/circuit.h"
+#include "circuit/draw.h"
+#include "circuit/label_table.h"
+#include "circuit/schedule.h"
+#include "common/rng.h"
+#include "compiler/pipeline.h"
+#include "device/device.h"
+#include "isa/gate_set.h"
+#include "qc/gates.h"
+
+namespace qiset {
+namespace {
+
+uint64_t
+fnv1a(uint64_t hash, uint64_t value)
+{
+    for (int byte = 0; byte < 8; ++byte) {
+        hash ^= (value >> (8 * byte)) & 0xffu;
+        hash *= 1099511628211ull;
+    }
+    return hash;
+}
+
+uint64_t
+fnvDouble(uint64_t hash, double value)
+{
+    uint64_t bits = 0;
+    std::memcpy(&bits, &value, sizeof(bits));
+    return fnv1a(hash, bits);
+}
+
+uint64_t
+fnvString(uint64_t hash, const std::string& s)
+{
+    hash = fnv1a(hash, s.size());
+    for (char c : s)
+        hash = fnv1a(hash, static_cast<uint64_t>(
+                               static_cast<unsigned char>(c)));
+    return hash;
+}
+
+/** Every per-op field, label resolved to text (interning-agnostic). */
+uint64_t
+circuitContentHash(const Circuit& circuit)
+{
+    uint64_t hash = 14695981039346656037ull;
+    hash = fnv1a(hash, static_cast<uint64_t>(circuit.numQubits()));
+    hash = fnv1a(hash, circuit.size());
+    for (const auto& op : circuit.ops()) {
+        hash = fnv1a(hash, op.qubits().size());
+        for (int q : op.qubits())
+            hash = fnv1a(hash, static_cast<uint64_t>(q));
+        hash = fnvString(hash, op.label());
+        hash = fnvDouble(hash, op.errorRate());
+        hash = fnvDouble(hash, op.durationNs());
+        for (size_t r = 0; r < op.unitary().rows(); ++r)
+            for (size_t c = 0; c < op.unitary().cols(); ++c) {
+                hash = fnvDouble(hash, op.unitary()(r, c).real());
+                hash = fnvDouble(hash, op.unitary()(r, c).imag());
+            }
+    }
+    return hash;
+}
+
+uint64_t
+resultHash(const CompileResult& result)
+{
+    uint64_t hash = circuitContentHash(result.circuit);
+    for (int p : result.physical)
+        hash = fnv1a(hash, static_cast<uint64_t>(p));
+    for (int p : result.initial_positions)
+        hash = fnv1a(hash, static_cast<uint64_t>(p));
+    for (int p : result.final_positions)
+        hash = fnv1a(hash, static_cast<uint64_t>(p));
+    hash = fnv1a(hash, static_cast<uint64_t>(result.swaps_inserted));
+    hash = fnv1a(hash, static_cast<uint64_t>(result.two_qubit_count));
+    hash = fnvDouble(hash, result.estimated_fidelity);
+    return hash;
+}
+
+CompileOptions
+goldenOptions()
+{
+    CompileOptions options;
+    options.approximate = true;
+    options.nuop.max_layers = 5;
+    options.nuop.multistarts = 3;
+    options.nuop.exact_threshold = 1.0 - 1e-6;
+    options.nuop.bfgs.max_iterations = 150;
+    return options;
+}
+
+struct GoldenCase
+{
+    const char* name;
+    uint64_t logical_schedule_fp;
+    uint64_t logical_content;
+    uint64_t compiled_schedule_fp;
+    uint64_t result;
+};
+
+// Captured from the pre-SoA IR; must never drift.
+const GoldenCase kGolden[] = {
+    {"qft8", 0xf0ff1cf8245b5dc9ull, 0x211ab8e9f52817fdull,
+     0x19aed16609bca67ull, 0x9e9ccaeb8e4b924dull},
+    {"qv8", 0x94dd8c67404ed48dull, 0x603873239e790373ull,
+     0x8aa4aa8692c02e03ull, 0x304295ba38d4c6acull},
+    {"qaoa8", 0x713bdf23698720f9ull, 0x9aa86b83dfde5659ull,
+     0xbf9a29b8ac0594daull, 0xb5328c76d174fde6ull},
+};
+
+Circuit
+goldenApp(const std::string& name)
+{
+    if (name == "qft8")
+        return makeQftCircuit(8);
+    if (name == "qv8") {
+        Rng rng(77);
+        return makeQuantumVolumeCircuit(8, rng);
+    }
+    Rng rng(123);
+    return makeRandomQaoaCircuit(8, rng);
+}
+
+TEST(IrIdentity, GeneratorsAndPipelineMatchPreSoaGoldens)
+{
+    Rng dev_rng(4242);
+    Device device = makeSycamore(dev_rng);
+    GateSet set = isa::singleTypeSet(3); // CZ
+    CompileOptions options = goldenOptions();
+
+    for (const GoldenCase& golden : kGolden) {
+        Circuit app = goldenApp(golden.name);
+        EXPECT_EQ(Schedule(app).fingerprint(),
+                  golden.logical_schedule_fp)
+            << golden.name << " logical schedule";
+        EXPECT_EQ(circuitContentHash(app), golden.logical_content)
+            << golden.name << " logical content";
+
+        ProfileCache cache;
+        CompileResult result =
+            compileCircuit(app, device, set, cache, options);
+        EXPECT_EQ(Schedule(result.circuit).fingerprint(),
+                  golden.compiled_schedule_fp)
+            << golden.name << " compiled schedule";
+        EXPECT_EQ(resultHash(result), golden.result)
+            << golden.name << " compile result";
+    }
+}
+
+TEST(IrIdentity, RenderedTextMatchesPreSoaGoldens)
+{
+    // Label interning must round-trip through the renderers without
+    // changing a byte of output.
+    Circuit qft4 = makeQftCircuit(4);
+    EXPECT_EQ(fnvString(14695981039346656037ull, drawCircuit(qft4)),
+              0x1b4e7722cbdd78cdull);
+    EXPECT_EQ(fnvString(14695981039346656037ull, qft4.toString()),
+              0x6ed0bf2c3f23620dull);
+}
+
+TEST(LabelTable, InternRoundTripsAndDedupes)
+{
+    LabelTable& table = LabelTable::global();
+    LabelId a = table.intern("fSim(1.571,0.524)");
+    LabelId b = table.intern("fSim(1.571,0.524)");
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(table.name(a), "fSim(1.571,0.524)");
+    EXPECT_EQ(table.find("fSim(1.571,0.524)"), a);
+
+    LabelId c = table.intern("fSim(1.571,0.525)");
+    EXPECT_NE(a, c);
+    EXPECT_EQ(table.find("never-interned-label-xyzzy"), kInvalidLabel);
+}
+
+TEST(LabelTable, CircuitLabelsResolveToIdenticalText)
+{
+    // add1q/add2q intern; ops render the exact original text, and ops
+    // sharing text share the id (cross-circuit, one global table).
+    Circuit a(2), b(2);
+    a.add2q(0, 1, gates::cz(), "CZ-label-roundtrip");
+    b.add2q(1, 0, gates::cz(), "CZ-label-roundtrip");
+    EXPECT_EQ(a.ops()[0].label(), "CZ-label-roundtrip");
+    EXPECT_EQ(a.ops()[0].labelId(), b.ops()[0].labelId());
+    EXPECT_EQ(a.countLabel("CZ-label-roundtrip"), 1);
+    EXPECT_EQ(a.countLabel("no-such-label-anywhere"), 0);
+
+    // The drawn diagram carries the interned text verbatim.
+    EXPECT_NE(drawCircuit(a).find("CZ-label-roundtrip"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace qiset

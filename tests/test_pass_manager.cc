@@ -168,11 +168,11 @@ TEST(PassManager, WrapperMatchesManualPipeline)
                      manual.estimated_fidelity);
     ASSERT_EQ(via_wrapper.circuit.size(), manual.circuit.size());
     for (size_t i = 0; i < via_wrapper.circuit.size(); ++i) {
-        const Operation& a = via_wrapper.circuit.ops()[i];
-        const Operation& b = manual.circuit.ops()[i];
-        EXPECT_EQ(a.qubits, b.qubits);
-        EXPECT_EQ(a.label, b.label);
-        EXPECT_EQ(a.unitary.maxAbsDiff(b.unitary), 0.0);
+        ConstOpRef a = via_wrapper.circuit.ops()[i];
+        ConstOpRef b = manual.circuit.ops()[i];
+        EXPECT_EQ(a.qubits(), b.qubits());
+        EXPECT_EQ(a.labelId(), b.labelId());
+        EXPECT_EQ(a.unitary().maxAbsDiff(b.unitary()), 0.0);
     }
 }
 

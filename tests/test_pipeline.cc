@@ -128,11 +128,11 @@ TEST(Pipeline, IntraCircuitParallelismBitIdenticalAcrossCaps)
                          parallel.estimated_fidelity);
         ASSERT_EQ(serial.circuit.size(), parallel.circuit.size());
         for (size_t i = 0; i < serial.circuit.size(); ++i) {
-            const Operation& x = serial.circuit.ops()[i];
-            const Operation& y = parallel.circuit.ops()[i];
-            EXPECT_EQ(x.qubits, y.qubits);
-            EXPECT_EQ(x.label, y.label);
-            EXPECT_EQ(x.unitary.maxAbsDiff(y.unitary), 0.0);
+            ConstOpRef x = serial.circuit.ops()[i];
+            ConstOpRef y = parallel.circuit.ops()[i];
+            EXPECT_EQ(x.qubits(), y.qubits());
+            EXPECT_EQ(x.labelId(), y.labelId());
+            EXPECT_EQ(x.unitary().maxAbsDiff(y.unitary()), 0.0);
         }
     }
 }
@@ -399,10 +399,11 @@ TEST(Pipeline, ReannotateErrorRatesUsesTruthDevice)
     for (const auto& op : result.circuit.ops()) {
         if (!op.isTwoQubit())
             continue;
-        int pa = result.physical[op.qubits[0]];
-        int pb = result.physical[op.qubits[1]];
-        EXPECT_NEAR(op.error_rate,
-                    1.0 - truth.edgeFidelity(pa, pb, op.label), 1e-12);
+        int pa = result.physical[op.qubits()[0]];
+        int pb = result.physical[op.qubits()[1]];
+        EXPECT_NEAR(op.errorRate(),
+                    1.0 - truth.edgeFidelity(pa, pb, op.label()),
+                    1e-12);
     }
 }
 

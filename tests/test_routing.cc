@@ -60,7 +60,7 @@ expectWellFormedRouting(const RoutedCircuit& routed,
 {
     for (const auto& op : routed.circuit.ops())
         if (op.isTwoQubit())
-            EXPECT_TRUE(coupling.adjacent(op.qubits[0], op.qubits[1]));
+            EXPECT_TRUE(coupling.adjacent(op.qubits()[0], op.qubits()[1]));
     for (const auto* positions :
          {&routed.initial_positions, &routed.final_positions}) {
         std::vector<bool> seen(routed.circuit.numQubits(), false);
@@ -105,7 +105,7 @@ TEST(Routing, AllEmittedOpsAreOnCoupledPairs)
     RoutedCircuit routed = routeCircuit(logical, line);
     for (const auto& op : routed.circuit.ops())
         if (op.isTwoQubit())
-            EXPECT_TRUE(line.adjacent(op.qubits[0], op.qubits[1]));
+            EXPECT_TRUE(line.adjacent(op.qubits()[0], op.qubits()[1]));
     EXPECT_GT(routed.swaps_inserted, 0);
 }
 
@@ -169,10 +169,10 @@ TEST(Routing, OneQubitOpsFollowTheirQubit)
     logical.add1q(0, pauliX(), "X");
     RoutedCircuit routed = routeCircuit(logical, Topology::line(3));
     // The X must land on logical 0's current position.
-    const auto& ops = routed.circuit.ops();
-    const Operation& x_op = ops.back();
-    EXPECT_EQ(x_op.label, "X");
-    EXPECT_EQ(x_op.qubits[0], routed.final_positions[0]);
+    auto ops = routed.circuit.ops();
+    ConstOpRef x_op = ops[ops.size() - 1];
+    EXPECT_EQ(x_op.label(), "X");
+    EXPECT_EQ(x_op.qubits()[0], routed.final_positions[0]);
 }
 
 TEST(Routing, WidthMismatchThrows)
@@ -287,8 +287,8 @@ TEST(SabreRouter, DeterministicAcrossRuns)
     EXPECT_EQ(first.final_positions, second.final_positions);
     ASSERT_EQ(first.circuit.size(), second.circuit.size());
     for (size_t i = 0; i < first.circuit.size(); ++i)
-        EXPECT_EQ(first.circuit.ops()[i].qubits,
-                  second.circuit.ops()[i].qubits);
+        EXPECT_EQ(first.circuit.ops()[i].qubits(),
+                  second.circuit.ops()[i].qubits());
 }
 
 TEST(SabreRouter, RequiresMatchingSchedule)

@@ -116,7 +116,7 @@ TEST(Schedule, MomentsAndFrontierPartitionTheCircuit)
         std::vector<bool> used(c.numQubits(), false);
         for (size_t op : moment) {
             EXPECT_EQ(schedule.asapMoment(op), m);
-            for (int q : c.ops()[op].qubits) {
+            for (int q : c.ops()[op].qubits()) {
                 EXPECT_FALSE(used[q]) << "qubit collision in moment";
                 used[q] = true;
             }
@@ -126,7 +126,10 @@ TEST(Schedule, MomentsAndFrontierPartitionTheCircuit)
         for (size_t op : moment)
             if (c.ops()[op].isTwoQubit())
                 expected_frontier.push_back(op);
-        EXPECT_EQ(schedule.twoQubitFrontier()[m], expected_frontier);
+        MomentView frontier = schedule.twoQubitFrontier()[m];
+        std::vector<size_t> actual_frontier(frontier.begin(),
+                                            frontier.end());
+        EXPECT_EQ(actual_frontier, expected_frontier);
         seen += moment.size();
     }
     EXPECT_EQ(seen, c.size());
@@ -139,10 +142,10 @@ TEST(Schedule, StartTimesRespectDurations)
     c.add2q(0, 1, cz(), "CZ");
     c.add2q(1, 2, cz(), "CZ");
     c.add1q(2, hadamard(), "H");
-    auto& ops = c.mutableOps();
-    ops[0].duration_ns = 30.0;
-    ops[1].duration_ns = 40.0;
-    ops[2].duration_ns = 10.0;
+    auto ops = c.mutableOps();
+    ops[0].setDurationNs(30.0);
+    ops[1].setDurationNs(40.0);
+    ops[2].setDurationNs(10.0);
 
     Schedule schedule(c);
     EXPECT_DOUBLE_EQ(schedule.startTimeNs(0), 0.0);
@@ -177,7 +180,7 @@ TEST(Schedule, ErrorRateEditsKeepScheduleConsistent)
     Circuit c(2);
     c.add2q(0, 1, cz(), "CZ");
     Schedule schedule(c);
-    c.mutableOps()[0].error_rate = 0.5;
+    c.mutableOps()[0].setErrorRate(0.5);
     EXPECT_TRUE(schedule.consistentWith(c));
 
     // Changing the qubit structure breaks consistency...
@@ -186,7 +189,7 @@ TEST(Schedule, ErrorRateEditsKeepScheduleConsistent)
     EXPECT_FALSE(schedule.consistentWith(widened));
 
     // ...and so does changing a duration (timing went stale).
-    c.mutableOps()[0].duration_ns = 25.0;
+    c.mutableOps()[0].setDurationNs(25.0);
     EXPECT_FALSE(schedule.consistentWith(c));
 }
 

@@ -172,11 +172,11 @@ TEST(Translate, AnnotatesErrorRatesAndDurations)
         logical, {0, 1}, d, set, decomposer, cache, true);
 
     for (const auto& op : result.circuit.ops()) {
-        EXPECT_GT(op.duration_ns, 0.0) << op.label;
+        EXPECT_GT(op.durationNs(), 0.0) << op.label();
         if (op.isTwoQubit())
-            EXPECT_NEAR(op.error_rate, 0.05, 1e-9);
+            EXPECT_NEAR(op.errorRate(), 0.05, 1e-9);
         else
-            EXPECT_NEAR(op.error_rate, 0.001, 1e-9);
+            EXPECT_NEAR(op.errorRate(), 0.001, 1e-9);
     }
 }
 
@@ -207,10 +207,10 @@ TEST(Translate, NoiseAdaptiveAcrossEdges)
     for (const auto& op : result.circuit.ops()) {
         if (!op.isTwoQubit())
             continue;
-        if (op.qubits[0] == 0 || op.qubits[1] == 0)
-            first_type = op.label;
+        if (op.qubits()[0] == 0 || op.qubits()[1] == 0)
+            first_type = op.label();
         else
-            second_type = op.label;
+            second_type = op.label();
     }
     EXPECT_EQ(first_type, "S3");
     EXPECT_EQ(second_type, "S4");
@@ -324,11 +324,11 @@ TEST(Translate, ParallelProfileWarmupBitIdenticalToSerial)
                          other->estimated_fidelity);
         ASSERT_EQ(serial.circuit.size(), other->circuit.size());
         for (size_t i = 0; i < serial.circuit.size(); ++i) {
-            const Operation& x = serial.circuit.ops()[i];
-            const Operation& y = other->circuit.ops()[i];
-            EXPECT_EQ(x.qubits, y.qubits);
-            EXPECT_EQ(x.label, y.label);
-            EXPECT_EQ(x.unitary.maxAbsDiff(y.unitary), 0.0);
+            ConstOpRef x = serial.circuit.ops()[i];
+            ConstOpRef y = other->circuit.ops()[i];
+            EXPECT_EQ(x.qubits(), y.qubits());
+            EXPECT_EQ(x.labelId(), y.labelId());
+            EXPECT_EQ(x.unitary().maxAbsDiff(y.unitary()), 0.0);
         }
     }
     // Every (op, spec) precompute job tallies exactly one hit or
