@@ -14,14 +14,28 @@
  * which is machine-relative and therefore stable across runner
  * generations. The worker pool is capped at 4 threads so the figure is
  * comparable between laptops and CI runners.
+ *
+ * A second *soak* leg replays a few hundred tiny jobs with the full
+ * observability stack on — event stream + background recorder,
+ * completion callbacks, periodic telemetry snapshots, online cost
+ * model — and exports the drained log as a Chrome trace
+ * (SERVICE_TRACE_OUT, default "trace.json"; load it in Perfetto or
+ * chrome://tracing). scripts/trace_lint.py validates the file in CI.
+ * The soak fails the bench on dropped packets, missed callbacks or an
+ * unwritable trace, so observability regressions are as loud as
+ * determinism breaks.
  */
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <iostream>
 #include <thread>
 #include <vector>
+
+#include "metrics/event_stream.h"
+#include "metrics/trace_export.h"
 
 #include "apps/qaoa.h"
 #include "apps/qft.h"
@@ -153,6 +167,59 @@ main()
     double jobs_per_sec =
         service_ms > 0.0 ? 1000.0 * jobs.size() / service_ms : 0.0;
 
+    // ---- soak leg: the full observability stack under a job storm ---
+    const char* trace_env = std::getenv("SERVICE_TRACE_OUT");
+    std::string trace_path = trace_env ? trace_env : "trace.json";
+    const size_t soak_jobs = 300;
+
+    EventStream stream(size_t{1} << 16);
+    EventRecorder recorder(stream, 1.0);
+    std::atomic<size_t> soak_callbacks{0};
+    std::atomic<size_t> snapshots{0};
+    CompileCostModel cost_model;
+    double soak_ms = 0.0;
+    {
+        CompileServiceOptions soak_options;
+        soak_options.workers = threads;
+        soak_options.events = &stream;
+        soak_options.cost_model = &cost_model;
+        soak_options.planner.use_cost_model = true;
+        soak_options.telemetry_interval_ms = 5.0;
+        soak_options.telemetry_sink =
+            [&snapshots](std::vector<PassMetric>) {
+                snapshots.fetch_add(1, std::memory_order_relaxed);
+            };
+        CompileService soak(fleet, set, soak_options);
+
+        Rng rng(4072);
+        auto soak_start = Clock::now();
+        for (size_t i = 0; i < soak_jobs; ++i) {
+            CompileRequest request;
+            request.circuits.push_back(
+                i % 3 == 2 ? makeRandomQaoaCircuit(4, rng)
+                           : makeQftCircuit(3 + i % 2));
+            request.on_complete = [&soak_callbacks](CompileJob job) {
+                if (job.poll() == JobStatus::Done)
+                    soak_callbacks.fetch_add(
+                        1, std::memory_order_relaxed);
+            };
+            soak.submit(std::move(request));
+        }
+        soak.shutdown();
+        soak_ms = msSince(soak_start);
+    }
+    recorder.stop();
+
+    TraceExportOptions trace_options;
+    for (const Shard& shard : fleet.shards())
+        trace_options.shard_names.push_back(shard.name);
+    trace_options.pass_names = stream.passNames();
+    bool trace_written = writeChromeTraceFile(
+        trace_path, recorder.events(), trace_options);
+    bool soak_ok = trace_written && stream.dropped() == 0 &&
+                   soak_callbacks.load() == soak_jobs &&
+                   recorder.events().size() == stream.published();
+
     std::cout << "{\n  \"bench\": \"service\",\n"
               << "  \"jobs\": " << jobs.size() << ",\n"
               << "  \"threads\": " << threads << ",\n"
@@ -172,7 +239,19 @@ main()
               << "  \"cache_hit_ratio_last_job\": " << cache_hit_ratio_last
               << ",\n"
               << "  \"bit_identical\": "
-              << (bit_identical ? "true" : "false") << "\n}\n";
+              << (bit_identical ? "true" : "false") << ",\n"
+              << "  \"soak\": {\"jobs\": " << soak_jobs
+              << ", \"wall_ms\": " << soak_ms
+              << ", \"events_published\": " << stream.published()
+              << ", \"events_dropped\": " << stream.dropped()
+              << ", \"events_recorded\": " << recorder.events().size()
+              << ", \"callbacks\": " << soak_callbacks.load()
+              << ", \"cost_model_samples\": " << cost_model.samples()
+              << ", \"telemetry_snapshots\": " << snapshots.load()
+              << ", \"trace_file\": \"" << trace_path << "\""
+              << ", \"trace_written\": "
+              << (trace_written ? "true" : "false")
+              << ", \"ok\": " << (soak_ok ? "true" : "false") << "}\n}\n";
 
     if (!all_done) {
         std::cerr << "FAIL: not every service job completed\n";
@@ -181,6 +260,12 @@ main()
     if (!bit_identical) {
         std::cerr << "FAIL: service results diverge from legacy "
                      "compileCircuit\n";
+        return 1;
+    }
+    if (!soak_ok) {
+        std::cerr << "FAIL: soak telemetry invariants violated "
+                     "(dropped packets, missed callbacks, or "
+                     "unwritable trace)\n";
         return 1;
     }
     return 0;

@@ -17,6 +17,7 @@ BENCH="${BENCH:-bench_table1_gate_families}"
 ROUTING_JSON="${ROUTING_JSON:-$BUILD_DIR/BENCH_routing.json}"
 SHARDING_JSON="${SHARDING_JSON:-$BUILD_DIR/BENCH_sharding.json}"
 SERVICE_JSON="${SERVICE_JSON:-$BUILD_DIR/BENCH_service.json}"
+SERVICE_TRACE_OUT="${SERVICE_TRACE_OUT:-$BUILD_DIR/trace.json}"
 TRANSLATION_JSON="${TRANSLATION_JSON:-$BUILD_DIR/BENCH_translation.json}"
 HOTPATH_JSON="${HOTPATH_JSON:-$BUILD_DIR/BENCH_hotpath.json}"
 
@@ -61,7 +62,11 @@ run_bench quickstart
 # in CI.
 run_bench bench_routing "$ROUTING_JSON"
 run_bench bench_sharding "$SHARDING_JSON"
-run_bench bench_service "$SERVICE_JSON"
+# The service bench's soak leg exports a Chrome trace of the run
+# (PR 8 on); lint it against the documented schema right away so a
+# malformed trace fails next to the bench that produced it.
+SERVICE_TRACE_OUT="$SERVICE_TRACE_OUT" run_bench bench_service "$SERVICE_JSON"
+python3 scripts/trace_lint.py "$SERVICE_TRACE_OUT"
 run_bench bench_translation "$TRANSLATION_JSON"
 # Single-circuit hot-path latency, allocation counters and the
 # intra-circuit parallel speedup/bit-identity self-check (PR 6 on).

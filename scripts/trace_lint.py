@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace exported by metrics/trace_export.cc.
+
+Checks the schema documented in docs/telemetry.md:
+
+  * the file is valid JSON with a "traceEvents" list;
+  * every event carries name/ph/ts/pid/tid, with ph in {B, E, i, M};
+  * non-metadata timestamps are monotone in file order (the exporter
+    emits a stable ts-sort);
+  * per (pid, tid) track, B/E spans balance like a stack: every E
+    matches the innermost open B by name, job spans ("job <id>[...]")
+    open only at depth 0, pass spans only nest inside a job span, and
+    no span is left open at end of file;
+  * "i" instants live on the synthetic service process (pid 0) except
+    per-compile cache marks, which sit on their shard's track.
+
+Exit code 0 when the trace is clean (prints a one-line summary),
+1 with one line per violation otherwise.  CI runs this on the trace
+the bench_service soak leg exports.
+
+Usage: trace_lint.py TRACE.json
+"""
+
+import json
+import sys
+
+
+def lint(path):
+    errors = []
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            trace = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: unreadable or invalid JSON: {exc}"], {}
+
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return [f"{path}: no \"traceEvents\" list"], {}
+
+    stacks = {}  # (pid, tid) -> [span name, ...]
+    counts = {"B": 0, "E": 0, "i": 0, "M": 0}
+    last_ts = None
+    for n, event in enumerate(events):
+        where = f"event {n}"
+        missing = [k for k in ("name", "ph", "ts", "pid", "tid")
+                   if k not in event]
+        if missing:
+            errors.append(f"{where}: missing {', '.join(missing)}")
+            continue
+        name, ph = event["name"], event["ph"]
+        track = (event["pid"], event["tid"])
+        if ph not in counts:
+            errors.append(f"{where}: unknown phase {ph!r}")
+            continue
+        counts[ph] += 1
+        if ph == "M":
+            continue
+
+        ts = event["ts"]
+        if last_ts is not None and ts < last_ts:
+            errors.append(
+                f"{where}: ts {ts} < previous {last_ts} "
+                "(exporter must emit a stable ts-sort)")
+        last_ts = ts
+
+        stack = stacks.setdefault(track, [])
+        if ph == "B":
+            if name.startswith("job ") and stack:
+                errors.append(
+                    f"{where}: job span {name!r} opens inside "
+                    f"{stack[-1]!r} on track {track}")
+            if not name.startswith("job ") and not stack:
+                errors.append(
+                    f"{where}: pass span {name!r} opens outside any "
+                    f"job span on track {track}")
+            stack.append(name)
+        elif ph == "E":
+            if not stack:
+                errors.append(
+                    f"{where}: E {name!r} with no open span on track "
+                    f"{track}")
+            elif stack[-1] != name:
+                errors.append(
+                    f"{where}: E {name!r} does not match innermost "
+                    f"open span {stack[-1]!r} on track {track}")
+            else:
+                stack.pop()
+        elif ph == "i":
+            # Lifecycle instants live on pid 0; cache marks on shards.
+            if name != "cache" and event["pid"] != 0:
+                errors.append(
+                    f"{where}: instant {name!r} on pid {event['pid']} "
+                    "(lifecycle instants belong to the service pid 0)")
+
+    for track, stack in sorted(stacks.items()):
+        for name in stack:
+            errors.append(f"end of file: span {name!r} still open on "
+                          f"track {track}")
+    if counts["B"] != counts["E"]:
+        errors.append(
+            f"unbalanced spans: {counts['B']} B vs {counts['E']} E")
+    return errors, counts
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__.strip().splitlines()[-1], file=sys.stderr)
+        return 2
+    path = argv[1]
+    errors, counts = lint(path)
+    if errors:
+        for error in errors:
+            print(f"trace_lint: {path}: {error}", file=sys.stderr)
+        return 1
+    print(f"trace_lint: {path}: OK "
+          f"({counts.get('B', 0)} spans, {counts.get('i', 0)} instants, "
+          f"{counts.get('M', 0)} metadata)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -29,6 +29,7 @@
 #include "compiler/routing_strategy.h"
 #include "device/device.h"
 #include "isa/gate_set.h"
+#include "metrics/event_stream.h"
 #include "metrics/metrics.h"
 #include "nuop/decomposer.h"
 #include "sim/noise_model.h"
@@ -84,6 +85,26 @@ struct CompileOptions
      * only trades latency of one job against throughput of many.
      */
     size_t intra_circuit_parallelism = 0;
+};
+
+/**
+ * Telemetry identity of one compile: where PassBegin/PassComplete
+ * packets published while it runs should be attributed. The service
+ * stacks one per dispatched circuit; a null stream (or a null
+ * CompilationContext::telemetry, the default everywhere outside the
+ * service) disables pass events entirely — the compile hot path pays
+ * one branch.
+ */
+struct CompileTelemetry
+{
+    /** Destination stream; null disables publishing. */
+    EventStream* stream = nullptr;
+    /** Service-wide job id (CompileJob::id). */
+    uint64_t job = 0;
+    /** Circuit index within the job. */
+    int32_t circuit = -1;
+    /** Fleet shard the compile runs on. */
+    int32_t shard = -1;
 };
 
 /** Fully compiled circuit with everything needed to simulate it. */
@@ -189,6 +210,13 @@ class CompilationContext
     double estimated_fidelity = 1.0;
 
     // ----- metrics & diagnostics --------------------------------------
+    /**
+     * Telemetry identity of this compile (may be null, the default):
+     * when set, the PassManager publishes PassBegin/PassComplete
+     * packets onto its stream as passes run. The pointee must outlive
+     * the pipeline run; the service keeps one on the worker's stack.
+     */
+    const CompileTelemetry* telemetry = nullptr;
     /** Per-pass records, appended by the PassManager as passes run. */
     std::vector<PassMetric> pass_metrics;
     std::vector<std::string> diagnostics;

@@ -74,18 +74,58 @@ PassManager::passNames() const
     return names;
 }
 
+namespace {
+
+/**
+ * Publish one pass-span packet. `telemetry` is the compile's identity
+ * (job/circuit/shard); a null stream was filtered by the caller.
+ */
+void
+publishPassEvent(const CompileTelemetry& telemetry,
+                 ServiceEventType type, int32_t pass_id,
+                 double wall_ms)
+{
+    ServiceEvent event;
+    event.type = type;
+    event.job = telemetry.job;
+    event.circuit = telemetry.circuit;
+    event.shard = telemetry.shard;
+    event.pass = pass_id;
+    event.worker = EventStream::currentWorker();
+    event.a = wall_ms;
+    telemetry.stream->publishNow(event);
+}
+
+} // namespace
+
 void
 PassManager::run(CompilationContext& context) const
 {
+    const CompileTelemetry* telemetry =
+        context.telemetry && context.telemetry->stream
+            ? context.telemetry
+            : nullptr;
     for (const auto& pass : passes_) {
         size_t index = context.pass_metrics.size();
         context.pass_metrics.push_back(PassMetric{pass->name(), 0.0, {}});
         size_t previous = context.current_index_;
         context.current_index_ = index;
+        int32_t pass_id = -1;
+        if (telemetry) {
+            pass_id = telemetry->stream->passId(pass->name());
+            publishPassEvent(*telemetry, ServiceEventType::PassBegin,
+                             pass_id, 0.0);
+        }
         auto start = std::chrono::steady_clock::now();
         try {
             pass->run(context);
         } catch (...) {
+            // Keep B/E spans balanced even when the pass throws; the
+            // Complete packet the service publishes carries ok=0.
+            if (telemetry)
+                publishPassEvent(*telemetry,
+                                 ServiceEventType::PassComplete,
+                                 pass_id, 0.0);
             context.current_index_ = previous;
             throw;
         }
@@ -93,6 +133,9 @@ PassManager::run(CompilationContext& context) const
         context.pass_metrics[index].wall_ms =
             std::chrono::duration<double, std::milli>(end - start)
                 .count();
+        if (telemetry)
+            publishPassEvent(*telemetry, ServiceEventType::PassComplete,
+                             pass_id, context.pass_metrics[index].wall_ms);
         context.current_index_ = previous;
     }
 }

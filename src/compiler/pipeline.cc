@@ -10,10 +10,12 @@ namespace qiset {
 CompileResult
 runCompilePipeline(const Circuit& app, const Device& device,
                    const GateSet& gate_set, ProfileCache& cache,
-                   const CompileOptions& options, ThreadPool* pool)
+                   const CompileOptions& options, ThreadPool* pool,
+                   const CompileTelemetry* telemetry)
 {
     CompilationContext context(app, device, gate_set, options, cache,
                                pool);
+    context.telemetry = telemetry;
     defaultPipeline(options).run(context);
     return context.takeResult();
 }

@@ -36,12 +36,20 @@ namespace qiset {
  * CompileService executes per admitted circuit; almost every caller
  * wants compileCircuit() (the service-routed wrapper, same results
  * bit-for-bit) instead.
+ *
+ * `telemetry` (optional) attributes PassBegin/PassComplete packets to
+ * a service job on an EventStream (see metrics/event_stream.h); null
+ * — the default everywhere outside the service — publishes nothing
+ * and costs one branch per pass. Telemetry never affects compile
+ * results.
  */
 CompileResult runCompilePipeline(const Circuit& app, const Device& device,
                                  const GateSet& gate_set,
                                  ProfileCache& cache,
                                  const CompileOptions& options,
-                                 ThreadPool* pool = nullptr);
+                                 ThreadPool* pool = nullptr,
+                                 const CompileTelemetry* telemetry =
+                                     nullptr);
 
 /**
  * Compile an application circuit for a device and instruction set by

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
+#include <thread>
 
 #include "common/error.h"
 #include "metrics/metrics.h"
@@ -27,6 +28,23 @@ msSince(Clock::time_point start)
 {
     return std::chrono::duration<double, std::milli>(Clock::now() - start)
         .count();
+}
+
+/** Sum the translation pass's shared-cache counters of one compile. */
+void
+cacheTraffic(const std::vector<PassMetric>& metrics, double& hits,
+             double& misses)
+{
+    for (const PassMetric& metric : metrics) {
+        if (metric.pass != "translation")
+            continue;
+        auto hit = metric.counters.find("cache_hits");
+        if (hit != metric.counters.end())
+            hits += hit->second;
+        auto miss = metric.counters.find("cache_misses");
+        if (miss != metric.counters.end())
+            misses += miss->second;
+    }
 }
 
 } // namespace
@@ -75,6 +93,12 @@ struct CompileJob::State
     std::vector<uint64_t> dispatch_seq;
     std::vector<char> compiled;
     std::exception_ptr error;
+    /**
+     * Completion callbacks not yet fired. Appended under m; swapped
+     * out (again under m) and invoked with no lock held once the job
+     * is terminal, so each runs exactly once.
+     */
+    std::vector<std::function<void(CompileJob)>> callbacks;
 
     bool terminalLocked() const
     {
@@ -169,6 +193,12 @@ struct CompileService::Impl
     /** Worker pool (owned or borrowed); null => inline execution. */
     ThreadPool* pool = nullptr;
     size_t max_inflight = 1;
+    /** Borrowed event stream; null publishes nothing. */
+    EventStream* events = nullptr;
+    /** Active cost model (opts.cost_model, or owned_model when the
+     *  planner knob asks for one); null observes nothing. */
+    CompileCostModel owned_model;
+    CompileCostModel* cost_model = nullptr;
 
     mutable std::mutex m;
     std::condition_variable idle_cv;
@@ -200,6 +230,25 @@ struct CompileService::Impl
     uint64_t failed_jobs = 0;
     uint64_t cancelled_jobs = 0;
 
+    /**
+     * Jobs that turned terminal with callbacks still registered
+     * (guarded by m). Every path that can finalize a job drains this
+     * via fireReadyCallbacks() after releasing m, so callbacks never
+     * run under a service or job lock.
+     */
+    std::vector<std::shared_ptr<CompileJob::State>> ready_callbacks;
+    /** Threads currently inside fireReadyCallbacks' invoke loop
+     *  (guarded by m); shutdown() drains to zero so no callback ever
+     *  outlives the service. */
+    size_t callback_firers = 0;
+
+    // Periodic shardTelemetry() publisher (separate mutex: the thread
+    // must be stoppable without touching the heavily-contended m).
+    std::thread publisher;
+    std::mutex pub_m;
+    std::condition_variable pub_cv;
+    bool pub_stop = false;
+
     /** True when a dispatches before b (FIFO within priority). */
     static bool dispatchesBefore(const QueueEntry& a, const QueueEntry& b)
     {
@@ -223,11 +272,36 @@ struct CompileService::Impl
     }
 
     /**
-     * Finalize a job whose circuits are all accounted for. Both the
-     * service mutex and the job mutex must be held.
+     * Fill the identity fields and publish one packet; no-op without
+     * a stream. Lock-free — safe under any lock.
      */
-    void maybeFinalizeJobLocked(CompileJob::State& job)
+    void publishEvent(ServiceEventType type, uint64_t job,
+                      int32_t circuit, int32_t shard, double a = 0.0,
+                      double b = 0.0)
     {
+        if (!events)
+            return;
+        ServiceEvent event;
+        event.type = type;
+        event.job = job;
+        event.circuit = circuit;
+        event.shard = shard;
+        event.worker = EventStream::currentWorker();
+        event.a = a;
+        event.b = b;
+        events->publishNow(event);
+    }
+
+    /**
+     * Finalize a job whose circuits are all accounted for. Both the
+     * service mutex and the job mutex must be held. A finalized job
+     * with registered callbacks lands on ready_callbacks; the caller
+     * must fireReadyCallbacks() after releasing every lock.
+     */
+    void maybeFinalizeJobLocked(
+        const std::shared_ptr<CompileJob::State>& job_ptr)
+    {
+        CompileJob::State& job = *job_ptr;
         if (job.accounted < job.circuits.size() || job.terminalLocked())
             return;
         if (job.error) {
@@ -241,6 +315,41 @@ struct CompileService::Impl
             ++cancelled_jobs;
         }
         job.cv.notify_all();
+        if (!job.callbacks.empty())
+            ready_callbacks.push_back(job_ptr);
+    }
+
+    /**
+     * Invoke the completion callbacks of every newly-terminal job.
+     * Must be called with no service or job lock held; safe to call
+     * concurrently (each callback still runs exactly once, because
+     * both the ready list and each job's callback list are swapped
+     * out under their mutex before any invocation).
+     */
+    void fireReadyCallbacks()
+    {
+        std::vector<std::shared_ptr<CompileJob::State>> ready;
+        {
+            std::lock_guard<std::mutex> lock(m);
+            if (ready_callbacks.empty())
+                return;
+            ready.swap(ready_callbacks);
+            ++callback_firers;
+        }
+        for (const auto& job : ready) {
+            std::vector<std::function<void(CompileJob)>> callbacks;
+            {
+                std::lock_guard<std::mutex> jl(job->m);
+                callbacks.swap(job->callbacks);
+            }
+            for (const auto& callback : callbacks)
+                callback(CompileJob(job));
+        }
+        {
+            std::lock_guard<std::mutex> lock(m);
+            --callback_firers;
+        }
+        idle_cv.notify_all();
     }
 
     /** Dispatch queued entries while capacity allows (m held). */
@@ -273,12 +382,16 @@ struct CompileService::Impl
                        entry.job->error != nullptr;
                 if (skip) {
                     ++entry.job->accounted;
-                    maybeFinalizeJobLocked(*entry.job);
+                    maybeFinalizeJobLocked(entry.job);
                 } else {
                     markDispatchedLocked(*entry.job, entry.index);
                 }
             }
             if (skip) {
+                publishEvent(ServiceEventType::Cancel, entry.job->id,
+                             static_cast<int32_t>(entry.index),
+                             entry.job->plan.assignments[entry.index]
+                                 .shard);
                 releaseBacklogLocked(entry);
                 idle_cv.notify_all();
                 continue;
@@ -315,6 +428,16 @@ struct CompileService::Impl
             fleet.shard(static_cast<size_t>(assignment.shard));
         const CompileOptions& options =
             entry.job->options ? *entry.job->options : shard.options;
+        // Dispatch is published here, on the worker, so the trace's
+        // job span opens on the track that actually runs it.
+        publishEvent(ServiceEventType::Dispatch, entry.job->id,
+                     static_cast<int32_t>(entry.index),
+                     assignment.shard);
+        CompileTelemetry telemetry;
+        telemetry.stream = events;
+        telemetry.job = entry.job->id;
+        telemetry.circuit = static_cast<int32_t>(entry.index);
+        telemetry.shard = assignment.shard;
         // Async workers fan a single circuit's decompositions across
         // the same pool: parallelFor is cooperative (the worker claims
         // indices itself; it never waits on the pool), so a lone large
@@ -332,7 +455,8 @@ struct CompileService::Impl
         try {
             result = runCompilePipeline(entry.job->circuits[entry.index],
                                         shard.device, gate_set, *cache,
-                                        options, inner);
+                                        options, inner,
+                                        events ? &telemetry : nullptr);
         } catch (...) {
             error = std::current_exception();
         }
@@ -345,50 +469,133 @@ struct CompileService::Impl
      */
     void skipEntry(const QueueEntry& entry)
     {
-        std::lock_guard<std::mutex> lock(m);
-        releaseBacklogLocked(entry);
+        publishEvent(ServiceEventType::Cancel, entry.job->id,
+                     static_cast<int32_t>(entry.index),
+                     entry.job->plan.assignments[entry.index].shard);
         {
-            std::lock_guard<std::mutex> jl(entry.job->m);
-            ++entry.job->accounted;
-            maybeFinalizeJobLocked(*entry.job);
+            std::lock_guard<std::mutex> lock(m);
+            releaseBacklogLocked(entry);
+            {
+                std::lock_guard<std::mutex> jl(entry.job->m);
+                ++entry.job->accounted;
+                maybeFinalizeJobLocked(entry.job);
+            }
+            --in_flight;
+            idle_cv.notify_all();
         }
-        --in_flight;
-        idle_cv.notify_all();
+        fireReadyCallbacks();
     }
 
     void finishEntry(const QueueEntry& entry, CompileResult result,
                      std::exception_ptr error, double wall_ms)
     {
-        std::lock_guard<std::mutex> lock(m);
-        releaseBacklogLocked(entry);
-        size_t s = static_cast<size_t>(
-            entry.job->plan.assignments[entry.index].shard);
-        if (!error) {
-            ShardAccum& acc = shard_accum[s];
-            ++acc.completed;
-            acc.wall_ms += totalWallMs(result.pass_metrics);
-            acc.swaps += result.swaps_inserted;
-            acc.est_fid_sum += result.estimated_fidelity;
-            accumulatePassMetrics(acc.pass_rollup, result.pass_metrics);
+        const ShardAssignment& assignment =
+            entry.job->plan.assignments[entry.index];
+        size_t s = static_cast<size_t>(assignment.shard);
+
+        // Telemetry and model feedback before any lock: the cost model
+        // has its own mutex, and the packets come from the finishing
+        // worker's thread (its trace track).
+        double hits = 0.0, misses = 0.0;
+        if (!error)
+            cacheTraffic(result.pass_metrics, hits, misses);
+        if (cost_model && !error) {
+            cost_model->observeCompile(assignment.features, wall_ms,
+                                       static_cast<uint64_t>(hits),
+                                       static_cast<uint64_t>(misses));
+            for (const PassMetric& metric : result.pass_metrics)
+                cost_model->observePass(metric.pass, assignment.features,
+                                        metric.wall_ms);
         }
+        if (!error && hits + misses > 0.0)
+            publishEvent(ServiceEventType::CacheStats, entry.job->id,
+                         static_cast<int32_t>(entry.index),
+                         assignment.shard, hits, misses);
+        publishEvent(ServiceEventType::Complete, entry.job->id,
+                     static_cast<int32_t>(entry.index), assignment.shard,
+                     wall_ms, error ? 0.0 : 1.0);
+
         {
-            std::lock_guard<std::mutex> jl(entry.job->m);
-            CompileJob::State& job = *entry.job;
-            if (error) {
-                if (!job.error)
-                    job.error = error;
-            } else {
-                job.results[entry.index] = std::move(result);
-                job.compiled[entry.index] = 1;
-                ++job.compiled_count;
+            std::lock_guard<std::mutex> lock(m);
+            releaseBacklogLocked(entry);
+            if (!error) {
+                ShardAccum& acc = shard_accum[s];
+                ++acc.completed;
+                acc.wall_ms += totalWallMs(result.pass_metrics);
+                acc.swaps += result.swaps_inserted;
+                acc.est_fid_sum += result.estimated_fidelity;
+                accumulatePassMetrics(acc.pass_rollup,
+                                      result.pass_metrics);
             }
-            job.wall_ms[entry.index] = wall_ms;
-            ++job.accounted;
-            maybeFinalizeJobLocked(job);
+            {
+                std::lock_guard<std::mutex> jl(entry.job->m);
+                CompileJob::State& job = *entry.job;
+                if (error) {
+                    if (!job.error)
+                        job.error = error;
+                } else {
+                    job.results[entry.index] = std::move(result);
+                    job.compiled[entry.index] = 1;
+                    ++job.compiled_count;
+                }
+                job.wall_ms[entry.index] = wall_ms;
+                ++job.accounted;
+                maybeFinalizeJobLocked(entry.job);
+            }
+            --in_flight;
+            pumpLocked();
+            idle_cv.notify_all();
         }
-        --in_flight;
-        pumpLocked();
-        idle_cv.notify_all();
+        fireReadyCallbacks();
+    }
+
+    /** shardTelemetry() body, shared with the publisher thread. */
+    std::vector<PassMetric> shardTelemetrySnapshot() const
+    {
+        std::lock_guard<std::mutex> lock(m);
+        std::vector<PassMetric> out;
+        out.reserve(fleet.size());
+        for (size_t s = 0; s < fleet.size(); ++s) {
+            const ShardAccum& acc = shard_accum[s];
+            PassMetric metric{"shard:" + fleet.shard(s).name,
+                              acc.wall_ms,
+                              {}};
+            metric.counters["assigned"] =
+                static_cast<double>(acc.assigned);
+            metric.counters["completed"] =
+                static_cast<double>(acc.completed);
+            metric.counters["queue_ns"] = admitted_ns[s];
+            metric.counters["backlog_ns"] = backlog_ns[s];
+            metric.counters["swaps_inserted"] = acc.swaps;
+            if (acc.completed > 0)
+                metric.counters["mean_estimated_fidelity"] =
+                    acc.est_fid_sum / acc.completed;
+            if (acc.assigned > 0)
+                metric.counters["mean_predicted_fidelity"] =
+                    acc.pred_fid_sum / acc.assigned;
+            out.push_back(std::move(metric));
+        }
+        return out;
+    }
+
+    /** Publisher thread: deliver periodic snapshots to the sink. */
+    void publisherLoop()
+    {
+        std::unique_lock<std::mutex> lock(pub_m);
+        while (!pub_stop) {
+            pub_cv.wait_for(lock,
+                            std::chrono::duration<double, std::milli>(
+                                opts.telemetry_interval_ms),
+                            [this] { return pub_stop; });
+            if (pub_stop)
+                return;
+            lock.unlock();
+            // The sink runs outside pub_m and m (the snapshot takes m
+            // only while copying), so it may call back into the
+            // service.
+            opts.telemetry_sink(shardTelemetrySnapshot());
+            lock.lock();
+        }
     }
 };
 
@@ -423,6 +630,40 @@ CompileJob::wait() const
     std::unique_lock<std::mutex> lock(state_->m);
     state_->cv.wait(lock, [this] { return state_->terminalLocked(); });
     return state_->status;
+}
+
+JobStatus
+CompileJob::waitFor(double timeout_ms) const
+{
+    QISET_REQUIRE(state_, "waitFor() on an invalid CompileJob");
+    std::unique_lock<std::mutex> lock(state_->m);
+    // An expired deadline answers immediately — never charge the
+    // caller a dispatch cycle for asking about the present.
+    if (timeout_ms <= 0.0 || state_->terminalLocked())
+        return state_->status;
+    state_->cv.wait_for(
+        lock, std::chrono::duration<double, std::milli>(timeout_ms),
+        [this] { return state_->terminalLocked(); });
+    return state_->status;
+}
+
+void
+CompileJob::onComplete(std::function<void(CompileJob)> callback)
+{
+    QISET_REQUIRE(state_, "onComplete() on an invalid CompileJob");
+    QISET_REQUIRE(callback != nullptr,
+                  "onComplete() needs a non-empty callback");
+    {
+        std::lock_guard<std::mutex> lock(state_->m);
+        if (!state_->terminalLocked()) {
+            state_->callbacks.push_back(std::move(callback));
+            return;
+        }
+    }
+    // Already terminal: run here, outside the lock, so registration
+    // can never miss the completion (and never deadlocks a callback
+    // that touches the job).
+    callback(*this);
 }
 
 const std::vector<CompileResult>&
@@ -513,30 +754,38 @@ CompileJob::cancel()
         // state; there is nothing left to cancel.
         return false;
     }
-    std::lock_guard<std::mutex> lock(impl->m);
-    std::lock_guard<std::mutex> jl(state_->m);
-    if (state_->terminalLocked())
-        return false;
-    state_->cancel_requested = true;
-
-    // Drop this job's still-queued circuits and release their backlog.
     size_t dropped = 0;
-    for (auto& queue : impl->queues) {
-        auto it = queue.begin();
-        while (it != queue.end()) {
-            if (it->job.get() != state_.get()) {
-                ++it;
-                continue;
+    {
+        std::lock_guard<std::mutex> lock(impl->m);
+        std::lock_guard<std::mutex> jl(state_->m);
+        if (state_->terminalLocked())
+            return false;
+        state_->cancel_requested = true;
+
+        // Drop this job's still-queued circuits and release their
+        // backlog.
+        for (auto& queue : impl->queues) {
+            auto it = queue.begin();
+            while (it != queue.end()) {
+                if (it->job.get() != state_.get()) {
+                    ++it;
+                    continue;
+                }
+                impl->publishEvent(
+                    ServiceEventType::Cancel, state_->id,
+                    static_cast<int32_t>(it->index),
+                    state_->plan.assignments[it->index].shard);
+                impl->releaseBacklogLocked(*it);
+                ++state_->accounted;
+                ++dropped;
+                --impl->queued;
+                it = queue.erase(it);
             }
-            impl->releaseBacklogLocked(*it);
-            ++state_->accounted;
-            ++dropped;
-            --impl->queued;
-            it = queue.erase(it);
         }
+        impl->maybeFinalizeJobLocked(state_);
+        impl->idle_cv.notify_all();
     }
-    impl->maybeFinalizeJobLocked(*state_);
-    impl->idle_cv.notify_all();
+    impl->fireReadyCallbacks();
     return dropped > 0;
 }
 
@@ -609,6 +858,23 @@ CompileService::CompileService(DeviceFleet fleet, GateSet gate_set,
     impl_->backlog_ns.assign(shards, 0.0);
     impl_->admitted_ns.assign(shards, 0.0);
     impl_->shard_accum.resize(shards);
+
+    impl_->events = impl_->opts.events;
+    // A borrowed model always observes (and steers only when the
+    // planner knob is on); asking for the knob without providing one
+    // makes the service own a model.
+    impl_->cost_model =
+        impl_->opts.cost_model
+            ? impl_->opts.cost_model
+            : (impl_->opts.planner.use_cost_model ? &impl_->owned_model
+                                                  : nullptr);
+
+    if (impl_->opts.telemetry_interval_ms > 0.0 &&
+        impl_->opts.telemetry_sink) {
+        // Raw capture is safe: shutdown() joins before impl_ dies.
+        Impl* impl = impl_.get();
+        impl_->publisher = std::thread([impl] { impl->publisherLoop(); });
+    }
 }
 
 CompileService::~CompileService()
@@ -640,19 +906,23 @@ CompileService::submit(CompileRequest request)
     state->priority = request.priority;
     state->tag = std::move(request.tag);
     state->service = impl_;
+    if (request.on_complete)
+        state->callbacks.push_back(std::move(request.on_complete));
 
     std::unique_lock<std::mutex> lock(impl_->m);
     QISET_REQUIRE(!impl_->stopping,
                   "submit() on a CompileService that was shut down");
     state->id = impl_->next_job_id++;
     state->submit_time = Clock::now();
+    impl_->publishEvent(ServiceEventType::Submit, state->id, -1, -1,
+                        static_cast<double>(state->circuits.size()));
     // Re-plan on arrival against the current predicted backlog: the
     // plan is cheap and deterministic, and load-balances new work away
     // from busy shards.
     state->plan =
         planShardAssignments(state->circuits, impl_->fleet,
                              impl_->gate_set, impl_->opts.planner,
-                             impl_->backlog_ns);
+                             impl_->backlog_ns, impl_->cost_model);
     ++impl_->submitted;
 
     size_t n = state->circuits.size();
@@ -679,18 +949,32 @@ CompileService::submit(CompileRequest request)
                 reject = true;
     if (reject) {
         ++impl_->rejected;
-        std::lock_guard<std::mutex> jl(state->m);
-        state->status = JobStatus::Rejected;
-        state->cv.notify_all();
+        impl_->publishEvent(ServiceEventType::Reject, state->id, -1, -1,
+                            static_cast<double>(n));
+        {
+            std::lock_guard<std::mutex> jl(state->m);
+            state->status = JobStatus::Rejected;
+            state->cv.notify_all();
+            if (!state->callbacks.empty())
+                impl_->ready_callbacks.push_back(state);
+        }
+        lock.unlock();
+        impl_->fireReadyCallbacks();
         return CompileJob(std::move(state));
     }
 
     ++impl_->admitted_jobs;
     if (n == 0) {
         ++impl_->completed_jobs;
-        std::lock_guard<std::mutex> jl(state->m);
-        state->status = JobStatus::Done;
-        state->cv.notify_all();
+        {
+            std::lock_guard<std::mutex> jl(state->m);
+            state->status = JobStatus::Done;
+            state->cv.notify_all();
+            if (!state->callbacks.empty())
+                impl_->ready_callbacks.push_back(state);
+        }
+        lock.unlock();
+        impl_->fireReadyCallbacks();
         return CompileJob(std::move(state));
     }
 
@@ -705,6 +989,10 @@ CompileService::submit(CompileRequest request)
             impl_->shard_accum[static_cast<size_t>(a.shard)];
         ++acc.assigned;
         acc.pred_fid_sum += a.predicted_fidelity;
+        impl_->publishEvent(ServiceEventType::Admit, state->id,
+                            static_cast<int32_t>(c), a.shard,
+                            a.predicted_duration_ns,
+                            a.predicted_fidelity);
     }
 
     if (impl_->pool) {
@@ -712,6 +1000,8 @@ CompileService::submit(CompileRequest request)
             impl_->enqueueLocked(Impl::QueueEntry{
                 state, c, state->priority, impl_->next_entry_seq++});
         impl_->pumpLocked();
+        lock.unlock();
+        impl_->fireReadyCallbacks();
         return CompileJob(std::move(state));
     }
 
@@ -755,9 +1045,12 @@ CompileService::pause()
 void
 CompileService::resume()
 {
-    std::lock_guard<std::mutex> lock(impl_->m);
-    impl_->paused = false;
-    impl_->pumpLocked();
+    {
+        std::lock_guard<std::mutex> lock(impl_->m);
+        impl_->paused = false;
+        impl_->pumpLocked();
+    }
+    impl_->fireReadyCallbacks();
 }
 
 void
@@ -777,6 +1070,30 @@ CompileService::shutdown()
             impl_->cache_saved = true;
             save = true;
         }
+    }
+    // The drain can finalize jobs whose callbacks nothing else will
+    // fire (e.g. cancelled work skipped by the pump).
+    impl_->fireReadyCallbacks();
+    {
+        // Workers decrement in_flight before invoking callbacks, so
+        // also wait until every firing thread has finished: after
+        // shutdown() no callback is running or pending.
+        std::unique_lock<std::mutex> lock(impl_->m);
+        impl_->idle_cv.wait(lock, [this] {
+            return impl_->ready_callbacks.empty() &&
+                   impl_->callback_firers == 0;
+        });
+    }
+    {
+        std::lock_guard<std::mutex> pl(impl_->pub_m);
+        impl_->pub_stop = true;
+    }
+    impl_->pub_cv.notify_all();
+    if (impl_->publisher.joinable()) {
+        impl_->publisher.join();
+        // One final snapshot so the sink always sees the drained end
+        // state (fires once: joinable() is false from here on).
+        impl_->opts.telemetry_sink(impl_->shardTelemetrySnapshot());
     }
     if (save)
         impl_->owned_cache.save(
@@ -806,30 +1123,7 @@ CompileService::stats() const
 std::vector<PassMetric>
 CompileService::shardTelemetry() const
 {
-    std::lock_guard<std::mutex> lock(impl_->m);
-    std::vector<PassMetric> out;
-    out.reserve(impl_->fleet.size());
-    for (size_t s = 0; s < impl_->fleet.size(); ++s) {
-        const Impl::ShardAccum& acc = impl_->shard_accum[s];
-        PassMetric metric{"shard:" + impl_->fleet.shard(s).name,
-                          acc.wall_ms,
-                          {}};
-        metric.counters["assigned"] =
-            static_cast<double>(acc.assigned);
-        metric.counters["completed"] =
-            static_cast<double>(acc.completed);
-        metric.counters["queue_ns"] = impl_->admitted_ns[s];
-        metric.counters["backlog_ns"] = impl_->backlog_ns[s];
-        metric.counters["swaps_inserted"] = acc.swaps;
-        if (acc.completed > 0)
-            metric.counters["mean_estimated_fidelity"] =
-                acc.est_fid_sum / acc.completed;
-        if (acc.assigned > 0)
-            metric.counters["mean_predicted_fidelity"] =
-                acc.pred_fid_sum / acc.assigned;
-        out.push_back(std::move(metric));
-    }
-    return out;
+    return impl_->shardTelemetrySnapshot();
 }
 
 std::vector<std::vector<PassMetric>>
@@ -859,6 +1153,12 @@ ProfileCache&
 CompileService::profileCache()
 {
     return *impl_->cache;
+}
+
+CompileCostModel*
+CompileService::costModel()
+{
+    return impl_->cost_model;
 }
 
 } // namespace qiset

@@ -7,11 +7,19 @@
  * many concurrent clients on top of the shard planner's queues.
  *
  * Clients build a CompileRequest (circuits + optional per-request
- * CompileOptions + QoS hints: priority, deadline) and submit() it to a
- * CompileService, getting back a CompileJob — a future-like handle
- * with wait()/poll()/cancel() and per-job telemetry (queue wait,
- * per-circuit shard assignment, cache hit ratio, accumulated
- * PassMetric roll-up). Internally the service owns a DeviceFleet, one
+ * CompileOptions + QoS hints: priority, deadline; optionally an
+ * on_complete callback — the primary completion pattern) and submit()
+ * it to a CompileService, getting back a CompileJob — a future-like
+ * handle with onComplete()/wait()/waitFor()/poll()/cancel() and
+ * per-job telemetry (queue wait, per-circuit shard assignment, cache
+ * hit ratio, accumulated PassMetric roll-up). Observability is
+ * streaming: an optional EventStream receives one lock-free packet
+ * per lifecycle transition and per compiler pass (exportable as a
+ * Chrome trace, metrics/trace_export.h), a periodic publisher can
+ * push shardTelemetry() snapshots to a sink, and an online cost model
+ * (metrics/cost_model.h) learns compile wall-clock from finished work
+ * and — behind ShardPlannerOptions::use_cost_model, default off —
+ * feeds predictions back into admission planning. Internally the service owns a DeviceFleet, one
  * shared persistable ProfileCache, a worker ThreadPool, and per-shard
  * admission queues keyed by the planner's predicted queue_ns:
  * arriving requests are re-planned against the current backlog (the
@@ -28,16 +36,19 @@
  */
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "compiler/shard.h"
+#include "metrics/event_stream.h"
 
 namespace qiset {
 
 class CompileService;
+class CompileJob;
 
 /** Lifecycle states of a CompileJob. */
 enum class JobStatus
@@ -83,6 +94,19 @@ struct CompileRequest
     double deadline_ns = 0.0;
     /** Client label carried into telemetry. */
     std::string tag;
+    /**
+     * Completion callback, invoked exactly once when the job reaches a
+     * terminal state (Done / Cancelled / Failed / Rejected — check the
+     * handle's poll()). The primary completion pattern: no poll loop,
+     * no blocked waiter thread. Runs outside every service and job
+     * lock — on the worker that finished the last circuit (async), on
+     * the submitting thread (inline mode, rejections, empty requests),
+     * or on the draining thread at shutdown. Any service method except
+     * shutdown() may be called from inside it; keep it brief, it runs
+     * on a compile worker. See also CompileJob::onComplete for
+     * registering after submission.
+     */
+    std::function<void(CompileJob)> on_complete;
 };
 
 /** ShardedBatchResult-style aggregate statistics of one job. */
@@ -136,6 +160,24 @@ class CompileJob
 
     /** Block until the job reaches a terminal state; returns it. */
     JobStatus wait() const;
+
+    /**
+     * Block until the job is terminal or `timeout_ms` elapses; returns
+     * the status either way (non-terminal = timed out). A non-positive
+     * timeout — including a deadline that already passed before the
+     * call — never blocks: it returns the current status immediately
+     * rather than waiting out a dispatch cycle.
+     */
+    JobStatus waitFor(double timeout_ms) const;
+
+    /**
+     * Register a completion callback on a live handle (same contract
+     * as CompileRequest::on_complete: invoked exactly once, outside
+     * all locks). On an already-terminal job the callback runs
+     * immediately on the calling thread, so registration can never
+     * miss the completion.
+     */
+    void onComplete(std::function<void(CompileJob)> callback);
 
     /**
      * Best-effort cancel: circuits not yet dispatched are dropped
@@ -237,6 +279,34 @@ struct CompileServiceOptions
      * shutdown. No effect on a borrowed cache.
      */
     std::string cache_path;
+    /**
+     * Borrowed event stream (must outlive the service). When set,
+     * every lifecycle transition — submit, per-circuit admit, reject,
+     * dispatch, per-pass begin/complete, cache traffic, complete,
+     * cancel — publishes one fixed-size packet (lock-free, drop-on-
+     * full; see metrics/event_stream.h). Null (the default) publishes
+     * nothing and keeps the hot path untouched. Telemetry never
+     * affects compile results.
+     */
+    EventStream* events = nullptr;
+    /**
+     * Borrowed online cost model (must outlive the service). When set
+     * — or when the service owns one because planner.use_cost_model is
+     * on — every finished compile feeds its measured wall-clock,
+     * per-pass breakdown and cache traffic back into the model, and
+     * arrival re-plans consult it per planner.use_cost_model. A
+     * borrowed model with the planner knob off observes without ever
+     * steering (useful for warming a model offline).
+     */
+    CompileCostModel* cost_model = nullptr;
+    /**
+     * When > 0 (ms) and telemetry_sink is set, a service-owned
+     * publisher thread delivers a shardTelemetry() snapshot to the
+     * sink every interval, plus one final snapshot at shutdown after
+     * the drain. The sink runs outside all service locks.
+     */
+    double telemetry_interval_ms = 0.0;
+    std::function<void(std::vector<PassMetric>)> telemetry_sink;
 };
 
 /** Counter snapshot of a service (all monotonic except gauges). */
@@ -337,6 +407,13 @@ class CompileService
     const GateSet& gateSet() const;
     /** The shared profile cache (owned or borrowed). */
     ProfileCache& profileCache();
+
+    /**
+     * The active cost model (borrowed, or service-owned when
+     * planner.use_cost_model is set without one); null when the
+     * service neither observes nor consults a model.
+     */
+    CompileCostModel* costModel();
 
   private:
     friend class CompileJob;

@@ -172,7 +172,8 @@ ShardPlan
 planShardAssignments(const std::vector<Circuit>& apps,
                      const DeviceFleet& fleet, const GateSet& gate_set,
                      const ShardPlannerOptions& planner,
-                     const std::vector<double>& initial_queue_ns)
+                     const std::vector<double>& initial_queue_ns,
+                     const CompileCostModel* cost_model)
 {
     QISET_REQUIRE(fleet.size() > 0,
                   "cannot plan a sharded batch over an empty fleet");
@@ -207,15 +208,40 @@ planShardAssignments(const std::vector<Circuit>& apps,
         features[c].schedule = Schedule(apps[c]).summary();
     }
 
+    std::vector<CompileCostModel::Features> model_features(apps.size());
+    for (size_t c = 0; c < apps.size(); ++c) {
+        model_features[c].ops = static_cast<double>(apps[c].size());
+        model_features[c].two_q = features[c].two_q;
+        model_features[c].depth = features[c].schedule.depth;
+    }
+
     // All (circuit, shard) candidates up front: cheap (schedule
     // summaries + calibration aggregates), and both policies need the
     // per-pair durations.
     std::vector<std::vector<Candidate>> candidates(apps.size());
     for (size_t c = 0; c < apps.size(); ++c) {
+        // The online cost model's predicted compile wall-clock: a
+        // per-circuit term (the model knows nothing of shards), added
+        // to every feasible candidate so queue_ns reflects the worker
+        // time the compile will actually occupy. A cold model (fewer
+        // than cost_model_min_samples observations) contributes
+        // nothing — the static proxy carries the cold start.
+        double compile_ns = 0.0;
+        if (planner.use_cost_model && cost_model) {
+            double ms = 0.0;
+            if (cost_model->predictCompileMs(
+                    model_features[c], &ms,
+                    planner.cost_model_min_samples))
+                compile_ns = planner.cost_model_weight * ms * 1e6;
+        }
         candidates[c].reserve(fleet.size());
-        for (size_t s = 0; s < fleet.size(); ++s)
-            candidates[c].push_back(scoreCandidate(
-                features[c], aggregates[s], fleet.shard(s).device));
+        for (size_t s = 0; s < fleet.size(); ++s) {
+            Candidate candidate = scoreCandidate(
+                features[c], aggregates[s], fleet.shard(s).device);
+            if (candidate.feasible)
+                candidate.duration_ns += compile_ns;
+            candidates[c].push_back(candidate);
+        }
     }
 
     auto assign = [&](size_t c, size_t s) {
@@ -223,6 +249,7 @@ planShardAssignments(const std::vector<Circuit>& apps,
         plan.assignments[c].shard = static_cast<int>(s);
         plan.assignments[c].predicted_fidelity = candidate.fidelity;
         plan.assignments[c].predicted_duration_ns = candidate.duration_ns;
+        plan.assignments[c].features = model_features[c];
         plan.queues[s].push_back(c);
         plan.queue_ns[s] += candidate.duration_ns;
     };

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "compiler/pipeline.h"
+#include "metrics/cost_model.h"
 
 namespace qiset {
 
@@ -96,6 +97,24 @@ struct ShardPlannerOptions
     double fidelity_weight = 1.0;
     /** Weight of the normalized queue-load penalty. */
     double load_weight = 1.0;
+    /**
+     * Add the online cost model's predicted compile wall-clock (see
+     * metrics/cost_model.h) to every candidate's predicted duration,
+     * making the planner self-calibrating under real traffic: the
+     * compile time the service's workers actually spend — not just
+     * the circuit's own critical path — drives load balancing and
+     * admission. Off by default, and inert until a model is passed to
+     * planShardAssignments (the CompileService does this
+     * automatically); **with the knob off the plan — and therefore
+     * every compile result — is bit-identical to a model-free plan.**
+     */
+    bool use_cost_model = false;
+    /** Scale of the predicted-compile-time term, in queue-ns per
+     *  predicted compile-ns (1.0 = count compile time at par). */
+    double cost_model_weight = 1.0;
+    /** Observations the model needs before its term switches on (the
+     *  static proxy alone carries the cold start). */
+    uint64_t cost_model_min_samples = 16;
 };
 
 /** One circuit's planned placement. */
@@ -105,8 +124,19 @@ struct ShardAssignment
     int shard = -1;
     /** Product-model fidelity estimate on that shard. */
     double predicted_fidelity = 0.0;
-    /** Schedule-derived compile/queue cost estimate on that shard. */
+    /**
+     * Schedule-derived compile/queue cost estimate on that shard
+     * (plus the cost model's predicted compile time, when the planner
+     * runs with use_cost_model and a warmed-up model).
+     */
     double predicted_duration_ns = 0.0;
+    /**
+     * The circuit's workload features (ops / 2Q ops / logical depth),
+     * captured at plan time so the service can feed the compile's
+     * measured wall-clock back into the online cost model without
+     * re-deriving them.
+     */
+    CompileCostModel::Features features;
 };
 
 /** Output of the shard planner. */
@@ -134,6 +164,13 @@ struct ShardPlan
  * every arriving request against its live backlog this way, so the
  * greedy policy steers new work away from busy shards. The returned
  * plan's queue_ns is cumulative (initial load plus this workload).
+ *
+ * `cost_model`, combined with `planner.use_cost_model`, adds the
+ * model's predicted compile wall-clock to every candidate duration
+ * (the term is per-circuit — the model is options-agnostic — so it
+ * shifts load balance and admission backlog, never the relative
+ * fidelity ranking). Null, a cold model, or the knob off leave the
+ * plan bit-identical to the static proxy.
  */
 ShardPlan planShardAssignments(const std::vector<Circuit>& apps,
                                const DeviceFleet& fleet,
@@ -141,7 +178,9 @@ ShardPlan planShardAssignments(const std::vector<Circuit>& apps,
                                const ShardPlannerOptions& planner =
                                    ShardPlannerOptions(),
                                const std::vector<double>&
-                                   initial_queue_ns = {});
+                                   initial_queue_ns = {},
+                               const CompileCostModel* cost_model =
+                                   nullptr);
 
 /**
  * True when two NuOp option sets produce interchangeable cached

@@ -1,0 +1,211 @@
+#include "metrics/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qiset {
+
+OnlineLinearModel::OnlineLinearModel(size_t features, double ridge)
+    : k_(features), ridge_(ridge), xtx_(features * features, 0.0),
+      xty_(features, 0.0)
+{
+}
+
+void
+OnlineLinearModel::observe(const double* x, double y)
+{
+    for (size_t i = 0; i < k_; ++i) {
+        for (size_t j = 0; j < k_; ++j)
+            xtx_[i * k_ + j] += x[i] * x[j];
+        xty_[i] += x[i] * y;
+    }
+    ++samples_;
+    dirty_ = true;
+}
+
+bool
+OnlineLinearModel::solve() const
+{
+    if (samples_ < k_)
+        return false;
+    if (!dirty_)
+        return !weights_.empty();
+
+    // (X^T X + ridge I) w = X^T y, by Gaussian elimination with
+    // partial pivoting — k is 4, this is nanoseconds.
+    std::vector<double> a(xtx_);
+    std::vector<double> b(xty_);
+    for (size_t i = 0; i < k_; ++i)
+        a[i * k_ + i] += ridge_;
+
+    for (size_t col = 0; col < k_; ++col) {
+        size_t pivot = col;
+        for (size_t row = col + 1; row < k_; ++row)
+            if (std::fabs(a[row * k_ + col]) >
+                std::fabs(a[pivot * k_ + col]))
+                pivot = row;
+        if (std::fabs(a[pivot * k_ + col]) < 1e-30)
+            return false;
+        if (pivot != col) {
+            for (size_t j = 0; j < k_; ++j)
+                std::swap(a[col * k_ + j], a[pivot * k_ + j]);
+            std::swap(b[col], b[pivot]);
+        }
+        double inv = 1.0 / a[col * k_ + col];
+        for (size_t row = col + 1; row < k_; ++row) {
+            double f = a[row * k_ + col] * inv;
+            if (f == 0.0)
+                continue;
+            for (size_t j = col; j < k_; ++j)
+                a[row * k_ + j] -= f * a[col * k_ + j];
+            b[row] -= f * b[col];
+        }
+    }
+    weights_.assign(k_, 0.0);
+    for (size_t i = k_; i-- > 0;) {
+        double sum = b[i];
+        for (size_t j = i + 1; j < k_; ++j)
+            sum -= a[i * k_ + j] * weights_[j];
+        weights_[i] = sum / a[i * k_ + i];
+    }
+    dirty_ = false;
+    return true;
+}
+
+bool
+OnlineLinearModel::predict(const double* x, double* prediction) const
+{
+    if (!solve())
+        return false;
+    double y = 0.0;
+    for (size_t i = 0; i < k_; ++i)
+        y += weights_[i] * x[i];
+    *prediction = y;
+    return true;
+}
+
+std::vector<double>
+OnlineLinearModel::weights() const
+{
+    if (!solve())
+        return {};
+    return weights_;
+}
+
+// ------------------------------------------------------ CompileCostModel
+
+void
+CompileCostModel::fill(const Features& features, double* x)
+{
+    x[0] = 1.0;
+    x[1] = features.ops;
+    x[2] = features.two_q;
+    x[3] = features.depth;
+}
+
+void
+CompileCostModel::observeCompile(const Features& features,
+                                 double wall_ms, uint64_t cache_hits,
+                                 uint64_t cache_misses)
+{
+    double x[kFeatures];
+    fill(features, x);
+    std::lock_guard<std::mutex> lock(m_);
+    ++compiles_;
+    total_.observe(x, wall_ms);
+    uint64_t lookups = cache_hits + cache_misses;
+    if (lookups > 0)
+        hit_ratio_.observe(x, static_cast<double>(cache_hits) /
+                                  static_cast<double>(lookups));
+}
+
+void
+CompileCostModel::observePass(const std::string& pass,
+                              const Features& features, double wall_ms)
+{
+    double x[kFeatures];
+    fill(features, x);
+    std::lock_guard<std::mutex> lock(m_);
+    auto it = per_pass_.find(pass);
+    if (it == per_pass_.end())
+        it = per_pass_.emplace(pass, OnlineLinearModel(kFeatures))
+                 .first;
+    it->second.observe(x, wall_ms);
+}
+
+uint64_t
+CompileCostModel::samples() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return compiles_;
+}
+
+bool
+CompileCostModel::predictCompileMs(const Features& features, double* ms,
+                                   uint64_t min_samples) const
+{
+    double x[kFeatures];
+    fill(features, x);
+    std::lock_guard<std::mutex> lock(m_);
+    if (compiles_ < std::max<uint64_t>(min_samples, kFeatures))
+        return false;
+    double prediction = 0.0;
+    if (!total_.predict(x, &prediction))
+        return false;
+    // A fit extrapolated to a tiny circuit can dip below zero; a cost
+    // is never negative.
+    *ms = std::max(0.0, prediction);
+    return true;
+}
+
+bool
+CompileCostModel::predictPassMs(const std::string& pass,
+                                const Features& features, double* ms,
+                                uint64_t min_samples) const
+{
+    double x[kFeatures];
+    fill(features, x);
+    std::lock_guard<std::mutex> lock(m_);
+    auto it = per_pass_.find(pass);
+    if (it == per_pass_.end())
+        return false;
+    if (it->second.samples() < std::max<uint64_t>(min_samples, kFeatures))
+        return false;
+    double prediction = 0.0;
+    if (!it->second.predict(x, &prediction))
+        return false;
+    *ms = std::max(0.0, prediction);
+    return true;
+}
+
+bool
+CompileCostModel::predictHitRatio(const Features& features,
+                                  double* ratio,
+                                  uint64_t min_samples) const
+{
+    double x[kFeatures];
+    fill(features, x);
+    std::lock_guard<std::mutex> lock(m_);
+    if (hit_ratio_.samples() < std::max<uint64_t>(min_samples, kFeatures))
+        return false;
+    double prediction = 0.0;
+    if (!hit_ratio_.predict(x, &prediction))
+        return false;
+    *ratio = std::min(1.0, std::max(0.0, prediction));
+    return true;
+}
+
+std::vector<std::string>
+CompileCostModel::passNames() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    std::vector<std::string> names;
+    names.reserve(per_pass_.size());
+    for (const auto& [name, model] : per_pass_) {
+        (void)model;
+        names.push_back(name);
+    }
+    return names;
+}
+
+} // namespace qiset

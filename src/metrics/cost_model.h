@@ -1,0 +1,158 @@
+#ifndef QISET_METRICS_COST_MODEL_H
+#define QISET_METRICS_COST_MODEL_H
+
+/**
+ * @file
+ * Online compile-cost models fit from service telemetry (the VPMU
+ * idea of pluggable timing models, closed-loop): every finished
+ * compile contributes one observation, and the shard planner can ask
+ * the fitted model for a predicted compile time instead of relying on
+ * its static depth/critical-path proxy alone.
+ *
+ * The fit is streaming ridge-regularized least squares over the
+ * normal equations: observe() accumulates X^T X and X^T y in O(k^2)
+ * (k = 4 features: [1, ops, two_q, depth]) with no sample storage, so
+ * a service can run for days without the model growing. Solutions are
+ * computed lazily (Gaussian elimination on the k x k system) and
+ * cached until the next observation.
+ *
+ * Three model families (see docs/telemetry.md for the equations):
+ *  - per-pass wall-clock:  wall_ms(pass) ~ w . x
+ *  - whole-compile wall-clock:  wall_ms ~ w . x  (what the planner
+ *    consumes, converted to ns)
+ *  - cache hit ratio:  hits/(hits+misses) ~ w . x  (workload mix ->
+ *    expected warm fraction; reported, and usable to derate the
+ *    translation term)
+ *
+ * All methods are thread-safe (one internal mutex; observation and
+ * prediction are microseconds-scale). Determinism: predictions are
+ * pure functions of the observation history, so a planner fed the
+ * same history plans identically — and with the planner knob off the
+ * model is never consulted at all.
+ */
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace qiset {
+
+/**
+ * Streaming least-squares y ~ w . x with ridge regularization.
+ * Not thread-safe by itself; CompileCostModel serializes access.
+ */
+class OnlineLinearModel
+{
+  public:
+    /**
+     * @param features Length of x (including any constant term).
+     * @param ridge Tikhonov weight keeping the normal matrix
+     *        invertible under collinear workloads.
+     */
+    explicit OnlineLinearModel(size_t features, double ridge = 1e-3);
+
+    size_t features() const { return k_; }
+    uint64_t samples() const { return samples_; }
+
+    /** Accumulate one (x, y) observation. */
+    void observe(const double* x, double y);
+
+    /**
+     * Predict y for x. Returns false (prediction untouched) until at
+     * least `features` observations have accumulated.
+     */
+    bool predict(const double* x, double* prediction) const;
+
+    /** Fitted weights (empty until predict() is possible). */
+    std::vector<double> weights() const;
+
+  private:
+    bool solve() const;
+
+    size_t k_;
+    double ridge_;
+    uint64_t samples_ = 0;
+    std::vector<double> xtx_; // row-major k x k
+    std::vector<double> xty_;
+    mutable std::vector<double> weights_;
+    mutable bool dirty_ = true;
+};
+
+/**
+ * The service's closed-loop cost model: per-pass, whole-compile and
+ * cache-hit-ratio fits over simple workload features.
+ */
+class CompileCostModel
+{
+  public:
+    /** Workload features of one circuit (the planner can compute all
+     *  three from a Schedule summary without compiling). */
+    struct Features
+    {
+        /** Total op count. */
+        double ops = 0.0;
+        /** Two-qubit op count. */
+        double two_q = 0.0;
+        /** Logical schedule depth. */
+        double depth = 0.0;
+    };
+
+    /** Feature-vector length including the constant term. */
+    static constexpr size_t kFeatures = 4;
+
+    CompileCostModel() = default;
+
+    /**
+     * Record one finished compile: total wall clock, the per-pass
+     * breakdown, and the shared-cache traffic of its translations.
+     */
+    void observeCompile(const Features& features, double wall_ms,
+                        uint64_t cache_hits, uint64_t cache_misses);
+
+    /** Record one pass execution (the service calls this for every
+     *  pass-metric row of a finished compile; exposed for tests and
+     *  offline fitting). */
+    void observePass(const std::string& pass, const Features& features,
+                     double wall_ms);
+
+    /** Compiles observed so far. */
+    uint64_t samples() const;
+
+    /**
+     * Predicted whole-compile wall clock in ms. False until the model
+     * has at least `min_samples` observations (and never before
+     * kFeatures of them).
+     */
+    bool predictCompileMs(const Features& features, double* ms,
+                          uint64_t min_samples = kFeatures) const;
+
+    /** Predicted wall clock of one named pass, same contract. */
+    bool predictPassMs(const std::string& pass, const Features& features,
+                       double* ms,
+                       uint64_t min_samples = kFeatures) const;
+
+    /**
+     * Predicted cache hit ratio for a workload, clamped to [0, 1].
+     * False until enough lookups have been observed.
+     */
+    bool predictHitRatio(const Features& features, double* ratio,
+                         uint64_t min_samples = kFeatures) const;
+
+    /** Names of passes with a fitted model (diagnostics). */
+    std::vector<std::string> passNames() const;
+
+  private:
+    static void fill(const Features& features, double* x);
+
+    mutable std::mutex m_;
+    uint64_t compiles_ = 0;
+    OnlineLinearModel total_{kFeatures};
+    OnlineLinearModel hit_ratio_{kFeatures};
+    std::map<std::string, OnlineLinearModel> per_pass_;
+};
+
+} // namespace qiset
+
+#endif // QISET_METRICS_COST_MODEL_H

@@ -1,0 +1,193 @@
+#include "metrics/event_stream.h"
+
+#include <algorithm>
+
+namespace qiset {
+
+const char*
+toString(ServiceEventType type)
+{
+    switch (type) {
+    case ServiceEventType::Submit: return "submit";
+    case ServiceEventType::Admit: return "admit";
+    case ServiceEventType::Reject: return "reject";
+    case ServiceEventType::Dispatch: return "dispatch";
+    case ServiceEventType::PassBegin: return "pass-begin";
+    case ServiceEventType::PassComplete: return "pass-complete";
+    case ServiceEventType::CacheStats: return "cache-stats";
+    case ServiceEventType::Complete: return "complete";
+    case ServiceEventType::Cancel: return "cancel";
+    }
+    return "unknown";
+}
+
+namespace {
+
+size_t
+roundUpPow2(size_t n)
+{
+    size_t p = 8;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+EventStream::EventStream(size_t capacity)
+    : slots_(roundUpPow2(capacity)),
+      mask_(slots_.size() - 1),
+      epoch_(std::chrono::steady_clock::now())
+{
+    for (size_t i = 0; i < slots_.size(); ++i)
+        slots_[i].seq.store(i, std::memory_order_relaxed);
+}
+
+bool
+EventStream::publish(const ServiceEvent& event)
+{
+    uint64_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+        Slot& slot = slots_[pos & mask_];
+        uint64_t seq = slot.seq.load(std::memory_order_acquire);
+        int64_t dif =
+            static_cast<int64_t>(seq) - static_cast<int64_t>(pos);
+        if (dif == 0) {
+            if (enqueue_pos_.compare_exchange_weak(
+                    pos, pos + 1, std::memory_order_relaxed)) {
+                slot.event = event;
+                slot.seq.store(pos + 1, std::memory_order_release);
+                published_.fetch_add(1, std::memory_order_relaxed);
+                return true;
+            }
+            // CAS refreshed pos; retry against the new slot.
+        } else if (dif < 0) {
+            // The slot one lap back has not been drained: ring full.
+            dropped_.fetch_add(1, std::memory_order_relaxed);
+            return false;
+        } else {
+            pos = enqueue_pos_.load(std::memory_order_relaxed);
+        }
+    }
+}
+
+size_t
+EventStream::drain(std::vector<ServiceEvent>& out, size_t max)
+{
+    size_t drained = 0;
+    uint64_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    while (drained < max) {
+        Slot& slot = slots_[pos & mask_];
+        uint64_t seq = slot.seq.load(std::memory_order_acquire);
+        int64_t dif =
+            static_cast<int64_t>(seq) - static_cast<int64_t>(pos + 1);
+        if (dif == 0) {
+            if (dequeue_pos_.compare_exchange_weak(
+                    pos, pos + 1, std::memory_order_relaxed)) {
+                out.push_back(slot.event);
+                // Free the slot for the producer one lap ahead.
+                slot.seq.store(pos + slots_.size(),
+                               std::memory_order_release);
+                ++drained;
+                ++pos;
+            }
+        } else if (dif < 0) {
+            break; // empty
+        } else {
+            pos = dequeue_pos_.load(std::memory_order_relaxed);
+        }
+    }
+    return drained;
+}
+
+uint64_t
+EventStream::nowNs() const
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+}
+
+int32_t
+EventStream::passId(const std::string& name)
+{
+    {
+        std::shared_lock<std::shared_mutex> lock(pass_names_m_);
+        for (size_t i = 0; i < pass_names_.size(); ++i)
+            if (pass_names_[i] == name)
+                return static_cast<int32_t>(i);
+    }
+    std::unique_lock<std::shared_mutex> lock(pass_names_m_);
+    for (size_t i = 0; i < pass_names_.size(); ++i)
+        if (pass_names_[i] == name)
+            return static_cast<int32_t>(i);
+    pass_names_.push_back(name);
+    return static_cast<int32_t>(pass_names_.size() - 1);
+}
+
+std::vector<std::string>
+EventStream::passNames() const
+{
+    std::shared_lock<std::shared_mutex> lock(pass_names_m_);
+    return pass_names_;
+}
+
+uint32_t
+EventStream::currentWorker()
+{
+    static std::atomic<uint32_t> next{0};
+    thread_local uint32_t id =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
+
+// ---------------------------------------------------------- recorder
+
+EventRecorder::EventRecorder(EventStream& stream, double interval_ms)
+    : stream_(stream)
+{
+    thread_ = std::thread([this, interval_ms] { loop(interval_ms); });
+}
+
+EventRecorder::~EventRecorder()
+{
+    stop();
+}
+
+void
+EventRecorder::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        if (stopped_)
+            return;
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+    std::lock_guard<std::mutex> lock(m_);
+    stopped_ = true;
+}
+
+void
+EventRecorder::loop(double interval_ms)
+{
+    auto interval = std::chrono::duration<double, std::milli>(
+        std::max(interval_ms, 0.1));
+    std::unique_lock<std::mutex> lock(m_);
+    for (;;) {
+        bool stopping =
+            cv_.wait_for(lock, interval, [this] { return stopping_; });
+        // Drain outside the recorder lock so stop() is never starved
+        // by a slow sweep. events_ is only touched from this thread
+        // until stop() has joined it, so unlocked appends are safe.
+        lock.unlock();
+        stream_.drain(events_);
+        lock.lock();
+        if (stopping)
+            return; // final sweep already ran above
+    }
+}
+
+} // namespace qiset

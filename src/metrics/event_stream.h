@@ -1,0 +1,231 @@
+#ifndef QISET_METRICS_EVENT_STREAM_H
+#define QISET_METRICS_EVENT_STREAM_H
+
+/**
+ * @file
+ * Lock-light streaming telemetry for the compile service (the VPMU
+ * pattern: async trace streams of fixed-size event packets).
+ *
+ * An EventStream is a bounded ring buffer of POD ServiceEvent packets.
+ * Service workers publish() events without blocking the compile hot
+ * path — the ring is a lock-free bounded MPMC queue (Vyukov scheme:
+ * per-slot sequence numbers, one CAS per publish, no mutex anywhere on
+ * the writer side) — and a consumer drains them out of band. A full
+ * ring never stalls a writer: the packet is counted as dropped and the
+ * compile proceeds, so telemetry degrades before throughput does.
+ *
+ * Timestamps are steady-clock nanoseconds relative to the stream's
+ * construction (one shared epoch, so packets from different workers
+ * order meaningfully). Pass names are interned to small ids
+ * (passId/passName) so packets stay fixed-size; worker ids are small
+ * per-thread integers (currentWorker) suitable for trace "tracks".
+ *
+ * EventRecorder is the standard consumer: a background thread that
+ * drains the stream on a fixed cadence into an in-memory log (plus a
+ * final sweep on stop), which the Chrome-trace exporter
+ * (trace_export.h) turns into a flame-inspectable trace.json.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace qiset {
+
+/** What happened; the service lifecycle plus per-pass spans. */
+enum class ServiceEventType : uint8_t
+{
+    /** A request arrived (one per job; payload a = circuit count). */
+    Submit,
+    /** One circuit was admitted onto a shard (payload a = the
+     *  planner's predicted duration ns, b = predicted fidelity). */
+    Admit,
+    /** Admission control refused the whole request (one per job). */
+    Reject,
+    /** A worker picked one circuit up (queue exit). */
+    Dispatch,
+    /** One compiler pass started (pass = interned pass id). */
+    PassBegin,
+    /** The matching pass finished (payload a = wall ms). */
+    PassComplete,
+    /** Shared-cache traffic of one finished compile
+     *  (payload a = hits, b = misses). */
+    CacheStats,
+    /** One circuit finished compiling (payload a = wall ms,
+     *  b = 1 on success / 0 when the compile threw). */
+    Complete,
+    /** One still-queued circuit was dropped by cancel(). */
+    Cancel,
+};
+
+/** Human-readable type name ("submit", "pass-begin", ...). */
+const char* toString(ServiceEventType type);
+
+/**
+ * One fixed-size telemetry packet. POD: no owned memory, safe to copy
+ * through the ring byte-for-byte. Writers fill only the fields their
+ * event type defines; the rest stay at the defaults below.
+ */
+struct ServiceEvent
+{
+    /** Steady-clock ns since the stream's epoch. */
+    uint64_t ns = 0;
+    /** Service-wide job id (CompileJob::id; 0 = none). */
+    uint64_t job = 0;
+    /** Payload slots; meaning depends on `type` (see the enum). */
+    double a = 0.0;
+    double b = 0.0;
+    /** Circuit index within the job (-1 = whole-job event). */
+    int32_t circuit = -1;
+    /** Fleet shard index (-1 = not shard-specific). */
+    int32_t shard = -1;
+    /** Interned pass id (EventStream::passId; -1 = none). */
+    int32_t pass = -1;
+    /** Publishing thread's small id (EventStream::currentWorker). */
+    uint32_t worker = 0;
+    ServiceEventType type = ServiceEventType::Submit;
+};
+
+/**
+ * Bounded lock-free MPMC ring of ServiceEvent packets.
+ *
+ * publish() is wait-free on the fast path (one CAS), never blocks,
+ * never allocates; when the ring is full the event is dropped and
+ * counted. drain() may run concurrently with publishers (and with
+ * other drainers). All counters are monotonic.
+ */
+class EventStream
+{
+  public:
+    /**
+     * @param capacity Ring slots; rounded up to a power of two
+     *        (minimum 8). Size for the burst between two drains, not
+     *        for the whole run.
+     */
+    explicit EventStream(size_t capacity = size_t{1} << 16);
+    ~EventStream() = default;
+
+    EventStream(const EventStream&) = delete;
+    EventStream& operator=(const EventStream&) = delete;
+
+    /** Ring capacity in slots (power of two). */
+    size_t capacity() const { return slots_.size(); }
+
+    /**
+     * Append one packet. Returns false (and counts the packet as
+     * dropped) when the ring is full; never blocks or allocates.
+     */
+    bool publish(const ServiceEvent& event);
+
+    /** Timestamp `event` with nowNs() and publish it. */
+    bool publishNow(ServiceEvent event)
+    {
+        event.ns = nowNs();
+        return publish(event);
+    }
+
+    /**
+     * Pop up to `max` packets, in publish order, appending to `out`.
+     * @return the number of packets appended.
+     */
+    size_t drain(std::vector<ServiceEvent>& out,
+                 size_t max = static_cast<size_t>(-1));
+
+    /** Packets successfully published so far. */
+    uint64_t published() const
+    {
+        return published_.load(std::memory_order_relaxed);
+    }
+
+    /** Packets refused because the ring was full. */
+    uint64_t dropped() const
+    {
+        return dropped_.load(std::memory_order_relaxed);
+    }
+
+    /** Steady-clock ns since this stream's construction. */
+    uint64_t nowNs() const;
+
+    /**
+     * Intern a pass name to a small id (stable for the stream's
+     * lifetime; repeat lookups take only a shared lock). Use for
+     * ServiceEvent::pass.
+     */
+    int32_t passId(const std::string& name);
+
+    /** All interned pass names, indexed by id (snapshot copy). */
+    std::vector<std::string> passNames() const;
+
+    /**
+     * Small id of the calling thread, assigned on first use
+     * (process-wide, so one thread keeps its id across streams). Use
+     * for ServiceEvent::worker — trace tracks key off it.
+     */
+    static uint32_t currentWorker();
+
+  private:
+    struct Slot
+    {
+        std::atomic<uint64_t> seq;
+        ServiceEvent event;
+    };
+
+    std::vector<Slot> slots_;
+    size_t mask_ = 0;
+    // Head/tail on separate cache lines so producers and the consumer
+    // do not false-share.
+    alignas(64) std::atomic<uint64_t> enqueue_pos_{0};
+    alignas(64) std::atomic<uint64_t> dequeue_pos_{0};
+    alignas(64) std::atomic<uint64_t> published_{0};
+    std::atomic<uint64_t> dropped_{0};
+    std::chrono::steady_clock::time_point epoch_;
+
+    mutable std::shared_mutex pass_names_m_;
+    std::vector<std::string> pass_names_;
+};
+
+/**
+ * Background consumer: drains a stream every `interval_ms` into an
+ * in-memory log, with a final sweep on stop() (or destruction). The
+ * stream must outlive the recorder. events() is valid after stop().
+ */
+class EventRecorder
+{
+  public:
+    explicit EventRecorder(EventStream& stream,
+                           double interval_ms = 5.0);
+    ~EventRecorder();
+
+    EventRecorder(const EventRecorder&) = delete;
+    EventRecorder& operator=(const EventRecorder&) = delete;
+
+    /** Stop the drain thread after one final sweep. Idempotent. */
+    void stop();
+
+    /** Everything drained so far (call after stop() for a full log). */
+    const std::vector<ServiceEvent>& events() const { return events_; }
+
+    /** Move the log out (call after stop()). */
+    std::vector<ServiceEvent> takeEvents() { return std::move(events_); }
+
+  private:
+    void loop(double interval_ms);
+
+    EventStream& stream_;
+    std::vector<ServiceEvent> events_;
+    std::mutex m_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+    bool stopped_ = false;
+    std::thread thread_;
+};
+
+} // namespace qiset
+
+#endif // QISET_METRICS_EVENT_STREAM_H

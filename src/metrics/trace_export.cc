@@ -1,0 +1,310 @@
+#include "metrics/trace_export.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+namespace qiset {
+
+namespace {
+
+std::string
+jsonEscape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+fmtTs(uint64_t ns)
+{
+    // Microseconds with ns resolution; Chrome's ts unit is us.
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f",
+                  static_cast<double>(ns) / 1000.0);
+    return buf;
+}
+
+std::string
+fmtDoubleArg(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+/** One emitted trace line (already-rendered JSON object). */
+class TraceBuilder
+{
+  public:
+    explicit TraceBuilder(const TraceExportOptions& options)
+        : options_(options)
+    {
+    }
+
+    std::string shardProcess(int32_t shard) const
+    {
+        if (shard < 0)
+            return "service";
+        size_t s = static_cast<size_t>(shard);
+        if (s < options_.shard_names.size())
+            return "shard:" + options_.shard_names[s];
+        return "shard:" + std::to_string(shard);
+    }
+
+    std::string passName(int32_t pass) const
+    {
+        if (pass >= 0 &&
+            static_cast<size_t>(pass) < options_.pass_names.size())
+            return options_.pass_names[static_cast<size_t>(pass)];
+        return "pass:" + std::to_string(pass);
+    }
+
+    void event(const std::string& name, const char* ph, uint64_t ns,
+               int64_t pid, int64_t tid, const std::string& args = "")
+    {
+        std::ostringstream line;
+        line << "{\"name\":\"" << jsonEscape(name) << "\",\"ph\":\""
+             << ph << "\",\"ts\":" << fmtTs(ns) << ",\"pid\":" << pid
+             << ",\"tid\":" << tid;
+        if (ph[0] == 'i')
+            line << ",\"s\":\"t\"";
+        if (!args.empty())
+            line << ",\"args\":{" << args << "}";
+        line << "}";
+        lines_.push_back(line.str());
+        touchTrack(pid, tid);
+    }
+
+    void metadata(const std::string& kind, int64_t pid, int64_t tid,
+                  const std::string& name)
+    {
+        std::ostringstream line;
+        line << "{\"name\":\"" << kind
+             << "\",\"ph\":\"M\",\"ts\":0,\"pid\":" << pid
+             << ",\"tid\":" << tid << ",\"args\":{\"name\":\""
+             << jsonEscape(name) << "\"}}";
+        meta_.push_back(line.str());
+    }
+
+    /** Open-span bookkeeping so truncated logs still balance. */
+    void open(int64_t pid, int64_t tid, const std::string& name)
+    {
+        stacks_[{pid, tid}].push_back(name);
+    }
+
+    /** Close the innermost open span (no-op on a bare E). */
+    bool close(int64_t pid, int64_t tid)
+    {
+        auto it = stacks_.find({pid, tid});
+        if (it == stacks_.end() || it->second.empty())
+            return false;
+        it->second.pop_back();
+        return true;
+    }
+
+    const std::string* innermost(int64_t pid, int64_t tid) const
+    {
+        auto it = stacks_.find({pid, tid});
+        if (it == stacks_.end() || it->second.empty())
+            return nullptr;
+        return &it->second.back();
+    }
+
+    void closeDangling(uint64_t last_ns)
+    {
+        for (auto& [track, stack] : stacks_)
+            while (!stack.empty()) {
+                event(stack.back(), "E", last_ns, track.first,
+                      track.second);
+                stack.pop_back();
+            }
+    }
+
+    std::string render() const
+    {
+        std::string out = "{\"displayTimeUnit\":\"ms\","
+                          "\"traceEvents\":[\n";
+        bool first = true;
+        for (const std::string& line : meta_) {
+            if (!first)
+                out += ",\n";
+            out += line;
+            first = false;
+        }
+        for (const std::string& line : lines_) {
+            if (!first)
+                out += ",\n";
+            out += line;
+            first = false;
+        }
+        out += "\n]}\n";
+        return out;
+    }
+
+    const std::map<std::pair<int64_t, int64_t>, bool>& tracks() const
+    {
+        return tracks_;
+    }
+
+  private:
+    void touchTrack(int64_t pid, int64_t tid)
+    {
+        tracks_.emplace(std::make_pair(pid, tid), true);
+    }
+
+    const TraceExportOptions& options_;
+    std::vector<std::string> lines_;
+    std::vector<std::string> meta_;
+    std::map<std::pair<int64_t, int64_t>, std::vector<std::string>>
+        stacks_;
+    std::map<std::pair<int64_t, int64_t>, bool> tracks_;
+};
+
+std::string
+jobSpanName(const ServiceEvent& e)
+{
+    std::string name = "job " + std::to_string(e.job);
+    if (e.circuit >= 0)
+        name += "[" + std::to_string(e.circuit) + "]";
+    return name;
+}
+
+} // namespace
+
+std::string
+chromeTraceJson(const std::vector<ServiceEvent>& events,
+                const TraceExportOptions& options)
+{
+    // Stable by timestamp: packets from one worker keep publish order
+    // (their timestamps are monotone), and cross-worker ties keep the
+    // global publish order the ring preserved.
+    std::vector<ServiceEvent> sorted = events;
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const ServiceEvent& a, const ServiceEvent& b) {
+                         return a.ns < b.ns;
+                     });
+
+    TraceBuilder trace(options);
+    uint64_t last_ns = 0;
+    for (const ServiceEvent& e : sorted) {
+        last_ns = std::max(last_ns, e.ns);
+        int64_t pid = e.shard + 1; // shard -1 -> service pid 0
+        int64_t tid = e.worker;
+        switch (e.type) {
+        case ServiceEventType::Submit:
+            trace.event("submit job " + std::to_string(e.job), "i",
+                        e.ns, 0, tid,
+                        "\"circuits\":" + fmtDoubleArg(e.a));
+            break;
+        case ServiceEventType::Admit:
+            trace.event("admit " + jobSpanName(e) + " -> shard " +
+                            std::to_string(e.shard),
+                        "i", e.ns, 0, tid,
+                        "\"predicted_duration_ns\":" + fmtDoubleArg(e.a) +
+                            ",\"predicted_fidelity\":" +
+                            fmtDoubleArg(e.b));
+            break;
+        case ServiceEventType::Reject:
+            trace.event("reject job " + std::to_string(e.job), "i",
+                        e.ns, 0, tid);
+            break;
+        case ServiceEventType::Cancel:
+            trace.event("cancel " + jobSpanName(e), "i", e.ns, 0, tid);
+            break;
+        case ServiceEventType::Dispatch: {
+            std::string name = jobSpanName(e);
+            trace.event(name, "B", e.ns, pid, tid);
+            trace.open(pid, tid, name);
+            break;
+        }
+        case ServiceEventType::PassBegin: {
+            std::string name = trace.passName(e.pass);
+            trace.event(name, "B", e.ns, pid, tid);
+            trace.open(pid, tid, name);
+            break;
+        }
+        case ServiceEventType::PassComplete:
+            if (trace.close(pid, tid))
+                trace.event(trace.passName(e.pass), "E", e.ns, pid,
+                            tid,
+                            "\"wall_ms\":" + fmtDoubleArg(e.a));
+            break;
+        case ServiceEventType::CacheStats:
+            trace.event("cache", "i", e.ns, pid, tid,
+                        "\"hits\":" + fmtDoubleArg(e.a) +
+                            ",\"misses\":" + fmtDoubleArg(e.b));
+            break;
+        case ServiceEventType::Complete: {
+            // Close any pass spans a throwing compile left open, then
+            // the job span itself.
+            while (trace.innermost(pid, tid) &&
+                   *trace.innermost(pid, tid) != jobSpanName(e)) {
+                std::string name = *trace.innermost(pid, tid);
+                trace.close(pid, tid);
+                trace.event(name, "E", e.ns, pid, tid);
+            }
+            if (trace.close(pid, tid))
+                trace.event(jobSpanName(e), "E", e.ns, pid, tid,
+                            "\"wall_ms\":" + fmtDoubleArg(e.a) +
+                                ",\"ok\":" + fmtDoubleArg(e.b));
+            break;
+        }
+        }
+    }
+    trace.closeDangling(last_ns);
+
+    // Name every track we touched.
+    TraceBuilder* builder = &trace;
+    for (const auto& [track, used] : builder->tracks()) {
+        (void)used;
+        builder->metadata("process_name", track.first, 0,
+                          trace.shardProcess(
+                              static_cast<int32_t>(track.first - 1)));
+        builder->metadata("thread_name", track.first, track.second,
+                          "worker " + std::to_string(track.second));
+    }
+    return trace.render();
+}
+
+void
+writeChromeTrace(std::ostream& out,
+                 const std::vector<ServiceEvent>& events,
+                 const TraceExportOptions& options)
+{
+    out << chromeTraceJson(events, options);
+}
+
+bool
+writeChromeTraceFile(const std::string& path,
+                     const std::vector<ServiceEvent>& events,
+                     const TraceExportOptions& options)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << chromeTraceJson(events, options);
+    return static_cast<bool>(out);
+}
+
+} // namespace qiset

@@ -1,0 +1,73 @@
+#ifndef QISET_METRICS_TRACE_EXPORT_H
+#define QISET_METRICS_TRACE_EXPORT_H
+
+/**
+ * @file
+ * Chrome-trace (Trace Event Format) export of a ServiceEvent log, so
+ * a service run can be flame-inspected in chrome://tracing or
+ * Perfetto (Open trace file -> trace.json).
+ *
+ * Layout (see docs/telemetry.md for the full spec):
+ *  - pid 0 is the synthetic "service" process: submit/admit/reject/
+ *    cancel instants and per-shard backlog context live here.
+ *  - pid (shard + 1) is one process per fleet shard, named
+ *    "shard:<name>"; tid is the publishing worker's small id, so each
+ *    worker of a shard gets its own track.
+ *  - Every Dispatch..Complete pair becomes a "job <id>[<circuit>]"
+ *    duration span (ph B/E) on its worker track; PassBegin/
+ *    PassComplete pairs nest inside it as pass spans.
+ *  - Timestamps are microseconds ("ts") from the stream epoch;
+ *    "M"-phase metadata names processes and threads.
+ *
+ * The exporter is pure: it sorts a copy of the log by timestamp
+ * (stable, so same-tick packets keep publish order) and never touches
+ * the stream. scripts/trace_lint.py validates the output against the
+ * documented schema (balanced B/E per track, monotone ts).
+ */
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "metrics/event_stream.h"
+
+namespace qiset {
+
+/** Naming context for the exporter (both optional). */
+struct TraceExportOptions
+{
+    /** Fleet shard names, indexed by shard id ("shard:<k>" absent). */
+    std::vector<std::string> shard_names;
+    /** Interned pass names (EventStream::passNames()); a pass id
+     *  outside the table renders as "pass:<id>". */
+    std::vector<std::string> pass_names;
+};
+
+/**
+ * Render an event log as a Chrome-trace JSON object
+ * ({"traceEvents": [...]}). Events whose spans never closed (e.g. a
+ * truncated log) are closed at the last seen timestamp so the trace
+ * always validates.
+ */
+std::string chromeTraceJson(const std::vector<ServiceEvent>& events,
+                            const TraceExportOptions& options =
+                                TraceExportOptions());
+
+/** chromeTraceJson straight into a stream. */
+void writeChromeTrace(std::ostream& out,
+                      const std::vector<ServiceEvent>& events,
+                      const TraceExportOptions& options =
+                          TraceExportOptions());
+
+/**
+ * chromeTraceJson into a file. Returns false (without throwing) when
+ * the file cannot be opened/written.
+ */
+bool writeChromeTraceFile(const std::string& path,
+                          const std::vector<ServiceEvent>& events,
+                          const TraceExportOptions& options =
+                              TraceExportOptions());
+
+} // namespace qiset
+
+#endif // QISET_METRICS_TRACE_EXPORT_H

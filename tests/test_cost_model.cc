@@ -1,0 +1,303 @@
+// Online cost models: streaming least-squares recovery of a known
+// linear law, min-sample gating, hit-ratio clamping, per-pass fits —
+// and the planner contract: with use_cost_model off (or a cold/null
+// model) the shard plan is bit-identical to the static proxy, while a
+// warmed-up model shifts predicted durations without touching the
+// fidelity ranking.
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/qaoa.h"
+#include "apps/qft.h"
+#include "compiler/service.h"
+#include "metrics/cost_model.h"
+
+namespace qiset {
+namespace {
+
+using Features = CompileCostModel::Features;
+
+Features
+feat(double ops, double two_q, double depth)
+{
+    Features f;
+    f.ops = ops;
+    f.two_q = two_q;
+    f.depth = depth;
+    return f;
+}
+
+/** A varied, non-collinear feature sweep. */
+std::vector<Features>
+sweep(int n)
+{
+    std::vector<Features> out;
+    for (int i = 0; i < n; ++i)
+        out.push_back(feat(10.0 + 3.0 * i, 2.0 + (i * 5) % 7,
+                           4.0 + (i * 3) % 5));
+    return out;
+}
+
+// ------------------------------------------------------------- the fit
+
+TEST(CostModel, RecoversLinearCompileTime)
+{
+    CompileCostModel model;
+    auto law = [](const Features& f) {
+        return 2.0 + 0.5 * f.ops + 3.0 * f.two_q + 0.1 * f.depth;
+    };
+    for (const Features& f : sweep(40))
+        model.observeCompile(f, law(f), 0, 0);
+
+    EXPECT_EQ(model.samples(), 40u);
+    Features probe = feat(55.0, 6.0, 9.0);
+    double ms = 0.0;
+    ASSERT_TRUE(model.predictCompileMs(probe, &ms));
+    EXPECT_NEAR(ms, law(probe), 0.05 * law(probe));
+}
+
+TEST(CostModel, GatesOnMinSamples)
+{
+    CompileCostModel model;
+    double ms = 0.0;
+    EXPECT_FALSE(model.predictCompileMs(feat(10, 2, 4), &ms));
+    std::vector<Features> features = sweep(10);
+    for (size_t i = 0; i < features.size(); ++i) {
+        model.observeCompile(features[i], 1.0 + i, 0, 0);
+        if (i + 1 < CompileCostModel::kFeatures) {
+            EXPECT_FALSE(model.predictCompileMs(features[0], &ms));
+        }
+    }
+    // Default gate satisfied, but a caller can demand more history.
+    EXPECT_TRUE(model.predictCompileMs(features[0], &ms));
+    EXPECT_FALSE(model.predictCompileMs(features[0], &ms, 64));
+    EXPECT_TRUE(model.predictCompileMs(features[0], &ms, 10));
+}
+
+TEST(CostModel, PredictionsNeverNegative)
+{
+    CompileCostModel model;
+    // Steep slope + large intercept offset: extrapolating to a tiny
+    // circuit would dip below zero without the clamp.
+    for (const Features& f : sweep(20))
+        model.observeCompile(f, 10.0 * f.ops - 200.0, 0, 0);
+    double ms = -1.0;
+    ASSERT_TRUE(model.predictCompileMs(feat(0.0, 0.0, 0.0), &ms));
+    EXPECT_GE(ms, 0.0);
+}
+
+TEST(CostModel, HitRatioClampedToUnitInterval)
+{
+    CompileCostModel model;
+    for (const Features& f : sweep(20))
+        model.observeCompile(f, 1.0, 95, 5);
+    double ratio = -1.0;
+    ASSERT_TRUE(model.predictHitRatio(feat(200.0, 20.0, 30.0), &ratio));
+    EXPECT_GE(ratio, 0.0);
+    EXPECT_LE(ratio, 1.0);
+
+    // No lookups observed -> no hit-ratio model.
+    CompileCostModel dry;
+    for (const Features& f : sweep(20))
+        dry.observeCompile(f, 1.0, 0, 0);
+    EXPECT_FALSE(dry.predictHitRatio(feat(10, 2, 4), &ratio));
+}
+
+TEST(CostModel, PerPassFitsAreIndependent)
+{
+    CompileCostModel model;
+    for (const Features& f : sweep(30)) {
+        model.observePass("routing", f, 0.2 * f.two_q);
+        model.observePass("translation", f, 1.0 + 0.1 * f.ops);
+    }
+    double ms = 0.0;
+    Features probe = feat(40.0, 5.0, 8.0);
+    ASSERT_TRUE(model.predictPassMs("routing", probe, &ms));
+    EXPECT_NEAR(ms, 0.2 * probe.two_q, 0.1);
+    ASSERT_TRUE(model.predictPassMs("translation", probe, &ms));
+    EXPECT_NEAR(ms, 1.0 + 0.1 * probe.ops, 0.25);
+    EXPECT_FALSE(model.predictPassMs("mapping", probe, &ms));
+    std::vector<std::string> names = model.passNames();
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names[0], "routing");
+    EXPECT_EQ(names[1], "translation");
+}
+
+// ------------------------------------------------------- planner wiring
+
+CompileOptions
+fastCompile()
+{
+    CompileOptions opts;
+    opts.nuop.max_layers = 4;
+    opts.nuop.multistarts = 3;
+    opts.nuop.exact_threshold = 1.0 - 1e-6;
+    return opts;
+}
+
+Device
+lineDevice(const std::string& name, int n, double fid)
+{
+    Device d(name, Topology::line(n));
+    for (auto [a, b] : d.topology().edges()) {
+        d.setEdgeFidelity(a, b, "S3", fid);
+        d.setEdgeFidelity(a, b, "S4", fid - 0.005);
+    }
+    for (int q = 0; q < n; ++q)
+        d.setOneQubitError(q, 0.0005);
+    return d;
+}
+
+DeviceFleet
+twoShardFleet()
+{
+    DeviceFleet fleet(fastCompile());
+    fleet.addDevice(lineDevice("alpha", 4, 0.995));
+    fleet.addDevice(lineDevice("beta", 4, 0.990));
+    return fleet;
+}
+
+std::vector<Circuit>
+makeWorkload(int circuits, int qubits, uint64_t seed = 901)
+{
+    std::vector<Circuit> apps;
+    Rng rng(seed);
+    for (int i = 0; i < circuits; ++i)
+        apps.push_back(i % 2 == 0 ? makeQftCircuit(qubits)
+                                  : makeRandomQaoaCircuit(qubits, rng));
+    return apps;
+}
+
+void
+expectSamePlan(const ShardPlan& a, const ShardPlan& b)
+{
+    ASSERT_EQ(a.assignments.size(), b.assignments.size());
+    for (size_t i = 0; i < a.assignments.size(); ++i) {
+        EXPECT_EQ(a.assignments[i].shard, b.assignments[i].shard);
+        EXPECT_DOUBLE_EQ(a.assignments[i].predicted_fidelity,
+                         b.assignments[i].predicted_fidelity);
+        EXPECT_DOUBLE_EQ(a.assignments[i].predicted_duration_ns,
+                         b.assignments[i].predicted_duration_ns);
+    }
+    ASSERT_EQ(a.queues, b.queues);
+    ASSERT_EQ(a.queue_ns.size(), b.queue_ns.size());
+    for (size_t s = 0; s < a.queue_ns.size(); ++s)
+        EXPECT_DOUBLE_EQ(a.queue_ns[s], b.queue_ns[s]);
+}
+
+TEST(CostModelPlanner, KnobOffOrColdModelPlansIdentically)
+{
+    GateSet set = isa::rigettiSet(1);
+    DeviceFleet fleet = twoShardFleet();
+    std::vector<Circuit> apps = makeWorkload(6, 3);
+
+    ShardPlannerOptions off;
+    ShardPlan baseline = planShardAssignments(apps, fleet, set, off);
+
+    // Knob on, no model: identical.
+    ShardPlannerOptions on = off;
+    on.use_cost_model = true;
+    expectSamePlan(baseline,
+                   planShardAssignments(apps, fleet, set, on, {}));
+
+    // Knob on, cold model (below min_samples): identical.
+    CompileCostModel cold;
+    cold.observeCompile(feat(10, 2, 4), 1.0, 0, 0);
+    expectSamePlan(baseline, planShardAssignments(apps, fleet, set, on,
+                                                  {}, &cold));
+
+    // Knob off, warm model: still identical (never consulted).
+    CompileCostModel warm;
+    for (const Features& f : sweep(32))
+        warm.observeCompile(f, 5.0 + 0.1 * f.ops, 0, 0);
+    expectSamePlan(baseline, planShardAssignments(apps, fleet, set, off,
+                                                  {}, &warm));
+}
+
+TEST(CostModelPlanner, WarmModelShiftsDurationsNotFidelity)
+{
+    GateSet set = isa::rigettiSet(1);
+    DeviceFleet fleet = twoShardFleet();
+    std::vector<Circuit> apps = makeWorkload(6, 3);
+
+    ShardPlan baseline = planShardAssignments(apps, fleet, set);
+
+    CompileCostModel warm;
+    for (const Features& f : sweep(32))
+        warm.observeCompile(f, 50.0 + 2.0 * f.ops, 0, 0);
+
+    ShardPlannerOptions on;
+    on.use_cost_model = true;
+    on.cost_model_min_samples = 16;
+    ShardPlan steered =
+        planShardAssignments(apps, fleet, set, on, {}, &warm);
+
+    ASSERT_EQ(steered.assignments.size(), baseline.assignments.size());
+    for (size_t i = 0; i < steered.assignments.size(); ++i) {
+        // The model adds a strictly positive per-circuit term...
+        EXPECT_GT(steered.assignments[i].predicted_duration_ns,
+                  baseline.assignments[i].predicted_duration_ns);
+        // ...and never perturbs the fidelity estimate of a placement.
+        double ms = 0.0;
+        ASSERT_TRUE(warm.predictCompileMs(
+            steered.assignments[i].features, &ms, 16));
+        EXPECT_GT(ms, 0.0);
+    }
+
+    // Features are captured at plan time, with or without a model.
+    for (size_t i = 0; i < baseline.assignments.size(); ++i) {
+        EXPECT_EQ(baseline.assignments[i].features.ops,
+                  static_cast<double>(apps[i].size()));
+        EXPECT_EQ(baseline.assignments[i].features.two_q,
+                  static_cast<double>(apps[i].twoQubitGateCount()));
+        EXPECT_GT(baseline.assignments[i].features.depth, 0.0);
+    }
+}
+
+TEST(CostModelPlanner, ServiceFeedsModelAndStaysBitIdentical)
+{
+    GateSet set = isa::rigettiSet(1);
+    std::vector<Circuit> apps = makeWorkload(4, 3);
+
+    // Reference: model-free service.
+    std::vector<CompileResult> reference;
+    {
+        CompileService service(twoShardFleet(), set);
+        reference = service.submit(CompileRequest{apps}).takeResults();
+    }
+
+    // Borrowed model, knob off: observes without steering — results
+    // bit-identical, one observation per compile.
+    CompileCostModel model;
+    CompileServiceOptions options;
+    options.cost_model = &model;
+    CompileService service(twoShardFleet(), set, options);
+    EXPECT_EQ(service.costModel(), &model);
+    std::vector<CompileResult> observed =
+        service.submit(CompileRequest{apps}).takeResults();
+    EXPECT_EQ(model.samples(), apps.size());
+    EXPECT_FALSE(model.passNames().empty());
+
+    ASSERT_EQ(observed.size(), reference.size());
+    for (size_t i = 0; i < observed.size(); ++i) {
+        EXPECT_EQ(observed[i].swaps_inserted,
+                  reference[i].swaps_inserted);
+        EXPECT_DOUBLE_EQ(observed[i].estimated_fidelity,
+                         reference[i].estimated_fidelity);
+    }
+
+    // Planner knob without a borrowed model: the service owns one.
+    CompileServiceOptions owning;
+    owning.planner.use_cost_model = true;
+    CompileService owner(twoShardFleet(), set, owning);
+    ASSERT_NE(owner.costModel(), nullptr);
+    owner.submit(CompileRequest{apps}).wait();
+    EXPECT_EQ(owner.costModel()->samples(), apps.size());
+}
+
+} // namespace
+} // namespace qiset

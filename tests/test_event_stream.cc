@@ -1,0 +1,258 @@
+// EventStream mechanics: FIFO order through the ring, overflow
+// accounting (drop-on-full, never block), concurrent publishers vs a
+// live drainer losing nothing, pass-name interning, and the
+// Chrome-trace exporter's span balancing (including dangling-span
+// close-out on truncated logs).
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "metrics/event_stream.h"
+#include "metrics/trace_export.h"
+
+namespace qiset {
+namespace {
+
+ServiceEvent
+packet(ServiceEventType type, uint64_t job, int32_t circuit = -1,
+       int32_t shard = -1, double a = 0.0, double b = 0.0)
+{
+    ServiceEvent event;
+    event.type = type;
+    event.job = job;
+    event.circuit = circuit;
+    event.shard = shard;
+    event.a = a;
+    event.b = b;
+    return event;
+}
+
+// ------------------------------------------------------------- the ring
+
+TEST(EventStream, PublishDrainKeepsFifoOrder)
+{
+    EventStream stream(64);
+    for (uint64_t i = 0; i < 40; ++i)
+        ASSERT_TRUE(
+            stream.publishNow(packet(ServiceEventType::Submit, i)));
+
+    std::vector<ServiceEvent> out;
+    EXPECT_EQ(stream.drain(out), 40u);
+    ASSERT_EQ(out.size(), 40u);
+    for (uint64_t i = 0; i < 40; ++i)
+        EXPECT_EQ(out[i].job, i);
+    EXPECT_EQ(stream.published(), 40u);
+    EXPECT_EQ(stream.dropped(), 0u);
+}
+
+TEST(EventStream, CapacityRoundsUpToPowerOfTwo)
+{
+    EXPECT_EQ(EventStream(1).capacity(), 8u);
+    EXPECT_EQ(EventStream(8).capacity(), 8u);
+    EXPECT_EQ(EventStream(9).capacity(), 16u);
+    EXPECT_EQ(EventStream(1000).capacity(), 1024u);
+}
+
+TEST(EventStream, OverflowDropsAndCounts)
+{
+    EventStream stream(16);
+    const uint64_t total = 100;
+    uint64_t accepted = 0;
+    for (uint64_t i = 0; i < total; ++i)
+        if (stream.publishNow(packet(ServiceEventType::Submit, i)))
+            ++accepted;
+
+    // A full ring refuses exactly the excess; nothing blocks.
+    EXPECT_EQ(accepted, stream.capacity());
+    EXPECT_EQ(stream.published(), stream.capacity());
+    EXPECT_EQ(stream.dropped(), total - stream.capacity());
+
+    // The survivors are the earliest packets, still in order.
+    std::vector<ServiceEvent> out;
+    stream.drain(out);
+    ASSERT_EQ(out.size(), stream.capacity());
+    for (size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i].job, i);
+
+    // Drained slots accept new packets again.
+    EXPECT_TRUE(stream.publishNow(packet(ServiceEventType::Submit, 7)));
+    out.clear();
+    EXPECT_EQ(stream.drain(out), 1u);
+    EXPECT_EQ(out[0].job, 7u);
+}
+
+TEST(EventStream, TimestampsAreMonotonePerPublisher)
+{
+    EventStream stream(256);
+    for (uint64_t i = 0; i < 100; ++i)
+        stream.publishNow(packet(ServiceEventType::Submit, i));
+    std::vector<ServiceEvent> out;
+    stream.drain(out);
+    ASSERT_EQ(out.size(), 100u);
+    for (size_t i = 1; i < out.size(); ++i)
+        EXPECT_GE(out[i].ns, out[i - 1].ns);
+}
+
+TEST(EventStream, ConcurrentPublishersLoseNothingWithLiveDrainer)
+{
+    // Ring sized well under the total so the test only passes when
+    // the drainer's freed slots are actually reused.
+    EventStream stream(256);
+    const int writers = 4;
+    const uint64_t per_writer = 5000;
+
+    std::vector<ServiceEvent> drained;
+    std::atomic<bool> done{false};
+    std::thread drainer([&] {
+        while (!done.load(std::memory_order_acquire))
+            stream.drain(drained);
+        stream.drain(drained);
+    });
+
+    std::vector<std::thread> threads;
+    for (int w = 0; w < writers; ++w)
+        threads.emplace_back([&, w] {
+            for (uint64_t i = 0; i < per_writer; ++i) {
+                // Spin until accepted: total throughput then proves no
+                // packet is lost or duplicated under contention.
+                while (!stream.publishNow(packet(
+                    ServiceEventType::Submit,
+                    static_cast<uint64_t>(w) * per_writer + i))) {
+                }
+            }
+        });
+    for (auto& t : threads)
+        t.join();
+    done.store(true, std::memory_order_release);
+    drainer.join();
+
+    ASSERT_EQ(drained.size(), writers * per_writer);
+    // Every id exactly once...
+    std::vector<uint64_t> ids;
+    ids.reserve(drained.size());
+    for (const ServiceEvent& event : drained)
+        ids.push_back(event.job);
+    std::sort(ids.begin(), ids.end());
+    for (uint64_t i = 0; i < ids.size(); ++i)
+        EXPECT_EQ(ids[i], i);
+    // ...and each writer's packets in its publish order.
+    std::vector<uint64_t> last(writers, 0);
+    for (const ServiceEvent& event : drained) {
+        uint64_t w = event.job / per_writer;
+        uint64_t seq = event.job % per_writer;
+        ASSERT_LT(w, static_cast<uint64_t>(writers));
+        if (seq > 0) {
+            EXPECT_GE(seq, last[w]);
+        }
+        last[w] = seq;
+    }
+}
+
+TEST(EventStream, PassInterningIsStable)
+{
+    EventStream stream;
+    int32_t mapping = stream.passId("mapping");
+    int32_t routing = stream.passId("routing");
+    EXPECT_NE(mapping, routing);
+    EXPECT_EQ(stream.passId("mapping"), mapping);
+    std::vector<std::string> names = stream.passNames();
+    ASSERT_GT(names.size(), static_cast<size_t>(routing));
+    EXPECT_EQ(names[static_cast<size_t>(mapping)], "mapping");
+    EXPECT_EQ(names[static_cast<size_t>(routing)], "routing");
+}
+
+TEST(EventStream, RecorderDrainsInBackground)
+{
+    EventStream stream(1024);
+    {
+        EventRecorder recorder(stream, 1.0);
+        for (uint64_t i = 0; i < 200; ++i)
+            stream.publishNow(packet(ServiceEventType::Submit, i));
+        recorder.stop();
+        EXPECT_EQ(recorder.events().size(), 200u);
+        for (size_t i = 0; i < recorder.events().size(); ++i)
+            EXPECT_EQ(recorder.events()[i].job, i);
+    }
+}
+
+// -------------------------------------------------------- trace export
+
+/** Count "ph":"X" occurrences in a rendered trace. */
+size_t
+countPhase(const std::string& json, const std::string& phase)
+{
+    std::string needle = "\"ph\":\"" + phase + "\"";
+    size_t count = 0;
+    for (size_t pos = json.find(needle); pos != std::string::npos;
+         pos = json.find(needle, pos + needle.size()))
+        ++count;
+    return count;
+}
+
+std::vector<ServiceEvent>
+oneJobLog()
+{
+    // submit -> admit -> dispatch -> one pass -> cache -> complete.
+    EventStream stream(64);
+    stream.publishNow(packet(ServiceEventType::Submit, 1, -1, -1, 1.0));
+    stream.publishNow(
+        packet(ServiceEventType::Admit, 1, 0, 0, 1000.0, 0.99));
+    stream.publishNow(packet(ServiceEventType::Dispatch, 1, 0, 0));
+    ServiceEvent begin = packet(ServiceEventType::PassBegin, 1, 0, 0);
+    begin.pass = 0;
+    stream.publishNow(begin);
+    ServiceEvent end =
+        packet(ServiceEventType::PassComplete, 1, 0, 0, 0.5);
+    end.pass = 0;
+    stream.publishNow(end);
+    stream.publishNow(
+        packet(ServiceEventType::CacheStats, 1, 0, 0, 3.0, 1.0));
+    stream.publishNow(
+        packet(ServiceEventType::Complete, 1, 0, 0, 1.5, 1.0));
+    std::vector<ServiceEvent> log;
+    stream.drain(log);
+    return log;
+}
+
+TEST(TraceExport, BalancedSpansAndNames)
+{
+    TraceExportOptions options;
+    options.shard_names = {"alpha"};
+    options.pass_names = {"mapping"};
+    std::string json = chromeTraceJson(oneJobLog(), options);
+
+    // One job span + one pass span, both closed.
+    EXPECT_EQ(countPhase(json, "B"), 2u);
+    EXPECT_EQ(countPhase(json, "E"), 2u);
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("job 1[0]"), std::string::npos);
+    EXPECT_NE(json.find("\"mapping\""), std::string::npos);
+    EXPECT_NE(json.find("shard:alpha"), std::string::npos);
+    // Submit/admit/cache instants survive as "i" marks.
+    EXPECT_GE(countPhase(json, "i"), 3u);
+}
+
+TEST(TraceExport, TruncatedLogStillBalances)
+{
+    std::vector<ServiceEvent> log = oneJobLog();
+    // Drop everything after PassBegin: both spans left dangling.
+    log.resize(4);
+    std::string json = chromeTraceJson(log);
+    EXPECT_EQ(countPhase(json, "B"), countPhase(json, "E"));
+    EXPECT_EQ(countPhase(json, "B"), 2u);
+}
+
+TEST(TraceExport, EmptyLogRendersValidJson)
+{
+    std::string json = chromeTraceJson({});
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_EQ(countPhase(json, "B"), 0u);
+}
+
+} // namespace
+} // namespace qiset

@@ -6,6 +6,8 @@
 // and concurrent submitters hammering one service (the ASan/UBSan CI
 // leg runs this file too, so data races fail loudly).
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -492,6 +494,137 @@ TEST(CompileService, ConcurrentSubmittersShareOneService)
               static_cast<uint64_t>(kSubmitters * kJobsEach));
     EXPECT_EQ(stats.queued, 0u);
     EXPECT_EQ(stats.in_flight, 0u);
+}
+
+// ------------------------------------------------- waits and callbacks
+
+TEST(CompileService, WaitForExpiredDeadlineReturnsImmediately)
+{
+    GateSet set = isa::rigettiSet(1);
+    CompileServiceOptions options;
+    options.workers = 1;
+    CompileService service(twoShardFleet(), set, options);
+
+    // Paused service: the job cannot make progress, so any blocking
+    // in waitFor() would be charged in full.
+    service.pause();
+    CompileJob job = service.submit(requestFor(makeWorkload(1, 3)));
+
+    auto start = std::chrono::steady_clock::now();
+    EXPECT_EQ(job.waitFor(0.0), JobStatus::Queued);
+    EXPECT_EQ(job.waitFor(-5.0), JobStatus::Queued);
+    double elapsed_ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+    // An expired deadline answers from the current state — it must
+    // not wait out a dispatch cycle (the old behavior blocked here).
+    EXPECT_LT(elapsed_ms, 50.0);
+
+    // A positive timeout on a stuck job returns Queued after ~the
+    // timeout, not Done.
+    EXPECT_EQ(job.waitFor(1.0), JobStatus::Queued);
+
+    service.resume();
+    ASSERT_EQ(job.wait(), JobStatus::Done);
+    // Terminal: waitFor never blocks regardless of timeout sign.
+    EXPECT_EQ(job.waitFor(0.0), JobStatus::Done);
+    EXPECT_EQ(job.waitFor(1e9), JobStatus::Done);
+}
+
+TEST(CompileService, CompletionCallbackFiresOncePerJob)
+{
+    GateSet set = isa::rigettiSet(1);
+    CompileServiceOptions options;
+    options.workers = 2;
+    CompileService service(twoShardFleet(), set, options);
+
+    std::atomic<int> fired{0};
+    std::atomic<int> done{0};
+    CompileRequest request = requestFor(makeWorkload(2, 3));
+    request.on_complete = [&](CompileJob job) {
+        fired.fetch_add(1);
+        if (job.poll() == JobStatus::Done &&
+            job.results().size() == 2)
+            done.fetch_add(1);
+    };
+    CompileJob job = service.submit(std::move(request));
+    ASSERT_EQ(job.wait(), JobStatus::Done);
+    service.shutdown();
+    EXPECT_EQ(fired.load(), 1);
+    EXPECT_EQ(done.load(), 1);
+
+    // Registering on an already-terminal job fires synchronously.
+    int late = 0;
+    job.onComplete([&late](CompileJob j) {
+        if (j.poll() == JobStatus::Done)
+            ++late;
+    });
+    EXPECT_EQ(late, 1);
+}
+
+TEST(CompileService, CallbacksFireOnEveryTerminalPath)
+{
+    GateSet set = isa::rigettiSet(1);
+    CompileServiceOptions options;
+    options.workers = 1;
+    CompileService service(twoShardFleet(), set, options);
+
+    // Rejected (inline, on the submitting thread).
+    JobStatus rejected_status = JobStatus::Queued;
+    CompileRequest doomed = requestFor(makeWorkload(2, 3));
+    doomed.deadline_ns = 1e-9;
+    doomed.on_complete = [&](CompileJob job) {
+        rejected_status = job.poll();
+    };
+    service.submit(std::move(doomed));
+    EXPECT_EQ(rejected_status, JobStatus::Rejected);
+
+    // Empty request: Done immediately, callback still fires.
+    JobStatus empty_status = JobStatus::Queued;
+    CompileRequest empty;
+    empty.on_complete = [&](CompileJob job) {
+        empty_status = job.poll();
+    };
+    service.submit(std::move(empty));
+    EXPECT_EQ(empty_status, JobStatus::Done);
+
+    // Cancelled while queued: the cancel path fires it.
+    service.pause();
+    std::atomic<int> cancelled{0};
+    CompileRequest queued = requestFor(makeWorkload(2, 3));
+    queued.on_complete = [&](CompileJob job) {
+        if (job.poll() == JobStatus::Cancelled)
+            cancelled.fetch_add(1);
+    };
+    CompileJob job = service.submit(std::move(queued));
+    EXPECT_TRUE(job.cancel());
+    EXPECT_EQ(cancelled.load(), 1);
+    service.resume();
+
+    // Registered mid-flight via the handle (async completion path).
+    std::atomic<int> async_fired{0};
+    CompileJob running = service.submit(requestFor(makeWorkload(1, 3)));
+    running.onComplete([&](CompileJob j) {
+        if (j.poll() == JobStatus::Done)
+            async_fired.fetch_add(1);
+    });
+    ASSERT_NE(running.wait(), JobStatus::Failed);
+    service.shutdown();
+    EXPECT_EQ(async_fired.load(), 1);
+}
+
+TEST(CompileService, InlineModeFiresCallbackBeforeSubmitReturns)
+{
+    GateSet set = isa::rigettiSet(1);
+    CompileService service(twoShardFleet(), set,
+                           CompileServiceOptions());
+    bool fired = false;
+    CompileRequest request = requestFor(makeWorkload(1, 3));
+    request.on_complete = [&fired](CompileJob job) {
+        fired = job.poll() == JobStatus::Done;
+    };
+    service.submit(std::move(request));
+    EXPECT_TRUE(fired);
 }
 
 } // namespace
