@@ -20,13 +20,14 @@ SERVICE_JSON="${SERVICE_JSON:-$BUILD_DIR/BENCH_service.json}"
 SERVICE_TRACE_OUT="${SERVICE_TRACE_OUT:-$BUILD_DIR/trace.json}"
 TRANSLATION_JSON="${TRANSLATION_JSON:-$BUILD_DIR/BENCH_translation.json}"
 HOTPATH_JSON="${HOTPATH_JSON:-$BUILD_DIR/BENCH_hotpath.json}"
+CHIPLET_JSON="${CHIPLET_JSON:-$BUILD_DIR/BENCH_chiplet.json}"
 
 # Extra configure arguments (e.g. -DCMAKE_CXX_COMPILER_LAUNCHER=ccache
 # in CI); intentionally unquoted so multiple flags split.
 cmake -B "$BUILD_DIR" -S . ${CMAKE_EXTRA_ARGS:-}
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target "$BENCH" \
     bench_routing bench_sharding bench_service bench_translation \
-    bench_hotpath quickstart
+    bench_hotpath bench_chiplet quickstart
 
 # run_bench <binary> [json-output] [args...]: run a bench, streaming
 # its output to the terminal (and to the JSON file when given), and
@@ -74,3 +75,8 @@ run_bench bench_translation "$TRANSLATION_JSON"
 # QV leg to 24 qubits; the gated QFT-32 counters are mode-invariant.
 # Intentionally unquoted so multiple flags split.
 run_bench bench_hotpath "$HOTPATH_JSON" ${HOTPATH_ARGS:-}
+# Chiplet routing (PR 9 on): teleport-aware vs SWAP-only link
+# crossings on multi-core devices. The binary self-checks that the
+# teleport-aware compile wins on every workload (nonzero exit
+# otherwise); the baseline additionally gates its worst-case fidelity.
+run_bench bench_chiplet "$CHIPLET_JSON"

@@ -32,6 +32,12 @@ regresses beyond the baseline tolerance:
     are serial, seeded and mode-invariant (--quick shrinks only the
     QV leg), so — like the SWAP-count gate — they are enforced on
     every runner regardless of thread count.
+  - Chiplet routing: fails when teleport-aware routing stops beating
+    the SWAP-only link baseline on any chiplet workload
+    (teleport_wins, always enforced), or when the worst-case
+    teleport-aware fidelity (deterministic: seeded calibration,
+    serial compiles) drops below the committed floor
+    (chiplet_min_teleport_fidelity).
   - Bit-identity of sharded and service results (always enforced).
 
 The sharding/service/hotpath speedup baselines — and the hotpath p95
@@ -44,7 +50,8 @@ serial-vs-serial on one thread and always gated.
 Usage:
   check_bench_regression.py <baseline.json> <BENCH_routing.json> \
       <BENCH_sharding.json> <BENCH_service.json> \
-      <BENCH_translation.json> <BENCH_hotpath.json>
+      <BENCH_translation.json> <BENCH_hotpath.json> \
+      <BENCH_chiplet.json>
 """
 
 import json
@@ -86,7 +93,7 @@ def gate_speedup(
 
 
 def main() -> None:
-    if len(sys.argv) != 7:
+    if len(sys.argv) != 8:
         print(__doc__, file=sys.stderr)
         sys.exit(2)
     (
@@ -96,7 +103,8 @@ def main() -> None:
         service_path,
         translation_path,
         hotpath_path,
-    ) = sys.argv[1:7]
+        chiplet_path,
+    ) = sys.argv[1:8]
     with open(baseline_path) as f:
         baseline = json.load(f)
     with open(routing_path) as f:
@@ -109,6 +117,8 @@ def main() -> None:
         translation = json.load(f)
     with open(hotpath_path) as f:
         hotpath = json.load(f)
+    with open(chiplet_path) as f:
+        chiplet = json.load(f)
 
     tolerance = baseline.get("tolerance", 0.10)
 
@@ -263,6 +273,27 @@ def main() -> None:
         baseline.get("min_hotpath_speedup", 0.0),
         tolerance,
     )
+
+    # --- chiplet routing: teleport advantage (always) + fidelity floor
+    if not chiplet.get("teleport_wins", False):
+        fail(
+            "teleport-aware routing no longer beats the SWAP-only link "
+            "baseline on every chiplet workload"
+        )
+    min_fid = chiplet["min_teleport_fidelity"]
+    fid_floor = baseline["chiplet_min_teleport_fidelity"]
+    print(
+        f"chiplet worst-case teleport-aware fidelity: {min_fid:.4f} "
+        f"(floor {fid_floor})"
+    )
+    # Deterministic (seeded device calibration, serial compiles), so
+    # the floor is hard: a drop means routing or link-cost accounting
+    # changed — re-measure and re-baseline deliberately, not silently.
+    if min_fid < fid_floor:
+        fail(
+            "chiplet teleport-aware fidelity regressed: "
+            f"{min_fid:.4f} < {fid_floor}"
+        )
 
     print("bench regression gate: OK")
 

@@ -12,7 +12,8 @@ Checks the schema documented in docs/telemetry.md:
     open only at depth 0, pass spans only nest inside a job span, and
     no span is left open at end of file;
   * "i" instants live on the synthetic service process (pid 0) except
-    per-compile cache marks, which sit on their shard's track.
+    per-compile cache and teleport marks, which sit on their shard's
+    track.
 
 Exit code 0 when the trace is clean (prints a one-line summary),
 1 with one line per violation otherwise.  CI runs this on the trace
@@ -86,8 +87,9 @@ def lint(path):
             else:
                 stack.pop()
         elif ph == "i":
-            # Lifecycle instants live on pid 0; cache marks on shards.
-            if name != "cache" and event["pid"] != 0:
+            # Lifecycle instants live on pid 0; cache and teleport
+            # marks on their shard's track.
+            if name not in ("cache", "teleport") and event["pid"] != 0:
                 errors.append(
                     f"{where}: instant {name!r} on pid {event['pid']} "
                     "(lifecycle instants belong to the service pid 0)")

@@ -88,6 +88,19 @@ consolidateTwoQubitBlocks(const Circuit& circuit, MemArena& arena)
 
         int a = qs[0];
         int b = qs[1];
+        static const LabelId teleport_label = internLabel("TELEPORT");
+        static const LabelId teleswap_label = internLabel("TELESWAP");
+        if (op.labelId() == teleport_label ||
+            op.labelId() == teleswap_label) {
+            // Inter-core link ops are fusion barriers: they are
+            // already native (translation passes them through, never
+            // decomposes them), so absorbing them into an SU(4) block
+            // would put that block on an uncoupled qubit pair.
+            flush_qubit(a);
+            flush_qubit(b);
+            out.add(op);
+            continue;
+        }
         if (owner[a] >= 0 && owner[a] == owner[b]) {
             // Same pair: fuse (reorienting if the op is reversed).
             Block& block = blocks[static_cast<size_t>(owner[a])];

@@ -74,6 +74,13 @@ struct CompileOptions
      * in a sharded batch — so each target can tune its router.
      */
     SabreOptions sabre;
+    /**
+     * Chiplet-router tuning used when `routing == "telesabre"` (and
+     * whenever a multi-core coupling forces the teleport router; see
+     * the routing pass). use_teleport = false selects the SWAP-only
+     * link baseline the benches compare against.
+     */
+    TeleportOptions teleport;
     /** NuOp settings shared by all decompositions. */
     NuOpOptions nuop;
     /**
@@ -130,6 +137,10 @@ struct CompileResult
     int two_qubit_count = 0;
     /** SWAPs inserted by routing (before decomposition). */
     int swaps_inserted = 0;
+    /** Inter-core teleport ops inserted by chiplet routing. */
+    int teleports_inserted = 0;
+    /** Expected EPR generation attempts of inter-core traffic. */
+    double epr_attempts = 0.0;
     /** Ops whose error rate the crosstalk pass inflated. */
     int crosstalk_inflated = 0;
     /** Native 2Q usage per gate type. */
@@ -205,6 +216,8 @@ class CompilationContext
     NoiseModel noise;
     int two_qubit_count = 0;
     int swaps_inserted = 0;
+    int teleports_inserted = 0;
+    double epr_attempts = 0.0;
     int crosstalk_inflated = 0;
     std::map<std::string, int> type_usage;
     double estimated_fidelity = 1.0;
@@ -262,6 +275,8 @@ class CompilationContext
         out.noise = std::move(noise);
         out.two_qubit_count = two_qubit_count;
         out.swaps_inserted = swaps_inserted;
+        out.teleports_inserted = teleports_inserted;
+        out.epr_attempts = epr_attempts;
         out.crosstalk_inflated = crosstalk_inflated;
         out.type_usage = std::move(type_usage);
         out.estimated_fidelity = estimated_fidelity;

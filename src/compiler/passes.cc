@@ -11,6 +11,7 @@
 #include "compiler/mapping.h"
 #include "compiler/routing.h"
 #include "compiler/routing_strategy.h"
+#include "compiler/teleport_router.h"
 #include "compiler/translate.h"
 #include "nuop/decomposition_strategy.h"
 
@@ -52,7 +53,15 @@ class RoutingPass : public Pass
 
         RoutedCircuit routed;
         std::string winner = strategy_;
-        if (strategy_ == "best-of") {
+        if (coupling.numCores() > 1 && strategy_ != "telesabre") {
+            // Multi-core couplings are disconnected in the plain graph
+            // sense; only the teleport router can cross cores.
+            winner = "telesabre";
+            ctx.diagnostic("routing: multi-core coupling forces "
+                           "telesabre (requested " +
+                           strategy_ + ")");
+            routed = routeWith(ctx, coupling, winner);
+        } else if (strategy_ == "best-of") {
             routed = routeBestOf(ctx, coupling, winner);
         } else {
             routed = routeWith(ctx, coupling, strategy_);
@@ -62,9 +71,22 @@ class RoutingPass : public Pass
         ctx.initial_positions = std::move(routed.initial_positions);
         ctx.final_positions = std::move(routed.final_positions);
         ctx.swaps_inserted = routed.swaps_inserted;
+        ctx.teleports_inserted = routed.teleports_inserted;
+        ctx.epr_attempts = routed.epr_attempts;
         ctx.reportCounter("swaps_inserted", routed.swaps_inserted);
+        if (coupling.numCores() > 1) {
+            ctx.reportCounter("teleports_inserted",
+                              routed.teleports_inserted);
+            ctx.reportCounter("epr_attempts", routed.epr_attempts);
+        }
         ctx.diagnostic("routing: strategy " + winner + " inserted " +
-                       std::to_string(routed.swaps_inserted) + " SWAPs");
+                       std::to_string(routed.swaps_inserted) + " SWAPs" +
+                       (routed.teleports_inserted > 0
+                            ? " and " +
+                                  std::to_string(
+                                      routed.teleports_inserted) +
+                                  " teleports"
+                            : ""));
     }
 
   private:
@@ -72,13 +94,17 @@ class RoutingPass : public Pass
                             const Topology& coupling,
                             const std::string& name) const
     {
-        // The built-in SABRE router takes its tuning from the compile
-        // options; other names resolve through the registry (whose
-        // factories take no options).
-        std::unique_ptr<RoutingStrategy> router =
-            name == "sabre"
-                ? std::make_unique<SabreRouter>(ctx.options().sabre)
-                : makeRoutingStrategy(name);
+        // The built-in SABRE and teleport routers take their tuning
+        // from the compile options; other names resolve through the
+        // registry (whose factories take no options).
+        std::unique_ptr<RoutingStrategy> router;
+        if (name == "sabre")
+            router = std::make_unique<SabreRouter>(ctx.options().sabre);
+        else if (name == "telesabre")
+            router = std::make_unique<TeleportRouter>(
+                ctx.options().sabre, ctx.options().teleport);
+        else
+            router = makeRoutingStrategy(name);
         // Routing scratch (distance tables, DAG, frontier sets) bumps
         // from the compile arena; rewind it per candidate so best-of
         // runs reuse the same warm blocks instead of accumulating.
@@ -103,10 +129,20 @@ class RoutingPass : public Pass
                              const RoutedCircuit& routed) const
     {
         static const LabelId swap_label = internLabel("SWAP");
+        static const LabelId teleport_label = internLabel("TELEPORT");
+        static const LabelId teleswap_label = internLabel("TELESWAP");
         double fidelity = 1.0;
         for (const auto& op : routed.circuit.ops()) {
             if (!op.isTwoQubit())
                 continue;
+            if (op.labelId() == teleport_label ||
+                op.labelId() == teleswap_label) {
+                // Link ops carry their own EPR-model error rate; the
+                // endpoints are not coupling-adjacent, so edge lookup
+                // would misread them as dead edges.
+                fidelity *= 1.0 - op.errorRate();
+                continue;
+            }
             Qubits qs = op.qubits();
             int pa = ctx.physical[qs[0]];
             int pb = ctx.physical[qs[1]];

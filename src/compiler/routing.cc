@@ -12,6 +12,24 @@ addSwapOp(Circuit& circuit, int slot_a, int slot_b)
     circuit.add2q(slot_a, slot_b, gates::swap(), swap_label);
 }
 
+void
+addTeleportOp(Circuit& circuit, int slot_a, int slot_b,
+              double error_rate, double duration_ns)
+{
+    static const LabelId teleport_label = internLabel("TELEPORT");
+    circuit.add2q(slot_a, slot_b, gates::swap(), teleport_label,
+                  error_rate, duration_ns);
+}
+
+void
+addTeleportSwapOp(Circuit& circuit, int slot_a, int slot_b,
+                  double error_rate, double duration_ns)
+{
+    static const LabelId teleswap_label = internLabel("TELESWAP");
+    circuit.add2q(slot_a, slot_b, gates::swap(), teleswap_label,
+                  error_rate, duration_ns);
+}
+
 RoutingState::RoutingState(int num_positions)
     : position(num_positions), occupant(num_positions)
 {

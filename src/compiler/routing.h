@@ -31,8 +31,15 @@ struct RoutedCircuit
     /** final_positions[l] = register position of logical qubit l at
      *  measurement time. */
     std::vector<int> final_positions;
-    /** Number of SWAP operations inserted. */
+    /** Number of SWAP operations inserted (including link SWAPs the
+     *  SWAP-only chiplet baseline emits across teleport edges). */
     int swaps_inserted = 0;
+    /** Number of inter-core teleport operations inserted. */
+    int teleports_inserted = 0;
+    /** Expected EPR generation attempts consumed by inter-core
+     *  traffic (1 pair per teleport, 3 per link SWAP, times the
+     *  link's mean attempts per pair). */
+    double epr_attempts = 0.0;
 
     RoutedCircuit() : circuit(1) {}
 };
@@ -54,6 +61,26 @@ RoutedCircuit routeCircuit(const Circuit& logical,
  * router must emit SWAPs through this so label/unitary stay uniform.
  */
 void addSwapOp(Circuit& circuit, int slot_a, int slot_b);
+
+/**
+ * Append an inter-core exchange teleportation: SWAP semantics between
+ * the two comm slots of a teleport edge, labeled "TELEPORT" and
+ * carrying the link's error rate / duration. Translation passes these
+ * through untouched (the endpoints are not coupling-adjacent, so they
+ * must never reach gate decomposition) and consolidation treats them
+ * as fusion barriers.
+ */
+void addTeleportOp(Circuit& circuit, int slot_a, int slot_b,
+                   double error_rate, double duration_ns);
+
+/**
+ * Append a link SWAP across a teleport edge — the SWAP-only baseline
+ * the teleport router compares against, implemented by gate
+ * teleportation at a cost of three EPR pairs. Labeled "TELESWAP";
+ * handled like TELEPORT by consolidation/translation.
+ */
+void addTeleportSwapOp(Circuit& circuit, int slot_a, int slot_b,
+                       double error_rate, double duration_ns);
 
 /**
  * The logical<->position mapping a router mutates while inserting

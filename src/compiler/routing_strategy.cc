@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "common/error.h"
+#include "compiler/teleport_router.h"
 #include "qc/gates.h"
 
 namespace qiset {
@@ -36,6 +37,10 @@ registryMap()
         };
         builtins["sabre"] = [] {
             return std::unique_ptr<RoutingStrategy>(new SabreRouter());
+        };
+        builtins["telesabre"] = [] {
+            return std::unique_ptr<RoutingStrategy>(
+                new TeleportRouter());
         };
         return builtins;
     }();

@@ -22,6 +22,10 @@
  *    forward/reverse refinement passes whose final mapping seeds the
  *    emitting pass (so the start layout may be a permutation; see
  *    RoutedCircuit::initial_positions).
+ *  - "telesabre": the chiplet-aware extension (teleport_router.h).
+ *    On couplings carrying a multi-core structure it weighs intra-core
+ *    SWAP chains against inter-core exchange teleportations; on
+ *    single-core couplings it delegates to "sabre" bit-identically.
  *
  * Extension point: implement RoutingStrategy, then
  * registerRoutingStrategy("name", factory) once at startup;
@@ -147,6 +151,25 @@ struct SabreOptions
      * identity start layout.
      */
     int refinement_rounds = 2;
+};
+
+/** Tuning knobs of the teleportation-aware chiplet router. */
+struct TeleportOptions
+{
+    /**
+     * Emit TELEPORT ops across inter-core links (one EPR pair each).
+     * When false the router still crosses links, but with TELESWAP
+     * ops — the gate-teleportation SWAP-only baseline at three EPR
+     * pairs per crossing — so the two modes route identically and
+     * differ only in link-op cost. The benches compare exactly this.
+     */
+    bool use_teleport = true;
+    /**
+     * Distance-table weight of one teleport link hop relative to one
+     * intra-core coupling hop (> 1 biases the router toward staying
+     * inside a core when a SWAP chain is competitive).
+     */
+    double teleport_weight = 2.0;
 };
 
 /** SABRE-style lookahead router ("sabre" in the registry). */

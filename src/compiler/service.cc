@@ -133,6 +133,8 @@ struct CompileJob::State
             if (!compiled[i])
                 continue;
             out.swaps_inserted += results[i].swaps_inserted;
+            out.teleports_inserted += results[i].teleports_inserted;
+            out.epr_attempts += results[i].epr_attempts;
             out.mean_estimated_fidelity += results[i].estimated_fidelity;
             for (const PassMetric& metric : results[i].pass_metrics) {
                 if (metric.pass != "translation")
@@ -180,8 +182,16 @@ struct CompileService::Impl
         uint64_t completed = 0;
         double wall_ms = 0.0;
         int swaps = 0;
+        int teleports = 0;
+        double epr_attempts = 0.0;
         double est_fid_sum = 0.0;
         double pred_fid_sum = 0.0;
+        /** Summed workload features of the admitted circuits, so the
+         *  snapshot can ask the cost model about the shard's *mean*
+         *  workload without keeping per-circuit history. */
+        double feat_ops_sum = 0.0;
+        double feat_two_q_sum = 0.0;
+        double feat_depth_sum = 0.0;
         std::vector<PassMetric> pass_rollup;
     };
 
@@ -217,6 +227,9 @@ struct CompileService::Impl
      * i.e. back = highest priority, earliest sequence number.
      */
     std::vector<std::vector<QueueEntry>> queues;
+    /** Gauge: circuits dispatched but not yet finished, per shard
+     *  (threaded mode only; drives max_in_flight_per_shard). */
+    std::vector<size_t> shard_in_flight;
     /** Gauge: predicted ns admitted but not yet compiled, per shard. */
     std::vector<double> backlog_ns;
     /** Monotonic predicted ns ever admitted, per shard. */
@@ -357,10 +370,17 @@ struct CompileService::Impl
     {
         if (!pool)
             return;
+        size_t per_shard_cap = opts.planner.max_in_flight_per_shard;
         while (!paused && in_flight < max_inflight) {
             int best_shard = -1;
             for (size_t s = 0; s < queues.size(); ++s) {
                 if (queues[s].empty())
+                    continue;
+                // Per-shard cap: a saturated shard's queue waits, but
+                // other shards keep dispatching — finishEntry re-pumps
+                // when a slot frees up, so nothing is ever lost.
+                if (per_shard_cap > 0 &&
+                    shard_in_flight[s] >= per_shard_cap)
                     continue;
                 if (best_shard < 0 ||
                     dispatchesBefore(
@@ -397,6 +417,7 @@ struct CompileService::Impl
                 continue;
             }
             ++in_flight;
+            ++shard_in_flight[static_cast<size_t>(best_shard)];
             auto self = shared_from_this();
             pool->submit([self, entry] { self->runEntry(entry); });
         }
@@ -481,6 +502,11 @@ struct CompileService::Impl
                 maybeFinalizeJobLocked(entry.job);
             }
             --in_flight;
+            // Inline submits never touch the per-shard gauges, so
+            // only pool dispatches pay one back here.
+            if (pool)
+                --shard_in_flight[static_cast<size_t>(
+                    entry.job->plan.assignments[entry.index].shard)];
             idle_cv.notify_all();
         }
         fireReadyCallbacks();
@@ -511,6 +537,12 @@ struct CompileService::Impl
             publishEvent(ServiceEventType::CacheStats, entry.job->id,
                          static_cast<int32_t>(entry.index),
                          assignment.shard, hits, misses);
+        if (!error && result.teleports_inserted > 0)
+            publishEvent(ServiceEventType::Teleport, entry.job->id,
+                         static_cast<int32_t>(entry.index),
+                         assignment.shard,
+                         static_cast<double>(result.teleports_inserted),
+                         result.epr_attempts);
         publishEvent(ServiceEventType::Complete, entry.job->id,
                      static_cast<int32_t>(entry.index), assignment.shard,
                      wall_ms, error ? 0.0 : 1.0);
@@ -523,6 +555,8 @@ struct CompileService::Impl
                 ++acc.completed;
                 acc.wall_ms += totalWallMs(result.pass_metrics);
                 acc.swaps += result.swaps_inserted;
+                acc.teleports += result.teleports_inserted;
+                acc.epr_attempts += result.epr_attempts;
                 acc.est_fid_sum += result.estimated_fidelity;
                 accumulatePassMetrics(acc.pass_rollup,
                                       result.pass_metrics);
@@ -543,6 +577,8 @@ struct CompileService::Impl
                 maybeFinalizeJobLocked(entry.job);
             }
             --in_flight;
+            if (pool)
+                --shard_in_flight[s];
             pumpLocked();
             idle_cv.notify_all();
         }
@@ -567,12 +603,42 @@ struct CompileService::Impl
             metric.counters["queue_ns"] = admitted_ns[s];
             metric.counters["backlog_ns"] = backlog_ns[s];
             metric.counters["swaps_inserted"] = acc.swaps;
+            metric.counters["teleports_inserted"] = acc.teleports;
+            metric.counters["epr_attempts"] = acc.epr_attempts;
             if (acc.completed > 0)
                 metric.counters["mean_estimated_fidelity"] =
                     acc.est_fid_sum / acc.completed;
-            if (acc.assigned > 0)
+            if (acc.assigned > 0) {
                 metric.counters["mean_predicted_fidelity"] =
                     acc.pred_fid_sum / acc.assigned;
+                if (cost_model) {
+                    // The cost model's view of the shard's mean
+                    // admitted workload: whole-compile and per-pass
+                    // wall-clock plus the expected warm-cache
+                    // fraction. Cold models simply contribute no
+                    // counters (the predicates below return false).
+                    CompileCostModel::Features mean;
+                    mean.ops = acc.feat_ops_sum / acc.assigned;
+                    mean.two_q = acc.feat_two_q_sum / acc.assigned;
+                    mean.depth = acc.feat_depth_sum / acc.assigned;
+                    double value = 0.0;
+                    if (cost_model->predictCompileMs(
+                            mean, &value,
+                            opts.planner.cost_model_min_samples))
+                        metric.counters["predicted_compile_ms"] = value;
+                    if (cost_model->predictHitRatio(
+                            mean, &value,
+                            opts.planner.cost_model_min_samples))
+                        metric.counters["predicted_hit_ratio"] = value;
+                    for (const std::string& pass :
+                         cost_model->passNames())
+                        if (cost_model->predictPassMs(
+                                pass, mean, &value,
+                                opts.planner.cost_model_min_samples))
+                            metric.counters["predicted_" + pass +
+                                            "_ms"] = value;
+                }
+            }
             out.push_back(std::move(metric));
         }
         return out;
@@ -735,6 +801,9 @@ CompileJob::passMetrics() const
         static_cast<double>(stats.cache_misses);
     service.counters["swaps_inserted"] =
         static_cast<double>(stats.swaps_inserted);
+    service.counters["teleports_inserted"] =
+        static_cast<double>(stats.teleports_inserted);
+    service.counters["epr_attempts"] = stats.epr_attempts;
     double fidelity_sum = 0.0;
     for (size_t i = 0; i < state_->circuits.size(); ++i)
         if (state_->compiled[i])
@@ -855,6 +924,7 @@ CompileService::CompileService(DeviceFleet fleet, GateSet gate_set,
 
     size_t shards = impl_->fleet.size();
     impl_->queues.resize(shards);
+    impl_->shard_in_flight.assign(shards, 0);
     impl_->backlog_ns.assign(shards, 0.0);
     impl_->admitted_ns.assign(shards, 0.0);
     impl_->shard_accum.resize(shards);
@@ -989,6 +1059,9 @@ CompileService::submit(CompileRequest request)
             impl_->shard_accum[static_cast<size_t>(a.shard)];
         ++acc.assigned;
         acc.pred_fid_sum += a.predicted_fidelity;
+        acc.feat_ops_sum += a.features.ops;
+        acc.feat_two_q_sum += a.features.two_q;
+        acc.feat_depth_sum += a.features.depth;
         impl_->publishEvent(ServiceEventType::Admit, state->id,
                             static_cast<int32_t>(c), a.shard,
                             a.predicted_duration_ns,

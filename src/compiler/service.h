@@ -126,6 +126,10 @@ struct CompileJobStats
     /** hits / (hits + misses); 0 when the job did no lookups. */
     double cache_hit_ratio = 0.0;
     int swaps_inserted = 0;
+    /** Inter-core teleports of this job's compiles (chiplet shards). */
+    int teleports_inserted = 0;
+    /** Expected EPR generation attempts those teleports cost. */
+    double epr_attempts = 0.0;
     double mean_estimated_fidelity = 0.0;
     double mean_predicted_fidelity = 0.0;
     /** Per-circuit assigned shard index (the plan's view). */

@@ -85,6 +85,11 @@ meanPairwiseDistance(const Topology& topo)
         return 0.0;
     long long total = 0;
     long long pairs = 0;
+    // Chiplet couplings are disconnected across cores by design;
+    // traversing teleport links as unit edges keeps the proxy finite
+    // there instead of charging every cross-core pair the worst-case
+    // distance n. Topologies without links are unaffected.
+    const auto& links = topo.teleportEdges();
     for (int source = 0; source < n; ++source) {
         std::vector<int> dist(n, -1);
         std::queue<int> frontier;
@@ -98,6 +103,15 @@ meanPairwiseDistance(const Topology& topo)
                     dist[v] = dist[u] + 1;
                     frontier.push(v);
                 }
+            for (const TeleportEdge& link : links) {
+                int v = link.comm_a == u
+                            ? link.comm_b
+                            : (link.comm_b == u ? link.comm_a : -1);
+                if (v >= 0 && dist[v] < 0) {
+                    dist[v] = dist[u] + 1;
+                    frontier.push(v);
+                }
+            }
         }
         for (int target = source + 1; target < n; ++target) {
             // Unreachable pairs get the worst-case distance so
@@ -231,8 +245,28 @@ planShardAssignments(const std::vector<Circuit>& apps,
             double ms = 0.0;
             if (cost_model->predictCompileMs(
                     model_features[c], &ms,
-                    planner.cost_model_min_samples))
-                compile_ns = planner.cost_model_weight * ms * 1e6;
+                    planner.cost_model_min_samples)) {
+                // Derate the translation share by the predicted cache
+                // hit ratio: warm-cache lookups skip the BFGS hot path
+                // entirely, so a workload the model expects to hit
+                // mostly warm costs far less worker time than its raw
+                // wall-clock fit suggests. Both sub-models cold (or
+                // the hit model untrained) leave ms untouched — and
+                // the whole term is still gated on use_cost_model, so
+                // knob-off plans stay bit-identical.
+                double translation_ms = 0.0;
+                double hit_ratio = 0.0;
+                if (cost_model->predictPassMs(
+                        "translation", model_features[c],
+                        &translation_ms,
+                        planner.cost_model_min_samples) &&
+                    cost_model->predictHitRatio(
+                        model_features[c], &hit_ratio,
+                        planner.cost_model_min_samples))
+                    ms -= std::max(0.0, translation_ms) * hit_ratio;
+                compile_ns =
+                    planner.cost_model_weight * std::max(0.0, ms) * 1e6;
+            }
         }
         candidates[c].reserve(fleet.size());
         for (size_t s = 0; s < fleet.size(); ++s) {
@@ -376,11 +410,15 @@ compileBatchSharded(const std::vector<Circuit>& apps,
         double estimated_sum = 0.0;
         double predicted_sum = 0.0;
         int swaps = 0;
+        int teleports = 0;
+        double epr_attempts = 0.0;
         for (size_t i : out.plan.queues[s]) {
             metric.wall_ms += totalWallMs(out.results[i].pass_metrics);
             estimated_sum += out.results[i].estimated_fidelity;
             predicted_sum += out.plan.assignments[i].predicted_fidelity;
             swaps += out.results[i].swaps_inserted;
+            teleports += out.results[i].teleports_inserted;
+            epr_attempts += out.results[i].epr_attempts;
             accumulatePassMetrics(out.shard_pass_rollups[s],
                                   out.results[i].pass_metrics);
         }
@@ -388,6 +426,8 @@ compileBatchSharded(const std::vector<Circuit>& apps,
         metric.counters["assigned"] = static_cast<double>(assigned);
         metric.counters["queue_ns"] = out.plan.queue_ns[s];
         metric.counters["swaps_inserted"] = swaps;
+        metric.counters["teleports_inserted"] = teleports;
+        metric.counters["epr_attempts"] = epr_attempts;
         if (assigned > 0) {
             metric.counters["mean_estimated_fidelity"] =
                 estimated_sum / assigned;

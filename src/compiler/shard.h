@@ -115,6 +115,16 @@ struct ShardPlannerOptions
     /** Observations the model needs before its term switches on (the
      *  static proxy alone carries the cold start). */
     uint64_t cost_model_min_samples = 16;
+    /**
+     * Cap on the circuits of one shard the CompileService will hold
+     * in flight simultaneously (0 = unlimited, the default). A planner
+     * option rather than a service one because it shapes the same
+     * trade the planner's load term does — per-shard backlog versus
+     * fleet throughput — and rides the same options plumbing into the
+     * service. Inert outside the threaded service dispatch loop
+     * (inline compiles are strictly sequential already).
+     */
+    size_t max_in_flight_per_shard = 0;
 };
 
 /** One circuit's planned placement. */

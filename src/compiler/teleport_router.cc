@@ -1,0 +1,532 @@
+#include "compiler/teleport_router.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <utility>
+
+#include "common/error.h"
+
+namespace qiset {
+
+namespace {
+
+/**
+ * All-pairs weighted distances over coupling edges (weight 1) plus
+ * teleport links (weight `link_weight`), bump-allocated as a flat
+ * n x n row-major table. Dense Dijkstra per source — chiplet couplings
+ * are small and the table is built once per route.
+ */
+const double*
+weightedDistances(const Topology& coupling, double link_weight,
+                  MemArena& arena)
+{
+    int n = coupling.numQubits();
+    double* dist =
+        arena.allocateArray<double>(static_cast<size_t>(n) * n);
+    const double kInf = 1e300;
+    std::fill(dist, dist + static_cast<size_t>(n) * n, kInf);
+    bool* done = arena.allocateArray<bool>(n);
+    const auto& links = coupling.teleportEdges();
+    for (int source = 0; source < n; ++source) {
+        double* row = dist + static_cast<size_t>(source) * n;
+        std::fill(done, done + n, false);
+        row[source] = 0.0;
+        for (int it = 0; it < n; ++it) {
+            int u = -1;
+            for (int v = 0; v < n; ++v)
+                if (!done[v] && (u < 0 || row[v] < row[u]))
+                    u = v;
+            if (u < 0 || row[u] >= kInf)
+                break;
+            done[u] = true;
+            for (int v : coupling.neighbors(u))
+                row[v] = std::min(row[v], row[u] + 1.0);
+            for (const TeleportEdge& link : links) {
+                if (link.comm_a == u)
+                    row[link.comm_b] =
+                        std::min(row[link.comm_b],
+                                 row[u] + link_weight);
+                else if (link.comm_b == u)
+                    row[link.comm_a] =
+                        std::min(row[link.comm_a],
+                                 row[u] + link_weight);
+            }
+        }
+    }
+    return dist;
+}
+
+/** Gate-dependency DAG in CSR form (mirrors the SABRE builder). */
+struct Dag
+{
+    int* succ = nullptr;
+    int* succ_begin = nullptr;
+    int* in_degree = nullptr;
+
+    int successorsBegin(int id) const { return succ_begin[id]; }
+    int successorsEnd(int id) const { return succ_begin[id + 1]; }
+};
+
+Dag
+buildDag(const std::vector<Qubits>& op_qubits,
+         const std::vector<int>& order, int num_qubits, MemArena& arena)
+{
+    size_t count = op_qubits.size();
+    Dag dag;
+    dag.succ_begin = arena.allocateArray<int>(count + 1);
+    dag.in_degree = arena.allocateArray<int>(count);
+    std::fill(dag.succ_begin, dag.succ_begin + count + 1, 0);
+    std::fill(dag.in_degree, dag.in_degree + count, 0);
+
+    int* last_on_qubit = arena.allocateArray<int>(num_qubits);
+    std::fill(last_on_qubit, last_on_qubit + num_qubits, -1);
+
+    size_t edges = 0;
+    for (int id : order) {
+        for (int q : op_qubits[static_cast<size_t>(id)]) {
+            if (last_on_qubit[q] >= 0) {
+                ++dag.succ_begin[last_on_qubit[q] + 1];
+                ++dag.in_degree[id];
+                ++edges;
+            }
+            last_on_qubit[q] = id;
+        }
+    }
+    for (size_t i = 0; i < count; ++i)
+        dag.succ_begin[i + 1] += dag.succ_begin[i];
+
+    dag.succ = arena.allocateArray<int>(edges);
+    int* cursor = arena.allocateArray<int>(count);
+    std::copy(dag.succ_begin, dag.succ_begin + count, cursor);
+    std::fill(last_on_qubit, last_on_qubit + num_qubits, -1);
+    for (int id : order) {
+        for (int q : op_qubits[static_cast<size_t>(id)]) {
+            if (last_on_qubit[q] >= 0)
+                dag.succ[cursor[last_on_qubit[q]]++] = id;
+            last_on_qubit[q] = id;
+        }
+    }
+    return dag;
+}
+
+using ArenaIntSet = std::set<int, std::less<int>, ArenaAllocator<int>>;
+using ArenaRankSet = std::set<std::pair<int, int>,
+                              std::less<std::pair<int, int>>,
+                              ArenaAllocator<std::pair<int, int>>>;
+
+/** Counters the emitting pass accumulates into the RoutedCircuit. */
+struct LinkCounters
+{
+    int swaps = 0;
+    int teleports = 0;
+    double epr_attempts = 0.0;
+};
+
+/**
+ * One telesabre pass over `order`: the SABRE loop with inter-core
+ * exchange teleportations as additional candidate moves. Starts from
+ * `position`, returns the final mapping; when `out` is given, mapped
+ * ops, SWAPs and link ops are emitted and counted. Deterministic: ties
+ * break on edge order, and intra-core SWAPs win score ties against
+ * link crossings (links are the expensive move).
+ */
+std::vector<int>
+runTelePass(const Circuit& logical, const std::vector<int>& order,
+            const std::vector<int>& lookahead_rank,
+            const Topology& coupling, const double* dist,
+            const SabreOptions& opt, const TeleportOptions& tele,
+            std::vector<int> position, Circuit* out,
+            LinkCounters* counters, MemArena& arena)
+{
+    int n = coupling.numQubits();
+    RoutingState state(std::move(position));
+    const std::vector<Qubits>& op_qubits = logical.opQubits();
+    const std::vector<TeleportEdge>& links = coupling.teleportEdges();
+
+    // Comm-qubit occupancy: both endpoints of a link are reserved
+    // exclusively for the duration of each crossing.
+    CommQubitLedger ledger(coupling);
+
+    Dag dag = buildDag(op_qubits, order, n, arena);
+    ArenaIntSet front{ArenaAllocator<int>(arena)};
+    for (int id : order)
+        if (dag.in_degree[id] == 0)
+            front.insert(id);
+
+    ArenaRankSet pending_2q{ArenaAllocator<std::pair<int, int>>(arena)};
+    for (int id : order)
+        if (op_qubits[static_cast<size_t>(id)].isTwoQubit())
+            pending_2q.emplace(lookahead_rank[id], id);
+
+    double* decay = arena.allocateArray<double>(n);
+    std::fill(decay, decay + n, 1.0);
+
+    // Link edges incident to each slot, for candidate collection and
+    // the shortest-path fallback.
+    auto links_at = makeArenaVector<std::pair<int, int>>(arena);
+    for (size_t e = 0; e < links.size(); ++e) {
+        links_at.emplace_back(links[e].comm_a, static_cast<int>(e));
+        links_at.emplace_back(links[e].comm_b, static_cast<int>(e));
+    }
+    std::sort(links_at.begin(), links_at.end());
+
+    auto executable = makeArenaVector<int>(arena);
+    auto extended = makeArenaVector<int>(arena);
+    auto front_gates = makeArenaVector<int>(arena);
+    auto swap_candidates = makeArenaVector<std::pair<int, int>>(arena);
+    auto link_candidates = makeArenaVector<int>(arena);
+    int swaps_since_reset = 0;
+    int swaps_since_progress = 0;
+    const int stuck_threshold = 10 * std::max(1, n);
+    // Skip the exact inverse of the previous move while no gate has
+    // executed in between: both SWAP and exchange teleportation are
+    // involutions, so this cheaply breaks 2-cycles the pure distance
+    // score cannot see (a comm-pair teleport leaves the score
+    // unchanged).
+    std::pair<int, int> last_move{-1, -1};
+
+    auto apply_swap = [&](int slot_a, int slot_b) {
+        if (out) {
+            addSwapOp(*out, slot_a, slot_b);
+            ++counters->swaps;
+        }
+        state.swapSlots(slot_a, slot_b);
+        last_move = {std::min(slot_a, slot_b), std::max(slot_a, slot_b)};
+    };
+    auto apply_link = [&](int edge_idx) {
+        const TeleportEdge& link = links[static_cast<size_t>(edge_idx)];
+        if (out) {
+            bool a_ok = ledger.reserve(link.comm_a);
+            bool b_ok = ledger.reserve(link.comm_b);
+            QISET_ASSERT(a_ok && b_ok,
+                         "comm qubit reserved twice for one crossing");
+            if (tele.use_teleport) {
+                addTeleportOp(*out, link.comm_a, link.comm_b,
+                              1.0 - link.epr_fidelity,
+                              link.mean_attempts *
+                                  link.attempt_duration_ns);
+                ++counters->teleports;
+                counters->epr_attempts += link.mean_attempts;
+            } else {
+                double pair3 = link.epr_fidelity * link.epr_fidelity *
+                               link.epr_fidelity;
+                addTeleportSwapOp(*out, link.comm_a, link.comm_b,
+                                  1.0 - pair3,
+                                  3.0 * link.mean_attempts *
+                                      link.attempt_duration_ns);
+                ++counters->swaps;
+                counters->epr_attempts += 3.0 * link.mean_attempts;
+            }
+            ledger.release(link.comm_a);
+            ledger.release(link.comm_b);
+        }
+        state.swapSlots(link.comm_a, link.comm_b);
+        last_move = {std::min(link.comm_a, link.comm_b),
+                     std::max(link.comm_a, link.comm_b)};
+    };
+
+    // Deterministic progress fallback: one move along a weighted
+    // shortest path from the oldest blocked gate's pair. When the
+    // remaining path is a bare link whose far comm slot holds the
+    // partner logical (an exchange teleport would only swap the pair),
+    // vacate the far comm slot with an intra-core SWAP first.
+    auto fallback_move = [&](int pa, int pb) {
+        double here = dist[static_cast<size_t>(pa) * n + pb];
+        int hop = -1;
+        bool hop_is_link = false;
+        int hop_edge = -1;
+        const double eps = 1e-9;
+        for (int v : coupling.neighbors(pa)) {
+            if (v == pb)
+                continue; // adjacent pairs never reach the fallback
+            if (std::abs(1.0 + dist[static_cast<size_t>(v) * n + pb] -
+                         here) <= eps &&
+                (hop < 0 || v < hop)) {
+                hop = v;
+                hop_is_link = false;
+            }
+        }
+        for (const auto& [slot, e] : links_at) {
+            if (slot != pa)
+                continue;
+            const TeleportEdge& link = links[static_cast<size_t>(e)];
+            int far = link.comm_a == pa ? link.comm_b : link.comm_a;
+            if (far == pb)
+                continue;
+            if (std::abs(tele.teleport_weight +
+                         dist[static_cast<size_t>(far) * n + pb] -
+                         here) <= eps &&
+                (hop < 0 || far < hop)) {
+                hop = far;
+                hop_is_link = true;
+                hop_edge = e;
+            }
+        }
+        if (hop < 0) {
+            // Shortest route ends with the link whose far slot is pb:
+            // move the partner one coupling hop off the comm slot so
+            // the crossing becomes productive.
+            const auto& away = coupling.neighbors(pb);
+            QISET_ASSERT(!away.empty(),
+                         "blocked gate on an isolated comm qubit");
+            int lowest = *std::min_element(away.begin(), away.end());
+            apply_swap(pb, lowest);
+            return;
+        }
+        if (hop_is_link)
+            apply_link(hop_edge);
+        else
+            apply_swap(pa, hop);
+    };
+
+    while (!front.empty()) {
+        executable.clear();
+        for (int id : front) {
+            Qubits qs = op_qubits[static_cast<size_t>(id)];
+            if (!qs.isTwoQubit() ||
+                coupling.adjacent(state.position[qs[0]],
+                                  state.position[qs[1]]))
+                executable.push_back(id);
+        }
+        if (!executable.empty()) {
+            for (int id : executable) {
+                Qubits qs = op_qubits[static_cast<size_t>(id)];
+                if (out) {
+                    Qubits moved =
+                        qs.isTwoQubit()
+                            ? Qubits(state.position[qs[0]],
+                                     state.position[qs[1]])
+                            : Qubits(state.position[qs[0]]);
+                    out->add(
+                        logical.ops()[static_cast<size_t>(id)], moved);
+                }
+                if (qs.isTwoQubit())
+                    pending_2q.erase({lookahead_rank[id], id});
+                front.erase(id);
+                for (int s = dag.successorsBegin(id);
+                     s < dag.successorsEnd(id); ++s)
+                    if (--dag.in_degree[dag.succ[s]] == 0)
+                        front.insert(dag.succ[s]);
+            }
+            std::fill(decay, decay + n, 1.0);
+            swaps_since_reset = 0;
+            swaps_since_progress = 0;
+            last_move = {-1, -1};
+            continue;
+        }
+
+        if (++swaps_since_progress > stuck_threshold) {
+            Qubits qs = op_qubits[static_cast<size_t>(*front.begin())];
+            fallback_move(state.position[qs[0]],
+                          state.position[qs[1]]);
+            continue;
+        }
+
+        extended.clear();
+        for (const auto& [rank, id] : pending_2q) {
+            if (front.count(id))
+                continue;
+            extended.push_back(id);
+            if (static_cast<int>(extended.size()) >=
+                opt.extended_set_size)
+                break;
+        }
+
+        // Candidate moves: intra-core SWAPs on coupling edges touching
+        // a front position, plus link crossings whose comm slot holds
+        // a front-layer logical.
+        swap_candidates.clear();
+        link_candidates.clear();
+        for (int id : front) {
+            for (int l : op_qubits[static_cast<size_t>(id)]) {
+                int p = state.position[l];
+                for (int neighbor : coupling.neighbors(p))
+                    swap_candidates.emplace_back(std::min(p, neighbor),
+                                                 std::max(p, neighbor));
+                for (const auto& [slot, e] : links_at)
+                    if (slot == p)
+                        link_candidates.push_back(e);
+            }
+        }
+        std::sort(swap_candidates.begin(), swap_candidates.end());
+        swap_candidates.erase(
+            std::unique(swap_candidates.begin(), swap_candidates.end()),
+            swap_candidates.end());
+        std::sort(link_candidates.begin(), link_candidates.end());
+        link_candidates.erase(
+            std::unique(link_candidates.begin(), link_candidates.end()),
+            link_candidates.end());
+
+        auto scored_distance = [&](const ArenaVector<int>& gate_ids,
+                                   int slot_a, int slot_b) {
+            double total = 0.0;
+            for (int id : gate_ids) {
+                Qubits qs = op_qubits[static_cast<size_t>(id)];
+                int pa = state.position[qs[0]];
+                int pb = state.position[qs[1]];
+                if (pa == slot_a)
+                    pa = slot_b;
+                else if (pa == slot_b)
+                    pa = slot_a;
+                if (pb == slot_a)
+                    pb = slot_b;
+                else if (pb == slot_b)
+                    pb = slot_a;
+                total += dist[static_cast<size_t>(pa) * n + pb];
+            }
+            return total / static_cast<double>(gate_ids.size());
+        };
+        auto move_score = [&](int slot_a, int slot_b) {
+            double score = scored_distance(front_gates, slot_a, slot_b);
+            if (!extended.empty())
+                score += opt.extended_set_weight *
+                         scored_distance(extended, slot_a, slot_b);
+            return score * std::max(decay[slot_a], decay[slot_b]);
+        };
+
+        front_gates.assign(front.begin(), front.end());
+        double best_score = 0.0;
+        int best_swap = -1; // index into swap_candidates
+        int best_link = -1; // index into links
+        for (size_t i = 0; i < swap_candidates.size(); ++i) {
+            auto [slot_a, slot_b] = swap_candidates[i];
+            if (std::pair<int, int>{slot_a, slot_b} == last_move)
+                continue;
+            double score = move_score(slot_a, slot_b);
+            if ((best_swap < 0 && best_link < 0) ||
+                score < best_score) {
+                best_score = score;
+                best_swap = static_cast<int>(i);
+            }
+        }
+        for (int e : link_candidates) {
+            const TeleportEdge& link = links[static_cast<size_t>(e)];
+            std::pair<int, int> move{
+                std::min(link.comm_a, link.comm_b),
+                std::max(link.comm_a, link.comm_b)};
+            if (move == last_move)
+                continue;
+            double score = move_score(link.comm_a, link.comm_b);
+            if ((best_swap < 0 && best_link < 0) ||
+                score < best_score) {
+                best_score = score;
+                best_swap = -1;
+                best_link = e;
+            }
+        }
+        if (best_swap < 0 && best_link < 0) {
+            // Every candidate was the previous move's inverse; force
+            // progress along the shortest path instead of oscillating.
+            Qubits qs = op_qubits[static_cast<size_t>(*front.begin())];
+            fallback_move(state.position[qs[0]],
+                          state.position[qs[1]]);
+            continue;
+        }
+
+        int touched_a;
+        int touched_b;
+        if (best_link >= 0) {
+            apply_link(best_link);
+            touched_a = links[static_cast<size_t>(best_link)].comm_a;
+            touched_b = links[static_cast<size_t>(best_link)].comm_b;
+        } else {
+            auto [slot_a, slot_b] =
+                swap_candidates[static_cast<size_t>(best_swap)];
+            apply_swap(slot_a, slot_b);
+            touched_a = slot_a;
+            touched_b = slot_b;
+        }
+        decay[touched_a] += opt.decay_increment;
+        decay[touched_b] += opt.decay_increment;
+        if (++swaps_since_reset >= opt.decay_reset_interval) {
+            std::fill(decay, decay + n, 1.0);
+            swaps_since_reset = 0;
+        }
+    }
+    return state.position;
+}
+
+} // namespace
+
+TeleportRouter::TeleportRouter(SabreOptions sabre, TeleportOptions teleport)
+    : sabre_(sabre), teleport_(teleport)
+{
+    QISET_REQUIRE(teleport_.teleport_weight > 0.0,
+                  "teleport weight must be positive");
+}
+
+RoutedCircuit
+TeleportRouter::route(const Circuit& logical, const Topology& coupling,
+                      const Schedule& schedule) const
+{
+    MemArena arena;
+    return route(logical, coupling, schedule, arena);
+}
+
+RoutedCircuit
+TeleportRouter::route(const Circuit& logical, const Topology& coupling,
+                      const Schedule& schedule, MemArena& arena) const
+{
+    // Single-core (or core-less) couplings cannot teleport: delegate
+    // to SABRE outright so "telesabre" is bit-identical to "sabre" on
+    // every monolithic device.
+    if (coupling.numCores() <= 1)
+        return SabreRouter(sabre_).route(logical, coupling, schedule,
+                                         arena);
+
+    QISET_REQUIRE(coupling.numQubits() == logical.numQubits(),
+                  "coupling graph width must match the circuit");
+    QISET_REQUIRE(coupling.connectedWithTeleport(),
+                  "chiplet coupling must be connected through its "
+                  "teleport links");
+    QISET_REQUIRE(schedule.consistentWith(logical),
+                  "telesabre routing needs the schedule of the logical "
+                  "circuit being routed");
+
+    int n = logical.numQubits();
+    size_t count = logical.size();
+    const double* dist =
+        weightedDistances(coupling, teleport_.teleport_weight, arena);
+
+    std::vector<int> forward_order(count);
+    std::vector<int> reverse_order(count);
+    for (size_t i = 0; i < count; ++i) {
+        forward_order[i] = static_cast<int>(i);
+        reverse_order[i] = static_cast<int>(count - 1 - i);
+    }
+    std::vector<int> forward_rank(count, 0);
+    std::vector<int> reverse_rank(count, 0);
+    for (size_t i = 0; i < count; ++i) {
+        forward_rank[i] = schedule.asapMoment(i);
+        reverse_rank[i] = schedule.depth() - 1 - schedule.alapMoment(i);
+    }
+
+    std::vector<int> position(n);
+    for (int l = 0; l < n; ++l)
+        position[l] = l;
+
+    for (int round = 0; round < sabre_.refinement_rounds; ++round) {
+        bool forward = (round % 2 == 0);
+        position = runTelePass(
+            logical, forward ? forward_order : reverse_order,
+            forward ? forward_rank : reverse_rank, coupling, dist,
+            sabre_, teleport_, std::move(position), nullptr, nullptr,
+            arena);
+    }
+
+    RoutedCircuit out;
+    out.circuit = Circuit(n);
+    out.circuit.reserveOps(count);
+    out.initial_positions = position;
+    LinkCounters counters;
+    out.final_positions = runTelePass(
+        logical, forward_order, forward_rank, coupling, dist, sabre_,
+        teleport_, std::move(position), &out.circuit, &counters, arena);
+    out.swaps_inserted = counters.swaps;
+    out.teleports_inserted = counters.teleports;
+    out.epr_attempts = counters.epr_attempts;
+    return out;
+}
+
+} // namespace qiset

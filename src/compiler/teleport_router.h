@@ -1,0 +1,65 @@
+#ifndef QISET_COMPILER_TELEPORT_ROUTER_H
+#define QISET_COMPILER_TELEPORT_ROUTER_H
+
+/**
+ * @file
+ * TeleSABRE-style routing for modular (chiplet) devices.
+ *
+ * The TeleportRouter ("telesabre" in the RoutingStrategy registry)
+ * extends the SABRE lookahead loop to couplings that carry a core
+ * structure (Topology::setCores / gridOfGrids): per blocked frontier
+ * gate it weighs intra-core SWAP chains against inter-core *exchange
+ * teleportations* — SWAP-semantics moves across a TeleportEdge's comm
+ * qubit pair, each consuming one EPR pair under the edge's attempt
+ * model — over a weighted all-pairs distance table (coupling hop = 1,
+ * link hop = TeleportOptions::teleport_weight). Chosen teleports are
+ * emitted as explicit "TELEPORT" ops (addTeleportOp) that the rest of
+ * the pipeline passes through as native link operations; comm-qubit
+ * occupancy is modeled through a CommQubitLedger reservation around
+ * every link crossing.
+ *
+ * With TeleportOptions::use_teleport = false the router routes
+ * identically but crosses links with "TELESWAP" ops — the SWAP-only
+ * gate-teleportation baseline at three EPR pairs per crossing — which
+ * is exactly the comparison bench_chiplet gates on.
+ *
+ * On couplings with at most one core the router delegates to
+ * SabreRouter with the same SabreOptions, bit-identically — single-
+ * core devices cannot tell "telesabre" from "sabre".
+ */
+
+#include "compiler/routing_strategy.h"
+
+namespace qiset {
+
+/** Teleportation-aware chiplet router ("telesabre" in the registry). */
+class TeleportRouter : public RoutingStrategy
+{
+  public:
+    using RoutingStrategy::route;
+
+    explicit TeleportRouter(SabreOptions sabre = SabreOptions(),
+                            TeleportOptions teleport = TeleportOptions());
+
+    std::string name() const override { return "telesabre"; }
+
+    /** Routes via a private arena (scratch discarded on return). */
+    RoutedCircuit route(const Circuit& logical, const Topology& coupling,
+                        const Schedule& schedule) const override;
+
+    /** Bump-allocates all routing scratch from `arena`. */
+    RoutedCircuit route(const Circuit& logical, const Topology& coupling,
+                        const Schedule& schedule,
+                        MemArena& arena) const override;
+
+    const SabreOptions& sabreOptions() const { return sabre_; }
+    const TeleportOptions& teleportOptions() const { return teleport_; }
+
+  private:
+    SabreOptions sabre_;
+    TeleportOptions teleport_;
+};
+
+} // namespace qiset
+
+#endif // QISET_COMPILER_TELEPORT_ROUTER_H

@@ -227,11 +227,26 @@ translateCircuit(const Circuit& routed, const std::vector<int>& physical,
     std::vector<double> fidelities;
     std::vector<Matrix> u3s;
 
+    static const LabelId teleport_label = internLabel("TELEPORT");
+    static const LabelId teleswap_label = internLabel("TELESWAP");
+
     for (const auto& op : routed.ops()) {
         const Matrix& op_unitary = op.unitary();
         Qubits qs = op.qubits();
         if (!op.isTwoQubit()) {
             emit_1q(qs[0], op_unitary, op.labelId());
+            continue;
+        }
+
+        if (op.labelId() == teleport_label ||
+            op.labelId() == teleswap_label) {
+            // Inter-core link ops are already native: their endpoints
+            // are not coupling-adjacent (no calibrated edge to
+            // decompose onto) and they carry the EPR link's error rate
+            // and duration from routing. Pass through untouched.
+            result.circuit.add(op);
+            result.estimated_fidelity *= 1.0 - op.errorRate();
+            ++result.type_usage[op.label()];
             continue;
         }
 

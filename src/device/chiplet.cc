@@ -1,0 +1,57 @@
+#include <algorithm>
+
+#include "device/device.h"
+
+namespace qiset {
+
+Device
+makeChipletDevice(const ChipletSpec& spec, Rng& rng)
+{
+    Topology topo = Topology::gridOfGrids(
+        spec.core_rows, spec.core_cols, spec.rows, spec.cols,
+        spec.epr_fidelity, spec.attempt_duration_ns, spec.mean_attempts);
+    Device device("Chiplet" + std::to_string(spec.core_rows) + "x" +
+                      std::to_string(spec.core_cols),
+                  std::move(topo));
+
+    // Intra-core calibration mirrors the Sycamore error model so
+    // chiplet and monolithic shards are comparable in one fleet. Every
+    // coupling edge is intra-core by construction; teleport links
+    // carry their own EPR cost model on the topology.
+    const char* types[] = {"S1", "S2", "S3", "S4",
+                           "S5", "S6", "S7", "SWAP"};
+    for (auto [a, b] : device.topology().edges()) {
+        double family = 1.0 - rng.truncatedNormal(0.0062, 0.0024,
+                                                  0.0005, 0.03);
+        for (const char* type : types) {
+            double error = rng.truncatedNormal(spec.two_q_error_mu,
+                                               spec.two_q_error_sigma,
+                                               0.0005, 0.03);
+            device.setEdgeFidelity(a, b, type, 1.0 - error);
+            family = std::max(family, 1.0 - error);
+        }
+        device.setEdgeFidelity(a, b, "fSim", family);
+        device.setEdgeFidelity(
+            a, b, "CZt",
+            std::max(device.edgeFidelity(a, b, "S3"),
+                     1.0 - rng.truncatedNormal(spec.two_q_error_mu,
+                                               spec.two_q_error_sigma,
+                                               0.0005, 0.03)));
+    }
+
+    for (int q = 0; q < device.numQubits(); ++q) {
+        device.setOneQubitError(q, rng.uniform(0.0005, 0.0015));
+        QubitNoise noise;
+        noise.t1_ns = rng.uniform(12e3, 18e3);
+        noise.t2_ns = std::min(rng.uniform(10e3, 20e3), 2.0 * noise.t1_ns);
+        noise.readout_p01 = rng.uniform(0.01, 0.04);
+        noise.readout_p10 = rng.uniform(0.02, 0.05);
+        device.setQubitNoise(q, noise);
+    }
+
+    device.setTwoQubitDuration(20.0);
+    device.setOneQubitDuration(25.0);
+    return device;
+}
+
+} // namespace qiset

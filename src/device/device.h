@@ -145,6 +145,33 @@ Device makeAspen8(Rng& rng);
  */
 Device makeSycamore(Rng& rng);
 
+/** Parameters of a synthetic modular (chiplet) device. */
+struct ChipletSpec
+{
+    /** Grid of cores. */
+    int core_rows = 2;
+    int core_cols = 2;
+    /** Coupling grid inside each core. */
+    int rows = 2;
+    int cols = 3;
+    /** Intra-core two-qubit error distribution, N(mu, sigma)
+     *  truncated to [min, max] per gate type per edge. */
+    double two_q_error_mu = 0.0062;
+    double two_q_error_sigma = 0.0024;
+    /** EPR link cost model (shared by every teleport edge). */
+    double epr_fidelity = 0.985;
+    double attempt_duration_ns = 500.0;
+    double mean_attempts = 2.0;
+};
+
+/**
+ * Synthetic chiplet QPU: an N×M grid of identical grid cores joined by
+ * EPR teleport links (Topology::gridOfGrids). Intra-core calibration
+ * follows the Sycamore error model; there are no calibrated edges
+ * across cores — the only inter-core channel is teleportation.
+ */
+Device makeChipletDevice(const ChipletSpec& spec, Rng& rng);
+
 } // namespace qiset
 
 #endif // QISET_DEVICE_DEVICE_H

@@ -17,6 +17,7 @@ toString(ServiceEventType type)
     case ServiceEventType::CacheStats: return "cache-stats";
     case ServiceEventType::Complete: return "complete";
     case ServiceEventType::Cancel: return "cancel";
+    case ServiceEventType::Teleport: return "teleport";
     }
     return "unknown";
 }

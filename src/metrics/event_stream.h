@@ -62,6 +62,9 @@ enum class ServiceEventType : uint8_t
     Complete,
     /** One still-queued circuit was dropped by cancel(). */
     Cancel,
+    /** Inter-core traffic of one finished compile on a chiplet shard
+     *  (payload a = teleport ops, b = expected EPR attempts). */
+    Teleport,
 };
 
 /** Human-readable type name ("submit", "pass-begin", ...). */

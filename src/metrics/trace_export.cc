@@ -255,6 +255,13 @@ chromeTraceJson(const std::vector<ServiceEvent>& events,
                         "\"hits\":" + fmtDoubleArg(e.a) +
                             ",\"misses\":" + fmtDoubleArg(e.b));
             break;
+        case ServiceEventType::Teleport:
+            // Shard-track instant like cache stats: inter-core traffic
+            // belongs to the chiplet shard that routed it.
+            trace.event("teleport", "i", e.ns, pid, tid,
+                        "\"teleports\":" + fmtDoubleArg(e.a) +
+                            ",\"epr_attempts\":" + fmtDoubleArg(e.b));
+            break;
         case ServiceEventType::Complete: {
             // Close any pass spans a throwing compile left open, then
             // the job span itself.
