@@ -31,7 +31,11 @@ regresses beyond the baseline tolerance:
     (1 + hotpath_alloc_tolerance) * baseline. The allocation counters
     are serial, seeded and mode-invariant (--quick shrinks only the
     QV leg), so — like the SWAP-count gate — they are enforced on
-    every runner regardless of thread count.
+    every runner regardless of thread count. On AVX2 hosts the QV
+    cold p50 speedup of the SIMD kernels over the forced-scalar leg
+    (cold_speedup_vs_scalar) must also hold its floor
+    (min_hotpath_simd_speedup); other dispatch tiers skip that gate
+    with a warning.
   - Chiplet routing: fails when teleport-aware routing stops beating
     the SWAP-only link baseline on any chiplet workload
     (teleport_wins, always enforced), or when the worst-case
@@ -273,6 +277,30 @@ def main() -> None:
         baseline.get("min_hotpath_speedup", 0.0),
         tolerance,
     )
+
+    # SIMD kernel payoff: QV cold p50 of the forced-scalar leg over the
+    # active dispatch tier. Serial-vs-serial on one host, so the ratio
+    # is stable — but the floor is calibrated for the AVX2 kernels;
+    # other ISAs (NEON, plain scalar hosts) skip with a warning rather
+    # than gate against a foreign baseline.
+    tier = hotpath.get("kernel_dispatch_tier", "unknown")
+    simd_speedup = hotpath.get("cold_speedup_vs_scalar", 0.0)
+    if tier == "avx2":
+        gate_speedup(
+            "hotpath simd-vs-scalar",
+            simd_speedup,
+            1,
+            baseline["hotpath_simd_speedup"],
+            baseline.get("min_hotpath_simd_speedup", 0.0),
+            tolerance,
+            min_threads=1,
+        )
+    else:
+        print(
+            f"WARNING: kernel dispatch tier is '{tier}' (not avx2); "
+            "skipping the SIMD-vs-scalar speedup gate "
+            f"(measured {simd_speedup:.2f}x)"
+        )
 
     # --- chiplet routing: teleport advantage (always) + fidelity floor
     if not chiplet.get("teleport_wins", False):

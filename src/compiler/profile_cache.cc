@@ -3,13 +3,17 @@
 #include <cstdio>
 #include <fstream>
 #include <iomanip>
+#include <mutex>
+#include <shared_mutex>
 
 #include "common/error.h"
 #include "nuop/decomposer.h"
 
 namespace qiset {
 
-ProfileCache::ProfileCache(size_t max_entries) : max_entries_(max_entries)
+ProfileCache::ProfileCache(size_t max_entries)
+    : max_entries_(max_entries),
+      stripes_(max_entries == 0 ? kUnboundedStripes : 1)
 {
 }
 
@@ -19,35 +23,63 @@ ProfileCache::key(const Matrix& target, const GateSpec& spec)
     return profileKeyCore(target, spec);
 }
 
-void
-ProfileCache::touchLocked(Entry& entry)
+ProfileCache::Stripe&
+ProfileCache::stripeFor(const std::string& k)
 {
-    lru_.splice(lru_.begin(), lru_, entry.lru_it);
+    // FNV-1a over the key, independent of the map's std::hash so the
+    // per-stripe buckets stay well distributed.
+    uint64_t h = 1469598103934665603ull;
+    for (char c : k) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull;
+    }
+    return stripes_[h % stripes_.size()];
+}
+
+const ProfileCache::Stripe&
+ProfileCache::stripeFor(const std::string& k) const
+{
+    return const_cast<ProfileCache*>(this)->stripeFor(k);
 }
 
 std::shared_ptr<const GateProfile>
-ProfileCache::insertLocked(const std::string& k,
+ProfileCache::insertLocked(Stripe& stripe, const std::string& k,
                            std::shared_ptr<const GateProfile> profile)
 {
-    auto it = profiles_.find(k);
-    if (it != profiles_.end()) {
-        touchLocked(it->second);
+    auto [it, inserted] = stripe.profiles.try_emplace(k);
+    it->second.last_used.store(
+        stripe.clock.fetch_add(1, std::memory_order_relaxed) + 1,
+        std::memory_order_relaxed);
+    if (!inserted) {
+        // Another thread computed the same profile first: its insert
+        // wins, this call just refreshed the recency tick.
         return it->second.profile;
     }
-    lru_.push_front(k);
-    Entry entry;
-    entry.profile = std::move(profile);
-    entry.lru_it = lru_.begin();
-    auto inserted = profiles_.emplace(k, std::move(entry)).first;
-    // Evict from the cold end; the new entry sits at the front and is
-    // never the victim while anything else remains.
-    while (max_entries_ > 0 && profiles_.size() > max_entries_ &&
-           profiles_.size() > 1) {
-        profiles_.erase(lru_.back());
-        lru_.pop_back();
-        ++evictions_;
+    it->second.profile = std::move(profile);
+    // Evict from the cold end (lowest tick); the new entry holds the
+    // freshest tick and is never the victim while anything else
+    // remains.
+    while (max_entries_ > 0 && stripe.profiles.size() > max_entries_ &&
+           stripe.profiles.size() > 1) {
+        auto victim = stripe.profiles.end();
+        uint64_t min_tick = 0;
+        for (auto iter = stripe.profiles.begin();
+             iter != stripe.profiles.end(); ++iter) {
+            if (iter == it)
+                continue;
+            uint64_t tick =
+                iter->second.last_used.load(std::memory_order_relaxed);
+            if (victim == stripe.profiles.end() || tick < min_tick) {
+                victim = iter;
+                min_tick = tick;
+            }
+        }
+        if (victim == stripe.profiles.end())
+            break;
+        stripe.profiles.erase(victim);
+        stripe.evictions.fetch_add(1, std::memory_order_relaxed);
     }
-    return inserted->second.profile;
+    return it->second.profile;
 }
 
 std::shared_ptr<const GateProfile>
@@ -62,25 +94,34 @@ ProfileCache::get(const Matrix& target, const GateSpec& spec,
     thread_local std::string k;
     k.clear();
     strategy.cacheKeyInto(k, target, spec);
+    Stripe& stripe = stripeFor(k);
     {
-        std::lock_guard<std::mutex> lock(mutex_);
-        auto it = profiles_.find(k);
-        if (it != profiles_.end()) {
-            touchLocked(it->second);
+        // Hits touch only this stripe, and only with a shared lock:
+        // concurrent readers proceed in parallel, against each other
+        // and against writers of other stripes. Recency and counters
+        // update atomically under the shared lock, so stats and LRU
+        // order stay exact.
+        std::shared_lock<std::shared_mutex> lock(stripe.mutex);
+        auto it = stripe.profiles.find(k);
+        if (it != stripe.profiles.end()) {
+            it->second.last_used.store(
+                stripe.clock.fetch_add(1, std::memory_order_relaxed) +
+                    1,
+                std::memory_order_relaxed);
             if (tally_hit) {
-                ++hits_;
+                stripe.hits.fetch_add(1, std::memory_order_relaxed);
                 if (local)
                     local->hits.fetch_add(1,
                                           std::memory_order_relaxed);
             }
             return it->second.profile;
         }
-        ++misses_;
+        stripe.misses.fetch_add(1, std::memory_order_relaxed);
         if (local)
             local->misses.fetch_add(1, std::memory_order_relaxed);
     }
 
-    // Compute outside the lock (the expensive part); duplicated work
+    // Compute outside any lock (the expensive part); duplicated work
     // between racing threads is harmless and rare — the first insert
     // wins and both count as misses, since both paid the computation.
     // Snapshot the key first: computeProfile may call back into code
@@ -89,8 +130,8 @@ ProfileCache::get(const Matrix& target, const GateSpec& spec,
     auto profile = std::make_shared<GateProfile>(
         strategy.computeProfile(target, spec, decomposer));
 
-    std::lock_guard<std::mutex> lock(mutex_);
-    return insertLocked(key_copy, std::move(profile));
+    std::unique_lock<std::shared_mutex> lock(stripe.mutex);
+    return insertLocked(stripe, key_copy, std::move(profile));
 }
 
 std::shared_ptr<const GateProfile>
@@ -105,36 +146,52 @@ ProfileCache::get(const Matrix& target, const GateSpec& spec,
 size_t
 ProfileCache::size() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return profiles_.size();
+    size_t total = 0;
+    for (const Stripe& stripe : stripes_) {
+        std::shared_lock<std::shared_mutex> lock(stripe.mutex);
+        total += stripe.profiles.size();
+    }
+    return total;
 }
 
 ProfileCacheStats
 ProfileCache::stats() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    // Exact aggregation: each stripe's counters are updated atomically
+    // at the moment of the event, so the sums account for every hit,
+    // miss, eviction and load that completed before this call.
     ProfileCacheStats s;
-    s.hits = hits_;
-    s.misses = misses_;
-    s.evictions = evictions_;
-    s.loaded = loaded_;
-    s.entries = profiles_.size();
+    for (const Stripe& stripe : stripes_) {
+        std::shared_lock<std::shared_mutex> lock(stripe.mutex);
+        s.hits += stripe.hits.load(std::memory_order_relaxed);
+        s.misses += stripe.misses.load(std::memory_order_relaxed);
+        s.evictions +=
+            stripe.evictions.load(std::memory_order_relaxed);
+        s.loaded += stripe.loaded.load(std::memory_order_relaxed);
+        s.entries += stripe.profiles.size();
+    }
     return s;
 }
 
 void
 ProfileCache::resetStats()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    hits_ = misses_ = evictions_ = loaded_ = 0;
+    for (Stripe& stripe : stripes_) {
+        std::unique_lock<std::shared_mutex> lock(stripe.mutex);
+        stripe.hits.store(0, std::memory_order_relaxed);
+        stripe.misses.store(0, std::memory_order_relaxed);
+        stripe.evictions.store(0, std::memory_order_relaxed);
+        stripe.loaded.store(0, std::memory_order_relaxed);
+    }
 }
 
 void
 ProfileCache::clear()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    profiles_.clear();
-    lru_.clear();
+    for (Stripe& stripe : stripes_) {
+        std::unique_lock<std::shared_mutex> lock(stripe.mutex);
+        stripe.profiles.clear();
+    }
 }
 
 namespace {
@@ -187,7 +244,14 @@ ProfileCache::save(const std::string& path, const NuOpOptions& nuop,
         return false;
     os << std::setprecision(17);
 
-    std::lock_guard<std::mutex> lock(mutex_);
+    // Hold every stripe (shared) for a consistent snapshot. Stripes
+    // are always acquired in index order (this is the only multi-
+    // stripe acquisition), so writers cannot deadlock against save().
+    std::vector<std::shared_lock<std::shared_mutex>> locks;
+    locks.reserve(stripes_.size());
+    for (const Stripe& stripe : stripes_)
+        locks.emplace_back(stripe.mutex);
+
     os << kMagic << ' ' << kVersion << '\n';
     // The strategy shapes both the keys (canonicalized or raw) and
     // the fit contents, so it is part of the compatibility contract.
@@ -197,21 +261,29 @@ ProfileCache::save(const std::string& path, const NuOpOptions& nuop,
     // layer bound, start count, exact tolerance, and the seed.
     os << "nuop " << nuop.max_layers << ' ' << nuop.multistarts << ' '
        << nuop.exact_threshold << ' ' << nuop.seed << '\n';
-    os << profiles_.size() << '\n';
-    for (const auto& [k, entry] : profiles_) {
-        const GateProfile& p = *entry.profile;
-        os << k.size() << '\n' << k << '\n';
-        os << p.type_name.size() << '\n' << p.type_name << '\n';
-        os << p.engine.size() << '\n' << p.engine << '\n';
-        os << static_cast<int>(p.family) << '\n';
-        writeMatrix(os, p.unitary);
-        os << p.fits.size() << '\n';
-        for (const auto& fit : p.fits) {
-            os << fit.layers << ' ' << fit.fd << ' '
-               << fit.params.size();
-            for (double v : fit.params)
-                os << ' ' << v;
-            os << '\n';
+    size_t total = 0;
+    for (const Stripe& stripe : stripes_)
+        total += stripe.profiles.size();
+    os << total << '\n';
+    // Entry order follows stripe + bucket order; it was never part of
+    // the v3 contract (the historical single map hashed arbitrarily)
+    // and load() merges entries one by one.
+    for (const Stripe& stripe : stripes_) {
+        for (const auto& [k, entry] : stripe.profiles) {
+            const GateProfile& p = *entry.profile;
+            os << k.size() << '\n' << k << '\n';
+            os << p.type_name.size() << '\n' << p.type_name << '\n';
+            os << p.engine.size() << '\n' << p.engine << '\n';
+            os << static_cast<int>(p.family) << '\n';
+            writeMatrix(os, p.unitary);
+            os << p.fits.size() << '\n';
+            for (const auto& fit : p.fits) {
+                os << fit.layers << ' ' << fit.fd << ' '
+                   << fit.params.size();
+                for (double v : fit.params)
+                    os << ' ' << v;
+                os << '\n';
+            }
         }
     }
     return static_cast<bool>(os);
@@ -322,11 +394,12 @@ ProfileCache::load(const std::string& path, const NuOpOptions& nuop,
         parsed.emplace_back(std::move(k), std::move(profile));
     }
 
-    std::lock_guard<std::mutex> lock(mutex_);
     for (auto& [k, profile] : parsed) {
-        if (profiles_.count(k) == 0) {
-            insertLocked(k, std::move(profile));
-            ++loaded_;
+        Stripe& stripe = stripeFor(k);
+        std::unique_lock<std::shared_mutex> lock(stripe.mutex);
+        if (stripe.profiles.count(k) == 0) {
+            insertLocked(stripe, k, std::move(profile));
+            stripe.loaded.fetch_add(1, std::memory_order_relaxed);
         }
     }
     return true;

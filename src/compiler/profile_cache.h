@@ -14,18 +14,24 @@
  * compilation, which makes this cache the compiler's main
  * amortization lever.
  *
- * The cache is thread-safe: concurrent get() calls from batch
- * compilation workers are serialized only around the map lookup, and
- * the expensive profile computation runs outside the lock. Entries are
- * handed out as shared_ptr so a bounded cache can evict without
- * invalidating profiles still in use by a translation in flight.
+ * The cache is thread-safe and built for contended service traffic:
+ * entries live in lock stripes (16 when unbounded, 1 when bounded so
+ * the capacity bound keeps exact global LRU semantics), each guarded
+ * by a shared_mutex. Warm lookups — the overwhelming majority of
+ * traffic once a workload's profiles exist — take only a *shared*
+ * lock on one stripe, so concurrent service workers hitting the cache
+ * never serialize against each other; recency and the hit/miss/
+ * eviction/loaded statistics are maintained exactly via per-stripe
+ * atomic counters aggregated on read. The expensive profile
+ * computation runs outside any lock. Entries are handed out as
+ * shared_ptr so a bounded cache can evict without invalidating
+ * profiles still in use by a translation in flight.
  */
 
 #include <atomic>
 #include <cstdint>
-#include <list>
 #include <memory>
-#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -157,27 +163,52 @@ class ProfileCache
     struct Entry
     {
         std::shared_ptr<const GateProfile> profile;
-        /** Position in lru_ (front = most recently used). */
-        std::list<std::string>::iterator lru_it;
+        /**
+         * Recency tick drawn from the owning stripe's clock (higher =
+         * more recently used). Atomic so hits can refresh it under a
+         * shared lock.
+         */
+        std::atomic<uint64_t> last_used{0};
     };
 
-    /** Move an entry to the front of the LRU order (lock held). */
-    void touchLocked(Entry& entry);
+    /**
+     * One lock stripe: a shard of the key space with its own reader/
+     * writer lock, recency clock and exact statistics counters. The
+     * map is node-based, so concurrent shared-lock readers can copy
+     * entry shared_ptrs while other stripes mutate freely.
+     */
+    struct Stripe
+    {
+        mutable std::shared_mutex mutex;
+        std::unordered_map<std::string, Entry> profiles;
+        /** Monotonic recency clock; ticks order entries for LRU. */
+        std::atomic<uint64_t> clock{0};
+        std::atomic<uint64_t> hits{0};
+        std::atomic<uint64_t> misses{0};
+        std::atomic<uint64_t> evictions{0};
+        std::atomic<uint64_t> loaded{0};
+    };
 
-    /** Insert under lock, evicting LRU entries past capacity. */
+    /** Stripe count when unbounded; bounded caches use one stripe so
+     *  the capacity bound evicts in exact global-LRU order. */
+    static constexpr size_t kUnboundedStripes = 16;
+
+    Stripe& stripeFor(const std::string& k);
+    const Stripe& stripeFor(const std::string& k) const;
+
+    /**
+     * Insert under an exclusive lock on `stripe`, evicting least-
+     * recently-used entries past capacity (lowest recency tick first;
+     * the entry just inserted holds the freshest tick and is never
+     * the victim).
+     */
     std::shared_ptr<const GateProfile>
-    insertLocked(const std::string& k,
+    insertLocked(Stripe& stripe, const std::string& k,
                  std::shared_ptr<const GateProfile> profile);
 
     size_t max_entries_ = 0;
-    mutable std::mutex mutex_;
-    std::unordered_map<std::string, Entry> profiles_;
-    /** Keys in recency order, front = most recently used. */
-    std::list<std::string> lru_;
-    uint64_t hits_ = 0;
-    uint64_t misses_ = 0;
-    uint64_t evictions_ = 0;
-    uint64_t loaded_ = 0;
+    /** Fixed at construction; never resized (stripes cannot move). */
+    std::vector<Stripe> stripes_;
 };
 
 } // namespace qiset

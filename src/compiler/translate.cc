@@ -200,18 +200,65 @@ translateCircuit(const Circuit& routed, const std::vector<int>& physical,
     int n = routed.numQubits();
     TranslateResult result;
     result.circuit = Circuit(n);
-    // Each 2Q block expands to 2 + 3*layers native ops; pre-size for
-    // the common 2-layer case so the emission loop's appends rarely
-    // regrow (a deeper fit costs at most one more reallocation).
-    size_t routed_2q = 0;
-    for (const auto& op : routed.ops())
-        if (op.isTwoQubit())
-            ++routed_2q;
-    result.circuit.reserveOps(routed.size() + 7 * routed_2q);
 
     double f1q_avg = 1.0 - device.averageOneQubitError();
 
     static const LabelId u3_label = internLabel("U3");
+    static const LabelId teleport_label = internLabel("TELEPORT");
+    static const LabelId teleswap_label = internLabel("TELESWAP");
+
+    // Per-2Q-block working sets, hoisted so the selection and emission
+    // loops reuse their capacity (and the U3 matrices' inline storage)
+    // instead of allocating per op.
+    std::vector<std::shared_ptr<const GateProfile>> holders;
+    std::vector<const GateProfile*> profiles;
+    std::vector<double> fidelities;
+    std::vector<Matrix> u3s;
+
+    // Selection pre-pass: resolve every 2Q block's gate choice once,
+    // up front. Each block expands to exactly 2 + 3*layers native ops,
+    // so summing the chosen fits sizes the output columns *exactly* —
+    // one reservation, no growth reallocations while emitting (the
+    // unitary column alone is megabytes on wide circuits, and doubling
+    // it dominated the warm-compile allocation profile). The stored
+    // choices are reused by the emission loop below; `all_holders`
+    // keeps every selected profile alive even if a bounded cache
+    // evicts the entries in between.
+    std::vector<GateChoice> block_choices;
+    std::vector<std::shared_ptr<const GateProfile>> all_holders;
+    size_t routed_2q = static_cast<size_t>(routed.twoQubitGateCount());
+    block_choices.reserve(routed_2q);
+    all_holders.reserve(routed_2q * specs.size());
+    size_t exact_ops = 0;
+    for (const auto& op : routed.ops()) {
+        if (!op.isTwoQubit() || op.labelId() == teleport_label ||
+            op.labelId() == teleswap_label) {
+            ++exact_ops; // passes through as a single op.
+            continue;
+        }
+        Qubits qs = op.qubits();
+        int pa = physical[qs[0]];
+        int pb = physical[qs[1]];
+        profiles.clear();
+        fidelities.clear();
+        for (const auto& spec : specs) {
+            // Re-fetch of a profile precomputeProfiles just warmed:
+            // don't tally the hit, or a stone-cold compile would
+            // report a warm-looking hit rate.
+            all_holders.push_back(cache.get(op.unitary(), spec,
+                                            decomposer, strategy, &local,
+                                            /*tally_hit=*/false));
+            profiles.push_back(all_holders.back().get());
+            fidelities.push_back(
+                device.edgeFidelity(pa, pb, spec.type_name));
+        }
+        block_choices.push_back(
+            selectGate(profiles, fidelities, f1q_avg, approximate,
+                       decomposer.options().exact_threshold));
+        exact_ops += 2 + 3 * block_choices.back().fit->layers;
+    }
+    result.circuit.reserveOps(exact_ops);
+
     auto emit_1q = [&](int reg, const Matrix& unitary, LabelId label) {
         double error_rate = device.oneQubitError(physical[reg]);
         result.estimated_fidelity *= 1.0 - error_rate;
@@ -219,17 +266,7 @@ translateCircuit(const Circuit& routed, const std::vector<int>& physical,
                              device.oneQubitDurationNs());
     };
 
-    // Per-2Q-block working sets, hoisted so the emission loop reuses
-    // their capacity (and the U3 matrices' inline storage) instead of
-    // allocating per op.
-    std::vector<std::shared_ptr<const GateProfile>> holders;
-    std::vector<const GateProfile*> profiles;
-    std::vector<double> fidelities;
-    std::vector<Matrix> u3s;
-
-    static const LabelId teleport_label = internLabel("TELEPORT");
-    static const LabelId teleswap_label = internLabel("TELESWAP");
-
+    size_t block_index = 0;
     for (const auto& op : routed.ops()) {
         const Matrix& op_unitary = op.unitary();
         Qubits qs = op.qubits();
@@ -288,25 +325,32 @@ translateCircuit(const Circuit& routed, const std::vector<int>& physical,
             }
         }
 
-        // Holders keep the profiles alive across selection even if a
-        // bounded cache evicts the entries concurrently.
-        holders.clear();
-        profiles.clear();
-        fidelities.clear();
-        for (const auto& spec : specs) {
-            // Re-fetch of a profile precomputeProfiles just warmed:
-            // don't tally the hit, or a stone-cold compile would
-            // report a warm-looking hit rate.
-            holders.push_back(cache.get(op_unitary, spec, decomposer,
-                                        *op_strategy, &local,
-                                        /*tally_hit=*/false));
-            profiles.push_back(holders.back().get());
-            fidelities.push_back(
-                device.edgeFidelity(pa, pb, spec.type_name));
+        // The pre-pass already selected this block's gate under the
+        // primary strategy; only the (numerically conceivable, never
+        // observed) dressing fallback re-selects here, against the
+        // raw-keyed profiles its op_strategy switch demands. Holders
+        // keep those profiles alive across selection even if a bounded
+        // cache evicts the entries concurrently.
+        GateChoice choice;
+        if (op_strategy == &strategy) {
+            choice = block_choices[block_index];
+        } else {
+            holders.clear();
+            profiles.clear();
+            fidelities.clear();
+            for (const auto& spec : specs) {
+                holders.push_back(cache.get(op_unitary, spec, decomposer,
+                                            *op_strategy, &local,
+                                            /*tally_hit=*/false));
+                profiles.push_back(holders.back().get());
+                fidelities.push_back(
+                    device.edgeFidelity(pa, pb, spec.type_name));
+            }
+            choice =
+                selectGate(profiles, fidelities, f1q_avg, approximate,
+                           decomposer.options().exact_threshold);
         }
-        GateChoice choice =
-            selectGate(profiles, fidelities, f1q_avg, approximate,
-                       decomposer.options().exact_threshold);
+        ++block_index;
 
         const GateProfile& profile = *choice.profile;
         const LayerFit& fit = *choice.fit;

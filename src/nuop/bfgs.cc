@@ -7,12 +7,13 @@
 
 namespace qiset {
 
-std::vector<double>
-numericalGradient(const ObjectiveFn& f, const std::vector<double>& x,
-                  double eps)
+void
+numericalGradientInto(const ObjectiveFn& f, const std::vector<double>& x,
+                      double eps, std::vector<double>& grad,
+                      std::vector<double>& probe)
 {
-    std::vector<double> grad(x.size());
-    std::vector<double> probe = x;
+    grad.resize(x.size());
+    probe.assign(x.begin(), x.end());
     for (size_t i = 0; i < x.size(); ++i) {
         probe[i] = x[i] + eps;
         double f_plus = f(probe);
@@ -21,6 +22,15 @@ numericalGradient(const ObjectiveFn& f, const std::vector<double>& x,
         probe[i] = x[i];
         grad[i] = (f_plus - f_minus) / (2.0 * eps);
     }
+}
+
+std::vector<double>
+numericalGradient(const ObjectiveFn& f, const std::vector<double>& x,
+                  double eps)
+{
+    std::vector<double> grad;
+    std::vector<double> probe;
+    numericalGradientInto(f, x, eps, grad, probe);
     return grad;
 }
 
@@ -48,21 +58,32 @@ dot(const std::vector<double>& a, const std::vector<double>& b)
 
 BfgsResult
 minimizeBfgs(const ObjectiveFn& f, std::vector<double> x0,
-             const BfgsOptions& options)
+             const BfgsOptions& options, BfgsWorkspace* workspace)
 {
     QISET_REQUIRE(!x0.empty(), "BFGS needs at least one variable");
     const size_t n = x0.size();
 
+    // All scratch lives in the workspace (caller-provided so a
+    // multistart sweep pays the allocations once, or a local one for
+    // one-shot calls). Every buffer is (re)sized here, so a workspace
+    // can hop between problems of different dimension.
+    BfgsWorkspace local;
+    BfgsWorkspace& ws = workspace ? *workspace : local;
+
     // Inverse Hessian approximation, initialized to identity.
-    std::vector<double> h(n * n, 0.0);
+    ws.h.assign(n * n, 0.0);
     for (size_t i = 0; i < n; ++i)
-        h[i * n + i] = 1.0;
+        ws.h[i * n + i] = 1.0;
+    ws.direction.resize(n);
+    ws.x_new.resize(n);
+    ws.s.resize(n);
+    ws.y.resize(n);
 
     BfgsResult result;
     result.x = std::move(x0);
     result.value = f(result.x);
-    std::vector<double> grad =
-        numericalGradient(f, result.x, options.finite_diff_eps);
+    numericalGradientInto(f, result.x, options.finite_diff_eps, ws.grad,
+                          ws.probe);
 
     for (int iter = 0; iter < options.max_iterations; ++iter) {
         result.iterations = iter + 1;
@@ -70,30 +91,29 @@ minimizeBfgs(const ObjectiveFn& f, std::vector<double> x0,
             result.converged = true;
             break;
         }
-        if (infinityNorm(grad) < options.gradient_tol) {
+        if (infinityNorm(ws.grad) < options.gradient_tol) {
             result.converged = true;
             break;
         }
 
         // Search direction d = -H g.
-        std::vector<double> direction(n, 0.0);
         for (size_t i = 0; i < n; ++i) {
             double sum = 0.0;
             for (size_t j = 0; j < n; ++j)
-                sum += h[i * n + j] * grad[j];
-            direction[i] = -sum;
+                sum += ws.h[i * n + j] * ws.grad[j];
+            ws.direction[i] = -sum;
         }
 
-        double slope = dot(grad, direction);
+        double slope = dot(ws.grad, ws.direction);
         if (slope >= 0.0) {
             // H lost positive-definiteness (numerical gradients can do
             // that); reset to steepest descent.
             for (size_t i = 0; i < n; ++i)
                 for (size_t j = 0; j < n; ++j)
-                    h[i * n + j] = (i == j) ? 1.0 : 0.0;
+                    ws.h[i * n + j] = (i == j) ? 1.0 : 0.0;
             for (size_t i = 0; i < n; ++i)
-                direction[i] = -grad[i];
-            slope = dot(grad, direction);
+                ws.direction[i] = -ws.grad[i];
+            slope = dot(ws.grad, ws.direction);
             if (slope >= 0.0) {
                 result.converged = true;
                 break;
@@ -103,13 +123,12 @@ minimizeBfgs(const ObjectiveFn& f, std::vector<double> x0,
         // Backtracking Armijo line search.
         const double c1 = 1e-4;
         double step = 1.0;
-        std::vector<double> x_new(n);
         double f_new = result.value;
         bool step_found = false;
         for (int ls = 0; ls < 40; ++ls) {
             for (size_t i = 0; i < n; ++i)
-                x_new[i] = result.x[i] + step * direction[i];
-            f_new = f(x_new);
+                ws.x_new[i] = result.x[i] + step * ws.direction[i];
+            f_new = f(ws.x_new);
             if (f_new <= result.value + c1 * step * slope) {
                 step_found = true;
                 break;
@@ -121,39 +140,39 @@ minimizeBfgs(const ObjectiveFn& f, std::vector<double> x0,
             break;
         }
 
-        std::vector<double> grad_new =
-            numericalGradient(f, x_new, options.finite_diff_eps);
+        numericalGradientInto(f, ws.x_new, options.finite_diff_eps,
+                              ws.grad_new, ws.probe);
 
         // BFGS inverse-Hessian update (Sherman-Morrison form).
-        std::vector<double> s(n), y(n);
         for (size_t i = 0; i < n; ++i) {
-            s[i] = x_new[i] - result.x[i];
-            y[i] = grad_new[i] - grad[i];
+            ws.s[i] = ws.x_new[i] - result.x[i];
+            ws.y[i] = ws.grad_new[i] - ws.grad[i];
         }
-        double sy = dot(s, y);
+        double sy = dot(ws.s, ws.y);
         if (sy > 1e-12) {
             double rho = 1.0 / sy;
             // H <- (I - rho s y^T) H (I - rho y s^T) + rho s s^T
-            std::vector<double> hy(n, 0.0);
+            ws.hy.assign(n, 0.0);
             for (size_t i = 0; i < n; ++i)
                 for (size_t j = 0; j < n; ++j)
-                    hy[i] += h[i * n + j] * y[j];
-            double yhy = dot(y, hy);
+                    ws.hy[i] += ws.h[i * n + j] * ws.y[j];
+            double yhy = dot(ws.y, ws.hy);
             for (size_t i = 0; i < n; ++i) {
                 for (size_t j = 0; j < n; ++j) {
-                    h[i * n + j] += -rho * (s[i] * hy[j] + hy[i] * s[j]) +
-                                    rho * (1.0 + rho * yhy) * s[i] * s[j];
+                    ws.h[i * n + j] +=
+                        -rho * (ws.s[i] * ws.hy[j] + ws.hy[i] * ws.s[j]) +
+                        rho * (1.0 + rho * yhy) * ws.s[i] * ws.s[j];
                 }
             }
         }
 
         double improvement = result.value - f_new;
-        result.x = x_new;
+        result.x = ws.x_new;
         result.value = f_new;
-        grad = std::move(grad_new);
+        std::swap(ws.grad, ws.grad_new);
 
         if (improvement < options.value_tol &&
-            infinityNorm(grad) < 1e-6) {
+            infinityNorm(ws.grad) < 1e-6) {
             result.converged = true;
             break;
         }

@@ -52,19 +52,58 @@ struct BfgsResult
 };
 
 /**
+ * Reusable buffers for minimizeBfgs. A default-constructed workspace
+ * is empty; the solver sizes every buffer on entry, so one workspace
+ * can be reused across problems of different dimension. Reusing it
+ * across the ~10^3 solves of a multistart sweep removes every
+ * per-iteration heap allocation from the optimizer (the historical
+ * loop allocated six vectors per BFGS iteration plus two per gradient
+ * evaluation).
+ */
+struct BfgsWorkspace
+{
+    std::vector<double> h;         ///< inverse Hessian, n x n
+    std::vector<double> grad;      ///< gradient at the incumbent
+    std::vector<double> grad_new;  ///< gradient at the line-search point
+    std::vector<double> direction; ///< search direction -H g
+    std::vector<double> x_new;     ///< line-search trial point
+    std::vector<double> s;         ///< x_new - x
+    std::vector<double> y;         ///< grad_new - grad
+    std::vector<double> hy;        ///< H y
+    std::vector<double> probe;     ///< finite-difference probe point
+};
+
+/**
  * Minimize f starting from x0.
+ *
+ * The result is a pure function of (f, x0, options): runs with and
+ * without a caller-provided workspace perform the identical sequence
+ * of floating-point operations and return bit-identical results.
  *
  * @param f Objective function (evaluated many times; keep it cheap).
  * @param x0 Starting point.
  * @param options Tolerances and limits.
+ * @param workspace Optional scratch reused across calls; pass nullptr
+ *        (the default) to use per-call local buffers.
  */
 BfgsResult minimizeBfgs(const ObjectiveFn& f, std::vector<double> x0,
-                        const BfgsOptions& options = {});
+                        const BfgsOptions& options = {},
+                        BfgsWorkspace* workspace = nullptr);
 
 /** Central-difference gradient of f at x (exposed for testing). */
 std::vector<double> numericalGradient(const ObjectiveFn& f,
                                       const std::vector<double>& x,
                                       double eps = 1e-7);
+
+/**
+ * numericalGradient into caller-owned buffers: `grad` receives the
+ * gradient, `probe` is overwritten scratch. Identical arithmetic to
+ * numericalGradient.
+ */
+void numericalGradientInto(const ObjectiveFn& f,
+                           const std::vector<double>& x, double eps,
+                           std::vector<double>& grad,
+                           std::vector<double>& probe);
 
 } // namespace qiset
 

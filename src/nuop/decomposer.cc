@@ -1,5 +1,6 @@
 #include "nuop/decomposer.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.h"
@@ -79,6 +80,16 @@ NuOpDecomposer::bestFidelityForLayers(const Matrix& target,
                                       const HardwareGate& gate, int layers,
                                       std::vector<double>* params_out) const
 {
+    NuOpScratch scratch;
+    return bestFidelityForLayersScratch(target, gate, layers, params_out,
+                                        scratch);
+}
+
+double
+NuOpDecomposer::bestFidelityForLayersScratch(
+    const Matrix& target, const HardwareGate& gate, int layers,
+    std::vector<double>* params_out, NuOpScratch& scratch) const
+{
     QISET_REQUIRE(target.rows() == 4 && target.cols() == 4,
                   "NuOp targets are two-qubit unitaries");
     TwoQubitTemplate templ =
@@ -87,7 +98,7 @@ NuOpDecomposer::bestFidelityForLayers(const Matrix& target,
             : TwoQubitTemplate(layers, gate.family);
 
     auto objective = [&](const std::vector<double>& x) {
-        return templ.infidelity(x, target);
+        return templ.infidelityWithScratch(x, target, scratch.build);
     };
 
     BfgsOptions bfgs = options_.bfgs;
@@ -105,25 +116,51 @@ NuOpDecomposer::bestFidelityForLayers(const Matrix& target,
     base_seed = hashMatrix(base_seed, target);
 
     double best = 1.0; // infidelity
-    std::vector<double> best_params;
+    scratch.best_params.clear();
     int n = templ.numParams();
-    for (int start = 0; start < options_.multistarts; ++start) {
-        // All starts random: the all-zero point is a symmetric saddle
-        // of the trace-fidelity landscape and traps gradient descent.
-        Rng rng(fnvMix(base_seed, static_cast<uint64_t>(start)));
-        std::vector<double> x0(n);
-        for (auto& value : x0)
-            value = rng.uniform(0.0, 2.0 * gates::kPi);
-        BfgsResult result = minimizeBfgs(objective, std::move(x0), bfgs);
-        if (result.value < best) {
-            best = result.value;
-            best_params = std::move(result.x);
+
+    // Starts run in blocks: each block's starting points are drawn up
+    // front (per-start RNGs make the draws independent of evaluation
+    // order — see the seeding comment above), then the starts run
+    // back-to-back over the same BFGS workspace and template scratch,
+    // keeping the working set cache-resident across starts. Selection
+    // and the exact-threshold early exit replay after every start, so
+    // results and the amount of optimization work both match the
+    // historical one-start-at-a-time loop exactly.
+    constexpr int kStartBlock = 4;
+    if (scratch.block_x0.size() < static_cast<size_t>(kStartBlock))
+        scratch.block_x0.resize(kStartBlock);
+    bool done = false;
+    for (int block = 0; block < options_.multistarts && !done;
+         block += kStartBlock) {
+        int count = std::min(kStartBlock, options_.multistarts - block);
+        for (int i = 0; i < count; ++i) {
+            // All starts random: the all-zero point is a symmetric
+            // saddle of the trace-fidelity landscape and traps
+            // gradient descent.
+            Rng rng(fnvMix(base_seed,
+                           static_cast<uint64_t>(block + i)));
+            auto& x0 = scratch.block_x0[i];
+            x0.resize(n);
+            for (auto& value : x0)
+                value = rng.uniform(0.0, 2.0 * gates::kPi);
         }
-        if (best < 1.0 - options_.exact_threshold)
-            break;
+        for (int i = 0; i < count; ++i) {
+            BfgsResult result =
+                minimizeBfgs(objective, std::move(scratch.block_x0[i]),
+                             bfgs, &scratch.bfgs);
+            if (result.value < best) {
+                best = result.value;
+                scratch.best_params = std::move(result.x);
+            }
+            if (best < 1.0 - options_.exact_threshold) {
+                done = true;
+                break;
+            }
+        }
     }
     if (params_out)
-        *params_out = std::move(best_params);
+        *params_out = std::move(scratch.best_params);
     return 1.0 - best;
 }
 
@@ -153,9 +190,11 @@ NuOpDecomposer::decomposeExact(const Matrix& target,
 {
     Decomposition best;
     best.decomposition_fidelity = -1.0;
+    NuOpScratch scratch;
     for (int layers = 0; layers <= options_.max_layers; ++layers) {
         std::vector<double> params;
-        double fd = bestFidelityForLayers(target, gate, layers, &params);
+        double fd = bestFidelityForLayersScratch(target, gate, layers,
+                                                 &params, scratch);
         if (fd > best.decomposition_fidelity) {
             best = makeDecomposition(gate, layers, fd,
                                      hardwareFidelity(gate, layers),
@@ -175,6 +214,7 @@ NuOpDecomposer::decomposeApproximate(const Matrix& target,
     Decomposition best;
     best.decomposition_fidelity = 0.0;
     best.hardware_fidelity = 0.0;
+    NuOpScratch scratch;
     for (int layers = 0; layers <= options_.max_layers; ++layers) {
         double fh = hardwareFidelity(gate, layers);
         // Even a perfect Fd cannot beat the incumbent at this depth:
@@ -182,7 +222,8 @@ NuOpDecomposer::decomposeApproximate(const Matrix& target,
         if (fh <= best.overallFidelity())
             break;
         std::vector<double> params;
-        double fd = bestFidelityForLayers(target, gate, layers, &params);
+        double fd = bestFidelityForLayersScratch(target, gate, layers,
+                                                 &params, scratch);
         // Paper templates use >= 1 hardware gate: a zero-layer
         // (local-only) realization is only admissible when it is an
         // exact implementation, not a lossy approximation.

@@ -89,6 +89,24 @@ struct Decomposition
     }
 };
 
+/**
+ * Preallocated scratch for one decomposition sweep: the BFGS workspace,
+ * the template's matrix ping-pong buffers, the block of multistart
+ * starting points, and the incumbent parameter vector. One instance
+ * serves a whole decomposeExact/decomposeApproximate layer sweep (its
+ * buffers are resized per problem), so the optimizer's inner loops run
+ * allocation-free after the first multistart block.
+ */
+struct NuOpScratch
+{
+    BfgsWorkspace bfgs;
+    TwoQubitTemplate::BuildScratch build;
+    /** Starting points of the current multistart block. */
+    std::vector<std::vector<double>> block_x0;
+    /** Best parameters seen so far in the current layer sweep. */
+    std::vector<double> best_params;
+};
+
 /** The NuOp compilation pass core. */
 class NuOpDecomposer
 {
@@ -135,6 +153,17 @@ class NuOpDecomposer
     double hardwareFidelity(const HardwareGate& gate, int layers) const;
 
   private:
+    /**
+     * bestFidelityForLayers over caller-provided scratch — the engine
+     * behind the public entry points, which share one scratch across a
+     * layer sweep. Bit-identical to the scratch-free wrapper.
+     */
+    double bestFidelityForLayersScratch(const Matrix& target,
+                                        const HardwareGate& gate,
+                                        int layers,
+                                        std::vector<double>* params_out,
+                                        NuOpScratch& scratch) const;
+
     NuOpOptions options_;
 };
 

@@ -1,5 +1,7 @@
 #include "nuop/template_circuit.h"
 
+#include <utility>
+
 #include "common/error.h"
 #include "qc/gates.h"
 
@@ -85,11 +87,79 @@ TwoQubitTemplate::build(const std::vector<double>& params) const
     return unitary;
 }
 
+const Matrix&
+TwoQubitTemplate::buildWithScratch(const std::vector<double>& params,
+                                   BuildScratch& s) const
+{
+    QISET_REQUIRE(static_cast<int>(params.size()) == numParams(),
+                  "expected ", numParams(), " params, got ",
+                  params.size());
+
+    // Same operation sequence as build(), with every temporary pinned
+    // in the scratch: pair products via kronInto, layer products
+    // ping-ponging between acc and tmp via multiplyInto (which matches
+    // operator* bit for bit).
+    size_t p = 0;
+    auto next_u3_pair_into = [&](Matrix& dst) {
+        gates::u3Into(s.u3a, params[p], params[p + 1], params[p + 2]);
+        gates::u3Into(s.u3b, params[p + 3], params[p + 4], params[p + 5]);
+        p += 6;
+        Matrix::kronInto(dst, s.u3a, s.u3b);
+    };
+
+    Matrix* cur = &s.acc;
+    Matrix* nxt = &s.tmp;
+    next_u3_pair_into(*cur);
+    for (int layer = 0; layer < layers_; ++layer) {
+        const Matrix* gate = &fixed_gate_;
+        switch (family_) {
+          case TemplateFamily::Fixed:
+            break;
+          case TemplateFamily::FullXy:
+            s.gate = gates::xy(params[p]);
+            p += 1;
+            gate = &s.gate;
+            break;
+          case TemplateFamily::FullFsim:
+            s.gate = gates::fsim(params[p], params[p + 1]);
+            p += 2;
+            gate = &s.gate;
+            break;
+          case TemplateFamily::FullCphase:
+            s.gate = gates::cphase(params[p]);
+            p += 1;
+            gate = &s.gate;
+            break;
+        }
+        Matrix::multiplyInto(*nxt, *gate, *cur);
+        std::swap(cur, nxt);
+        next_u3_pair_into(s.pair);
+        Matrix::multiplyInto(*nxt, s.pair, *cur);
+        std::swap(cur, nxt);
+    }
+    return *cur;
+}
+
+void
+TwoQubitTemplate::buildInto(Matrix& out, const std::vector<double>& params,
+                            BuildScratch& scratch) const
+{
+    out = buildWithScratch(params, scratch);
+}
+
 double
 TwoQubitTemplate::infidelity(const std::vector<double>& params,
                              const Matrix& target) const
 {
     return 1.0 - traceFidelity(build(params), target);
+}
+
+double
+TwoQubitTemplate::infidelityWithScratch(const std::vector<double>& params,
+                                        const Matrix& target,
+                                        BuildScratch& scratch) const
+{
+    return 1.0 - traceFidelity(buildWithScratch(params, scratch), target);
 }
 
 std::vector<Matrix>

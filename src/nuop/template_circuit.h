@@ -58,11 +58,42 @@ class TwoQubitTemplate
     Matrix build(const std::vector<double>& params) const;
 
     /**
+     * Reusable matrix scratch for buildInto/infidelityWithScratch. All
+     * matrices are SBO-inline (<= 4x4), so a default-constructed
+     * scratch never allocates; reusing one across the ~10^5 objective
+     * evaluations of a BFGS multistart sweep removes every Matrix
+     * temporary from the optimizer's inner loop.
+     */
+    struct BuildScratch
+    {
+        Matrix u3a, u3b; ///< single-qubit factors of the current pair
+        Matrix pair;     ///< u3a (x) u3b
+        Matrix gate;     ///< materialized continuous-family layer gate
+        Matrix acc, tmp; ///< multiply ping-pong buffers
+    };
+
+    /**
+     * build() into a caller-owned matrix using preallocated scratch.
+     * Performs the identical sequence of kernel operations as build(),
+     * so the result is bit-identical.
+     */
+    void buildInto(Matrix& out, const std::vector<double>& params,
+                   BuildScratch& scratch) const;
+
+    /**
      * Decomposition infidelity 1 - Fd against a target unitary, where
      * Fd = |Tr(Ud^dagger Ut)| / 4 (Eq. 1, phase-invariant).
      */
     double infidelity(const std::vector<double>& params,
                       const Matrix& target) const;
+
+    /**
+     * infidelity() over preallocated scratch — the allocation-free BFGS
+     * objective. Bit-identical to infidelity().
+     */
+    double infidelityWithScratch(const std::vector<double>& params,
+                                 const Matrix& target,
+                                 BuildScratch& scratch) const;
 
     /**
      * Angles of the two-qubit gate in a given layer for a parameter
@@ -94,6 +125,15 @@ class TwoQubitTemplate
   private:
     /** Number of parameters consumed by each two-qubit slot. */
     int gateParamsPerLayer() const;
+
+    /**
+     * Shared engine of buildInto/infidelityWithScratch: runs the
+     * template product over the scratch and returns a reference to the
+     * ping-pong buffer holding the result (valid until the scratch is
+     * next used).
+     */
+    const Matrix& buildWithScratch(const std::vector<double>& params,
+                                   BuildScratch& scratch) const;
 
     int layers_;
     TemplateFamily family_;

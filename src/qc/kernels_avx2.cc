@@ -1,0 +1,183 @@
+#include "qc/kernels.h"
+
+// AVX2 kernel tier. Compiled with -mavx2 -ffp-contract=off on x86-64
+// (see CMakeLists.txt); the dispatcher only hands out this table after
+// a runtime __builtin_cpu_supports("avx2") check, and nothing in this
+// translation unit executes before that check.
+//
+// Bit-identity notes (see kernels.h for the contract):
+//   - complex multiply uses mul + addsub, i.e. the exact mul/sub and
+//     mul/add pairs of the scalar formula — no FMA, no reassociation;
+//   - fl(x - (-y)) == fl(x + y) and fl((-a)*b) == -fl(a*b) hold
+//     exactly in IEEE-754, so hadd/hsub and sign-flip tricks below
+//     reproduce the scalar conjugate arithmetic bit for bit;
+//   - structural-zero skips test the same `re == 0 && im == 0`
+//     predicate the scalar tier evaluates.
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <immintrin.h>
+
+namespace qiset {
+namespace kernels {
+namespace {
+
+// c = (ar + i*ai) * b for two packed complex doubles in b.
+// Even lanes: ar*br - ai*bi; odd lanes: ar*bi + ai*br — the naive
+// std::complex formula, one mul and one add/sub per component.
+inline __m256d
+cmulBroadcast(__m256d arv, __m256d aiv, __m256d b)
+{
+    __m256d bswap = _mm256_shuffle_pd(b, b, 0x5);
+    return _mm256_addsub_pd(_mm256_mul_pd(arv, b),
+                            _mm256_mul_pd(aiv, bswap));
+}
+
+void
+avx2Mul4x4(cplx* out, const cplx* a, const cplx* b)
+{
+    const double* ad = reinterpret_cast<const double*>(a);
+    const double* bd = reinterpret_cast<const double*>(b);
+    double* od = reinterpret_cast<double*>(out);
+    for (int i = 0; i < 4; ++i) {
+        __m256d acc0 = _mm256_setzero_pd();
+        __m256d acc1 = _mm256_setzero_pd();
+        for (int k = 0; k < 4; ++k) {
+            double ar = ad[(i * 4 + k) * 2];
+            double ai = ad[(i * 4 + k) * 2 + 1];
+            if (ar == 0.0 && ai == 0.0)
+                continue;
+            __m256d arv = _mm256_set1_pd(ar);
+            __m256d aiv = _mm256_set1_pd(ai);
+            acc0 = _mm256_add_pd(
+                acc0, cmulBroadcast(arv, aiv, _mm256_loadu_pd(bd + k * 8)));
+            acc1 = _mm256_add_pd(
+                acc1,
+                cmulBroadcast(arv, aiv, _mm256_loadu_pd(bd + k * 8 + 4)));
+        }
+        _mm256_storeu_pd(od + i * 8, acc0);
+        _mm256_storeu_pd(od + i * 8 + 4, acc1);
+    }
+}
+
+void
+avx2Mul2x2(cplx* out, const cplx* a, const cplx* b)
+{
+    const double* ad = reinterpret_cast<const double*>(a);
+    const double* bd = reinterpret_cast<const double*>(b);
+    double* od = reinterpret_cast<double*>(out);
+    for (int i = 0; i < 2; ++i) {
+        __m256d acc = _mm256_setzero_pd();
+        for (int k = 0; k < 2; ++k) {
+            double ar = ad[(i * 2 + k) * 2];
+            double ai = ad[(i * 2 + k) * 2 + 1];
+            if (ar == 0.0 && ai == 0.0)
+                continue;
+            acc = _mm256_add_pd(
+                acc, cmulBroadcast(_mm256_set1_pd(ar), _mm256_set1_pd(ai),
+                                   _mm256_loadu_pd(bd + k * 4)));
+        }
+        _mm256_storeu_pd(od + i * 4, acc);
+    }
+}
+
+void
+avx2Dagger(cplx* out, const cplx* in, size_t n)
+{
+    // conj = flip the sign bit of the imaginary lane; identical bits to
+    // the scalar unary negation (+0.0 -> -0.0 and vice versa).
+    const __m128d flip = _mm_set_pd(-0.0, 0.0);
+    for (size_t i = 0; i < n; ++i)
+        for (size_t j = 0; j < n; ++j) {
+            __m128d v = _mm_loadu_pd(
+                reinterpret_cast<const double*>(in + i * n + j));
+            _mm_storeu_pd(reinterpret_cast<double*>(out + j * n + i),
+                          _mm_xor_pd(v, flip));
+        }
+}
+
+void
+avx2Kron2x2(cplx* out, const cplx* a, const cplx* b)
+{
+    const double* ad = reinterpret_cast<const double*>(a);
+    const double* bd = reinterpret_cast<const double*>(b);
+    double* od = reinterpret_cast<double*>(out);
+    __m256d zero = _mm256_setzero_pd();
+    for (int i = 0; i < 8; ++i)
+        _mm256_storeu_pd(od + i * 4, zero);
+    for (int i = 0; i < 2; ++i)
+        for (int j = 0; j < 2; ++j) {
+            double ar = ad[(i * 2 + j) * 2];
+            double ai = ad[(i * 2 + j) * 2 + 1];
+            if (ar == 0.0 && ai == 0.0)
+                continue;
+            __m256d arv = _mm256_set1_pd(ar);
+            __m256d aiv = _mm256_set1_pd(ai);
+            for (int k = 0; k < 2; ++k) {
+                __m256d term =
+                    cmulBroadcast(arv, aiv, _mm256_loadu_pd(bd + k * 4));
+                _mm256_storeu_pd(od + ((i * 2 + k) * 4 + j * 2) * 2, term);
+            }
+        }
+}
+
+cplx
+avx2HsDot(const cplx* a, const cplx* b, size_t count)
+{
+    // Scalar reference per element: conj(a)*b with
+    //   re = fl(ar*br - (-fl(ai*bi))) == fl(fl(ar*br) + fl(ai*bi))
+    //   im = fl(ar*bi + (-fl(ai*br))) == fl(fl(ar*bi) - fl(ai*br))
+    // which hadd/hsub compute directly. The running sum stays strictly
+    // in index order — part of the contract.
+    __m128d sum = _mm_setzero_pd();
+    for (size_t i = 0; i < count; ++i) {
+        __m128d va = _mm_loadu_pd(reinterpret_cast<const double*>(a + i));
+        __m128d vb = _mm_loadu_pd(reinterpret_cast<const double*>(b + i));
+        __m128d p1 = _mm_mul_pd(va, vb);                 // ar*br | ai*bi
+        __m128d p2 = _mm_mul_pd(va, _mm_shuffle_pd(vb, vb, 0x1));
+                                                         // ar*bi | ai*br
+        __m128d re = _mm_hadd_pd(p1, p1);
+        __m128d im = _mm_hsub_pd(p2, p2);
+        sum = _mm_add_pd(sum, _mm_blend_pd(re, im, 0x2));
+    }
+    double buf[2];
+    _mm_storeu_pd(buf, sum);
+    return cplx(buf[0], buf[1]);
+}
+
+const KernelOps kAvx2Ops = {
+    "avx2",     avx2Mul4x4, avx2Mul2x2,
+    avx2Dagger, avx2Kron2x2, avx2HsDot,
+};
+
+} // namespace
+
+namespace detail {
+
+const KernelOps*
+avx2Ops()
+{
+    return __builtin_cpu_supports("avx2") ? &kAvx2Ops : nullptr;
+}
+
+} // namespace detail
+} // namespace kernels
+} // namespace qiset
+
+#else // not x86-64
+
+namespace qiset {
+namespace kernels {
+namespace detail {
+
+const KernelOps*
+avx2Ops()
+{
+    return nullptr;
+}
+
+} // namespace detail
+} // namespace kernels
+} // namespace qiset
+
+#endif

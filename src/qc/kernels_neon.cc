@@ -1,0 +1,186 @@
+#include "qc/kernels.h"
+
+// NEON kernel tier for aarch64, where NEON is architecturally
+// guaranteed. Compiled with -ffp-contract=off; complex multiplies are
+// built from vmulq/vaddq plus an exact sign-bit flip so every lane
+// performs the same mul and add/sub the scalar reference performs
+// (fl(x + (-y)) == fl(x - y) exactly in IEEE-754). See kernels.h for
+// the full bit-identity contract.
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+namespace qiset {
+namespace kernels {
+namespace {
+
+// Flip the sign bit of lane 0 (used to turn a lane-wise add into the
+// scalar formula's subtraction without changing any result bits).
+inline float64x2_t
+negateLane0(float64x2_t v)
+{
+    const uint64x2_t mask = {0x8000000000000000ull, 0ull};
+    return vreinterpretq_f64_u64(
+        veorq_u64(vreinterpretq_u64_f64(v), mask));
+}
+
+// Flip the sign bit of lane 1 (conjugate of a packed complex).
+inline float64x2_t
+negateLane1(float64x2_t v)
+{
+    const uint64x2_t mask = {0ull, 0x8000000000000000ull};
+    return vreinterpretq_f64_u64(
+        veorq_u64(vreinterpretq_u64_f64(v), mask));
+}
+
+// (ar + i*ai) * (br + i*bi) with b packed as [br, bi]:
+//   lane0 = ar*br - ai*bi, lane1 = ar*bi + ai*br
+// via p1 = [ar*br, ar*bi], p2 = [ai*bi, ai*br], term = p1 + (-p2.0, p2.1).
+inline float64x2_t
+cmulBroadcast(float64x2_t arv, float64x2_t aiv, float64x2_t b)
+{
+    float64x2_t bswap = vextq_f64(b, b, 1); // [bi, br]
+    float64x2_t p1 = vmulq_f64(arv, b);
+    float64x2_t p2 = vmulq_f64(aiv, bswap);
+    return vaddq_f64(p1, negateLane0(p2));
+}
+
+template <int N>
+void
+neonMul(cplx* out, const cplx* a, const cplx* b)
+{
+    const double* ad = reinterpret_cast<const double*>(a);
+    const double* bd = reinterpret_cast<const double*>(b);
+    double* od = reinterpret_cast<double*>(out);
+    for (int i = 0; i < N; ++i) {
+        float64x2_t acc[N];
+        for (int j = 0; j < N; ++j)
+            acc[j] = vdupq_n_f64(0.0);
+        for (int k = 0; k < N; ++k) {
+            double ar = ad[(i * N + k) * 2];
+            double ai = ad[(i * N + k) * 2 + 1];
+            if (ar == 0.0 && ai == 0.0)
+                continue;
+            float64x2_t arv = vdupq_n_f64(ar);
+            float64x2_t aiv = vdupq_n_f64(ai);
+            for (int j = 0; j < N; ++j)
+                acc[j] = vaddq_f64(
+                    acc[j], cmulBroadcast(arv, aiv,
+                                          vld1q_f64(bd + (k * N + j) * 2)));
+        }
+        for (int j = 0; j < N; ++j)
+            vst1q_f64(od + (i * N + j) * 2, acc[j]);
+    }
+}
+
+void
+neonMul4x4(cplx* out, const cplx* a, const cplx* b)
+{
+    neonMul<4>(out, a, b);
+}
+
+void
+neonMul2x2(cplx* out, const cplx* a, const cplx* b)
+{
+    neonMul<2>(out, a, b);
+}
+
+void
+neonDagger(cplx* out, const cplx* in, size_t n)
+{
+    for (size_t i = 0; i < n; ++i)
+        for (size_t j = 0; j < n; ++j) {
+            float64x2_t v = vld1q_f64(
+                reinterpret_cast<const double*>(in + i * n + j));
+            vst1q_f64(reinterpret_cast<double*>(out + j * n + i),
+                      negateLane1(v));
+        }
+}
+
+void
+neonKron2x2(cplx* out, const cplx* a, const cplx* b)
+{
+    const double* ad = reinterpret_cast<const double*>(a);
+    const double* bd = reinterpret_cast<const double*>(b);
+    double* od = reinterpret_cast<double*>(out);
+    float64x2_t zero = vdupq_n_f64(0.0);
+    for (int i = 0; i < 16; ++i)
+        vst1q_f64(od + i * 2, zero);
+    for (int i = 0; i < 2; ++i)
+        for (int j = 0; j < 2; ++j) {
+            double ar = ad[(i * 2 + j) * 2];
+            double ai = ad[(i * 2 + j) * 2 + 1];
+            if (ar == 0.0 && ai == 0.0)
+                continue;
+            float64x2_t arv = vdupq_n_f64(ar);
+            float64x2_t aiv = vdupq_n_f64(ai);
+            for (int k = 0; k < 2; ++k)
+                for (int l = 0; l < 2; ++l) {
+                    float64x2_t term = cmulBroadcast(
+                        arv, aiv, vld1q_f64(bd + (k * 2 + l) * 2));
+                    vst1q_f64(od + ((i * 2 + k) * 4 + (j * 2 + l)) * 2,
+                              term);
+                }
+        }
+}
+
+cplx
+neonHsDot(const cplx* a, const cplx* b, size_t count)
+{
+    // Per element conj(a)*b:
+    //   re = fl(fl(ar*br) + fl(ai*bi)), im = fl(fl(ar*bi) - fl(ai*br))
+    // accumulated strictly in index order (see kernels.h).
+    float64x2_t sum = vdupq_n_f64(0.0);
+    for (size_t i = 0; i < count; ++i) {
+        float64x2_t va =
+            vld1q_f64(reinterpret_cast<const double*>(a + i));
+        float64x2_t vb =
+            vld1q_f64(reinterpret_cast<const double*>(b + i));
+        float64x2_t p1 = vmulq_f64(va, vb); // ar*br | ai*bi
+        float64x2_t p2 =
+            vmulq_f64(va, vextq_f64(vb, vb, 1)); // ar*bi | ai*br
+        float64x2_t term = vpaddq_f64(p1, negateLane1(p2));
+        sum = vaddq_f64(sum, term);
+    }
+    double buf[2];
+    vst1q_f64(buf, sum);
+    return cplx(buf[0], buf[1]);
+}
+
+const KernelOps kNeonOps = {
+    "neon",     neonMul4x4, neonMul2x2,
+    neonDagger, neonKron2x2, neonHsDot,
+};
+
+} // namespace
+
+namespace detail {
+
+const KernelOps*
+neonOps()
+{
+    return &kNeonOps;
+}
+
+} // namespace detail
+} // namespace kernels
+} // namespace qiset
+
+#else // not aarch64
+
+namespace qiset {
+namespace kernels {
+namespace detail {
+
+const KernelOps*
+neonOps()
+{
+    return nullptr;
+}
+
+} // namespace detail
+} // namespace kernels
+} // namespace qiset
+
+#endif

@@ -5,8 +5,42 @@
 #include <cstdio>
 
 #include "common/error.h"
+#include "qc/kernels.h"
 
 namespace qiset {
+
+namespace {
+
+/** Dense multiply shared by operator* and multiplyInto: dispatches the
+ *  2x2/4x4 hot shapes to the kernel layer (which zero-fills and
+ *  reproduces this exact loop bit for bit) and keeps the generic loop
+ *  for everything else. `out` must not alias `a` or `b` and must
+ *  already have shape ar x bc. */
+void
+denseMultiply(cplx* out, const cplx* a, const cplx* b, size_t ar,
+              size_t ac, size_t bc)
+{
+    if (ar == 4 && ac == 4 && bc == 4) {
+        kernels::active().mul4x4(out, a, b);
+        return;
+    }
+    if (ar == 2 && ac == 2 && bc == 2) {
+        kernels::active().mul2x2(out, a, b);
+        return;
+    }
+    std::fill(out, out + ar * bc, cplx(0.0, 0.0));
+    for (size_t i = 0; i < ar; ++i) {
+        for (size_t k = 0; k < ac; ++k) {
+            cplx aik = a[i * ac + k];
+            if (aik == cplx(0.0, 0.0))
+                continue;
+            for (size_t j = 0; j < bc; ++j)
+                out[i * bc + j] += aik * b[k * bc + j];
+        }
+    }
+}
+
+} // namespace
 
 void
 Matrix::resizeStorage(size_t rows, size_t cols)
@@ -114,16 +148,7 @@ Matrix::multiplyInto(Matrix& out, const Matrix& a, const Matrix& b)
                   "multiplyInto output must not alias an input");
     if (out.rows_ != a.rows_ || out.cols_ != b.cols_)
         out.resizeStorage(a.rows_, b.cols_);
-    std::fill(out.ptr_, out.ptr_ + out.size(), cplx(0.0, 0.0));
-    for (size_t i = 0; i < a.rows_; ++i) {
-        for (size_t k = 0; k < a.cols_; ++k) {
-            cplx aik = a(i, k);
-            if (aik == cplx(0.0, 0.0))
-                continue;
-            for (size_t j = 0; j < b.cols_; ++j)
-                out(i, j) += aik * b(k, j);
-        }
-    }
+    denseMultiply(out.ptr_, a.ptr_, b.ptr_, a.rows_, a.cols_, b.cols_);
 }
 
 Matrix
@@ -163,16 +188,10 @@ Matrix::operator*(const Matrix& other) const
     QISET_REQUIRE(cols_ == other.rows_, "shape mismatch in *: ",
                   rows_, "x", cols_, " times ", other.rows_, "x",
                   other.cols_);
-    Matrix out(rows_, other.cols_);
-    for (size_t i = 0; i < rows_; ++i) {
-        for (size_t k = 0; k < cols_; ++k) {
-            cplx aik = (*this)(i, k);
-            if (aik == cplx(0.0, 0.0))
-                continue;
-            for (size_t j = 0; j < other.cols_; ++j)
-                out(i, j) += aik * other(k, j);
-        }
-    }
+    Matrix out;
+    out.resizeStorage(rows_, other.cols_);
+    denseMultiply(out.ptr_, ptr_, other.ptr_, rows_, cols_,
+                  other.cols_);
     return out;
 }
 
@@ -205,7 +224,12 @@ Matrix::operator*=(cplx scalar)
 Matrix
 Matrix::dagger() const
 {
-    Matrix out(cols_, rows_);
+    Matrix out;
+    out.resizeStorage(cols_, rows_);
+    if (rows_ == cols_ && (rows_ == 2 || rows_ == 4)) {
+        kernels::active().dagger(out.ptr_, ptr_, rows_);
+        return out;
+    }
     for (size_t i = 0; i < rows_; ++i)
         for (size_t j = 0; j < cols_; ++j)
             out(j, i) = std::conj((*this)(i, j));
@@ -281,18 +305,35 @@ Matrix::isHermitian(double tol) const
 Matrix
 Matrix::kron(const Matrix& other) const
 {
-    Matrix out(rows_ * other.rows_, cols_ * other.cols_);
-    for (size_t i = 0; i < rows_; ++i)
-        for (size_t j = 0; j < cols_; ++j) {
-            cplx aij = (*this)(i, j);
+    Matrix out;
+    kronInto(out, *this, other);
+    return out;
+}
+
+void
+Matrix::kronInto(Matrix& out, const Matrix& a, const Matrix& b)
+{
+    QISET_REQUIRE(&out != &a && &out != &b,
+                  "kronInto output must not alias an input");
+    size_t out_rows = a.rows_ * b.rows_;
+    size_t out_cols = a.cols_ * b.cols_;
+    if (out.rows_ != out_rows || out.cols_ != out_cols)
+        out.resizeStorage(out_rows, out_cols);
+    if (a.rows_ == 2 && a.cols_ == 2 && b.rows_ == 2 && b.cols_ == 2) {
+        kernels::active().kron2x2(out.ptr_, a.ptr_, b.ptr_);
+        return;
+    }
+    std::fill(out.ptr_, out.ptr_ + out.size(), cplx(0.0, 0.0));
+    for (size_t i = 0; i < a.rows_; ++i)
+        for (size_t j = 0; j < a.cols_; ++j) {
+            cplx aij = a(i, j);
             if (aij == cplx(0.0, 0.0))
                 continue;
-            for (size_t k = 0; k < other.rows_; ++k)
-                for (size_t l = 0; l < other.cols_; ++l)
-                    out(i * other.rows_ + k, j * other.cols_ + l) =
-                        aij * other(k, l);
+            for (size_t k = 0; k < b.rows_; ++k)
+                for (size_t l = 0; l < b.cols_; ++l)
+                    out(i * b.rows_ + k, j * b.cols_ + l) =
+                        aij * b(k, l);
         }
-    return out;
 }
 
 std::string
@@ -341,11 +382,10 @@ hilbertSchmidt(const Matrix& a, const Matrix& b)
 {
     QISET_REQUIRE(a.rows() == b.rows() && a.cols() == b.cols(),
                   "shape mismatch in hilbertSchmidt");
-    cplx sum(0.0, 0.0);
-    for (size_t i = 0; i < a.rows(); ++i)
-        for (size_t j = 0; j < a.cols(); ++j)
-            sum += std::conj(a(i, j)) * b(i, j);
-    return sum;
+    // Row-major linear order == the historical (i, j) double loop, so
+    // the kernel's strictly-serial reduction matches it bit for bit.
+    return kernels::active().hsDot(a.data(), b.data(),
+                                   a.rows() * a.cols());
 }
 
 double

@@ -98,6 +98,13 @@ class Matrix
     static void multiplyInto(Matrix& out, const Matrix& a,
                              const Matrix& b);
 
+    /**
+     * out = a ⊗ b without materializing a temporary (same reshape and
+     * aliasing rules as multiplyInto). 2x2 ⊗ 2x2 — the template
+     * circuit's u3-pair construction — takes the kernel fast path.
+     */
+    static void kronInto(Matrix& out, const Matrix& a, const Matrix& b);
+
     /** Conjugate transpose. */
     Matrix dagger() const;
 

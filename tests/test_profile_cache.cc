@@ -282,6 +282,76 @@ TEST(ProfileCacheCore, LoadRejectsMismatchedStrategy)
     EXPECT_EQ(fresh.stats().loaded, 1u);
 }
 
+TEST(ProfileCacheCore, StripeContentionKeepsExactCounts)
+{
+    // Readers and writers hammer the striped cache concurrently; every
+    // hit, miss and eviction must be accounted for exactly (shared-
+    // lock hits update recency and counters atomically, so nothing is
+    // lost or double-counted).
+    NuOpDecomposer decomposer(fastNuOp());
+    ProfileCache cache; // unbounded: 16 stripes
+    ThreadPool pool(8);
+
+    const int kDistinct = 12; // spreads keys across stripes
+    auto target = [](int i) {
+        return zz(0.05 * static_cast<double>(i + 1));
+    };
+
+    // Phase 1: cold fill under contention. Exactly kDistinct entries
+    // come out, and every one of the kCalls is tallied exactly once.
+    const size_t kCalls = 768;
+    std::vector<std::shared_ptr<const GateProfile>> seen(kCalls);
+    parallelFor(pool, kCalls, [&](size_t i) {
+        seen[i] = cache.get(target(static_cast<int>(i) % kDistinct),
+                            czSpec(), decomposer);
+    });
+    ProfileCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.hits + stats.misses, kCalls);
+    EXPECT_GE(stats.misses, static_cast<uint64_t>(kDistinct));
+    EXPECT_EQ(stats.entries, static_cast<size_t>(kDistinct));
+    EXPECT_EQ(stats.evictions, 0u);
+    for (size_t i = 0; i < kCalls; ++i) {
+        ASSERT_NE(seen[i], nullptr);
+        EXPECT_EQ(seen[i].get(),
+                  seen[i % static_cast<size_t>(kDistinct)].get());
+    }
+
+    // Phase 2: pure read contention on a warm cache. Every call is a
+    // shared-lock hit — the counts are exact, not approximate.
+    cache.resetStats();
+    parallelFor(pool, kCalls, [&](size_t i) {
+        auto p = cache.get(target(static_cast<int>(i) % kDistinct),
+                           czSpec(), decomposer);
+        ASSERT_NE(p, nullptr);
+    });
+    stats = cache.stats();
+    EXPECT_EQ(stats.hits, kCalls);
+    EXPECT_EQ(stats.misses, 0u);
+    EXPECT_EQ(stats.evictions, 0u);
+    EXPECT_EQ(stats.entries, static_cast<size_t>(kDistinct));
+
+    // Phase 3: bounded cache under mixed reader/writer contention.
+    // Hits + misses still account for every call exactly, and the
+    // entry count respects the bound.
+    ProfileCache bounded(2);
+    const size_t kBoundedCalls = 256;
+    parallelFor(pool, kBoundedCalls, [&](size_t i) {
+        auto p = cache.get(target(static_cast<int>(i) % 4), czSpec(),
+                           decomposer); // warm reads on the big cache
+        ASSERT_NE(p, nullptr);
+        auto q = bounded.get(target(static_cast<int>(i) % 4), czSpec(),
+                             decomposer);
+        ASSERT_NE(q, nullptr);
+    });
+    ProfileCacheStats bstats = bounded.stats();
+    EXPECT_EQ(bstats.hits + bstats.misses, kBoundedCalls);
+    EXPECT_LE(bstats.entries, 2u);
+    // Every insert past the bound evicted exactly one entry; inserts
+    // can be fewer than misses (racing computes merge) but evictions
+    // never exceed inserts minus the survivors.
+    EXPECT_GE(bstats.misses, bstats.evictions + bstats.entries);
+}
+
 TEST(ProfileCacheCore, KeySeparatesTargetsAndSpecs)
 {
     GateSpec cz_spec = czSpec();
